@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation:
+it runs the relevant simulation/model once inside pytest-benchmark (single
+round -- these are end-to-end simulations, not micro-benchmarks) and prints
+the regenerated rows next to the paper's published values so the shape can be
+compared directly.  EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+def run_once(benchmark, function: Callable[[], Any]) -> Any:
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,42 @@
+"""Fig. 16: per-FU compute, memory, and aggregate bandwidth properties.
+
+Shape to reproduce: the MME FUs carry all the compute (~1.1 TFLOPS each) and
+sizeable local memory; MeshA/B are pure routers (no compute, no memory); MemC
+FUs have the largest PL memories plus a modest non-MM compute rate; DDR/LPDDR
+only have bandwidth.
+"""
+
+from __future__ import annotations
+
+from _helpers import run_once
+from repro.analysis.reporting import Table
+from repro.xnn import XNNConfig, XNNDatapath
+
+
+def _properties():
+    xnn = XNNDatapath(XNNConfig(carry_data=False))
+    return xnn.fu_properties()
+
+
+def test_fig16_fu_properties(benchmark):
+    properties = run_once(benchmark, _properties)
+    table = Table("Fig. 16: FU compute / memory / bandwidth properties",
+                  ["FU", "TFLOPS", "memory (MB)", "bandwidth (GB/s)"])
+    for row in properties:
+        table.add_row(row["fu"], round(row["tflops"], 3), round(row["memory_mb"], 2),
+                      round(row["bandwidth_gbs"], 1))
+    table.print()
+
+    by_name = {row["fu"]: row for row in properties}
+    # MMEs provide ~1.1 TFLOPS each (6.7 TFLOPS aggregate).
+    assert 0.9 < by_name["MME0"]["tflops"] < 1.3
+    # Mesh FUs are pure routers.
+    assert by_name["MeshA"]["tflops"] == 0 and by_name["MeshA"]["memory_mb"] == 0
+    assert by_name["MeshB"]["bandwidth_gbs"] > 100
+    # MemC has on-chip memory and a small non-MM compute rate; MemA/B have none.
+    assert by_name["MemC0"]["tflops"] > 0
+    assert by_name["MemA0"]["tflops"] == 0
+    # Off-chip FUs expose only bandwidth.
+    assert by_name["DDR"]["memory_mb"] == 0
+    assert 30 < by_name["DDR"]["bandwidth_gbs"] < 60
+    assert 15 < by_name["LPDDR"]["bandwidth_gbs"] < 35

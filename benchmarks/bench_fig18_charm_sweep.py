@@ -1,0 +1,60 @@
+"""Fig. 18: BERT-Large 1st-encoder latency and throughput vs CHARM over batch size.
+
+Shape to reproduce: RSN-XNN's latency grows roughly linearly with batch and is
+several times lower than CHARM's at the same batch; RSN-XNN's throughput
+saturates at a small batch (the paper reports 97% of peak at B=3), whereas
+CHARM needs very large batches to approach its peak.
+"""
+
+from __future__ import annotations
+
+from _helpers import run_once
+from repro.analysis.reporting import Table
+from repro.baselines import CHARM_PUBLISHED, CharmModel
+from repro.workloads import bert_large_encoder
+from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
+
+BATCHES = (1, 2, 3, 6, 12, 24)
+
+
+def _sweep():
+    executor = XNNExecutor(config=XNNConfig(carry_data=False), options=CodegenOptions())
+    points = {}
+    for batch in BATCHES:
+        result = executor.run_encoder(batch=batch, seq_len=512)
+        points[batch] = (result.latency_ms, result.throughput_tasks_per_s)
+    return points
+
+
+def test_fig18_latency_throughput_vs_charm(benchmark):
+    rsn = run_once(benchmark, _sweep)
+    charm = CharmModel()
+
+    table = Table("Fig. 18: BERT-Large 1st encoder vs CHARM across batch sizes",
+                  ["batch", "RSN latency (ms)", "RSN tasks/s",
+                   "CHARM latency (ms)", "CHARM tasks/s"])
+    charm_points = {}
+    for batch in BATCHES:
+        # CHARM schedules at a six-batch granularity: smaller requests still
+        # execute a full six-batch pass.
+        scheduled = max(batch, charm.schedule_batch)
+        encoder = bert_large_encoder(batch=scheduled, seq_len=512)
+        latency_ms = charm.model_latency(encoder) * 1e3
+        throughput = charm.throughput_tasks_per_s(encoder, useful_tasks=batch)
+        charm_points[batch] = (latency_ms, throughput)
+        table.add_row(batch, rsn[batch][0], rsn[batch][1], latency_ms, throughput)
+    table.add_note("paper: RSN best latency 5 ms at B=1 (22x better than CHARM's best), "
+                   "6.1x faster at B=6, 3.25x higher peak throughput; CHARM published "
+                   f"best latency {CHARM_PUBLISHED['bert_best_latency_ms']} ms, best "
+                   f"throughput {CHARM_PUBLISHED['bert_best_throughput_tasks_per_s']} tasks/s")
+    table.print()
+
+    # Shape checks.
+    for batch in BATCHES:
+        assert rsn[batch][0] < charm_points[batch][0], "RSN must beat CHARM at every batch"
+    # RSN latency at B=6 is several times lower than CHARM's.
+    assert charm_points[6][0] / rsn[6][0] > 1.5
+    # RSN throughput saturates early: B=3 reaches most of the B=24 throughput.
+    assert rsn[3][1] > 0.75 * rsn[24][1]
+    # Peak RSN throughput clearly beats CHARM's best.
+    assert max(t for _, t in rsn.values()) > 1.5 * max(t for _, t in charm_points.values())

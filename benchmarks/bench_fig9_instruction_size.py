@@ -1,0 +1,92 @@
+"""Fig. 9 + Section 5.1: RSN instruction size vs translated uOP size per FU type.
+
+Paper observations to reproduce in shape: off-chip FUs (DDR, LPDDR) need the
+most uOP bytes and compress the worst (2-4.2x), the on-chip stream FUs
+compress much better (6.8-22.7x), the whole encoder needs on the order of a
+couple of thousand RSN instructions, and the compute-to-instruction ratio is
+on the order of GFLOPs per instruction byte.
+"""
+
+from __future__ import annotations
+
+from _helpers import run_once
+from repro.analysis import analyze_program
+from repro.analysis.reporting import Table
+from repro.workloads import bert_large_encoder
+from repro.xnn import CodegenOptions, ProgramBuilder, XNNConfig, XNNDatapath
+from repro.xnn.executor import XNNExecutor
+
+
+def _generate_program():
+    """Generate the full encoder instruction stream (timing-only tensors)."""
+    executor = XNNExecutor(config=XNNConfig(carry_data=False), options=CodegenOptions())
+    result = executor.run_encoder(batch=6, seq_len=512)
+
+    # Re-generate the instruction stream standalone for packet analysis: one
+    # builder covering all encoder layers on a fresh datapath.
+    xnn = XNNDatapath(XNNConfig(carry_data=False))
+    memory = xnn.memory
+    spec = bert_large_encoder(batch=6, seq_len=512)
+    tokens = 6 * 512
+    hidden, ffn = 1024, 4096
+    for name, shape in (("input", (tokens, hidden)), ("wq", (hidden, hidden)),
+                        ("wk", (hidden, hidden)), ("wv", (hidden, hidden)),
+                        ("wo", (hidden, hidden)), ("w1", (hidden, ffn)),
+                        ("w2", (ffn, hidden)), ("query", (tokens, hidden)),
+                        ("key", (tokens, hidden)), ("value", (tokens, hidden)),
+                        ("attn_context", (tokens, hidden)), ("attn_out", (tokens, hidden)),
+                        ("attn_norm", (tokens, hidden)), ("ffn_inter", (tokens, ffn)),
+                        ("ffn_out", (tokens, hidden))):
+        memory.add(name, shape)
+    layers = {l.name: l for l in spec.layers}
+    builder = ProgramBuilder(xnn, CodegenOptions())
+    builder.add_gemm_layer(layers["query"], lhs="input", rhs="wq", out="query")
+    builder.add_gemm_layer(layers["key"], lhs="input", rhs="wk", out="key")
+    builder.add_gemm_layer(layers["value"], lhs="input", rhs="wv", out="value")
+    builder.add_attention(seq_len=512, head_dim=64, num_heads=96, heads_per_sample=16,
+                          query="query", key="key", value="value", out="attn_context")
+    builder.add_gemm_layer(layers["dense"], lhs="attn_context", rhs="wo", out="attn_out",
+                           residual="input")
+    builder.add_gemm_layer(layers["ffn_mm1"], lhs="attn_norm", rhs="w1", out="ffn_inter")
+    builder.add_gemm_layer(layers["ffn_mm2"], lhs="ffn_inter", rhs="w2", out="ffn_out",
+                           residual="attn_norm")
+    program = builder.build_rsn_program()
+    analysis = analyze_program(program, latency_s=result.latency_s, flops=result.flops,
+                               aie_uop_bytes=builder.mme_uop_bytes())
+    return analysis
+
+
+def test_fig9_instruction_vs_uop_size(benchmark):
+    analysis = run_once(benchmark, _generate_program)
+
+    table = Table("Fig. 9: RSN instruction bytes vs translated uOP bytes per FU type",
+                  ["FU type", "RSN bytes", "uOP bytes", "compression", "packets"])
+    for fu_type in analysis.size_report.fu_types():
+        table.add_row(fu_type,
+                      analysis.size_report.instruction_bytes.get(fu_type, 0),
+                      analysis.size_report.uop_bytes.get(fu_type, 0),
+                      analysis.size_report.compression_ratio(fu_type),
+                      analysis.size_report.instruction_counts.get(fu_type, 0))
+    table.add_note(f"total packets {analysis.packet_count}, "
+                   f"instruction bytes {analysis.instruction_bytes}, "
+                   f"instruction rate {analysis.instruction_processing_rate or 0:.3g} B/s "
+                   f"({100 * (analysis.bandwidth_fraction or 0):.4f}% of off-chip BW), "
+                   f"{(analysis.flops_per_instruction_byte or 0) / 1e6:.2f} MFLOPs per "
+                   "instruction byte on average")
+    table.print()
+
+    ratios = analysis.compression_ratios()
+    stream_types = [t for t in ("MemA", "MemB", "MemC", "MeshA", "MeshB") if t in ratios]
+    offchip_types = [t for t in ("DDR", "LPDDR") if t in ratios]
+    # Off-chip control dominates the uOP bytes and compresses worse than the
+    # on-chip stream FUs.
+    offchip_uop_bytes = max(analysis.size_report.uop_bytes[t] for t in offchip_types)
+    stream_uop_bytes = max(analysis.size_report.uop_bytes[t] for t in stream_types)
+    assert offchip_uop_bytes > stream_uop_bytes
+    assert max(ratios[t] for t in stream_types) > max(ratios[t] for t in offchip_types)
+    # The instruction stream is tiny relative to the data it moves: well under
+    # 0.1% of the off-chip bandwidth, and millions of FLOPs per instruction
+    # byte on average (the paper's "up to 1.6 GFLOPs" is the best case for a
+    # single locally stored AIE control word).
+    assert (analysis.bandwidth_fraction or 1) < 1e-3
+    assert (analysis.flops_per_instruction_byte or 0) > 1e6

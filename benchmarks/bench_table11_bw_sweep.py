@@ -1,0 +1,55 @@
+"""Table 11: BERT-Large latency sensitivity to off-chip bandwidth (L=384, B=8).
+
+Shape to reproduce: halving the bandwidth hurts a lot (paper: 0.63x), while
+doubling or tripling it helps only modestly (1.15x / 1.19x) because the
+1x-bandwidth execution already uses the channels efficiently (the paper quotes
+78.6% of peak); the infinite-bandwidth and infinite-compute bounds bracket the
+measured point.
+"""
+
+from __future__ import annotations
+
+from _helpers import run_once
+from repro.analysis.reporting import Table
+from repro.workloads import bert_large_encoder
+from repro.xnn import CodegenOptions, XNNConfig
+from repro.xnn.bandwidth import (bandwidth_sweep_latency, infinite_bandwidth_bound,
+                                 infinite_compute_bound)
+
+PAPER_SPEEDUPS = {0.5: 0.63, 1.0: 1.0, 2.0: 1.15, 3.0: 1.19}
+
+
+def _sweep():
+    return bandwidth_sweep_latency(scales=(0.5, 1.0, 2.0, 3.0), batch=8, seq_len=384,
+                                   options=CodegenOptions(),
+                                   base_config=XNNConfig(carry_data=False))
+
+
+def test_table11_bandwidth_sweep(benchmark):
+    points = run_once(benchmark, _sweep)
+    by_scale = {p.bandwidth_scale: p.latency_s for p in points}
+    base = by_scale[1.0]
+
+    model = bert_large_encoder(batch=8, seq_len=384)
+    inf_bw = infinite_bandwidth_bound(model, achieved_flops=6.7e12)
+    inf_compute = infinite_compute_bound(model)
+
+    table = Table("Table 11: bandwidth sweep, BERT-Large encoder, L=384, B=8",
+                  ["scenario", "latency (ms)", "speedup vs 1x", "paper speedup"])
+    table.add_row("infinite BW & no setup", inf_bw * 1e3, base / inf_bw, 1.43)
+    table.add_row("infinite compute", inf_compute * 1e3, base / inf_compute, 1.27)
+    for scale in (0.5, 1.0, 2.0, 3.0):
+        table.add_row(f"{scale:g}X BW", by_scale[scale] * 1e3, base / by_scale[scale],
+                      PAPER_SPEEDUPS[scale])
+    table.print()
+
+    # Shape checks: latency decreases monotonically with bandwidth, halving
+    # hurts far more than tripling helps, and extra bandwidth saturates.
+    assert by_scale[0.5] > by_scale[1.0] > by_scale[2.0] >= by_scale[3.0]
+    loss_at_half = by_scale[0.5] / base
+    gain_at_triple = base / by_scale[3.0]
+    assert loss_at_half > 1.2
+    assert gain_at_triple < 1.5
+    assert gain_at_triple < loss_at_half
+    # The idealised bounds bracket the 1x point.
+    assert inf_bw < base and inf_compute < base

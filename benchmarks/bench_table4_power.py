@@ -1,0 +1,69 @@
+"""Table 4 / Fig. 15: power breakdown per component class.
+
+The paper's numbers come from Vivado power analysis; this repository estimates
+the breakdown with the coefficient model of :mod:`repro.hardware.power` fed by
+the Fig. 16 FU inventory and prints both side by side.  Shape to reproduce:
+the AIE array dominates (~60%), MemC is the largest PL consumer (~20-25%), the
+decoder is negligible (<0.1%).
+"""
+
+from __future__ import annotations
+
+from _helpers import run_once
+from repro.analysis.reporting import Table
+from repro.hardware.power import FUPowerInput, PAPER_POWER_BREAKDOWN, PowerModel
+from repro.xnn import XNNConfig, XNNDatapath
+
+
+def _estimate():
+    xnn = XNNDatapath(XNNConfig(carry_data=False))
+    properties = {p["fu"]: p for p in xnn.fu_properties()}
+    mme = [p for name, p in properties.items() if name.startswith("MME")]
+    memc = [p for name, p in properties.items() if name.startswith("MemC")]
+    mema = [p for name, p in properties.items() if name.startswith("MemA")]
+    memb = [p for name, p in properties.items() if name.startswith("MemB")]
+    inventory = [
+        FUPowerInput("AIE", count=len(mme), on_aie=True,
+                     compute_tflops=sum(p["tflops"] for p in mme),
+                     onchip_mb=sum(p["memory_mb"] for p in mme),
+                     bandwidth_gbs=sum(p["bandwidth_gbs"] for p in mme)),
+        FUPowerInput("MemC", count=len(memc),
+                     compute_tflops=sum(p["tflops"] for p in memc),
+                     onchip_mb=sum(p["memory_mb"] for p in memc),
+                     bandwidth_gbs=sum(p["bandwidth_gbs"] for p in memc)),
+        FUPowerInput("MemA", count=len(mema),
+                     onchip_mb=sum(p["memory_mb"] for p in mema),
+                     bandwidth_gbs=sum(p["bandwidth_gbs"] for p in mema)),
+        FUPowerInput("MemB", count=len(memb),
+                     onchip_mb=sum(p["memory_mb"] for p in memb),
+                     bandwidth_gbs=sum(p["bandwidth_gbs"] for p in memb)),
+        FUPowerInput("DDR", count=1, bandwidth_gbs=properties["DDR"]["bandwidth_gbs"]),
+        FUPowerInput("LPDDR", count=1, bandwidth_gbs=properties["LPDDR"]["bandwidth_gbs"]),
+        FUPowerInput("MeshA", count=1, bandwidth_gbs=properties["MeshA"]["bandwidth_gbs"]),
+        FUPowerInput("MeshB", count=1, bandwidth_gbs=properties["MeshB"]["bandwidth_gbs"]),
+    ]
+    return PowerModel().estimate(inventory)
+
+
+def test_table4_power_breakdown(benchmark):
+    report = run_once(benchmark, _estimate)
+    paper = PowerModel.paper_breakdown()
+
+    table = Table("Table 4 / Fig. 15: estimated power breakdown (W)",
+                  ["component", "model (W)", "model share", "paper (W)", "paper share"])
+    for name in PAPER_POWER_BREAKDOWN:
+        table.add_row(name, report.breakdown_w.get(name, 0.0),
+                      f"{report.fraction(name):.1%}",
+                      paper.breakdown_w[name], f"{paper.fraction(name):.1%}")
+    table.add_row("total (with infrastructure)", report.total_w, "",
+                  98.66, "")
+    table.print()
+
+    # Shape checks: AIE dominates, MemC is the biggest PL consumer, decoder is
+    # negligible, and the total lands in the right ballpark.
+    assert report.dominant() == "AIE"
+    assert report.fraction("AIE") > 0.5
+    pl_components = [n for n in report.breakdown_w if n not in ("AIE", "Decoder")]
+    assert max(pl_components, key=lambda n: report.breakdown_w[n]) == "MemC"
+    assert report.fraction("Decoder") < 0.002
+    assert 60 < report.total_w < 140

@@ -1,0 +1,69 @@
+"""Table 6: GEMM throughput -- AIE-only kernels and end-to-end with DRAM.
+
+(a) single-kernel AIE throughput for different tile shapes vs the published
+CHARM / MaxEVA / AMA numbers (RSN's 32x32x32 kernel is the best, and within
+the RSN kernels 32x32x32 > 32x32x16 > 32x16x32);
+(b) end-to-end square-MM throughput with DRAM vs CHARM (RSN wins by ~2-2.7x,
+with the gap largest for the smallest matrix).
+"""
+
+from __future__ import annotations
+
+from _helpers import run_once
+from repro.analysis.reporting import Table
+from repro.baselines import CHARM_PUBLISHED, CharmModel
+from repro.hardware.aie import AIEArrayModel, PUBLISHED_AIE_GEMM
+from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
+
+
+def _run_end_to_end():
+    executor = XNNExecutor(config=XNNConfig(carry_data=False), options=CodegenOptions())
+    results = {}
+    for size in (1024, 3072, 6144):
+        result, _ = executor.run_gemm(size, size, size)
+        results[size] = result.flops / result.latency_s / 1e9
+    return results
+
+
+def test_table6a_aie_gemm_throughput(benchmark):
+    aie = AIEArrayModel()
+    shapes = [(32, 16, 32), (32, 32, 16), (32, 32, 32)]
+    measured = run_once(benchmark,
+                        lambda: {s: aie.array_gemm_flops(s) / 1e9 for s in shapes})
+
+    table = Table("Table 6a: AIE-only GEMM throughput (PL-fed, no DRAM)",
+                  ["method", "tile (MxKxN)", "AIE tiles", "GFLOPS"])
+    for name, (shape, tiles, gflops) in PUBLISHED_AIE_GEMM.items():
+        table.add_row(f"{name} (paper)", "x".join(map(str, shape)), tiles, gflops)
+    for shape in shapes:
+        table.add_row("RSN-XNN (model)", "x".join(map(str, shape)), 384, measured[shape])
+    table.print()
+
+    # Shape: the 32x32x32 kernel is the best RSN point and beats every
+    # published baseline kernel; the RSN ordering matches the paper.
+    assert measured[(32, 32, 32)] > measured[(32, 32, 16)] > measured[(32, 16, 32)]
+    assert measured[(32, 32, 32)] > max(v[2] for v in PUBLISHED_AIE_GEMM.values())
+    assert 6000 < measured[(32, 32, 32)] < 7600
+
+
+def test_table6b_end_to_end_gemm_throughput(benchmark):
+    rsn = run_once(benchmark, _run_end_to_end)
+    charm = CharmModel()
+
+    table = Table("Table 6b: end-to-end square MM throughput with DRAM (GFLOPS)",
+                  ["size", "CHARM (model)", "CHARM (paper)", "RSN-XNN (simulated)",
+                   "RSN-XNN gain"])
+    published = CHARM_PUBLISHED["end_to_end_gemm_gflops"]
+    for size in (1024, 3072, 6144):
+        charm_gflops = charm.gemm_throughput_gflops(size)
+        gain = rsn[size] / charm_gflops - 1
+        table.add_row(size, charm_gflops, published[size], rsn[size], f"+{gain:.0%}")
+    table.print()
+
+    # Shape: RSN-XNN beats the CHARM model at every size, by the largest
+    # factor on the smallest (most bandwidth-sensitive) matrix.
+    gains = {size: rsn[size] / charm.gemm_throughput_gflops(size) for size in rsn}
+    assert all(g > 1.3 for g in gains.values())
+    assert gains[1024] >= gains[6144]
+    # Large GEMMs approach the achieved-kernel peak.
+    assert rsn[6144] > 4000

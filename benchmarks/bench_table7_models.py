@@ -1,0 +1,60 @@
+"""Table 7: latency per task at maximum throughput for BERT, ViT, NCF and MLP.
+
+Shape to reproduce: RSN-XNN improves throughput (equivalently, reduces latency
+per task) over CHARM by roughly 2.4x-3.2x on all four models, using a single
+datapath/bitstream for all of them.
+"""
+
+from __future__ import annotations
+
+from _helpers import run_once
+from repro.analysis.reporting import Table
+from repro.baselines import CHARM_PUBLISHED, CharmModel
+from repro.workloads import bert_large_encoder, mlp_model, ncf_model, vit_model
+from repro.workloads.vit import VIT_BASE
+from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
+
+
+def _run_models():
+    executor = XNNExecutor(config=XNNConfig(carry_data=False), options=CodegenOptions())
+    results = {}
+
+    bert = executor.run_encoder(batch=6, seq_len=512)
+    results["BERT"] = bert.latency_ms / bert.batch
+
+    vit = executor.run_encoder(batch=6, seq_len=208, config=VIT_BASE)
+    results["VIT"] = vit.latency_ms / vit.batch
+
+    ncf = executor.run_feedforward_model(ncf_model(batch=16384))
+    results["NCF"] = ncf.latency_ms
+
+    mlp = executor.run_feedforward_model(mlp_model(batch=3072))
+    results["MLP"] = mlp.latency_ms
+    return results
+
+
+def test_table7_latency_per_task(benchmark):
+    rsn = run_once(benchmark, _run_models)
+    charm = CharmModel()
+    charm_models = {
+        "BERT": charm.latency_per_task_ms(bert_large_encoder(batch=6, seq_len=512)),
+        "VIT": charm.latency_per_task_ms(vit_model(batch=6, seq_len=208)),
+        "NCF": charm.model_latency(ncf_model(batch=16384)) * 1e3,
+        "MLP": charm.model_latency(mlp_model(batch=3072)) * 1e3,
+    }
+    published = CHARM_PUBLISHED["latency_per_task_ms"]
+
+    table = Table("Table 7: latency per task at maximum throughput (ms)",
+                  ["model", "CHARM (model)", "CHARM (paper)", "RSN-XNN (simulated)",
+                   "RSN speedup vs CHARM model"])
+    for name in ("BERT", "VIT", "NCF", "MLP"):
+        table.add_row(name, charm_models[name], published[name], rsn[name],
+                      charm_models[name] / rsn[name])
+    table.add_note("paper speedups: 3.2x (BERT), 2.4x (VIT), 2.5x (NCF), 2.8x (MLP); "
+                   "RSN-XNN uses the same datapath for all four models")
+    table.print()
+
+    for name in rsn:
+        assert rsn[name] < charm_models[name], f"RSN must beat CHARM on {name}"
+    speedups = [charm_models[n] / rsn[n] for n in rsn]
+    assert max(speedups) / min(speedups) < 10  # same order of improvement across models

@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling `_helpers` module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,45 @@
+"""Run a BERT-Large encoder layer on the simulated RSN-XNN overlay.
+
+Reproduces the paper's primary experiment (Table 9) at a configurable batch
+size: the encoder is executed once in the layer-serial overlay style and once
+with all RSN optimisations, and the per-segment latencies are printed.
+
+    python examples/bert_encoder.py [batch] [seq_len]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.reporting import Table
+from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
+
+
+def main(batch: int = 6, seq_len: int = 512) -> None:
+    variants = {
+        "layer-serial overlay (no optimize)": CodegenOptions.baseline(),
+        "RSN-XNN (all optimizations)": CodegenOptions.all_optimizations(),
+    }
+    table = Table(f"BERT-Large 1st encoder, batch={batch}, seq_len={seq_len} (simulated)",
+                  ["variant", "QKV (ms)", "attention+dense (ms)", "FFN (ms)",
+                   "total (ms)", "achieved TFLOPS", "tasks/s"])
+    results = {}
+    for name, options in variants.items():
+        executor = XNNExecutor(config=XNNConfig(carry_data=False), options=options)
+        result = executor.run_encoder(batch=batch, seq_len=seq_len)
+        results[name] = result
+        segments = {s.name: s.latency_ms for s in result.segments}
+        table.add_row(name, segments["qkv"], segments["attention+dense"], segments["ffn"],
+                      result.latency_ms, result.achieved_tflops,
+                      result.throughput_tasks_per_s)
+    baseline, optimized = results.values()
+    table.add_note(f"speedup from the RSN optimisations: "
+                   f"{baseline.latency_s / optimized.latency_s:.2f}x "
+                   "(paper: 2.47x at batch 6, sequence length 512)")
+    table.print()
+
+
+if __name__ == "__main__":
+    batch = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    seq_len = int(sys.argv[2]) if len(sys.argv) > 2 else 512
+    main(batch, seq_len)

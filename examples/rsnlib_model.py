@@ -1,0 +1,35 @@
+"""Describe a transformer encoder with RSNlib and run it on the overlay.
+
+The Fig. 13 flow: build the model from high-level operators, choose a
+schedule, let RSNlib validate the combination against the backend's supported
+patterns, and execute.
+
+    python examples/rsnlib_model.py
+"""
+
+from __future__ import annotations
+
+from repro.rsnlib import EncoderModel, Schedule, ScheduleError, compile_encoder
+
+
+def main() -> None:
+    model = EncoderModel.standard("bert-large-block", hidden=1024, num_heads=16,
+                                  intermediate=4096)
+    print(f"model {model.name!r}: {model.parameter_count() / 1e6:.1f} M parameters")
+
+    schedule = Schedule(batch=2, sequence_length=128,
+                        pipeline_attention=True, interleave_load_store=True)
+    compiled = compile_encoder(model, schedule)
+    result = compiled.run()
+    print(f"simulated latency: {result.latency_ms:.2f} ms "
+          f"({result.achieved_tflops:.2f} TFLOPS achieved)")
+
+    # The template matcher rejects schedules the backend has no pattern for.
+    try:
+        compile_encoder(model, Schedule(batch=1, sequence_length=100))
+    except ScheduleError as error:
+        print(f"rejected unsupported schedule as expected: {error}")
+
+
+if __name__ == "__main__":
+    main()

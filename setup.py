@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that legacy editable installs (``pip install -e . --no-use-pep517``) work
+on machines without the ``wheel`` package, e.g. offline evaluation
+environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""repro: a Python reproduction of the Reconfigurable Stream Network Architecture.
+
+The package is organised as described in ``DESIGN.md``:
+
+* :mod:`repro.core` -- the RSN abstraction itself (streams, functional units,
+  datapaths, paths, instruction packets, decoder hierarchy, event engine).
+* :mod:`repro.hardware` -- models of the platforms the paper evaluates on
+  (VCK190 with its AI-engine array and DDR/LPDDR channels, NVIDIA GPUs, power
+  and area models).
+* :mod:`repro.xnn` -- RSN-XNN, the transformer-encoder overlay case study
+  (its FUs, datapath, code generator, mapping and bandwidth orchestration).
+* :mod:`repro.workloads` -- BERT/ViT/NCF/MLP layer inventories and NumPy
+  reference implementations used for functional validation.
+* :mod:`repro.baselines` -- the comparison points (CHARM-style accelerator,
+  layer-serial overlay).
+* :mod:`repro.analysis` -- roofline/latency/energy/instruction analyses and
+  the report renderers used by the benchmark harness.
+* :mod:`repro.rsnlib` -- the RSNlib-style high-level model builder that
+  compiles a transformer description into RSN instruction programs.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

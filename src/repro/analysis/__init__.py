@@ -1,0 +1,20 @@
+"""Analytical models and report rendering shared by the benchmark harness."""
+
+from .roofline import RooflinePoint, roofline_latency, machine_balance
+from .instruction_stats import InstructionAnalysis, analyze_program
+from .energy import EnergyPoint, gpu_energy_table, vck190_energy_point
+from .reporting import Table, format_table, format_value
+
+__all__ = [
+    "EnergyPoint",
+    "InstructionAnalysis",
+    "RooflinePoint",
+    "Table",
+    "analyze_program",
+    "format_table",
+    "format_value",
+    "gpu_energy_table",
+    "machine_balance",
+    "roofline_latency",
+    "vck190_energy_point",
+]

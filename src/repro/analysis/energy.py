@@ -1,0 +1,73 @@
+"""Energy-efficiency analysis for the GPU comparison (Table 10).
+
+Efficiency is always sequences per joule: ``batch / (latency * power)``.  The
+GPU rows use the published latencies and datasheet powers from
+:mod:`repro.hardware.gpu`; the VCK190 row uses the simulated RSN-XNN latency
+and the measured board powers the paper reports (45.5 W operating, 18.2 W
+dynamic at batch 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..hardware.gpu import GPU_SPECS, GPUSpec
+
+__all__ = ["EnergyPoint", "gpu_energy_table", "vck190_energy_point",
+           "VCK190_OPERATING_POWER_W", "VCK190_DYNAMIC_POWER_W"]
+
+
+#: board power measured with BEAM at batch 8 (Table 10).
+VCK190_OPERATING_POWER_W = 45.5
+VCK190_DYNAMIC_POWER_W = 18.2
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """Latency, power, and derived efficiency of one device at one batch size."""
+
+    device: str
+    precision: str
+    batch: int
+    latency_ms: float
+    operating_power_w: float
+    dynamic_power_w: float
+    dram_traffic_gb: Optional[float] = None
+
+    @property
+    def operating_efficiency_seq_per_j(self) -> float:
+        return self.batch / (self.latency_ms / 1e3 * self.operating_power_w)
+
+    @property
+    def dynamic_efficiency_seq_per_j(self) -> float:
+        return self.batch / (self.latency_ms / 1e3 * self.dynamic_power_w)
+
+
+def gpu_energy_table(batch: int = 8) -> List[EnergyPoint]:
+    """Energy points for every GPU in Table 10 at the given batch size."""
+    points = []
+    for spec in GPU_SPECS.values():
+        latency = spec.published_latency_ms.get(batch)
+        if latency is None:
+            continue
+        points.append(EnergyPoint(
+            device=spec.name, precision=spec.precision, batch=batch,
+            latency_ms=latency,
+            operating_power_w=spec.operating_power_w,
+            dynamic_power_w=spec.dynamic_power_w,
+            dram_traffic_gb=spec.dram_traffic_gb_b8 if batch == 8 else None,
+        ))
+    return points
+
+
+def vck190_energy_point(latency_ms: float, batch: int = 8,
+                        dram_traffic_gb: Optional[float] = None,
+                        operating_power_w: float = VCK190_OPERATING_POWER_W,
+                        dynamic_power_w: float = VCK190_DYNAMIC_POWER_W) -> EnergyPoint:
+    """Energy point for RSN-XNN on the VCK190 from a simulated latency."""
+    return EnergyPoint(
+        device="VCK190", precision="fp32", batch=batch, latency_ms=latency_ms,
+        operating_power_w=operating_power_w, dynamic_power_w=dynamic_power_w,
+        dram_traffic_gb=dram_traffic_gb,
+    )

@@ -1,0 +1,81 @@
+"""Plain-text table rendering shared by the benchmark harness.
+
+Every benchmark prints the rows/series of the table or figure it regenerates.
+To keep that output consistent (and easy to diff against EXPERIMENTS.md), all
+of them go through :class:`Table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "format_table", "format_value"]
+
+
+def format_value(value: Any, precision: int = 3) -> str:
+    """Render one cell: floats get a sensible number of digits, None a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but table has {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        cells = [[format_value(v) for v in row] for row in self.rows]
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print()
+        print(self.render())
+        print()
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Iterable[Sequence[Any]], notes: Iterable[str] = ()) -> str:
+    """One-shot helper: build and render a table."""
+    table = Table(title, list(columns))
+    for row in rows:
+        table.add_row(*row)
+    for note in notes:
+        table.add_note(note)
+    return table.render()

@@ -1,0 +1,65 @@
+"""Roofline latency estimation (used by Table 3, Table 11, and sanity checks).
+
+The paper repeatedly reasons with the roofline formula -- latency is the
+maximum of compute time at the achievable FLOP rate and transfer time at the
+achievable bandwidth.  This module provides that formula once so the mapping
+analysis, the bandwidth sweep bounds, and the tests all share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hardware.vck190 import VCK190, VCK190Spec
+from ..workloads.layers import MatMulLayer, ModelSpec
+
+__all__ = ["RooflinePoint", "roofline_latency", "machine_balance", "layer_roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One roofline evaluation."""
+
+    flops: float
+    bytes: float
+    compute_s: float
+    memory_s: float
+
+    @property
+    def latency_s(self) -> float:
+        return max(self.compute_s, self.memory_s)
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.compute_s >= self.memory_s
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flops / self.bytes if self.bytes else float("inf")
+
+
+def machine_balance(achieved_flops: float, bandwidth: float) -> float:
+    """FLOPs per byte at which compute and memory time are equal."""
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    return achieved_flops / bandwidth
+
+
+def roofline_latency(flops: float, nbytes: float, achieved_flops: float,
+                     bandwidth: float) -> RooflinePoint:
+    """Evaluate the roofline for a kernel of ``flops`` work and ``nbytes`` traffic."""
+    if flops < 0 or nbytes < 0:
+        raise ValueError("flops and nbytes must be non-negative")
+    if achieved_flops <= 0 or bandwidth <= 0:
+        raise ValueError("achieved_flops and bandwidth must be positive")
+    return RooflinePoint(flops=flops, bytes=nbytes,
+                         compute_s=flops / achieved_flops,
+                         memory_s=nbytes / bandwidth)
+
+
+def layer_roofline(layer: MatMulLayer, achieved_flops: float = 6.7e12,
+                   spec: VCK190Spec = VCK190) -> RooflinePoint:
+    """Roofline point of one layer on the VCK190, using observed bandwidths."""
+    bandwidth = spec.ddr_read_bw + spec.lpddr_read_bw
+    return roofline_latency(layer.flops, layer.offchip_bytes, achieved_flops, bandwidth)

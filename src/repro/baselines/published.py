@@ -1,0 +1,34 @@
+"""Published results of other FPGA transformer accelerators (Table 8).
+
+These rows are literature values the paper quotes for context; they are not
+re-simulated.  The RSN-XNN row's achieved TOPS and utilisation are regenerated
+by the benchmark from the simulator and printed next to these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["TABLE8_ACCELERATORS"]
+
+
+TABLE8_ACCELERATORS: Dict[str, Dict[str, object]] = {
+    "RSN-XNN": {"board": "VCK190", "precision": "FP32", "peak_tops": 8.0,
+                "achieved_tops": 4.7, "utilization_pct": 59, "model": "BERT-L",
+                "frequency_mhz": 260},
+    "SSR": {"board": "VCK190", "precision": "INT8", "peak_tops": 102.0,
+            "achieved_tops": 26.7, "utilization_pct": 26, "model": "DeiT-T",
+            "frequency_mhz": None},
+    "FET-OPU": {"board": "U280", "precision": "INT8", "peak_tops": 7.2,
+                "achieved_tops": 1.64, "utilization_pct": 23, "model": "BERT-B",
+                "frequency_mhz": 200},
+    "DFX": {"board": "U280", "precision": "FP16", "peak_tops": 1.2,
+            "achieved_tops": 0.19, "utilization_pct": 15, "model": "GPT2 Prefill",
+            "frequency_mhz": 200},
+    "VIA": {"board": "U50", "precision": "FP16", "peak_tops": 1.2,
+            "achieved_tops": 0.31, "utilization_pct": 26, "model": "Swin-T",
+            "frequency_mhz": 300},
+    "FTRANS": {"board": "VCU118", "precision": "INT16", "peak_tops": 2.7,
+               "achieved_tops": 1.05, "utilization_pct": 38, "model": "RoBERTa-B",
+               "frequency_mhz": 200},
+}

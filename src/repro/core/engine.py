@@ -1,0 +1,404 @@
+"""Discrete-event simulation engine for RSN datapaths.
+
+The engine executes *processes*: Python generators that yield simulation
+requests.  A functional unit's run loop and every kernel it launches are such
+generators, which keeps the simulated micro-architecture very close to the
+kernel pseudo-code of the paper (Fig. 7b): a kernel literally reads its input
+streams, performs a transformation, waits for the time the transformation
+would take on the modelled hardware, and writes its output streams.
+
+Supported requests (see :mod:`repro.core.kernel` for the dataclasses):
+
+``Delay(seconds)``
+    Suspend the process for a fixed amount of simulated time.
+``Write(port, message)``
+    Send a message on the stream channel bound to ``port``.  Blocks while the
+    channel is full; otherwise occupies the process for the channel's transfer
+    time (latency + bytes/bandwidth).
+``Read(port)``
+    Receive the next message from the channel bound to ``port``.  Blocks until
+    a message is available; the received message is the value of the ``yield``
+    expression.
+``Parallel(branches)``
+    Run several sub-generators concurrently and resume when all of them have
+    finished.  Used for double-buffered FUs that load a new tile while sending
+    the previous one ("load/send operations will be executed in parallel if
+    they are both enabled", Fig. 7b).
+``Fork(branch)``
+    Spawn a sub-generator as an independent process and continue immediately.
+``Wait(handle)``
+    Block until a previously forked process finishes.
+
+The engine is deliberately self-contained (no ``simpy`` dependency) so the
+blocking, back-pressure, and deadlock behaviour that the paper reasons about
+in Sections 3.1 and 3.3 is fully visible in this repository.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+
+from .exceptions import DeadlockError, SimulationLimitError, StreamClosedError
+from .kernel import Delay, Fork, Parallel, Read, Wait, Write
+from .stream import Port, StreamChannel
+
+__all__ = ["Process", "ProcessHandle", "Simulator", "SimulationStats"]
+
+
+KernelGenerator = Generator[Any, Any, Any]
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate statistics of one simulation run."""
+
+    end_time: float = 0.0
+    events: int = 0
+    processes: int = 0
+    #: per-process ``(busy, blocked)`` seconds.
+    process_times: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def busy_time(self, name: str) -> float:
+        return self.process_times.get(name, (0.0, 0.0))[0]
+
+    def blocked_time(self, name: str) -> float:
+        return self.process_times.get(name, (0.0, 0.0))[1]
+
+
+class ProcessHandle:
+    """Handle returned by :class:`Fork`, used with :class:`Wait`."""
+
+    def __init__(self, process: "Process"):
+        self.process = process
+
+    @property
+    def finished(self) -> bool:
+        return self.process.finished
+
+    @property
+    def result(self) -> Any:
+        return self.process.result
+
+
+class Process:
+    """One schedulable activity inside the simulator.
+
+    A process wraps a generator.  The simulator repeatedly resumes it with the
+    value produced by its last request and interprets the next request it
+    yields.  Child processes created by :class:`Parallel` and :class:`Fork`
+    are ordinary processes whose completion wakes the parent.
+    """
+
+    #: process states, used for introspection and deadlock reports.
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED_READ = "blocked-read"
+    BLOCKED_WRITE = "blocked-write"
+    BLOCKED_JOIN = "blocked-join"
+    DELAYED = "delayed"
+    FINISHED = "finished"
+
+    def __init__(self, name: str, generator: KernelGenerator,
+                 parent: Optional["Process"] = None):
+        self.name = name
+        self.generator = generator
+        self.parent = parent
+        self.state = self.READY
+        self.result: Any = None
+        self.finished = False
+        #: value to send into the generator on next resume.
+        self.pending_value: Any = None
+        #: what the process is waiting on (for deadlock reports).
+        self.waiting_on: str = ""
+        #: number of outstanding children the process is joined on.
+        self.outstanding_children = 0
+        #: accumulated busy / blocked simulated time.
+        self.busy_time = 0.0
+        self.blocked_time = 0.0
+        #: simulation time at which the process last changed state.
+        self.last_state_change = 0.0
+        #: optional callback invoked when the process finishes.
+        self.on_finish: List[Callable[["Process"], None]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process({self.name!r}, {self.state})"
+
+
+class Simulator:
+    """Event-driven executor for a set of processes communicating over streams.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`repro.core.tracing.Trace` collecting events.
+    max_events:
+        Safety limit on the number of processed events; exceeded limits raise
+        :class:`SimulationLimitError` rather than hanging a test run.
+    max_time:
+        Optional simulated-time budget in seconds.
+    """
+
+    def __init__(self, trace: Any = None, max_events: int = 50_000_000,
+                 max_time: Optional[float] = None):
+        self.now = 0.0
+        self.trace = trace
+        self.max_events = max_events
+        self.max_time = max_time
+        self._event_queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._processes: List[Process] = []
+        self._live_processes = 0
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------ setup
+
+    def add_process(self, name: str, generator: KernelGenerator,
+                    parent: Optional[Process] = None) -> Process:
+        """Register a top-level or child process with the simulator."""
+        process = Process(name, generator, parent=parent)
+        self._processes.append(process)
+        self._live_processes += 1
+        self._schedule(self.now, lambda: self._resume(process))
+        return process
+
+    # ------------------------------------------------------------------- run
+
+    def run(self) -> SimulationStats:
+        """Run until all processes finish; return aggregate statistics.
+
+        Raises
+        ------
+        DeadlockError
+            If the event queue drains while processes are still blocked.
+        SimulationLimitError
+            If the event or time budget is exceeded.
+        """
+        while self._event_queue:
+            time, _, callback = heapq.heappop(self._event_queue)
+            if self.max_time is not None and time > self.max_time:
+                raise SimulationLimitError(
+                    f"simulated time limit of {self.max_time}s exceeded at t={time}"
+                )
+            self.now = time
+            self._events_processed += 1
+            if self._events_processed > self.max_events:
+                raise SimulationLimitError(
+                    f"event limit of {self.max_events} exceeded at t={self.now}"
+                )
+            callback()
+        if self._live_processes:
+            blocked = [
+                (p.name, p.waiting_on)
+                for p in self._processes
+                if not p.finished
+            ]
+            raise DeadlockError(
+                "simulation deadlocked: no runnable events but "
+                f"{self._live_processes} process(es) remain blocked: {blocked}",
+                blocked=blocked,
+            )
+        return self.stats()
+
+    def stats(self) -> SimulationStats:
+        """Snapshot of per-process busy/blocked time and totals."""
+        stats = SimulationStats(end_time=self.now, events=self._events_processed,
+                                processes=len(self._processes))
+        for process in self._processes:
+            stats.process_times[process.name] = (process.busy_time, process.blocked_time)
+        return stats
+
+    # ------------------------------------------------------- event scheduling
+
+    def _schedule(self, time: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._event_queue, (time, next(self._sequence), callback))
+
+    def _record(self, kind: str, process: Process, detail: str = "") -> None:
+        if self.trace is not None:
+            self.trace.record(self.now, kind, process.name, detail)
+
+    # ----------------------------------------------------- process life-cycle
+
+    def _set_state(self, process: Process, state: str) -> None:
+        elapsed = self.now - process.last_state_change
+        if process.state in (Process.BLOCKED_READ, Process.BLOCKED_WRITE,
+                             Process.BLOCKED_JOIN):
+            process.blocked_time += elapsed
+        elif process.state in (Process.RUNNING, Process.DELAYED):
+            process.busy_time += elapsed
+        process.state = state
+        process.last_state_change = self.now
+
+    def _resume(self, process: Process, value: Any = None) -> None:
+        """Advance a process generator by one request."""
+        if process.finished:
+            return
+        self._set_state(process, Process.RUNNING)
+        send_value = value if value is not None else process.pending_value
+        process.pending_value = None
+        try:
+            request = process.generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(process, getattr(stop, "value", None))
+            return
+        self._dispatch(process, request)
+
+    def _finish(self, process: Process, result: Any) -> None:
+        self._set_state(process, Process.FINISHED)
+        process.finished = True
+        process.result = result
+        self._live_processes -= 1
+        self._record("finish", process)
+        for callback in process.on_finish:
+            callback(process)
+        process.on_finish.clear()
+
+    # ----------------------------------------------------- request dispatching
+
+    def _dispatch(self, process: Process, request: Any) -> None:
+        if isinstance(request, Delay):
+            self._handle_delay(process, request)
+        elif isinstance(request, Write):
+            self._handle_write(process, request)
+        elif isinstance(request, Read):
+            self._handle_read(process, request)
+        elif isinstance(request, Parallel):
+            self._handle_parallel(process, request)
+        elif isinstance(request, Fork):
+            self._handle_fork(process, request)
+        elif isinstance(request, Wait):
+            self._handle_wait(process, request)
+        else:
+            raise TypeError(
+                f"process {process.name!r} yielded unsupported request {request!r}"
+            )
+
+    def _handle_delay(self, process: Process, request: Delay) -> None:
+        if request.seconds < 0:
+            raise ValueError(f"process {process.name!r}: negative delay {request.seconds}")
+        self._set_state(process, Process.DELAYED)
+        process.waiting_on = f"delay {request.seconds:.3e}s"
+        self._record("delay", process, process.waiting_on)
+        self._schedule(self.now + request.seconds, lambda: self._resume(process))
+
+    # -- stream writes ---------------------------------------------------------
+
+    def _resolve_channel(self, process: Process, port: Any) -> StreamChannel:
+        if isinstance(port, StreamChannel):
+            return port
+        if isinstance(port, Port):
+            return port.require_channel()
+        raise TypeError(
+            f"process {process.name!r} referenced {port!r}; expected a Port or StreamChannel"
+        )
+
+    def _handle_write(self, process: Process, request: Write) -> None:
+        channel = self._resolve_channel(process, request.port)
+        if channel.closed:
+            raise StreamClosedError(
+                f"process {process.name!r} wrote to closed channel {channel.name!r}"
+            )
+        message = request.message
+        nbytes = getattr(message, "nbytes", 0) or 0
+        if channel.is_full:
+            self._set_state(process, Process.BLOCKED_WRITE)
+            process.waiting_on = f"write space on {channel.name!r}"
+            channel._blocked_writers.append((process, message, nbytes))
+            self._record("block-write", process, channel.name)
+            return
+        self._start_transfer(process, channel, message, nbytes)
+
+    def _start_transfer(self, process: Process, channel: StreamChannel,
+                        message: Any, nbytes: int) -> None:
+        channel.reserve()
+        transfer = channel.transfer_time(nbytes)
+        self._set_state(process, Process.DELAYED)
+        process.waiting_on = f"transfer on {channel.name!r}"
+        self._record("write", process, f"{channel.name} ({nbytes} B)")
+
+        def complete() -> None:
+            channel.deliver(message, nbytes)
+            self._wake_reader(channel)
+            self._resume(process)
+
+        self._schedule(self.now + transfer, complete)
+
+    def _wake_reader(self, channel: StreamChannel) -> None:
+        if channel._blocked_readers and not channel.is_empty:
+            reader = channel._blocked_readers.pop(0)
+            message = channel.pop()
+            channel.stats.reader_block_time += self.now - reader.last_state_change
+            self._record("unblock-read", reader, channel.name)
+            self._schedule(self.now, lambda: self._resume(reader, message))
+            self._wake_writer(channel)
+
+    def _wake_writer(self, channel: StreamChannel) -> None:
+        if channel._blocked_writers and not channel.is_full:
+            writer, message, nbytes = channel._blocked_writers.pop(0)
+            channel.stats.writer_block_time += self.now - writer.last_state_change
+            self._record("unblock-write", writer, channel.name)
+            self._start_transfer(writer, channel, message, nbytes)
+
+    # -- stream reads ----------------------------------------------------------
+
+    def _handle_read(self, process: Process, request: Read) -> None:
+        channel = self._resolve_channel(process, request.port)
+        if not channel.is_empty:
+            message = channel.pop()
+            self._record("read", process, channel.name)
+            self._wake_writer(channel)
+            self._schedule(self.now, lambda: self._resume(process, message))
+            return
+        if channel.closed:
+            raise StreamClosedError(
+                f"process {process.name!r} read from closed, empty channel {channel.name!r}"
+            )
+        self._set_state(process, Process.BLOCKED_READ)
+        process.waiting_on = f"data on {channel.name!r}"
+        channel._blocked_readers.append(process)
+        self._record("block-read", process, channel.name)
+
+    # -- structured concurrency ------------------------------------------------
+
+    def _handle_parallel(self, process: Process, request: Parallel) -> None:
+        branches = list(request.branches)
+        if not branches:
+            self._schedule(self.now, lambda: self._resume(process, []))
+            return
+        results: List[Any] = [None] * len(branches)
+        process.outstanding_children = len(branches)
+        self._set_state(process, Process.BLOCKED_JOIN)
+        process.waiting_on = f"{len(branches)} parallel branch(es)"
+
+        def make_callback(index: int) -> Callable[[Process], None]:
+            def callback(child: Process) -> None:
+                results[index] = child.result
+                process.outstanding_children -= 1
+                if process.outstanding_children == 0:
+                    self._schedule(self.now, lambda: self._resume(process, results))
+            return callback
+
+        for index, branch in enumerate(branches):
+            child = self.add_process(f"{process.name}/p{index}", branch, parent=process)
+            child.on_finish.append(make_callback(index))
+
+    def _handle_fork(self, process: Process, request: Fork) -> None:
+        child = self.add_process(request.name or f"{process.name}/fork", request.branch,
+                                 parent=process)
+        handle = ProcessHandle(child)
+        self._schedule(self.now, lambda: self._resume(process, handle))
+
+    def _handle_wait(self, process: Process, request: Wait) -> None:
+        handle = request.handle
+        if handle.finished:
+            self._schedule(self.now, lambda: self._resume(process, handle.result))
+            return
+        self._set_state(process, Process.BLOCKED_JOIN)
+        process.waiting_on = f"join on {handle.process.name!r}"
+
+        def callback(child: Process) -> None:
+            self._schedule(self.now, lambda: self._resume(process, child.result))
+
+        handle.process.on_finish.append(callback)

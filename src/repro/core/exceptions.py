@@ -1,0 +1,52 @@
+"""Exception hierarchy for the RSN core library.
+
+Every error raised by :mod:`repro.core` derives from :class:`RSNError` so that
+callers can catch simulation-level failures without masking programming errors
+(``TypeError``, ``ValueError`` from NumPy, ...).
+"""
+
+from __future__ import annotations
+
+
+class RSNError(Exception):
+    """Base class for all errors raised by the RSN library."""
+
+
+class ConfigurationError(RSNError):
+    """A datapath, FU, or program was constructed inconsistently.
+
+    Examples: connecting a port twice, referencing an unknown FU in an
+    instruction packet, or building a simulator from a datapath with dangling
+    ports.
+    """
+
+
+class ProtocolError(RSNError):
+    """The stream protocol between two FUs was violated.
+
+    The RSN programming model requires the number of sends from a producer
+    kernel to exactly match the number of receives in the consumer kernels
+    (Section 3.1 of the paper).  A mismatch surfaces either as a deadlock or,
+    when a channel is closed while messages remain, as a ``ProtocolError``.
+    """
+
+
+class DeadlockError(RSNError):
+    """The simulation can make no further progress but processes remain.
+
+    Carries the list of blocked processes and what each is waiting on, which
+    mirrors the deadlock discussion for the instruction decoder in Section 3.3.
+    """
+
+    def __init__(self, message: str, blocked: list[tuple[str, str]] | None = None):
+        super().__init__(message)
+        #: ``(process name, description of what it waits on)`` pairs.
+        self.blocked = list(blocked or [])
+
+
+class StreamClosedError(RSNError):
+    """A kernel attempted to read from or write to a closed stream channel."""
+
+
+class SimulationLimitError(RSNError):
+    """The simulation exceeded a configured event or time budget."""

@@ -1,0 +1,228 @@
+"""The functional-unit (FU) abstraction.
+
+An FU in RSN "comprises a micro-operation (uOP) decoder, input and output
+ports, and customized modules designed to transform and hold states"
+(Section 3.1, Fig. 4).  In this library an FU is a Python object that
+
+* owns a set of named :class:`~repro.core.stream.Port` objects (the data
+  plane),
+* receives a sequence of :class:`~repro.core.uop.UOp` objects (the control
+  plane), either pre-stored locally or streamed in from the instruction
+  decoder, and
+* implements :meth:`FunctionalUnit.kernel` -- a generator launched once per
+  uOP -- which is where the FU's state transformation lives.
+
+Each FU executes only one kernel at a time; once a kernel completes, the FU
+fetches the next uOP and stalls if none is available, exactly matching the
+execution model of Section 3.1.  State holders (ping-pong buffers, flags,
+partial sums) are ordinary instance attributes preserved across kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Iterable, List, Optional, Sequence
+
+from .exceptions import ConfigurationError
+from .kernel import Delay, Read, Write
+from .stream import Port, StreamChannel
+from .uop import ExitUOp, UOp
+
+__all__ = ["FunctionalUnit", "FUStats", "PassthroughFU"]
+
+
+@dataclass
+class FUStats:
+    """Per-FU execution statistics maintained across a simulation run."""
+
+    kernels_executed: int = 0
+    uops_consumed: int = 0
+    compute_seconds: float = 0.0
+    flops: float = 0.0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    def reset(self) -> None:
+        self.kernels_executed = 0
+        self.uops_consumed = 0
+        self.compute_seconds = 0.0
+        self.flops = 0.0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+
+class FunctionalUnit:
+    """Base class for all stateful functional units in an RSN datapath.
+
+    Parameters
+    ----------
+    name:
+        Unique FU name within a datapath (``"MME0"``, ``"MemA1"``, ...).
+    fu_type:
+        The FU type used as the uOP opcode and by the instruction decoder to
+        group FUs (``"MME"``, ``"DDR"``, ...).  Defaults to the class name.
+    compute_throughput:
+        Sustained arithmetic throughput in FLOP/s used by
+        :meth:`compute_time`; ``None`` for FUs that do no arithmetic.
+    """
+
+    def __init__(self, name: str, fu_type: Optional[str] = None,
+                 compute_throughput: Optional[float] = None):
+        self.name = name
+        self.fu_type = fu_type or type(self).__name__
+        self.compute_throughput = compute_throughput
+        self.ports: Dict[str, Port] = {}
+        self.stats = FUStats()
+        #: locally pre-stored uOP program (used when no uOP channel is bound).
+        self._local_program: List[UOp] = []
+        #: optional uOP channel filled by the instruction decoder.
+        self.uop_channel: Optional[StreamChannel] = None
+        #: set once the run loop consumes an :class:`ExitUOp`.
+        self.exited = False
+
+    # ------------------------------------------------------------------ ports
+
+    def add_port(self, name: str, direction: str) -> Port:
+        """Declare a named input or output port on this FU."""
+        if name in self.ports:
+            raise ConfigurationError(f"FU {self.name!r} already has a port named {name!r}")
+        port = Port(name, direction, owner=self)
+        self.ports[name] = port
+        return port
+
+    def add_input(self, name: str) -> Port:
+        return self.add_port(name, Port.INPUT)
+
+    def add_output(self, name: str) -> Port:
+        return self.add_port(name, Port.OUTPUT)
+
+    def port(self, name: str) -> Port:
+        try:
+            return self.ports[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"FU {self.name!r} has no port {name!r}; ports are {sorted(self.ports)}"
+            ) from None
+
+    def input_ports(self) -> List[Port]:
+        return [p for p in self.ports.values() if p.direction == Port.INPUT]
+
+    def output_ports(self) -> List[Port]:
+        return [p for p in self.ports.values() if p.direction == Port.OUTPUT]
+
+    # ---------------------------------------------------------------- control
+
+    def load_program(self, uops: Iterable[UOp], append: bool = False) -> None:
+        """Pre-store a uOP sequence locally (AIE-style local instruction memory).
+
+        When a uOP channel is bound (decoder-driven execution) the local
+        program is ignored.
+        """
+        uops = list(uops)
+        if append:
+            self._local_program.extend(uops)
+        else:
+            self._local_program = uops
+
+    def attach_uop_channel(self, channel: StreamChannel) -> None:
+        """Bind the channel on which the instruction decoder delivers uOPs."""
+        if self.uop_channel is not None:
+            raise ConfigurationError(f"FU {self.name!r} already has a uOP channel")
+        self.uop_channel = channel
+
+    @property
+    def program_length(self) -> int:
+        return len(self._local_program)
+
+    # ----------------------------------------------------------------- timing
+
+    def compute_time(self, flops: float) -> float:
+        """Seconds needed to perform ``flops`` floating-point operations."""
+        if not flops:
+            return 0.0
+        if not self.compute_throughput:
+            raise ConfigurationError(
+                f"FU {self.name!r} has no compute throughput configured"
+            )
+        return flops / self.compute_throughput
+
+    def charge_compute(self, flops: float) -> Delay:
+        """Account for ``flops`` of arithmetic and return the matching delay."""
+        seconds = self.compute_time(flops)
+        self.stats.flops += flops
+        self.stats.compute_seconds += seconds
+        return Delay(seconds)
+
+    # ------------------------------------------------------------- run loop
+
+    def kernel(self, uop: UOp) -> Generator[Any, Any, Any]:
+        """Execute one kernel launch directed by ``uop``.
+
+        Subclasses override this generator.  The default implementation raises
+        so that forgetting to implement it fails loudly.
+        """
+        raise NotImplementedError(
+            f"FU type {type(self).__name__!r} does not implement kernel()"
+        )
+        yield  # pragma: no cover - makes this a generator for type checkers
+
+    def run(self) -> Generator[Any, Any, None]:
+        """The FU's top-level process: fetch a uOP, run its kernel, repeat.
+
+        Execution ends when an :class:`ExitUOp` is consumed or, for locally
+        programmed FUs, when the local program is exhausted.
+        """
+        if self.uop_channel is not None:
+            while True:
+                uop = yield Read(self.uop_channel)
+                self.stats.uops_consumed += 1
+                if isinstance(uop, ExitUOp) or uop.opcode == "EXIT":
+                    break
+                self.stats.kernels_executed += 1
+                yield from self.kernel(uop)
+        else:
+            for uop in self._local_program:
+                self.stats.uops_consumed += 1
+                if isinstance(uop, ExitUOp) or uop.opcode == "EXIT":
+                    break
+                self.stats.kernels_executed += 1
+                yield from self.kernel(uop)
+        self.exited = True
+
+    # ------------------------------------------------------------- utilities
+
+    def describe(self) -> Dict[str, Any]:
+        """Structured description used by Fig. 16-style property reports."""
+        return {
+            "name": self.name,
+            "type": self.fu_type,
+            "compute_throughput": self.compute_throughput,
+            "inputs": [p.name for p in self.input_ports()],
+            "outputs": [p.name for p in self.output_ports()],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class PassthroughFU(FunctionalUnit):
+    """A minimal FU that forwards messages from one input to one output.
+
+    Useful in tests and in the simple-overlay example of Fig. 6, and as a
+    template for writing new FUs.  Its uOP control plane is ``(count,)``: the
+    number of messages to forward in one kernel launch.
+    """
+
+    def __init__(self, name: str, transform=None, **kwargs):
+        super().__init__(name, **kwargs)
+        self.add_input("in")
+        self.add_output("out")
+        self._transform = transform
+
+    def kernel(self, uop: UOp) -> Generator[Any, Any, None]:
+        count = int(uop.get("count", 1))
+        for _ in range(count):
+            message = yield Read(self.port("in"))
+            if self._transform is not None and hasattr(message, "map"):
+                message = message.map(self._transform)
+            yield Write(self.port("out"), message)

@@ -1,0 +1,209 @@
+"""The datapath: a circuit-switched network of functional units.
+
+The RSN abstraction models the datapath "as a specialized circuit-switched
+network of stateful FUs" with data streaming on the edges (Section 3.1).
+:class:`Datapath` is the container for that network: it owns the FUs, creates
+the stream channels between their ports, validates the topology, and builds a
+:class:`~repro.core.engine.Simulator` whose processes are the FU run loops.
+
+The datapath is purely structural -- which paths are *triggered* for a given
+computation is decided by the uOP sequences delivered to the FUs (see
+:mod:`repro.core.path` and the instruction decoder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .engine import Simulator
+from .exceptions import ConfigurationError
+from .functional_unit import FunctionalUnit
+from .stream import Port, StreamChannel
+from .tracing import Trace
+
+__all__ = ["Datapath", "Edge"]
+
+
+PortRef = Union[Port, Tuple[FunctionalUnit, str], Tuple[str, str]]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed edge of the FU network."""
+
+    source_fu: str
+    source_port: str
+    sink_fu: str
+    sink_port: str
+    channel: StreamChannel
+
+    @property
+    def name(self) -> str:
+        return self.channel.name
+
+
+class Datapath:
+    """A named collection of FUs and the stream channels connecting them.
+
+    Typical construction::
+
+        dp = Datapath("toy")
+        fu1, fu2 = LoadFU("FU1"), AddFU("FU2")
+        dp.add_fu(fu1)
+        dp.add_fu(fu2)
+        dp.connect(fu1, "out", fu2, "in", capacity=2, bandwidth=1e9)
+    """
+
+    def __init__(self, name: str = "datapath"):
+        self.name = name
+        self.fus: Dict[str, FunctionalUnit] = {}
+        self.channels: Dict[str, StreamChannel] = {}
+        self.edges: List[Edge] = []
+
+    # -------------------------------------------------------------- topology
+
+    def add_fu(self, fu: FunctionalUnit) -> FunctionalUnit:
+        """Register a functional unit; names must be unique."""
+        if fu.name in self.fus:
+            raise ConfigurationError(f"datapath {self.name!r} already has an FU {fu.name!r}")
+        self.fus[fu.name] = fu
+        return fu
+
+    def add_fus(self, fus: Iterable[FunctionalUnit]) -> List[FunctionalUnit]:
+        return [self.add_fu(fu) for fu in fus]
+
+    def fu(self, name: str) -> FunctionalUnit:
+        try:
+            return self.fus[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"datapath {self.name!r} has no FU {name!r}; FUs are {sorted(self.fus)}"
+            ) from None
+
+    def fus_of_type(self, fu_type: str) -> List[FunctionalUnit]:
+        """All FUs whose ``fu_type`` matches, in insertion order."""
+        return [fu for fu in self.fus.values() if fu.fu_type == fu_type]
+
+    def _resolve_port(self, ref: PortRef, direction: str) -> Port:
+        if isinstance(ref, Port):
+            port = ref
+        else:
+            fu, port_name = ref
+            if isinstance(fu, str):
+                fu = self.fu(fu)
+            port = fu.port(port_name)
+        if port.direction != direction:
+            raise ConfigurationError(
+                f"port {port.qualified_name} is {port.direction}, expected {direction}"
+            )
+        return port
+
+    def connect(self, source: Union[FunctionalUnit, str], source_port: str,
+                sink: Union[FunctionalUnit, str], sink_port: str,
+                capacity: Optional[int] = 2, bandwidth: Optional[float] = None,
+                latency: float = 0.0, name: Optional[str] = None) -> StreamChannel:
+        """Create a stream channel from ``source.source_port`` to ``sink.sink_port``."""
+        src = self._resolve_port((source, source_port), Port.OUTPUT)
+        dst = self._resolve_port((sink, sink_port), Port.INPUT)
+        channel_name = name or f"{src.qualified_name}->{dst.qualified_name}"
+        if channel_name in self.channels:
+            raise ConfigurationError(f"channel {channel_name!r} already exists")
+        channel = StreamChannel(channel_name, capacity=capacity, bandwidth=bandwidth,
+                                latency=latency)
+        src.bind(channel)
+        dst.bind(channel)
+        self.channels[channel_name] = channel
+        owner_src = src.owner.name if src.owner else "<none>"
+        owner_dst = dst.owner.name if dst.owner else "<none>"
+        self.edges.append(Edge(owner_src, src.name, owner_dst, dst.name, channel))
+        return channel
+
+    # ------------------------------------------------------------ validation
+
+    def unconnected_ports(self) -> List[Port]:
+        """Ports declared on FUs but not bound to any channel."""
+        loose = []
+        for fu in self.fus.values():
+            for port in fu.ports.values():
+                if not port.is_connected:
+                    loose.append(port)
+        return loose
+
+    def validate(self, allow_unconnected: bool = True) -> None:
+        """Check structural consistency of the network.
+
+        ``allow_unconnected=False`` additionally rejects dangling ports, which
+        is useful for fixed overlay datapaths where every declared port should
+        have a physical wire behind it.
+        """
+        for edge in self.edges:
+            if edge.source_fu not in self.fus or edge.sink_fu not in self.fus:
+                raise ConfigurationError(
+                    f"edge {edge.name!r} references an FU not registered in the datapath"
+                )
+        if not allow_unconnected:
+            loose = self.unconnected_ports()
+            if loose:
+                names = [p.qualified_name for p in loose]
+                raise ConfigurationError(f"unconnected ports: {names}")
+
+    # ------------------------------------------------------------ simulation
+
+    def build_simulator(self, trace: Optional[Trace] = None,
+                        extra_processes: Optional[Sequence[Tuple[str, Any]]] = None,
+                        max_events: int = 50_000_000,
+                        max_time: Optional[float] = None) -> Simulator:
+        """Create a simulator running every FU plus any ``extra_processes``.
+
+        ``extra_processes`` is a sequence of ``(name, generator)`` pairs, used
+        for instruction decoders, off-chip traffic generators, and test
+        drivers.
+        """
+        self.validate()
+        simulator = Simulator(trace=trace, max_events=max_events, max_time=max_time)
+        for fu in self.fus.values():
+            simulator.add_process(fu.name, fu.run())
+        for name, generator in (extra_processes or []):
+            simulator.add_process(name, generator)
+        return simulator
+
+    # --------------------------------------------------------------- queries
+
+    def adjacency(self) -> Dict[str, List[str]]:
+        """FU-name -> list of downstream FU names (graph view of the network)."""
+        graph: Dict[str, List[str]] = {name: [] for name in self.fus}
+        for edge in self.edges:
+            graph[edge.source_fu].append(edge.sink_fu)
+        return graph
+
+    def describe(self) -> Dict[str, Any]:
+        """Structured summary of FUs and edges (used by Fig. 16 reporting)."""
+        return {
+            "name": self.name,
+            "fus": [fu.describe() for fu in self.fus.values()],
+            "edges": [
+                {
+                    "from": f"{e.source_fu}.{e.source_port}",
+                    "to": f"{e.sink_fu}.{e.sink_port}",
+                    "bandwidth": e.channel.bandwidth,
+                    "capacity": e.channel.capacity,
+                }
+                for e in self.edges
+            ],
+        }
+
+    def total_stream_bytes(self) -> int:
+        """Total bytes moved over all channels in the last simulation."""
+        return sum(c.stats.bytes for c in self.channels.values())
+
+    def reset_stats(self) -> None:
+        """Clear channel and FU statistics between runs of the same datapath."""
+        for channel in self.channels.values():
+            channel.stats.__init__()
+        for fu in self.fus.values():
+            fu.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Datapath({self.name!r}, fus={len(self.fus)}, "
+                f"channels={len(self.channels)})")

@@ -1,0 +1,172 @@
+"""Paths: triggering a computation through the FU network.
+
+"Programming a computation corresponds to triggering a circuit path in the
+network, with data sourced from input ports, streamed through FUs, and then
+sunk back to output ports" (Section 1).  A :class:`Path` collects, per FU,
+the uOP sequence that makes the FU participate in one computation.  Paths can
+be checked for conflicts (two paths using the same FU at the same time must be
+merged, not triggered independently) and composed into a :class:`PathProgram`
+that is loaded into the datapath before simulation.
+
+This module deliberately stays at the control-plane level: a path never
+carries data, it only decides which kernels each FU will run and in what
+order, which is exactly the separation of control from data that the paper
+relies on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .exceptions import ConfigurationError
+from .network import Datapath
+from .uop import ExitUOp, UOp
+
+__all__ = ["Path", "PathProgram"]
+
+
+class Path:
+    """The uOP assignments that realise one computation on the network.
+
+    Parameters
+    ----------
+    name:
+        Label used in error messages and traces (``"attention-mm1"``).
+    assignments:
+        Optional initial mapping of FU name to uOP sequence.
+    """
+
+    def __init__(self, name: str,
+                 assignments: Optional[Mapping[str, Sequence[UOp]]] = None):
+        self.name = name
+        self._assignments: "OrderedDict[str, List[UOp]]" = OrderedDict()
+        for fu_name, uops in (assignments or {}).items():
+            self.assign(fu_name, uops)
+
+    # ------------------------------------------------------------- building
+
+    def assign(self, fu_name: str, uops: Iterable[UOp], append: bool = True) -> "Path":
+        """Add uOPs for ``fu_name``; returns ``self`` for chaining."""
+        uops = list(uops)
+        if fu_name in self._assignments and append:
+            self._assignments[fu_name].extend(uops)
+        else:
+            self._assignments[fu_name] = uops
+        return self
+
+    def fu_names(self) -> List[str]:
+        return list(self._assignments)
+
+    def uops_for(self, fu_name: str) -> List[UOp]:
+        return list(self._assignments.get(fu_name, []))
+
+    @property
+    def total_uops(self) -> int:
+        return sum(len(uops) for uops in self._assignments.values())
+
+    def uop_bytes(self) -> int:
+        """Total encoded size of all uOPs on the path (Fig. 9 accounting)."""
+        return sum(u.nbytes for uops in self._assignments.values() for u in uops)
+
+    # ------------------------------------------------------------ composition
+
+    def conflicts_with(self, other: "Path") -> Set[str]:
+        """FUs used by both paths.
+
+        Two *independent* paths triggered simultaneously must not share FUs
+        (Section 3.1); a non-empty result means the paths must be chained or
+        merged instead.
+        """
+        return set(self._assignments) & set(other._assignments)
+
+    def merged(self, other: "Path", name: Optional[str] = None) -> "Path":
+        """Concatenate another path's uOPs after this one's, FU by FU."""
+        merged = Path(name or f"{self.name}+{other.name}")
+        for fu_name, uops in self._assignments.items():
+            merged.assign(fu_name, uops)
+        for fu_name, uops in other._assignments.items():
+            merged.assign(fu_name, uops)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Path({self.name!r}, fus={len(self._assignments)}, uops={self.total_uops})"
+
+
+class PathProgram:
+    """An ordered collection of paths forming one complete program.
+
+    Paths added with ``parallel=True`` are validated to be FU-disjoint with
+    every other parallel path in the same group (spatial parallelism); paths
+    added sequentially simply append their uOPs after the existing ones
+    (temporal reuse of the same FUs, i.e. the dynamic reconfiguration the
+    paper calls "partial path reprogramming").
+    """
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.paths: List[Path] = []
+        self._parallel_groups: List[List[Path]] = []
+
+    def add(self, path: Path) -> "PathProgram":
+        """Append a path to run after everything already in the program."""
+        self.paths.append(path)
+        self._parallel_groups.append([path])
+        return self
+
+    def add_parallel(self, paths: Sequence[Path]) -> "PathProgram":
+        """Append a group of FU-disjoint paths that are triggered together."""
+        paths = list(paths)
+        for i, first in enumerate(paths):
+            for second in paths[i + 1:]:
+                shared = first.conflicts_with(second)
+                if shared:
+                    raise ConfigurationError(
+                        f"parallel paths {first.name!r} and {second.name!r} share FUs "
+                        f"{sorted(shared)}; merge or chain them instead"
+                    )
+        self.paths.extend(paths)
+        self._parallel_groups.append(paths)
+        return self
+
+    # -------------------------------------------------------------- lowering
+
+    def per_fu_uops(self) -> Dict[str, List[UOp]]:
+        """Flatten the program to one uOP sequence per FU, in program order."""
+        flat: Dict[str, List[UOp]] = OrderedDict()
+        for group in self._parallel_groups:
+            for path in group:
+                for fu_name in path.fu_names():
+                    flat.setdefault(fu_name, []).extend(path.uops_for(fu_name))
+        return flat
+
+    def load_into(self, datapath: Datapath, terminate: bool = True) -> None:
+        """Pre-store the program into the datapath's FUs as local uOP programs.
+
+        ``terminate`` appends an :class:`ExitUOp` to every participating FU so
+        the simulation ends when the program does.
+        """
+        per_fu = self.per_fu_uops()
+        for fu_name, uops in per_fu.items():
+            fu = datapath.fu(fu_name)
+            program = list(uops)
+            if terminate:
+                program.append(ExitUOp())
+            fu.load_program(program)
+        if terminate:
+            # FUs that are present in the datapath but unused by this program
+            # still need to terminate, otherwise the simulation never ends.
+            for name, fu in datapath.fus.items():
+                if name not in per_fu and fu.uop_channel is None:
+                    fu.load_program([ExitUOp()])
+
+    @property
+    def total_uops(self) -> int:
+        return sum(path.total_uops for path in self.paths)
+
+    def uop_bytes(self) -> int:
+        return sum(path.uop_bytes() for path in self.paths)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PathProgram({self.name!r}, paths={len(self.paths)}, uops={self.total_uops})"

@@ -1,0 +1,132 @@
+"""Micro-operations (uOPs): the unit of control delivered to a functional unit.
+
+In the RSN abstraction (Section 3.1) every functional unit executes a sequence
+of *kernels*; each uOP launches a single execution of a kernel and carries only
+control information -- what transformation to perform, where to stream data to
+or from, and how long each stream is.  uOPs never carry data, which is why they
+stay off the critical path.
+
+This module defines the in-memory representation of uOPs together with a small
+encoding-size model used by the instruction-overhead analysis (Fig. 9 of the
+paper): each field is assigned a bit width and the encoded size of a uOP is the
+sum of its field widths rounded up to whole bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+__all__ = ["UOp", "ExitUOp", "FieldSpec", "UOpFormat"]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Describes one control-plane field of a uOP.
+
+    Parameters
+    ----------
+    name:
+        Field name as used in :attr:`UOp.fields`.
+    bits:
+        Encoded width of the field in bits.  Flags are 1 bit, addresses are
+        typically 32 bits, stream lengths 16 bits, and so on.
+    default:
+        Value used when the field is omitted from a uOP.
+    """
+
+    name: str
+    bits: int
+    default: Any = None
+
+
+@dataclass(frozen=True)
+class UOpFormat:
+    """Encoding format of uOPs targeting one FU type.
+
+    The format is what the third-level decoders of Section 3.3 implement in
+    hardware; in this library it is only used to compute encoded sizes for the
+    instruction-overhead experiments and to validate field names.
+    """
+
+    fu_type: str
+    fields: tuple[FieldSpec, ...]
+
+    @property
+    def bits(self) -> int:
+        """Total encoded width of a uOP in this format."""
+        return sum(f.bits for f in self.fields)
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded size in bytes (rounded up)."""
+        return (self.bits + 7) // 8
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def make(self, **values: Any) -> "UOp":
+        """Build a uOP of this format, validating field names and applying defaults."""
+        unknown = set(values) - set(self.field_names())
+        if unknown:
+            raise ValueError(
+                f"unknown uOP field(s) {sorted(unknown)} for FU type {self.fu_type!r}; "
+                f"valid fields are {list(self.field_names())}"
+            )
+        resolved = {f.name: values.get(f.name, f.default) for f in self.fields}
+        return UOp(opcode=self.fu_type, fields=resolved, nbytes=self.nbytes)
+
+
+@dataclass(frozen=True)
+class UOp:
+    """A single micro-operation.
+
+    Attributes
+    ----------
+    opcode:
+        The FU type this uOP targets (e.g. ``"MME"``, ``"DDR"``).
+    fields:
+        Mapping of control-plane field name to value.  The set of fields for
+        each FU type in RSN-XNN follows Table 2 of the paper.
+    nbytes:
+        Encoded size of the uOP in bytes; used by the Fig. 9 analysis.
+    """
+
+    opcode: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
+    nbytes: int = 4
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.fields
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.fields)
+
+    def replace(self, **changes: Any) -> "UOp":
+        """Return a copy of this uOP with some fields replaced."""
+        new_fields = dict(self.fields)
+        new_fields.update(changes)
+        return UOp(opcode=self.opcode, fields=new_fields, nbytes=self.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"UOp({self.opcode}: {inner})"
+
+
+class ExitUOp(UOp):
+    """Sentinel uOP directing a functional unit to terminate its process.
+
+    Corresponds to the ``last`` flag in the RSN instruction packet header.
+    """
+
+    def __init__(self, opcode: str = "EXIT"):
+        super().__init__(opcode=opcode, fields={}, nbytes=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExitUOp({self.opcode})"

@@ -1,0 +1,34 @@
+"""Models of the hardware platforms the paper evaluates on.
+
+Nothing in this package simulates behaviour cycle by cycle; it provides the
+*parameters* (clocks, peak throughputs, bandwidths, stream budgets, power and
+area coefficients) that the RSN-XNN overlay simulation and the analytical
+comparisons consume.  All numbers come from the paper (Sections 2.1, 5) and
+from the public datasheets it cites; each module documents its sources.
+"""
+
+from .aie import AIEArrayModel, MMEGroupPlan, StreamBudget
+from .gpu import GPU_SPECS, GPUModel, GPUSpec
+from .memory import MemoryChannelModel, ddr_channel, lpddr_channel
+from .power import PowerModel, PowerReport
+from .area import AreaModel, AreaReport, DECODER_AREA_COMPARISON
+from .vck190 import VCK190, VCK190Spec
+
+__all__ = [
+    "AIEArrayModel",
+    "AreaModel",
+    "AreaReport",
+    "DECODER_AREA_COMPARISON",
+    "GPU_SPECS",
+    "GPUModel",
+    "GPUSpec",
+    "MMEGroupPlan",
+    "MemoryChannelModel",
+    "PowerModel",
+    "PowerReport",
+    "StreamBudget",
+    "VCK190",
+    "VCK190Spec",
+    "ddr_channel",
+    "lpddr_channel",
+]

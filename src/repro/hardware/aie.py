@@ -1,0 +1,190 @@
+"""Model of the Versal AI-engine (AIE) array and its use as MME FUs.
+
+The paper virtualises the 400-tile AIE array as six coarse matrix
+multiplication engine (MME) FUs (Section 4.1).  Two aspects of the array
+matter for the evaluation and are modelled here:
+
+* **Stream budget** (Fig. 17).  Each AIE tile wants two input streams and one
+  output stream, but the PL/AIE boundary only offers 234 inputs and 156
+  outputs.  RSN-XNN groups 64 tiles into a 4x4x4 block per MME, shares each
+  input stream between 4 tiles and cascades partial results through 4 tiles so
+  that 6 groups fit in 192 input / 96 output streams.
+* **GEMM kernel efficiency** (Table 6a).  The per-tile matrix-multiply kernel
+  does not reach the tile's peak throughput; efficiency depends on the tile
+  shape because stream synchronisation and loop overheads are amortised over
+  ``m*k*n`` multiply-accumulates.  We model the overhead as
+  ``alpha*m*n + beta*(m*k + k*n) + gamma`` cycles-equivalent, with
+  coefficients calibrated so the relative ordering and magnitudes of the
+  paper's measured points (32x16x32 < 32x32x16 < 32x32x32) are preserved.
+
+The published comparison points for Table 6a (CHARM, MaxEVA, AMA) are
+literature values; they are kept here as constants so the benchmark can print
+them next to the model's own numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .vck190 import VCK190, VCK190Spec
+
+__all__ = ["StreamBudget", "MMEGroupPlan", "AIEArrayModel", "PUBLISHED_AIE_GEMM"]
+
+
+#: Published single-kernel AIE GEMM results used as comparison rows in
+#: Table 6a: method -> (tile shape, AIE tiles used, GFLOPS).
+PUBLISHED_AIE_GEMM: Dict[str, Tuple[Tuple[int, int, int], int, float]] = {
+    "CHARM": ((32, 32, 32), 384, 4504.46),
+    "MaxEVA": ((32, 32, 32), 390, 5442.11),
+    "AMA": ((32, 32, 32), 342, 5867.29),
+}
+
+
+@dataclass(frozen=True)
+class StreamBudget:
+    """Available and requested PL<->AIE streams."""
+
+    inputs_available: int
+    outputs_available: int
+    inputs_used: int
+    outputs_used: int
+
+    @property
+    def fits(self) -> bool:
+        return (self.inputs_used <= self.inputs_available
+                and self.outputs_used <= self.outputs_available)
+
+
+@dataclass(frozen=True)
+class MMEGroupPlan:
+    """How AIE tiles are grouped into MME FUs (the Fig. 17 organisation).
+
+    Parameters
+    ----------
+    num_groups:
+        Number of MME FUs (6 in RSN-XNN).
+    tiles_per_group:
+        AIE tiles per MME (64, arranged 4x4x4).
+    input_share:
+        How many tiles share one input stream (4).
+    cascade_length:
+        How many tiles chain their outputs through the cascade port before one
+        stream returns to the PL (4).
+    """
+
+    num_groups: int = 6
+    tiles_per_group: int = 64
+    input_share: int = 4
+    cascade_length: int = 4
+
+    @property
+    def tiles_used(self) -> int:
+        return self.num_groups * self.tiles_per_group
+
+    @property
+    def input_streams(self) -> int:
+        # Two logical inputs (LHS, RHS) per tile, shared input_share ways.
+        return self.num_groups * (2 * self.tiles_per_group) // self.input_share
+
+    @property
+    def output_streams(self) -> int:
+        return self.num_groups * self.tiles_per_group // self.cascade_length
+
+    def budget(self, spec: VCK190Spec = VCK190) -> StreamBudget:
+        return StreamBudget(
+            inputs_available=spec.plio_input_streams,
+            outputs_available=spec.plio_output_streams,
+            inputs_used=self.input_streams,
+            outputs_used=self.output_streams,
+        )
+
+
+class AIEArrayModel:
+    """Throughput model of the AIE array organised as MME FUs.
+
+    Parameters
+    ----------
+    spec:
+        Platform description (clock rates, tile count, peak FLOPS).
+    plan:
+        Tile grouping plan; defaults to the RSN-XNN 6x64 organisation.
+    overhead_alpha / overhead_beta / overhead_gamma:
+        Coefficients of the per-kernel overhead model (see module docstring).
+    """
+
+    def __init__(self, spec: VCK190Spec = VCK190, plan: Optional[MMEGroupPlan] = None,
+                 overhead_alpha: float = 1.5, overhead_beta: float = 1.0,
+                 overhead_gamma: float = 1200.0):
+        self.spec = spec
+        self.plan = plan or MMEGroupPlan()
+        self.overhead_alpha = overhead_alpha
+        self.overhead_beta = overhead_beta
+        self.overhead_gamma = overhead_gamma
+
+    # ------------------------------------------------------------ throughput
+
+    @property
+    def tile_peak_flops(self) -> float:
+        """Peak FP32 FLOP/s of a single AIE tile."""
+        return self.spec.peak_flops_per_tile
+
+    def kernel_efficiency(self, tile_shape: Tuple[int, int, int]) -> float:
+        """Fraction of a tile's peak achieved by one (m, k, n) GEMM kernel."""
+        m, k, n = tile_shape
+        if min(m, k, n) <= 0:
+            raise ValueError(f"tile dimensions must be positive, got {tile_shape}")
+        useful = m * k * n
+        overhead = (self.overhead_alpha * m * n
+                    + self.overhead_beta * (m * k + k * n)
+                    + self.overhead_gamma)
+        return useful / (useful + overhead)
+
+    def array_gemm_flops(self, tile_shape: Tuple[int, int, int] = (32, 32, 32),
+                         plan: Optional[MMEGroupPlan] = None) -> float:
+        """Achieved FLOP/s of the whole array for a PL-fed GEMM (Table 6a)."""
+        plan = plan or self.plan
+        return plan.tiles_used * self.tile_peak_flops * self.kernel_efficiency(tile_shape)
+
+    def mme_flops(self, tile_shape: Tuple[int, int, int] = (32, 32, 32)) -> float:
+        """Achieved FLOP/s of one MME FU (one group of tiles)."""
+        return self.array_gemm_flops(tile_shape) / self.plan.num_groups
+
+    def utilization(self, tile_shape: Tuple[int, int, int] = (32, 32, 32)) -> float:
+        """Achieved fraction of the full array's peak (including unused tiles)."""
+        return self.array_gemm_flops(tile_shape) / self.spec.peak_fp32_flops
+
+    # ------------------------------------------------------------ data rates
+
+    def mme_input_bw(self) -> float:
+        """Bytes/s one MME FU can accept from the PL over its input streams."""
+        streams = self.plan.input_streams / self.plan.num_groups
+        return streams * self.spec.plio_stream_bits / 8 * self.spec.pl_clock_hz
+
+    def mme_output_bw(self) -> float:
+        """Bytes/s one MME FU can return to the PL over its output streams."""
+        streams = self.plan.output_streams / self.plan.num_groups
+        return streams * self.spec.plio_stream_bits / 8 * self.spec.pl_clock_hz
+
+    def mme_local_memory_bytes(self) -> int:
+        """Aggregate local scratchpad of the tiles behind one MME FU."""
+        return self.plan.tiles_per_group * self.spec.aie_tile_memory_bytes
+
+    # -------------------------------------------------------------- validity
+
+    def validate_plan(self, plan: Optional[MMEGroupPlan] = None) -> StreamBudget:
+        """Check a grouping plan against the platform's stream budget."""
+        plan = plan or self.plan
+        if plan.tiles_used > self.spec.aie_tiles:
+            raise ValueError(
+                f"plan uses {plan.tiles_used} tiles but the array only has "
+                f"{self.spec.aie_tiles}"
+            )
+        budget = plan.budget(self.spec)
+        if not budget.fits:
+            raise ValueError(
+                f"plan needs {budget.inputs_used} input / {budget.outputs_used} output "
+                f"streams but only {budget.inputs_available}/{budget.outputs_available} "
+                "are available"
+            )
+        return budget

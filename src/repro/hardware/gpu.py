@@ -1,0 +1,169 @@
+"""GPU comparison models (NVIDIA T4, V100, A100, L4) for Table 10.
+
+The paper does not implement anything on these GPUs: it takes BERT-Large
+latencies from NVIDIA's published DeepLearningExamples reports (T4/V100/A100),
+measures the L4 on Google Colab, and reads peak specs from the datasheets.
+This module therefore carries two things:
+
+* :class:`GPUSpec` -- the datasheet and measurement data exactly as Table 10
+  reports them (peak TFLOPS, bandwidth, die area, power, DRAM traffic, and the
+  published latencies per batch size), and
+* :class:`GPUModel` -- a roofline estimator that predicts latency from the
+  spec and a workload description, used to sanity-check the published numbers
+  and to extrapolate to batch sizes the reports do not include.
+
+Energy efficiency in sequences/J is always *derived* (batch / latency / power),
+matching how the paper computes its efficiency rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+__all__ = ["GPUSpec", "GPUModel", "GPU_SPECS"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Datasheet and Table 10 measurement data for one GPU (one precision)."""
+
+    name: str
+    precision: str
+    release_year: int
+    process_nm: int
+    peak_tflops: float
+    mem_bw_gbs: float
+    die_area_mm2: Optional[float]
+    operating_power_w: float
+    dynamic_power_w: float
+    #: measured BERT-Large latency (ms) by batch size, from the sources above.
+    published_latency_ms: Mapping[int, float] = field(default_factory=dict)
+    #: measured total DRAM traffic in GB at batch 8 (Nsight Compute profile).
+    dram_traffic_gb_b8: Optional[float] = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}-{self.precision}"
+
+    # ------------------------------------------------------------ efficiency
+
+    def sequences_per_joule(self, batch: int, latency_ms: Optional[float] = None,
+                            dynamic: bool = False) -> float:
+        """Energy efficiency in sequences per joule (Table 10's Seq/J rows)."""
+        if latency_ms is None:
+            latency_ms = self.published_latency_ms.get(batch)
+        if latency_ms is None:
+            raise KeyError(f"{self.key}: no latency for batch {batch}")
+        power = self.dynamic_power_w if dynamic else self.operating_power_w
+        return batch / (latency_ms / 1e3 * power)
+
+
+#: Table 10 data.  Latencies are the published BERT-Large (sequence length 384,
+#: FP32 unless noted) numbers the paper cites.
+GPU_SPECS: Dict[str, GPUSpec] = {
+    spec.key: spec
+    for spec in [
+        GPUSpec(
+            name="T4", precision="fp32", release_year=2018, process_nm=12,
+            peak_tflops=8.1, mem_bw_gbs=320, die_area_mm2=545,
+            operating_power_w=72, dynamic_power_w=42,
+            published_latency_ms={1: 67, 2: 127, 4: 258, 8: 499},
+            dram_traffic_gb_b8=31,
+        ),
+        GPUSpec(
+            name="V100", precision="fp32", release_year=2017, process_nm=12,
+            peak_tflops=15.7, mem_bw_gbs=900, die_area_mm2=815,
+            operating_power_w=292, dynamic_power_w=256,
+            published_latency_ms={1: 29, 2: 49, 4: 93, 8: 182},
+        ),
+        GPUSpec(
+            name="A100", precision="fp32", release_year=2020, process_nm=7,
+            peak_tflops=19.5, mem_bw_gbs=1555, die_area_mm2=826,
+            operating_power_w=308, dynamic_power_w=268,
+            published_latency_ms={1: 23, 2: 40, 4: 72, 8: 137},
+            dram_traffic_gb_b8=34,
+        ),
+        GPUSpec(
+            name="A100", precision="fp16", release_year=2020, process_nm=7,
+            peak_tflops=312, mem_bw_gbs=1555, die_area_mm2=826,
+            operating_power_w=392, dynamic_power_w=352,
+            published_latency_ms={1: 8, 2: 10, 4: 15, 8: 23},
+            dram_traffic_gb_b8=25,
+        ),
+        GPUSpec(
+            name="L4", precision="fp32", release_year=2023, process_nm=5,
+            peak_tflops=30.3, mem_bw_gbs=300, die_area_mm2=294,
+            operating_power_w=72, dynamic_power_w=41,
+            published_latency_ms={1: 41, 2: 83, 4: 156, 8: 307},
+            dram_traffic_gb_b8=12,
+        ),
+    ]
+}
+
+
+class GPUModel:
+    """Roofline latency estimator for a GPU running a dense DNN workload.
+
+    Parameters
+    ----------
+    spec:
+        The GPU to model.
+    compute_efficiency:
+        Fraction of peak FLOPS achievable on large, saturating GEMMs.
+    memory_efficiency:
+        Fraction of peak DRAM bandwidth achievable.
+    saturation_batch:
+        Batch size at which the GPU reaches its compute efficiency; smaller
+        batches scale efficiency down as ``batch / (batch + saturation_batch)``
+        x 2 (so ``batch == saturation_batch`` gives full efficiency).  This is
+        the simple curve behind "all GPUs should reach saturation in FP32 at
+        B = 8".
+    kernel_overhead_s:
+        Fixed per-layer launch/synchronisation overhead.
+    """
+
+    def __init__(self, spec: GPUSpec, compute_efficiency: float = 0.75,
+                 memory_efficiency: float = 0.75, saturation_batch: int = 8,
+                 kernel_overhead_s: float = 20e-6):
+        if not 0 < compute_efficiency <= 1 or not 0 < memory_efficiency <= 1:
+            raise ValueError("efficiencies must be in (0, 1]")
+        self.spec = spec
+        self.compute_efficiency = compute_efficiency
+        self.memory_efficiency = memory_efficiency
+        self.saturation_batch = saturation_batch
+        self.kernel_overhead_s = kernel_overhead_s
+
+    # -------------------------------------------------------------- roofline
+
+    def _batch_scaled_compute_eff(self, batch: int) -> float:
+        scale = min(1.0, 2.0 * batch / (batch + self.saturation_batch))
+        return self.compute_efficiency * scale
+
+    def estimate_latency(self, flops: float, dram_bytes: float, batch: int,
+                         num_kernels: int = 0) -> float:
+        """Roofline latency in seconds for one inference step.
+
+        ``flops`` and ``dram_bytes`` are totals for the whole batch.
+        """
+        if flops < 0 or dram_bytes < 0:
+            raise ValueError("flops and dram_bytes must be non-negative")
+        compute = flops / (self.spec.peak_tflops * 1e12 * self._batch_scaled_compute_eff(batch))
+        memory = dram_bytes / (self.spec.mem_bw_gbs * 1e9 * self.memory_efficiency)
+        return max(compute, memory) + num_kernels * self.kernel_overhead_s
+
+    def estimate_latency_ms(self, flops: float, dram_bytes: float, batch: int,
+                            num_kernels: int = 0) -> float:
+        return 1e3 * self.estimate_latency(flops, dram_bytes, batch, num_kernels)
+
+    # ------------------------------------------------------------ efficiency
+
+    def sequences_per_joule(self, batch: int, latency_s: float,
+                            dynamic: bool = False) -> float:
+        power = self.spec.dynamic_power_w if dynamic else self.spec.operating_power_w
+        return batch / (latency_s * power)
+
+    def is_memory_bound(self, flops: float, dram_bytes: float, batch: int) -> bool:
+        compute = flops / (self.spec.peak_tflops * 1e12 * self._batch_scaled_compute_eff(batch))
+        memory = dram_bytes / (self.spec.mem_bw_gbs * 1e9 * self.memory_efficiency)
+        return memory > compute

@@ -1,0 +1,113 @@
+"""The AMD Versal VCK190 evaluation kit, as the paper describes it.
+
+All numbers are taken directly from the paper:
+
+* Section 2.1: 8 rows x 50 columns of AIE tiles (1.25 GHz, 7-way VLIW, 32 KB
+  local memory each) for a peak of 8 TFLOPS FP32; 4 MB of BRAM and 16 MB of
+  URAM on the PL side; one 8 GB DDR4 (25.6 GB/s peak) and one 8 GB LPDDR4
+  (32 GB/s peak).
+* Section 5: the PL runs at 260 MHz; observed off-chip bandwidths are 21 GB/s
+  (DDR reads), 23.5 GB/s (DDR writes), and 20.5 GB/s (LPDDR reads); the
+  AIE/PL boundary offers 234 input and 156 output 64-bit streams.
+* Section 5.3: reaching the 6.78 TFLOPS GEMM peak requires each loaded weight
+  to be reused more than 661 times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["VCK190Spec", "VCK190"]
+
+GIB = 1 << 30
+MIB = 1 << 20
+KIB = 1 << 10
+
+
+@dataclass(frozen=True)
+class VCK190Spec:
+    """Static description of the VCK190 platform used by RSN-XNN."""
+
+    # Clocks
+    pl_clock_hz: float = 260e6
+    aie_clock_hz: float = 1.25e9
+
+    # AI engine array
+    aie_rows: int = 8
+    aie_cols: int = 50
+    aie_tile_memory_bytes: int = 32 * KIB
+    peak_fp32_flops: float = 8e12
+
+    # PL on-chip memories
+    bram_bytes: int = 4 * MIB
+    uram_bytes: int = 16 * MIB
+
+    # Off-chip memories (peak and observed)
+    ddr_capacity_bytes: int = 8 * GIB
+    lpddr_capacity_bytes: int = 8 * GIB
+    ddr_peak_bw: float = 25.6e9
+    lpddr_peak_bw: float = 32e9
+    ddr_read_bw: float = 21e9
+    ddr_write_bw: float = 23.5e9
+    lpddr_read_bw: float = 20.5e9
+
+    # PL <-> AIE stream budget (64-bit streams)
+    plio_input_streams: int = 234
+    plio_output_streams: int = 156
+    plio_stream_bits: int = 64
+
+    # Physical / reporting data used by Table 10
+    process_nm: int = 7
+    die_area_mm2: float = 458.0
+    release_year: int = 2021
+
+    # ----------------------------------------------------------- derived
+
+    @property
+    def aie_tiles(self) -> int:
+        return self.aie_rows * self.aie_cols
+
+    @property
+    def peak_flops_per_tile(self) -> float:
+        return self.peak_fp32_flops / self.aie_tiles
+
+    @property
+    def total_offchip_bw(self) -> float:
+        """Aggregate peak off-chip bandwidth (the 57.6 GB/s quoted in Table 5b)."""
+        return self.ddr_peak_bw + self.lpddr_peak_bw
+
+    @property
+    def observed_offchip_bw(self) -> float:
+        """Aggregate observed read bandwidth from both channels."""
+        return self.ddr_read_bw + self.lpddr_read_bw
+
+    @property
+    def onchip_memory_bytes(self) -> int:
+        return self.bram_bytes + self.uram_bytes
+
+    @property
+    def plio_input_bw(self) -> float:
+        """Aggregate PL->AIE stream bandwidth in bytes/s."""
+        return self.plio_input_streams * self.plio_stream_bits / 8 * self.pl_clock_hz
+
+    @property
+    def plio_output_bw(self) -> float:
+        """Aggregate AIE->PL stream bandwidth in bytes/s."""
+        return self.plio_output_streams * self.plio_stream_bits / 8 * self.pl_clock_hz
+
+    def weight_reuse_for_peak(self, achieved_flops: float = 6.78e12,
+                              bytes_per_element: int = 4) -> float:
+        """Minimum times each loaded weight must be reused to hit ``achieved_flops``.
+
+        Derivation used in Section 5.3: sustaining F FLOP/s with 2 FLOPs per
+        loaded weight element requires loading F/2 elements per second worth of
+        work; with only ``lpddr_read_bw`` bytes/s available each element must be
+        reused ``F / 2 / (bw / bytes_per_element)`` times.  For the paper's
+        numbers this evaluates to roughly 661.
+        """
+        elements_per_second = self.lpddr_read_bw / bytes_per_element
+        return achieved_flops / 2.0 / elements_per_second
+
+
+#: The default platform instance used across the library.
+VCK190 = VCK190Spec()

@@ -1,0 +1,22 @@
+"""RSNlib: the domain-specific library of Section 4.5 (Fig. 13).
+
+RSNlib lets a user describe a transformer model with high-level operators and
+an execution schedule, validates the description against the patterns the
+RSN-XNN backend supports, and compiles it down to the overlay's instruction
+programs via :mod:`repro.xnn.codegen`.
+"""
+
+from .ops import Attention, FeedForward, LayerNorm, Linear, Operator
+from .model import EncoderModel, Schedule, ScheduleError, compile_encoder
+
+__all__ = [
+    "Attention",
+    "EncoderModel",
+    "FeedForward",
+    "LayerNorm",
+    "Linear",
+    "Operator",
+    "Schedule",
+    "ScheduleError",
+    "compile_encoder",
+]

@@ -1,0 +1,144 @@
+"""Model description, schedule validation, and compilation to RSN programs.
+
+This is the template-based flow of Section 4.5: the user builds an
+:class:`EncoderModel` from RSNlib operators, picks a :class:`Schedule`
+(which optimisations to apply, what batch/sequence to run), and
+:func:`compile_encoder` checks the description against the patterns the
+RSN-XNN backend supports before handing it to the overlay executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..workloads.bert import BertConfig
+from ..xnn.codegen import CodegenOptions
+from ..xnn.datapath import XNNConfig
+from ..xnn.executor import EncoderResult, XNNExecutor
+from .ops import Attention, FeedForward, LayerNorm, Linear, Operator
+
+__all__ = ["EncoderModel", "Schedule", "ScheduleError", "compile_encoder"]
+
+
+class ScheduleError(ValueError):
+    """The model/schedule combination does not match a supported backend pattern."""
+
+
+@dataclass
+class EncoderModel:
+    """A transformer encoder block described with RSNlib operators.
+
+    The canonical pattern (the one the RSN-XNN backend supports) is::
+
+        Attention -> LayerNorm -> FeedForward -> LayerNorm
+
+    built via :meth:`EncoderModel.standard`.  Arbitrary operator sequences can
+    be constructed, but :func:`compile_encoder` rejects the ones the backend
+    has no template for -- mirroring the paper's template-based validation.
+    """
+
+    name: str
+    operators: List[Operator] = field(default_factory=list)
+
+    @classmethod
+    def standard(cls, name: str, hidden: int, num_heads: int,
+                 intermediate: int) -> "EncoderModel":
+        """The standard encoder block (what Fig. 13's example code builds)."""
+        return cls(name=name, operators=[
+            Attention("attention", hidden=hidden, num_heads=num_heads),
+            LayerNorm("ln1", hidden=hidden),
+            FeedForward("ffn", hidden=hidden, intermediate=intermediate),
+            LayerNorm("ln2", hidden=hidden),
+        ])
+
+    def add(self, operator: Operator) -> "EncoderModel":
+        self.operators.append(operator)
+        return self
+
+    def parameter_count(self) -> int:
+        return sum(op.parameter_count() for op in self.operators)
+
+    # ------------------------------------------------------------ inspection
+
+    def attention(self) -> Attention:
+        for op in self.operators:
+            if isinstance(op, Attention):
+                return op
+        raise ScheduleError(f"model {self.name!r} has no Attention operator")
+
+    def feed_forward(self) -> FeedForward:
+        for op in self.operators:
+            if isinstance(op, FeedForward):
+                return op
+        raise ScheduleError(f"model {self.name!r} has no FeedForward operator")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Execution schedule: problem size plus the optimisation knobs to use."""
+
+    batch: int = 6
+    sequence_length: int = 512
+    pipeline_attention: bool = True
+    interleave_load_store: bool = True
+    overlap_prolog_epilog: bool = True
+    carry_data: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0 or self.sequence_length <= 0:
+            raise ValueError("batch and sequence_length must be positive")
+
+    def codegen_options(self) -> CodegenOptions:
+        return CodegenOptions(
+            interleave_load_store=self.interleave_load_store,
+            pipeline_attention=self.pipeline_attention,
+            overlap_prolog_epilog=self.overlap_prolog_epilog,
+        )
+
+
+def _validate(model: EncoderModel, schedule: Schedule) -> Tuple[Attention, FeedForward]:
+    """Template matching: check the model against the supported encoder pattern."""
+    kinds = [type(op) for op in model.operators]
+    expected = [Attention, LayerNorm, FeedForward, LayerNorm]
+    if kinds != expected:
+        raise ScheduleError(
+            f"model {model.name!r} has operator pattern "
+            f"{[k.__name__ for k in kinds]}; the RSN-XNN backend supports "
+            f"{[k.__name__ for k in expected]}"
+        )
+    attention = model.attention()
+    ffn = model.feed_forward()
+    if attention.hidden != ffn.hidden:
+        raise ScheduleError("attention and feed-forward hidden sizes differ")
+    if schedule.sequence_length % 16:
+        raise ScheduleError("sequence length must be a multiple of 16 for the tiled mapping")
+    return attention, ffn
+
+
+def compile_encoder(model: EncoderModel, schedule: Schedule,
+                    xnn_config: Optional[XNNConfig] = None) -> "CompiledEncoder":
+    """Validate the model/schedule and bind them to the RSN-XNN backend."""
+    attention, ffn = _validate(model, schedule)
+    config = BertConfig(hidden=attention.hidden, heads=attention.num_heads,
+                        ffn_hidden=ffn.intermediate, layers=1)
+    return CompiledEncoder(model=model, schedule=schedule, bert_config=config,
+                           xnn_config=xnn_config)
+
+
+@dataclass
+class CompiledEncoder:
+    """A validated (model, schedule) pair ready to run on the simulated overlay."""
+
+    model: EncoderModel
+    schedule: Schedule
+    bert_config: BertConfig
+    xnn_config: Optional[XNNConfig] = None
+
+    def run(self) -> EncoderResult:
+        """Execute on the simulated RSN-XNN overlay and return the result."""
+        config = self.xnn_config or XNNConfig(carry_data=self.schedule.carry_data)
+        executor = XNNExecutor(config=config, options=self.schedule.codegen_options())
+        return executor.run_encoder(batch=self.schedule.batch,
+                                    seq_len=self.schedule.sequence_length,
+                                    config=self.bert_config)

@@ -1,0 +1,96 @@
+"""High-level operators accepted by RSNlib.
+
+These mirror the ``RSNlib.nn``-style operators of Fig. 13: a model is a small
+tree of Linear / Attention / FeedForward / LayerNorm nodes with explicit
+shapes.  They carry no tensors -- they are a *description* that the template
+matcher in :mod:`repro.rsnlib.model` checks against the patterns the RSN-XNN
+backend supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["Operator", "Linear", "Attention", "FeedForward", "LayerNorm"]
+
+
+@dataclass(frozen=True)
+class Operator:
+    """Base class for RSNlib operators."""
+
+    name: str
+
+    def parameter_count(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Linear(Operator):
+    """A fully connected layer ``y = x W + b``."""
+
+    in_features: int = 0
+    out_features: int = 0
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise ValueError(f"{self.name}: in/out features must be positive")
+
+    def parameter_count(self) -> int:
+        count = self.in_features * self.out_features
+        if self.bias:
+            count += self.out_features
+        return count
+
+
+@dataclass(frozen=True)
+class Attention(Operator):
+    """Multi-head self-attention with fused softmax."""
+
+    hidden: int = 0
+    num_heads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden <= 0 or self.num_heads <= 0:
+            raise ValueError(f"{self.name}: hidden and num_heads must be positive")
+        if self.hidden % self.num_heads:
+            raise ValueError(f"{self.name}: hidden must be divisible by num_heads")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.num_heads
+
+    def parameter_count(self) -> int:
+        # Q, K, V, and output projections with biases.
+        return 4 * (self.hidden * self.hidden + self.hidden)
+
+
+@dataclass(frozen=True)
+class FeedForward(Operator):
+    """The two-layer MLP of a transformer block with GELU in between."""
+
+    hidden: int = 0
+    intermediate: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden <= 0 or self.intermediate <= 0:
+            raise ValueError(f"{self.name}: hidden and intermediate must be positive")
+
+    def parameter_count(self) -> int:
+        return (self.hidden * self.intermediate + self.intermediate
+                + self.intermediate * self.hidden + self.hidden)
+
+
+@dataclass(frozen=True)
+class LayerNorm(Operator):
+    """LayerNorm over the hidden dimension."""
+
+    hidden: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden <= 0:
+            raise ValueError(f"{self.name}: hidden must be positive")
+
+    def parameter_count(self) -> int:
+        return 2 * self.hidden

@@ -1,0 +1,37 @@
+"""DNN workload descriptions and NumPy reference implementations.
+
+The paper evaluates RSN-XNN on transformer encoders (BERT-Large, ViT), NCF,
+and an MLP, always expressed as sequences of matrix multiplications with fused
+non-MM operators (bias, softmax, GELU, LayerNorm).  This package provides
+
+* :mod:`repro.workloads.layers` -- the :class:`MatMulLayer` /
+  :class:`ModelSpec` data model shared by the overlay code generator, the
+  baselines, and the analytical models;
+* :mod:`repro.workloads.bert` (and ``vit`` / ``ncf`` / ``mlp``) -- concrete
+  layer inventories parameterised by batch size and sequence length;
+* :mod:`repro.workloads.reference` -- NumPy reference operators and a full
+  encoder forward pass used to validate the simulated datapath numerically;
+* :mod:`repro.workloads.tensors` -- deterministic synthetic tensors standing
+  in for the HuggingFace checkpoint the paper loads onto the board.
+"""
+
+from .layers import FusedOp, MatMulLayer, ModelSpec
+from .bert import bert_large_encoder, bert_large_model, BERT_LARGE
+from .vit import vit_model
+from .ncf import ncf_model
+from .mlp import mlp_model
+from . import reference, tensors
+
+__all__ = [
+    "BERT_LARGE",
+    "FusedOp",
+    "MatMulLayer",
+    "ModelSpec",
+    "bert_large_encoder",
+    "bert_large_model",
+    "mlp_model",
+    "ncf_model",
+    "reference",
+    "tensors",
+    "vit_model",
+]

@@ -1,0 +1,130 @@
+"""BERT-Large encoder layer inventory.
+
+The evaluation's primary workload is the first encoder of BERT-Large at
+sequence length 512 and batch 6 (Table 9) or sequence length 384 and batches
+1..8 (Table 10, Table 11, Fig. 18).  One encoder layer consists of
+
+* three ``(B*L) x H x H`` projections (Key, Query, Value) with bias,
+* 96 independent attention-head MM pairs at batch 6 (16 heads x 6 batches):
+  ``L x d x L`` (scores) followed by ``L x L x d`` (context), with transpose
+  and softmax fused around the first,
+* the ``(B*L) x H x H`` dense projection with residual add and LayerNorm,
+* the two feed-forward MMs ``(B*L) x H x 4H`` (with GELU) and
+  ``(B*L) x 4H x H`` (with residual add and LayerNorm).
+
+The shapes in Table 9 (3072x1024x1024, 512x64x512x96, 3072x1024x4096, ...)
+fall out of these formulas for B=6, L=512, H=1024, 16 heads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .layers import FusedOp, MatMulLayer, ModelSpec
+
+__all__ = ["BertConfig", "BERT_LARGE", "bert_large_encoder", "bert_large_model"]
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Transformer encoder hyper-parameters."""
+
+    hidden: int = 1024
+    heads: int = 16
+    ffn_hidden: int = 4096
+    layers: int = 24
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+
+#: BERT-Large: 24 layers, hidden 1024, 16 heads, FFN 4096.
+BERT_LARGE = BertConfig()
+
+
+def bert_large_encoder(batch: int = 6, seq_len: int = 512,
+                       config: BertConfig = BERT_LARGE) -> ModelSpec:
+    """Layer inventory for one BERT-Large encoder layer.
+
+    Returns a :class:`ModelSpec` whose ``tasks_per_inference`` is 1 (the paper
+    counts one encoder layer as one task when comparing against CHARM).
+    """
+    if batch <= 0 or seq_len <= 0:
+        raise ValueError("batch and seq_len must be positive")
+    hidden = config.hidden
+    tokens = batch * seq_len
+    head_dim = config.head_dim
+    num_heads = batch * config.heads
+
+    layers: List[MatMulLayer] = []
+    for name in ("key", "query", "value"):
+        layers.append(MatMulLayer(
+            name=name, m=tokens, k=hidden, n=hidden,
+            fused_ops=(FusedOp.BIAS,),
+        ))
+    layers.append(MatMulLayer(
+        name="attention_mm1", m=seq_len, k=head_dim, n=seq_len, num=num_heads,
+        fused_ops=(FusedOp.TRANSPOSE, FusedOp.SOFTMAX),
+        rhs_is_weight=False,
+        depends_on=("key", "query"),
+    ))
+    layers.append(MatMulLayer(
+        name="attention_mm2", m=seq_len, k=seq_len, n=head_dim, num=num_heads,
+        rhs_is_weight=False,
+        depends_on=("attention_mm1", "value"),
+    ))
+    layers.append(MatMulLayer(
+        name="dense", m=tokens, k=hidden, n=hidden,
+        fused_ops=(FusedOp.BIAS, FusedOp.LAYER_ADD, FusedOp.SCALE_SHIFT,
+                   FusedOp.MEAN_VAR_NORM),
+        depends_on=("attention_mm2",),
+    ))
+    layers.append(MatMulLayer(
+        name="ffn_mm1", m=tokens, k=hidden, n=config.ffn_hidden,
+        fused_ops=(FusedOp.BIAS, FusedOp.GELU),
+        depends_on=("dense",),
+    ))
+    layers.append(MatMulLayer(
+        name="ffn_mm2", m=tokens, k=config.ffn_hidden, n=hidden,
+        fused_ops=(FusedOp.BIAS, FusedOp.LAYER_ADD, FusedOp.SCALE_SHIFT,
+                   FusedOp.MEAN_VAR_NORM),
+        depends_on=("ffn_mm1",),
+    ))
+    return ModelSpec(
+        name=f"bert-large-encoder(B={batch},L={seq_len})",
+        layers=tuple(layers),
+        batch=batch,
+        sequence_length=seq_len,
+        tasks_per_inference=1,
+    )
+
+
+def bert_large_model(batch: int = 8, seq_len: int = 384,
+                     config: BertConfig = BERT_LARGE) -> ModelSpec:
+    """The full 24-layer BERT-Large encoder stack (used by the GPU comparison).
+
+    The embedding layer is ignored, as in the paper ("less than 0.2 ms on the
+    T4"); the full model is simply 24 identical encoder layers.
+    """
+    encoder = bert_large_encoder(batch=batch, seq_len=seq_len, config=config)
+    layers: List[MatMulLayer] = []
+    for layer_index in range(config.layers):
+        for layer in encoder.layers:
+            deps = tuple(f"{d}_{layer_index}" for d in layer.depends_on)
+            layers.append(MatMulLayer(
+                name=f"{layer.name}_{layer_index}",
+                m=layer.m, k=layer.k, n=layer.n, num=layer.num,
+                fused_ops=layer.fused_ops,
+                lhs_offchip=layer.lhs_offchip, rhs_offchip=layer.rhs_offchip,
+                out_offchip=layer.out_offchip, rhs_is_weight=layer.rhs_is_weight,
+                dtype=layer.dtype, depends_on=deps,
+            ))
+    return ModelSpec(
+        name=f"bert-large(B={batch},L={seq_len})",
+        layers=tuple(layers),
+        batch=batch,
+        sequence_length=seq_len,
+        tasks_per_inference=config.layers,
+    )

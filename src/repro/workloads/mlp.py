@@ -1,0 +1,39 @@
+"""MLP workload inventory.
+
+CHARM's "MLP" benchmark is a stack of large square fully connected layers; the
+shape used here (five 4096x4096 layers over a 3072-token batch) keeps every
+layer compute-bound, which is the regime the paper's MLP comparison exercises
+(large MMs executed one at a time with bandwidth-optimised load/store
+interleaving).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .layers import FusedOp, MatMulLayer, ModelSpec
+
+__all__ = ["mlp_model"]
+
+
+def mlp_model(batch: int = 3072, hidden: int = 4096, depth: int = 5) -> ModelSpec:
+    """A deep, wide MLP as one task."""
+    if batch <= 0 or hidden <= 0 or depth <= 0:
+        raise ValueError("batch, hidden, and depth must be positive")
+    layers: List[MatMulLayer] = []
+    previous_name = ""
+    for index in range(depth):
+        name = f"mlp_fc{index}"
+        deps = (previous_name,) if previous_name else ()
+        layers.append(MatMulLayer(
+            name=name, m=batch, k=hidden, n=hidden,
+            fused_ops=(FusedOp.BIAS, FusedOp.GELU) if index < depth - 1 else (FusedOp.BIAS,),
+            depends_on=deps,
+        ))
+        previous_name = name
+    return ModelSpec(
+        name=f"mlp(B={batch},H={hidden},D={depth})",
+        layers=tuple(layers),
+        batch=batch,
+        tasks_per_inference=1,
+    )

@@ -1,0 +1,46 @@
+"""NCF (Neural Collaborative Filtering) layer inventory.
+
+CHARM's NCF workload is the MLP tower of the NeuMF model: a stack of fully
+connected layers whose widths halve from 2048 down to 64, evaluated over a
+large batch of user/item embedding pairs.  The exact embedding tables are
+irrelevant to the accelerator comparison (they are gathers, not GEMMs), so the
+task here is the dense tower only, matching how CHARM schedules it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .layers import FusedOp, MatMulLayer, ModelSpec
+
+__all__ = ["ncf_model", "NCF_TOWER_WIDTHS"]
+
+
+#: layer widths of the NeuMF MLP tower (input -> output per layer).
+NCF_TOWER_WIDTHS: Tuple[int, ...] = (2048, 1024, 512, 256, 128, 64)
+
+
+def ncf_model(batch: int = 32768,
+              widths: Sequence[int] = NCF_TOWER_WIDTHS) -> ModelSpec:
+    """The NCF MLP tower over a batch of interaction pairs as one task."""
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    if len(widths) < 2:
+        raise ValueError("need at least two widths (input and output)")
+    layers: List[MatMulLayer] = []
+    previous_name = ""
+    for index, (k, n) in enumerate(zip(widths[:-1], widths[1:])):
+        name = f"ncf_fc{index}"
+        deps = (previous_name,) if previous_name else ()
+        layers.append(MatMulLayer(
+            name=name, m=batch, k=k, n=n,
+            fused_ops=(FusedOp.BIAS,),
+            depends_on=deps,
+        ))
+        previous_name = name
+    return ModelSpec(
+        name=f"ncf(B={batch})",
+        layers=tuple(layers),
+        batch=batch,
+        tasks_per_inference=1,
+    )

@@ -1,0 +1,66 @@
+"""Deterministic synthetic tensors standing in for the HuggingFace checkpoint.
+
+The paper sources BERT-Large inputs and weights from HuggingFace and validates
+board outputs against a Python reference.  Functional validation only needs
+the simulated datapath and the NumPy reference to be fed the *same* tensors,
+so this module generates reproducible, well-conditioned random tensors from a
+seeded generator.  Values are scaled like trained transformer weights
+(std ~ 1/sqrt(fan_in)) so that softmax/LayerNorm operate in realistic ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["make_rng", "activation", "weight", "bias", "encoder_weights"]
+
+
+DEFAULT_SEED = 20250621  # ISCA'25 main-conference start date
+
+
+def make_rng(seed: int = DEFAULT_SEED) -> np.random.Generator:
+    """A NumPy generator with the project-wide default seed."""
+    return np.random.default_rng(seed)
+
+
+def activation(shape: Tuple[int, ...], rng: np.random.Generator,
+               dtype=np.float32) -> np.ndarray:
+    """A synthetic activation tensor (unit-variance Gaussian)."""
+    return rng.standard_normal(shape).astype(dtype)
+
+
+def weight(shape: Tuple[int, ...], rng: np.random.Generator,
+           dtype=np.float32) -> np.ndarray:
+    """A synthetic weight matrix scaled by 1/sqrt(fan_in)."""
+    fan_in = shape[0] if len(shape) > 1 else max(shape[0], 1)
+    return (rng.standard_normal(shape) / np.sqrt(fan_in)).astype(dtype)
+
+
+def bias(size: int, rng: np.random.Generator, dtype=np.float32) -> np.ndarray:
+    """A small synthetic bias vector."""
+    return (0.01 * rng.standard_normal(size)).astype(dtype)
+
+
+def encoder_weights(hidden: int, ffn_hidden: int,
+                    rng: np.random.Generator) -> Dict[str, np.ndarray]:
+    """The full weight set of one encoder layer, keyed as reference.py expects."""
+    return {
+        "wq": weight((hidden, hidden), rng),
+        "wk": weight((hidden, hidden), rng),
+        "wv": weight((hidden, hidden), rng),
+        "wo": weight((hidden, hidden), rng),
+        "bq": bias(hidden, rng),
+        "bk": bias(hidden, rng),
+        "bv": bias(hidden, rng),
+        "bo": bias(hidden, rng),
+        "w1": weight((hidden, ffn_hidden), rng),
+        "b1": bias(ffn_hidden, rng),
+        "w2": weight((ffn_hidden, hidden), rng),
+        "b2": bias(hidden, rng),
+        "ln1_gamma": np.ones(hidden, dtype=np.float32),
+        "ln1_beta": np.zeros(hidden, dtype=np.float32),
+        "ln2_gamma": np.ones(hidden, dtype=np.float32),
+        "ln2_beta": np.zeros(hidden, dtype=np.float32),
+    }

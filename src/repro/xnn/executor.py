@@ -1,0 +1,347 @@
+"""End-to-end execution of DNN workloads on the simulated RSN-XNN overlay.
+
+:class:`XNNExecutor` is the equivalent of the paper's host program: it places
+tensors in (simulated) off-chip memory, generates the RSN instructions for a
+workload with the chosen optimisation options, runs the event-driven datapath
+simulation, and collects latency, traffic, and utilisation.
+
+A transformer encoder is executed as three simulation groups, split exactly at
+the LayerNorm boundaries the paper's Table 9 also uses to group segments:
+
+1. the Key/Query/Value projections,
+2. the attention heads plus the dense projection,
+3. the two feed-forward MMs.
+
+Within a group the instruction stream is continuous, so load/store
+interleaving and prolog/epilog overlap act across layer boundaries; between
+groups the executor applies LayerNorm on the assembled off-chip tensor (the
+mean/variance reduction spans the full hidden dimension, wider than one MemC
+tile -- the time for it is charged inside MemC, the arithmetic is applied
+here; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import SimulationStats, UtilizationReport
+from ..workloads import reference, tensors
+from ..workloads.bert import BERT_LARGE, BertConfig, bert_large_encoder
+from ..workloads.layers import FusedOp, MatMulLayer, ModelSpec
+from .codegen import CodegenOptions, ProgramBuilder
+from .datapath import XNNConfig, XNNDatapath, build_xnn_datapath
+
+__all__ = ["SegmentResult", "EncoderResult", "XNNExecutor"]
+
+
+@dataclass
+class SegmentResult:
+    """Latency and traffic of one simulation group (or standalone segment)."""
+
+    name: str
+    latency_s: float
+    flops: float
+    ddr_bytes: int
+    lpddr_bytes: int
+    uops: int
+
+    @property
+    def achieved_tflops(self) -> float:
+        if not self.latency_s:
+            return 0.0
+        return self.flops / self.latency_s / 1e12
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+
+@dataclass
+class EncoderResult:
+    """Aggregate result of running a workload on RSN-XNN."""
+
+    name: str
+    batch: int
+    segments: List[SegmentResult] = field(default_factory=list)
+
+    @property
+    def latency_s(self) -> float:
+        return sum(segment.latency_s for segment in self.segments)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def flops(self) -> float:
+        return sum(segment.flops for segment in self.segments)
+
+    @property
+    def ddr_bytes(self) -> int:
+        return sum(segment.ddr_bytes for segment in self.segments)
+
+    @property
+    def lpddr_bytes(self) -> int:
+        return sum(segment.lpddr_bytes for segment in self.segments)
+
+    @property
+    def offchip_bytes(self) -> int:
+        return self.ddr_bytes + self.lpddr_bytes
+
+    @property
+    def achieved_tflops(self) -> float:
+        if not self.latency_s:
+            return 0.0
+        return self.flops / self.latency_s / 1e12
+
+    @property
+    def throughput_tasks_per_s(self) -> float:
+        """Tasks (sequences through this workload) completed per second."""
+        if not self.latency_s:
+            return 0.0
+        return self.batch / self.latency_s
+
+    def segment(self, name: str) -> SegmentResult:
+        for segment in self.segments:
+            if segment.name == name:
+                return segment
+        raise KeyError(f"no segment named {name!r}")
+
+
+class XNNExecutor:
+    """Runs workloads on a freshly built RSN-XNN datapath per simulation group."""
+
+    def __init__(self, config: Optional[XNNConfig] = None,
+                 options: Optional[CodegenOptions] = None):
+        self.config = config or XNNConfig(carry_data=False)
+        self.options = options or CodegenOptions()
+
+    # ----------------------------------------------------------- primitives
+
+    def _simulate(self, xnn: XNNDatapath, builder: ProgramBuilder,
+                  name: str, flops: float) -> SegmentResult:
+        builder.load_programs()
+        uops = builder.uop_count()
+        simulator = xnn.datapath.build_simulator()
+        stats = simulator.run()
+        return SegmentResult(
+            name=name,
+            latency_s=stats.end_time,
+            flops=flops,
+            ddr_bytes=xnn.ddr.total_bytes,
+            lpddr_bytes=xnn.lpddr.total_bytes,
+            uops=uops,
+        )
+
+    def _fresh_datapath(self) -> XNNDatapath:
+        return XNNDatapath(self.config)
+
+    # ------------------------------------------------------------ single GEMM
+
+    def run_gemm(self, m: int, k: int, n: int,
+                 lhs_data: Optional[np.ndarray] = None,
+                 rhs_data: Optional[np.ndarray] = None,
+                 fused_ops: Tuple[FusedOp, ...] = (),
+                 bias_data: Optional[np.ndarray] = None
+                 ) -> Tuple[SegmentResult, Optional[np.ndarray]]:
+        """Run one GEMM layer end to end; returns the result and the output."""
+        xnn = self._fresh_datapath()
+        memory = xnn.memory
+        if lhs_data is not None and rhs_data is not None:
+            memory.add("lhs", lhs_data)
+            memory.add("rhs", rhs_data)
+        else:
+            memory.add("lhs", (m, k))
+            memory.add("rhs", (k, n))
+        bias_name = None
+        if bias_data is not None:
+            memory.add("bias", np.atleast_2d(bias_data))
+            bias_name = "bias"
+        memory.allocate("out", (m, n))
+        layer = MatMulLayer("gemm", m=m, k=k, n=n, fused_ops=fused_ops)
+        builder = ProgramBuilder(xnn, self.options)
+        builder.add_gemm_layer(layer, lhs="lhs", rhs="rhs", out="out", bias=bias_name)
+        result = self._simulate(xnn, builder, "gemm", layer.flops)
+        output = memory.array("out") if memory.carry_data else None
+        return result, output
+
+    # --------------------------------------------------------------- encoder
+
+    def _setup_encoder_memory(self, xnn: XNNDatapath, batch: int, seq_len: int,
+                              config: BertConfig, seed: int) -> Dict[str, np.ndarray]:
+        """Place encoder inputs, weights, and intermediate tensors off-chip."""
+        memory = xnn.memory
+        tokens = batch * seq_len
+        hidden, ffn = config.hidden, config.ffn_hidden
+        weights: Dict[str, np.ndarray] = {}
+        if memory.carry_data:
+            rng = tensors.make_rng(seed)
+            weights = tensors.encoder_weights(hidden, ffn, rng)
+            hidden_input = tensors.activation((tokens, hidden), rng)
+            memory.add("input", hidden_input)
+            for key in ("wq", "wk", "wv", "wo", "w1", "w2"):
+                memory.add(key, weights[key])
+            for key in ("bq", "bk", "bv", "bo", "b1", "b2"):
+                memory.add(key, weights[key].reshape(1, -1))
+        else:
+            memory.add("input", (tokens, hidden))
+            for key, shape in (("wq", (hidden, hidden)), ("wk", (hidden, hidden)),
+                               ("wv", (hidden, hidden)), ("wo", (hidden, hidden)),
+                               ("w1", (hidden, ffn)), ("w2", (ffn, hidden))):
+                memory.add(key, shape)
+            for key, size in (("bq", hidden), ("bk", hidden), ("bv", hidden),
+                              ("bo", hidden), ("b1", ffn), ("b2", hidden)):
+                memory.add(key, (1, size))
+        for name, shape in (("query", (tokens, hidden)), ("key", (tokens, hidden)),
+                            ("value", (tokens, hidden)),
+                            ("attn_context", (tokens, hidden)),
+                            ("attn_out", (tokens, hidden)),
+                            ("attn_norm", (tokens, hidden)),
+                            ("ffn_inter", (tokens, config.ffn_hidden)),
+                            ("ffn_out", (tokens, hidden)),
+                            ("encoder_out", (tokens, hidden))):
+            memory.allocate(name, shape)
+        return weights
+
+    def run_encoder(self, batch: int = 6, seq_len: int = 512,
+                    config: BertConfig = BERT_LARGE,
+                    seed: int = tensors.DEFAULT_SEED) -> EncoderResult:
+        """Run one transformer encoder layer (the paper's primary workload)."""
+        spec = bert_large_encoder(batch=batch, seq_len=seq_len, config=config)
+        layer = {l.name: l for l in spec.layers}
+        result = EncoderResult(name=spec.name, batch=batch)
+        self._last_heads = config.heads
+        self._last_batch = batch
+
+        # ---- group 1: Key / Query / Value projections --------------------
+        xnn = self._fresh_datapath()
+        weights = self._setup_encoder_memory(xnn, batch, seq_len, config, seed)
+        builder = ProgramBuilder(xnn, self.options)
+        builder.add_gemm_layer(layer["query"], lhs="input", rhs="wq", out="query", bias="bq")
+        builder.add_gemm_layer(layer["key"], lhs="input", rhs="wk", out="key", bias="bk")
+        builder.add_gemm_layer(layer["value"], lhs="input", rhs="wv", out="value", bias="bv")
+        qkv_flops = sum(layer[n].flops for n in ("query", "key", "value"))
+        result.segments.append(self._simulate(xnn, builder, "qkv", qkv_flops))
+        memory = xnn.memory
+
+        # ---- group 2: attention heads + dense projection ------------------
+        xnn2 = self._fresh_datapath()
+        self._carry_tensors(memory, xnn2.memory,
+                            ("input", "query", "key", "value", "wo", "bo"))
+        for name in ("attn_context", "attn_out", "attn_norm"):
+            xnn2.memory.allocate(name, memory.shape(name))
+        builder = ProgramBuilder(xnn2, self.options)
+        builder.add_attention(
+            seq_len=seq_len, head_dim=config.head_dim,
+            num_heads=batch * config.heads, heads_per_sample=config.heads,
+            query="query", key="key", value="value", out="attn_context")
+        builder.add_gemm_layer(layer["dense"], lhs="attn_context", rhs="wo",
+                               out="attn_out", bias="bo", residual="input")
+        attention_flops = (layer["attention_mm1"].flops + layer["attention_mm2"].flops
+                           + layer["dense"].flops)
+        result.segments.append(self._simulate(xnn2, builder, "attention+dense",
+                                               attention_flops))
+        if xnn2.memory.carry_data:
+            attn_out = xnn2.memory.array("attn_out")
+            xnn2.memory.array("attn_norm")[:] = reference.layer_norm(
+                attn_out, weights["ln1_gamma"], weights["ln1_beta"])
+
+        # ---- group 3: feed-forward network --------------------------------
+        xnn3 = self._fresh_datapath()
+        self._carry_tensors(xnn2.memory, xnn3.memory, ("attn_norm",))
+        self._carry_tensors(memory, xnn3.memory, ("w1", "b1", "w2", "b2"))
+        for name in ("ffn_inter", "ffn_out", "encoder_out"):
+            xnn3.memory.allocate(name, memory.shape(name))
+        builder = ProgramBuilder(xnn3, self.options)
+        builder.add_gemm_layer(layer["ffn_mm1"], lhs="attn_norm", rhs="w1",
+                               out="ffn_inter", bias="b1")
+        builder.add_gemm_layer(layer["ffn_mm2"], lhs="ffn_inter", rhs="w2",
+                               out="ffn_out", bias="b2", residual="attn_norm")
+        ffn_flops = layer["ffn_mm1"].flops + layer["ffn_mm2"].flops
+        result.segments.append(self._simulate(xnn3, builder, "ffn", ffn_flops))
+        if xnn3.memory.carry_data:
+            ffn_out = xnn3.memory.array("ffn_out")
+            xnn3.memory.array("encoder_out")[:] = reference.layer_norm(
+                ffn_out, weights["ln2_gamma"], weights["ln2_beta"])
+            self._final_memory = xnn3.memory
+        else:
+            self._final_memory = xnn3.memory
+        self._weights = weights
+        self._input_memory = memory
+        return result
+
+    @staticmethod
+    def _carry_tensors(source, destination, names) -> None:
+        """Copy tensors (or just shapes) from one group's memory to the next."""
+        for name in names:
+            if source.carry_data:
+                destination.add(name, source.array(name))
+            else:
+                destination.add(name, source.shape(name))
+
+    def encoder_output(self) -> np.ndarray:
+        """The final encoder output of the last :meth:`run_encoder` call."""
+        return self._final_memory.array("encoder_out")
+
+    def reference_encoder_output(self) -> np.ndarray:
+        """NumPy reference output for the same inputs/weights (validation).
+
+        The reference applies attention per sequence, so the stored input is
+        processed sample by sample using the batch/sequence split of the last
+        :meth:`run_encoder` call.
+        """
+        hidden_input = self._input_memory.array("input")
+        tokens = hidden_input.shape[0]
+        seq_len = tokens // self._last_batch
+        outputs = []
+        for sample in range(self._last_batch):
+            rows = slice(sample * seq_len, (sample + 1) * seq_len)
+            outputs.append(reference.encoder_layer(hidden_input[rows], self._weights,
+                                                   self._last_heads))
+        return np.concatenate(outputs, axis=0)
+
+    # ----------------------------------------------------------- plain models
+
+    def run_feedforward_model(self, model: ModelSpec,
+                              seed: int = tensors.DEFAULT_SEED) -> EncoderResult:
+        """Run a pure-GEMM model (NCF, MLP): layers chained through DDR."""
+        xnn = self._fresh_datapath()
+        memory = xnn.memory
+        rng = tensors.make_rng(seed)
+        first = model.layers[0]
+        if memory.carry_data:
+            memory.add("act0", tensors.activation((first.m, first.k), rng))
+        else:
+            memory.add("act0", (first.m, first.k))
+        builder = ProgramBuilder(xnn, self.options)
+        total_flops = 0.0
+        for index, layer in enumerate(model.layers):
+            weight_name, bias_name = f"w{index}", f"b{index}"
+            out_name = f"act{index + 1}"
+            if memory.carry_data:
+                memory.add(weight_name, tensors.weight((layer.k, layer.n), rng))
+                memory.add(bias_name, tensors.bias(layer.n, rng).reshape(1, -1))
+            else:
+                memory.add(weight_name, (layer.k, layer.n))
+                memory.add(bias_name, (1, layer.n))
+            memory.allocate(out_name, (layer.m, layer.n))
+            builder.add_gemm_layer(layer, lhs=f"act{index}", rhs=weight_name,
+                                   out=out_name,
+                                   bias=bias_name if layer.has_fused(FusedOp.BIAS) else None)
+            total_flops += layer.flops
+        segment = self._simulate(xnn, builder, model.name, total_flops)
+        result = EncoderResult(name=model.name, batch=model.batch)
+        result.segments.append(segment)
+        self._final_memory = memory
+        return result
+
+    # ---------------------------------------------------------------- hooks
+
+    _final_memory = None
+    _input_memory = None
+    _weights: Dict[str, np.ndarray] = {}
+    _last_heads: int = 16
+    _last_batch: int = 1

@@ -1,0 +1,17 @@
+"""Functional units of the RSN-XNN datapath (Fig. 10, Table 2)."""
+
+from .offchip import DDRFU, LPDDRFU, HostMemory
+from .scratchpad import MemAFU, MemBFU, MemCFU
+from .mesh import MeshFU
+from .mme import MMEFU
+
+__all__ = [
+    "DDRFU",
+    "HostMemory",
+    "LPDDRFU",
+    "MMEFU",
+    "MemAFU",
+    "MemBFU",
+    "MemCFU",
+    "MeshFU",
+]

@@ -1,0 +1,85 @@
+"""MME FUs: the AI-engine matrix multiplication engines virtualised as FUs.
+
+Each MME FU stands for one group of 64 AIE tiles (Fig. 17).  Its kernel is the
+tile-granular analogue of the Compute FU in Fig. 7b: read ``k_steps`` pairs of
+LHS/RHS tiles from its input streams, accumulate their products, and write the
+completed output tile to its MemC.  The uOPs that drive it are the 4-byte
+control words the paper pre-stores in the AIE tiles' local memories; they are
+therefore *not* part of the PL-side RSN instruction stream (Section 5.1), and
+the executor loads them as local programs.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ...core import ConfigurationError, FunctionalUnit, Read, TileMessage, UOp, Write
+
+__all__ = ["MMEFU"]
+
+
+class MMEFU(FunctionalUnit):
+    """One matrix multiplication engine (a 4x4x4 group of AIE tiles).
+
+    uOP fields
+    ----------
+    ``k_steps``:
+        Number of LHS/RHS tile pairs to read and accumulate before emitting
+        the output tile.
+    ``emit``:
+        Whether to send the accumulated tile to MemC after the last step
+        (``True`` for a completed output tile; ``False`` keeps the accumulator
+        for the "accumulate along k" control of Table 2).
+    ``tag``:
+        Label attached to the produced tile (used by traces and stores).
+    """
+
+    def __init__(self, name: str, compute_throughput: float,
+                 uop_nbytes: int = 4):
+        super().__init__(name, fu_type="MME", compute_throughput=compute_throughput)
+        self.uop_nbytes = uop_nbytes
+        self.add_input("lhs")
+        self.add_input("rhs")
+        self.add_output("out")
+        #: running accumulator preserved across kernels when ``emit`` is False.
+        self._accumulator: Optional[np.ndarray] = None
+        self._accumulator_shape: Optional[tuple] = None
+
+    def kernel(self, uop: UOp) -> Generator:
+        k_steps = int(uop.get("k_steps", 1))
+        if k_steps < 1:
+            raise ConfigurationError(f"{self.name}: k_steps must be >= 1")
+        emit = bool(uop.get("emit", True))
+        tag = uop.get("tag", "")
+
+        for _ in range(k_steps):
+            lhs = yield Read(self.port("lhs"))
+            rhs = yield Read(self.port("rhs"))
+            self.stats.bytes_in += lhs.nbytes + rhs.nbytes
+            lhs_rows = lhs.shape[0]
+            inner = lhs.shape[1]
+            rhs_cols = rhs.shape[1]
+            if rhs.shape[0] != inner:
+                raise ConfigurationError(
+                    f"{self.name}: incompatible tile shapes {lhs.shape} x {rhs.shape}"
+                )
+            yield self.charge_compute(2.0 * lhs_rows * inner * rhs_cols)
+            if lhs.data is not None and rhs.data is not None:
+                partial = lhs.data @ rhs.data
+                if self._accumulator is None:
+                    self._accumulator = partial.astype(np.float32)
+                else:
+                    self._accumulator = self._accumulator + partial
+            self._accumulator_shape = (lhs_rows, rhs_cols)
+
+        if emit:
+            if self._accumulator is not None:
+                tile = TileMessage.from_array(self._accumulator, tag=tag)
+            else:
+                tile = TileMessage.placeholder(self._accumulator_shape or (0, 0), tag=tag)
+            self._accumulator = None
+            self._accumulator_shape = None
+            yield Write(self.port("out"), tile)
+            self.stats.bytes_out += tile.nbytes

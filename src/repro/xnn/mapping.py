@@ -1,0 +1,143 @@
+"""Inter-layer mapping types and their first-order latency estimates.
+
+Fig. 3 of the paper defines four ways to map two dependent layers (repeated
+over many independent tasks, e.g. attention heads) onto the accelerator:
+
+* **A -- layer-by-layer**: one task at a time, one layer at a time; the
+  intermediate tensor of the current task stays on chip, but each small layer
+  under-utilises the compute array.
+* **B -- task-by-task**: all tasks' first layers, then all second layers; the
+  switching frequency drops (longer steady state) but every intermediate must
+  round-trip through off-chip memory.
+* **C -- task-parallel**: independent tasks mapped spatially; intermediates
+  still go off-chip, utilisation is high.
+* **D -- pipeline**: the two dependent layers are mapped spatially and the
+  intermediate streams directly from the first to the second; utilisation is
+  high and the intermediate never leaves the chip, at the cost of a pipeline
+  setup phase.
+
+Table 3 estimates these with a roofline formula for BERT-Large's attention
+pair under the VCK190 budget; :func:`estimate_mapping_latency` reproduces that
+calculation.  The achievable AIE utilisation per mapping style (64% for a lone
+small MM, 96% when both MMs are co-mapped) is a measured property of the
+design that the paper feeds into its own estimate; it is exposed here as a
+parameter with those defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..hardware.vck190 import VCK190, VCK190Spec
+from ..workloads.layers import MatMulLayer
+
+__all__ = ["MappingType", "MappingEstimate", "estimate_mapping_latency",
+           "compare_mapping_types"]
+
+
+class MappingType(str, Enum):
+    """The four inter-layer mapping types of Fig. 3."""
+
+    LAYER_BY_LAYER = "A"
+    TASK_BY_TASK = "B"
+    TASK_PARALLEL = "C"
+    PIPELINE = "D"
+
+
+#: Does the mapping type keep the intermediate tensor between the two
+#: dependent layers on chip?
+_INTERMEDIATE_ON_CHIP = {
+    MappingType.LAYER_BY_LAYER: True,
+    MappingType.TASK_BY_TASK: False,
+    MappingType.TASK_PARALLEL: False,
+    MappingType.PIPELINE: True,
+}
+
+#: Does the mapping type co-map both layers spatially (high utilisation)?
+_CO_MAPPED = {
+    MappingType.LAYER_BY_LAYER: False,
+    MappingType.TASK_BY_TASK: False,
+    MappingType.TASK_PARALLEL: True,
+    MappingType.PIPELINE: True,
+}
+
+
+@dataclass(frozen=True)
+class MappingEstimate:
+    """Roofline estimate of one mapping type (one row of Table 3)."""
+
+    mapping: MappingType
+    bandwidth_bound_s: float
+    compute_bound_s: float
+    used_aie_fraction: float
+    pipeline_setup_s: float
+
+    @property
+    def final_latency_s(self) -> float:
+        """max(bandwidth bound, compute bound) plus any pipeline setup."""
+        return max(self.bandwidth_bound_s, self.compute_bound_s) + self.pipeline_setup_s
+
+    @property
+    def final_latency_ms(self) -> float:
+        return self.final_latency_s * 1e3
+
+
+def _pair_traffic_bytes(mm1: MatMulLayer, mm2: MatMulLayer,
+                        intermediate_on_chip: bool) -> float:
+    """Off-chip bytes moved for the dependent pair under a mapping style."""
+    traffic = mm1.lhs_bytes + mm1.rhs_bytes          # inputs of the first MM
+    traffic += mm2.rhs_bytes                          # second operand of the second MM
+    traffic += mm2.out_bytes                          # final outputs
+    if not intermediate_on_chip:
+        traffic += mm1.out_bytes * 2                  # store then reload the intermediate
+    return float(traffic)
+
+
+def estimate_mapping_latency(mm1: MatMulLayer, mm2: MatMulLayer,
+                             mapping: MappingType,
+                             spec: VCK190Spec = VCK190,
+                             single_mm_utilization: float = 0.64,
+                             co_mapped_utilization: float = 0.96,
+                             achieved_peak_fraction: float = 0.85,
+                             pipeline_setup_s: float = 2e-6,
+                             offchip_bw: Optional[float] = None) -> MappingEstimate:
+    """Roofline latency estimate for two dependent layers under one mapping.
+
+    Parameters mirror the quantities Table 3 is built from: the fraction of
+    the AIE array a lone small MM can keep busy versus two co-mapped MMs, the
+    fraction of peak the GEMM kernel achieves, and the aggregate off-chip
+    bandwidth.
+    """
+    if offchip_bw is None:
+        offchip_bw = spec.ddr_read_bw + spec.lpddr_read_bw
+    on_chip = _INTERMEDIATE_ON_CHIP[mapping]
+    co_mapped = _CO_MAPPED[mapping]
+    utilization = co_mapped_utilization if co_mapped else single_mm_utilization
+
+    traffic = _pair_traffic_bytes(mm1, mm2, on_chip)
+    bandwidth_bound = traffic / offchip_bw
+
+    flops = mm1.flops + mm2.flops
+    effective_flops = spec.peak_fp32_flops * utilization * achieved_peak_fraction
+    compute_bound = flops / effective_flops
+
+    setup = pipeline_setup_s * (mm1.num if mapping == MappingType.PIPELINE else 0)
+    return MappingEstimate(
+        mapping=mapping,
+        bandwidth_bound_s=bandwidth_bound,
+        compute_bound_s=compute_bound,
+        used_aie_fraction=utilization,
+        pipeline_setup_s=setup,
+    )
+
+
+def compare_mapping_types(mm1: MatMulLayer, mm2: MatMulLayer,
+                          spec: VCK190Spec = VCK190,
+                          **kwargs) -> Dict[MappingType, MappingEstimate]:
+    """Estimate all four mapping types for a dependent layer pair (Table 3)."""
+    return {
+        mapping: estimate_mapping_latency(mm1, mm2, mapping, spec=spec, **kwargs)
+        for mapping in MappingType
+    }

@@ -1,0 +1,438 @@
+"""Tests for the discrete-event engine: delays, streams, blocking, deadlock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DeadlockError,
+    Delay,
+    Fork,
+    Parallel,
+    Read,
+    SimulationLimitError,
+    Simulator,
+    StreamChannel,
+    StreamClosedError,
+    TileMessage,
+    Trace,
+    Wait,
+    Write,
+)
+
+
+def make_channel(name="ch", capacity=2, bandwidth=None, latency=0.0):
+    return StreamChannel(name, capacity=capacity, bandwidth=bandwidth, latency=latency)
+
+
+class TestDelay:
+    def test_single_delay_advances_clock(self):
+        sim = Simulator()
+
+        def proc():
+            yield Delay(2.5)
+
+        sim.add_process("p", proc())
+        stats = sim.run()
+        assert stats.end_time == pytest.approx(2.5)
+
+    def test_sequential_delays_accumulate(self):
+        sim = Simulator()
+
+        def proc():
+            yield Delay(1.0)
+            yield Delay(0.5)
+            yield Delay(0.25)
+
+        sim.add_process("p", proc())
+        stats = sim.run()
+        assert stats.end_time == pytest.approx(1.75)
+
+    def test_parallel_processes_overlap_in_time(self):
+        sim = Simulator()
+
+        def proc(duration):
+            yield Delay(duration)
+
+        sim.add_process("a", proc(3.0))
+        sim.add_process("b", proc(1.0))
+        stats = sim.run()
+        assert stats.end_time == pytest.approx(3.0)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield Delay(-1.0)
+
+        sim.add_process("p", proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_zero_delay_is_fine(self):
+        sim = Simulator()
+
+        def proc():
+            yield Delay(0.0)
+
+        sim.add_process("p", proc())
+        assert sim.run().end_time == 0.0
+
+
+class TestStreams:
+    def test_message_passes_producer_to_consumer(self):
+        sim = Simulator()
+        channel = make_channel()
+        received = []
+
+        def producer():
+            yield Write(channel, TileMessage.placeholder((4, 4), tag="t0"))
+
+        def consumer():
+            message = yield Read(channel)
+            received.append(message)
+
+        sim.add_process("producer", producer())
+        sim.add_process("consumer", consumer())
+        sim.run()
+        assert len(received) == 1
+        assert received[0].tag == "t0"
+
+    def test_messages_preserve_fifo_order(self):
+        sim = Simulator()
+        channel = make_channel(capacity=8)
+        received = []
+
+        def producer():
+            for i in range(5):
+                yield Write(channel, TileMessage.placeholder((1,), tag=f"m{i}"))
+
+        def consumer():
+            for _ in range(5):
+                message = yield Read(channel)
+                received.append(message.tag)
+
+        sim.add_process("producer", producer())
+        sim.add_process("consumer", consumer())
+        sim.run()
+        assert received == [f"m{i}" for i in range(5)]
+
+    def test_transfer_time_charged_by_bandwidth(self):
+        sim = Simulator()
+        channel = make_channel(bandwidth=100.0)  # 100 B/s
+
+        def producer():
+            yield Write(channel, TileMessage.placeholder((50,), dtype="int8"))  # 50 bytes
+
+        def consumer():
+            yield Read(channel)
+
+        sim.add_process("producer", producer())
+        sim.add_process("consumer", consumer())
+        stats = sim.run()
+        assert stats.end_time == pytest.approx(0.5)
+
+    def test_fixed_latency_added_per_message(self):
+        sim = Simulator()
+        channel = make_channel(bandwidth=None, latency=0.125)
+
+        def producer():
+            yield Write(channel, TileMessage.placeholder((100,)))
+
+        def consumer():
+            yield Read(channel)
+
+        sim.add_process("producer", producer())
+        sim.add_process("consumer", consumer())
+        assert sim.run().end_time == pytest.approx(0.125)
+
+    def test_producer_blocks_when_channel_full(self):
+        sim = Simulator()
+        channel = make_channel(capacity=1, latency=1.0)
+        timeline = []
+
+        def producer():
+            for i in range(3):
+                yield Write(channel, TileMessage.placeholder((1,), tag=f"m{i}"))
+                timeline.append(("sent", i, sim.now))
+
+        def consumer():
+            for _ in range(3):
+                yield Read(channel)
+                yield Delay(10.0)  # slow consumer forces back-pressure
+
+        sim.add_process("producer", producer())
+        sim.add_process("consumer", consumer())
+        stats = sim.run()
+        # The slow consumer paces the producer: the third message cannot be
+        # sent until the consumer frees capacity.
+        assert timeline[-1][2] > 2.0
+        assert channel.stats.messages == 3
+        assert stats.end_time >= 30.0
+
+    def test_consumer_blocks_until_data_arrives(self):
+        sim = Simulator()
+        channel = make_channel()
+        arrival = []
+
+        def producer():
+            yield Delay(5.0)
+            yield Write(channel, TileMessage.placeholder((1,)))
+
+        def consumer():
+            yield Read(channel)
+            arrival.append(sim.now)
+
+        sim.add_process("producer", producer())
+        sim.add_process("consumer", consumer())
+        sim.run()
+        assert arrival[0] >= 5.0
+
+    def test_channel_stats_count_bytes_and_messages(self):
+        sim = Simulator()
+        channel = make_channel(capacity=4)
+
+        def producer():
+            for _ in range(3):
+                yield Write(channel, TileMessage.placeholder((8, 8), dtype="fp32"))
+
+        def consumer():
+            for _ in range(3):
+                yield Read(channel)
+
+        sim.add_process("producer", producer())
+        sim.add_process("consumer", consumer())
+        sim.run()
+        assert channel.stats.messages == 3
+        assert channel.stats.bytes == 3 * 64 * 4
+
+    def test_write_to_closed_channel_raises(self):
+        sim = Simulator()
+        channel = make_channel()
+        channel.close()
+
+        def producer():
+            yield Write(channel, TileMessage.placeholder((1,)))
+
+        sim.add_process("producer", producer())
+        with pytest.raises(StreamClosedError):
+            sim.run()
+
+
+class TestDeadlockAndLimits:
+    def test_read_with_no_producer_deadlocks(self):
+        sim = Simulator()
+        channel = make_channel()
+
+        def consumer():
+            yield Read(channel)
+
+        sim.add_process("consumer", consumer())
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run()
+        assert any("consumer" in name for name, _ in excinfo.value.blocked)
+
+    def test_mismatched_send_receive_counts_deadlock(self):
+        # The paper: "if the sends are fewer than the receives, the receiving
+        # kernel will block indefinitely".
+        sim = Simulator()
+        channel = make_channel(capacity=4)
+
+        def producer():
+            for _ in range(2):
+                yield Write(channel, TileMessage.placeholder((1,)))
+
+        def consumer():
+            for _ in range(3):
+                yield Read(channel)
+
+        sim.add_process("producer", producer())
+        sim.add_process("consumer", consumer())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_producer_overrun_blocks_when_channel_full(self):
+        # "...if the sends exceed the receives, the producer kernel will block
+        # once the stream channel is full."
+        sim = Simulator()
+        channel = make_channel(capacity=2)
+
+        def producer():
+            for _ in range(5):
+                yield Write(channel, TileMessage.placeholder((1,)))
+
+        def consumer():
+            yield Read(channel)
+
+        sim.add_process("producer", producer())
+        sim.add_process("consumer", consumer())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_event_limit_enforced(self):
+        sim = Simulator(max_events=10)
+
+        def proc():
+            for _ in range(100):
+                yield Delay(1.0)
+
+        sim.add_process("p", proc())
+        with pytest.raises(SimulationLimitError):
+            sim.run()
+
+    def test_time_limit_enforced(self):
+        sim = Simulator(max_time=5.0)
+
+        def proc():
+            for _ in range(100):
+                yield Delay(1.0)
+
+        sim.add_process("p", proc())
+        with pytest.raises(SimulationLimitError):
+            sim.run()
+
+
+class TestStructuredConcurrency:
+    def test_parallel_waits_for_all_branches(self):
+        sim = Simulator()
+
+        def branch(duration):
+            yield Delay(duration)
+            return duration
+
+        def proc():
+            results = yield Parallel([branch(1.0), branch(3.0), branch(2.0)])
+            assert results == [1.0, 3.0, 2.0]
+
+        sim.add_process("p", proc())
+        stats = sim.run()
+        assert stats.end_time == pytest.approx(3.0)
+
+    def test_parallel_with_no_branches_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            results = yield Parallel([])
+            assert results == []
+            yield Delay(1.0)
+
+        sim.add_process("p", proc())
+        assert sim.run().end_time == pytest.approx(1.0)
+
+    def test_parallel_branches_share_simulated_time(self):
+        # load+send overlap (the ping-pong buffer idiom): total time is the
+        # max of the two, not the sum.
+        sim = Simulator()
+        channel = make_channel(capacity=4)
+
+        def load():
+            yield Delay(4.0)
+
+        def send():
+            for _ in range(2):
+                yield Write(channel, TileMessage.placeholder((1,)))
+                yield Delay(1.0)
+
+        def sink():
+            for _ in range(2):
+                yield Read(channel)
+
+        def fu():
+            yield Parallel([load(), send()])
+
+        sim.add_process("fu", fu())
+        sim.add_process("sink", sink())
+        assert sim.run().end_time == pytest.approx(4.0)
+
+    def test_fork_and_wait(self):
+        sim = Simulator()
+
+        def background():
+            yield Delay(2.0)
+            return "done"
+
+        def proc():
+            handle = yield Fork(background(), name="bg")
+            yield Delay(0.5)
+            result = yield Wait(handle)
+            assert result == "done"
+
+        sim.add_process("p", proc())
+        assert sim.run().end_time == pytest.approx(2.0)
+
+    def test_wait_on_already_finished_fork(self):
+        sim = Simulator()
+
+        def background():
+            yield Delay(0.1)
+            return 42
+
+        def proc():
+            handle = yield Fork(background())
+            yield Delay(1.0)
+            result = yield Wait(handle)
+            assert result == 42
+
+        sim.add_process("p", proc())
+        assert sim.run().end_time == pytest.approx(1.0)
+
+
+class TestStatsAndTrace:
+    def test_process_busy_and_blocked_times(self):
+        sim = Simulator()
+        channel = make_channel()
+
+        def producer():
+            yield Delay(4.0)
+            yield Write(channel, TileMessage.placeholder((1,)))
+
+        def consumer():
+            yield Read(channel)
+
+        sim.add_process("producer", producer())
+        sim.add_process("consumer", consumer())
+        stats = sim.run()
+        assert stats.busy_time("producer") == pytest.approx(4.0)
+        assert stats.blocked_time("consumer") == pytest.approx(4.0)
+
+    def test_trace_records_events(self):
+        trace = Trace()
+        sim = Simulator(trace=trace)
+        channel = make_channel()
+
+        def producer():
+            yield Write(channel, TileMessage.placeholder((1,)))
+
+        def consumer():
+            yield Read(channel)
+
+        sim.add_process("producer", producer())
+        sim.add_process("consumer", consumer())
+        sim.run()
+        kinds = trace.counts()
+        assert kinds.get("write", 0) >= 1
+        assert kinds.get("finish", 0) == 2
+        assert trace.first("finish") is not None
+
+    def test_trace_capacity_drops_extra_events(self):
+        trace = Trace(capacity=2)
+        sim = Simulator(trace=trace)
+
+        def proc():
+            for _ in range(10):
+                yield Delay(1.0)
+
+        sim.add_process("p", proc())
+        sim.run()
+        assert len(trace) == 2
+        assert trace.dropped > 0
+
+    def test_unsupported_request_raises_type_error(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not-a-request"
+
+        sim.add_process("p", proc())
+        with pytest.raises(TypeError):
+            sim.run()

@@ -1,0 +1,188 @@
+"""Tests for the functional-unit abstraction and its run loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    Datapath,
+    Delay,
+    ExitUOp,
+    FunctionalUnit,
+    PassthroughFU,
+    Read,
+    TileMessage,
+    UOp,
+    Write,
+)
+
+
+class SourceFU(FunctionalUnit):
+    """Emits ``count`` tiles built from a value; control plane: (count, value)."""
+
+    def __init__(self, name):
+        super().__init__(name, fu_type="SRC")
+        self.add_output("out")
+
+    def kernel(self, uop):
+        count = uop.get("count", 1)
+        value = uop.get("value", 0.0)
+        for i in range(count):
+            tile = TileMessage.from_array(np.full((2, 2), value + i), tag=f"{self.name}[{i}]")
+            yield Write(self.port("out"), tile)
+
+
+class SinkFU(FunctionalUnit):
+    """Collects ``count`` tiles; control plane: (count,)."""
+
+    def __init__(self, name):
+        super().__init__(name, fu_type="SINK")
+        self.add_input("in")
+        self.received = []
+
+    def kernel(self, uop):
+        for _ in range(uop.get("count", 1)):
+            message = yield Read(self.port("in"))
+            self.received.append(message)
+
+
+class AdderFU(FunctionalUnit):
+    """Adds a constant to each incoming tile; control plane: (count, addend)."""
+
+    def __init__(self, name):
+        super().__init__(name, fu_type="ADD", compute_throughput=1e9)
+        self.add_input("in")
+        self.add_output("out")
+
+    def kernel(self, uop):
+        addend = uop.get("addend", 1.0)
+        for _ in range(uop.get("count", 1)):
+            message = yield Read(self.port("in"))
+            yield self.charge_compute(message.element_count)
+            yield Write(self.port("out"), message.map(lambda x: x + addend))
+
+
+def build_pipeline():
+    dp = Datapath("pipeline")
+    src, add, sink = SourceFU("src"), AdderFU("add"), SinkFU("sink")
+    dp.add_fus([src, add, sink])
+    dp.connect(src, "out", add, "in")
+    dp.connect(add, "out", sink, "in")
+    return dp, src, add, sink
+
+
+class TestPorts:
+    def test_duplicate_port_name_rejected(self):
+        fu = SourceFU("s")
+        with pytest.raises(ConfigurationError):
+            fu.add_output("out")
+
+    def test_unknown_port_lookup_raises(self):
+        fu = SourceFU("s")
+        with pytest.raises(ConfigurationError):
+            fu.port("missing")
+
+    def test_port_direction_lists(self):
+        fu = AdderFU("a")
+        assert [p.name for p in fu.input_ports()] == ["in"]
+        assert [p.name for p in fu.output_ports()] == ["out"]
+
+
+class TestRunLoop:
+    def test_local_program_executes_and_data_flows(self):
+        dp, src, add, sink = build_pipeline()
+        src.load_program([UOp("SRC", {"count": 3, "value": 10.0}), ExitUOp()])
+        add.load_program([UOp("ADD", {"count": 3, "addend": 5.0}), ExitUOp()])
+        sink.load_program([UOp("SINK", {"count": 3}), ExitUOp()])
+        dp.build_simulator().run()
+        assert len(sink.received) == 3
+        np.testing.assert_allclose(sink.received[0].data, 15.0)
+        np.testing.assert_allclose(sink.received[2].data, 17.0)
+
+    def test_exit_uop_stops_before_remaining_program(self):
+        dp, src, add, sink = build_pipeline()
+        src.load_program([UOp("SRC", {"count": 1}), ExitUOp(), UOp("SRC", {"count": 5})])
+        add.load_program([UOp("ADD", {"count": 1}), ExitUOp()])
+        sink.load_program([UOp("SINK", {"count": 1}), ExitUOp()])
+        dp.build_simulator().run()
+        assert src.stats.kernels_executed == 1
+        assert src.exited
+
+    def test_stats_track_kernels_and_flops(self):
+        dp, src, add, sink = build_pipeline()
+        src.load_program([UOp("SRC", {"count": 2}), ExitUOp()])
+        add.load_program([UOp("ADD", {"count": 2}), ExitUOp()])
+        sink.load_program([UOp("SINK", {"count": 2}), ExitUOp()])
+        dp.build_simulator().run()
+        assert add.stats.kernels_executed == 1
+        assert add.stats.flops == pytest.approx(8.0)  # two 2x2 tiles
+        assert add.stats.compute_seconds > 0
+
+    def test_compute_time_requires_throughput(self):
+        fu = SourceFU("s")  # no compute throughput configured
+        with pytest.raises(ConfigurationError):
+            fu.compute_time(100)
+
+    def test_compute_time_zero_flops_is_free(self):
+        fu = AdderFU("a")
+        assert fu.compute_time(0) == 0.0
+
+    def test_kernel_not_implemented_raises(self):
+        fu = FunctionalUnit("raw")
+        fu.load_program([UOp("RAW"), ExitUOp()])
+        dp = Datapath("d")
+        dp.add_fu(fu)
+        with pytest.raises(NotImplementedError):
+            dp.build_simulator().run()
+
+    def test_load_program_append_mode(self):
+        fu = SourceFU("s")
+        fu.load_program([UOp("SRC", {"count": 1})])
+        fu.load_program([UOp("SRC", {"count": 2})], append=True)
+        assert fu.program_length == 2
+
+    def test_passthrough_fu_forwards_and_transforms(self):
+        dp = Datapath("p")
+        src, mid, sink = SourceFU("src"), PassthroughFU("mid", transform=lambda x: x * 3), SinkFU("sink")
+        dp.add_fus([src, mid, sink])
+        dp.connect(src, "out", mid, "in")
+        dp.connect(mid, "out", sink, "in")
+        src.load_program([UOp("SRC", {"count": 2, "value": 1.0}), ExitUOp()])
+        mid.load_program([UOp("PASS", {"count": 2}), ExitUOp()])
+        sink.load_program([UOp("SINK", {"count": 2}), ExitUOp()])
+        dp.build_simulator().run()
+        np.testing.assert_allclose(sink.received[0].data, 3.0)
+
+    def test_describe_includes_ports(self):
+        fu = AdderFU("a")
+        info = fu.describe()
+        assert info["inputs"] == ["in"]
+        assert info["outputs"] == ["out"]
+        assert info["type"] == "ADD"
+
+
+class TestBackPressure:
+    def test_slow_consumer_throttles_producer(self):
+        """A stalled downstream FU back-pressures upstream FUs through the stream."""
+        dp = Datapath("bp")
+        src, sink = SourceFU("src"), SinkFU("sink")
+
+        class SlowSink(SinkFU):
+            def kernel(self, uop):
+                for _ in range(uop.get("count", 1)):
+                    message = yield Read(self.port("in"))
+                    self.received.append(message)
+                    yield Delay(1.0)
+
+        slow = SlowSink("slow")
+        dp.add_fus([src, slow])
+        dp.connect(src, "out", slow, "in", capacity=1)
+        src.load_program([UOp("SRC", {"count": 10}), ExitUOp()])
+        slow.load_program([UOp("SINK", {"count": 10}), ExitUOp()])
+        stats = dp.build_simulator().run()
+        assert len(slow.received) == 10
+        assert stats.end_time >= 10.0
+        # The producer spent most of the run blocked on the full channel.
+        assert stats.blocked_time("src") > 5.0

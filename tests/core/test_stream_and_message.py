@@ -1,0 +1,133 @@
+"""Tests for stream channels, ports, and stream messages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConfigurationError,
+    ControlToken,
+    Port,
+    StreamChannel,
+    TileMessage,
+    dtype_size,
+)
+
+
+class TestChannelConstruction:
+    def test_defaults(self):
+        channel = StreamChannel("c")
+        assert channel.capacity == 2
+        assert channel.is_empty
+        assert not channel.is_full
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamChannel("c", capacity=0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamChannel("c", bandwidth=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamChannel("c", latency=-1)
+
+    def test_unbounded_channel_never_full(self):
+        channel = StreamChannel("c", capacity=None)
+        for _ in range(100):
+            channel.reserve()
+            channel.deliver(object(), 1)
+        assert not channel.is_full
+        assert channel.occupancy == 100
+
+    def test_transfer_time_components(self):
+        channel = StreamChannel("c", bandwidth=1e9, latency=1e-6)
+        assert channel.transfer_time(1_000_000) == pytest.approx(1e-6 + 1e-3)
+        assert channel.transfer_time(0) == pytest.approx(1e-6)
+
+    def test_transfer_time_without_bandwidth(self):
+        channel = StreamChannel("c", bandwidth=None, latency=2e-6)
+        assert channel.transfer_time(10**9) == pytest.approx(2e-6)
+
+
+class TestPorts:
+    def test_port_direction_validation(self):
+        with pytest.raises(ConfigurationError):
+            Port("p", "sideways")
+
+    def test_double_bind_rejected(self):
+        port = Port("out", Port.OUTPUT)
+        port.bind(StreamChannel("a"))
+        with pytest.raises(ConfigurationError):
+            port.bind(StreamChannel("b"))
+
+    def test_bind_registers_endpoints(self):
+        src = Port("out", Port.OUTPUT)
+        dst = Port("in", Port.INPUT)
+        channel = StreamChannel("c")
+        src.bind(channel)
+        dst.bind(channel)
+        assert channel.source is src
+        assert channel.sink is dst
+
+    def test_require_channel_on_unbound_port(self):
+        port = Port("out", Port.OUTPUT)
+        with pytest.raises(ConfigurationError):
+            port.require_channel()
+
+
+class TestDtypeSize:
+    @pytest.mark.parametrize("name,size", [
+        ("fp32", 4), ("float32", 4), ("fp16", 2), ("int8", 1), ("int16", 2), ("int32", 4),
+    ])
+    def test_known_dtypes(self, name, size):
+        assert dtype_size(name) == size
+
+    def test_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            dtype_size("bf128")
+
+
+class TestTileMessage:
+    def test_from_array_sets_shape_and_bytes(self):
+        message = TileMessage.from_array(np.zeros((16, 32), dtype=np.float32))
+        assert message.shape == (16, 32)
+        assert message.nbytes == 16 * 32 * 4
+        assert message.carries_data
+
+    def test_placeholder_has_no_data(self):
+        message = TileMessage.placeholder((8, 8), dtype="fp16")
+        assert not message.carries_data
+        assert message.nbytes == 64 * 2
+
+    def test_map_applies_transform_to_payload(self):
+        message = TileMessage.from_array(np.ones((4, 4)))
+        doubled = message.map(lambda x: x * 2)
+        np.testing.assert_allclose(doubled.data, 2.0)
+
+    def test_map_on_placeholder_keeps_shape(self):
+        message = TileMessage.placeholder((4, 8))
+        mapped = message.map(lambda x: x * 2)
+        assert mapped.shape == (4, 8)
+        assert not mapped.carries_data
+
+    def test_map_changes_shape_with_data(self):
+        message = TileMessage.from_array(np.ones((4, 8)))
+        transposed = message.map(np.transpose)
+        assert transposed.shape == (8, 4)
+
+    def test_control_token_is_zero_bytes(self):
+        token = ControlToken(kind="flip")
+        assert token.nbytes == 0
+
+    @given(rows=st.integers(1, 64), cols=st.integers(1, 64),
+           dtype=st.sampled_from(["fp32", "fp16", "int8"]))
+    @settings(max_examples=50, deadline=None)
+    def test_placeholder_byte_accounting_matches_dtype(self, rows, cols, dtype):
+        message = TileMessage.placeholder((rows, cols), dtype=dtype)
+        assert message.nbytes == rows * cols * dtype_size(dtype)
+        assert message.element_count == rows * cols

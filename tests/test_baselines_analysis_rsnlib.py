@@ -1,0 +1,138 @@
+"""Tests for the baselines, the analysis helpers, and the RSNlib front end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (Table, analyze_program, format_table, format_value,
+                            gpu_energy_table, machine_balance, roofline_latency,
+                            vck190_energy_point)
+from repro.baselines import CHARM_PUBLISHED, CharmModel, TABLE8_ACCELERATORS, VectorOverlayModel
+from repro.core import MOp, RSNProgram
+from repro.rsnlib import EncoderModel, Schedule, ScheduleError, compile_encoder
+from repro.rsnlib.ops import Attention, FeedForward, LayerNorm, Linear
+from repro.workloads import bert_large_encoder, mlp_model, ncf_model
+
+
+class TestCharmModel:
+    def test_gemm_throughput_increases_with_size(self):
+        charm = CharmModel()
+        small = charm.gemm_throughput_gflops(1024)
+        large = charm.gemm_throughput_gflops(6144)
+        assert large > small
+        assert 500 < small < 3000
+        with pytest.raises(ValueError):
+            charm.gemm_throughput_gflops(0)
+
+    def test_bert_latency_regime(self):
+        charm = CharmModel()
+        latency = charm.model_latency(bert_large_encoder(batch=6, seq_len=512))
+        # One six-batch pass takes tens of milliseconds (paper measures 110 ms).
+        assert 0.03 < latency < 0.2
+
+    def test_latency_per_task_vs_published_order(self):
+        charm = CharmModel()
+        per_task = charm.latency_per_task_ms(bert_large_encoder(batch=6, seq_len=512))
+        assert 0.1 * CHARM_PUBLISHED["latency_per_task_ms"]["BERT"] < per_task \
+            < 2 * CHARM_PUBLISHED["latency_per_task_ms"]["BERT"]
+
+    def test_feedforward_models(self):
+        charm = CharmModel()
+        assert charm.model_latency(mlp_model(batch=3072)) > charm.model_latency(
+            ncf_model(batch=8192))
+
+
+class TestVectorOverlay:
+    def test_application1_serialises_fully(self):
+        overlay = VectorOverlayModel()
+        assert overlay.run(overlay.application1_program()) == 300
+
+    def test_application2_war_hazard(self):
+        overlay = VectorOverlayModel()
+        # 8 dependent instructions of 100 cycles each: no overlap possible.
+        assert overlay.run(overlay.application2_program()) == 800
+
+    def test_unknown_op_rejected(self):
+        overlay = VectorOverlayModel()
+        with pytest.raises(ValueError):
+            overlay.run([("jump", "", ())])
+
+    def test_published_table8_rows(self):
+        assert TABLE8_ACCELERATORS["DFX"]["utilization_pct"] == 15
+        assert "RSN-XNN" in TABLE8_ACCELERATORS
+
+
+class TestAnalysis:
+    def test_roofline_bound_selection(self):
+        compute_bound = roofline_latency(1e12, 1e6, achieved_flops=1e12, bandwidth=1e9)
+        assert compute_bound.compute_bound
+        memory_bound = roofline_latency(1e9, 1e12, achieved_flops=1e12, bandwidth=1e9)
+        assert not memory_bound.compute_bound
+        assert machine_balance(6.7e12, 41.5e9) == pytest.approx(161.4, rel=0.01)
+        with pytest.raises(ValueError):
+            roofline_latency(-1, 0, 1, 1)
+
+    def test_instruction_analysis(self):
+        program = RSNProgram("p")
+        program.emit("DDR", ["DDR"], [MOp({"addr": 0}, nbytes=12)], reuse=4)
+        program.emit("MemA", ["MemA0"], [MOp({"load": True}, nbytes=4)], reuse=64)
+        analysis = analyze_program(program, latency_s=1e-3, flops=1e9)
+        assert analysis.packet_count == 2
+        assert analysis.compression_ratios()["MemA"] > analysis.compression_ratios()["DDR"]
+        assert analysis.instruction_processing_rate > 0
+        assert analysis.flops_per_instruction_byte > 0
+
+    def test_energy_points(self):
+        points = {p.device: p for p in gpu_energy_table(batch=8)}
+        assert points["T4"].operating_efficiency_seq_per_j == pytest.approx(0.22, abs=0.02)
+        vck = vck190_energy_point(latency_ms=444, batch=8, dram_traffic_gb=12)
+        assert vck.operating_efficiency_seq_per_j == pytest.approx(0.40, abs=0.03)
+        assert vck.dynamic_efficiency_seq_per_j == pytest.approx(0.99, abs=0.05)
+
+    def test_table_rendering(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row(1, 2.34567)
+        table.add_note("a note")
+        text = table.render()
+        assert "demo" in text and "2.35" in text and "a note" in text
+        with pytest.raises(ValueError):
+            table.add_row(1)
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert "x" in format_table("t", ["x"], [[1]])
+
+
+class TestRSNlib:
+    def test_standard_model_compiles_and_runs(self):
+        model = EncoderModel.standard("tiny", hidden=64, num_heads=4, intermediate=128)
+        compiled = compile_encoder(model, Schedule(batch=1, sequence_length=32))
+        result = compiled.run()
+        assert result.latency_s > 0
+
+    def test_parameter_count(self):
+        model = EncoderModel.standard("bert", hidden=1024, num_heads=16, intermediate=4096)
+        # ~12.6 M parameters per encoder block.
+        assert 12e6 < model.parameter_count() < 14e6
+
+    def test_unsupported_pattern_rejected(self):
+        model = EncoderModel("weird", [Linear("fc", in_features=8, out_features=8)])
+        with pytest.raises(ScheduleError):
+            compile_encoder(model, Schedule(batch=1, sequence_length=32))
+
+    def test_sequence_length_constraint(self):
+        model = EncoderModel.standard("tiny", hidden=64, num_heads=4, intermediate=128)
+        with pytest.raises(ScheduleError):
+            compile_encoder(model, Schedule(batch=1, sequence_length=100))
+
+    def test_operator_validation(self):
+        with pytest.raises(ValueError):
+            Attention("a", hidden=65, num_heads=4)
+        with pytest.raises(ValueError):
+            Linear("l", in_features=0, out_features=4)
+        with pytest.raises(ValueError):
+            FeedForward("f", hidden=0, intermediate=1)
+        with pytest.raises(ValueError):
+            LayerNorm("n", hidden=0)
+        with pytest.raises(ValueError):
+            Schedule(batch=0)

@@ -1,0 +1,230 @@
+"""Tests for the hardware platform models and the workload inventories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (AIEArrayModel, GPU_SPECS, GPUModel, MMEGroupPlan, PowerModel,
+                            VCK190, ddr_channel, lpddr_channel)
+from repro.hardware.area import AreaModel
+from repro.hardware.power import FUPowerInput
+from repro.workloads import (FusedOp, MatMulLayer, bert_large_encoder, bert_large_model,
+                             mlp_model, ncf_model, reference, tensors, vit_model)
+
+
+class TestVCK190Spec:
+    def test_tile_count_and_peaks(self):
+        assert VCK190.aie_tiles == 400
+        assert VCK190.peak_flops_per_tile == pytest.approx(20e9)
+        assert VCK190.total_offchip_bw == pytest.approx(57.6e9)
+
+    def test_weight_reuse_for_peak_matches_paper(self):
+        # Section 5.3: "each loaded weight must be reused over 661 times".
+        assert VCK190.weight_reuse_for_peak() == pytest.approx(661, rel=0.01)
+
+    def test_plio_bandwidths_positive(self):
+        assert VCK190.plio_input_bw > VCK190.plio_output_bw > 0
+
+
+class TestAIEModel:
+    def test_default_plan_matches_fig17(self):
+        plan = MMEGroupPlan()
+        assert plan.tiles_used == 384
+        assert plan.input_streams == 192
+        assert plan.output_streams == 96
+        assert plan.budget().fits
+
+    def test_plan_validation_rejects_oversubscription(self):
+        aie = AIEArrayModel()
+        with pytest.raises(ValueError):
+            aie.validate_plan(MMEGroupPlan(num_groups=8))  # 512 tiles > 400
+        with pytest.raises(ValueError):
+            aie.validate_plan(MMEGroupPlan(num_groups=6, input_share=1))  # too many streams
+
+    def test_gemm_throughput_ordering_matches_table6a(self):
+        aie = AIEArrayModel()
+        best = aie.array_gemm_flops((32, 32, 32))
+        mid = aie.array_gemm_flops((32, 32, 16))
+        low = aie.array_gemm_flops((32, 16, 32))
+        assert best > mid > low
+        assert 6.0e12 < best < 7.6e12
+
+    def test_kernel_efficiency_bounds(self):
+        aie = AIEArrayModel()
+        assert 0 < aie.kernel_efficiency((8, 8, 8)) < aie.kernel_efficiency((64, 64, 64)) < 1
+        with pytest.raises(ValueError):
+            aie.kernel_efficiency((0, 32, 32))
+
+    @given(m=st.integers(8, 128), k=st.integers(8, 128), n=st.integers(8, 128))
+    @settings(max_examples=40, deadline=None)
+    def test_efficiency_always_in_unit_interval(self, m, k, n):
+        aie = AIEArrayModel()
+        assert 0 < aie.kernel_efficiency((m, k, n)) < 1
+
+
+class TestMemoryChannels:
+    def test_read_write_times(self):
+        ddr = ddr_channel()
+        assert ddr.read_time(21e9) == pytest.approx(1.0, rel=0.01)
+        assert ddr.write_time(23.5e9) == pytest.approx(1.0, rel=0.01)
+        assert ddr.read_time(0) == 0.0
+
+    def test_strided_penalty_and_scaling(self):
+        ddr = ddr_channel()
+        assert ddr.read_time(1e9, strided=True) > ddr.read_time(1e9)
+        scaled = ddr.scaled(2.0)
+        assert scaled.read_time(1e9) < ddr.read_time(1e9)
+
+    def test_traffic_accounting(self):
+        lpddr = lpddr_channel()
+        lpddr.read_time(100)
+        lpddr.write_time(50)
+        assert lpddr.total_bytes == 150
+        lpddr.reset()
+        assert lpddr.total_bytes == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ddr_channel(bandwidth_scale=0)
+        with pytest.raises(ValueError):
+            ddr_channel().read_time(-1)
+
+
+class TestGPUModels:
+    def test_table10_specs_present(self):
+        assert set(GPU_SPECS) == {"T4-fp32", "V100-fp32", "A100-fp32", "A100-fp16", "L4-fp32"}
+        assert GPU_SPECS["T4-fp32"].published_latency_ms[8] == 499
+
+    def test_energy_efficiency_matches_table10(self):
+        t4 = GPU_SPECS["T4-fp32"]
+        assert t4.sequences_per_joule(8) == pytest.approx(0.22, abs=0.02)
+        assert t4.sequences_per_joule(8, dynamic=True) == pytest.approx(0.38, abs=0.03)
+
+    def test_roofline_model_monotonic_in_batch(self):
+        model = GPUModel(GPU_SPECS["T4-fp32"])
+        flops_per_seq, bytes_per_seq = 401e9, 2e9
+        lat4 = model.estimate_latency(4 * flops_per_seq, 4 * bytes_per_seq, batch=4)
+        lat8 = model.estimate_latency(8 * flops_per_seq, 8 * bytes_per_seq, batch=8)
+        assert lat8 > lat4
+        assert model.estimate_latency_ms(8 * flops_per_seq, 8 * bytes_per_seq, 8) > 100
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            GPUModel(GPU_SPECS["T4-fp32"], compute_efficiency=0)
+
+
+class TestPowerAndArea:
+    def test_paper_breakdown_total(self):
+        report = PowerModel.paper_breakdown()
+        assert report.total_w == pytest.approx(98.66)
+        assert report.dominant() == "AIE"
+
+    def test_model_estimate_shapes(self):
+        model = PowerModel()
+        report = model.estimate([
+            FUPowerInput("AIE", count=6, compute_tflops=6.7, on_aie=True, onchip_mb=3.5),
+            FUPowerInput("MemC", count=6, compute_tflops=0.4, onchip_mb=6.0),
+        ])
+        assert report.breakdown_w["AIE"] > report.breakdown_w["MemC"]
+        assert report.fraction("Decoder") < 0.01
+
+    def test_decoder_area_close_to_published(self):
+        area = AreaModel().decoder_area(num_fu_types=7, num_fus=14)
+        assert 6_000 < area.luts < 20_000
+        assert area.lut_pct < 5
+        with pytest.raises(ValueError):
+            AreaModel().decoder_area(num_fu_types=0, num_fus=1)
+
+    def test_utilization_helper(self):
+        assert AreaModel.utilization_pct(4.7, 8.0) == pytest.approx(58.75)
+        with pytest.raises(ValueError):
+            AreaModel.utilization_pct(1.0, 0.0)
+
+
+class TestWorkloads:
+    def test_bert_large_encoder_shapes_match_table9(self):
+        encoder = bert_large_encoder(batch=6, seq_len=512)
+        qkv = encoder.layer("query")
+        assert (qkv.m, qkv.k, qkv.n) == (3072, 1024, 1024)
+        attn = encoder.layer("attention_mm1")
+        assert (attn.m, attn.k, attn.n, attn.num) == (512, 64, 512, 96)
+        ffn = encoder.layer("ffn_mm1")
+        assert (ffn.m, ffn.k, ffn.n) == (3072, 1024, 4096)
+
+    def test_full_model_has_24x_layers(self):
+        model = bert_large_model(batch=1, seq_len=384)
+        assert len(model.layers) == 24 * 8
+        assert model.tasks_per_inference == 24
+
+    def test_layer_byte_and_flop_accounting(self):
+        layer = MatMulLayer("l", m=128, k=64, n=32, num=2)
+        assert layer.flops == 2 * 128 * 64 * 32 * 2
+        assert layer.lhs_bytes == 128 * 64 * 2 * 4
+        assert layer.offchip_bytes == layer.lhs_bytes + layer.rhs_bytes + layer.out_bytes
+
+    def test_kept_onchip_removes_traffic(self):
+        layer = MatMulLayer("l", m=128, k=64, n=32)
+        fused = layer.kept_onchip(out=True)
+        assert fused.offchip_store_bytes == 0
+        assert fused.offchip_bytes < layer.offchip_bytes
+
+    def test_with_batch_scaling_modes(self):
+        layer = MatMulLayer("l", m=128, k=64, n=32, num=4)
+        assert layer.with_batch(3).m == 384
+        assert layer.with_batch(3, batch_scales_m=False, batch_scales_num=True).num == 12
+
+    def test_other_models_constructible(self):
+        assert len(vit_model().layers) == 8
+        assert len(ncf_model().layers) == 5
+        assert len(mlp_model(depth=4).layers) == 4
+        with pytest.raises(ValueError):
+            mlp_model(depth=0)
+
+    def test_invalid_layer_rejected(self):
+        with pytest.raises(ValueError):
+            MatMulLayer("bad", m=0, k=1, n=1)
+
+
+class TestReferenceOps:
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).standard_normal((8, 16))
+        s = reference.softmax(x)
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0, rtol=1e-6)
+
+    def test_layer_norm_zero_mean_unit_var(self):
+        x = np.random.default_rng(1).standard_normal((4, 64)).astype(np.float32)
+        out = reference.layer_norm(x, np.ones(64), np.zeros(64))
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_tiled_gemm_matches_dense(self):
+        rng = np.random.default_rng(2)
+        lhs = rng.standard_normal((96, 70)).astype(np.float32)
+        rhs = rng.standard_normal((70, 50)).astype(np.float32)
+        np.testing.assert_allclose(reference.tiled_gemm(lhs, rhs, 32, 16, 24), lhs @ rhs,
+                                   rtol=1e-4, atol=1e-4)
+
+    @given(tile_m=st.integers(1, 40), tile_k=st.integers(1, 40), tile_n=st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_tiled_gemm_any_tiling_is_equivalent(self, tile_m, tile_k, tile_n):
+        rng = np.random.default_rng(3)
+        lhs = rng.standard_normal((37, 29)).astype(np.float32)
+        rhs = rng.standard_normal((29, 23)).astype(np.float32)
+        np.testing.assert_allclose(reference.tiled_gemm(lhs, rhs, tile_m, tile_k, tile_n),
+                                   lhs @ rhs, rtol=1e-4, atol=1e-4)
+
+    def test_attention_head_shapes_and_weights(self):
+        rng = tensors.make_rng()
+        q = tensors.activation((16, 8), rng)
+        k = tensors.activation((16, 8), rng)
+        v = tensors.activation((16, 8), rng)
+        out = reference.attention_head(q, k, v)
+        assert out.shape == (16, 8)
+
+    def test_encoder_weights_deterministic(self):
+        w1 = tensors.encoder_weights(32, 64, tensors.make_rng(5))
+        w2 = tensors.encoder_weights(32, 64, tensors.make_rng(5))
+        np.testing.assert_array_equal(w1["wq"], w2["wq"])

@@ -1,0 +1,242 @@
+"""Tests for the RSN-XNN overlay: datapath, tiling, codegen, executor, analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import FusedOp, MatMulLayer, bert_large_encoder, mlp_model
+from repro.workloads.bert import BertConfig
+from repro.xnn import (CodegenOptions, ProgramBuilder, XNNConfig, XNNDatapath, XNNExecutor,
+                       plan_gemm_tiling, segment_model)
+from repro.xnn.bandwidth import LoadStoreOrdering, ddr_busy_estimate
+from repro.xnn.mapping import MappingType, compare_mapping_types
+from repro.xnn.segmentation import SegmentKind, is_memory_bound
+
+TINY = BertConfig(hidden=64, heads=4, ffn_hidden=128, layers=1)
+
+
+class TestTiling:
+    def test_paper_tiling_reuse_factors(self):
+        tiling = plan_gemm_tiling(3072, 1024, 1024)
+        assert tiling.k_steps == 8
+        assert len(tiling.m_blocks) == 4
+        assert tiling.lhs_reuse() == pytest.approx(1024)
+        assert tiling.rhs_reuse() == pytest.approx(768)
+
+    def test_small_layers_clip_tiles(self):
+        tiling = plan_gemm_tiling(64, 48, 80)
+        assert tiling.k_steps == 1
+        assert tiling.supertile_count == 1
+        assert tiling.active_mmes(0) == 6
+
+    def test_column_split_covers_n_exactly(self):
+        tiling = plan_gemm_tiling(256, 128, 100, num_mme=6)
+        columns = tiling.mme_columns[0]
+        assert sum(c.size for c in columns) == 100
+        assert columns[0].start == 0
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            plan_gemm_tiling(0, 1, 1)
+
+    @given(m=st.integers(1, 2048), k=st.integers(1, 2048), n=st.integers(1, 2048))
+    @settings(max_examples=50, deadline=None)
+    def test_blocks_partition_every_dimension(self, m, k, n):
+        tiling = plan_gemm_tiling(m, k, n)
+        assert sum(b.size for b in tiling.m_blocks) == m
+        assert sum(b.size for b in tiling.k_blocks) == k
+        assert sum(b.size for b in tiling.n_super_blocks) == n
+        for columns in tiling.mme_columns:
+            assert all(c.size > 0 for c in columns)
+
+
+class TestDatapathConstruction:
+    def test_default_counts_match_fig10(self):
+        xnn = XNNDatapath(XNNConfig(carry_data=False))
+        assert len(xnn.mme_names) == 6
+        assert len(xnn.mem_a_names) == 3
+        assert len(xnn.mem_b_names) == 3
+        assert len(xnn.mem_c_names) == 6
+        assert xnn.mem_c_for("MME2") == "MemC2"
+        assert len(xnn.datapath.channels) > 30
+
+    def test_fu_properties_report(self):
+        xnn = XNNDatapath(XNNConfig(carry_data=False))
+        properties = {p["fu"]: p for p in xnn.fu_properties()}
+        assert properties["MME0"]["tflops"] > 1.0
+        assert properties["MeshA"]["memory_mb"] == 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            XNNConfig(num_mme=4, num_mem_c=2)
+
+
+class TestFunctionalCorrectness:
+    def test_gemm_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        lhs = rng.standard_normal((96, 80)).astype(np.float32)
+        rhs = rng.standard_normal((80, 112)).astype(np.float32)
+        executor = XNNExecutor(config=XNNConfig(carry_data=True))
+        _, out = executor.run_gemm(96, 80, 112, lhs_data=lhs, rhs_data=rhs)
+        np.testing.assert_allclose(out, lhs @ rhs, rtol=1e-4, atol=1e-4)
+
+    def test_gemm_with_bias_and_gelu(self):
+        rng = np.random.default_rng(1)
+        lhs = rng.standard_normal((64, 48)).astype(np.float32)
+        rhs = rng.standard_normal((48, 64)).astype(np.float32)
+        bias = rng.standard_normal(64).astype(np.float32)
+        executor = XNNExecutor(config=XNNConfig(carry_data=True))
+        _, out = executor.run_gemm(64, 48, 64, lhs_data=lhs, rhs_data=rhs,
+                                   fused_ops=(FusedOp.BIAS, FusedOp.GELU), bias_data=bias)
+        from repro.workloads import reference
+        np.testing.assert_allclose(out, reference.gelu(lhs @ rhs + bias),
+                                   rtol=1e-3, atol=1e-3)
+
+    @pytest.mark.parametrize("options", [
+        CodegenOptions.all_optimizations(),
+        CodegenOptions.baseline(),
+        CodegenOptions(interleave_load_store=True, pipeline_attention=False,
+                       overlap_prolog_epilog=False),
+        CodegenOptions(interleave_load_store=False, pipeline_attention=True,
+                       overlap_prolog_epilog=False),
+    ], ids=["all", "none", "interleave", "pipeline"])
+    def test_small_encoder_matches_reference(self, options):
+        """The simulated encoder output equals the NumPy reference under every
+        optimisation combination (i.e. the optimisations never break data
+        dependences)."""
+        executor = XNNExecutor(config=XNNConfig(carry_data=True), options=options)
+        executor.run_encoder(batch=2, seq_len=32, config=TINY)
+        error = np.abs(executor.encoder_output() - executor.reference_encoder_output()).max()
+        assert error < 1e-4
+
+    def test_feedforward_model_functional(self):
+        executor = XNNExecutor(config=XNNConfig(carry_data=True))
+        model = mlp_model(batch=64, hidden=96, depth=2)
+        result = executor.run_feedforward_model(model)
+        assert result.latency_s > 0
+        final = executor._final_memory.array("act2")
+        assert final.shape == (64, 96)
+        assert np.isfinite(final).all()
+
+
+class TestTimingBehaviour:
+    def test_optimizations_reduce_encoder_latency(self):
+        base = XNNExecutor(config=XNNConfig(carry_data=False),
+                           options=CodegenOptions.baseline()).run_encoder(2, 128, TINY)
+        opt = XNNExecutor(config=XNNConfig(carry_data=False),
+                          options=CodegenOptions.all_optimizations()).run_encoder(2, 128, TINY)
+        assert opt.latency_s < base.latency_s
+
+    def test_attention_pipelining_reduces_ddr_traffic(self):
+        base = XNNExecutor(config=XNNConfig(carry_data=False),
+                           options=CodegenOptions.baseline()).run_encoder(2, 128, TINY)
+        pipe = XNNExecutor(config=XNNConfig(carry_data=False),
+                           options=CodegenOptions(interleave_load_store=False,
+                                                  overlap_prolog_epilog=False,
+                                                  pipeline_attention=True)
+                           ).run_encoder(2, 128, TINY)
+        assert pipe.ddr_bytes < base.ddr_bytes
+
+    def test_bandwidth_scaling_speeds_up_memory_bound_runs(self):
+        slow = XNNExecutor(config=XNNConfig(carry_data=False, bandwidth_scale=0.5)
+                           ).run_encoder(2, 128, TINY)
+        fast = XNNExecutor(config=XNNConfig(carry_data=False, bandwidth_scale=2.0)
+                           ).run_encoder(2, 128, TINY)
+        assert fast.latency_s < slow.latency_s
+
+    def test_latency_grows_with_batch(self):
+        executor = XNNExecutor(config=XNNConfig(carry_data=False))
+        small = executor.run_encoder(1, 128, TINY)
+        large = executor.run_encoder(4, 128, TINY)
+        assert large.latency_s > small.latency_s
+        assert large.throughput_tasks_per_s > small.throughput_tasks_per_s
+
+
+class TestCodegen:
+    #: a layer big enough to have several K steps and output tiles, so the
+    #: schedule actually exhibits reuse and interleaving.
+    M, K, N = 1536, 512, 1024
+
+    def _builder(self):
+        xnn = XNNDatapath(XNNConfig(carry_data=False))
+        xnn.memory.add("lhs", (self.M, self.K))
+        xnn.memory.add("rhs", (self.K, self.N))
+        xnn.memory.allocate("out", (self.M, self.N))
+        return xnn, ProgramBuilder(xnn, CodegenOptions())
+
+    def test_send_receive_counts_match(self):
+        """The builder honours the RSN contract: producer sends == consumer receives."""
+        xnn, builder = self._builder()
+        layer = MatMulLayer("gemm", m=self.M, k=self.K, n=self.N)
+        builder.add_gemm_layer(layer, lhs="lhs", rhs="rhs", out="out")
+        builder.finalize()
+        uops = builder.per_fu_uops()
+        ddr_loads = sum(1 for u in uops["DDR"] if u.get("load"))
+        mem_a_loads = sum(1 for u in uops["MemA0"] if u.get("load"))
+        # every DDR load of the LHS lands in MemA0 exactly once
+        assert ddr_loads == mem_a_loads
+        mme_outputs = sum(1 for name in xnn.mme_names for u in uops[name] if u.get("emit"))
+        memc_recvs = sum(1 for name in xnn.mem_c_names for u in uops[name] if u.get("recv"))
+        ddr_stores = sum(1 for u in uops["DDR"] if u.get("store"))
+        assert mme_outputs == memc_recvs == ddr_stores
+
+    def test_multi_instance_layer_requires_attention_path(self):
+        xnn, builder = self._builder()
+        layer = MatMulLayer("heads", m=32, k=16, n=32, num=4)
+        with pytest.raises(ValueError):
+            builder.add_gemm_layer(layer, lhs="lhs", rhs="rhs", out="out")
+
+    def test_rsn_program_compresses_uops(self):
+        xnn, builder = self._builder()
+        layer = MatMulLayer("gemm", m=self.M, k=self.K, n=self.N)
+        builder.add_gemm_layer(layer, lhs="lhs", rhs="rhs", out="out")
+        program = builder.build_rsn_program()
+        report = program.size_report()
+        assert program.packet_count < builder.uop_count()
+        # stream-side FUs compress much better than the off-chip FUs
+        assert report.compression_ratio("MemB") > report.compression_ratio("DDR")
+
+    def test_interleaved_schedule_defers_stores(self):
+        xnn, builder = self._builder()
+        layer = MatMulLayer("gemm", m=self.M, k=self.K, n=self.N)
+        builder.add_gemm_layer(layer, lhs="lhs", rhs="rhs", out="out")
+        builder.finalize()
+        ddr = [u for u in builder.per_fu_uops()["DDR"] if u.opcode == "DDR"]
+        first_store = next(i for i, u in enumerate(ddr) if u.get("store"))
+        # with interleaving the first store retires after later loads were issued
+        assert any(u.get("load") for u in ddr[first_store:])
+
+
+class TestMappingAndSegmentation:
+    def test_mapping_comparison_shape(self):
+        encoder = bert_large_encoder(batch=6, seq_len=512)
+        estimates = compare_mapping_types(encoder.layer("attention_mm1"),
+                                          encoder.layer("attention_mm2"))
+        final = {m: e.final_latency_s for m, e in estimates.items()}
+        assert final[MappingType.PIPELINE] == min(final.values())
+        assert final[MappingType.TASK_BY_TASK] > 3 * final[MappingType.PIPELINE]
+
+    def test_segmentation_pipelines_attention_but_not_ffn(self):
+        encoder = bert_large_encoder(batch=6, seq_len=512)
+        segments = {s.name: s for s in segment_model(encoder)}
+        assert any(s.kind is SegmentKind.PIPELINED and "attention_mm1" in s.name
+                   for s in segments.values())
+        ffn_segments = [s for s in segments.values() if "ffn_mm1" in s.name]
+        assert all(s.kind is SegmentKind.SINGLE for s in ffn_segments)
+
+    def test_memory_boundness_classifier(self):
+        encoder = bert_large_encoder(batch=6, seq_len=512)
+        assert is_memory_bound(encoder.layer("attention_mm1"))
+        assert not is_memory_bound(encoder.layer("ffn_mm1"))
+
+    def test_ddr_busy_estimate_orderings(self):
+        strict = ddr_busy_estimate(1.0, 0.5, 1.2, LoadStoreOrdering.STRICT, tiles=10)
+        hw = ddr_busy_estimate(1.0, 0.5, 1.2, LoadStoreOrdering.HARDWARE_ARBITRATED, tiles=10)
+        rsn = ddr_busy_estimate(1.0, 0.5, 1.2, LoadStoreOrdering.INSTRUCTION_INTERLEAVED,
+                                tiles=10)
+        assert rsn <= hw <= strict
+        with pytest.raises(ValueError):
+            ddr_busy_estimate(-1, 0, 0, LoadStoreOrdering.STRICT)
