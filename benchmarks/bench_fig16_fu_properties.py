@@ -10,12 +10,11 @@ from __future__ import annotations
 
 from _helpers import run_once
 from repro.analysis.reporting import Table
-from repro.xnn import XNNConfig, XNNDatapath
+from repro.runner import REGISTRY
 
 
 def _properties():
-    xnn = XNNDatapath(XNNConfig(carry_data=False))
-    return xnn.fu_properties()
+    return REGISTRY.run("fig16/fu-properties")["rows"]
 
 
 def test_fig16_fu_properties(benchmark):

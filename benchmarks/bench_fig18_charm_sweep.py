@@ -10,25 +10,22 @@ from __future__ import annotations
 
 from _helpers import run_once
 from repro.analysis.reporting import Table
-from repro.baselines import CHARM_PUBLISHED, CharmModel
-from repro.workloads import bert_large_encoder
-from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
+from repro.baselines import CHARM_PUBLISHED
+from repro.runner import REGISTRY
 
 BATCHES = (1, 2, 3, 6, 12, 24)
 
 
 def _sweep():
-    executor = XNNExecutor(config=XNNConfig(carry_data=False), options=CodegenOptions())
     points = {}
     for batch in BATCHES:
-        result = executor.run_encoder(batch=batch, seq_len=512)
-        points[batch] = (result.latency_ms, result.throughput_tasks_per_s)
+        result = REGISTRY.run(f"fig18/rsn-b{batch}")
+        points[batch] = (result["latency_ms"], result["throughput_tasks_per_s"])
     return points
 
 
 def test_fig18_latency_throughput_vs_charm(benchmark):
     rsn = run_once(benchmark, _sweep)
-    charm = CharmModel()
 
     table = Table("Fig. 18: BERT-Large 1st encoder vs CHARM across batch sizes",
                   ["batch", "RSN latency (ms)", "RSN tasks/s",
@@ -36,13 +33,11 @@ def test_fig18_latency_throughput_vs_charm(benchmark):
     charm_points = {}
     for batch in BATCHES:
         # CHARM schedules at a six-batch granularity: smaller requests still
-        # execute a full six-batch pass.
-        scheduled = max(batch, charm.schedule_batch)
-        encoder = bert_large_encoder(batch=scheduled, seq_len=512)
-        latency_ms = charm.model_latency(encoder) * 1e3
-        throughput = charm.throughput_tasks_per_s(encoder, useful_tasks=batch)
-        charm_points[batch] = (latency_ms, throughput)
-        table.add_row(batch, rsn[batch][0], rsn[batch][1], latency_ms, throughput)
+        # execute a full six-batch pass (modelled by the charm_encoder kind).
+        point = REGISTRY.run(f"fig18/charm-b{batch}")
+        charm_points[batch] = (point["latency_ms"], point["throughput_tasks_per_s"])
+        table.add_row(batch, rsn[batch][0], rsn[batch][1], point["latency_ms"],
+                      point["throughput_tasks_per_s"])
     table.add_note("paper: RSN best latency 5 ms at B=1 (22x better than CHARM's best), "
                    "6.1x faster at B=6, 3.25x higher peak throughput; CHARM published "
                    f"best latency {CHARM_PUBLISHED['bert_best_latency_ms']} ms, best "

@@ -13,19 +13,18 @@ from repro.analysis.energy import gpu_energy_table, vck190_energy_point
 from repro.analysis.reporting import Table
 from repro.hardware.gpu import GPU_SPECS
 from repro.hardware.vck190 import VCK190
-from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
+from repro.runner import REGISTRY
 
 BATCHES = (1, 2, 4, 8)
 ENCODER_LAYERS = 24
 
 
 def _run_vck190():
-    executor = XNNExecutor(config=XNNConfig(carry_data=False), options=CodegenOptions())
     points = {}
     for batch in BATCHES:
-        result = executor.run_encoder(batch=batch, seq_len=384)
-        latency_ms = result.latency_ms * ENCODER_LAYERS
-        traffic_gb = result.offchip_bytes * ENCODER_LAYERS / 1e9
+        result = REGISTRY.run(f"table10/l384-b{batch}")
+        latency_ms = result["latency_ms"] * ENCODER_LAYERS
+        traffic_gb = result["offchip_bytes"] * ENCODER_LAYERS / 1e9
         points[batch] = (latency_ms, traffic_gb)
     return points
 

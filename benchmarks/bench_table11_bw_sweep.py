@@ -11,23 +11,21 @@ from __future__ import annotations
 
 from _helpers import run_once
 from repro.analysis.reporting import Table
+from repro.runner import REGISTRY
 from repro.workloads import bert_large_encoder
-from repro.xnn import CodegenOptions, XNNConfig
-from repro.xnn.bandwidth import (bandwidth_sweep_latency, infinite_bandwidth_bound,
-                                 infinite_compute_bound)
+from repro.xnn.bandwidth import infinite_bandwidth_bound, infinite_compute_bound
 
 PAPER_SPEEDUPS = {0.5: 0.63, 1.0: 1.0, 2.0: 1.15, 3.0: 1.19}
+SCALES = (0.5, 1.0, 2.0, 3.0)
 
 
 def _sweep():
-    return bandwidth_sweep_latency(scales=(0.5, 1.0, 2.0, 3.0), batch=8, seq_len=384,
-                                   options=CodegenOptions(),
-                                   base_config=XNNConfig(carry_data=False))
+    return {scale: REGISTRY.run(f"table11/bw-{scale:g}x")["latency_s"]
+            for scale in SCALES}
 
 
 def test_table11_bandwidth_sweep(benchmark):
-    points = run_once(benchmark, _sweep)
-    by_scale = {p.bandwidth_scale: p.latency_s for p in points}
+    by_scale = run_once(benchmark, _sweep)
     base = by_scale[1.0]
 
     model = bert_large_encoder(batch=8, seq_len=384)
@@ -38,7 +36,7 @@ def test_table11_bandwidth_sweep(benchmark):
                   ["scenario", "latency (ms)", "speedup vs 1x", "paper speedup"])
     table.add_row("infinite BW & no setup", inf_bw * 1e3, base / inf_bw, 1.43)
     table.add_row("infinite compute", inf_compute * 1e3, base / inf_compute, 1.27)
-    for scale in (0.5, 1.0, 2.0, 3.0):
+    for scale in SCALES:
         table.add_row(f"{scale:g}X BW", by_scale[scale] * 1e3, base / by_scale[scale],
                       PAPER_SPEEDUPS[scale])
     table.print()

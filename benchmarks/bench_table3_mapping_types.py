@@ -9,17 +9,13 @@ from __future__ import annotations
 
 from _helpers import run_once
 from repro.analysis.reporting import Table
-from repro.workloads import bert_large_encoder
-from repro.xnn.mapping import MappingType, compare_mapping_types
+from repro.runner import REGISTRY
 
 PAPER_FINAL_MS = {"A": 2.43, "B": 10.9, "C": 10.9, "D": 2.24}
 
 
 def _estimate():
-    encoder = bert_large_encoder(batch=6, seq_len=512)
-    mm1 = encoder.layer("attention_mm1")
-    mm2 = encoder.layer("attention_mm2")
-    return compare_mapping_types(mm1, mm2)
+    return REGISTRY.run("table3/mapping-types")
 
 
 def test_table3_mapping_types(benchmark):
@@ -28,15 +24,15 @@ def test_table3_mapping_types(benchmark):
                   ["mapping", "BW bound (ms)", "compute bound (ms)", "AIE used",
                    "final (ms)", "paper final (ms)"])
     for mapping, estimate in estimates.items():
-        table.add_row(mapping.value,
-                      estimate.bandwidth_bound_s * 1e3,
-                      estimate.compute_bound_s * 1e3,
-                      f"{estimate.used_aie_fraction:.0%}",
-                      estimate.final_latency_ms,
-                      PAPER_FINAL_MS[mapping.value])
+        table.add_row(mapping,
+                      estimate["bandwidth_bound_s"] * 1e3,
+                      estimate["compute_bound_s"] * 1e3,
+                      f"{estimate['used_aie_fraction']:.0%}",
+                      estimate["final_latency_ms"],
+                      PAPER_FINAL_MS[mapping])
     table.print()
 
-    final = {m.value: e.final_latency_ms for m, e in estimates.items()}
+    final = {m: e["final_latency_ms"] for m, e in estimates.items()}
     # Shape checks: D is the best mapping, the off-chip mappings are several
     # times worse, and A sits close to D (compute-bound, not traffic-bound).
     assert final["D"] <= min(final.values()) + 1e-9

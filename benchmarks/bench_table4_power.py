@@ -12,12 +12,11 @@ from __future__ import annotations
 from _helpers import run_once
 from repro.analysis.reporting import Table
 from repro.hardware.power import FUPowerInput, PAPER_POWER_BREAKDOWN, PowerModel
-from repro.xnn import XNNConfig, XNNDatapath
+from repro.runner import REGISTRY
 
 
 def _estimate():
-    xnn = XNNDatapath(XNNConfig(carry_data=False))
-    properties = {p["fu"]: p for p in xnn.fu_properties()}
+    properties = {p["fu"]: p for p in REGISTRY.run("fig16/fu-properties")["rows"]}
     mme = [p for name, p in properties.items() if name.startswith("MME")]
     memc = [p for name, p in properties.items() if name.startswith("MemC")]
     mema = [p for name, p in properties.items() if name.startswith("MemA")]

@@ -11,12 +11,12 @@ from _helpers import run_once
 from repro.analysis.reporting import Table
 from repro.hardware.area import (AreaModel, DECODER_AREA_COMPARISON,
                                  UTILIZATION_COMPARISON)
-from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
+from repro.runner import REGISTRY
+from repro.xnn import XNNConfig
 
 
 def _run():
-    executor = XNNExecutor(config=XNNConfig(carry_data=False), options=CodegenOptions())
-    result = executor.run_encoder(batch=6, seq_len=512)
+    result = REGISTRY.run("table8/encoder-peak")
     config = XNNConfig(carry_data=False)
     # PL-side decoder structure: every FU type except the AIE-resident MMEs.
     num_fu_types = 7
@@ -40,7 +40,7 @@ def test_table5_overhead_and_utilization(benchmark):
                     dfx["brams"], dfx["lut_pct"])
     table_a.print()
 
-    achieved_tflops = result.achieved_tflops
+    achieved_tflops = result["achieved_tflops"]
     util = AreaModel.utilization_pct(achieved_tflops, 8.0)
     table_b = Table("Table 5b: computation resource utilisation",
                     ["design", "precision", "peak TFLOPS", "off-chip GB/s",

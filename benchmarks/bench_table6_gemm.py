@@ -12,24 +12,21 @@ from __future__ import annotations
 from _helpers import run_once
 from repro.analysis.reporting import Table
 from repro.baselines import CHARM_PUBLISHED, CharmModel
-from repro.hardware.aie import AIEArrayModel, PUBLISHED_AIE_GEMM
-from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
+from repro.hardware.aie import PUBLISHED_AIE_GEMM
+from repro.runner import REGISTRY
 
 
 def _run_end_to_end():
-    executor = XNNExecutor(config=XNNConfig(carry_data=False), options=CodegenOptions())
-    results = {}
-    for size in (1024, 3072, 6144):
-        result, _ = executor.run_gemm(size, size, size)
-        results[size] = result.flops / result.latency_s / 1e9
-    return results
+    return {size: REGISTRY.run(f"table6b/gemm-{size}")["gflops"]
+            for size in (1024, 3072, 6144)}
 
 
 def test_table6a_aie_gemm_throughput(benchmark):
-    aie = AIEArrayModel()
     shapes = [(32, 16, 32), (32, 32, 16), (32, 32, 32)]
-    measured = run_once(benchmark,
-                        lambda: {s: aie.array_gemm_flops(s) / 1e9 for s in shapes})
+    measured = run_once(
+        benchmark,
+        lambda: {s: REGISTRY.run(f"table6a/aie-{'x'.join(map(str, s))}")["gflops"]
+                 for s in shapes})
 
     table = Table("Table 6a: AIE-only GEMM throughput (PL-fed, no DRAM)",
                   ["method", "tile (MxKxN)", "AIE tiles", "GFLOPS"])

@@ -10,27 +10,19 @@ from __future__ import annotations
 from _helpers import run_once
 from repro.analysis.reporting import Table
 from repro.baselines import CHARM_PUBLISHED, CharmModel
+from repro.runner import REGISTRY
 from repro.workloads import bert_large_encoder, mlp_model, ncf_model, vit_model
-from repro.workloads.vit import VIT_BASE
-from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
 
 
 def _run_models():
-    executor = XNNExecutor(config=XNNConfig(carry_data=False), options=CodegenOptions())
-    results = {}
-
-    bert = executor.run_encoder(batch=6, seq_len=512)
-    results["BERT"] = bert.latency_ms / bert.batch
-
-    vit = executor.run_encoder(batch=6, seq_len=208, config=VIT_BASE)
-    results["VIT"] = vit.latency_ms / vit.batch
-
-    ncf = executor.run_feedforward_model(ncf_model(batch=16384))
-    results["NCF"] = ncf.latency_ms
-
-    mlp = executor.run_feedforward_model(mlp_model(batch=3072))
-    results["MLP"] = mlp.latency_ms
-    return results
+    bert = REGISTRY.run("table7/bert")
+    vit = REGISTRY.run("table7/vit")
+    return {
+        "BERT": bert["latency_ms"] / bert["batch"],
+        "VIT": vit["latency_ms"] / vit["batch"],
+        "NCF": REGISTRY.run("table7/ncf")["latency_ms"],
+        "MLP": REGISTRY.run("table7/mlp")["latency_ms"],
+    }
 
 
 def test_table7_latency_per_task(benchmark):

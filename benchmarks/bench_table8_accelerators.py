@@ -12,13 +12,11 @@ from __future__ import annotations
 from _helpers import run_once
 from repro.analysis.reporting import Table
 from repro.baselines import TABLE8_ACCELERATORS
-from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
+from repro.runner import REGISTRY
 
 
 def _run():
-    executor = XNNExecutor(config=XNNConfig(carry_data=False), options=CodegenOptions())
-    result = executor.run_encoder(batch=6, seq_len=512)
-    return result.achieved_tflops
+    return REGISTRY.run("table8/encoder-peak")["achieved_tflops"]
 
 
 def test_table8_accelerator_comparison(benchmark):

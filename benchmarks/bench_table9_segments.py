@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from _helpers import run_once
 from repro.analysis.reporting import Table
-from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
+from repro.runner import REGISTRY
 
 PAPER = {
     "no_optimize_total_ms": 44.8,
@@ -23,23 +23,24 @@ PAPER = {
     "attention_speedup": 8.52,
 }
 
+#: display name -> registered Table 9 scenario.
+VARIANTS = {
+    "no optimize": "table9/no-optimize",
+    "bw optimized": "table9/bw-optimized",
+    "pipeline attention": "table9/pipeline-attention",
+    "all optimizations": "table9/all-optimizations",
+}
+
 
 def _run_all_variants():
-    variants = {
-        "no optimize": CodegenOptions.baseline(),
-        "bw optimized": CodegenOptions(interleave_load_store=True,
-                                       pipeline_attention=False,
-                                       overlap_prolog_epilog=False),
-        "pipeline attention": CodegenOptions(interleave_load_store=False,
-                                             pipeline_attention=True,
-                                             overlap_prolog_epilog=False),
-        "all optimizations": CodegenOptions.all_optimizations(),
-    }
-    results = {}
-    for name, options in variants.items():
-        executor = XNNExecutor(config=XNNConfig(carry_data=False), options=options)
-        results[name] = executor.run_encoder(batch=6, seq_len=512)
-    return results
+    return {name: REGISTRY.run(scenario) for name, scenario in VARIANTS.items()}
+
+
+def _segment(result, name):
+    for segment in result["segments"]:
+        if segment["name"] == name:
+            return segment
+    raise KeyError(name)
 
 
 def test_table9_segment_latency(benchmark):
@@ -50,25 +51,27 @@ def test_table9_segment_latency(benchmark):
     table = Table("Table 9: BERT-Large 1st encoder latency by segment (ms), B=6, L=512",
                   ["variant", "QKV", "attention+dense", "FFN", "total", "speedup"])
     for name, result in results.items():
-        segments = {s.name: s.latency_ms for s in result.segments}
+        segments = {s["name"]: s["latency_s"] * 1e3 for s in result["segments"]}
         table.add_row(name, segments.get("qkv"), segments.get("attention+dense"),
-                      segments.get("ffn"), result.latency_ms,
-                      baseline.latency_s / result.latency_s)
+                      segments.get("ffn"), result["latency_ms"],
+                      baseline["latency_s"] / result["latency_s"])
     table.add_note(f"paper: no-optimize ≈ {PAPER['no_optimize_total_ms']} ms, final "
                    f"{PAPER['final_total_ms']} ms (2.47x); attention pipelining alone "
                    f"is worth {PAPER['attention_speedup']}x on the attention MMs")
     table.print()
 
     # Interleaving alone helps the GEMM-heavy segments.
-    assert results["bw optimized"].segment("qkv").latency_s < baseline.segment("qkv").latency_s
-    assert results["bw optimized"].segment("ffn").latency_s < baseline.segment("ffn").latency_s
+    bw = results["bw optimized"]
+    assert _segment(bw, "qkv")["latency_s"] < _segment(baseline, "qkv")["latency_s"]
+    assert _segment(bw, "ffn")["latency_s"] < _segment(baseline, "ffn")["latency_s"]
     # Attention pipelining is the big win on the attention segment.
-    attention_speedup = (baseline.segment("attention+dense").latency_s
-                         / results["pipeline attention"].segment("attention+dense").latency_s)
+    attention_speedup = (
+        _segment(baseline, "attention+dense")["latency_s"]
+        / _segment(results["pipeline attention"], "attention+dense")["latency_s"])
     assert attention_speedup > 2.5
     # Everything together: a ~2x or better end-to-end speedup, in the same
     # latency regime as the paper's measurement.
-    total_speedup = baseline.latency_s / final.latency_s
+    total_speedup = baseline["latency_s"] / final["latency_s"]
     assert total_speedup > 1.8
-    assert 12 < final.latency_ms < 30
-    assert 35 < baseline.latency_ms < 60
+    assert 12 < final["latency_ms"] < 30
+    assert 35 < baseline["latency_ms"] < 60

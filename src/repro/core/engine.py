@@ -38,8 +38,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Tuple
 
 from .exceptions import DeadlockError, SimulationLimitError, StreamClosedError
 from .kernel import Delay, Fork, Parallel, Read, Wait, Write
@@ -49,6 +50,11 @@ __all__ = ["Process", "ProcessHandle", "Simulator", "SimulationStats"]
 
 
 KernelGenerator = Generator[Any, Any, Any]
+
+#: sentinel distinguishing "resume with no explicit value" from resuming with
+#: a legitimate ``None`` (e.g. a ``Wait`` joining a process that returned
+#: ``None``, or a ``Read`` delivering a ``None`` message).
+_NO_VALUE = object()
 
 
 @dataclass
@@ -70,6 +76,8 @@ class SimulationStats:
 
 class ProcessHandle:
     """Handle returned by :class:`Fork`, used with :class:`Wait`."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process"):
         self.process = process
@@ -101,6 +109,10 @@ class Process:
     DELAYED = "delayed"
     FINISHED = "finished"
 
+    __slots__ = ("name", "generator", "parent", "state", "result", "finished",
+                 "waiting_on", "outstanding_children",
+                 "busy_time", "blocked_time", "last_state_change", "on_finish")
+
     def __init__(self, name: str, generator: KernelGenerator,
                  parent: Optional["Process"] = None):
         self.name = name
@@ -109,8 +121,6 @@ class Process:
         self.state = self.READY
         self.result: Any = None
         self.finished = False
-        #: value to send into the generator on next resume.
-        self.pending_value: Any = None
         #: what the process is waiting on (for deadlock reports).
         self.waiting_on: str = ""
         #: number of outstanding children the process is joined on.
@@ -139,15 +149,27 @@ class Simulator:
         :class:`SimulationLimitError` rather than hanging a test run.
     max_time:
         Optional simulated-time budget in seconds.
+    fast_zero_delay:
+        When true (the default), events scheduled at the current simulation
+        time -- read/write completions, forks, joins -- bypass the heap and go
+        through a FIFO deque instead.  Event *order* is identical either way
+        (entries carry the same global sequence numbers and the run loop merges
+        the two queues in ``(time, sequence)`` order); the flag exists so the
+        engine-throughput microbenchmark can measure the heap round-trip cost.
     """
 
     def __init__(self, trace: Any = None, max_events: int = 50_000_000,
-                 max_time: Optional[float] = None):
+                 max_time: Optional[float] = None, fast_zero_delay: bool = True):
         self.now = 0.0
         self.trace = trace
         self.max_events = max_events
         self.max_time = max_time
-        self._event_queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self.fast_zero_delay = fast_zero_delay
+        #: heap of ``(time, sequence, callback, args)`` entries.
+        self._event_queue: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        #: FIFO of same-shape entries scheduled at the current time.  Times in
+        #: the deque are nondecreasing, so its front is always the oldest.
+        self._immediate: Deque[Tuple[float, int, Callable[..., None], tuple]] = deque()
         self._sequence = itertools.count()
         self._processes: List[Process] = []
         self._live_processes = 0
@@ -161,7 +183,7 @@ class Simulator:
         process = Process(name, generator, parent=parent)
         self._processes.append(process)
         self._live_processes += 1
-        self._schedule(self.now, lambda: self._resume(process))
+        self._schedule_now(self._resume, process)
         return process
 
     # ------------------------------------------------------------------- run
@@ -176,19 +198,29 @@ class Simulator:
         SimulationLimitError
             If the event or time budget is exceeded.
         """
-        while self._event_queue:
-            time, _, callback = heapq.heappop(self._event_queue)
-            if self.max_time is not None and time > self.max_time:
+        queue = self._event_queue
+        immediate = self._immediate
+        heappop = heapq.heappop
+        max_time = self.max_time
+        max_events = self.max_events
+        while queue or immediate:
+            # Merge the two queues in (time, sequence) order so the event
+            # order is exactly the one a single heap would produce.
+            if immediate and (not queue or immediate[0] < queue[0]):
+                time, _, callback, args = immediate.popleft()
+            else:
+                time, _, callback, args = heappop(queue)
+            if max_time is not None and time > max_time:
                 raise SimulationLimitError(
-                    f"simulated time limit of {self.max_time}s exceeded at t={time}"
+                    f"simulated time limit of {max_time}s exceeded at t={time}"
                 )
             self.now = time
             self._events_processed += 1
-            if self._events_processed > self.max_events:
+            if self._events_processed > max_events:
                 raise SimulationLimitError(
-                    f"event limit of {self.max_events} exceeded at t={self.now}"
+                    f"event limit of {max_events} exceeded at t={self.now}"
                 )
-            callback()
+            callback(*args)
         if self._live_processes:
             blocked = [
                 (p.name, p.waiting_on)
@@ -212,8 +244,16 @@ class Simulator:
 
     # ------------------------------------------------------- event scheduling
 
-    def _schedule(self, time: float, callback: Callable[[], None]) -> None:
-        heapq.heappush(self._event_queue, (time, next(self._sequence), callback))
+    def _schedule(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        heapq.heappush(self._event_queue, (time, next(self._sequence), callback, args))
+
+    def _schedule_now(self, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule an event at the current time without a heap round-trip."""
+        if self.fast_zero_delay:
+            self._immediate.append((self.now, next(self._sequence), callback, args))
+        else:
+            heapq.heappush(self._event_queue, (self.now, next(self._sequence),
+                                               callback, args))
 
     def _record(self, kind: str, process: Process, detail: str = "") -> None:
         if self.trace is not None:
@@ -231,15 +271,21 @@ class Simulator:
         process.state = state
         process.last_state_change = self.now
 
-    def _resume(self, process: Process, value: Any = None) -> None:
-        """Advance a process generator by one request."""
+    def _resume(self, process: Process, value: Any = _NO_VALUE) -> None:
+        """Advance a process generator by one request.
+
+        ``value`` is the result of the process's last request (a read message,
+        join result, ...) and is sent into the generator verbatim -- ``None``
+        is a perfectly legitimate message or process result.  The ``_NO_VALUE``
+        sentinel marks a plain resume (initial start, delay expiry) with no
+        request result to deliver; it sends ``None``, as generators require.
+        """
         if process.finished:
             return
         self._set_state(process, Process.RUNNING)
-        send_value = value if value is not None else process.pending_value
-        process.pending_value = None
         try:
-            request = process.generator.send(send_value)
+            request = process.generator.send(
+                None if value is _NO_VALUE else value)
         except StopIteration as stop:
             self._finish(process, getattr(stop, "value", None))
             return
@@ -258,7 +304,12 @@ class Simulator:
     # ----------------------------------------------------- request dispatching
 
     def _dispatch(self, process: Process, request: Any) -> None:
-        if isinstance(request, Delay):
+        # Exact-type dispatch keeps the hot path to one dict lookup; the
+        # isinstance chain below still honours subclassed request types.
+        handler = _HANDLERS.get(type(request))
+        if handler is not None:
+            handler(self, process, request)
+        elif isinstance(request, Delay):
             self._handle_delay(process, request)
         elif isinstance(request, Write):
             self._handle_write(process, request)
@@ -281,7 +332,10 @@ class Simulator:
         self._set_state(process, Process.DELAYED)
         process.waiting_on = f"delay {request.seconds:.3e}s"
         self._record("delay", process, process.waiting_on)
-        self._schedule(self.now + request.seconds, lambda: self._resume(process))
+        if request.seconds:
+            self._schedule(self.now + request.seconds, self._resume, process)
+        else:
+            self._schedule_now(self._resume, process)
 
     # -- stream writes ---------------------------------------------------------
 
@@ -317,13 +371,18 @@ class Simulator:
         self._set_state(process, Process.DELAYED)
         process.waiting_on = f"transfer on {channel.name!r}"
         self._record("write", process, f"{channel.name} ({nbytes} B)")
+        if transfer:
+            self._schedule(self.now + transfer, self._complete_transfer,
+                           process, channel, message, nbytes)
+        else:
+            self._schedule_now(self._complete_transfer, process, channel,
+                               message, nbytes)
 
-        def complete() -> None:
-            channel.deliver(message, nbytes)
-            self._wake_reader(channel)
-            self._resume(process)
-
-        self._schedule(self.now + transfer, complete)
+    def _complete_transfer(self, process: Process, channel: StreamChannel,
+                           message: Any, nbytes: int) -> None:
+        channel.deliver(message, nbytes)
+        self._wake_reader(channel)
+        self._resume(process)
 
     def _wake_reader(self, channel: StreamChannel) -> None:
         if channel._blocked_readers and not channel.is_empty:
@@ -331,7 +390,7 @@ class Simulator:
             message = channel.pop()
             channel.stats.reader_block_time += self.now - reader.last_state_change
             self._record("unblock-read", reader, channel.name)
-            self._schedule(self.now, lambda: self._resume(reader, message))
+            self._schedule_now(self._resume, reader, message)
             self._wake_writer(channel)
 
     def _wake_writer(self, channel: StreamChannel) -> None:
@@ -349,7 +408,7 @@ class Simulator:
             message = channel.pop()
             self._record("read", process, channel.name)
             self._wake_writer(channel)
-            self._schedule(self.now, lambda: self._resume(process, message))
+            self._schedule_now(self._resume, process, message)
             return
         if channel.closed:
             raise StreamClosedError(
@@ -365,7 +424,7 @@ class Simulator:
     def _handle_parallel(self, process: Process, request: Parallel) -> None:
         branches = list(request.branches)
         if not branches:
-            self._schedule(self.now, lambda: self._resume(process, []))
+            self._schedule_now(self._resume, process, [])
             return
         results: List[Any] = [None] * len(branches)
         process.outstanding_children = len(branches)
@@ -377,7 +436,7 @@ class Simulator:
                 results[index] = child.result
                 process.outstanding_children -= 1
                 if process.outstanding_children == 0:
-                    self._schedule(self.now, lambda: self._resume(process, results))
+                    self._schedule_now(self._resume, process, results)
             return callback
 
         for index, branch in enumerate(branches):
@@ -388,17 +447,28 @@ class Simulator:
         child = self.add_process(request.name or f"{process.name}/fork", request.branch,
                                  parent=process)
         handle = ProcessHandle(child)
-        self._schedule(self.now, lambda: self._resume(process, handle))
+        self._schedule_now(self._resume, process, handle)
 
     def _handle_wait(self, process: Process, request: Wait) -> None:
         handle = request.handle
         if handle.finished:
-            self._schedule(self.now, lambda: self._resume(process, handle.result))
+            self._schedule_now(self._resume, process, handle.result)
             return
         self._set_state(process, Process.BLOCKED_JOIN)
         process.waiting_on = f"join on {handle.process.name!r}"
 
         def callback(child: Process) -> None:
-            self._schedule(self.now, lambda: self._resume(process, child.result))
+            self._schedule_now(self._resume, process, child.result)
 
         handle.process.on_finish.append(callback)
+
+
+#: exact-type fast dispatch table (see :meth:`Simulator._dispatch`).
+_HANDLERS: Dict[type, Callable[..., None]] = {
+    Delay: Simulator._handle_delay,
+    Write: Simulator._handle_write,
+    Read: Simulator._handle_read,
+    Parallel: Simulator._handle_parallel,
+    Fork: Simulator._handle_fork,
+    Wait: Simulator._handle_wait,
+}

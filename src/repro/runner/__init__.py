@@ -1,0 +1,40 @@
+"""Parallel sweep-runner subsystem: declarative scenarios, caching, fan-out.
+
+The runner turns the benchmark suite's ad-hoc scripts into data:
+
+* :mod:`repro.runner.scenarios` -- the :class:`Scenario` dataclass and the
+  process-wide :data:`REGISTRY` of scenario kinds and named scenarios;
+* :mod:`repro.runner.library` -- the catalogue: every benchmark table/figure
+  point registered as a tagged scenario (imported here, so ``import
+  repro.runner`` yields a fully populated registry);
+* :mod:`repro.runner.cache` -- the on-disk :class:`ResultCache`, keyed by
+  scenario identity plus a content hash of the package sources;
+* :mod:`repro.runner.sweep` -- :func:`run_sweep`, which resolves cache hits
+  and fans the rest out over a ``multiprocessing`` pool;
+* :mod:`repro.runner.cli` -- ``python -m repro.runner`` (list / run / sweep /
+  cache subcommands).
+
+Typical library use::
+
+    from repro.runner import REGISTRY, ResultCache, run_sweep
+
+    outcomes = run_sweep([s.name for s in REGISTRY.select(tags=["table9"])],
+                         workers=4, cache=ResultCache())
+"""
+
+from .scenarios import REGISTRY, Scenario, ScenarioRegistry, canonical_json
+from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version
+from .sweep import SweepOutcome, run_sweep
+from . import library  # noqa: F401 -- registers the scenario catalogue
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "REGISTRY",
+    "ResultCache",
+    "Scenario",
+    "ScenarioRegistry",
+    "SweepOutcome",
+    "canonical_json",
+    "code_version",
+    "run_sweep",
+]

@@ -1,0 +1,123 @@
+"""On-disk result cache for scenario runs.
+
+Cache entries are JSON files keyed by a stable hash of the scenario's
+canonical identity (kind + parameters) *and* the code version -- a content
+hash over every ``.py`` file of the :mod:`repro` package.  Editing any source
+file therefore invalidates the whole cache automatically; repeated sweeps on
+unchanged code are near-instant cache hits that return byte-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .scenarios import Scenario, canonical_json
+
+__all__ = ["ResultCache", "code_version", "DEFAULT_CACHE_DIR"]
+
+#: default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of the :mod:`repro` package sources (cached per process)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+class ResultCache:
+    """A directory of ``<scenario>-<key>.json`` scenario results."""
+
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ---------------------------------------------------------------- keying
+
+    def key(self, scenario: Scenario) -> str:
+        """Stable hash of (scenario identity, code version)."""
+        identity = scenario.canonical() + "|" + code_version()
+        return hashlib.sha256(identity.encode()).hexdigest()[:20]
+
+    def path(self, scenario: Scenario) -> Path:
+        safe_name = scenario.name.replace("/", "__")
+        return self.root / f"{safe_name}-{self.key(scenario)}.json"
+
+    # ----------------------------------------------------------------- store
+
+    def store(self, scenario: Scenario, result: Dict[str, Any],
+              elapsed_s: float) -> Path:
+        """Persist one scenario result atomically; returns the entry path."""
+        path = self.path(scenario)
+        payload = {
+            "scenario": scenario.name,
+            "kind": scenario.kind,
+            "params": dict(scenario.params),
+            "code_version": code_version(),
+            "elapsed_s": elapsed_s,
+            "result": result,
+        }
+        encoded = json.dumps(payload, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(encoded)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    # ------------------------------------------------------------------ load
+
+    def load(self, scenario: Scenario) -> Optional[Dict[str, Any]]:
+        """Return the cached payload for ``scenario``, or ``None`` on a miss.
+
+        A hit requires the file to exist *and* its recorded identity to match
+        the scenario and current code version (defence against hash-prefix
+        collisions and manually edited entries).
+        """
+        path = self.path(scenario)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (payload.get("kind") != scenario.kind
+                or payload.get("code_version") != code_version()
+                or canonical_json(payload.get("params")) != canonical_json(
+                    dict(scenario.params))):
+            return None
+        return payload
+
+    # ------------------------------------------------------------- inventory
+
+    def entries(self) -> list:
+        return sorted(self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,143 @@
+"""Command-line interface for the sweep runner.
+
+Usage (with ``PYTHONPATH=src``)::
+
+    python -m repro.runner list [--tag TAG]
+    python -m repro.runner run NAME [NAME ...] [--workers N] [options]
+    python -m repro.runner sweep (--tag TAG ... | --all | NAME ...) [options]
+    python -m repro.runner cache (--show | --clear)
+
+Common options: ``--workers N`` (parallel worker processes), ``--cache-dir D``
+(default ``.repro-cache``), ``--no-cache``, ``--force`` (ignore cache hits but
+refresh entries), ``--json FILE`` (dump outcomes as JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version
+from .scenarios import REGISTRY
+from .sweep import SweepOutcome, run_sweep
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Declarative scenario sweeps over the RSN simulator.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list registered scenarios")
+    list_cmd.add_argument("--tag", action="append", default=None,
+                          help="only scenarios carrying this tag (repeatable)")
+
+    def add_exec_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--workers", type=int, default=1,
+                         help="worker processes (default: 1, serial)")
+        cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
+        cmd.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache entirely")
+        cmd.add_argument("--force", action="store_true",
+                         help="re-run even on cache hits (refreshes entries)")
+        cmd.add_argument("--json", dest="json_path", default=None,
+                         help="write outcomes to this JSON file")
+
+    run_cmd = sub.add_parser("run", help="run scenarios by name")
+    run_cmd.add_argument("names", nargs="+", help="scenario names")
+    add_exec_options(run_cmd)
+
+    sweep_cmd = sub.add_parser("sweep", help="run a tagged or full sweep")
+    sweep_cmd.add_argument("names", nargs="*", help="extra scenario names")
+    sweep_cmd.add_argument("--tag", action="append", default=None,
+                           help="include every scenario with this tag (repeatable)")
+    sweep_cmd.add_argument("--all", action="store_true",
+                           help="run the entire catalogue")
+    add_exec_options(sweep_cmd)
+
+    cache_cmd = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    group = cache_cmd.add_mutually_exclusive_group()
+    group.add_argument("--show", action="store_true", help="list entries (default)")
+    group.add_argument("--clear", action="store_true", help="delete all entries")
+
+    return parser
+
+
+def _print_outcomes(outcomes: List[SweepOutcome], wall_s: float) -> None:
+    name_width = max([len(o.scenario) for o in outcomes] + [8])
+    print(f"{'scenario':<{name_width}}  {'source':<6}  {'elapsed':>9}  headline")
+    for outcome in outcomes:
+        source = "cache" if outcome.cached else "run"
+        print(f"{outcome.scenario:<{name_width}}  {source:<6}  "
+              f"{outcome.elapsed_s:>8.3f}s  {outcome.metric()}")
+    fresh = sum(1 for o in outcomes if not o.cached)
+    hits = len(outcomes) - fresh
+    print(f"-- {len(outcomes)} scenario(s): {fresh} executed, {hits} cache hit(s), "
+          f"wall {wall_s:.2f}s, code version {code_version()}")
+
+
+def _dump_json(outcomes: List[SweepOutcome], path: str) -> None:
+    payload = [{"scenario": o.scenario, "kind": o.kind, "cached": o.cached,
+                "elapsed_s": o.elapsed_s, "result": o.result} for o in outcomes]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    print(f"wrote {len(payload)} outcome(s) to {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from . import library  # noqa: F401 -- populates the registry
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        scenarios = REGISTRY.select(tags=args.tag) if args.tag else REGISTRY.select()
+        name_width = max([len(s.name) for s in scenarios] + [8])
+        for scenario in scenarios:
+            tags = ",".join(scenario.tags)
+            print(f"{scenario.name:<{name_width}}  [{tags}]  {scenario.description}")
+        print(f"-- {len(scenarios)} scenario(s); tags: {', '.join(REGISTRY.all_tags())}")
+        return 0
+
+    if args.command == "cache":
+        cache = ResultCache(args.cache_dir)
+        if args.clear:
+            print(f"removed {cache.clear()} entrie(s) from {cache.root}")
+            return 0
+        entries = cache.entries()
+        for path in entries:
+            print(path)
+        print(f"-- {len(entries)} entrie(s) in {cache.root}, "
+              f"code version {code_version()}")
+        return 0
+
+    if args.command == "run":
+        scenarios = list(args.names)
+    else:  # sweep
+        if args.all:
+            scenarios = [s.name for s in REGISTRY.select()]
+        elif args.tag or args.names:
+            scenarios = [s.name for s in REGISTRY.select(names=args.names,
+                                                         tags=args.tag)]
+        else:
+            print("sweep: pass scenario names, --tag TAG, or --all", file=sys.stderr)
+            return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    start = time.perf_counter()
+    try:
+        outcomes = run_sweep(scenarios, workers=args.workers, cache=cache,
+                             force=args.force)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    wall_s = time.perf_counter() - start
+    _print_outcomes(outcomes, wall_s)
+    if args.json_path:
+        _dump_json(outcomes, args.json_path)
+    return 0

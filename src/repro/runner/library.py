@@ -1,0 +1,313 @@
+"""The scenario catalogue: every benchmark table/figure point as data.
+
+Importing this module populates :data:`repro.runner.scenarios.REGISTRY` with
+
+* the runner functions for each scenario *kind* (end-to-end GEMM, encoder
+  run, CHARM baseline point, mapping-type estimate, ...), and
+* one named scenario per benchmark data point (``table6b/gemm-1024``,
+  ``fig18/rsn-b6``, ``table11/bw-2x``, ...), tagged by the table or figure
+  it reproduces.
+
+Runner functions take only JSON-able keyword parameters and return JSON-able
+dicts, so every scenario can be executed in a worker process and cached on
+disk byte-for-byte (:mod:`repro.runner.sweep`, :mod:`repro.runner.cache`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .scenarios import REGISTRY
+
+__all__ = ["REGISTRY"]
+
+
+# --------------------------------------------------------------------- helpers
+
+def _codegen_options(options: Optional[Dict[str, Any]]):
+    from repro.xnn import CodegenOptions
+    return CodegenOptions(**(options or {}))
+
+
+def _xnn_config(bandwidth_scale: float = 1.0, **overrides):
+    from repro.xnn import XNNConfig
+    return XNNConfig(carry_data=False, bandwidth_scale=bandwidth_scale, **overrides)
+
+
+def _segment_dict(segment) -> Dict[str, Any]:
+    return {
+        "name": segment.name,
+        "latency_s": segment.latency_s,
+        "flops": segment.flops,
+        "ddr_bytes": segment.ddr_bytes,
+        "lpddr_bytes": segment.lpddr_bytes,
+        "uops": segment.uops,
+    }
+
+
+def _encoder_dict(result) -> Dict[str, Any]:
+    return {
+        "name": result.name,
+        "batch": result.batch,
+        "latency_s": result.latency_s,
+        "latency_ms": result.latency_ms,
+        "flops": result.flops,
+        "ddr_bytes": result.ddr_bytes,
+        "lpddr_bytes": result.lpddr_bytes,
+        "offchip_bytes": result.offchip_bytes,
+        "achieved_tflops": result.achieved_tflops,
+        "throughput_tasks_per_s": result.throughput_tasks_per_s,
+        "segments": [_segment_dict(s) for s in result.segments],
+    }
+
+
+# ---------------------------------------------------------------- kind runners
+
+@REGISTRY.kind("aie_gemm")
+def run_aie_gemm(shape: List[int]) -> dict:
+    """Single-kernel AIE-array GEMM throughput for one tile shape (Table 6a)."""
+    from repro.hardware.aie import AIEArrayModel
+    aie = AIEArrayModel()
+    flops = aie.array_gemm_flops(tuple(shape))
+    return {"shape": list(shape), "gflops": flops / 1e9}
+
+
+@REGISTRY.kind("xnn_gemm")
+def run_xnn_gemm(m: int, k: int, n: int,
+                 options: Optional[Dict[str, Any]] = None,
+                 bandwidth_scale: float = 1.0) -> dict:
+    """End-to-end square/rectangular GEMM on the simulated datapath (Table 6b)."""
+    from repro.xnn import XNNExecutor
+    executor = XNNExecutor(config=_xnn_config(bandwidth_scale),
+                           options=_codegen_options(options))
+    result, _ = executor.run_gemm(m, k, n)
+    payload = _segment_dict(result)
+    payload["gflops"] = result.flops / result.latency_s / 1e9 if result.latency_s else 0.0
+    return payload
+
+
+@REGISTRY.kind("xnn_encoder")
+def run_xnn_encoder(batch: int, seq_len: int, model: str = "bert_large",
+                    options: Optional[Dict[str, Any]] = None,
+                    bandwidth_scale: float = 1.0) -> dict:
+    """One transformer encoder layer on the simulated datapath."""
+    from repro.workloads.bert import BERT_LARGE
+    from repro.workloads.vit import VIT_BASE
+    from repro.xnn import XNNExecutor
+    configs = {"bert_large": BERT_LARGE, "vit_base": VIT_BASE}
+    if model not in configs:
+        raise KeyError(f"unknown encoder model {model!r}; known: {sorted(configs)}")
+    executor = XNNExecutor(config=_xnn_config(bandwidth_scale),
+                           options=_codegen_options(options))
+    result = executor.run_encoder(batch=batch, seq_len=seq_len, config=configs[model])
+    return _encoder_dict(result)
+
+
+@REGISTRY.kind("xnn_feedforward")
+def run_xnn_feedforward(model: str, batch: int,
+                        options: Optional[Dict[str, Any]] = None) -> dict:
+    """A pure-GEMM model (NCF / MLP) chained through DDR (Table 7)."""
+    from repro.workloads import mlp_model, ncf_model
+    from repro.xnn import XNNExecutor
+    builders = {"ncf": ncf_model, "mlp": mlp_model}
+    if model not in builders:
+        raise KeyError(f"unknown feedforward model {model!r}; known: {sorted(builders)}")
+    executor = XNNExecutor(config=_xnn_config(), options=_codegen_options(options))
+    result = executor.run_feedforward_model(builders[model](batch=batch))
+    return _encoder_dict(result)
+
+
+@REGISTRY.kind("charm_gemm")
+def run_charm_gemm(size: int) -> dict:
+    """CHARM baseline end-to-end square-MM throughput (Table 6b column)."""
+    from repro.baselines import CharmModel
+    return {"size": size, "gflops": CharmModel().gemm_throughput_gflops(size)}
+
+
+@REGISTRY.kind("charm_encoder")
+def run_charm_encoder(batch: int, seq_len: int) -> dict:
+    """CHARM BERT-Large encoder point with six-batch scheduling (Fig. 18)."""
+    from repro.baselines import CharmModel
+    from repro.workloads import bert_large_encoder
+    charm = CharmModel()
+    scheduled = max(batch, charm.schedule_batch)
+    encoder = bert_large_encoder(batch=scheduled, seq_len=seq_len)
+    return {
+        "batch": batch,
+        "scheduled_batch": scheduled,
+        "latency_ms": charm.model_latency(encoder) * 1e3,
+        "throughput_tasks_per_s": charm.throughput_tasks_per_s(encoder,
+                                                               useful_tasks=batch),
+    }
+
+
+@REGISTRY.kind("mapping_types")
+def run_mapping_types(batch: int, seq_len: int) -> dict:
+    """Latency estimates of the four mapping types on BERT attention (Table 3)."""
+    from repro.workloads import bert_large_encoder
+    from repro.xnn.mapping import compare_mapping_types
+    encoder = bert_large_encoder(batch=batch, seq_len=seq_len)
+    estimates = compare_mapping_types(encoder.layer("attention_mm1"),
+                                      encoder.layer("attention_mm2"))
+    return {
+        mapping.value: {
+            "bandwidth_bound_s": estimate.bandwidth_bound_s,
+            "compute_bound_s": estimate.compute_bound_s,
+            "used_aie_fraction": estimate.used_aie_fraction,
+            "final_latency_ms": estimate.final_latency_ms,
+        }
+        for mapping, estimate in estimates.items()
+    }
+
+
+@REGISTRY.kind("fu_properties")
+def run_fu_properties() -> dict:
+    """Per-FU compute/memory/bandwidth inventory of the datapath (Fig. 16)."""
+    from repro.xnn import XNNDatapath
+    xnn = XNNDatapath(_xnn_config())
+    return {"rows": xnn.fu_properties()}
+
+
+@REGISTRY.kind("engine_chain")
+def run_engine_chain(n_msgs: int = 2000, stages: int = 2,
+                     capacity: int = 4, fast_zero_delay: bool = True) -> dict:
+    """A synthetic producer->relay->consumer pipeline on the raw engine.
+
+    Used by the determinism tests and the CI smoke sweep: cheap, exercises the
+    read/write fast path, and its stats are exactly reproducible.
+    """
+    from repro.core import Delay, Read, Simulator, StreamChannel, Write
+
+    class _Msg:
+        __slots__ = ("nbytes",)
+
+        def __init__(self) -> None:
+            self.nbytes = 64
+
+    sim = Simulator(fast_zero_delay=fast_zero_delay)
+    channels = [StreamChannel(f"c{i}", capacity=capacity, bandwidth=1e9)
+                for i in range(stages + 1)]
+
+    def producer():
+        for _ in range(n_msgs):
+            yield Delay(1e-9)
+            yield Write(channels[0], _Msg())
+
+    def relay(index: int):
+        for _ in range(n_msgs):
+            message = yield Read(channels[index])
+            yield Write(channels[index + 1], message)
+
+    def consumer():
+        for _ in range(n_msgs):
+            yield Read(channels[stages])
+
+    sim.add_process("producer", producer())
+    for index in range(stages):
+        sim.add_process(f"relay{index}", relay(index))
+    sim.add_process("consumer", consumer())
+    stats = sim.run()
+    return {"events": stats.events, "end_time": stats.end_time,
+            "processes": stats.processes}
+
+
+# ------------------------------------------------------------------ catalogue
+
+def _register_catalogue() -> None:
+    # Table 6a: single-kernel AIE GEMM throughput per tile shape.
+    for shape in ((32, 16, 32), (32, 32, 16), (32, 32, 32)):
+        REGISTRY.add(f"table6a/aie-{'x'.join(map(str, shape))}", "aie_gemm",
+                     {"shape": list(shape)}, tags=("table6", "table6a", "analytic"),
+                     description="AIE-only GEMM throughput (Table 6a)")
+
+    # Table 6b: end-to-end square MM with DRAM, vs the CHARM model.
+    for size in (1024, 3072, 6144):
+        REGISTRY.add(f"table6b/gemm-{size}", "xnn_gemm",
+                     {"m": size, "k": size, "n": size},
+                     tags=("table6", "table6b", "sim"),
+                     description="End-to-end square GEMM throughput (Table 6b)")
+        REGISTRY.add(f"table6b/charm-{size}", "charm_gemm", {"size": size},
+                     tags=("table6", "table6b", "charm", "analytic"),
+                     description="CHARM end-to-end GEMM model point (Table 6b)")
+
+    # Table 9: the optimisation-knob ablation on the BERT-Large encoder.
+    table9_variants = {
+        "no-optimize": {"interleave_load_store": False, "pipeline_attention": False,
+                        "overlap_prolog_epilog": False},
+        "bw-optimized": {"interleave_load_store": True, "pipeline_attention": False,
+                         "overlap_prolog_epilog": False},
+        "pipeline-attention": {"interleave_load_store": False,
+                               "pipeline_attention": True,
+                               "overlap_prolog_epilog": False},
+        "all-optimizations": {"interleave_load_store": True,
+                              "pipeline_attention": True,
+                              "overlap_prolog_epilog": True},
+    }
+    for variant, options in table9_variants.items():
+        REGISTRY.add(f"table9/{variant}", "xnn_encoder",
+                     {"batch": 6, "seq_len": 512, "options": options},
+                     tags=("table9", "sim"),
+                     description="BERT-Large encoder, B=6 L=512 (Table 9 ablation)")
+
+    # Table 11: off-chip bandwidth sensitivity, L=384 B=8.
+    for scale in (0.5, 1.0, 2.0, 3.0):
+        REGISTRY.add(f"table11/bw-{scale:g}x", "xnn_encoder",
+                     {"batch": 8, "seq_len": 384, "bandwidth_scale": scale},
+                     tags=("table11", "sim"),
+                     description="BERT-Large encoder with scaled off-chip BW (Table 11)")
+
+    # Fig. 18: latency/throughput across batch sizes, RSN vs CHARM.
+    for batch in (1, 2, 3, 6, 12, 24):
+        REGISTRY.add(f"fig18/rsn-b{batch}", "xnn_encoder",
+                     {"batch": batch, "seq_len": 512},
+                     tags=("fig18", "sim"),
+                     description="BERT-Large encoder across batch sizes (Fig. 18)")
+        REGISTRY.add(f"fig18/charm-b{batch}", "charm_encoder",
+                     {"batch": batch, "seq_len": 512},
+                     tags=("fig18", "charm", "analytic"),
+                     description="CHARM encoder model across batch sizes (Fig. 18)")
+
+    # Table 7: latency per task at maximum throughput for four models.
+    REGISTRY.add("table7/bert", "xnn_encoder", {"batch": 6, "seq_len": 512},
+                 tags=("table7", "sim"),
+                 description="BERT-Large encoder, B=6 L=512 (Table 7)")
+    REGISTRY.add("table7/vit", "xnn_encoder",
+                 {"batch": 6, "seq_len": 208, "model": "vit_base"},
+                 tags=("table7", "sim"),
+                 description="ViT-Base encoder, B=6 L=208 (Table 7)")
+    REGISTRY.add("table7/ncf", "xnn_feedforward", {"model": "ncf", "batch": 16384},
+                 tags=("table7", "sim"), description="NCF MLP tower (Table 7)")
+    REGISTRY.add("table7/mlp", "xnn_feedforward", {"model": "mlp", "batch": 3072},
+                 tags=("table7", "sim"), description="5-layer MLP (Table 7)")
+
+    # Table 8 reuses the BERT peak-throughput run; register the point under
+    # its own name so the table can be regenerated in isolation.
+    REGISTRY.add("table8/encoder-peak", "xnn_encoder", {"batch": 6, "seq_len": 512},
+                 tags=("table8", "sim"),
+                 description="BERT-Large encoder peak-throughput point (Table 8)")
+
+    # Table 10: GPU comparison runs, L=384 across batch sizes.
+    for batch in (1, 2, 4, 8):
+        REGISTRY.add(f"table10/l384-b{batch}", "xnn_encoder",
+                     {"batch": batch, "seq_len": 384},
+                     tags=("table10", "sim"),
+                     description="BERT-Large encoder, L=384 (Table 10 GPU comparison)")
+
+    # Table 3: mapping-type estimates; Fig. 16: FU property inventory.
+    REGISTRY.add("table3/mapping-types", "mapping_types",
+                 {"batch": 6, "seq_len": 512}, tags=("table3", "analytic"),
+                 description="Mapping-type latency estimates (Table 3)")
+    REGISTRY.add("fig16/fu-properties", "fu_properties", {},
+                 tags=("fig16", "table4", "analytic"),
+                 description="Per-FU compute/memory/BW inventory (Fig. 16 / Table 4)")
+
+    # Cheap synthetic engine scenarios for smoke tests and determinism checks.
+    REGISTRY.add("smoke/engine-chain", "engine_chain",
+                 {"n_msgs": 2000, "stages": 2}, tags=("smoke",),
+                 description="Synthetic engine pipeline (CI smoke / determinism)")
+    REGISTRY.add("smoke/engine-chain-deep", "engine_chain",
+                 {"n_msgs": 500, "stages": 6}, tags=("smoke",),
+                 description="Deeper synthetic engine pipeline (CI smoke)")
+
+
+_register_catalogue()

@@ -1,0 +1,144 @@
+"""Declarative simulation scenarios and the registry that holds them.
+
+A *scenario* is one parameterized simulation or model evaluation -- a
+(workload x config x codegen options) point -- described purely as data: a
+scenario *kind* naming a registered runner function, plus a JSON-able
+parameter mapping.  Because scenarios are data, they can be enumerated,
+filtered by tag, fanned out across worker processes, and hashed into stable
+on-disk cache keys (:mod:`repro.runner.cache`).
+
+The registry has two layers:
+
+* **kinds** -- runner functions ``fn(**params) -> dict`` registered with
+  :meth:`ScenarioRegistry.kind`.  A runner must be deterministic in its
+  parameters and return a JSON-serialisable dict, so results can round-trip
+  through the cache and through ``multiprocessing`` unchanged.
+* **scenarios** -- named, tagged parameterizations of a kind, registered with
+  :meth:`ScenarioRegistry.add`.  The benchmark suite's table/figure points
+  are all registered in :mod:`repro.runner.library`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Scenario", "ScenarioRegistry", "REGISTRY", "canonical_json"]
+
+
+def canonical_json(value: Any) -> str:
+    """A stable, whitespace-free JSON encoding used for hashing and equality."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative simulation point.
+
+    Parameters are stored as a plain mapping of JSON-able values; anything a
+    runner needs beyond that (option objects, model specs) is reconstructed
+    inside the runner from these primitives.
+    """
+
+    name: str
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+    description: str = ""
+
+    def canonical(self) -> str:
+        """Stable identity string of the work this scenario describes."""
+        return canonical_json({"kind": self.kind, "params": self.params})
+
+
+class ScenarioRegistry:
+    """Registry of scenario kinds (runner functions) and named scenarios."""
+
+    def __init__(self) -> None:
+        self._kinds: Dict[str, Callable[..., dict]] = {}
+        self._scenarios: Dict[str, Scenario] = {}
+
+    # ----------------------------------------------------------------- kinds
+
+    def kind(self, name: str) -> Callable[[Callable[..., dict]], Callable[..., dict]]:
+        """Decorator registering a runner function for scenario kind ``name``."""
+        def decorator(fn: Callable[..., dict]) -> Callable[..., dict]:
+            if name in self._kinds:
+                raise ValueError(f"scenario kind {name!r} already registered")
+            self._kinds[name] = fn
+            return fn
+        return decorator
+
+    def runner(self, kind: str) -> Callable[..., dict]:
+        try:
+            return self._kinds[kind]
+        except KeyError:
+            raise KeyError(f"unknown scenario kind {kind!r}; "
+                           f"known: {sorted(self._kinds)}") from None
+
+    # ------------------------------------------------------------- scenarios
+
+    def add(self, name: str, kind: str, params: Optional[Mapping[str, Any]] = None,
+            tags: Sequence[str] = (), description: str = "") -> Scenario:
+        """Register a named scenario; returns the frozen :class:`Scenario`."""
+        if name in self._scenarios:
+            raise ValueError(f"scenario {name!r} already registered")
+        if kind not in self._kinds:
+            raise KeyError(f"unknown scenario kind {kind!r} for scenario {name!r}")
+        scenario = Scenario(name=name, kind=kind, params=dict(params or {}),
+                            tags=tuple(tags), description=description)
+        # Fail fast on non-JSON-able params -- they could not be cached or
+        # shipped to worker processes faithfully.
+        canonical_json(scenario.params)
+        self._scenarios[name] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise KeyError(f"unknown scenario {name!r}; run `python -m repro.runner "
+                           "list` for the catalogue") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._scenarios)
+
+    def select(self, names: Optional[Iterable[str]] = None,
+               tags: Optional[Iterable[str]] = None) -> List[Scenario]:
+        """Scenarios by explicit name and/or by tag (union), in stable order."""
+        picked: Dict[str, Scenario] = {}
+        for name in names or ():
+            picked[name] = self.get(name)
+        wanted = set(tags or ())
+        if wanted:
+            for name in self.names():
+                scenario = self._scenarios[name]
+                if wanted & set(scenario.tags):
+                    picked[name] = scenario
+        if names is None and tags is None:
+            picked = {name: self._scenarios[name] for name in self.names()}
+        return [picked[name] for name in sorted(picked)]
+
+    def all_tags(self) -> List[str]:
+        tags = set()
+        for scenario in self._scenarios.values():
+            tags.update(scenario.tags)
+        return sorted(tags)
+
+    # ------------------------------------------------------------- execution
+
+    def run(self, scenario_or_name) -> dict:
+        """Execute one scenario in-process and return its result dict."""
+        scenario = (scenario_or_name if isinstance(scenario_or_name, Scenario)
+                    else self.get(scenario_or_name))
+        result = self.runner(scenario.kind)(**scenario.params)
+        if not isinstance(result, dict):
+            raise TypeError(f"scenario {scenario.name!r}: runner for kind "
+                            f"{scenario.kind!r} returned {type(result).__name__}, "
+                            "expected a JSON-able dict")
+        return result
+
+
+#: the process-wide registry; populated by :mod:`repro.runner.library`.
+REGISTRY = ScenarioRegistry()

@@ -1,0 +1,119 @@
+"""The sweep executor: fan scenarios out across a worker pool, with caching.
+
+:func:`run_sweep` takes scenario names (or :class:`Scenario` objects),
+resolves cache hits first, and executes the remaining scenarios either
+serially or on a ``multiprocessing`` pool.  Workers receive only scenario
+*names* and re-resolve them from the registry, so nothing non-picklable ever
+crosses the process boundary and results are identical however they were
+computed (in-process, in a worker, or read back from the cache -- the
+determinism tests assert exactly this).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .cache import ResultCache
+from .scenarios import REGISTRY, Scenario
+
+__all__ = ["SweepOutcome", "run_sweep"]
+
+
+@dataclass
+class SweepOutcome:
+    """Result of one scenario within a sweep."""
+
+    scenario: str
+    kind: str
+    result: Dict[str, Any]
+    elapsed_s: float
+    cached: bool
+
+    def metric(self) -> str:
+        """A compact human-readable headline number for CLI tables."""
+        result = self.result
+        for key, fmt in (("latency_ms", "{:.3f} ms"), ("latency_s", "{:.3e} s"),
+                         ("gflops", "{:.0f} GFLOPS"), ("events", "{} events")):
+            if key in result:
+                return fmt.format(result[key])
+        return f"{len(result)} field(s)"
+
+
+def _resolve(scenarios: Iterable[Union[str, Scenario]]) -> List[Scenario]:
+    resolved = []
+    for item in scenarios:
+        resolved.append(item if isinstance(item, Scenario) else REGISTRY.get(item))
+    return resolved
+
+
+def _run_one(scenario: Scenario) -> Tuple[str, Dict[str, Any], float]:
+    """Worker entry point: execute one scenario.
+
+    The scenario object itself crosses the process boundary (it is a frozen
+    dataclass of JSON-able values), so ad-hoc scenarios that are not in the
+    registry run with exactly the parameters they carry; only their *kind*
+    must be registered.
+    """
+    # The import populates the kind registry in freshly spawned workers;
+    # under the default fork start method it is an instant no-op.
+    from . import library  # noqa: F401
+    start = time.perf_counter()
+    result = REGISTRY.run(scenario)
+    return scenario.name, result, time.perf_counter() - start
+
+
+def run_sweep(scenarios: Sequence[Union[str, Scenario]], workers: int = 1,
+              cache: Optional[ResultCache] = None,
+              force: bool = False) -> List[SweepOutcome]:
+    """Execute ``scenarios``, returning one :class:`SweepOutcome` per input.
+
+    Parameters
+    ----------
+    workers:
+        Worker-pool size; ``<= 1`` runs serially in-process.
+    cache:
+        Optional :class:`ResultCache`.  Hits skip execution entirely; misses
+        are stored after execution.
+    force:
+        Re-run scenarios even when the cache holds a valid entry (the fresh
+        result overwrites it).
+    """
+    resolved = _resolve(scenarios)
+    # Outcomes are keyed by (name, canonical identity) so duplicate inputs
+    # execute once, while two ad-hoc scenarios that share a name but differ
+    # in parameters stay distinct.
+    def _key(scenario: Scenario) -> Tuple[str, str]:
+        return scenario.name, scenario.canonical()
+
+    outcomes: Dict[Tuple[str, str], SweepOutcome] = {}
+    to_run: List[Scenario] = []
+    for scenario in resolved:
+        key = _key(scenario)
+        if key in outcomes or any(_key(queued) == key for queued in to_run):
+            continue
+        payload = None if (cache is None or force) else cache.load(scenario)
+        if payload is not None:
+            outcomes[key] = SweepOutcome(
+                scenario=scenario.name, kind=scenario.kind,
+                result=payload["result"], elapsed_s=payload.get("elapsed_s", 0.0),
+                cached=True)
+        else:
+            to_run.append(scenario)
+
+    if to_run:
+        if workers > 1 and len(to_run) > 1:
+            with multiprocessing.Pool(processes=min(workers, len(to_run))) as pool:
+                raw = pool.map(_run_one, to_run)
+        else:
+            raw = [_run_one(scenario) for scenario in to_run]
+        for scenario, (_, result, elapsed) in zip(to_run, raw):
+            outcomes[_key(scenario)] = SweepOutcome(
+                scenario=scenario.name, kind=scenario.kind, result=result,
+                elapsed_s=elapsed, cached=False)
+            if cache is not None:
+                cache.store(scenario, result, elapsed)
+
+    return [outcomes[_key(scenario)] for scenario in resolved]

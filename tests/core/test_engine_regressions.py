@@ -1,0 +1,259 @@
+"""Regression tests for engine hot-path semantics.
+
+Covers the pitfalls the optimized engine must not reintroduce:
+
+* a legitimate ``None`` result/message must survive every resume path (the
+  old ``value if value is not None else process.pending_value`` conflated
+  ``None`` with "no pending value"; the engine now uses an explicit sentinel);
+* deadlock reports must list the *full* blocked set with ``waiting_on``
+  strings;
+* ``max_events`` / ``max_time`` must trip at the exact boundary;
+* the zero-delay fast path must be event-for-event identical to the
+  heap-only compatibility mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DeadlockError,
+    Delay,
+    Fork,
+    Parallel,
+    Read,
+    SimulationLimitError,
+    Simulator,
+    StreamChannel,
+    Wait,
+    Write,
+)
+
+
+class TestNoneValues:
+    """A ``None`` result or message is a value, not "nothing pending"."""
+
+    def test_wait_joins_process_returning_none(self):
+        sim = Simulator()
+        seen = []
+
+        def child():
+            yield Delay(1.0)
+            return None
+
+        def parent():
+            handle = yield Fork(child(), "child")
+            result = yield Wait(handle)
+            seen.append(result)
+
+        sim.add_process("parent", parent())
+        sim.run()
+        assert seen == [None]
+
+    def test_wait_on_already_finished_none_process(self):
+        sim = Simulator()
+        seen = []
+
+        def child():
+            yield Delay(0.0)
+            return None
+
+        def parent():
+            handle = yield Fork(child(), "child")
+            yield Delay(5.0)  # child finishes long before the join
+            assert handle.finished
+            result = yield Wait(handle)
+            seen.append(result)
+
+        sim.add_process("parent", parent())
+        sim.run()
+        assert seen == [None]
+
+    def test_read_delivers_none_message(self):
+        sim = Simulator()
+        channel = StreamChannel("ch", capacity=1)
+        seen = []
+
+        def writer():
+            yield Write(channel, None)
+
+        def reader():
+            message = yield Read(channel)
+            seen.append(message)
+
+        sim.add_process("writer", writer())
+        sim.add_process("reader", reader())
+        sim.run()
+        assert seen == [None]
+
+    def test_blocked_read_delivers_none_message(self):
+        sim = Simulator()
+        channel = StreamChannel("ch", capacity=1)
+        seen = []
+
+        def reader():
+            message = yield Read(channel)  # blocks: nothing written yet
+            seen.append(message)
+
+        def writer():
+            yield Delay(1.0)
+            yield Write(channel, None)
+
+        sim.add_process("reader", reader())
+        sim.add_process("writer", writer())
+        sim.run()
+        assert seen == [None]
+
+    def test_parallel_collects_none_results(self):
+        sim = Simulator()
+        seen = []
+
+        def branch(value):
+            yield Delay(1.0)
+            return value
+
+        def parent():
+            results = yield Parallel([branch(None), branch(7), branch(None)])
+            seen.append(results)
+
+        sim.add_process("parent", parent())
+        sim.run()
+        assert seen == [[None, 7, None]]
+
+
+class TestDeadlockReport:
+    def test_blocked_set_lists_every_process_with_waiting_on(self):
+        sim = Simulator()
+        empty_a = StreamChannel("empty_a", capacity=1)
+        empty_b = StreamChannel("empty_b", capacity=1)
+
+        def reader(channel):
+            yield Read(channel)
+
+        sim.add_process("reader_a", reader(empty_a))
+        sim.add_process("reader_b", reader(empty_b))
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run()
+        blocked = dict(excinfo.value.blocked)
+        assert set(blocked) == {"reader_a", "reader_b"}
+        assert blocked["reader_a"] == "data on 'empty_a'"
+        assert blocked["reader_b"] == "data on 'empty_b'"
+
+    def test_blocked_writer_and_joiner_reported(self):
+        sim = Simulator()
+        # capacity-1 channel that nobody drains: the second write blocks.
+        channel = StreamChannel("full_ch", capacity=1)
+
+        class _Msg:
+            nbytes = 8
+
+        def writer():
+            yield Write(channel, _Msg())
+            yield Write(channel, _Msg())  # blocks forever
+
+        def stuck_child():
+            yield Read(StreamChannel("never", capacity=1))
+
+        def joiner():
+            handle = yield Fork(stuck_child(), "stuck_child")
+            yield Wait(handle)
+
+        sim.add_process("writer", writer())
+        sim.add_process("joiner", joiner())
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run()
+        blocked = dict(excinfo.value.blocked)
+        assert blocked["writer"] == "write space on 'full_ch'"
+        assert blocked["joiner"] == "join on 'stuck_child'"
+        assert blocked["stuck_child"] == "data on 'never'"
+        # The report names every unfinished process.
+        assert set(blocked) == {"writer", "joiner", "stuck_child"}
+
+
+class TestLimits:
+    @staticmethod
+    def _delays(count):
+        def proc():
+            for _ in range(count):
+                yield Delay(1.0)
+        return proc()
+
+    def test_max_events_exact_boundary(self):
+        # One initial resume plus one resume per delay = 6 events.
+        sim = Simulator(max_events=6)
+        sim.add_process("p", self._delays(5))
+        assert sim.run().events == 6
+
+        sim = Simulator(max_events=5)
+        sim.add_process("p", self._delays(5))
+        with pytest.raises(SimulationLimitError, match="event limit of 5"):
+            sim.run()
+
+    def test_max_time_exact_boundary(self):
+        # An event at exactly max_time is allowed...
+        sim = Simulator(max_time=5.0)
+        sim.add_process("p", self._delays(5))
+        assert sim.run().end_time == pytest.approx(5.0)
+
+        # ...the first event strictly beyond it raises.
+        sim = Simulator(max_time=4.999999)
+        sim.add_process("p", self._delays(5))
+        with pytest.raises(SimulationLimitError, match="time limit"):
+            sim.run()
+
+
+class TestFastPathEquivalence:
+    @staticmethod
+    def _pipeline(sim, n_msgs=200):
+        first = StreamChannel("first", capacity=2, bandwidth=1e6)
+        second = StreamChannel("second", capacity=2, bandwidth=1e6)
+
+        class _Msg:
+            nbytes = 32
+
+        def producer():
+            for _ in range(n_msgs):
+                yield Delay(1e-6)
+                yield Write(first, _Msg())
+
+        def relay():
+            for _ in range(n_msgs):
+                message = yield Read(first)
+                yield Write(second, message)
+
+        def consumer():
+            for _ in range(n_msgs):
+                yield Read(second)
+
+        sim.add_process("producer", producer())
+        sim.add_process("relay", relay())
+        sim.add_process("consumer", consumer())
+        return sim.run()
+
+    def test_fast_and_compat_modes_are_event_identical(self):
+        fast = self._pipeline(Simulator(fast_zero_delay=True))
+        compat = self._pipeline(Simulator(fast_zero_delay=False))
+        assert fast.events == compat.events
+        assert fast.end_time == compat.end_time
+        assert fast.process_times == compat.process_times
+
+    def test_zero_delay_and_zero_transfer_use_fast_path(self):
+        sim = Simulator()
+        untimed = StreamChannel("untimed", capacity=1)  # no bandwidth, no latency
+
+        class _Msg:
+            nbytes = 4
+
+        def proc():
+            yield Delay(0.0)
+            yield Write(untimed, _Msg())
+
+        def reader():
+            yield Read(untimed)
+
+        sim.add_process("proc", proc())
+        sim.add_process("reader", reader())
+        stats = sim.run()
+        assert stats.end_time == 0.0
+        # Nothing should remain queued after a clean run.
+        assert not sim._event_queue and not sim._immediate

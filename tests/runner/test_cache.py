@@ -1,0 +1,71 @@
+"""Tests for the on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import REGISTRY, ResultCache, code_version
+from repro.runner.scenarios import Scenario
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _scenario(**params) -> Scenario:
+    return Scenario(name="smoke/engine-chain", kind="engine_chain",
+                    params={"n_msgs": 10, "stages": 1, **params})
+
+
+class TestResultCache:
+    def test_miss_then_store_then_hit(self, cache):
+        scenario = _scenario()
+        assert cache.load(scenario) is None
+        result = REGISTRY.run(scenario)
+        path = cache.store(scenario, result, elapsed_s=0.01)
+        assert path.exists()
+        payload = cache.load(scenario)
+        assert payload is not None
+        assert payload["result"] == result
+        assert payload["scenario"] == scenario.name
+        assert payload["code_version"] == code_version()
+
+    def test_key_depends_on_params(self, cache):
+        assert cache.key(_scenario()) != cache.key(_scenario(n_msgs=11))
+        assert cache.key(_scenario()) == cache.key(_scenario())
+
+    def test_stale_code_version_is_a_miss(self, cache):
+        scenario = _scenario()
+        path = cache.store(scenario, {"events": 1}, elapsed_s=0.0)
+        payload = json.loads(path.read_text())
+        payload["code_version"] = "0" * 16
+        path.write_text(json.dumps(payload))
+        assert cache.load(scenario) is None
+
+    def test_params_mismatch_is_a_miss(self, cache):
+        scenario = _scenario()
+        path = cache.store(scenario, {"events": 1}, elapsed_s=0.0)
+        payload = json.loads(path.read_text())
+        payload["params"]["n_msgs"] = 999
+        path.write_text(json.dumps(payload))
+        assert cache.load(scenario) is None
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        scenario = _scenario()
+        path = cache.store(scenario, {"events": 1}, elapsed_s=0.0)
+        path.write_text("{not json")
+        assert cache.load(scenario) is None
+
+    def test_clear_removes_entries(self, cache):
+        cache.store(_scenario(), {"events": 1}, elapsed_s=0.0)
+        cache.store(_scenario(n_msgs=11), {"events": 2}, elapsed_s=0.0)
+        assert len(cache.entries()) == 2
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_code_version_is_stable_within_process(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16

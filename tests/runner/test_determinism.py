@@ -1,0 +1,64 @@
+"""Determinism regressions: identical runs must produce identical bytes.
+
+The simulator seeds all RNG use explicitly (``repro.workloads.tensors``
+defaults to ``DEFAULT_SEED``), and the engine's event ordering is fully
+deterministic, so running the same scenario twice -- in-process, in a worker,
+or through the cache -- must yield byte-identical serialized results.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.runner import REGISTRY, ResultCache, canonical_json, run_sweep
+from repro.workloads import tensors
+
+
+def _run_bytes(name: str) -> str:
+    return canonical_json(REGISTRY.run(name))
+
+
+class TestScenarioDeterminism:
+    def test_engine_chain_twice_identical(self):
+        assert _run_bytes("smoke/engine-chain") == _run_bytes("smoke/engine-chain")
+
+    def test_simulated_gemm_twice_identical(self):
+        assert _run_bytes("table6b/gemm-1024") == _run_bytes("table6b/gemm-1024")
+
+    def test_encoder_scenario_twice_identical(self):
+        # Full event-driven encoder simulation: every segment latency, byte
+        # count, and uop count must match exactly across runs.
+        assert _run_bytes("table9/all-optimizations") == \
+            _run_bytes("table9/all-optimizations")
+
+    def test_cache_round_trip_is_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        names = ["table6b/gemm-1024", "smoke/engine-chain"]
+        fresh = run_sweep(names, workers=1, cache=cache)
+        cached = run_sweep(names, workers=1, cache=cache)
+        assert all(o.cached for o in cached)
+        for fresh_outcome, cached_outcome in zip(fresh, cached):
+            assert canonical_json(fresh_outcome.result) == \
+                canonical_json(cached_outcome.result)
+
+    def test_worker_results_match_in_process(self):
+        names = ["smoke/engine-chain", "table6b/charm-1024"]
+        in_process = run_sweep(names, workers=1)
+        via_pool = run_sweep(names, workers=2)
+        for a, b in zip(in_process, via_pool):
+            assert canonical_json(a.result) == canonical_json(b.result)
+
+
+class TestSeededRng:
+    def test_default_rng_is_reproducible(self):
+        first = tensors.make_rng().standard_normal(16)
+        second = tensors.make_rng().standard_normal(16)
+        np.testing.assert_array_equal(first, second)
+
+    def test_workload_tensors_are_reproducible(self):
+        a = tensors.activation((8, 8), tensors.make_rng())
+        b = tensors.activation((8, 8), tensors.make_rng())
+        np.testing.assert_array_equal(a, b)
+        assert a.tobytes() == b.tobytes()

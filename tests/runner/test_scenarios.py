@@ -1,0 +1,112 @@
+"""Tests for the scenario registry and the shipped catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import REGISTRY, ScenarioRegistry, canonical_json
+
+
+class TestScenarioRegistry:
+    def test_kind_and_scenario_round_trip(self):
+        registry = ScenarioRegistry()
+
+        @registry.kind("double")
+        def run_double(x):
+            return {"doubled": 2 * x}
+
+        scenario = registry.add("demo/two", "double", {"x": 2}, tags=("demo",))
+        assert registry.get("demo/two") is scenario
+        assert registry.run("demo/two") == {"doubled": 4}
+        assert registry.run(scenario) == {"doubled": 4}
+
+    def test_duplicate_kind_rejected(self):
+        registry = ScenarioRegistry()
+        registry.kind("k")(lambda: {})
+        with pytest.raises(ValueError, match="already registered"):
+            registry.kind("k")(lambda: {})
+
+    def test_duplicate_scenario_rejected(self):
+        registry = ScenarioRegistry()
+        registry.kind("k")(lambda: {})
+        registry.add("s", "k")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add("s", "k")
+
+    def test_unknown_kind_and_name_rejected(self):
+        registry = ScenarioRegistry()
+        with pytest.raises(KeyError, match="unknown scenario kind"):
+            registry.add("s", "missing-kind")
+        with pytest.raises(KeyError, match="unknown scenario"):
+            registry.get("missing")
+
+    def test_non_jsonable_params_rejected_at_registration(self):
+        registry = ScenarioRegistry()
+        registry.kind("k")(lambda **kw: {})
+        with pytest.raises(TypeError):
+            registry.add("s", "k", {"bad": object()})
+
+    def test_non_dict_runner_result_rejected(self):
+        registry = ScenarioRegistry()
+        registry.kind("k")(lambda: 42)
+        registry.add("s", "k")
+        with pytest.raises(TypeError, match="expected a JSON-able dict"):
+            registry.run("s")
+
+    def test_select_by_tag_and_name(self):
+        registry = ScenarioRegistry()
+        registry.kind("k")(lambda: {})
+        registry.add("a", "k", tags=("t1",))
+        registry.add("b", "k", tags=("t1", "t2"))
+        registry.add("c", "k", tags=("t2",))
+        assert [s.name for s in registry.select(tags=["t1"])] == ["a", "b"]
+        assert [s.name for s in registry.select(names=["c"], tags=["t1"])] == \
+            ["a", "b", "c"]
+        assert [s.name for s in registry.select()] == ["a", "b", "c"]
+
+    def test_canonical_identity_is_order_insensitive(self):
+        registry = ScenarioRegistry()
+        registry.kind("k")(lambda **kw: {})
+        one = registry.add("one", "k", {"x": 1, "y": 2})
+        two = registry.add("two", "k", {"y": 2, "x": 1})
+        assert one.canonical() == two.canonical()
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+class TestCatalogue:
+    """The shipped library must cover the benchmark suite's points."""
+
+    EXPECTED = [
+        "table3/mapping-types",
+        "table6a/aie-32x32x32",
+        "table6b/gemm-1024",
+        "table6b/charm-1024",
+        "table7/bert", "table7/vit", "table7/ncf", "table7/mlp",
+        "table8/encoder-peak",
+        "table9/no-optimize", "table9/all-optimizations",
+        "table10/l384-b8",
+        "table11/bw-0.5x", "table11/bw-3x",
+        "fig16/fu-properties",
+        "fig18/rsn-b6", "fig18/charm-b6",
+        "smoke/engine-chain",
+    ]
+
+    def test_expected_scenarios_registered(self):
+        names = set(REGISTRY.names())
+        missing = [name for name in self.EXPECTED if name not in names]
+        assert not missing, f"catalogue is missing {missing}"
+        assert len(names) >= 8  # the sweep acceptance floor, with a lot of slack
+
+    def test_every_scenario_has_jsonable_params_and_tags(self):
+        for name in REGISTRY.names():
+            scenario = REGISTRY.get(name)
+            canonical_json(scenario.params)  # must not raise
+            assert scenario.tags, f"{name} has no tags"
+
+    def test_cheap_scenarios_run(self):
+        aie = REGISTRY.run("table6a/aie-32x32x32")
+        assert 6000 < aie["gflops"] < 7600
+        charm = REGISTRY.run("table6b/charm-1024")
+        assert charm["gflops"] > 500
+        chain = REGISTRY.run("smoke/engine-chain")
+        assert chain["events"] > 0 and chain["end_time"] > 0

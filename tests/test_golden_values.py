@@ -1,0 +1,70 @@
+"""Golden-value pins for end-to-end simulation results.
+
+These values were captured from the event-driven simulator and lock down the
+exact numbers the benchmark tables are built from (integer byte/uop counts
+exactly; latencies to a tight relative tolerance so a legitimate platform
+libm difference cannot mask a real drift).  An engine or codegen refactor
+that changes any of them must either be a deliberate, documented modelling
+change or is a regression -- the shape-level assertions in ``benchmarks/``
+are far too loose to catch silent drift on their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CharmModel
+from repro.runner import REGISTRY
+
+#: tight enough that any modelling change trips it; loose enough for libm.
+REL = 1e-9
+
+
+class TestGemmGolden:
+    """The Table 6 end-to-end GEMM path, 1024^3."""
+
+    def test_gemm_1024_latency_and_traffic(self):
+        result = REGISTRY.run("table6b/gemm-1024")
+        assert result["latency_s"] == pytest.approx(5.477340231334078e-04, rel=REL)
+        assert result["flops"] == 2_147_483_648
+        assert result["ddr_bytes"] == 8_388_608
+        assert result["lpddr_bytes"] == 8_388_608
+        assert result["uops"] == 294
+
+
+class TestEncoderGolden:
+    """One Table 9 configuration: all optimizations, B=6, L=512."""
+
+    def test_encoder_total_latency(self):
+        result = REGISTRY.run("table9/all-optimizations")
+        assert result["latency_s"] == pytest.approx(2.054221190486559e-02, rel=REL)
+
+    def test_encoder_qkv_segment(self):
+        result = REGISTRY.run("table9/all-optimizations")
+        qkv = next(s for s in result["segments"] if s["name"] == "qkv")
+        assert qkv["latency_s"] == pytest.approx(3.940597342203657e-03, rel=REL)
+        assert qkv["ddr_bytes"] == 75_497_472
+        assert qkv["lpddr_bytes"] == 50_331_648
+        assert qkv["uops"] == 1_654
+
+    def test_encoder_segment_inventory(self):
+        result = REGISTRY.run("table9/all-optimizations")
+        segments = {s["name"]: s for s in result["segments"]}
+        assert set(segments) == {"qkv", "attention+dense", "ffn"}
+        assert segments["attention+dense"]["uops"] == 2_062
+        assert segments["ffn"]["uops"] == 4_110
+        assert segments["ffn"]["latency_s"] == pytest.approx(9.373511761857637e-03,
+                                                             rel=REL)
+
+
+class TestCharmGolden:
+    """The CHARM analytical baseline the paper's comparisons hinge on."""
+
+    def test_charm_gemm_1024_throughput(self):
+        assert CharmModel().gemm_throughput_gflops(1024) == pytest.approx(
+            2375.7142234047192, rel=REL)
+
+    def test_charm_scenario_matches_direct_model(self):
+        scenario = REGISTRY.run("table6b/charm-1024")
+        assert scenario["gflops"] == pytest.approx(
+            CharmModel().gemm_throughput_gflops(1024), rel=0)
