@@ -1,0 +1,112 @@
+"""Backend speed: the analytic fast model vs the event-driven engine.
+
+Two measurements:
+
+1. A shared multi-point sweep (the Fig. 18 batch sweep plus the Table 11
+   bandwidth sweep, both uncached) run on both backends.  The acceptance
+   floor is a 10x speedup for the analytic backend; in practice it is
+   hundreds to thousands of times faster, because it replaces millions of
+   simulated events per scenario with closed-form arithmetic.
+2. A 1000-point analytic-only design-space sweep (bandwidth scale x batch
+   grid of ad-hoc scenarios) that must finish in seconds -- the sweep breadth
+   the fast model exists to unlock.  The engine cost for the same grid is
+   extrapolated from measurement 1 rather than paid.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _helpers import run_once
+from repro.analysis.reporting import backend_comparison_table
+from repro.runner import REGISTRY, Scenario, run_sweep
+
+#: the shared comparison sweep: every scenario here runs a real simulation on
+#: the engine backend (the analytic-only kinds would compare 1x trivially).
+SWEEP_TAGS = ("fig18", "table11")
+
+SPEEDUP_FLOOR = 10.0
+GRID_POINTS = 1000
+GRID_BUDGET_S = 30.0
+
+
+def _sim_scenarios():
+    return [s.name for s in REGISTRY.select(tags=list(SWEEP_TAGS))
+            if "sim" in s.tags]
+
+
+def _grid_scenarios(points: int):
+    """Ad-hoc encoder scenarios over a bandwidth-scale x batch grid."""
+    batches = (1, 2, 3, 4, 6, 8, 12, 16)
+    per_batch = points // len(batches)
+    scenarios = []
+    for batch in batches:
+        for index in range(per_batch):
+            scale = 0.25 + 3.75 * index / max(1, per_batch - 1)
+            scenarios.append(Scenario(
+                name=f"grid/b{batch}-bw{index}",
+                kind="xnn_encoder",
+                params={"batch": batch, "seq_len": 384,
+                        "bandwidth_scale": round(scale, 6)}))
+    return scenarios
+
+
+def test_backend_speedup(benchmark):
+    names = _sim_scenarios()
+    assert len(names) >= 10, "the comparison sweep should be multi-point"
+
+    def _measure():
+        start = time.perf_counter()
+        engine = run_sweep(names, backend="engine", cache=None)
+        engine_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        analytic = run_sweep(names, backend="analytic", cache=None)
+        analytic_wall = time.perf_counter() - start
+        return engine, analytic, engine_wall, analytic_wall
+
+    engine, analytic, engine_wall, analytic_wall = run_once(benchmark, _measure)
+    speedup = engine_wall / analytic_wall
+
+    table = backend_comparison_table(
+        engine, analytic,
+        title=f"Backend speed: {len(names)}-point sweep "
+              f"({engine_wall:.2f}s engine vs {analytic_wall:.3f}s analytic, "
+              f"{speedup:.0f}x)")
+    table.add_note(f"acceptance floor: {SPEEDUP_FLOOR:g}x")
+    table.print()
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"analytic backend is only {speedup:.1f}x faster than the engine "
+        f"({analytic_wall:.3f}s vs {engine_wall:.3f}s) -- below the "
+        f"{SPEEDUP_FLOOR:g}x acceptance floor")
+    # The estimates the speed buys must still honour the differential
+    # contract: lower bound, byte-identical traffic.
+    by_name = {o.scenario: o for o in analytic}
+    for outcome in engine:
+        fast = by_name[outcome.scenario]
+        assert fast.result["latency_s"] <= outcome.result["latency_s"] * (1 + 1e-9)
+        assert fast.result["ddr_bytes"] == outcome.result["ddr_bytes"]
+
+
+def test_thousand_point_analytic_sweep(benchmark):
+    scenarios = _grid_scenarios(GRID_POINTS)
+    assert len(scenarios) >= GRID_POINTS * 0.9
+
+    def _measure():
+        start = time.perf_counter()
+        outcomes = run_sweep(scenarios, backend="analytic", cache=None)
+        return outcomes, time.perf_counter() - start
+
+    outcomes, wall = run_once(benchmark, _measure)
+    per_point_ms = wall / len(outcomes) * 1e3
+    print(f"\n{len(outcomes)}-point analytic design-space sweep: "
+          f"{wall:.2f}s wall ({per_point_ms:.2f} ms/point)")
+
+    assert wall < GRID_BUDGET_S, (
+        f"{len(outcomes)}-point analytic sweep took {wall:.1f}s; "
+        "the fast model is supposed to make these interactive")
+    # Sanity: more bandwidth never hurts within a batch row.
+    by_name = {o.scenario: o.result["latency_s"] for o in outcomes}
+    row = [by_name[f"grid/b8-bw{i}"] for i in range(60)]
+    assert all(earlier >= later * (1 - 1e-9)
+               for earlier, later in zip(row, row[1:]))

@@ -1,6 +1,7 @@
 """Analytical models and report rendering shared by the benchmark harness."""
 
-from .roofline import RooflinePoint, roofline_latency, machine_balance
+from .roofline import (ResourceRoofline, RooflinePoint, roofline_latency,
+                       machine_balance)
 from .instruction_stats import InstructionAnalysis, analyze_program
 from .energy import EnergyPoint, gpu_energy_table, vck190_energy_point
 from .reporting import Table, format_table, format_value
@@ -8,6 +9,7 @@ from .reporting import Table, format_table, format_value
 __all__ = [
     "EnergyPoint",
     "InstructionAnalysis",
+    "ResourceRoofline",
     "RooflinePoint",
     "Table",
     "analyze_program",

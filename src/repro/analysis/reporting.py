@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional, Sequence
 
-__all__ = ["Table", "format_table", "format_value"]
+__all__ = ["Table", "backend_comparison_table", "format_table", "format_value"]
 
 
 def format_value(value: Any, precision: int = 3) -> str:
@@ -79,3 +79,41 @@ def format_table(title: str, columns: Sequence[str],
     for note in notes:
         table.add_note(note)
     return table.render()
+
+
+def backend_comparison_table(engine_outcomes: Sequence[Any],
+                             analytic_outcomes: Sequence[Any],
+                             title: str = "Backend comparison") -> Table:
+    """Engine vs analytic side by side, one row per scenario.
+
+    Both sequences are :class:`~repro.runner.sweep.SweepOutcome` lists over
+    the same scenarios (any order).  Rows show both latencies, the analytic/
+    engine latency ratio (the differential-contract tightness), and the
+    per-scenario execution-time speedup; used by
+    ``benchmarks/bench_backend_speed.py``.
+    """
+    def _latency(result) -> Optional[float]:
+        for key in ("latency_s", "end_time"):
+            value = result.get(key)
+            if value is not None:
+                return value
+        return None
+
+    by_name = {o.scenario: o for o in analytic_outcomes}
+    table = Table(title, ["scenario", "engine (ms)", "analytic (ms)",
+                          "ratio", "exec speedup"])
+    for engine in engine_outcomes:
+        analytic = by_name.get(engine.scenario)
+        if analytic is None:
+            continue
+        latency_e = _latency(engine.result)
+        latency_a = _latency(analytic.result)
+        ratio = (latency_a / latency_e
+                 if latency_e and latency_a is not None else None)
+        speedup = (engine.elapsed_s / analytic.elapsed_s
+                   if analytic.elapsed_s else None)
+        table.add_row(engine.scenario,
+                      latency_e * 1e3 if latency_e is not None else None,
+                      latency_a * 1e3 if latency_a is not None else None,
+                      ratio, speedup)
+    return table

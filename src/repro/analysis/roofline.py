@@ -9,12 +9,13 @@ analysis, the bandwidth sweep bounds, and the tests all share it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 from ..hardware.vck190 import VCK190, VCK190Spec
 from ..workloads.layers import MatMulLayer, ModelSpec
 
-__all__ = ["RooflinePoint", "roofline_latency", "machine_balance", "layer_roofline"]
+__all__ = ["RooflinePoint", "ResourceRoofline", "roofline_latency",
+           "machine_balance", "layer_roofline"]
 
 
 @dataclass(frozen=True)
@@ -37,6 +38,50 @@ class RooflinePoint:
     @property
     def arithmetic_intensity(self) -> float:
         return self.flops / self.bytes if self.bytes else float("inf")
+
+
+@dataclass(frozen=True)
+class ResourceRoofline:
+    """A multi-resource roofline: per-resource busy time, bottleneck, slack.
+
+    The classic two-term roofline generalises to any number of serially
+    occupied resources (the DDR channel, the LPDDR channel, the busiest MME,
+    the busiest MemC, ...): each resource must be busy for at least its tallied
+    time, so the segment cannot finish before the *maximum* of those times.
+    This is the formula the analytic fast-model backend evaluates instead of
+    running the event loop, and -- because every tallied time is a true lower
+    bound on the corresponding FU's serial occupancy in the event-driven
+    engine -- :attr:`latency_s` is a certified lower bound on the engine's
+    cycle-level result (the differential test suite pins this contract).
+    """
+
+    busy_s: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.busy_s:
+            raise ValueError("ResourceRoofline needs at least one resource")
+        for resource, seconds in self.busy_s.items():
+            if seconds < 0:
+                raise ValueError(f"resource {resource!r} has negative busy time")
+
+    @property
+    def latency_s(self) -> float:
+        return max(self.busy_s.values())
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the resource whose busy time sets the latency."""
+        return max(self.busy_s, key=lambda resource: self.busy_s[resource])
+
+    def utilization(self, resource: str) -> float:
+        """Fraction of the segment's span this resource is busy (1 = bottleneck)."""
+        latency = self.latency_s
+        if not latency:
+            return 0.0
+        return self.busy_s[resource] / latency
+
+    def utilizations(self) -> Dict[str, float]:
+        return {resource: self.utilization(resource) for resource in self.busy_s}
 
 
 def machine_balance(achieved_flops: float, bandwidth: float) -> float:

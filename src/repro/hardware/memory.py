@@ -99,6 +99,41 @@ class MemoryChannelModel:
         self.bytes_written += nbytes
         return self.request_latency + nbytes / bw
 
+    def _bulk_time(self, bandwidth: float, nbytes: int, requests: int,
+                   strided: bool) -> float:
+        if requests < 0:
+            raise ValueError("requests must be non-negative")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0 or requests == 0:
+            return 0.0
+        if strided:
+            bandwidth *= self.strided_efficiency
+        return (self.request_latency + nbytes / bandwidth
+                + (requests - 1) * self.request_latency)
+
+    def bulk_read_time(self, nbytes: int, requests: int = 1,
+                       strided: bool = False) -> float:
+        """Seconds to read ``nbytes`` split across ``requests`` transfers.
+
+        Equals the sum of ``requests`` individual :meth:`read_time` calls with
+        a single aggregate bandwidth term -- the per-request fixed latency is
+        charged once per transfer, exactly as the event-driven DDR/LPDDR FUs
+        charge it.  Used by the analytic fast-model backend to tally channel
+        occupancy without enumerating every transfer; unlike
+        :meth:`read_time` it is a pure query and does not touch the
+        ``bytes_read`` traffic counter.
+        """
+        return self._bulk_time(self.effective_read_bw, nbytes, requests, strided)
+
+    def bulk_write_time(self, nbytes: int, requests: int = 1,
+                        strided: bool = False) -> float:
+        """Seconds to write ``nbytes`` split across ``requests`` transfers.
+
+        Pure query; does not touch the ``bytes_written`` traffic counter.
+        """
+        return self._bulk_time(self.effective_write_bw, nbytes, requests, strided)
+
     @property
     def total_bytes(self) -> int:
         return self.bytes_read + self.bytes_written

@@ -22,12 +22,15 @@ Typical library use::
                          workers=4, cache=ResultCache())
 """
 
-from .scenarios import REGISTRY, Scenario, ScenarioRegistry, canonical_json
+from .scenarios import (BACKENDS, DEFAULT_BACKEND, REGISTRY, Scenario,
+                        ScenarioRegistry, canonical_json)
 from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version
 from .sweep import SweepOutcome, run_sweep
 from . import library  # noqa: F401 -- registers the scenario catalogue
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
     "DEFAULT_CACHE_DIR",
     "REGISTRY",
     "ResultCache",

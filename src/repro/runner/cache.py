@@ -16,7 +16,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from .scenarios import Scenario, canonical_json
+from .scenarios import DEFAULT_BACKEND, Scenario, canonical_json
 
 __all__ = ["ResultCache", "code_version", "DEFAULT_CACHE_DIR"]
 
@@ -51,24 +51,30 @@ class ResultCache:
 
     # ---------------------------------------------------------------- keying
 
-    def key(self, scenario: Scenario) -> str:
-        """Stable hash of (scenario identity, code version)."""
-        identity = scenario.canonical() + "|" + code_version()
+    def key(self, scenario: Scenario, backend: str = DEFAULT_BACKEND) -> str:
+        """Stable hash of (scenario identity, execution backend, code version).
+
+        The backend is part of the identity: the engine and analytic backends
+        legitimately produce different results for the same scenario, so their
+        entries must never collide.
+        """
+        identity = scenario.canonical() + "|" + backend + "|" + code_version()
         return hashlib.sha256(identity.encode()).hexdigest()[:20]
 
-    def path(self, scenario: Scenario) -> Path:
+    def path(self, scenario: Scenario, backend: str = DEFAULT_BACKEND) -> Path:
         safe_name = scenario.name.replace("/", "__")
-        return self.root / f"{safe_name}-{self.key(scenario)}.json"
+        return self.root / f"{safe_name}-{self.key(scenario, backend)}.json"
 
     # ----------------------------------------------------------------- store
 
     def store(self, scenario: Scenario, result: Dict[str, Any],
-              elapsed_s: float) -> Path:
+              elapsed_s: float, backend: str = DEFAULT_BACKEND) -> Path:
         """Persist one scenario result atomically; returns the entry path."""
-        path = self.path(scenario)
+        path = self.path(scenario, backend)
         payload = {
             "scenario": scenario.name,
             "kind": scenario.kind,
+            "backend": backend,
             "params": dict(scenario.params),
             "code_version": code_version(),
             "elapsed_s": elapsed_s,
@@ -88,14 +94,17 @@ class ResultCache:
 
     # ------------------------------------------------------------------ load
 
-    def load(self, scenario: Scenario) -> Optional[Dict[str, Any]]:
+    def load(self, scenario: Scenario,
+             backend: str = DEFAULT_BACKEND) -> Optional[Dict[str, Any]]:
         """Return the cached payload for ``scenario``, or ``None`` on a miss.
 
         A hit requires the file to exist *and* its recorded identity to match
-        the scenario and current code version (defence against hash-prefix
-        collisions and manually edited entries).
+        the scenario, backend, and current code version (defence against
+        hash-prefix collisions and manually edited entries).  Entries written
+        before backends existed hash to different paths (and an older code
+        version) and are therefore plain misses -- there is no migration.
         """
-        path = self.path(scenario)
+        path = self.path(scenario, backend)
         if not path.exists():
             return None
         try:
@@ -103,6 +112,7 @@ class ResultCache:
         except (OSError, json.JSONDecodeError):
             return None
         if (payload.get("kind") != scenario.kind
+                or payload.get("backend") != backend
                 or payload.get("code_version") != code_version()
                 or canonical_json(payload.get("params")) != canonical_json(
                     dict(scenario.params))):

@@ -2,14 +2,20 @@
 
 Usage (with ``PYTHONPATH=src``)::
 
-    python -m repro.runner list [--tag TAG]
-    python -m repro.runner run NAME [NAME ...] [--workers N] [options]
+    python -m repro.runner list [--tag TAG] [--backend B]
+    python -m repro.runner run NAME [NAME ...] [--backend B] [options]
     python -m repro.runner sweep (--tag TAG ... | --all | NAME ...) [options]
     python -m repro.runner cache (--show | --clear)
 
-Common options: ``--workers N`` (parallel worker processes), ``--cache-dir D``
-(default ``.repro-cache``), ``--no-cache``, ``--force`` (ignore cache hits but
-refresh entries), ``--json FILE`` (dump outcomes as JSON).
+Common options: ``--backend {engine,analytic}`` (event-driven simulation vs
+the closed-form fast model), ``--workers N`` (parallel worker processes),
+``--cache-dir D`` (default ``.repro-cache``), ``--no-cache``, ``--force``
+(ignore cache hits but refresh entries), ``--json FILE`` (dump outcomes as
+JSON).
+
+All user errors (unknown scenario names, unsupported backends, invalid
+worker counts, empty selections) exit with status 2 and a one-line message
+on stderr -- never a traceback.
 """
 
 from __future__ import annotations
@@ -21,10 +27,21 @@ import time
 from typing import List, Optional
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version
-from .scenarios import REGISTRY
+from .scenarios import BACKENDS, DEFAULT_BACKEND, REGISTRY
 from .sweep import SweepOutcome, run_sweep
 
 __all__ = ["main"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--workers``: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,9 +53,15 @@ def _build_parser() -> argparse.ArgumentParser:
     list_cmd = sub.add_parser("list", help="list registered scenarios")
     list_cmd.add_argument("--tag", action="append", default=None,
                           help="only scenarios carrying this tag (repeatable)")
+    list_cmd.add_argument("--backend", choices=BACKENDS, default=None,
+                          help="only scenarios supporting this backend")
 
     def add_exec_options(cmd: argparse.ArgumentParser) -> None:
-        cmd.add_argument("--workers", type=int, default=1,
+        cmd.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+                         help="execution backend: cycle-level event-driven "
+                              "engine, or the analytic fast model "
+                              f"(default: {DEFAULT_BACKEND})")
+        cmd.add_argument("--workers", type=_positive_int, default=1,
                          help="worker processes (default: 1, serial)")
         cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                          help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
@@ -70,7 +93,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_outcomes(outcomes: List[SweepOutcome], wall_s: float) -> None:
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _print_outcomes(outcomes: List[SweepOutcome], wall_s: float,
+                    backend: str) -> None:
     name_width = max([len(o.scenario) for o in outcomes] + [8])
     print(f"{'scenario':<{name_width}}  {'source':<6}  {'elapsed':>9}  headline")
     for outcome in outcomes:
@@ -79,13 +108,15 @@ def _print_outcomes(outcomes: List[SweepOutcome], wall_s: float) -> None:
               f"{outcome.elapsed_s:>8.3f}s  {outcome.metric()}")
     fresh = sum(1 for o in outcomes if not o.cached)
     hits = len(outcomes) - fresh
-    print(f"-- {len(outcomes)} scenario(s): {fresh} executed, {hits} cache hit(s), "
+    print(f"-- {len(outcomes)} scenario(s) on the {backend} backend: "
+          f"{fresh} executed, {hits} cache hit(s), "
           f"wall {wall_s:.2f}s, code version {code_version()}")
 
 
 def _dump_json(outcomes: List[SweepOutcome], path: str) -> None:
-    payload = [{"scenario": o.scenario, "kind": o.kind, "cached": o.cached,
-                "elapsed_s": o.elapsed_s, "result": o.result} for o in outcomes]
+    payload = [{"scenario": o.scenario, "kind": o.kind, "backend": o.backend,
+                "cached": o.cached, "elapsed_s": o.elapsed_s,
+                "result": o.result} for o in outcomes]
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
     print(f"wrote {len(payload)} outcome(s) to {path}")
@@ -96,11 +127,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":
-        scenarios = REGISTRY.select(tags=args.tag) if args.tag else REGISTRY.select()
+        try:
+            scenarios = REGISTRY.select(tags=args.tag, backend=args.backend) \
+                if (args.tag or args.backend) else REGISTRY.select()
+        except KeyError as error:
+            return _fail(error.args[0])
         name_width = max([len(s.name) for s in scenarios] + [8])
         for scenario in scenarios:
             tags = ",".join(scenario.tags)
-            print(f"{scenario.name:<{name_width}}  [{tags}]  {scenario.description}")
+            backends = "/".join(REGISTRY.backends(scenario.kind))
+            print(f"{scenario.name:<{name_width}}  [{tags}]  ({backends})  "
+                  f"{scenario.description}")
         print(f"-- {len(scenarios)} scenario(s); tags: {', '.join(REGISTRY.all_tags())}")
         return 0
 
@@ -116,28 +153,35 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"code version {code_version()}")
         return 0
 
-    if args.command == "run":
-        scenarios = list(args.names)
-    else:  # sweep
-        if args.all:
-            scenarios = [s.name for s in REGISTRY.select()]
-        elif args.tag or args.names:
-            scenarios = [s.name for s in REGISTRY.select(names=args.names,
-                                                         tags=args.tag)]
-        else:
-            print("sweep: pass scenario names, --tag TAG, or --all", file=sys.stderr)
-            return 2
+    try:
+        if args.command == "run":
+            # Validate every name up front, but preserve the user's ordering
+            # (and duplicates) -- select() would sort and dedup.
+            REGISTRY.select(names=args.names)
+            scenarios = list(args.names)
+        else:  # sweep
+            if args.all:
+                scenarios = [s.name for s in REGISTRY.select()]
+            elif args.tag or args.names:
+                scenarios = [s.name for s in REGISTRY.select(names=args.names,
+                                                             tags=args.tag)]
+            else:
+                return _fail("sweep: pass scenario names, --tag TAG, or --all")
+            if not scenarios:
+                return _fail(f"sweep: no scenarios matched tags {args.tag}; "
+                             "run `python -m repro.runner list` for the catalogue")
+    except KeyError as error:
+        return _fail(error.args[0])
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     start = time.perf_counter()
     try:
         outcomes = run_sweep(scenarios, workers=args.workers, cache=cache,
-                             force=args.force)
+                             force=args.force, backend=args.backend)
     except KeyError as error:
-        print(f"error: {error.args[0]}", file=sys.stderr)
-        return 2
+        return _fail(error.args[0])
     wall_s = time.perf_counter() - start
-    _print_outcomes(outcomes, wall_s)
+    _print_outcomes(outcomes, wall_s, args.backend)
     if args.json_path:
         _dump_json(outcomes, args.json_path)
     return 0

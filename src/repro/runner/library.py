@@ -8,6 +8,14 @@ Importing this module populates :data:`repro.runner.scenarios.REGISTRY` with
   ``fig18/rsn-b6``, ``table11/bw-2x``, ...), tagged by the table or figure
   it reproduces.
 
+Every kind declares the execution backends it supports.  Simulation kinds
+(``xnn_*``, ``engine_chain``) register two implementations: the event-driven
+``engine`` backend and the closed-form ``analytic`` backend
+(:class:`~repro.xnn.analytic.AnalyticXNN`), whose latency is a certified
+lower bound on the engine's result (pinned by ``tests/differential/``).
+Kinds that are analytical by nature (CHARM, mapping estimates, GPU
+rooflines, ...) register one backend-independent function for both.
+
 Runner functions take only JSON-able keyword parameters and return JSON-able
 dicts, so every scenario can be executed in a worker process and cached on
 disk byte-for-byte (:mod:`repro.runner.sweep`, :mod:`repro.runner.cache`).
@@ -32,6 +40,26 @@ def _codegen_options(options: Optional[Dict[str, Any]]):
 def _xnn_config(bandwidth_scale: float = 1.0, **overrides):
     from repro.xnn import XNNConfig
     return XNNConfig(carry_data=False, bandwidth_scale=bandwidth_scale, **overrides)
+
+
+def _encoder_config(model: str):
+    """Encoder hyper-parameters by name, shared by both backends of the
+    ``xnn_encoder`` kind so their supported models cannot diverge."""
+    from repro.workloads.bert import BERT_LARGE
+    from repro.workloads.vit import VIT_BASE
+    configs = {"bert_large": BERT_LARGE, "vit_base": VIT_BASE}
+    if model not in configs:
+        raise KeyError(f"unknown encoder model {model!r}; known: {sorted(configs)}")
+    return configs[model]
+
+
+def _feedforward_builder(model: str):
+    """Feed-forward model builder by name, shared by both backends."""
+    from repro.workloads import mlp_model, ncf_model
+    builders = {"ncf": ncf_model, "mlp": mlp_model}
+    if model not in builders:
+        raise KeyError(f"unknown feedforward model {model!r}; known: {sorted(builders)}")
+    return builders[model]
 
 
 def _segment_dict(segment) -> Dict[str, Any]:
@@ -61,9 +89,25 @@ def _encoder_dict(result) -> Dict[str, Any]:
     }
 
 
+def _analytic_segment_dict(segment) -> Dict[str, Any]:
+    payload = _segment_dict(segment)
+    payload["bottleneck"] = segment.bottleneck
+    payload["bounds_s"] = dict(segment.bounds_s)
+    payload["utilization"] = dict(segment.utilization)
+    if segment.mapping:
+        payload["mapping"] = segment.mapping
+    return payload
+
+
+def _analytic_encoder_dict(result) -> Dict[str, Any]:
+    payload = _encoder_dict(result)
+    payload["segments"] = [_analytic_segment_dict(s) for s in result.segments]
+    return payload
+
+
 # ---------------------------------------------------------------- kind runners
 
-@REGISTRY.kind("aie_gemm")
+@REGISTRY.kind("aie_gemm", backend=("engine", "analytic"))
 def run_aie_gemm(shape: List[int]) -> dict:
     """Single-kernel AIE-array GEMM throughput for one tile shape (Table 6a)."""
     from repro.hardware.aie import AIEArrayModel
@@ -86,45 +130,74 @@ def run_xnn_gemm(m: int, k: int, n: int,
     return payload
 
 
+@REGISTRY.kind("xnn_gemm", backend="analytic")
+def estimate_xnn_gemm(m: int, k: int, n: int,
+                      options: Optional[Dict[str, Any]] = None,
+                      bandwidth_scale: float = 1.0) -> dict:
+    """Analytic lower-bound estimate of the end-to-end GEMM (Table 6b)."""
+    from repro.xnn.analytic import AnalyticXNN
+    model = AnalyticXNN(config=_xnn_config(bandwidth_scale),
+                        options=_codegen_options(options))
+    result = model.run_gemm(m, k, n)
+    payload = _analytic_segment_dict(result)
+    payload["gflops"] = result.flops / result.latency_s / 1e9 if result.latency_s else 0.0
+    return payload
+
+
 @REGISTRY.kind("xnn_encoder")
 def run_xnn_encoder(batch: int, seq_len: int, model: str = "bert_large",
                     options: Optional[Dict[str, Any]] = None,
                     bandwidth_scale: float = 1.0) -> dict:
     """One transformer encoder layer on the simulated datapath."""
-    from repro.workloads.bert import BERT_LARGE
-    from repro.workloads.vit import VIT_BASE
     from repro.xnn import XNNExecutor
-    configs = {"bert_large": BERT_LARGE, "vit_base": VIT_BASE}
-    if model not in configs:
-        raise KeyError(f"unknown encoder model {model!r}; known: {sorted(configs)}")
     executor = XNNExecutor(config=_xnn_config(bandwidth_scale),
                            options=_codegen_options(options))
-    result = executor.run_encoder(batch=batch, seq_len=seq_len, config=configs[model])
+    result = executor.run_encoder(batch=batch, seq_len=seq_len,
+                                  config=_encoder_config(model))
     return _encoder_dict(result)
+
+
+@REGISTRY.kind("xnn_encoder", backend="analytic")
+def estimate_xnn_encoder(batch: int, seq_len: int, model: str = "bert_large",
+                         options: Optional[Dict[str, Any]] = None,
+                         bandwidth_scale: float = 1.0) -> dict:
+    """Analytic lower-bound estimate of one encoder layer, per segment."""
+    from repro.xnn.analytic import AnalyticXNN
+    analytic = AnalyticXNN(config=_xnn_config(bandwidth_scale),
+                           options=_codegen_options(options))
+    result = analytic.run_encoder(batch=batch, seq_len=seq_len,
+                                  config=_encoder_config(model))
+    return _analytic_encoder_dict(result)
 
 
 @REGISTRY.kind("xnn_feedforward")
 def run_xnn_feedforward(model: str, batch: int,
                         options: Optional[Dict[str, Any]] = None) -> dict:
     """A pure-GEMM model (NCF / MLP) chained through DDR (Table 7)."""
-    from repro.workloads import mlp_model, ncf_model
     from repro.xnn import XNNExecutor
-    builders = {"ncf": ncf_model, "mlp": mlp_model}
-    if model not in builders:
-        raise KeyError(f"unknown feedforward model {model!r}; known: {sorted(builders)}")
     executor = XNNExecutor(config=_xnn_config(), options=_codegen_options(options))
-    result = executor.run_feedforward_model(builders[model](batch=batch))
+    result = executor.run_feedforward_model(_feedforward_builder(model)(batch=batch))
     return _encoder_dict(result)
 
 
-@REGISTRY.kind("charm_gemm")
+@REGISTRY.kind("xnn_feedforward", backend="analytic")
+def estimate_xnn_feedforward(model: str, batch: int,
+                             options: Optional[Dict[str, Any]] = None) -> dict:
+    """Analytic lower-bound estimate of a pure-GEMM model (Table 7)."""
+    from repro.xnn.analytic import AnalyticXNN
+    analytic = AnalyticXNN(config=_xnn_config(), options=_codegen_options(options))
+    result = analytic.run_feedforward_model(_feedforward_builder(model)(batch=batch))
+    return _analytic_encoder_dict(result)
+
+
+@REGISTRY.kind("charm_gemm", backend=("engine", "analytic"))
 def run_charm_gemm(size: int) -> dict:
     """CHARM baseline end-to-end square-MM throughput (Table 6b column)."""
     from repro.baselines import CharmModel
     return {"size": size, "gflops": CharmModel().gemm_throughput_gflops(size)}
 
 
-@REGISTRY.kind("charm_encoder")
+@REGISTRY.kind("charm_encoder", backend=("engine", "analytic"))
 def run_charm_encoder(batch: int, seq_len: int) -> dict:
     """CHARM BERT-Large encoder point with six-batch scheduling (Fig. 18)."""
     from repro.baselines import CharmModel
@@ -141,7 +214,7 @@ def run_charm_encoder(batch: int, seq_len: int) -> dict:
     }
 
 
-@REGISTRY.kind("mapping_types")
+@REGISTRY.kind("mapping_types", backend=("engine", "analytic"))
 def run_mapping_types(batch: int, seq_len: int) -> dict:
     """Latency estimates of the four mapping types on BERT attention (Table 3)."""
     from repro.workloads import bert_large_encoder
@@ -160,12 +233,19 @@ def run_mapping_types(batch: int, seq_len: int) -> dict:
     }
 
 
-@REGISTRY.kind("fu_properties")
+@REGISTRY.kind("fu_properties", backend=("engine", "analytic"))
 def run_fu_properties() -> dict:
     """Per-FU compute/memory/bandwidth inventory of the datapath (Fig. 16)."""
     from repro.xnn import XNNDatapath
     xnn = XNNDatapath(_xnn_config())
     return {"rows": xnn.fu_properties()}
+
+
+#: physical constants of the synthetic engine-chain pipeline, shared by the
+#: engine implementation and its analytic twin so they cannot drift apart.
+_CHAIN_MSG_BYTES = 64
+_CHAIN_CHANNEL_BW = 1e9
+_CHAIN_DELAY_S = 1e-9
 
 
 @REGISTRY.kind("engine_chain")
@@ -182,15 +262,16 @@ def run_engine_chain(n_msgs: int = 2000, stages: int = 2,
         __slots__ = ("nbytes",)
 
         def __init__(self) -> None:
-            self.nbytes = 64
+            self.nbytes = _CHAIN_MSG_BYTES
 
     sim = Simulator(fast_zero_delay=fast_zero_delay)
-    channels = [StreamChannel(f"c{i}", capacity=capacity, bandwidth=1e9)
+    channels = [StreamChannel(f"c{i}", capacity=capacity,
+                              bandwidth=_CHAIN_CHANNEL_BW)
                 for i in range(stages + 1)]
 
     def producer():
         for _ in range(n_msgs):
-            yield Delay(1e-9)
+            yield Delay(_CHAIN_DELAY_S)
             yield Write(channels[0], _Msg())
 
     def relay(index: int):
@@ -209,6 +290,53 @@ def run_engine_chain(n_msgs: int = 2000, stages: int = 2,
     stats = sim.run()
     return {"events": stats.events, "end_time": stats.end_time,
             "processes": stats.processes}
+
+
+@REGISTRY.kind("engine_chain", backend="analytic")
+def estimate_engine_chain(n_msgs: int = 2000, stages: int = 2,
+                          capacity: int = 4, fast_zero_delay: bool = True) -> dict:
+    """Closed-form lower bound on the synthetic pipeline's end time.
+
+    The producer must serially pay ``n_msgs`` delays plus ``n_msgs`` channel
+    transfers; the final message must then traverse the remaining ``stages``
+    relays, one transfer each.  Event counts are an artefact of the engine's
+    scheduling and are not modelled (``None``).
+    """
+    transfer_s = _CHAIN_MSG_BYTES / _CHAIN_CHANNEL_BW
+    end_time = n_msgs * (_CHAIN_DELAY_S + transfer_s) + stages * transfer_s
+    return {"events": None, "end_time": end_time, "processes": stages + 2}
+
+
+@REGISTRY.kind("gpu_roofline", backend=("engine", "analytic"))
+def run_gpu_roofline(gpu: str, batch: int, seq_len: int = 384) -> dict:
+    """Roofline latency estimate of full BERT-Large on a Table 10 GPU.
+
+    Purely analytical (the paper never runs on these GPUs either): combines
+    the :class:`~repro.hardware.gpu.GPUModel` roofline with the BERT-Large
+    layer inventory, next to the published measurement for that batch size.
+    """
+    from repro.hardware.gpu import GPU_SPECS, GPUModel
+    from repro.workloads.bert import bert_large_model
+    if gpu not in GPU_SPECS:
+        raise KeyError(f"unknown GPU {gpu!r}; known: {sorted(GPU_SPECS)}")
+    spec = GPU_SPECS[gpu]
+    model = GPUModel(spec)
+    workload = bert_large_model(batch=batch, seq_len=seq_len)
+    latency_s = model.estimate_latency(
+        flops=workload.total_flops,
+        dram_bytes=float(workload.total_offchip_bytes),
+        batch=batch, num_kernels=len(workload.layers))
+    return {
+        "gpu": spec.key,
+        "batch": batch,
+        "seq_len": seq_len,
+        "latency_s": latency_s,
+        "latency_ms": latency_s * 1e3,
+        "published_latency_ms": spec.published_latency_ms.get(batch),
+        "memory_bound": model.is_memory_bound(
+            workload.total_flops, float(workload.total_offchip_bytes), batch),
+        "sequences_per_joule": model.sequences_per_joule(batch, latency_s),
+    }
 
 
 # ------------------------------------------------------------------ catalogue
@@ -292,6 +420,14 @@ def _register_catalogue() -> None:
                      {"batch": batch, "seq_len": 384},
                      tags=("table10", "sim"),
                      description="BERT-Large encoder, L=384 (Table 10 GPU comparison)")
+
+    # Table 10: GPU roofline estimates next to the published latencies.
+    for gpu in ("T4-fp32", "V100-fp32", "A100-fp32", "A100-fp16", "L4-fp32"):
+        for batch in (1, 8):
+            REGISTRY.add(f"table10/{gpu.lower()}-b{batch}", "gpu_roofline",
+                         {"gpu": gpu, "batch": batch, "seq_len": 384},
+                         tags=("table10", "gpu", "analytic"),
+                         description="GPU roofline, full BERT-Large L=384 (Table 10)")
 
     # Table 3: mapping-type estimates; Fig. 16: FU property inventory.
     REGISTRY.add("table3/mapping-types", "mapping_types",

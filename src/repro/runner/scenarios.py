@@ -12,7 +12,12 @@ The registry has two layers:
 * **kinds** -- runner functions ``fn(**params) -> dict`` registered with
   :meth:`ScenarioRegistry.kind`.  A runner must be deterministic in its
   parameters and return a JSON-serialisable dict, so results can round-trip
-  through the cache and through ``multiprocessing`` unchanged.
+  through the cache and through ``multiprocessing`` unchanged.  Each kind
+  declares which execution *backends* it supports: the cycle-level
+  ``"engine"`` backend (event-driven simulation) and/or the ``"analytic"``
+  backend (closed-form roofline estimation, no event loop).  A kind may
+  register one function per backend, or a single backend-independent
+  function for both.
 * **scenarios** -- named, tagged parameterizations of a kind, registered with
   :meth:`ScenarioRegistry.add`.  The benchmark suite's table/figure points
   are all registered in :mod:`repro.runner.library`.
@@ -22,14 +27,45 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-__all__ = ["Scenario", "ScenarioRegistry", "REGISTRY", "canonical_json"]
+__all__ = ["Scenario", "ScenarioRegistry", "REGISTRY", "canonical_json",
+           "BACKENDS", "DEFAULT_BACKEND"]
+
+
+#: the execution backends a scenario kind can support.
+BACKENDS: Tuple[str, ...] = ("engine", "analytic")
+
+#: backend used when callers do not ask for one explicitly.
+DEFAULT_BACKEND = "engine"
 
 
 def canonical_json(value: Any) -> str:
-    """A stable, whitespace-free JSON encoding used for hashing and equality."""
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    """A stable, whitespace-free JSON encoding used for hashing and equality.
+
+    Non-finite floats (NaN, +/-Infinity) are rejected: ``json`` would emit the
+    non-standard tokens ``NaN``/``Infinity`` for them, which silently
+    round-trip through Python but are not valid JSON and would poison cache
+    keys (two NaN-parameterised scenarios can never compare equal).
+    """
+    try:
+        return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                          allow_nan=False)
+    except ValueError as error:
+        raise ValueError(
+            f"canonical_json: non-finite float in {value!r} ({error}); "
+            "NaN/Infinity cannot be used in scenario parameters or cache keys"
+        ) from None
+
+
+def _normalize_backends(backend: Union[str, Sequence[str]]) -> Tuple[str, ...]:
+    backends = (backend,) if isinstance(backend, str) else tuple(backend)
+    unknown = [b for b in backends if b not in BACKENDS]
+    if unknown:
+        raise ValueError(f"unknown backend(s) {unknown}; known: {list(BACKENDS)}")
+    if not backends:
+        raise ValueError("at least one backend must be declared")
+    return backends
 
 
 @dataclass(frozen=True)
@@ -56,26 +92,57 @@ class ScenarioRegistry:
     """Registry of scenario kinds (runner functions) and named scenarios."""
 
     def __init__(self) -> None:
-        self._kinds: Dict[str, Callable[..., dict]] = {}
+        #: kind name -> backend name -> runner function.
+        self._kinds: Dict[str, Dict[str, Callable[..., dict]]] = {}
         self._scenarios: Dict[str, Scenario] = {}
 
     # ----------------------------------------------------------------- kinds
 
-    def kind(self, name: str) -> Callable[[Callable[..., dict]], Callable[..., dict]]:
-        """Decorator registering a runner function for scenario kind ``name``."""
+    def kind(self, name: str, backend: Union[str, Sequence[str]] = DEFAULT_BACKEND
+             ) -> Callable[[Callable[..., dict]], Callable[..., dict]]:
+        """Decorator registering a runner function for scenario kind ``name``.
+
+        ``backend`` names the execution backend(s) this function implements:
+        ``"engine"`` (default), ``"analytic"``, or a sequence of both for
+        backend-independent kinds (pure analytical models behave identically
+        under either backend).
+        """
+        backends = _normalize_backends(backend)
+
         def decorator(fn: Callable[..., dict]) -> Callable[..., dict]:
-            if name in self._kinds:
-                raise ValueError(f"scenario kind {name!r} already registered")
-            self._kinds[name] = fn
+            implementations = self._kinds.setdefault(name, {})
+            for b in backends:
+                if b in implementations:
+                    raise ValueError(f"scenario kind {name!r} already "
+                                     f"registered for the {b!r} backend")
+                implementations[b] = fn
             return fn
         return decorator
 
-    def runner(self, kind: str) -> Callable[..., dict]:
+    def runner(self, kind: str, backend: str = DEFAULT_BACKEND) -> Callable[..., dict]:
         try:
-            return self._kinds[kind]
+            implementations = self._kinds[kind]
         except KeyError:
             raise KeyError(f"unknown scenario kind {kind!r}; "
                            f"known: {sorted(self._kinds)}") from None
+        try:
+            return implementations[backend]
+        except KeyError:
+            raise KeyError(
+                f"scenario kind {kind!r} does not support the {backend!r} "
+                f"backend; it supports: {sorted(implementations)}") from None
+
+    def backends(self, kind: str) -> Tuple[str, ...]:
+        """The backends a kind supports, in canonical ``BACKENDS`` order."""
+        try:
+            implementations = self._kinds[kind]
+        except KeyError:
+            raise KeyError(f"unknown scenario kind {kind!r}; "
+                           f"known: {sorted(self._kinds)}") from None
+        return tuple(b for b in BACKENDS if b in implementations)
+
+    def supports(self, kind: str, backend: str) -> bool:
+        return backend in self.backends(kind)
 
     # ------------------------------------------------------------- scenarios
 
@@ -105,10 +172,17 @@ class ScenarioRegistry:
         return sorted(self._scenarios)
 
     def select(self, names: Optional[Iterable[str]] = None,
-               tags: Optional[Iterable[str]] = None) -> List[Scenario]:
-        """Scenarios by explicit name and/or by tag (union), in stable order."""
+               tags: Optional[Iterable[str]] = None,
+               backend: Optional[str] = None) -> List[Scenario]:
+        """Scenarios by explicit name and/or by tag (union), in stable order.
+
+        ``backend`` optionally filters to scenarios whose kind supports that
+        backend (explicitly named scenarios that do not support it raise, so a
+        typo'd request fails loudly instead of silently shrinking).
+        """
+        explicit = list(names) if names is not None else None
         picked: Dict[str, Scenario] = {}
-        for name in names or ():
+        for name in explicit or ():
             picked[name] = self.get(name)
         wanted = set(tags or ())
         if wanted:
@@ -116,9 +190,18 @@ class ScenarioRegistry:
                 scenario = self._scenarios[name]
                 if wanted & set(scenario.tags):
                     picked[name] = scenario
-        if names is None and tags is None:
+        if explicit is None and tags is None:
             picked = {name: self._scenarios[name] for name in self.names()}
-        return [picked[name] for name in sorted(picked)]
+        selected = [picked[name] for name in sorted(picked)]
+        if backend is not None:
+            for name in explicit or ():
+                scenario = picked[name]
+                if not self.supports(scenario.kind, backend):
+                    raise KeyError(
+                        f"scenario {scenario.name!r} (kind {scenario.kind!r}) does "
+                        f"not support the {backend!r} backend")
+            selected = [s for s in selected if self.supports(s.kind, backend)]
+        return selected
 
     def all_tags(self) -> List[str]:
         tags = set()
@@ -128,15 +211,15 @@ class ScenarioRegistry:
 
     # ------------------------------------------------------------- execution
 
-    def run(self, scenario_or_name) -> dict:
-        """Execute one scenario in-process and return its result dict."""
+    def run(self, scenario_or_name, backend: str = DEFAULT_BACKEND) -> dict:
+        """Execute one scenario in-process on ``backend``; returns its result."""
         scenario = (scenario_or_name if isinstance(scenario_or_name, Scenario)
                     else self.get(scenario_or_name))
-        result = self.runner(scenario.kind)(**scenario.params)
+        result = self.runner(scenario.kind, backend)(**scenario.params)
         if not isinstance(result, dict):
             raise TypeError(f"scenario {scenario.name!r}: runner for kind "
-                            f"{scenario.kind!r} returned {type(result).__name__}, "
-                            "expected a JSON-able dict")
+                            f"{scenario.kind!r} ({backend} backend) returned "
+                            f"{type(result).__name__}, expected a JSON-able dict")
         return result
 
 

@@ -7,6 +7,12 @@ serially or on a ``multiprocessing`` pool.  Workers receive only scenario
 crosses the process boundary and results are identical however they were
 computed (in-process, in a worker, or read back from the cache -- the
 determinism tests assert exactly this).
+
+Every sweep runs on one execution *backend*: the event-driven ``"engine"``
+(cycle-level, slow, exact) or the closed-form ``"analytic"`` fast model
+(roofline lower bounds, no event loop, orders of magnitude faster).  The
+backend is part of the cache identity, so engine and analytic results never
+collide on disk.
 """
 
 from __future__ import annotations
@@ -14,10 +20,11 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .cache import ResultCache
-from .scenarios import REGISTRY, Scenario
+from .scenarios import BACKENDS, DEFAULT_BACKEND, REGISTRY, Scenario
 
 __all__ = ["SweepOutcome", "run_sweep"]
 
@@ -31,13 +38,15 @@ class SweepOutcome:
     result: Dict[str, Any]
     elapsed_s: float
     cached: bool
+    backend: str = DEFAULT_BACKEND
 
     def metric(self) -> str:
         """A compact human-readable headline number for CLI tables."""
         result = self.result
         for key, fmt in (("latency_ms", "{:.3f} ms"), ("latency_s", "{:.3e} s"),
-                         ("gflops", "{:.0f} GFLOPS"), ("events", "{} events")):
-            if key in result:
+                         ("gflops", "{:.0f} GFLOPS"), ("events", "{} events"),
+                         ("end_time", "{:.3e} s")):
+            if key in result and result[key] is not None:
                 return fmt.format(result[key])
         return f"{len(result)} field(s)"
 
@@ -49,8 +58,9 @@ def _resolve(scenarios: Iterable[Union[str, Scenario]]) -> List[Scenario]:
     return resolved
 
 
-def _run_one(scenario: Scenario) -> Tuple[str, Dict[str, Any], float]:
-    """Worker entry point: execute one scenario.
+def _run_one(scenario: Scenario,
+             backend: str = DEFAULT_BACKEND) -> Tuple[str, Dict[str, Any], float]:
+    """Worker entry point: execute one scenario on one backend.
 
     The scenario object itself crosses the process boundary (it is a frozen
     dataclass of JSON-able values), so ad-hoc scenarios that are not in the
@@ -61,13 +71,13 @@ def _run_one(scenario: Scenario) -> Tuple[str, Dict[str, Any], float]:
     # under the default fork start method it is an instant no-op.
     from . import library  # noqa: F401
     start = time.perf_counter()
-    result = REGISTRY.run(scenario)
+    result = REGISTRY.run(scenario, backend=backend)
     return scenario.name, result, time.perf_counter() - start
 
 
 def run_sweep(scenarios: Sequence[Union[str, Scenario]], workers: int = 1,
-              cache: Optional[ResultCache] = None,
-              force: bool = False) -> List[SweepOutcome]:
+              cache: Optional[ResultCache] = None, force: bool = False,
+              backend: str = DEFAULT_BACKEND) -> List[SweepOutcome]:
     """Execute ``scenarios``, returning one :class:`SweepOutcome` per input.
 
     Parameters
@@ -80,8 +90,17 @@ def run_sweep(scenarios: Sequence[Union[str, Scenario]], workers: int = 1,
     force:
         Re-run scenarios even when the cache holds a valid entry (the fresh
         result overwrites it).
+    backend:
+        Execution backend for every scenario in the sweep (``"engine"`` or
+        ``"analytic"``).  Scenarios whose kind does not support the backend
+        raise ``KeyError`` before anything executes.
     """
+    if backend not in BACKENDS:
+        raise KeyError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")
     resolved = _resolve(scenarios)
+    for scenario in resolved:
+        # Fail the whole sweep up front rather than mid-flight in a worker.
+        REGISTRY.runner(scenario.kind, backend)
     # Outcomes are keyed by (name, canonical identity) so duplicate inputs
     # execute once, while two ad-hoc scenarios that share a name but differ
     # in parameters stay distinct.
@@ -94,26 +113,27 @@ def run_sweep(scenarios: Sequence[Union[str, Scenario]], workers: int = 1,
         key = _key(scenario)
         if key in outcomes or any(_key(queued) == key for queued in to_run):
             continue
-        payload = None if (cache is None or force) else cache.load(scenario)
+        payload = None if (cache is None or force) else cache.load(scenario,
+                                                                   backend=backend)
         if payload is not None:
             outcomes[key] = SweepOutcome(
                 scenario=scenario.name, kind=scenario.kind,
                 result=payload["result"], elapsed_s=payload.get("elapsed_s", 0.0),
-                cached=True)
+                cached=True, backend=backend)
         else:
             to_run.append(scenario)
 
     if to_run:
         if workers > 1 and len(to_run) > 1:
             with multiprocessing.Pool(processes=min(workers, len(to_run))) as pool:
-                raw = pool.map(_run_one, to_run)
+                raw = pool.map(partial(_run_one, backend=backend), to_run)
         else:
-            raw = [_run_one(scenario) for scenario in to_run]
+            raw = [_run_one(scenario, backend=backend) for scenario in to_run]
         for scenario, (_, result, elapsed) in zip(to_run, raw):
             outcomes[_key(scenario)] = SweepOutcome(
                 scenario=scenario.name, kind=scenario.kind, result=result,
-                elapsed_s=elapsed, cached=False)
+                elapsed_s=elapsed, cached=False, backend=backend)
             if cache is not None:
-                cache.store(scenario, result, elapsed)
+                cache.store(scenario, result, elapsed, backend=backend)
 
     return [outcomes[_key(scenario)] for scenario in resolved]

@@ -25,11 +25,16 @@ from .datapath import XNNConfig, XNNDatapath, build_xnn_datapath
 from .tiling import GemmTiling, plan_gemm_tiling
 from .codegen import CodegenOptions, ProgramBuilder
 from .executor import SegmentResult, EncoderResult, XNNExecutor
-from .mapping import MappingType, MappingEstimate, estimate_mapping_latency, compare_mapping_types
-from .bandwidth import LoadStoreOrdering, bandwidth_sweep_latency
+from .analytic import AnalyticSegment, AnalyticXNN
+from .mapping import (MappingType, MappingEstimate, attention_mapping_type,
+                      estimate_mapping_latency, compare_mapping_types)
+from .bandwidth import (LoadStoreOrdering, analytic_bandwidth_sweep,
+                        bandwidth_sweep_latency)
 from .segmentation import Segment, SegmentKind, segment_model
 
 __all__ = [
+    "AnalyticSegment",
+    "AnalyticXNN",
     "CodegenOptions",
     "EncoderResult",
     "GemmTiling",
@@ -43,6 +48,8 @@ __all__ = [
     "XNNConfig",
     "XNNDatapath",
     "XNNExecutor",
+    "analytic_bandwidth_sweep",
+    "attention_mapping_type",
     "bandwidth_sweep_latency",
     "build_xnn_datapath",
     "compare_mapping_types",

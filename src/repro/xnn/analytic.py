@@ -1,0 +1,336 @@
+"""The analytic fast-model backend: roofline estimates, no event loop.
+
+:class:`AnalyticXNN` mirrors :class:`~repro.xnn.executor.XNNExecutor`'s API
+(``run_gemm`` / ``run_encoder`` / ``run_feedforward_model``) but evaluates a
+closed-form *multi-resource roofline* instead of simulating the datapath:
+
+* It replays the code generator's tiling decisions
+  (:func:`~repro.xnn.tiling.plan_gemm_tiling`) and attention mapping
+  (:func:`~repro.xnn.mapping.attention_mapping_type`) purely arithmetically,
+  tallying exactly the off-chip transfers, MME tile products, and MemC fused
+  operators the generated program would issue -- the DDR/LPDDR byte counts it
+  reports are *identical* to the event-driven engine's channel counters.
+* Each tallied resource (the DDR channel, the LPDDR channel, the busiest MME,
+  the busiest MemC) is converted to serial busy time with the same platform
+  models the engine charges time with
+  (:class:`~repro.hardware.memory.MemoryChannelModel` including the
+  per-request latency, :meth:`~repro.hardware.aie.AIEArrayModel.mme_flops`),
+  and the segment latency is the maximum over resources
+  (:class:`~repro.analysis.roofline.ResourceRoofline`).
+
+Because every FU in the event-driven engine executes its uOPs serially, the
+engine's end time can never be smaller than any single FU's total charged
+time; the analytic latency is therefore a **certified lower bound** on the
+cycle-level result.  What it deliberately omits -- pipeline fill/drain,
+channel back-pressure, load/store ordering stalls -- is exactly the gap the
+differential-validation suite (``tests/differential/``) measures and pins per
+scenario.  In exchange, a full scenario evaluation costs microseconds instead
+of seconds, which is what makes 1000-point design-space sweeps interactive
+(``benchmarks/bench_backend_speed.py`` quantifies the speedup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..analysis.roofline import ResourceRoofline
+from ..hardware.aie import AIEArrayModel, MMEGroupPlan
+from ..hardware.memory import MemoryChannelModel, ddr_channel, lpddr_channel
+from ..workloads.bert import BERT_LARGE, BertConfig, bert_large_encoder
+from ..workloads.layers import FusedOp, MatMulLayer, ModelSpec
+from .codegen import _FUSED_TO_MEMC, CodegenOptions
+from .datapath import XNNConfig
+from .executor import EncoderResult, SegmentResult
+from .fus.scratchpad import MEMC_COMPUTE_THROUGHPUT, NONMM_FLOPS_PER_ELEMENT
+from .mapping import MappingType, attention_mapping_type
+from .segmentation import SegmentKind, segment_model
+from .tiling import plan_gemm_tiling
+
+__all__ = ["AnalyticSegment", "AnalyticXNN"]
+
+_ELEMENT_BYTES = 4  # fp32 everywhere, matching TileMessage's default dtype
+
+
+@dataclass
+class AnalyticSegment(SegmentResult):
+    """A :class:`SegmentResult` plus the roofline diagnostics behind it.
+
+    ``uops`` is always 0: the fast model does not build instruction streams
+    (that is precisely the work it skips).  The extra fields expose what the
+    engine cannot cheaply report -- which resource bounds the segment and how
+    busy each one is relative to the estimated span.
+    """
+
+    bottleneck: str = ""
+    bounds_s: Dict[str, float] = field(default_factory=dict)
+    utilization: Dict[str, float] = field(default_factory=dict)
+    mapping: str = ""
+
+
+class _SegmentTally:
+    """Accumulates one simulation group's transfers and per-FU work."""
+
+    def __init__(self, config: XNNConfig):
+        self.config = config
+        self.ddr: MemoryChannelModel = ddr_channel(
+            config.spec, bandwidth_scale=config.bandwidth_scale)
+        self.lpddr: MemoryChannelModel = lpddr_channel(
+            config.spec, bandwidth_scale=config.bandwidth_scale)
+        self.ddr_read_bytes = 0
+        self.ddr_read_requests = 0
+        self.ddr_write_bytes = 0
+        self.ddr_write_requests = 0
+        self.lpddr_bytes = 0
+        self.lpddr_requests = 0
+        self.mme_flops = [0.0] * config.num_mme
+        self.memc_flops = [0.0] * config.num_mem_c
+
+    # ------------------------------------------------------------- recording
+
+    def ddr_load(self, nbytes: int, requests: int) -> None:
+        self.ddr_read_bytes += nbytes
+        self.ddr_read_requests += requests
+
+    def ddr_store(self, nbytes: int, requests: int) -> None:
+        self.ddr_write_bytes += nbytes
+        self.ddr_write_requests += requests
+
+    def lpddr_load(self, nbytes: int, requests: int) -> None:
+        self.lpddr_bytes += nbytes
+        self.lpddr_requests += requests
+
+    # ------------------------------------------------------------- resolving
+
+    def roofline(self, mme_rate: float, memc_rate: float) -> ResourceRoofline:
+        """Convert the tallies into per-resource busy times.
+
+        Each bound is the exact serial occupancy the event-driven engine
+        charges the corresponding FU: the channels' transfer times (including
+        the fixed per-request latency), the busiest MME's accumulated tile
+        products, and the busiest MemC's fused-operator arithmetic.
+        """
+        ddr_busy = (self.ddr.bulk_read_time(self.ddr_read_bytes,
+                                            self.ddr_read_requests)
+                    + self.ddr.bulk_write_time(self.ddr_write_bytes,
+                                               self.ddr_write_requests))
+        lpddr_busy = self.lpddr.bulk_read_time(self.lpddr_bytes,
+                                               self.lpddr_requests)
+        return ResourceRoofline({
+            "ddr": ddr_busy,
+            "lpddr": lpddr_busy,
+            "mme": max(self.mme_flops) / mme_rate,
+            "memc": max(self.memc_flops) / memc_rate,
+        })
+
+    @property
+    def ddr_bytes(self) -> int:
+        return self.ddr_read_bytes + self.ddr_write_bytes
+
+    @property
+    def lpddr_total_bytes(self) -> int:
+        return self.lpddr_bytes
+
+
+def _memc_flops_per_element(fused_ops: Tuple[FusedOp, ...],
+                            residual: bool) -> float:
+    """FLOPs/element MemC charges for a GEMM layer's fused operators.
+
+    Mirrors the code generator (softmax is excluded from GEMM layers -- it
+    only occurs inside attention) and the MemC kernel's residual add.
+    """
+    ops = tuple(_FUSED_TO_MEMC[op] for op in fused_ops
+                if op in _FUSED_TO_MEMC and op != FusedOp.SOFTMAX)
+    per_element = sum(NONMM_FLOPS_PER_ELEMENT.get(op, 1.0) for op in ops)
+    if residual:
+        per_element += 1.0
+    return per_element
+
+
+class AnalyticXNN:
+    """Closed-form latency/traffic/utilisation model of the RSN-XNN overlay.
+
+    Drop-in analytic counterpart of :class:`~repro.xnn.executor.XNNExecutor`:
+    same configuration objects, same result dataclasses, no event loop.
+    """
+
+    def __init__(self, config: Optional[XNNConfig] = None,
+                 options: Optional[CodegenOptions] = None):
+        self.config = config or XNNConfig(carry_data=False)
+        self.options = options or CodegenOptions()
+        self.aie = AIEArrayModel(self.config.spec,
+                                 MMEGroupPlan(num_groups=self.config.num_mme))
+        #: achieved FLOP/s of one MME FU -- identical to the rate the engine's
+        #: MME kernels charge compute with.
+        self.mme_rate = self.aie.mme_flops(self.config.mme_tile_shape)
+
+    # -------------------------------------------------------------- tallying
+
+    def _tally_gemm(self, tally: _SegmentTally, layer: MatMulLayer,
+                    residual: bool = False) -> None:
+        """Replay ``ProgramBuilder.add_gemm_layer``'s transfer inventory."""
+        if layer.num != 1:
+            raise ValueError(f"layer {layer.name!r} has num={layer.num}; "
+                             "multi-instance layers are attention-style")
+        options = self.options
+        m, k, n = layer.m, layer.k, layer.n
+        tiling = plan_gemm_tiling(m, k, n, num_mme=self.config.num_mme,
+                                  tile_m=options.tile_m, tile_k=options.tile_k,
+                                  super_n=options.super_n)
+        n_m = len(tiling.m_blocks)
+        n_k = len(tiling.k_blocks)
+        n_j = len(tiling.n_super_blocks)
+        active_total = sum(len(columns) for columns in tiling.mme_columns)
+
+        # LHS tiles: reloaded once per output super-column, one transfer per
+        # (row block, super-column, K step).
+        tally.ddr_load(m * k * _ELEMENT_BYTES * n_j, n_m * n_j * n_k)
+        if residual:
+            # One residual tile per (row block, super-column, active MME).
+            tally.ddr_load(m * n * _ELEMENT_BYTES, n_m * active_total)
+        # Output stores: one per (row block, super-column, active MME).
+        tally.ddr_store(m * n * _ELEMENT_BYTES, n_m * active_total)
+        # RHS weights from LPDDR: reloaded once per row block, one transfer
+        # per (row block, super-column, K step, active MME).
+        tally.lpddr_load(k * n * _ELEMENT_BYTES * n_m, n_m * n_k * active_total)
+
+        memc_per_element = _memc_flops_per_element(layer.fused_ops, residual)
+        for columns in tiling.mme_columns:
+            for g, column in enumerate(columns):
+                # Accumulated over all row blocks: 2*m*k FLOPs per output
+                # column element; MemC g post-processes MME g's columns.
+                tally.mme_flops[g] += 2.0 * m * k * column.size
+                tally.memc_flops[g] += memc_per_element * m * column.size
+
+    def _tally_attention(self, tally: _SegmentTally, seq_len: int,
+                         head_dim: int, num_heads: int) -> None:
+        """Replay ``ProgramBuilder.add_attention``'s transfer inventory."""
+        head_tile = seq_len * head_dim * _ELEMENT_BYTES
+        score_tile = seq_len * seq_len * _ELEMENT_BYTES
+        mm_flops = 2.0 * seq_len * head_dim * seq_len   # MM1 == MM2 FLOPs
+        softmax_flops = (NONMM_FLOPS_PER_ELEMENT["scale"]
+                         + NONMM_FLOPS_PER_ELEMENT["softmax"]) \
+            * seq_len * seq_len
+        num_mme = self.config.num_mme
+
+        if self.options.pipeline_attention:
+            # Heads run in groups of num_mme//2: head slot i computes MM1 on
+            # MME i and MM2 on MME half+i; scores never leave the chip.
+            half = max(1, num_mme // 2)
+            mm2_base = half if num_mme >= 2 * half else 0
+            tally.ddr_load(3 * num_heads * head_tile, 3 * num_heads)  # Q, K, V
+            tally.ddr_store(num_heads * head_tile, num_heads)
+            for head in range(num_heads):
+                slot = head % half
+                tally.mme_flops[slot] += mm_flops
+                tally.mme_flops[mm2_base + slot] += mm_flops
+                tally.memc_flops[slot] += softmax_flops
+        else:
+            # Task-by-task: every head's scores round-trip through DDR.
+            tally.ddr_load(2 * num_heads * head_tile, 2 * num_heads)  # Q, K
+            tally.ddr_store(num_heads * score_tile, num_heads)
+            tally.ddr_load(num_heads * (score_tile + head_tile), 2 * num_heads)
+            tally.ddr_store(num_heads * head_tile, num_heads)
+            for head in range(num_heads):
+                g = head % num_mme
+                tally.mme_flops[g] += 2.0 * mm_flops
+                tally.memc_flops[g] += softmax_flops
+
+    # ------------------------------------------------------------- resolving
+
+    def _close_segment(self, tally: _SegmentTally, name: str, flops: float,
+                       mapping: str = "") -> AnalyticSegment:
+        roofline = tally.roofline(self.mme_rate, MEMC_COMPUTE_THROUGHPUT)
+        return AnalyticSegment(
+            name=name,
+            latency_s=roofline.latency_s,
+            flops=flops,
+            ddr_bytes=tally.ddr_bytes,
+            lpddr_bytes=tally.lpddr_total_bytes,
+            uops=0,
+            bottleneck=roofline.bottleneck,
+            bounds_s=dict(roofline.busy_s),
+            utilization=roofline.utilizations(),
+            mapping=mapping,
+        )
+
+    def _fresh_tally(self) -> _SegmentTally:
+        return _SegmentTally(self.config)
+
+    # ------------------------------------------------------------ single GEMM
+
+    def run_gemm(self, m: int, k: int, n: int,
+                 fused_ops: Tuple[FusedOp, ...] = ()) -> AnalyticSegment:
+        """Estimate one GEMM layer end to end (the Table 6b path)."""
+        layer = MatMulLayer("gemm", m=m, k=k, n=n, fused_ops=fused_ops)
+        tally = self._fresh_tally()
+        self._tally_gemm(tally, layer)
+        return self._close_segment(tally, "gemm", layer.flops,
+                                   mapping=MappingType.TASK_PARALLEL.value)
+
+    # --------------------------------------------------------------- encoder
+
+    def run_encoder(self, batch: int = 6, seq_len: int = 512,
+                    config: BertConfig = BERT_LARGE) -> EncoderResult:
+        """Estimate one transformer encoder layer, segment by segment.
+
+        The three simulation groups mirror the engine executor exactly (QKV
+        projections, attention + dense, feed-forward), so per-segment traffic
+        is comparable byte for byte.  The attention segment is labelled with
+        the Fig. 3 mapping type the codegen options select, cross-checked
+        against the model-segmentation decision (the pipelined mapping is only
+        meaningful when the segmenter would pipeline the attention pair).
+        """
+        spec = bert_large_encoder(batch=batch, seq_len=seq_len, config=config)
+        layer = {l.name: l for l in spec.layers}
+        result = EncoderResult(name=spec.name, batch=batch)
+
+        pipelined_pairs = {
+            tuple(l.name for l in segment.layers)
+            for segment in segment_model(spec, self.config.spec)
+            if segment.kind is SegmentKind.PIPELINED
+        }
+        attention_pipelined = (self.options.pipeline_attention
+                               and ("attention_mm1",
+                                    "attention_mm2") in pipelined_pairs)
+        mapping = attention_mapping_type(attention_pipelined).value
+
+        # ---- group 1: Key / Query / Value projections --------------------
+        tally = self._fresh_tally()
+        for name in ("query", "key", "value"):
+            self._tally_gemm(tally, layer[name])
+        qkv_flops = sum(layer[n].flops for n in ("query", "key", "value"))
+        result.segments.append(self._close_segment(tally, "qkv", qkv_flops))
+
+        # ---- group 2: attention heads + dense projection ------------------
+        tally = self._fresh_tally()
+        self._tally_attention(tally, seq_len=seq_len, head_dim=config.head_dim,
+                              num_heads=batch * config.heads)
+        self._tally_gemm(tally, layer["dense"], residual=True)
+        attention_flops = (layer["attention_mm1"].flops
+                           + layer["attention_mm2"].flops
+                           + layer["dense"].flops)
+        result.segments.append(self._close_segment(
+            tally, "attention+dense", attention_flops, mapping=mapping))
+
+        # ---- group 3: feed-forward network --------------------------------
+        tally = self._fresh_tally()
+        self._tally_gemm(tally, layer["ffn_mm1"])
+        self._tally_gemm(tally, layer["ffn_mm2"], residual=True)
+        ffn_flops = layer["ffn_mm1"].flops + layer["ffn_mm2"].flops
+        result.segments.append(self._close_segment(tally, "ffn", ffn_flops))
+        return result
+
+    # ----------------------------------------------------------- plain models
+
+    def run_feedforward_model(self, model: ModelSpec) -> EncoderResult:
+        """Estimate a pure-GEMM model (NCF, MLP): layers chained through DDR."""
+        tally = self._fresh_tally()
+        total_flops = 0.0
+        for model_layer in model.layers:
+            self._tally_gemm(tally, model_layer)
+            total_flops += model_layer.flops
+        result = EncoderResult(name=model.name, batch=model.batch)
+        result.segments.append(
+            self._close_segment(tally, model.name, total_flops))
+        return result

@@ -24,7 +24,8 @@ from .codegen import CodegenOptions
 from .datapath import XNNConfig
 
 __all__ = ["LoadStoreOrdering", "ddr_busy_estimate", "bandwidth_sweep_latency",
-           "infinite_bandwidth_bound", "infinite_compute_bound", "BandwidthSweepPoint"]
+           "analytic_bandwidth_sweep", "infinite_bandwidth_bound",
+           "infinite_compute_bound", "BandwidthSweepPoint"]
 
 
 class LoadStoreOrdering(str, Enum):
@@ -146,6 +147,34 @@ def bandwidth_sweep_latency(scales: Sequence[float] = (0.5, 1.0, 2.0, 3.0),
         )
         executor = XNNExecutor(config=config, options=options)
         result = executor.run_encoder(batch=batch, seq_len=seq_len)
+        points.append(BandwidthSweepPoint(label=f"{scale:g}X BW",
+                                          bandwidth_scale=scale,
+                                          latency_s=result.latency_s))
+    return points
+
+
+def analytic_bandwidth_sweep(scales: Sequence[float] = (0.5, 1.0, 2.0, 3.0),
+                             batch: int = 8, seq_len: int = 384,
+                             options: Optional[CodegenOptions] = None,
+                             base_config: Optional[XNNConfig] = None
+                             ) -> List[BandwidthSweepPoint]:
+    """The Table 11 sweep on the analytic fast-model backend.
+
+    Same sweep shape as :func:`bandwidth_sweep_latency` but each point is a
+    closed-form roofline lower bound instead of an event-driven simulation --
+    cheap enough to sweep hundreds of bandwidth scales interactively when
+    exploring beyond the paper's four points.
+    """
+    from .analytic import AnalyticXNN  # local import to avoid a module cycle
+    from dataclasses import replace
+
+    options = options or CodegenOptions()
+    base_config = base_config or XNNConfig(carry_data=False)
+    points: List[BandwidthSweepPoint] = []
+    for scale in scales:
+        config = replace(base_config, carry_data=False, bandwidth_scale=scale)
+        result = AnalyticXNN(config=config, options=options).run_encoder(
+            batch=batch, seq_len=seq_len)
         points.append(BandwidthSweepPoint(label=f"{scale:g}X BW",
                                           bandwidth_scale=scale,
                                           latency_s=result.latency_s))

@@ -39,7 +39,13 @@ from ...core import (
 )
 from .offchip import HostMemory
 
-__all__ = ["MemAFU", "MemBFU", "MemCFU"]
+__all__ = ["MemAFU", "MemBFU", "MemCFU", "MEMC_COMPUTE_THROUGHPUT",
+           "NONMM_FLOPS_PER_ELEMENT"]
+
+#: sustained FLOP/s of one MemC's non-MM operator pipeline.  Shared with the
+#: analytic fast-model backend so both backends charge fused operators at the
+#: same rate.
+MEMC_COMPUTE_THROUGHPUT = 0.072e12
 
 
 class _PingPongScratchpad(FunctionalUnit):
@@ -176,8 +182,9 @@ class MemBFU(_PingPongScratchpad):
         )
 
 
-#: approximate FLOPs per element of each non-MM operator, used for timing.
-_NONMM_FLOPS_PER_ELEMENT = {
+#: approximate FLOPs per element of each non-MM operator, used for timing
+#: (by the MemC kernel here and by the analytic backend's MemC tally).
+NONMM_FLOPS_PER_ELEMENT = {
     "bias": 1.0,
     "scale": 1.0,
     "layer_add": 1.0,
@@ -213,7 +220,7 @@ class MemCFU(FunctionalUnit):
 
     def __init__(self, name: str, memory: HostMemory,
                  capacity_bytes: int = 1024 * 1024,
-                 compute_throughput: float = 0.072e12):
+                 compute_throughput: float = MEMC_COMPUTE_THROUGHPUT):
         super().__init__(name, fu_type="MemC", compute_throughput=compute_throughput)
         self.memory = memory
         self.capacity_bytes = capacity_bytes
@@ -229,7 +236,7 @@ class MemCFU(FunctionalUnit):
 
     def _apply_ops(self, tile: TileMessage, uop: UOp) -> Generator:
         ops = tuple(uop.get("ops", ()))
-        flops = sum(_NONMM_FLOPS_PER_ELEMENT.get(op, 1.0) for op in ops) * tile.element_count
+        flops = sum(NONMM_FLOPS_PER_ELEMENT.get(op, 1.0) for op in ops) * tile.element_count
         if uop.get("residual", False):
             residual = yield Read(self.port("from_ddr"))
             flops += tile.element_count

@@ -34,7 +34,7 @@ from ..hardware.vck190 import VCK190, VCK190Spec
 from ..workloads.layers import MatMulLayer
 
 __all__ = ["MappingType", "MappingEstimate", "estimate_mapping_latency",
-           "compare_mapping_types"]
+           "compare_mapping_types", "attention_mapping_type"]
 
 
 class MappingType(str, Enum):
@@ -82,6 +82,19 @@ class MappingEstimate:
     @property
     def final_latency_ms(self) -> float:
         return self.final_latency_s * 1e3
+
+
+def attention_mapping_type(pipeline_attention: bool) -> MappingType:
+    """The Fig. 3 mapping type the codegen realises for the attention pair.
+
+    With ``pipeline_attention`` the generated program chains MM1 -> softmax ->
+    MM2 through two MME groups with the score matrix held on chip -- mapping
+    type **D** (pipeline).  Without it, the program runs all heads' MM1s, then
+    all MM2s, round-tripping the scores through DDR -- mapping type **B**
+    (task-by-task).  The analytic fast-model backend uses this to label its
+    attention segments with the mapping the engine would execute.
+    """
+    return MappingType.PIPELINE if pipeline_attention else MappingType.TASK_BY_TASK
 
 
 def _pair_traffic_bytes(mm1: MatMulLayer, mm2: MatMulLayer,

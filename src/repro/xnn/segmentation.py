@@ -58,10 +58,12 @@ def is_memory_bound(layer: MatMulLayer, spec: VCK190Spec = VCK190,
     """Is the layer limited by off-chip bandwidth rather than compute?
 
     Compares the layer's arithmetic intensity against the machine balance
-    (achieved FLOP/s divided by aggregate off-chip bandwidth).
+    (achieved FLOP/s divided by aggregate off-chip bandwidth), using the same
+    formula the roofline analyses and the analytic backend share.
     """
-    machine_balance = achieved_flops / (spec.ddr_read_bw + spec.lpddr_read_bw)
-    return layer.arithmetic_intensity < machine_balance
+    from ..analysis.roofline import machine_balance
+    balance = machine_balance(achieved_flops, spec.observed_offchip_bw)
+    return layer.arithmetic_intensity < balance
 
 
 def _per_instance_intermediate(layer: MatMulLayer) -> int:

@@ -1,0 +1,163 @@
+"""Direct tests for the ``python -m repro.runner`` CLI.
+
+Covers every subcommand (list / run / sweep / cache) through ``main()`` with
+``capsys``, and pins the robustness contract: user errors -- unknown scenario
+names, invalid worker counts, unsupported backends, empty selections -- exit
+with status 2 and a one-line message, never a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.cli import main
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestListCommand:
+    def test_list_prints_catalogue_and_tags(self, capsys):
+        code, out, err = _run(capsys, "list")
+        assert code == 0 and not err
+        assert "table6b/gemm-1024" in out
+        assert "smoke/engine-chain" in out
+        assert "tags:" in out
+
+    def test_list_filters_by_tag(self, capsys):
+        code, out, _ = _run(capsys, "list", "--tag", "table9")
+        assert code == 0
+        assert "table9/no-optimize" in out
+        assert "table6b/gemm-1024" not in out
+
+    def test_list_shows_backends(self, capsys):
+        code, out, _ = _run(capsys, "list", "--tag", "table6b")
+        assert code == 0
+        assert "(engine/analytic)" in out
+
+
+class TestRunCommand:
+    def test_run_executes_and_prints_headline(self, capsys, tmp_path):
+        code, out, err = _run(capsys, "run", "table6a/aie-32x32x32",
+                              "--cache-dir", str(tmp_path))
+        assert code == 0 and not err
+        assert "GFLOPS" in out
+        assert "1 scenario(s) on the engine backend" in out
+
+    def test_run_analytic_backend(self, capsys, tmp_path):
+        code, out, _ = _run(capsys, "run", "table6b/gemm-1024",
+                            "--backend", "analytic", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "analytic backend" in out
+
+    def test_run_preserves_user_name_order(self, capsys, tmp_path):
+        code, out, _ = _run(capsys, "run", "table6a/aie-32x32x32",
+                            "table6a/aie-32x16x32", "--cache-dir", str(tmp_path))
+        assert code == 0
+        lines = [l for l in out.splitlines() if l.startswith("table6a/")]
+        assert [l.split()[0] for l in lines] == ["table6a/aie-32x32x32",
+                                                "table6a/aie-32x16x32"]
+
+    def test_run_writes_json_with_backend(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        code, _, _ = _run(capsys, "run", "smoke/engine-chain", "--no-cache",
+                          "--json", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload[0]["scenario"] == "smoke/engine-chain"
+        assert payload[0]["backend"] == "engine"
+        assert payload[0]["result"]["events"] > 0
+
+
+class TestSweepCommand:
+    def test_sweep_by_tag(self, capsys, tmp_path):
+        code, out, _ = _run(capsys, "sweep", "--tag", "table6a",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "3 scenario(s)" in out
+
+    def test_sweep_without_selection_errors(self, capsys):
+        code, _, err = _run(capsys, "sweep")
+        assert code == 2
+        assert "pass scenario names" in err
+
+    def test_sweep_with_unmatched_tag_errors(self, capsys):
+        code, _, err = _run(capsys, "sweep", "--tag", "no-such-tag")
+        assert code == 2
+        assert "no scenarios matched" in err
+
+    def test_sweep_cache_round_trip(self, capsys, tmp_path):
+        code, out, _ = _run(capsys, "sweep", "--tag", "table6a",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0 and "3 executed" in out
+        code, out, _ = _run(capsys, "sweep", "--tag", "table6a",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "0 executed" in out and "3 cache hit(s)" in out
+
+
+class TestCacheCommand:
+    def test_cache_show_and_clear(self, capsys, tmp_path):
+        _run(capsys, "run", "table6a/aie-32x32x32", "--cache-dir", str(tmp_path))
+        code, out, _ = _run(capsys, "cache", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "1 entrie(s)" in out
+        code, out, _ = _run(capsys, "cache", "--clear", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "removed 1 entrie(s)" in out
+        code, out, _ = _run(capsys, "cache", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "0 entrie(s)" in out
+
+
+class TestRobustness:
+    """User errors exit 2 with a message on stderr -- never a traceback."""
+
+    def test_run_unknown_scenario(self, capsys):
+        code, _, err = _run(capsys, "run", "no/such-scenario", "--no-cache")
+        assert code == 2
+        assert "unknown scenario" in err
+        assert "Traceback" not in err
+
+    def test_sweep_unknown_extra_name(self, capsys):
+        code, _, err = _run(capsys, "sweep", "no/such-scenario",
+                            "--tag", "table6a", "--no-cache")
+        assert code == 2
+        assert "unknown scenario" in err
+
+    @pytest.mark.parametrize("workers", ["0", "-4", "two"])
+    def test_invalid_workers_rejected(self, capsys, workers):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "smoke/engine-chain", "--workers", workers])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err and "Traceback" not in err
+
+    def test_unknown_backend_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "smoke/engine-chain", "--backend", "quantum"])
+        assert excinfo.value.code == 2
+        assert "--backend" in capsys.readouterr().err
+
+    def test_unsupported_backend_for_kind(self, capsys):
+        # A registry kind that only implements the engine backend must fail
+        # cleanly when asked for the analytic one.  The global registry is
+        # restored afterwards so catalogue-wide contract tests stay clean.
+        from repro.runner import REGISTRY
+
+        REGISTRY.kind("cli-test-engine-only")(lambda: {"ok": True})
+        REGISTRY.add("cli-test/engine-only", "cli-test-engine-only",
+                     tags=("cli-test",))
+        try:
+            code, _, err = _run(capsys, "run", "cli-test/engine-only",
+                                "--backend", "analytic", "--no-cache")
+            assert code == 2
+            assert "does not support the 'analytic' backend" in err
+        finally:
+            REGISTRY._scenarios.pop("cli-test/engine-only")
+            REGISTRY._kinds.pop("cli-test-engine-only")

@@ -61,9 +61,9 @@ class TestRunSweep:
         calls = []
         real_run_one = sweep_module._run_one
 
-        def counting_run_one(scenario):
+        def counting_run_one(scenario, backend="engine"):
             calls.append(scenario.name)
-            return real_run_one(scenario)
+            return real_run_one(scenario, backend=backend)
 
         monkeypatch.setattr(sweep_module, "_run_one", counting_run_one)
         outcomes = run_sweep(["smoke/engine-chain", "smoke/engine-chain"],
