@@ -38,7 +38,7 @@ def _generate_program():
                         ("attn_norm", (tokens, hidden)), ("ffn_inter", (tokens, ffn)),
                         ("ffn_out", (tokens, hidden))):
         memory.add(name, shape)
-    layers = {l.name: l for l in spec.layers}
+    layers = {lyr.name: lyr for lyr in spec.layers}
     builder = ProgramBuilder(xnn, CodegenOptions())
     builder.add_gemm_layer(layers["query"], lhs="input", rhs="wq", out="query")
     builder.add_gemm_layer(layers["key"], lhs="input", rhs="wk", out="key")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import (Datapath, Delay, ExitUOp, FunctionalUnit, Path, PathProgram,
+from repro.core import (Datapath, Delay, FunctionalUnit, Path, PathProgram,
                         Read, TileMessage, UOp, Write)
 
 

@@ -4,6 +4,7 @@ from .roofline import (ResourceRoofline, RooflinePoint, roofline_latency,
                        machine_balance)
 from .instruction_stats import InstructionAnalysis, analyze_program
 from .energy import EnergyPoint, gpu_energy_table, vck190_energy_point
+from .pareto import (dominates, kendall_tau, pareto_frontier, pareto_ranks)
 from .reporting import Table, format_table, format_value
 
 __all__ = [
@@ -13,10 +14,14 @@ __all__ = [
     "RooflinePoint",
     "Table",
     "analyze_program",
+    "dominates",
     "format_table",
     "format_value",
     "gpu_energy_table",
+    "kendall_tau",
     "machine_balance",
+    "pareto_frontier",
+    "pareto_ranks",
     "roofline_latency",
     "vck190_energy_point",
 ]

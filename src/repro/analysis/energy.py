@@ -10,9 +10,9 @@ dynamic at batch 8).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from ..hardware.gpu import GPU_SPECS, GPUSpec
+from ..hardware.gpu import GPU_SPECS
 
 __all__ = ["EnergyPoint", "gpu_energy_table", "vck190_energy_point",
            "VCK190_OPERATING_POWER_W", "VCK190_DYNAMIC_POWER_W"]

@@ -15,7 +15,7 @@ workload it drives), this module computes the quantities the paper reports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..core import InstructionSizeReport, RSNProgram

@@ -1,0 +1,133 @@
+"""Multi-objective dominance, Pareto frontiers, and rank agreement.
+
+The design-space explorer (:mod:`repro.explore`) searches with the cheap
+analytic proxy and then re-evaluates its frontier on the cycle-level engine;
+this module holds the objective-space mathematics both phases share:
+
+* :func:`pareto_frontier` -- the set of non-dominated points under mixed
+  minimise/maximise senses (latency and off-chip traffic down, utilisation
+  up);
+* :func:`pareto_ranks` -- successive-frontier ranks ("peel" depth), the
+  unit-free cohort score successive halving selects on;
+* :func:`kendall_tau` -- the tau-b rank-correlation between the proxy's
+  ordering and the engine's verified ordering, which quantifies how much the
+  certified-lower-bound proxy can be trusted to *rank* designs even where its
+  absolute latencies are optimistic.
+
+Everything is pure Python over small point sets (frontiers of tens of
+points), so the O(n^2) formulations are the clearest and entirely adequate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["MAXIMIZE", "MINIMIZE", "dominates", "kendall_tau",
+           "pareto_frontier", "pareto_ranks"]
+
+MINIMIZE = "min"
+MAXIMIZE = "max"
+
+
+def _check(points: Sequence[Sequence[float]],
+           senses: Sequence[str]) -> None:
+    for sense in senses:
+        if sense not in (MINIMIZE, MAXIMIZE):
+            raise ValueError(f"unknown sense {sense!r}; use "
+                             f"{MINIMIZE!r} or {MAXIMIZE!r}")
+    for point in points:
+        if len(point) != len(senses):
+            raise ValueError(f"point {tuple(point)} has {len(point)} "
+                             f"objectives but {len(senses)} senses given")
+
+
+def dominates(a: Sequence[float], b: Sequence[float],
+              senses: Sequence[str]) -> bool:
+    """True iff ``a`` is at least as good as ``b`` everywhere and better
+    somewhere (the standard strict Pareto dominance, sense-aware)."""
+    _check((a, b), senses)
+    strictly_better = False
+    for value_a, value_b, sense in zip(a, b, senses):
+        if sense == MINIMIZE:
+            if value_a > value_b:
+                return False
+            strictly_better = strictly_better or value_a < value_b
+        else:
+            if value_a < value_b:
+                return False
+            strictly_better = strictly_better or value_a > value_b
+    return strictly_better
+
+
+def pareto_frontier(points: Sequence[Sequence[float]],
+                    senses: Sequence[str]) -> List[int]:
+    """Indices of the non-dominated points, in their original order.
+
+    Duplicate points are all kept (none dominates the other), so callers that
+    dedup by design identity keep exactly one representative per design.
+    """
+    _check(points, senses)
+    frontier = []
+    for index, point in enumerate(points):
+        if not any(dominates(other, point, senses)
+                   for other in points):
+            frontier.append(index)
+    return frontier
+
+
+def pareto_ranks(points: Sequence[Sequence[float]],
+                 senses: Sequence[str]) -> List[int]:
+    """Non-domination rank of every point (0 = on the frontier).
+
+    Rank r is the frontier of what remains after peeling ranks ``< r`` --
+    the NSGA-style successive-frontier depth.  Unlike raw objective values
+    this is unit-free, which is what makes it usable as the selection score
+    for successive halving across wildly different objective scales.
+    """
+    _check(points, senses)
+    ranks: List[Optional[int]] = [None] * len(points)
+    rank = 0
+    remaining = list(range(len(points)))
+    while remaining:
+        peel = pareto_frontier([points[i] for i in remaining], senses)
+        for position in peel:
+            ranks[remaining[position]] = rank
+        remaining = [i for position, i in enumerate(remaining)
+                     if position not in set(peel)]
+        rank += 1
+    return ranks  # type: ignore[return-value]
+
+
+def kendall_tau(x: Sequence[float], y: Sequence[float]) -> Optional[float]:
+    """Kendall's tau-b between two paired samples (ties corrected).
+
+    Returns ``None`` when either sample is constant (tau is undefined -- no
+    pair is discordant or concordant), and for fewer than two pairs.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"paired samples differ in length: {len(x)} vs {len(y)}")
+    n = len(x)
+    if n < 2:
+        return None
+    concordant = discordant = ties_x = ties_y = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = x[i] - x[j]
+            dy = y[i] - y[j]
+            if dx == 0 and dy == 0:
+                ties_x += 1
+                ties_y += 1
+            elif dx == 0:
+                ties_x += 1
+            elif dy == 0:
+                ties_y += 1
+            elif (dx > 0) == (dy > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    pairs = n * (n - 1) // 2
+    denom_x = pairs - ties_x
+    denom_y = pairs - ties_y
+    if denom_x == 0 or denom_y == 0:
+        return None
+    return (concordant - discordant) / (denom_x * denom_y) ** 0.5

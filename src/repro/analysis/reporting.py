@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional, Sequence
 
-__all__ = ["Table", "backend_comparison_table", "format_table", "format_value"]
+__all__ = ["Table", "backend_comparison_table", "dse_frontier_table",
+           "dse_verification_table", "format_table", "format_value"]
 
 
 def format_value(value: Any, precision: int = 3) -> str:
@@ -79,6 +80,65 @@ def format_table(title: str, columns: Sequence[str],
     for note in notes:
         table.add_note(note)
     return table.render()
+
+
+def _format_assignment(assignment) -> str:
+    """Compact ``axis=value`` rendering of one design-point assignment."""
+    return " ".join(f"{key}={format_value(value)}"
+                    for key, value in sorted(assignment.items()))
+
+
+def dse_frontier_table(report) -> Table:
+    """The analytic-proxy Pareto frontier of one exploration, best-first.
+
+    ``report`` is an :class:`~repro.explore.explore.ExplorationReport`; one
+    row per non-dominated design, its objective values, and whether the
+    point was re-certified on the engine backend.
+    """
+    verified = {point.point_id for point in report.verified}
+    table = Table(
+        f"Pareto frontier -- space {report.space!r}, "
+        f"strategy {report.strategy!r}",
+        ["point", "latency (ms)", "off-chip (MiB)", "utilization",
+         "verified", "design"])
+    for point in report.frontier:
+        objectives = point.objectives
+        table.add_row(point.point_id,
+                      objectives.get("latency", 0.0) * 1e3,
+                      objectives.get("offchip_traffic", 0.0) / 2**20,
+                      objectives.get("utilization"),
+                      point.point_id in verified,
+                      _format_assignment(point.assignment))
+    table.add_note(f"{report.candidates} full-fidelity candidate(s) from "
+                   f"{report.evaluations} proxy evaluation(s) "
+                   f"({report.proxy_cache_hits} cache hit(s)) over "
+                   f"{report.feasible_points} feasible point(s); "
+                   f"proxy wall {report.proxy_wall_s:.2f}s")
+    return table
+
+
+def dse_verification_table(report) -> Table:
+    """Engine re-evaluation of the frontier: the proxy's certified contract.
+
+    One row per verified point: proxy vs engine latency, their ratio (proxy
+    tightness -- 1.0 means the lower bound is exact), and the two contract
+    checks (lower bound, byte-identical traffic).
+    """
+    table = Table(
+        f"Engine verification -- space {report.space!r}, "
+        f"strategy {report.strategy!r}",
+        ["point", "proxy (ms)", "engine (ms)", "ratio", "bound ok",
+         "traffic ok"])
+    for point in report.verified:
+        table.add_row(point.point_id, point.proxy_latency_s * 1e3,
+                      point.engine_latency_s * 1e3, point.latency_ratio,
+                      point.lower_bound_ok, point.traffic_match)
+    if report.rank_agreement is not None:
+        table.add_note(f"proxy-vs-engine latency rank agreement "
+                       f"(Kendall tau-b): {report.rank_agreement:.3f}")
+    table.add_note(f"verification wall {report.verify_wall_s:.2f}s on the "
+                   "engine backend")
+    return table
 
 
 def backend_comparison_table(engine_outcomes: Sequence[Any],

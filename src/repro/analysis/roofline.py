@@ -9,10 +9,10 @@ analysis, the bandwidth sweep bounds, and the tests all share it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 from ..hardware.vck190 import VCK190, VCK190Spec
-from ..workloads.layers import MatMulLayer, ModelSpec
+from ..workloads.layers import MatMulLayer
 
 __all__ = ["RooflinePoint", "ResourceRoofline", "roofline_latency",
            "machine_balance", "layer_roofline"]

@@ -22,7 +22,7 @@ benchmarks can print model and literature values next to each other.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Optional
 
 from ..hardware.vck190 import VCK190, VCK190Spec
 from ..workloads.layers import MatMulLayer, ModelSpec

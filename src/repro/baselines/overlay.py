@@ -16,8 +16,8 @@ Two uses in the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..workloads.bert import BertConfig, BERT_LARGE
 

@@ -23,16 +23,15 @@ regression tests exercise both the deadlock and the deadlock-free depths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from .exceptions import ConfigurationError
-from .functional_unit import FunctionalUnit
-from .instruction import InstructionPacket, RSNProgram
+from .instruction import RSNProgram
 from .kernel import Delay, Read, Write
 from .network import Datapath
 from .stream import StreamChannel
-from .uop import ExitUOp, UOp
+from .uop import ExitUOp
 
 __all__ = ["DecoderConfig", "InstructionDecoder", "DEFAULT_FIFO_DEPTH"]
 

@@ -40,7 +40,7 @@ import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
 from .exceptions import DeadlockError, SimulationLimitError, StreamClosedError
 from .kernel import Delay, Fork, Parallel, Read, Wait, Write

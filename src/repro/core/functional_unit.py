@@ -20,8 +20,8 @@ partial sums) are ordinary instance attributes preserved across kernels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Iterable, List, Optional
 
 from .exceptions import ConfigurationError
 from .kernel import Delay, Read, Write

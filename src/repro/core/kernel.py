@@ -11,8 +11,8 @@ time spent transforming data, plus structured concurrency for the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable, Sequence
 
 __all__ = [
     "Delay",

@@ -13,7 +13,7 @@ computation is decided by the uOP sequences delivered to the FUs (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .engine import Simulator

@@ -22,7 +22,7 @@ holds the channel state (queue, capacity, waiter lists, statistics).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, List, Optional, TYPE_CHECKING
 
 from .exceptions import ConfigurationError, StreamClosedError

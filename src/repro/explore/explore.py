@@ -1,0 +1,333 @@
+"""Two-phase design-space exploration: analytic search, engine verification.
+
+:func:`run_exploration` is the subsystem's engine room.  Phase one hands the
+strategy an evaluation callback that batches candidate points through the
+existing sweep executor (:func:`~repro.runner.sweep.run_sweep`) on the
+**analytic** backend -- worker pool and on-disk result cache included, so a
+repeated exploration is served from cache byte-identically.  Phase two takes
+the Pareto frontier of the full-fidelity candidates (latency down, off-chip
+traffic down, utilisation up), re-evaluates the top ``verify_top`` frontier
+points on the cycle-level **engine** backend, and checks the certified
+contract on every verified point: the analytic latency must lower-bound the
+engine latency, and the DDR/LPDDR traffic must match byte for byte.  The
+report additionally quantifies proxy trustworthiness as the Kendall tau-b
+rank agreement between proxy and verified latency orderings.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.pareto import kendall_tau, pareto_frontier
+from ..runner.cache import ResultCache
+from ..runner.sweep import run_sweep
+from .space import DesignSpace
+from .strategies import DEFAULT_HALVING_OBJECTIVES, Candidate, SearchStrategy
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "ExplorationReport",
+    "FrontierPoint",
+    "Objective",
+    "VerifiedPoint",
+    "run_exploration",
+]
+
+#: relative slack on the lower-bound comparison -- pure float-noise headroom,
+#: the analytic model itself is a true bound.
+_CONTRACT_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One Pareto axis: a payload key and an optimisation sense."""
+
+    name: str
+    key: str
+    sense: str  # "min" or "max"
+
+    def value(self, payload: Mapping[str, Any]) -> float:
+        if self.key not in payload:
+            raise KeyError(
+                f"objective {self.name!r}: key {self.key!r} missing from "
+                f"payload {sorted(payload)}"
+            )
+        return payload[self.key]
+
+
+#: display names for the canonical (payload key, sense) axes defined in
+#: :data:`repro.explore.strategies.DEFAULT_HALVING_OBJECTIVES` -- deriving
+#: from that single source keeps halving's selection axes and the frontier
+#: extraction axes from ever drifting apart.
+_OBJECTIVE_NAMES = {
+    "latency_s": "latency",
+    "offchip_bytes": "offchip_traffic",
+    "utilization": "utilization",
+}
+
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = tuple(
+    Objective(_OBJECTIVE_NAMES[key], key, sense)
+    for key, sense in DEFAULT_HALVING_OBJECTIVES
+)
+
+
+@dataclass
+class FrontierPoint:
+    """One non-dominated design, as found by the analytic proxy."""
+
+    point_id: str
+    assignment: Dict[str, Any]
+    objectives: Dict[str, float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "point_id": self.point_id,
+            "assignment": self.assignment,
+            "objectives": self.objectives,
+        }
+
+
+@dataclass
+class VerifiedPoint:
+    """A frontier point after cycle-level re-evaluation on the engine."""
+
+    point_id: str
+    assignment: Dict[str, Any]
+    proxy_latency_s: float
+    engine_latency_s: float
+    lower_bound_ok: bool
+    traffic_match: bool
+    engine_objectives: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def contract_ok(self) -> bool:
+        return self.lower_bound_ok and self.traffic_match
+
+    @property
+    def latency_ratio(self) -> float:
+        """Proxy tightness: analytic/engine latency (1.0 = exact)."""
+        if not self.engine_latency_s:
+            return 0.0
+        return self.proxy_latency_s / self.engine_latency_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "point_id": self.point_id,
+            "assignment": self.assignment,
+            "proxy_latency_s": self.proxy_latency_s,
+            "engine_latency_s": self.engine_latency_s,
+            "latency_ratio": self.latency_ratio,
+            "lower_bound_ok": self.lower_bound_ok,
+            "traffic_match": self.traffic_match,
+            "engine_objectives": self.engine_objectives,
+        }
+
+
+@dataclass
+class ExplorationReport:
+    """Everything one exploration produced, JSON-able for CI artifacts."""
+
+    space: str
+    strategy: str
+    budget: int
+    seed: int
+    objectives: Tuple[Objective, ...]
+    feasible_points: int
+    evaluations: int
+    proxy_cache_hits: int
+    candidates: int
+    frontier: List[FrontierPoint]
+    verified: List[VerifiedPoint]
+    rank_agreement: Optional[float]
+    proxy_wall_s: float
+    verify_wall_s: float
+
+    @property
+    def contract_ok(self) -> bool:
+        """True iff every verified point satisfied the lower-bound contract."""
+        return all(point.contract_ok for point in self.verified)
+
+    def to_dict(self) -> Dict[str, Any]:
+        objectives = [
+            {"name": o.name, "key": o.key, "sense": o.sense} for o in self.objectives
+        ]
+        return {
+            "space": self.space,
+            "strategy": self.strategy,
+            "budget": self.budget,
+            "seed": self.seed,
+            "objectives": objectives,
+            "feasible_points": self.feasible_points,
+            "evaluations": self.evaluations,
+            "proxy_cache_hits": self.proxy_cache_hits,
+            "candidates": self.candidates,
+            "frontier": [point.to_dict() for point in self.frontier],
+            "verified": [point.to_dict() for point in self.verified],
+            "contract_ok": self.contract_ok,
+            "rank_agreement": self.rank_agreement,
+            "proxy_wall_s": self.proxy_wall_s,
+            "verify_wall_s": self.verify_wall_s,
+        }
+
+
+def _objective_vector(
+    payload: Mapping[str, Any], objectives: Sequence[Objective]
+) -> List[float]:
+    return [objective.value(payload) for objective in objectives]
+
+
+def _verify_frontier(
+    space: DesignSpace,
+    targets: Sequence[FrontierPoint],
+    proxies: Mapping[str, Candidate],
+    objectives: Sequence[Objective],
+    workers: int,
+    cache: Optional[ResultCache],
+    force: bool,
+) -> List[VerifiedPoint]:
+    """Re-evaluate ``targets`` on the engine and check the proxy contract."""
+    points = [space.materialize(point.assignment) for point in targets]
+    outcomes = run_sweep(
+        [point.scenario for point in points],
+        workers=workers,
+        cache=cache,
+        force=force,
+        backend="engine",
+    )
+    verified = []
+    for target, outcome in zip(targets, outcomes):
+        proxy = proxies[target.point_id].payload
+        engine = outcome.result
+        engine_latency = engine["latency_s"] * (1.0 + _CONTRACT_RTOL)
+        bound_ok = proxy["latency_s"] <= engine_latency
+        traffic_ok = (
+            proxy["ddr_bytes"] == engine["ddr_bytes"]
+            and proxy["lpddr_bytes"] == engine["lpddr_bytes"]
+        )
+        engine_objectives = {}
+        for objective in objectives:
+            engine_objectives[objective.name] = objective.value(engine)
+        verified.append(
+            VerifiedPoint(
+                point_id=target.point_id,
+                assignment=dict(target.assignment),
+                proxy_latency_s=proxy["latency_s"],
+                engine_latency_s=engine["latency_s"],
+                lower_bound_ok=bound_ok,
+                traffic_match=traffic_ok,
+                engine_objectives=engine_objectives,
+            )
+        )
+    return verified
+
+
+def run_exploration(
+    space: DesignSpace,
+    strategy: SearchStrategy,
+    budget: int = 200,
+    verify_top: int = 8,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> ExplorationReport:
+    """Search ``space`` with ``strategy`` and verify the frontier.
+
+    Parameters mirror the sweep executor where they overlap (``workers``,
+    ``cache``, ``force``); ``budget`` bounds the strategy's total analytic
+    evaluations and ``verify_top`` bounds the engine re-evaluations (0 skips
+    verification entirely -- e.g. for pure proxy benchmarks).
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    if verify_top < 0:
+        raise ValueError(f"verify_top must be >= 0, got {verify_top}")
+    rng = random.Random(seed)
+    feasible_points = len(space.points())
+    stats = {"evaluations": 0, "cache_hits": 0}
+
+    def evaluate(
+        assignments: Sequence[Mapping[str, Any]], fidelity: float
+    ) -> List[Dict[str, Any]]:
+        points = [space.materialize(a, fidelity) for a in assignments]
+        outcomes = run_sweep(
+            [point.scenario for point in points],
+            workers=workers,
+            cache=cache,
+            force=force,
+            backend="analytic",
+        )
+        stats["evaluations"] += len(outcomes)
+        stats["cache_hits"] += sum(1 for o in outcomes if o.cached)
+        return [dict(outcome.result) for outcome in outcomes]
+
+    proxy_start = time.perf_counter()
+    candidates = strategy.search(space, budget, evaluate, rng)
+    proxy_wall_s = time.perf_counter() - proxy_start
+
+    # Dedup by design identity (a strategy may legitimately revisit points).
+    unique: Dict[str, Candidate] = {}
+    for candidate in candidates:
+        unique.setdefault(candidate.point_id, candidate)
+    pool = list(unique.values())
+
+    senses = [objective.sense for objective in objectives]
+    vectors = [_objective_vector(c.payload, objectives) for c in pool]
+    frontier_indices = pareto_frontier(vectors, senses) if pool else []
+    frontier = []
+    for index in frontier_indices:
+        named_values = {}
+        for objective, value in zip(objectives, vectors[index]):
+            named_values[objective.name] = value
+        frontier.append(
+            FrontierPoint(
+                point_id=pool[index].point_id,
+                assignment=dict(pool[index].assignment),
+                objectives=named_values,
+            )
+        )
+    # Latency-sorted: the verification set and the report read best-first.
+    frontier.sort(key=lambda p: (p.objectives.get("latency", 0.0), p.point_id))
+
+    verified: List[VerifiedPoint] = []
+    verify_wall_s = 0.0
+    if verify_top and frontier:
+        verify_start = time.perf_counter()
+        verified = _verify_frontier(
+            space,
+            frontier[:verify_top],
+            unique,
+            objectives,
+            workers,
+            cache,
+            force,
+        )
+        verify_wall_s = time.perf_counter() - verify_start
+
+    agreement = None
+    if len(verified) >= 2:
+        agreement = kendall_tau(
+            [point.proxy_latency_s for point in verified],
+            [point.engine_latency_s for point in verified],
+        )
+
+    return ExplorationReport(
+        space=space.name,
+        strategy=strategy.name,
+        budget=budget,
+        seed=seed,
+        objectives=tuple(objectives),
+        feasible_points=feasible_points,
+        evaluations=stats["evaluations"],
+        proxy_cache_hits=stats["cache_hits"],
+        candidates=len(pool),
+        frontier=frontier,
+        verified=verified,
+        rank_agreement=agreement,
+        proxy_wall_s=proxy_wall_s,
+        verify_wall_s=verify_wall_s,
+    )

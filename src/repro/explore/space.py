@@ -1,0 +1,244 @@
+"""Declarative design spaces: parameter axes, constraints, and fidelities.
+
+A :class:`DesignSpace` is the searchable counterpart of a scenario kind: a
+set of named :class:`Axis` objects (each a finite list of JSON-able values),
+a set of named feasibility :class:`Constraint` predicates, and the scenario
+*kind* every point evaluates through.  Points are plain assignments (axis
+name -> value), so the whole space machinery composes with the existing
+sweep executor and on-disk cache for free: each point materialises into an
+ad-hoc :class:`~repro.runner.scenarios.Scenario` whose canonical identity
+(and therefore cache key) is exactly its parameter mapping.
+
+Spaces also define a *fidelity* hook: a deterministic transformation that
+shrinks a point's workload for cheap early-rung evaluations (successive
+halving runs most candidates only at reduced fidelity).  Fidelity is part of
+the materialised parameters, so low- and full-fidelity evaluations of the
+same design cache under different keys and can never be confused.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..runner.scenarios import Scenario, canonical_json
+
+__all__ = ["Axis", "Constraint", "DesignPoint", "DesignSpace", "scale_seq_len"]
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One searchable parameter: a name and its finite, ordered value list."""
+
+    name: str
+    values: Tuple[Any, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} has no values")
+        seen = set()
+        for value in self.values:
+            key = canonical_json(value)  # also rejects non-JSON-able values
+            if key in seen:
+                raise ValueError(f"axis {self.name!r} has duplicate value {value!r}")
+            seen.add(key)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named feasibility predicate over a full axis assignment."""
+
+    name: str
+    predicate: Callable[[Mapping[str, Any]], bool]
+    description: str = ""
+
+    def satisfied(self, assignment: Mapping[str, Any]) -> bool:
+        return bool(self.predicate(assignment))
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One feasible assignment, with its stable identity and scenario."""
+
+    space: str
+    point_id: str
+    assignment: Mapping[str, Any]
+    scenario: Scenario
+    fidelity: float = 1.0
+
+
+def scale_seq_len(params: Dict[str, Any], fraction: float) -> Dict[str, Any]:
+    """Default fidelity hook: shrink ``seq_len``, floor 32, multiple of 16.
+
+    Tiling and attention-mapping decisions depend on the sequence length
+    only through its magnitude, so a shortened sequence preserves the
+    *relative* quality of design points while costing a fraction of the
+    evaluation -- which is all successive halving needs from early rungs.
+    """
+    seq_len = params.get("seq_len")
+    if seq_len is not None:
+        scaled = max(32, int(round(seq_len * fraction / 16.0)) * 16)
+        params["seq_len"] = min(seq_len, scaled)
+    return params
+
+
+#: signature of a fidelity hook: ``(params, fraction) -> params``.
+FidelityHook = Callable[[Dict[str, Any], float], Dict[str, Any]]
+
+
+class DesignSpace:
+    """A named, constrained cartesian product of axes over one scenario kind.
+
+    Parameters
+    ----------
+    name:
+        Space name; becomes part of every point's scenario name and tags.
+    axes:
+        The searchable parameters.  Axis names must be unique and must be
+        keyword parameters of the scenario kind's runner functions.
+    kind:
+        Scenario kind every point evaluates through (must be registered for
+        the ``analytic`` backend to search, and for the ``engine`` backend
+        to verify).
+    base_params:
+        Fixed parameters merged under every assignment (the non-searched
+        arguments of the kind).
+    constraints:
+        Feasibility predicates; infeasible assignments are silently skipped
+        during enumeration (that is their job), but materialising one
+        explicitly raises.
+    fidelity_hook:
+        ``(params, fraction) -> params`` transformation for reduced-fidelity
+        evaluation; defaults to :func:`scale_seq_len`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        axes: Sequence[Axis],
+        kind: str,
+        base_params: Optional[Mapping[str, Any]] = None,
+        constraints: Sequence[Constraint] = (),
+        fidelity_hook: FidelityHook = scale_seq_len,
+        description: str = "",
+    ):
+        if not axes:
+            raise ValueError(f"design space {name!r} has no axes")
+        names = [axis.name for axis in axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"design space {name!r} has duplicate axis names")
+        overlap = set(names) & set(base_params or {})
+        if overlap:
+            raise ValueError(
+                f"axes {sorted(overlap)} shadow base_params in design space {name!r}"
+            )
+        self.name = name
+        self.axes: Tuple[Axis, ...] = tuple(axes)
+        self.kind = kind
+        self.base_params: Dict[str, Any] = dict(base_params or {})
+        self.constraints: Tuple[Constraint, ...] = tuple(constraints)
+        self.fidelity_hook = fidelity_hook
+        self.description = description
+        self._points: Optional[List[Dict[str, Any]]] = None
+
+    # ------------------------------------------------------------ enumeration
+
+    @property
+    def cardinality(self) -> int:
+        """Size of the unconstrained cartesian product."""
+        size = 1
+        for axis in self.axes:
+            size *= len(axis.values)
+        return size
+
+    def feasible(self, assignment: Mapping[str, Any]) -> bool:
+        return all(c.satisfied(assignment) for c in self.constraints)
+
+    def points(self) -> List[Dict[str, Any]]:
+        """Every feasible assignment, in deterministic axis-major order.
+
+        The enumeration is memoised (axes and constraints are immutable
+        after construction, and constraint predicates may be expensive);
+        callers get a fresh list each time but share the assignment dicts,
+        which nothing in the explorer mutates.
+        """
+        if self._points is None:
+            names = [axis.name for axis in self.axes]
+            feasible = []
+            for combo in itertools.product(*(axis.values for axis in self.axes)):
+                assignment = dict(zip(names, combo))
+                if self.feasible(assignment):
+                    feasible.append(assignment)
+            self._points = feasible
+        return list(self._points)
+
+    # --------------------------------------------------------- materialising
+
+    def point_id(self, assignment: Mapping[str, Any]) -> str:
+        """Stable short identity of one assignment (fidelity-independent)."""
+        identity = canonical_json(
+            {"space": self.name, "kind": self.kind, "assignment": dict(assignment)}
+        )
+        return hashlib.sha256(identity.encode()).hexdigest()[:10]
+
+    def materialize(
+        self, assignment: Mapping[str, Any], fidelity: float = 1.0
+    ) -> DesignPoint:
+        """Turn one assignment into a cacheable :class:`DesignPoint`.
+
+        The scenario's parameters are ``base_params`` overlaid with the
+        assignment, passed through the fidelity hook when ``fidelity < 1``.
+        Infeasible assignments and unknown axis names raise ``ValueError``.
+        """
+        known = {axis.name for axis in self.axes}
+        unknown = sorted(set(assignment) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown axis name(s) {unknown} for design space "
+                f"{self.name!r}; axes: {sorted(known)}"
+            )
+        if not 0.0 < fidelity <= 1.0:
+            raise ValueError(f"fidelity must be in (0, 1], got {fidelity}")
+        if not self.feasible(assignment):
+            failed = [c.name for c in self.constraints if not c.satisfied(assignment)]
+            raise ValueError(
+                f"assignment violates constraint(s) {failed} of design "
+                f"space {self.name!r}"
+            )
+        params = dict(self.base_params)
+        params.update(assignment)
+        name = f"dse/{self.name}/{self.point_id(assignment)}"
+        if fidelity < 1.0:
+            params = self.fidelity_hook(params, fidelity)
+            name = f"{name}@f{fidelity:g}"
+        scenario = Scenario(
+            name=name,
+            kind=self.kind,
+            params=params,
+            tags=("dse", self.name),
+            description=f"DSE point of space {self.name!r}",
+        )
+        return DesignPoint(
+            space=self.name,
+            point_id=self.point_id(assignment),
+            assignment=dict(assignment),
+            scenario=scenario,
+            fidelity=fidelity,
+        )
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary (used by ``explore --list``)."""
+        lines = [
+            f"{self.name}: {self.description or self.kind} "
+            f"({self.cardinality} raw points, kind {self.kind!r})"
+        ]
+        for axis in self.axes:
+            values = ", ".join(str(v) for v in axis.values)
+            lines.append(f"  axis {axis.name}: {values}")
+        for constraint in self.constraints:
+            detail = constraint.description or "predicate"
+            lines.append(f"  constraint {constraint.name}: {detail}")
+        return "\n".join(lines)

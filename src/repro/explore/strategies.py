@@ -1,0 +1,274 @@
+"""Search strategies over a :class:`~repro.explore.space.DesignSpace`.
+
+A strategy decides *which* points to evaluate and at *what* fidelity; the
+explorer (:mod:`repro.explore.explore`) decides *how* -- batching every
+request through the sweep executor's worker pool and result cache.  The
+contract is the :meth:`SearchStrategy.search` method: given the space, an
+evaluation budget, and a batch-evaluation callback, return the candidates
+that were evaluated at **full fidelity** (only those are comparable on the
+Pareto axes; reduced-fidelity rung results are selection scaffolding).
+
+All strategies are deterministic under a fixed seed: they draw randomness
+only from the ``random.Random`` instance the explorer hands them, and they
+iterate the space in its canonical enumeration order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..analysis.pareto import pareto_ranks
+from .space import DesignSpace
+
+__all__ = [
+    "Candidate",
+    "EvaluateFn",
+    "GridSearch",
+    "RandomSearch",
+    "STRATEGIES",
+    "SearchStrategy",
+    "SuccessiveHalving",
+    "get_strategy",
+    "strategy_names",
+]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One full-fidelity evaluated design point."""
+
+    point_id: str
+    assignment: Mapping[str, Any]
+    payload: Mapping[str, Any]
+
+
+#: ``evaluate(assignments, fidelity) -> payloads`` -- provided by the
+#: explorer; one payload dict per assignment, in order.
+EvaluateFn = Callable[[Sequence[Mapping[str, Any]], float], List[Dict[str, Any]]]
+
+
+class SearchStrategy:
+    """Base class; concrete strategies implement :meth:`search`."""
+
+    name = "abstract"
+
+    def search(
+        self,
+        space: DesignSpace,
+        budget: int,
+        evaluate: EvaluateFn,
+        rng: random.Random,
+    ) -> List[Candidate]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _candidates(
+        space: DesignSpace,
+        assignments: Sequence[Mapping[str, Any]],
+        payloads: Sequence[Dict[str, Any]],
+    ) -> List[Candidate]:
+        return [
+            Candidate(
+                point_id=space.point_id(assignment),
+                assignment=dict(assignment),
+                payload=payload,
+            )
+            for assignment, payload in zip(assignments, payloads)
+        ]
+
+
+class GridSearch(SearchStrategy):
+    """Deterministic coverage of the feasible grid.
+
+    When the budget is smaller than the feasible set, points are taken at an
+    even stride across the canonical enumeration order, so every axis region
+    still contributes candidates (a plain prefix would exhaust the budget
+    inside the first corner of the space).
+    """
+
+    name = "grid"
+
+    def search(
+        self,
+        space: DesignSpace,
+        budget: int,
+        evaluate: EvaluateFn,
+        rng: random.Random,
+    ) -> List[Candidate]:
+        points = space.points()
+        if budget < len(points):
+            stride = len(points) / budget
+            points = [points[int(i * stride)] for i in range(budget)]
+        payloads = evaluate(points, 1.0)
+        return self._candidates(space, points, payloads)
+
+
+class RandomSearch(SearchStrategy):
+    """Uniform sampling without replacement from the feasible set."""
+
+    name = "random"
+
+    def search(
+        self,
+        space: DesignSpace,
+        budget: int,
+        evaluate: EvaluateFn,
+        rng: random.Random,
+    ) -> List[Candidate]:
+        points = space.points()
+        if budget < len(points):
+            points = rng.sample(points, budget)
+        payloads = evaluate(points, 1.0)
+        return self._candidates(space, points, payloads)
+
+
+#: the canonical DSE objective axes, as (payload key, sense) pairs.  This is
+#: the single source of truth: halving selects survivors on these, and
+#: :data:`repro.explore.explore.DEFAULT_OBJECTIVES` derives its frontier
+#: axes from the same tuple.
+DEFAULT_HALVING_OBJECTIVES: Tuple[Tuple[str, str], ...] = (
+    ("latency_s", "min"),
+    ("offchip_bytes", "min"),
+    ("utilization", "max"),
+)
+
+
+class SuccessiveHalving(SearchStrategy):
+    """Multi-fidelity successive halving on Pareto rank.
+
+    Rung 0 evaluates a large random cohort at a cheap reduced fidelity (the
+    space's fidelity hook, e.g. a shortened sequence); each subsequent rung
+    keeps the best ``1/eta`` of the cohort -- ordered by non-domination rank
+    over the DSE objectives, ties broken deterministically by point id --
+    and re-evaluates the survivors at ``eta`` times the fidelity, until the
+    final rung runs at full fidelity.  The returned candidates are exactly
+    the final rung's survivors.
+
+    ``budget`` bounds the *total* number of evaluations across all rungs
+    (cache hits included), which is the fair comparison against grid/random
+    search: with the same budget, halving spends most of it cheaply and
+    funnels full-fidelity effort onto promising designs.
+    """
+
+    name = "halving"
+
+    def __init__(
+        self,
+        eta: int = 2,
+        objectives: Sequence[Tuple[str, str]] = DEFAULT_HALVING_OBJECTIVES,
+        min_fidelity: float = 0.25,
+        min_final: int = 4,
+    ):
+        if eta < 2:
+            raise ValueError(f"eta must be >= 2, got {eta}")
+        if not 0.0 < min_fidelity <= 1.0:
+            raise ValueError(f"min_fidelity must be in (0, 1], got {min_fidelity}")
+        if min_final < 1:
+            raise ValueError(f"min_final must be >= 1, got {min_final}")
+        self.eta = eta
+        self.objectives = tuple(objectives)
+        self.min_fidelity = min_fidelity
+        #: halving stops once the cohort reaches this size: a classic SHA
+        #: would converge to a single winner, but the explorer wants a small
+        #: *frontier-comparable* pool at full fidelity, not one point.
+        self.min_final = min_final
+
+    # ------------------------------------------------------------- planning
+
+    def plan(self, feasible: int, budget: int) -> List[int]:
+        """Cohort size per rung: geometric decay, total <= budget.
+
+        The initial cohort is the largest ``n0 <= feasible`` whose halving
+        series fits the budget; the series ends once the cohort reaches
+        ``min_final`` (the full-fidelity survivor pool).
+        """
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        n0 = min(feasible, budget)
+        while n0 > 1:
+            sizes = self._series(n0)
+            if sum(sizes) <= budget:
+                return sizes
+            n0 -= 1
+        return [1]
+
+    def _series(self, n0: int) -> List[int]:
+        sizes = [n0]
+        while sizes[-1] > self.min_final:
+            sizes.append(max(self.min_final, sizes[-1] // self.eta))
+        return sizes
+
+    def _fidelity(self, rung: int, rungs: int) -> float:
+        """Fidelity ladder: final rung 1.0, each earlier rung /eta, floored."""
+        fidelity = 1.0 / (self.eta ** (rungs - 1 - rung))
+        return max(self.min_fidelity, fidelity)
+
+    def _rank(self, payloads: Sequence[Mapping[str, Any]]) -> List[int]:
+        vectors = []
+        for payload in payloads:
+            vector = []
+            for key, _sense in self.objectives:
+                if key not in payload:
+                    raise KeyError(
+                        f"successive halving objective {key!r} missing "
+                        f"from payload {sorted(payload)}"
+                    )
+                vector.append(payload[key])
+            vectors.append(vector)
+        senses = [sense for _key, sense in self.objectives]
+        return pareto_ranks(vectors, senses)
+
+    # -------------------------------------------------------------- search
+
+    def search(
+        self,
+        space: DesignSpace,
+        budget: int,
+        evaluate: EvaluateFn,
+        rng: random.Random,
+    ) -> List[Candidate]:
+        points = space.points()
+        sizes = self.plan(len(points), budget)
+        if sizes[0] < len(points):
+            cohort = rng.sample(points, sizes[0])
+        else:
+            cohort = list(points)
+        rungs = len(sizes)
+        payloads: List[Dict[str, Any]] = []
+        for rung, size in enumerate(sizes):
+            cohort = cohort[:size]
+            fidelity = self._fidelity(rung, rungs)
+            payloads = evaluate(cohort, fidelity)
+            if rung == rungs - 1:
+                break
+            ranks = self._rank(payloads)
+            order = sorted(
+                range(len(cohort)),
+                key=lambda i: (ranks[i], space.point_id(cohort[i])),
+            )
+            cohort = [cohort[i] for i in order]
+        return self._candidates(space, cohort, payloads)
+
+
+#: registry of CLI-selectable strategies (name -> factory).
+STRATEGIES = {
+    GridSearch.name: GridSearch,
+    RandomSearch.name: RandomSearch,
+    SuccessiveHalving.name: SuccessiveHalving,
+}
+
+
+def strategy_names() -> List[str]:
+    return sorted(STRATEGIES)
+
+
+def get_strategy(name: str) -> SearchStrategy:
+    try:
+        factory = STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown search strategy {name!r}; known: {strategy_names()}"
+        ) from None
+    return factory()

@@ -17,8 +17,7 @@ depends on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from .vck190 import VCK190, VCK190Spec
 

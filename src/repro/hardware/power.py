@@ -17,7 +17,7 @@ marginal, decoder <0.1%) -- so this module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable
 
 __all__ = ["FUPowerInput", "PowerModel", "PowerReport", "PAPER_POWER_BREAKDOWN",
            "PAPER_TOTAL_POWER_W"]

@@ -15,7 +15,7 @@ All numbers are taken directly from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["VCK190Spec", "VCK190"]
 

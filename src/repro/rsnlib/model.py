@@ -10,13 +10,13 @@ RSN-XNN backend supports before handing it to the overlay executor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..workloads.bert import BertConfig
 from ..xnn.codegen import CodegenOptions
 from ..xnn.datapath import XNNConfig
 from ..xnn.executor import EncoderResult, XNNExecutor
-from .ops import Attention, FeedForward, LayerNorm, Linear, Operator
+from .ops import Attention, FeedForward, LayerNorm, Operator
 
 __all__ = ["EncoderModel", "Schedule", "ScheduleError", "compile_encoder"]
 

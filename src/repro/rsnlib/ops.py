@@ -9,8 +9,7 @@ backend supports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
 
 __all__ = ["Operator", "Linear", "Attention", "FeedForward", "LayerNorm"]
 

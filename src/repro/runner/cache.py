@@ -13,12 +13,14 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from .scenarios import DEFAULT_BACKEND, Scenario, canonical_json
 
-__all__ = ["ResultCache", "code_version", "DEFAULT_CACHE_DIR"]
+__all__ = ["PruneStats", "ResultCache", "code_version", "DEFAULT_CACHE_DIR"]
 
 #: default cache location, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -40,6 +42,26 @@ def code_version() -> str:
             digest.update(b"\0")
         _CODE_VERSION = digest.hexdigest()[:16]
     return _CODE_VERSION
+
+
+@dataclass
+class PruneStats:
+    """What one :meth:`ResultCache.prune` pass did.
+
+    ``warnings`` records entries that could not be read or removed cleanly --
+    corrupted JSON, files vanishing under a concurrent writer/pruner -- which
+    the CLI reports on stderr without failing (prune is maintenance, not
+    correctness: a skipped entry simply stays a cache miss).
+    """
+
+    kept: int = 0
+    removed: int = 0
+    warnings: List[str] = field(default_factory=list)
+
+
+#: ``.tmp`` spill files older than this are considered crash leftovers; prune
+#: leaves younger ones alone because a concurrent writer may still own them.
+_TMP_GRACE_S = 3600.0
 
 
 class ResultCache:
@@ -125,9 +147,77 @@ class ResultCache:
         return sorted(self.root.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry; returns the number removed.
+
+        Tolerates entries vanishing between listing and unlinking -- sweeps
+        and prunes may run concurrently on the same directory.
+        """
         removed = 0
         for path in self.entries():
-            path.unlink()
-            removed += 1
+            if self._unlink(path):
+                removed += 1
         return removed
+
+    @staticmethod
+    def _unlink(path: Path, warnings: Optional[List[str]] = None) -> bool:
+        """Remove ``path``; False if it vanished or cannot be removed.
+
+        A concurrent pruner winning the race is silent; anything else (a
+        read-only cache directory, foreign ownership on a shared cache) is
+        appended to ``warnings`` when given -- cache maintenance degrades to
+        a warning, it never tracebacks.
+        """
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        except OSError as error:
+            if warnings is not None:
+                warnings.append(f"cannot remove {path.name}: {error}")
+            return False
+        return True
+
+    def prune(self) -> PruneStats:
+        """Remove stale and corrupted entries; keep everything current.
+
+        An entry is *stale* when its recorded ``code_version`` is not the
+        current one (superseded by a source edit -- it can never hit again)
+        and *corrupted* when it cannot be parsed as a JSON object.  Both are
+        removed.  Concurrent writers are tolerated end to end: fresh ``.tmp``
+        spill files are left alone, vanished files are skipped, and nothing
+        in here raises for an individual bad entry -- problems are collected
+        as warnings instead.
+        """
+        stats = PruneStats()
+        current = code_version()
+        now = time.time()
+        for path in self.entries():
+            try:
+                payload = json.loads(path.read_text())
+                if not isinstance(payload, dict):
+                    raise ValueError(f"expected a JSON object, got "
+                                     f"{type(payload).__name__}")
+            except FileNotFoundError:
+                continue  # concurrent prune/clear got there first
+            except (OSError, ValueError) as error:
+                stats.warnings.append(f"removing corrupted entry "
+                                      f"{path.name}: {error}")
+                if self._unlink(path, stats.warnings):
+                    stats.removed += 1
+                continue
+            if payload.get("code_version") != current:
+                if self._unlink(path, stats.warnings):
+                    stats.removed += 1
+            else:
+                stats.kept += 1
+        for tmp in sorted(self.root.glob("*.tmp")):
+            try:
+                age = now - tmp.stat().st_mtime
+            except OSError:
+                continue
+            if age > _TMP_GRACE_S:
+                stats.warnings.append(f"removing abandoned spill file "
+                                      f"{tmp.name} ({age:.0f}s old)")
+                if self._unlink(tmp, stats.warnings):
+                    stats.removed += 1
+        return stats

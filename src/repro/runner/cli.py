@@ -5,13 +5,18 @@ Usage (with ``PYTHONPATH=src``)::
     python -m repro.runner list [--tag TAG] [--backend B]
     python -m repro.runner run NAME [NAME ...] [--backend B] [options]
     python -m repro.runner sweep (--tag TAG ... | --all | NAME ...) [options]
-    python -m repro.runner cache (--show | --clear)
+    python -m repro.runner explore [--space S] [--strategy NAME] [options]
+    python -m repro.runner cache (--show | --clear | --prune)
 
 Common options: ``--backend {engine,analytic}`` (event-driven simulation vs
 the closed-form fast model), ``--workers N`` (parallel worker processes),
 ``--cache-dir D`` (default ``.repro-cache``), ``--no-cache``, ``--force``
 (ignore cache hits but refresh entries), ``--json FILE`` (dump outcomes as
 JSON).
+
+``explore`` searches a named design space on the analytic proxy backend and
+re-certifies the resulting Pareto frontier on the cycle-level engine
+(:mod:`repro.explore`); ``--list-spaces`` describes the catalogue.
 
 All user errors (unknown scenario names, unsupported backends, invalid
 worker counts, empty selections) exit with status 2 and a one-line message
@@ -84,11 +89,53 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="run the entire catalogue")
     add_exec_options(sweep_cmd)
 
-    cache_cmd = sub.add_parser("cache", help="inspect or clear the result cache")
+    explore_cmd = sub.add_parser(
+        "explore", help="design-space exploration: analytic-proxy search, "
+                        "engine-verified Pareto frontier")
+    explore_cmd.add_argument("--space", default="encoder",
+                             help="design space to search (default: encoder; "
+                                  "see --list-spaces)")
+    explore_cmd.add_argument("--strategy", default="halving",
+                             help="search strategy: grid, random, or halving "
+                                  "(default: halving)")
+    explore_cmd.add_argument("--budget", type=_positive_int, default=200,
+                             help="total analytic proxy evaluations "
+                                  "(default: 200)")
+    explore_cmd.add_argument("--verify-top", type=int, default=8,
+                             help="frontier points to re-certify on the "
+                                  "engine backend; 0 skips verification "
+                                  "(default: 8)")
+    explore_cmd.add_argument("--seed", type=int, default=0,
+                             help="RNG seed for random/halving sampling "
+                                  "(default: 0)")
+    explore_cmd.add_argument("--workers", type=_positive_int, default=1,
+                             help="worker processes (default: 1, serial)")
+    explore_cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                             help=f"result cache directory "
+                                  f"(default: {DEFAULT_CACHE_DIR})")
+    explore_cmd.add_argument("--no-cache", action="store_true",
+                             help="disable the result cache entirely")
+    explore_cmd.add_argument("--force", action="store_true",
+                             help="re-run even on cache hits")
+    explore_cmd.add_argument("--json", dest="json_path", default=None,
+                             help="write the full exploration report to this "
+                                  "JSON file")
+    explore_cmd.add_argument("--report", dest="report_path", default=None,
+                             help="write the rendered frontier/verification "
+                                  "tables to this text file")
+    explore_cmd.add_argument("--list-spaces", action="store_true",
+                             help="describe the design-space catalogue and "
+                                  "exit")
+
+    cache_cmd = sub.add_parser("cache", help="inspect or clean the result cache")
     cache_cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     group = cache_cmd.add_mutually_exclusive_group()
     group.add_argument("--show", action="store_true", help="list entries (default)")
     group.add_argument("--clear", action="store_true", help="delete all entries")
+    group.add_argument("--prune", action="store_true",
+                       help="drop stale-code-version, corrupted, and "
+                            "abandoned entries (never fails: problem "
+                            "entries are skipped with a warning)")
 
     return parser
 
@@ -122,6 +169,65 @@ def _dump_json(outcomes: List[SweepOutcome], path: str) -> None:
     print(f"wrote {len(payload)} outcome(s) to {path}")
 
 
+def _run_explore(args: argparse.Namespace) -> int:
+    """The ``explore`` subcommand: search, verify, report.
+
+    Exit codes: 0 on success, 2 on user errors (unknown space/strategy), and
+    1 when any engine-verified frontier point violates the analytic
+    lower-bound contract -- the one outcome that means the proxy itself is
+    broken, which CI must treat as a failure.
+    """
+    from repro.analysis.reporting import (dse_frontier_table,
+                                          dse_verification_table)
+    from repro.explore import get_space, get_strategy, run_exploration, spaces
+
+    if args.list_spaces:
+        for name in spaces.space_names():
+            print(spaces.get_space(name).describe())
+        return 0
+    try:
+        space = get_space(args.space)
+        strategy = get_strategy(args.strategy)
+    except KeyError as error:
+        return _fail(error.args[0])
+    if args.verify_top < 0:
+        return _fail(f"--verify-top must be >= 0, got {args.verify_top}")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    report = run_exploration(space, strategy, budget=args.budget,
+                             verify_top=args.verify_top, seed=args.seed,
+                             workers=args.workers, cache=cache,
+                             force=args.force)
+
+    frontier = dse_frontier_table(report).render()
+    verification = dse_verification_table(report).render() \
+        if report.verified else ""
+    print(frontier)
+    if verification:
+        print()
+        print(verification)
+    print(f"-- {len(report.frontier)} frontier point(s) from "
+          f"{report.evaluations} proxy evaluation(s), "
+          f"{len(report.verified)} engine-verified, "
+          f"wall {report.proxy_wall_s + report.verify_wall_s:.2f}s")
+    if args.report_path:
+        with open(args.report_path, "w") as handle:
+            handle.write(frontier + "\n")
+            if verification:
+                handle.write("\n" + verification + "\n")
+        print(f"wrote frontier report to {args.report_path}")
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=1, sort_keys=True)
+        print(f"wrote exploration report to {args.json_path}")
+    if not report.contract_ok:
+        bad = [p.point_id for p in report.verified if not p.contract_ok]
+        print(f"error: verified point(s) {bad} violate the analytic "
+              "lower-bound contract", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from . import library  # noqa: F401 -- populates the registry
     args = _build_parser().parse_args(argv)
@@ -146,12 +252,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.clear:
             print(f"removed {cache.clear()} entrie(s) from {cache.root}")
             return 0
+        if args.prune:
+            stats = cache.prune()
+            for warning in stats.warnings:
+                print(f"warning: {warning}", file=sys.stderr)
+            print(f"pruned {stats.removed} entrie(s) from {cache.root}, "
+                  f"kept {stats.kept} current entrie(s)")
+            return 0
         entries = cache.entries()
         for path in entries:
             print(path)
         print(f"-- {len(entries)} entrie(s) in {cache.root}, "
               f"code version {code_version()}")
         return 0
+
+    if args.command == "explore":
+        return _run_explore(args)
 
     try:
         if args.command == "run":

@@ -307,6 +307,86 @@ def estimate_engine_chain(n_msgs: int = 2000, stages: int = 2,
     return {"events": None, "end_time": end_time, "processes": stages + 2}
 
 
+def _dse_design(num_mme: int, mem_b_bytes: int, bandwidth_scale: float,
+                pipeline_attention: bool, tile_m: int, tile_k: int,
+                super_n: int):
+    """Materialise one design point's hardware config and codegen options.
+
+    Shared by both backends of the ``dse_encoder`` kind so the engine and the
+    analytic proxy always evaluate *exactly* the same design: the validated
+    :meth:`~repro.xnn.datapath.XNNConfig.for_design` /
+    :meth:`~repro.xnn.codegen.CodegenOptions.with_overrides` hooks reject
+    infeasible points identically on either path.
+    """
+    from repro.xnn import CodegenOptions, XNNConfig
+    config = XNNConfig.for_design(num_mme=num_mme, mem_b_bytes=mem_b_bytes,
+                                  bandwidth_scale=bandwidth_scale)
+    options = CodegenOptions.with_overrides(
+        pipeline_attention=pipeline_attention,
+        tile_m=tile_m, tile_k=tile_k, super_n=super_n)
+    return config, options
+
+
+def _dse_payload(result, config) -> Dict[str, Any]:
+    """Flatten an encoder result into the DSE objective vector payload.
+
+    ``utilization`` (achieved fraction of the design's *own* MME peak) is
+    computed here for both backends because the engine result does not carry
+    roofline diagnostics; normalising by the per-design peak keeps points
+    with different MME counts comparable on the same Pareto axis.
+    """
+    from repro.hardware.aie import AIEArrayModel, MMEGroupPlan
+    aie = AIEArrayModel(config.spec, MMEGroupPlan(num_groups=config.num_mme))
+    peak_flops = config.num_mme * aie.mme_flops(config.mme_tile_shape)
+    latency_s = result.latency_s
+    utilization = (result.flops / latency_s / peak_flops) if latency_s else 0.0
+    return {
+        "latency_s": latency_s,
+        "latency_ms": latency_s * 1e3,
+        "flops": result.flops,
+        "ddr_bytes": result.ddr_bytes,
+        "lpddr_bytes": result.lpddr_bytes,
+        "offchip_bytes": result.offchip_bytes,
+        "achieved_tflops": result.achieved_tflops,
+        "utilization": utilization,
+        "num_mme": config.num_mme,
+    }
+
+
+@REGISTRY.kind("dse_encoder")
+def run_dse_encoder(batch: int = 1, seq_len: int = 128,
+                    model: str = "bert_large", num_mme: int = 6,
+                    mem_b_bytes: int = 1024 * 1024,
+                    bandwidth_scale: float = 1.0,
+                    pipeline_attention: bool = True, tile_m: int = 768,
+                    tile_k: int = 128, super_n: int = 1024) -> dict:
+    """Cycle-level evaluation of one encoder design point (DSE verification)."""
+    from repro.xnn import XNNExecutor
+    config, options = _dse_design(num_mme, mem_b_bytes, bandwidth_scale,
+                                  pipeline_attention, tile_m, tile_k, super_n)
+    executor = XNNExecutor(config=config, options=options)
+    result = executor.run_encoder(batch=batch, seq_len=seq_len,
+                                  config=_encoder_config(model))
+    return _dse_payload(result, config)
+
+
+@REGISTRY.kind("dse_encoder", backend="analytic")
+def estimate_dse_encoder(batch: int = 1, seq_len: int = 128,
+                         model: str = "bert_large", num_mme: int = 6,
+                         mem_b_bytes: int = 1024 * 1024,
+                         bandwidth_scale: float = 1.0,
+                         pipeline_attention: bool = True, tile_m: int = 768,
+                         tile_k: int = 128, super_n: int = 1024) -> dict:
+    """Analytic-proxy evaluation of one encoder design point (DSE search)."""
+    from repro.xnn.analytic import AnalyticXNN
+    config, options = _dse_design(num_mme, mem_b_bytes, bandwidth_scale,
+                                  pipeline_attention, tile_m, tile_k, super_n)
+    analytic = AnalyticXNN(config=config, options=options)
+    result = analytic.run_encoder(batch=batch, seq_len=seq_len,
+                                  config=_encoder_config(model))
+    return _dse_payload(result, config)
+
+
 @REGISTRY.kind("gpu_roofline", backend=("engine", "analytic"))
 def run_gpu_roofline(gpu: str, batch: int, seq_len: int = 384) -> dict:
     """Roofline latency estimate of full BERT-Large on a Table 10 GPU.

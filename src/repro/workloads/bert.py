@@ -19,7 +19,7 @@ fall out of these formulas for B=6, L=512, H=1024, 16 heads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from .layers import FusedOp, MatMulLayer, ModelSpec
 

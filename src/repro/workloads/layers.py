@@ -10,9 +10,9 @@ its operands live, which is what the bandwidth orchestration cares about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 __all__ = ["FusedOp", "MatMulLayer", "ModelSpec", "DTYPE_BYTES"]
 

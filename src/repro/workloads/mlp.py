@@ -9,7 +9,7 @@ interleaving).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from .layers import FusedOp, MatMulLayer, ModelSpec
 

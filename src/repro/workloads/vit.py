@@ -11,10 +11,9 @@ absolute numbers, not the RSN-vs-baseline shape.
 
 from __future__ import annotations
 
-from typing import List
 
 from .bert import BertConfig, bert_large_encoder
-from .layers import MatMulLayer, ModelSpec
+from .layers import ModelSpec
 
 __all__ = ["VIT_BASE", "vit_model"]
 

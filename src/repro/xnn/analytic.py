@@ -160,6 +160,10 @@ class AnalyticXNN:
         self.options = options or CodegenOptions()
         self.aie = AIEArrayModel(self.config.spec,
                                  MMEGroupPlan(num_groups=self.config.num_mme))
+        # Mirror XNNDatapath's feasibility check: the fast model must reject
+        # exactly the configurations the engine cannot build, or a design-space
+        # search on the analytic proxy could "find" un-buildable winners.
+        self.aie.validate_plan()
         #: achieved FLOP/s of one MME FU -- identical to the rate the engine's
         #: MME kernels charge compute with.
         self.mme_rate = self.aie.mme_flops(self.config.mme_tile_shape)
@@ -282,11 +286,11 @@ class AnalyticXNN:
         meaningful when the segmenter would pipeline the attention pair).
         """
         spec = bert_large_encoder(batch=batch, seq_len=seq_len, config=config)
-        layer = {l.name: l for l in spec.layers}
+        layer = {lyr.name: lyr for lyr in spec.layers}
         result = EncoderResult(name=spec.name, batch=batch)
 
         pipelined_pairs = {
-            tuple(l.name for l in segment.layers)
+            tuple(lyr.name for lyr in segment.layers)
             for segment in segment_model(spec, self.config.spec)
             if segment.kind is SegmentKind.PIPELINED
         }

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..hardware.vck190 import VCK190, VCK190Spec
 from ..workloads.layers import ModelSpec

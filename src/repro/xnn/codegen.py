@@ -22,7 +22,7 @@ making every producer's send count match the consumers' receive counts
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import ExitUOp, InstructionPacket, MOp, RSNProgram, UOp
@@ -61,7 +61,13 @@ _FUSED_TO_MEMC = {
 
 @dataclass(frozen=True)
 class CodegenOptions:
-    """Optimisation and tiling knobs for instruction generation."""
+    """Optimisation and tiling knobs for instruction generation.
+
+    These are exactly the software-side axes a design-space exploration can
+    mutate (:mod:`repro.explore`), so construction validates the tiling knobs
+    up front: a non-positive tile extent would otherwise send the tiler into
+    an infinite split loop long after the bad value was introduced.
+    """
 
     interleave_load_store: bool = True
     pipeline_attention: bool = True
@@ -69,6 +75,13 @@ class CodegenOptions:
     tile_m: int = 768
     tile_k: int = 128
     super_n: int = 1024
+
+    def __post_init__(self) -> None:
+        for knob in ("tile_m", "tile_k", "super_n"):
+            value = getattr(self, knob)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"CodegenOptions.{knob} must be a positive "
+                                 f"integer, got {value!r}")
 
     @classmethod
     def baseline(cls) -> "CodegenOptions":
@@ -79,6 +92,21 @@ class CodegenOptions:
     @classmethod
     def all_optimizations(cls) -> "CodegenOptions":
         return cls()
+
+    @classmethod
+    def with_overrides(cls, **overrides) -> "CodegenOptions":
+        """Build options from keyword overrides, rejecting unknown knobs.
+
+        The design-space explorer feeds axis assignments through this hook;
+        a typo'd axis name must fail loudly here rather than silently leave
+        the default in place.
+        """
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise ValueError(f"unknown codegen option(s) {unknown}; "
+                             f"valid: {sorted(valid)}")
+        return cls(**overrides)
 
 
 class ProgramBuilder:
@@ -196,7 +224,7 @@ class ProgramBuilder:
                 # Stores whose data a load in this group depends on must retire
                 # before those loads; the rest drain inside the load gaps.
                 conflicting = [s for s in previous_stores
-                               if any(self._transfers_conflict(s, l) for l in loads)]
+                               if any(self._transfers_conflict(s, load) for load in loads)]
                 safe = [s for s in previous_stores if s not in conflicting]
                 sequence.extend(conflicting)
                 sequence.extend(self._interleave(loads, safe))

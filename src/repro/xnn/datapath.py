@@ -22,12 +22,12 @@ double counting).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core import Datapath
 from ..hardware.aie import AIEArrayModel, MMEGroupPlan
-from ..hardware.memory import MemoryChannelModel, ddr_channel, lpddr_channel
+from ..hardware.memory import ddr_channel, lpddr_channel
 from ..hardware.vck190 import VCK190, VCK190Spec
 from .fus import DDRFU, HostMemory, LPDDRFU, MMEFU, MemAFU, MemBFU, MemCFU, MeshFU
 
@@ -62,6 +62,31 @@ class XNNConfig:
             raise ValueError("need at least one MME and one MemC per MME")
         if self.num_mem_a < 1 or self.num_mem_b < 1:
             raise ValueError("need at least one MemA and one MemB")
+        if self.bandwidth_scale <= 0:
+            raise ValueError("bandwidth_scale must be positive")
+        for knob in ("mem_a_bytes", "mem_b_bytes", "mem_c_bytes"):
+            if getattr(self, knob) < 1:
+                raise ValueError(f"{knob} must be positive")
+
+    @classmethod
+    def for_design(cls, num_mme: int = 6, **overrides) -> "XNNConfig":
+        """Build a *validated* config for one design-space point.
+
+        This is the hardware-side mutation hook of :mod:`repro.explore`:
+        unlike plain construction it (a) couples the MemC count to the MME
+        count (the datapath needs one MemC per MME and the paper's extra
+        MemCs carry no work in this model), and (b) checks the MME grouping
+        against the AIE array's tile and stream budgets *immediately*, so an
+        infeasible design point is rejected identically by the analytic and
+        engine backends -- before either spends any time on it.
+        """
+        from ..hardware.aie import AIEArrayModel, MMEGroupPlan
+        overrides.setdefault("num_mem_c", num_mme)
+        overrides.setdefault("carry_data", False)
+        config = cls(num_mme=num_mme, **overrides)
+        AIEArrayModel(config.spec,
+                      MMEGroupPlan(num_groups=num_mme)).validate_plan()
+        return config
 
 
 class XNNDatapath:

@@ -27,12 +27,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core import SimulationStats, UtilizationReport
 from ..workloads import reference, tensors
 from ..workloads.bert import BERT_LARGE, BertConfig, bert_large_encoder
 from ..workloads.layers import FusedOp, MatMulLayer, ModelSpec
 from .codegen import CodegenOptions, ProgramBuilder
-from .datapath import XNNConfig, XNNDatapath, build_xnn_datapath
+from .datapath import XNNConfig, XNNDatapath
 
 __all__ = ["SegmentResult", "EncoderResult", "XNNExecutor"]
 
@@ -211,7 +210,7 @@ class XNNExecutor:
                     seed: int = tensors.DEFAULT_SEED) -> EncoderResult:
         """Run one transformer encoder layer (the paper's primary workload)."""
         spec = bert_large_encoder(batch=batch, seq_len=seq_len, config=config)
-        layer = {l.name: l for l in spec.layers}
+        layer = {lyr.name: lyr for lyr in spec.layers}
         result = EncoderResult(name=spec.name, batch=batch)
         self._last_heads = config.heads
         self._last_batch = batch

@@ -17,8 +17,7 @@ load/store interleaving on the single DDR channel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Generator, Optional, Tuple
+from typing import Dict, Generator, Tuple
 
 import numpy as np
 

@@ -27,16 +27,8 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from ...core import (
-    ConfigurationError,
-    Delay,
-    FunctionalUnit,
-    Parallel,
-    Read,
-    TileMessage,
-    UOp,
-    Write,
-)
+from ...core import (ConfigurationError, FunctionalUnit, Parallel, Read,
+                     TileMessage, UOp, Write)
 from .offchip import HostMemory
 
 __all__ = ["MemAFU", "MemBFU", "MemCFU", "MEMC_COMPUTE_THROUGHPUT",

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Optional
 
 from ..hardware.vck190 import VCK190, VCK190Spec
 from ..workloads.layers import MatMulLayer

@@ -15,7 +15,7 @@ code generator can walk the plan without any further arithmetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 __all__ = ["Block", "GemmTiling", "plan_gemm_tiling",

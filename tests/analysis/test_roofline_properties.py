@@ -21,7 +21,7 @@ import pytest
 hypothesis = pytest.importorskip(
     "hypothesis", reason="property-based tests need the hypothesis package")
 
-from hypothesis import given, settings  # noqa: E402
+from hypothesis import given  # noqa: E402
 from hypothesis import strategies as st  # noqa: E402
 
 from repro.analysis.roofline import (ResourceRoofline, machine_balance,  # noqa: E402

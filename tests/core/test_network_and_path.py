@@ -2,21 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core import (
-    ConfigurationError,
-    Datapath,
-    ExitUOp,
-    Path,
-    PathProgram,
-    Read,
-    TileMessage,
-    UOp,
-    UtilizationReport,
-    Write,
-)
+from repro.core import (ConfigurationError, Datapath, Path, PathProgram, UOp,
+                        UtilizationReport)
 from tests.core.test_functional_unit import AdderFU, SinkFU, SourceFU
 
 

@@ -1,0 +1,122 @@
+"""Hand-computed Pareto-frontier and rank-agreement correctness tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pareto import (dominates, kendall_tau, pareto_frontier,
+                                   pareto_ranks)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0), ("min", "min"))
+        assert not dominates((2.0, 2.0), (1.0, 1.0), ("min", "min"))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0), ("min", "min"))
+
+    def test_tradeoff_points_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (2.0, 1.0), ("min", "min"))
+        assert not dominates((2.0, 1.0), (1.0, 2.0), ("min", "min"))
+
+    def test_weak_dominance_with_one_strict_improvement(self):
+        assert dominates((1.0, 1.0), (1.0, 2.0), ("min", "min"))
+
+    def test_maximize_sense_flips_direction(self):
+        assert dominates((2.0,), (1.0,), ("max",))
+        assert not dominates((1.0,), (2.0,), ("max",))
+
+    def test_mixed_senses(self):
+        # lower latency AND higher utilisation dominates.
+        assert dominates((1.0, 0.9), (2.0, 0.5), ("min", "max"))
+        # lower latency but lower utilisation is a trade-off.
+        assert not dominates((1.0, 0.5), (2.0, 0.9), ("min", "max"))
+
+    def test_unknown_sense_rejected(self):
+        with pytest.raises(ValueError, match="unknown sense"):
+            dominates((1.0,), (2.0,), ("down",))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="objectives"):
+            dominates((1.0, 2.0), (1.0, 2.0), ("min",))
+
+
+class TestParetoFrontier2D:
+    # Hand-computed set (both minimised):
+    #   A=(1,9) B=(3,7) C=(5,5) D=(7,3) E=(9,1)   -- a staircase, all on it
+    #   F=(6,6) dominated by C; G=(9,9) dominated by everything.
+    POINTS = [(1, 9), (3, 7), (5, 5), (7, 3), (9, 1), (6, 6), (9, 9)]
+
+    def test_staircase_frontier(self):
+        frontier = pareto_frontier(self.POINTS, ("min", "min"))
+        assert frontier == [0, 1, 2, 3, 4]
+
+    def test_ranks_peel_in_order(self):
+        ranks = pareto_ranks(self.POINTS, ("min", "min"))
+        assert ranks[:5] == [0, 0, 0, 0, 0]
+        assert ranks[5] == 1  # F: frontier of the remainder
+        assert ranks[6] == 2  # G: dominated even by F
+
+    def test_single_point_is_the_frontier(self):
+        assert pareto_frontier([(4.0, 4.0)], ("min", "min")) == [0]
+
+    def test_duplicates_all_kept(self):
+        frontier = pareto_frontier([(1, 1), (1, 1), (2, 2)], ("min", "min"))
+        assert frontier == [0, 1]
+
+    def test_empty_set(self):
+        assert pareto_frontier([], ("min", "min")) == []
+
+
+class TestParetoFrontier3D:
+    # Hand-computed 3D set with senses (min latency, min traffic, max util):
+    #   A=(1, 100, 0.2)  best latency           -> frontier
+    #   B=(2, 50, 0.5)   balanced               -> frontier
+    #   C=(3, 40, 0.9)   best traffic+util      -> frontier
+    #   D=(2, 60, 0.5)   dominated by B (traffic worse, rest equal)
+    #   E=(4, 50, 0.4)   dominated by B (latency+util worse, traffic equal)
+    POINTS = [
+        (1, 100, 0.2),
+        (2, 50, 0.5),
+        (3, 40, 0.9),
+        (2, 60, 0.5),
+        (4, 50, 0.4),
+    ]
+    SENSES = ("min", "min", "max")
+
+    def test_frontier(self):
+        assert pareto_frontier(self.POINTS, self.SENSES) == [0, 1, 2]
+
+    def test_ranks(self):
+        assert pareto_ranks(self.POINTS, self.SENSES) == [0, 0, 0, 1, 1]
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3, 4], [40, 30, 20, 10]) == -1.0
+
+    def test_hand_computed_mixed_case(self):
+        # Pairs (1,1),(2,3),(3,2): concordant {12,13}, discordant {23}
+        # tau = (2 - 1) / 3.
+        assert kendall_tau([1, 2, 3], [1, 3, 2]) == pytest.approx(1.0 / 3.0)
+
+    def test_ties_use_tau_b_correction(self):
+        # x ties the pair (1,2): pairs=3, ties_x=1 -> denominator sqrt(2*3).
+        # y orders: (1,2) discordant? dx=0 -> tie; (1,3): c; (2,3): c.
+        assert kendall_tau([1, 1, 2], [1, 2, 3]) == pytest.approx(
+            2.0 / (2 * 3) ** 0.5)
+
+    def test_constant_sample_is_undefined(self):
+        assert kendall_tau([1, 1, 1], [1, 2, 3]) is None
+
+    def test_short_samples_are_undefined(self):
+        assert kendall_tau([], []) is None
+        assert kendall_tau([1.0], [2.0]) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            kendall_tau([1, 2], [1])

@@ -1,0 +1,178 @@
+"""Strategy behaviour: coverage, budgets, and seed determinism."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.explore import (Axis, DesignSpace, GridSearch, RandomSearch,
+                           SuccessiveHalving, get_strategy, strategy_names)
+
+
+def _space() -> DesignSpace:
+    return DesignSpace(
+        name="toy",
+        kind="dse_encoder",
+        base_params={"model": "bert_large", "batch": 1},
+        axes=(
+            Axis("seq_len", (64, 128)),
+            Axis("pipeline_attention", (False, True)),
+            Axis("tile_m", (256, 512, 768)),
+            Axis("bandwidth_scale", (1.0, 2.0)),
+        ),
+    )
+
+
+def _fake_evaluate(calls=None):
+    """A cheap deterministic payload: latency falls with tile_m, traffic
+    rises with seq_len -- enough structure for rank-based selection."""
+
+    def evaluate(assignments, fidelity):
+        if calls is not None:
+            calls.append((len(assignments), fidelity))
+        payloads = []
+        for a in assignments:
+            payloads.append({
+                "latency_s": 1.0 / a["tile_m"] + 0.001 * a["seq_len"],
+                "offchip_bytes": a["seq_len"] * 1000,
+                "utilization": 0.5 if a["pipeline_attention"] else 0.4,
+            })
+        return payloads
+
+    return evaluate
+
+
+class TestGridSearch:
+    def test_full_budget_covers_every_point(self):
+        space = _space()
+        candidates = GridSearch().search(space, 100, _fake_evaluate(),
+                                         random.Random(0))
+        assert len(candidates) == len(space.points())
+
+    def test_small_budget_strides_across_the_space(self):
+        space = _space()
+        candidates = GridSearch().search(space, 6, _fake_evaluate(),
+                                         random.Random(0))
+        assert len(candidates) == 6
+        # Striding must reach past the first corner of the enumeration.
+        seq_lens = {c.assignment["seq_len"] for c in candidates}
+        assert seq_lens == {64, 128}
+
+    def test_deterministic_without_rng(self):
+        space = _space()
+        a = GridSearch().search(space, 6, _fake_evaluate(), random.Random(0))
+        b = GridSearch().search(space, 6, _fake_evaluate(), random.Random(99))
+        assert [c.point_id for c in a] == [c.point_id for c in b]
+
+
+class TestRandomSearch:
+    def test_budget_respected_and_unique(self):
+        candidates = RandomSearch().search(_space(), 5, _fake_evaluate(),
+                                           random.Random(3))
+        assert len(candidates) == 5
+        assert len({c.point_id for c in candidates}) == 5
+
+    def test_same_seed_same_sample(self):
+        a = RandomSearch().search(_space(), 5, _fake_evaluate(),
+                                  random.Random(3))
+        b = RandomSearch().search(_space(), 5, _fake_evaluate(),
+                                  random.Random(3))
+        assert [c.point_id for c in a] == [c.point_id for c in b]
+
+    def test_different_seed_different_sample(self):
+        a = RandomSearch().search(_space(), 5, _fake_evaluate(),
+                                  random.Random(3))
+        b = RandomSearch().search(_space(), 5, _fake_evaluate(),
+                                  random.Random(4))
+        assert [c.point_id for c in a] != [c.point_id for c in b]
+
+
+class TestSuccessiveHalvingPlan:
+    def test_plan_total_within_budget(self):
+        strategy = SuccessiveHalving(min_final=4)
+        for feasible, budget in ((1512, 200), (16, 16), (100, 50), (3, 10)):
+            sizes = strategy.plan(feasible, budget)
+            assert sum(sizes) <= budget
+            assert sizes[0] <= feasible
+            assert sizes[-1] <= strategy.min_final or len(sizes) == 1
+
+    def test_plan_decays_geometrically(self):
+        sizes = SuccessiveHalving(min_final=4).plan(1000, 200)
+        for bigger, smaller in zip(sizes, sizes[1:]):
+            assert smaller == max(4, bigger // 2)
+
+    def test_tiny_budget_still_yields_one_evaluation(self):
+        assert SuccessiveHalving().plan(1000, 1) == [1]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError, match="eta"):
+            SuccessiveHalving(eta=1)
+        with pytest.raises(ValueError, match="min_final"):
+            SuccessiveHalving(min_final=0)
+        with pytest.raises(ValueError, match="min_fidelity"):
+            SuccessiveHalving(min_fidelity=0.0)
+        with pytest.raises(ValueError, match="budget"):
+            SuccessiveHalving().plan(10, 0)
+
+
+class TestSuccessiveHalvingSearch:
+    def test_budget_respected(self):
+        calls = []
+        SuccessiveHalving(min_final=2).search(_space(), 12,
+                                              _fake_evaluate(calls),
+                                              random.Random(1))
+        assert sum(n for n, _ in calls) <= 12
+
+    def test_final_rung_runs_at_full_fidelity(self):
+        calls = []
+        candidates = SuccessiveHalving(min_final=2).search(
+            _space(), 12, _fake_evaluate(calls), random.Random(1))
+        assert calls[-1][1] == 1.0
+        assert calls[-1][0] == len(candidates)
+
+    def test_earlier_rungs_run_reduced_fidelity(self):
+        calls = []
+        SuccessiveHalving(min_final=2).search(_space(), 20,
+                                              _fake_evaluate(calls),
+                                              random.Random(1))
+        assert len(calls) >= 2
+        assert all(fidelity < 1.0 for _, fidelity in calls[:-1])
+        assert all(fidelity >= 0.25 for _, fidelity in calls)
+
+    def test_deterministic_under_fixed_seed(self):
+        space = _space()
+        runs = [
+            SuccessiveHalving(min_final=2).search(space, 14, _fake_evaluate(),
+                                                  random.Random(42))
+            for _ in range(2)
+        ]
+        assert [c.point_id for c in runs[0]] == [c.point_id for c in runs[1]]
+        assert [c.payload for c in runs[0]] == [c.payload for c in runs[1]]
+
+    def test_survivors_prefer_low_pareto_rank(self):
+        # tile_m=768 strictly improves latency at equal traffic/util, so the
+        # full-fidelity survivors should be drawn from large tile_m designs.
+        candidates = SuccessiveHalving(min_final=2).search(
+            _space(), 20, _fake_evaluate(), random.Random(0))
+        assert all(c.assignment["tile_m"] >= 512 for c in candidates)
+
+    def test_missing_objective_key_raises(self):
+        def bad_evaluate(assignments, fidelity):
+            return [{"latency_s": 1.0} for _ in assignments]
+
+        with pytest.raises(KeyError, match="offchip_bytes"):
+            SuccessiveHalving(min_final=2).search(_space(), 12, bad_evaluate,
+                                                  random.Random(1))
+
+
+class TestStrategyRegistry:
+    def test_names(self):
+        assert strategy_names() == ["grid", "halving", "random"]
+
+    def test_get_strategy(self):
+        assert isinstance(get_strategy("halving"), SuccessiveHalving)
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(KeyError, match="halving"):
+            get_strategy("simulated-annealing")

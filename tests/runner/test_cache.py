@@ -69,3 +69,91 @@ class TestResultCache:
     def test_code_version_is_stable_within_process(self):
         assert code_version() == code_version()
         assert len(code_version()) == 16
+
+    def test_clear_tolerates_concurrent_removal(self, cache, monkeypatch):
+        from pathlib import Path
+        cache.store(_scenario(), {"events": 1}, elapsed_s=0.0)
+        cache.store(_scenario(n_msgs=11), {"events": 2}, elapsed_s=0.0)
+        real_unlink = Path.unlink
+        raced = []
+
+        def racy_unlink(self, *args, **kwargs):
+            # A concurrent pruner deletes the first entry between the
+            # directory listing and our unlink.
+            if not raced:
+                raced.append(self)
+                real_unlink(self)
+                raise FileNotFoundError(str(self))
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", racy_unlink)
+        assert cache.clear() == 1  # the second entry; the raced one is free
+        assert cache.entries() == []
+
+
+class TestPrune:
+    def test_prune_keeps_current_entries(self, cache):
+        cache.store(_scenario(), {"events": 1}, elapsed_s=0.0)
+        stats = cache.prune()
+        assert (stats.kept, stats.removed, stats.warnings) == (1, 0, [])
+        assert len(cache.entries()) == 1
+
+    def test_prune_removes_stale_code_versions(self, cache):
+        path = cache.store(_scenario(), {"events": 1}, elapsed_s=0.0)
+        payload = json.loads(path.read_text())
+        payload["code_version"] = "0" * 16
+        path.write_text(json.dumps(payload))
+        cache.store(_scenario(n_msgs=11), {"events": 2}, elapsed_s=0.0)
+        stats = cache.prune()
+        assert (stats.kept, stats.removed) == (1, 1)
+        assert not path.exists()
+
+    def test_prune_removes_corrupted_entries_with_warning(self, cache):
+        path = cache.store(_scenario(), {"events": 1}, elapsed_s=0.0)
+        path.write_text("{not json")
+        (cache.root / "list-entry.json").write_text("[1, 2]")
+        stats = cache.prune()
+        assert stats.removed == 2
+        assert len(stats.warnings) == 2
+        assert any("corrupted" in warning for warning in stats.warnings)
+        assert cache.entries() == []
+
+    def test_prune_tolerates_unremovable_entries(self, cache, monkeypatch):
+        """A read-only/foreign-owned entry degrades to a warning, never a
+        traceback (the prune contract on shared cache directories)."""
+        from pathlib import Path
+        path = cache.store(_scenario(), {"events": 1}, elapsed_s=0.0)
+        path.write_text("{not json")
+
+        def denied(self, *args, **kwargs):
+            raise PermissionError(f"[Errno 13] Permission denied: {self}")
+
+        monkeypatch.setattr(Path, "unlink", denied)
+        stats = cache.prune()  # must not raise
+        assert stats.removed == 0
+        assert any("cannot remove" in warning for warning in stats.warnings)
+
+    def test_prune_tolerates_vanishing_files(self, cache, monkeypatch):
+        from pathlib import Path
+        cache.store(_scenario(), {"events": 1}, elapsed_s=0.0)
+
+        def vanished(self, *args, **kwargs):
+            raise FileNotFoundError(str(self))
+
+        monkeypatch.setattr(Path, "read_text", vanished)
+        stats = cache.prune()  # must not raise
+        assert (stats.kept, stats.removed, stats.warnings) == (0, 0, [])
+
+    def test_prune_removes_only_stale_tmp_spill_files(self, cache):
+        import os
+        import time
+        fresh = cache.root / "inflight.tmp"
+        fresh.write_text("partial write")
+        stale = cache.root / "crashed.tmp"
+        stale.write_text("partial write")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        stats = cache.prune()
+        assert fresh.exists(), "a concurrent writer may still own fresh .tmp"
+        assert not stale.exists()
+        assert any("abandoned" in warning for warning in stats.warnings)

@@ -59,8 +59,9 @@ class TestRunCommand:
         code, out, _ = _run(capsys, "run", "table6a/aie-32x32x32",
                             "table6a/aie-32x16x32", "--cache-dir", str(tmp_path))
         assert code == 0
-        lines = [l for l in out.splitlines() if l.startswith("table6a/")]
-        assert [l.split()[0] for l in lines] == ["table6a/aie-32x32x32",
+        lines = [line for line in out.splitlines()
+                 if line.startswith("table6a/")]
+        assert [line.split()[0] for line in lines] == ["table6a/aie-32x32x32",
                                                 "table6a/aie-32x16x32"]
 
     def test_run_writes_json_with_backend(self, capsys, tmp_path):
@@ -113,6 +114,85 @@ class TestCacheCommand:
         code, out, _ = _run(capsys, "cache", "--cache-dir", str(tmp_path))
         assert code == 0
         assert "0 entrie(s)" in out
+
+
+class TestCachePruneCommand:
+    def test_prune_reports_kept_and_removed(self, capsys, tmp_path):
+        _run(capsys, "run", "table6a/aie-32x32x32", "--cache-dir", str(tmp_path))
+        code, out, err = _run(capsys, "cache", "--prune",
+                              "--cache-dir", str(tmp_path))
+        assert code == 0 and not err
+        assert "pruned 0 entrie(s)" in out
+        assert "kept 1 current entrie(s)" in out
+
+    def test_prune_survives_corrupted_entries(self, capsys, tmp_path):
+        """The satellite bugfix: corrupted entries are skipped with a
+        warning on stderr and the command still exits 0 -- no traceback."""
+        _run(capsys, "run", "table6a/aie-32x32x32", "--cache-dir", str(tmp_path))
+        (tmp_path / "garbage-entry.json").write_text("{not json")
+        code, out, err = _run(capsys, "cache", "--prune",
+                              "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "warning: removing corrupted entry garbage-entry.json" in err
+        assert "Traceback" not in err
+        assert "pruned 1 entrie(s)" in out
+
+    def test_show_clear_prune_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "--clear", "--prune"])
+        assert excinfo.value.code == 2
+
+
+class TestExploreCommand:
+    def test_explore_smoke_space_end_to_end(self, capsys, tmp_path):
+        code, out, err = _run(capsys, "explore", "--space", "encoder-smoke",
+                              "--strategy", "grid", "--budget", "8",
+                              "--verify-top", "2",
+                              "--cache-dir", str(tmp_path))
+        assert code == 0 and not err
+        assert "Pareto frontier" in out
+        assert "Engine verification" in out
+        assert "engine-verified" in out
+
+    def test_explore_writes_json_and_report(self, capsys, tmp_path):
+        json_path = tmp_path / "report.json"
+        report_path = tmp_path / "frontier.txt"
+        code, _, _ = _run(capsys, "explore", "--space", "encoder-smoke",
+                          "--strategy", "halving", "--budget", "8",
+                          "--verify-top", "2", "--seed", "3",
+                          "--cache-dir", str(tmp_path / "cache"),
+                          "--json", str(json_path),
+                          "--report", str(report_path))
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["space"] == "encoder-smoke"
+        assert payload["contract_ok"] is True
+        assert payload["frontier"]
+        assert "Pareto frontier" in report_path.read_text()
+
+    def test_explore_list_spaces(self, capsys):
+        code, out, err = _run(capsys, "explore", "--list-spaces")
+        assert code == 0 and not err
+        assert "encoder-smoke" in out
+        assert "axis num_mme" in out
+
+    def test_explore_unknown_space_exits_2(self, capsys):
+        code, _, err = _run(capsys, "explore", "--space", "warp-drive",
+                            "--no-cache")
+        assert code == 2
+        assert "unknown design space" in err and "Traceback" not in err
+
+    def test_explore_unknown_strategy_exits_2(self, capsys):
+        code, _, err = _run(capsys, "explore", "--strategy", "annealing",
+                            "--no-cache")
+        assert code == 2
+        assert "unknown search strategy" in err
+
+    def test_explore_negative_verify_top_exits_2(self, capsys):
+        code, _, err = _run(capsys, "explore", "--space", "encoder-smoke",
+                            "--verify-top", "-1", "--no-cache")
+        assert code == 2
+        assert "--verify-top" in err
 
 
 class TestRobustness:

@@ -8,7 +8,6 @@ or through the cache -- must yield byte-identical serialized results.
 
 from __future__ import annotations
 
-import json
 
 import numpy as np
 

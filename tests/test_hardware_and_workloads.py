@@ -11,8 +11,9 @@ from repro.hardware import (AIEArrayModel, GPU_SPECS, GPUModel, MMEGroupPlan, Po
                             VCK190, ddr_channel, lpddr_channel)
 from repro.hardware.area import AreaModel
 from repro.hardware.power import FUPowerInput
-from repro.workloads import (FusedOp, MatMulLayer, bert_large_encoder, bert_large_model,
-                             mlp_model, ncf_model, reference, tensors, vit_model)
+from repro.workloads import (MatMulLayer, bert_large_encoder,
+                             bert_large_model, mlp_model, ncf_model,
+                             reference, tensors, vit_model)
 
 
 class TestVCK190Spec:
