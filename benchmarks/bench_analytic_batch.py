@@ -1,0 +1,77 @@
+"""Batched analytic evaluation vs the per-point proxy path.
+
+The per-point path is exactly what ``explore``'s default ``sweep`` proxy
+does for every strategy generation: materialise each design point into an
+ad-hoc scenario and fan the batch through ``run_sweep`` on the analytic
+backend.  The batched path hands the same generation to the registered
+``dse_encoder`` batch runner (shared memoized tallies + vectorized NumPy
+rooflines).  Acceptance floor: >=5x on a broad slice of the full ``encoder``
+space with a *cold* evaluator, with every payload exactly equal to the
+per-point result; in practice the speedup is tens of times (and another
+order of magnitude once the evaluator is warm).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _helpers import run_once
+from repro.analysis.reporting import Table
+from repro.explore import get_space
+from repro.runner import run_sweep
+from repro.runner.library import _encoder_config
+from repro.xnn.analytic import EncoderBatchEvaluator
+
+#: every STRIDE-th feasible point of the full encoder space (~750 points).
+STRIDE = 2
+
+SPEEDUP_FLOOR = 5.0
+
+
+def _measure():
+    space = get_space("encoder")
+    assignments = space.points()[::STRIDE]
+
+    start = time.perf_counter()
+    scenarios = [space.materialize(a).scenario for a in assignments]
+    outcomes = run_sweep(scenarios, workers=1, cache=None, backend="analytic")
+    per_point_s = time.perf_counter() - start
+    per_point = [dict(o.result) for o in outcomes]
+
+    params_list = [space.point_params(a) for a in assignments]
+    evaluator = EncoderBatchEvaluator()  # cold: no memoized tallies yet
+    start = time.perf_counter()
+    batched = evaluator.evaluate_batch(params_list, _encoder_config)
+    batched_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = evaluator.evaluate_batch(params_list, _encoder_config)
+    warm_s = time.perf_counter() - start
+    return per_point, batched, warm, per_point_s, batched_s, warm_s
+
+
+def test_batched_generation_speedup(benchmark):
+    (per_point, batched, warm,
+     per_point_s, batched_s, warm_s) = run_once(benchmark, _measure)
+    points = len(per_point)
+
+    table = Table(f"Analytic proxy: {points}-point generation of the "
+                  "'encoder' space",
+                  ["path", "wall (s)", "ms/point"])
+    table.add_row("per-point (scenario sweep)", per_point_s,
+                  per_point_s / points * 1e3)
+    table.add_row("batched (cold evaluator)", batched_s,
+                  batched_s / points * 1e3)
+    table.add_row("batched (warm evaluator)", warm_s, warm_s / points * 1e3)
+    table.add_note(f"cold speedup: {per_point_s / batched_s:.1f}x "
+                   f"(floor {SPEEDUP_FLOOR:g}x); warm: "
+                   f"{per_point_s / warm_s:.0f}x")
+    table.print()
+
+    # The contract before the speed: payloads must be exactly equal.
+    assert batched == per_point
+    assert warm == per_point
+    assert points >= 200
+    assert per_point_s > SPEEDUP_FLOOR * batched_s, (
+        f"batched path only {per_point_s / batched_s:.1f}x faster"
+    )

@@ -9,9 +9,13 @@ the full heap round-trip.
 The two modes must produce *identical* simulation results -- the fast path
 only changes how same-time events are queued, not their order.  Against the
 pre-optimization engine (per-event lambdas, no ``__slots__``, heap-only
-scheduling) the optimized fast path measured ~1.3x higher events/sec; the
-in-repo compat mode still benefits from the lambda-free callbacks, so the
-in-test ratio is smaller and only sanity-checked here.
+scheduling) the PR 1 fast path measured ~1.3x higher events/sec; the PR 4
+hot-path overhaul (inlined state accounting and channel resolution, lazy
+``waiting_on`` formatting, tracing guarded by one boolean, deque waiter
+queues, interned request objects) measured a further ~2.3x over the PR 3
+engine on this scenario -- ``benchmarks/record.py`` records the current
+number in ``BENCH_pr4.json``.  The in-repo compat mode shares those gains,
+so the in-test fast/compat ratio is smaller and only sanity-checked here.
 """
 
 from __future__ import annotations

@@ -1,0 +1,103 @@
+"""Segment-memo effectiveness: warm vs cold on a repeated-segment set.
+
+The scenario set deliberately repeats work the way real sweeps do: the same
+encoder workload appears twice (two scenario names over identical parameters,
+like ``table10/l384-b8`` vs ``table11/bw-1x`` in the catalogue) next to a
+second workload sharing the hardware configuration.  A cold pass simulates
+every distinct segment once (the intra-set repeat already hits); the warm
+pass -- a re-run against the same memo, i.e. the second sweep of a session or
+the ``explore --verify-top`` re-certification of points an earlier run
+simulated -- must be at least 3x faster end to end, while returning results
+byte-identical to the cold pass (which the differential suite separately
+pins against memo-less simulation).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _helpers import run_once
+from repro.analysis.reporting import Table
+from repro.runner.cache import SegmentMemo
+from repro.xnn import XNNConfig, XNNExecutor
+
+#: (batch, seq_len) triplet with one exact repeat -- the repeated-segment set.
+WORKLOADS = ((2, 384), (1, 384), (2, 384))
+
+SPEEDUP_FLOOR = 3.0
+
+
+def _run_set(memo: SegmentMemo):
+    outputs = []
+    for batch, seq_len in WORKLOADS:
+        executor = XNNExecutor(config=XNNConfig(carry_data=False),
+                               segment_memo=memo)
+        result = executor.run_encoder(batch=batch, seq_len=seq_len)
+        outputs.append([(s.name, s.latency_s, s.ddr_bytes, s.lpddr_bytes,
+                         s.uops) for s in result.segments])
+    return outputs
+
+
+def _measure():
+    """Warm-up round, then two timed cold/warm rounds (best of two).
+
+    The warm pass of a round is tens of milliseconds, so an untimed first
+    round (paging, allocator growth) plus best-of-two timing and a paused
+    collector keep the measured ratio representative of steady state.
+    """
+    import gc
+
+    cold_s = warm_s = float("inf")
+    cold = warm = None
+    cold_hits = cold_misses = warm_hits = 0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for round_index in range(3):
+            memo = SegmentMemo()
+            start = time.perf_counter()
+            round_cold = _run_set(memo)
+            elapsed = time.perf_counter() - start
+            round_cold_hits, round_cold_misses = memo.hits, memo.misses
+            start = time.perf_counter()
+            round_warm = _run_set(memo)
+            warm_elapsed = time.perf_counter() - start
+            if round_index == 0:
+                # Untimed warm-up round; keep the results as the reference.
+                cold, warm = round_cold, round_warm
+                cold_hits, cold_misses = round_cold_hits, round_cold_misses
+                warm_hits = memo.hits - round_cold_hits
+                continue
+            cold_s = min(cold_s, elapsed)
+            warm_s = min(warm_s, warm_elapsed)
+            # Rounds are independent simulations of the same set: results
+            # must agree exactly or the determinism story is broken.
+            assert round_cold == cold and round_warm == warm
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return cold, warm, cold_s, warm_s, cold_hits, cold_misses, warm_hits
+
+
+def test_segment_memo_warm_speedup(benchmark):
+    (cold, warm, cold_s, warm_s,
+     cold_hits, cold_misses, warm_hits) = run_once(benchmark, _measure)
+
+    table = Table("Segment memo: repeated-segment encoder set, warm vs cold",
+                  ["pass", "wall (s)", "memo hits", "memo misses"])
+    table.add_row("cold (fresh memo)", cold_s, cold_hits, cold_misses)
+    table.add_row("warm (re-run)", warm_s, warm_hits, 0)
+    table.add_note(f"warm/cold speedup: {cold_s / warm_s:.1f}x "
+                   f"(floor {SPEEDUP_FLOOR:g}x)")
+    table.print()
+
+    # Correctness first: warm results must equal the cold pass exactly, and
+    # the intra-set repeat must already have hit the memo on the cold pass.
+    assert warm == cold
+    assert cold[2] == cold[0]
+    assert cold_hits == 3  # the repeated workload's three segments
+    assert warm_hits == 9  # every segment of the warm pass
+    assert cold_s > SPEEDUP_FLOOR * warm_s, (
+        f"warm pass only {cold_s / warm_s:.1f}x faster than cold"
+    )

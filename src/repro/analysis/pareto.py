@@ -20,29 +20,38 @@ points), so the O(n^2) formulations are the clearest and entirely adequate.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
 
-__all__ = ["MAXIMIZE", "MINIMIZE", "dominates", "kendall_tau",
-           "pareto_frontier", "pareto_ranks"]
+__all__ = [
+    "MAXIMIZE",
+    "MINIMIZE",
+    "dominates",
+    "kendall_tau",
+    "pareto_frontier",
+    "pareto_ranks",
+    "weighted_scalarization",
+]
 
 MINIMIZE = "min"
 MAXIMIZE = "max"
 
 
-def _check(points: Sequence[Sequence[float]],
-           senses: Sequence[str]) -> None:
+def _check(points: Sequence[Sequence[float]], senses: Sequence[str]) -> None:
     for sense in senses:
         if sense not in (MINIMIZE, MAXIMIZE):
-            raise ValueError(f"unknown sense {sense!r}; use "
-                             f"{MINIMIZE!r} or {MAXIMIZE!r}")
+            raise ValueError(
+                f"unknown sense {sense!r}; use {MINIMIZE!r} or {MAXIMIZE!r}"
+            )
     for point in points:
         if len(point) != len(senses):
-            raise ValueError(f"point {tuple(point)} has {len(point)} "
-                             f"objectives but {len(senses)} senses given")
+            raise ValueError(
+                f"point {tuple(point)} has {len(point)} "
+                f"objectives but {len(senses)} senses given"
+            )
 
 
-def dominates(a: Sequence[float], b: Sequence[float],
-              senses: Sequence[str]) -> bool:
+def dominates(a: Sequence[float], b: Sequence[float], senses: Sequence[str]) -> bool:
     """True iff ``a`` is at least as good as ``b`` everywhere and better
     somewhere (the standard strict Pareto dominance, sense-aware)."""
     _check((a, b), senses)
@@ -59,8 +68,9 @@ def dominates(a: Sequence[float], b: Sequence[float],
     return strictly_better
 
 
-def pareto_frontier(points: Sequence[Sequence[float]],
-                    senses: Sequence[str]) -> List[int]:
+def pareto_frontier(
+    points: Sequence[Sequence[float]], senses: Sequence[str]
+) -> List[int]:
     """Indices of the non-dominated points, in their original order.
 
     Duplicate points are all kept (none dominates the other), so callers that
@@ -69,14 +79,14 @@ def pareto_frontier(points: Sequence[Sequence[float]],
     _check(points, senses)
     frontier = []
     for index, point in enumerate(points):
-        if not any(dominates(other, point, senses)
-                   for other in points):
+        if not any(dominates(other, point, senses) for other in points):
             frontier.append(index)
     return frontier
 
 
-def pareto_ranks(points: Sequence[Sequence[float]],
-                 senses: Sequence[str]) -> List[int]:
+def pareto_ranks(
+    points: Sequence[Sequence[float]], senses: Sequence[str]
+) -> List[int]:
     """Non-domination rank of every point (0 = on the frontier).
 
     Rank r is the frontier of what remains after peeling ranks ``< r`` --
@@ -92,10 +102,63 @@ def pareto_ranks(points: Sequence[Sequence[float]],
         peel = pareto_frontier([points[i] for i in remaining], senses)
         for position in peel:
             ranks[remaining[position]] = rank
-        remaining = [i for position, i in enumerate(remaining)
-                     if position not in set(peel)]
+        remaining = [
+            i for position, i in enumerate(remaining) if position not in set(peel)
+        ]
         rank += 1
     return ranks  # type: ignore[return-value]
+
+
+def weighted_scalarization(
+    points: Sequence[Sequence[float]],
+    senses: Sequence[str],
+    weights: Sequence[float],
+) -> List[float]:
+    """Weighted-sum scalarisation of a multi-objective cohort; lower is better.
+
+    Each objective column is min-max normalised over the cohort to [0, 1]
+    with 0 at the cohort's *best* value for that sense (smallest under
+    ``min``, largest under ``max``) and 1 at its worst; a constant column
+    normalises to 0 everywhere (it cannot discriminate).  The score of a
+    point is the weight-weighted sum of its normalised objectives -- the
+    user-tunable alternative to pure non-domination rank: weights express
+    how many units of normalised regret in one objective the user trades
+    for one unit in another.
+
+    ``weights`` must align with ``senses``, be non-negative, and contain at
+    least one positive entry.  Scores are comparable only within one call
+    (the normalisation is cohort-relative, exactly like Pareto ranks).
+    """
+    _check(points, senses)
+    if len(weights) != len(senses):
+        raise ValueError(
+            f"{len(weights)} weight(s) given for {len(senses)} objective(s)"
+        )
+    for weight in weights:
+        if not math.isfinite(weight):
+            raise ValueError(f"weights must be finite, got {weight}")
+        if weight < 0:
+            raise ValueError(f"weights must be non-negative, got {weight}")
+    if not any(weight > 0 for weight in weights):
+        raise ValueError("at least one weight must be positive")
+    if not points:
+        return []
+    scores = [0.0] * len(points)
+    for column, (sense, weight) in enumerate(zip(senses, weights)):
+        if not weight:
+            continue
+        values = [point[column] for point in points]
+        lo, hi = min(values), max(values)
+        span = hi - lo
+        if not span:
+            continue
+        for index, value in enumerate(values):
+            if sense == MINIMIZE:
+                normalised = (value - lo) / span
+            else:
+                normalised = (hi - value) / span
+            scores[index] += weight * normalised
+    return scores
 
 
 def kendall_tau(x: Sequence[float], y: Sequence[float]) -> Optional[float]:

@@ -10,8 +10,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional, Sequence
 
-__all__ = ["Table", "backend_comparison_table", "dse_frontier_table",
-           "dse_verification_table", "format_table", "format_value"]
+__all__ = [
+    "Table",
+    "backend_comparison_table",
+    "dse_frontier_table",
+    "dse_verification_table",
+    "format_table",
+    "format_value",
+]
 
 
 def format_value(value: Any, precision: int = 3) -> str:
@@ -71,8 +77,12 @@ class Table:
         print()
 
 
-def format_table(title: str, columns: Sequence[str],
-                 rows: Iterable[Sequence[Any]], notes: Iterable[str] = ()) -> str:
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    notes: Iterable[str] = (),
+) -> str:
     """One-shot helper: build and render a table."""
     table = Table(title, list(columns))
     for row in rows:
@@ -84,8 +94,9 @@ def format_table(title: str, columns: Sequence[str],
 
 def _format_assignment(assignment) -> str:
     """Compact ``axis=value`` rendering of one design-point assignment."""
-    return " ".join(f"{key}={format_value(value)}"
-                    for key, value in sorted(assignment.items()))
+    return " ".join(
+        f"{key}={format_value(value)}" for key, value in sorted(assignment.items())
+    )
 
 
 def dse_frontier_table(report) -> Table:
@@ -96,24 +107,47 @@ def dse_frontier_table(report) -> Table:
     point was re-certified on the engine backend.
     """
     verified = {point.point_id for point in report.verified}
+    weighted = getattr(report, "weights", None) is not None
+    columns = [
+        "point",
+        "latency (ms)",
+        "off-chip (MiB)",
+        "utilization",
+        "verified",
+        "design",
+    ]
+    if weighted:
+        columns.insert(1, "score")
     table = Table(
-        f"Pareto frontier -- space {report.space!r}, "
-        f"strategy {report.strategy!r}",
-        ["point", "latency (ms)", "off-chip (MiB)", "utilization",
-         "verified", "design"])
+        f"Pareto frontier -- space {report.space!r}, strategy {report.strategy!r}",
+        columns,
+    )
     for point in report.frontier:
         objectives = point.objectives
-        table.add_row(point.point_id,
-                      objectives.get("latency", 0.0) * 1e3,
-                      objectives.get("offchip_traffic", 0.0) / 2**20,
-                      objectives.get("utilization"),
-                      point.point_id in verified,
-                      _format_assignment(point.assignment))
-    table.add_note(f"{report.candidates} full-fidelity candidate(s) from "
-                   f"{report.evaluations} proxy evaluation(s) "
-                   f"({report.proxy_cache_hits} cache hit(s)) over "
-                   f"{report.feasible_points} feasible point(s); "
-                   f"proxy wall {report.proxy_wall_s:.2f}s")
+        row = [
+            point.point_id,
+            objectives.get("latency", 0.0) * 1e3,
+            objectives.get("offchip_traffic", 0.0) / 2**20,
+            objectives.get("utilization"),
+            point.point_id in verified,
+            _format_assignment(point.assignment),
+        ]
+        if weighted:
+            row.insert(1, point.weighted_score)
+        table.add_row(*row)
+    table.add_note(
+        f"{report.candidates} full-fidelity candidate(s) from "
+        f"{report.evaluations} proxy evaluation(s) "
+        f"({report.proxy_cache_hits} cache hit(s)) over "
+        f"{report.feasible_points} feasible point(s); "
+        f"proxy wall {report.proxy_wall_s:.2f}s "
+        f"({report.proxy} proxy)"
+    )
+    if weighted:
+        pretty = ", ".join(
+            f"{key}={value:g}" for key, value in sorted(report.weights.items())
+        )
+        table.add_note(f"ordered by weighted scalarisation: {pretty}")
     return table
 
 
@@ -127,23 +161,33 @@ def dse_verification_table(report) -> Table:
     table = Table(
         f"Engine verification -- space {report.space!r}, "
         f"strategy {report.strategy!r}",
-        ["point", "proxy (ms)", "engine (ms)", "ratio", "bound ok",
-         "traffic ok"])
+        ["point", "proxy (ms)", "engine (ms)", "ratio", "bound ok", "traffic ok"],
+    )
     for point in report.verified:
-        table.add_row(point.point_id, point.proxy_latency_s * 1e3,
-                      point.engine_latency_s * 1e3, point.latency_ratio,
-                      point.lower_bound_ok, point.traffic_match)
+        table.add_row(
+            point.point_id,
+            point.proxy_latency_s * 1e3,
+            point.engine_latency_s * 1e3,
+            point.latency_ratio,
+            point.lower_bound_ok,
+            point.traffic_match,
+        )
     if report.rank_agreement is not None:
-        table.add_note(f"proxy-vs-engine latency rank agreement "
-                       f"(Kendall tau-b): {report.rank_agreement:.3f}")
-    table.add_note(f"verification wall {report.verify_wall_s:.2f}s on the "
-                   "engine backend")
+        table.add_note(
+            f"proxy-vs-engine latency rank agreement "
+            f"(Kendall tau-b): {report.rank_agreement:.3f}"
+        )
+    table.add_note(
+        f"verification wall {report.verify_wall_s:.2f}s on the engine backend"
+    )
     return table
 
 
-def backend_comparison_table(engine_outcomes: Sequence[Any],
-                             analytic_outcomes: Sequence[Any],
-                             title: str = "Backend comparison") -> Table:
+def backend_comparison_table(
+    engine_outcomes: Sequence[Any],
+    analytic_outcomes: Sequence[Any],
+    title: str = "Backend comparison",
+) -> Table:
     """Engine vs analytic side by side, one row per scenario.
 
     Both sequences are :class:`~repro.runner.sweep.SweepOutcome` lists over
@@ -152,6 +196,7 @@ def backend_comparison_table(engine_outcomes: Sequence[Any],
     per-scenario execution-time speedup; used by
     ``benchmarks/bench_backend_speed.py``.
     """
+
     def _latency(result) -> Optional[float]:
         for key in ("latency_s", "end_time"):
             value = result.get(key)
@@ -160,20 +205,22 @@ def backend_comparison_table(engine_outcomes: Sequence[Any],
         return None
 
     by_name = {o.scenario: o for o in analytic_outcomes}
-    table = Table(title, ["scenario", "engine (ms)", "analytic (ms)",
-                          "ratio", "exec speedup"])
+    table = Table(
+        title, ["scenario", "engine (ms)", "analytic (ms)", "ratio", "exec speedup"]
+    )
     for engine in engine_outcomes:
         analytic = by_name.get(engine.scenario)
         if analytic is None:
             continue
         latency_e = _latency(engine.result)
         latency_a = _latency(analytic.result)
-        ratio = (latency_a / latency_e
-                 if latency_e and latency_a is not None else None)
-        speedup = (engine.elapsed_s / analytic.elapsed_s
-                   if analytic.elapsed_s else None)
-        table.add_row(engine.scenario,
-                      latency_e * 1e3 if latency_e is not None else None,
-                      latency_a * 1e3 if latency_a is not None else None,
-                      ratio, speedup)
+        ratio = latency_a / latency_e if latency_e and latency_a is not None else None
+        speedup = engine.elapsed_s / analytic.elapsed_s if analytic.elapsed_s else None
+        table.add_row(
+            engine.scenario,
+            latency_e * 1e3 if latency_e is not None else None,
+            latency_a * 1e3 if latency_a is not None else None,
+            ratio,
+            speedup,
+        )
     return table

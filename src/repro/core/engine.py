@@ -32,6 +32,21 @@ Supported requests (see :mod:`repro.core.kernel` for the dataclasses):
 The engine is deliberately self-contained (no ``simpy`` dependency) so the
 blocking, back-pressure, and deadlock behaviour that the paper reasons about
 in Sections 3.1 and 3.3 is fully visible in this repository.
+
+Hot-path design
+---------------
+The run loop and the read/write/delay handlers are the throughput floor of
+every cycle-level result in this repository, so they avoid per-event work
+that the semantics do not require: state accounting skips the float updates
+entirely for zero-elapsed transitions (the common case -- a handler always
+runs at the same timestamp as the resume that invoked it), channel resolution
+and transfer-time arithmetic are inlined instead of routed through helper
+methods, ``waiting_on`` strings are formatted lazily (only deadlock reports
+and enabled traces ever read them), and every trace hook is guarded by a
+single boolean so a trace-less run pays one attribute test per would-be
+record.  None of this changes scheduling: events carry the same global
+sequence numbers in the same order as the straightforward implementation,
+which the determinism suite pins.
 """
 
 from __future__ import annotations
@@ -91,6 +106,17 @@ class ProcessHandle:
         return self.process.result
 
 
+#: lazy ``waiting_on`` renderers, keyed by the tag of the pending-wait tuple.
+#: The engine stores ``(tag, detail)`` on the hot paths and only formats the
+#: human-readable string when a deadlock report or a trace actually reads it.
+_WAITING_RENDERERS: Dict[str, Callable[[Any], str]] = {
+    "delay": lambda seconds: f"delay {seconds:.3e}s",
+    "transfer": lambda name: f"transfer on {name!r}",
+    "read": lambda name: f"data on {name!r}",
+    "write": lambda name: f"write space on {name!r}",
+}
+
+
 class Process:
     """One schedulable activity inside the simulator.
 
@@ -109,20 +135,40 @@ class Process:
     DELAYED = "delayed"
     FINISHED = "finished"
 
-    __slots__ = ("name", "generator", "parent", "state", "result", "finished",
-                 "waiting_on", "outstanding_children",
-                 "busy_time", "blocked_time", "last_state_change", "on_finish")
+    __slots__ = (
+        "name",
+        "generator",
+        "send",
+        "parent",
+        "state",
+        "result",
+        "finished",
+        "_waiting",
+        "outstanding_children",
+        "busy_time",
+        "blocked_time",
+        "last_state_change",
+        "on_finish",
+    )
 
-    def __init__(self, name: str, generator: KernelGenerator,
-                 parent: Optional["Process"] = None):
+    def __init__(
+        self,
+        name: str,
+        generator: KernelGenerator,
+        parent: Optional["Process"] = None,
+    ):
         self.name = name
         self.generator = generator
+        #: bound ``generator.send`` -- resumed once per event, so the method
+        #: lookup is hoisted out of the hot loop.
+        self.send = generator.send
         self.parent = parent
         self.state = self.READY
         self.result: Any = None
         self.finished = False
-        #: what the process is waiting on (for deadlock reports).
-        self.waiting_on: str = ""
+        #: what the process is waiting on: ``""``, a pre-formatted string, or
+        #: a ``(tag, detail)`` tuple rendered lazily by :attr:`waiting_on`.
+        self._waiting: Any = ""
         #: number of outstanding children the process is joined on.
         self.outstanding_children = 0
         #: accumulated busy / blocked simulated time.
@@ -133,8 +179,31 @@ class Process:
         #: optional callback invoked when the process finishes.
         self.on_finish: List[Callable[["Process"], None]] = []
 
+    @property
+    def waiting_on(self) -> str:
+        """Human-readable description of what the process is waiting on."""
+        waiting = self._waiting
+        if waiting.__class__ is str:
+            return waiting
+        tag, detail = waiting
+        return _WAITING_RENDERERS[tag](detail)
+
+    @waiting_on.setter
+    def waiting_on(self, value: str) -> None:
+        self._waiting = value
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Process({self.name!r}, {self.state})"
+
+
+#: state groups for time accounting, module-level so the hot paths do not
+#: re-build them.  Membership tests compare a handful of interned strings.
+_BLOCKED_STATES = (
+    Process.BLOCKED_READ,
+    Process.BLOCKED_WRITE,
+    Process.BLOCKED_JOIN,
+)
+_BUSY_STATES = (Process.RUNNING, Process.DELAYED)
 
 
 class Simulator:
@@ -158,10 +227,16 @@ class Simulator:
         engine-throughput microbenchmark can measure the heap round-trip cost.
     """
 
-    def __init__(self, trace: Any = None, max_events: int = 50_000_000,
-                 max_time: Optional[float] = None, fast_zero_delay: bool = True):
+    def __init__(
+        self,
+        trace: Any = None,
+        max_events: int = 50_000_000,
+        max_time: Optional[float] = None,
+        fast_zero_delay: bool = True,
+    ):
         self.now = 0.0
-        self.trace = trace
+        self._trace = trace
+        self._tracing = trace is not None
         self.max_events = max_events
         self.max_time = max_time
         self.fast_zero_delay = fast_zero_delay
@@ -171,14 +246,28 @@ class Simulator:
         #: the deque are nondecreasing, so its front is always the oldest.
         self._immediate: Deque[Tuple[float, int, Callable[..., None], tuple]] = deque()
         self._sequence = itertools.count()
+        self._next_seq = self._sequence.__next__
         self._processes: List[Process] = []
         self._live_processes = 0
         self._events_processed = 0
 
+    @property
+    def trace(self) -> Any:
+        return self._trace
+
+    @trace.setter
+    def trace(self, trace: Any) -> None:
+        self._trace = trace
+        self._tracing = trace is not None
+
     # ------------------------------------------------------------------ setup
 
-    def add_process(self, name: str, generator: KernelGenerator,
-                    parent: Optional[Process] = None) -> Process:
+    def add_process(
+        self,
+        name: str,
+        generator: KernelGenerator,
+        parent: Optional[Process] = None,
+    ) -> Process:
         """Register a top-level or child process with the simulator."""
         process = Process(name, generator, parent=parent)
         self._processes.append(process)
@@ -203,24 +292,30 @@ class Simulator:
         heappop = heapq.heappop
         max_time = self.max_time
         max_events = self.max_events
-        while queue or immediate:
-            # Merge the two queues in (time, sequence) order so the event
-            # order is exactly the one a single heap would produce.
-            if immediate and (not queue or immediate[0] < queue[0]):
-                time, _, callback, args = immediate.popleft()
-            else:
-                time, _, callback, args = heappop(queue)
-            if max_time is not None and time > max_time:
-                raise SimulationLimitError(
-                    f"simulated time limit of {max_time}s exceeded at t={time}"
-                )
-            self.now = time
-            self._events_processed += 1
-            if self._events_processed > max_events:
-                raise SimulationLimitError(
-                    f"event limit of {max_events} exceeded at t={self.now}"
-                )
-            callback(*args)
+        events_processed = self._events_processed
+        try:
+            while queue or immediate:
+                # Merge the two queues in (time, sequence) order so the event
+                # order is exactly the one a single heap would produce.
+                if immediate and (not queue or immediate[0] < queue[0]):
+                    time, _, callback, args = immediate.popleft()
+                else:
+                    time, _, callback, args = heappop(queue)
+                if max_time is not None and time > max_time:
+                    raise SimulationLimitError(
+                        f"simulated time limit of {max_time}s exceeded at t={time}"
+                    )
+                self.now = time
+                events_processed += 1
+                if events_processed > max_events:
+                    raise SimulationLimitError(
+                        f"event limit of {max_events} exceeded at t={self.now}"
+                    )
+                callback(*args)
+        finally:
+            # The counter is kept in a local for speed; re-sync it on every
+            # exit (normal drain, limit errors, exceptions out of callbacks).
+            self._events_processed = events_processed
         if self._live_processes:
             blocked = [
                 (p.name, p.waiting_on)
@@ -236,40 +331,51 @@ class Simulator:
 
     def stats(self) -> SimulationStats:
         """Snapshot of per-process busy/blocked time and totals."""
-        stats = SimulationStats(end_time=self.now, events=self._events_processed,
-                                processes=len(self._processes))
+        stats = SimulationStats(
+            end_time=self.now,
+            events=self._events_processed,
+            processes=len(self._processes),
+        )
         for process in self._processes:
-            stats.process_times[process.name] = (process.busy_time, process.blocked_time)
+            stats.process_times[process.name] = (
+                process.busy_time,
+                process.blocked_time,
+            )
         return stats
 
     # ------------------------------------------------------- event scheduling
 
     def _schedule(self, time: float, callback: Callable[..., None], *args: Any) -> None:
-        heapq.heappush(self._event_queue, (time, next(self._sequence), callback, args))
+        heapq.heappush(self._event_queue, (time, self._next_seq(), callback, args))
 
     def _schedule_now(self, callback: Callable[..., None], *args: Any) -> None:
         """Schedule an event at the current time without a heap round-trip."""
         if self.fast_zero_delay:
-            self._immediate.append((self.now, next(self._sequence), callback, args))
+            self._immediate.append((self.now, self._next_seq(), callback, args))
         else:
-            heapq.heappush(self._event_queue, (self.now, next(self._sequence),
-                                               callback, args))
+            heapq.heappush(
+                self._event_queue, (self.now, self._next_seq(), callback, args)
+            )
 
     def _record(self, kind: str, process: Process, detail: str = "") -> None:
-        if self.trace is not None:
-            self.trace.record(self.now, kind, process.name, detail)
+        if self._trace is not None:
+            self._trace.record(self.now, kind, process.name, detail)
 
     # ----------------------------------------------------- process life-cycle
 
     def _set_state(self, process: Process, state: str) -> None:
+        # Zero-elapsed transitions (a handler running in the same event as
+        # the resume that invoked it) skip the accounting entirely; adding
+        # 0.0 to the counters would be a no-op anyway.
         elapsed = self.now - process.last_state_change
-        if process.state in (Process.BLOCKED_READ, Process.BLOCKED_WRITE,
-                             Process.BLOCKED_JOIN):
-            process.blocked_time += elapsed
-        elif process.state in (Process.RUNNING, Process.DELAYED):
-            process.busy_time += elapsed
+        if elapsed:
+            previous = process.state
+            if previous in _BLOCKED_STATES:
+                process.blocked_time += elapsed
+            elif previous in _BUSY_STATES:
+                process.busy_time += elapsed
+            process.last_state_change = self.now
         process.state = state
-        process.last_state_change = self.now
 
     def _resume(self, process: Process, value: Any = _NO_VALUE) -> None:
         """Advance a process generator by one request.
@@ -282,34 +388,46 @@ class Simulator:
         """
         if process.finished:
             return
-        self._set_state(process, Process.RUNNING)
+        # Inline _set_state(process, RUNNING): this is the single hottest
+        # call site, executed once per event.
+        elapsed = self.now - process.last_state_change
+        if elapsed:
+            previous = process.state
+            if previous in _BLOCKED_STATES:
+                process.blocked_time += elapsed
+            elif previous in _BUSY_STATES:
+                process.busy_time += elapsed
+            process.last_state_change = self.now
+        process.state = Process.RUNNING
         try:
-            request = process.generator.send(
-                None if value is _NO_VALUE else value)
+            request = process.send(None if value is _NO_VALUE else value)
         except StopIteration as stop:
             self._finish(process, getattr(stop, "value", None))
             return
-        self._dispatch(process, request)
+        # Inline exact-type dispatch (one dict lookup); subclassed request
+        # types fall back to the isinstance chain.
+        handler = _HANDLERS.get(request.__class__)
+        if handler is not None:
+            handler(self, process, request)
+        else:
+            self._dispatch_slow(process, request)
 
     def _finish(self, process: Process, result: Any) -> None:
         self._set_state(process, Process.FINISHED)
         process.finished = True
         process.result = result
         self._live_processes -= 1
-        self._record("finish", process)
+        if self._tracing:
+            self._record("finish", process)
         for callback in process.on_finish:
             callback(process)
         process.on_finish.clear()
 
     # ----------------------------------------------------- request dispatching
 
-    def _dispatch(self, process: Process, request: Any) -> None:
-        # Exact-type dispatch keeps the hot path to one dict lookup; the
-        # isinstance chain below still honours subclassed request types.
-        handler = _HANDLERS.get(type(request))
-        if handler is not None:
-            handler(self, process, request)
-        elif isinstance(request, Delay):
+    def _dispatch_slow(self, process: Process, request: Any) -> None:
+        """isinstance-based dispatch for subclassed request types."""
+        if isinstance(request, Delay):
             self._handle_delay(process, request)
         elif isinstance(request, Write):
             self._handle_write(process, request)
@@ -327,13 +445,19 @@ class Simulator:
             )
 
     def _handle_delay(self, process: Process, request: Delay) -> None:
-        if request.seconds < 0:
-            raise ValueError(f"process {process.name!r}: negative delay {request.seconds}")
-        self._set_state(process, Process.DELAYED)
-        process.waiting_on = f"delay {request.seconds:.3e}s"
-        self._record("delay", process, process.waiting_on)
-        if request.seconds:
-            self._schedule(self.now + request.seconds, self._resume, process)
+        seconds = request.seconds
+        if seconds < 0:
+            raise ValueError(f"process {process.name!r}: negative delay {seconds}")
+        # RUNNING -> DELAYED in the same event: zero elapsed by construction.
+        process.state = Process.DELAYED
+        process._waiting = ("delay", seconds)
+        if self._tracing:
+            self._record("delay", process, process.waiting_on)
+        if seconds:
+            heapq.heappush(
+                self._event_queue,
+                (self.now + seconds, self._next_seq(), self._resume, (process,)),
+            )
         else:
             self._schedule_now(self._resume, process)
 
@@ -345,79 +469,144 @@ class Simulator:
         if isinstance(port, Port):
             return port.require_channel()
         raise TypeError(
-            f"process {process.name!r} referenced {port!r}; expected a Port or StreamChannel"
+            f"process {process.name!r} referenced {port!r}; "
+            "expected a Port or StreamChannel"
         )
 
     def _handle_write(self, process: Process, request: Write) -> None:
-        channel = self._resolve_channel(process, request.port)
+        # Inline channel resolution: exact-type tests cover every in-repo
+        # caller; anything else takes the isinstance slow path.
+        port = request.port
+        cls = port.__class__
+        if cls is Port:
+            channel = port.channel
+            if channel is None:
+                channel = port.require_channel()
+        elif cls is StreamChannel:
+            channel = port
+        else:
+            channel = self._resolve_channel(process, port)
         if channel.closed:
             raise StreamClosedError(
                 f"process {process.name!r} wrote to closed channel {channel.name!r}"
             )
         message = request.message
         nbytes = getattr(message, "nbytes", 0) or 0
-        if channel.is_full:
-            self._set_state(process, Process.BLOCKED_WRITE)
-            process.waiting_on = f"write space on {channel.name!r}"
+        capacity = channel.capacity
+        if (
+            capacity is not None
+            and len(channel._queue) + channel._in_flight >= capacity
+        ):
+            # RUNNING -> BLOCKED_WRITE in the same event: zero elapsed.
+            process.state = Process.BLOCKED_WRITE
+            process._waiting = ("write", channel.name)
             channel._blocked_writers.append((process, message, nbytes))
-            self._record("block-write", process, channel.name)
+            if self._tracing:
+                self._record("block-write", process, channel.name)
             return
         self._start_transfer(process, channel, message, nbytes)
 
-    def _start_transfer(self, process: Process, channel: StreamChannel,
-                        message: Any, nbytes: int) -> None:
-        channel.reserve()
-        transfer = channel.transfer_time(nbytes)
+    def _start_transfer(
+        self, process: Process, channel: StreamChannel, message: Any, nbytes: int
+    ) -> None:
+        channel._in_flight += 1  # reserve the slot (StreamChannel.reserve)
+        # Inline channel.transfer_time(nbytes).
+        transfer = channel.latency
+        bandwidth = channel.bandwidth
+        if bandwidth is not None and nbytes:
+            transfer += nbytes / bandwidth
+        # Full state accounting: a writer woken by _wake_writer arrives here
+        # still BLOCKED_WRITE with real elapsed time to account.
         self._set_state(process, Process.DELAYED)
-        process.waiting_on = f"transfer on {channel.name!r}"
-        self._record("write", process, f"{channel.name} ({nbytes} B)")
+        process._waiting = ("transfer", channel.name)
+        if self._tracing:
+            self._record("write", process, f"{channel.name} ({nbytes} B)")
         if transfer:
-            self._schedule(self.now + transfer, self._complete_transfer,
-                           process, channel, message, nbytes)
+            heapq.heappush(
+                self._event_queue,
+                (
+                    self.now + transfer,
+                    self._next_seq(),
+                    self._complete_transfer,
+                    (process, channel, message, nbytes),
+                ),
+            )
         else:
-            self._schedule_now(self._complete_transfer, process, channel,
-                               message, nbytes)
+            self._schedule_now(
+                self._complete_transfer, process, channel, message, nbytes
+            )
 
-    def _complete_transfer(self, process: Process, channel: StreamChannel,
-                           message: Any, nbytes: int) -> None:
-        channel.deliver(message, nbytes)
+    def _complete_transfer(
+        self, process: Process, channel: StreamChannel, message: Any, nbytes: int
+    ) -> None:
+        # Inline channel.deliver(message, nbytes).
+        if channel.closed:
+            raise StreamClosedError(f"channel {channel.name!r} is closed")
+        channel._in_flight -= 1
+        queue = channel._queue
+        queue.append(message)
+        stats = channel.stats
+        stats.messages += 1
+        stats.bytes += nbytes
+        occupancy = len(queue) + channel._in_flight
+        if occupancy > stats.max_occupancy:
+            stats.max_occupancy = occupancy
         self._wake_reader(channel)
         self._resume(process)
 
     def _wake_reader(self, channel: StreamChannel) -> None:
-        if channel._blocked_readers and not channel.is_empty:
-            reader = channel._blocked_readers.pop(0)
-            message = channel.pop()
+        if channel._blocked_readers and channel._queue:
+            reader = channel._blocked_readers.popleft()
+            message = channel._queue.popleft()
             channel.stats.reader_block_time += self.now - reader.last_state_change
-            self._record("unblock-read", reader, channel.name)
+            if self._tracing:
+                self._record("unblock-read", reader, channel.name)
             self._schedule_now(self._resume, reader, message)
             self._wake_writer(channel)
 
     def _wake_writer(self, channel: StreamChannel) -> None:
-        if channel._blocked_writers and not channel.is_full:
-            writer, message, nbytes = channel._blocked_writers.pop(0)
-            channel.stats.writer_block_time += self.now - writer.last_state_change
-            self._record("unblock-write", writer, channel.name)
-            self._start_transfer(writer, channel, message, nbytes)
+        writers = channel._blocked_writers
+        if writers:
+            capacity = channel.capacity
+            if capacity is None or len(channel._queue) + channel._in_flight < capacity:
+                writer, message, nbytes = writers.popleft()
+                channel.stats.writer_block_time += self.now - writer.last_state_change
+                if self._tracing:
+                    self._record("unblock-write", writer, channel.name)
+                self._start_transfer(writer, channel, message, nbytes)
 
     # -- stream reads ----------------------------------------------------------
 
     def _handle_read(self, process: Process, request: Read) -> None:
-        channel = self._resolve_channel(process, request.port)
-        if not channel.is_empty:
-            message = channel.pop()
-            self._record("read", process, channel.name)
+        port = request.port
+        cls = port.__class__
+        if cls is Port:
+            channel = port.channel
+            if channel is None:
+                channel = port.require_channel()
+        elif cls is StreamChannel:
+            channel = port
+        else:
+            channel = self._resolve_channel(process, port)
+        queue = channel._queue
+        if queue:
+            message = queue.popleft()
+            if self._tracing:
+                self._record("read", process, channel.name)
             self._wake_writer(channel)
             self._schedule_now(self._resume, process, message)
             return
         if channel.closed:
             raise StreamClosedError(
-                f"process {process.name!r} read from closed, empty channel {channel.name!r}"
+                f"process {process.name!r} read from closed, empty channel "
+                f"{channel.name!r}"
             )
-        self._set_state(process, Process.BLOCKED_READ)
-        process.waiting_on = f"data on {channel.name!r}"
+        # RUNNING -> BLOCKED_READ in the same event: zero elapsed.
+        process.state = Process.BLOCKED_READ
+        process._waiting = ("read", channel.name)
         channel._blocked_readers.append(process)
-        self._record("block-read", process, channel.name)
+        if self._tracing:
+            self._record("block-read", process, channel.name)
 
     # -- structured concurrency ------------------------------------------------
 
@@ -429,7 +618,7 @@ class Simulator:
         results: List[Any] = [None] * len(branches)
         process.outstanding_children = len(branches)
         self._set_state(process, Process.BLOCKED_JOIN)
-        process.waiting_on = f"{len(branches)} parallel branch(es)"
+        process._waiting = f"{len(branches)} parallel branch(es)"
 
         def make_callback(index: int) -> Callable[[Process], None]:
             def callback(child: Process) -> None:
@@ -444,8 +633,9 @@ class Simulator:
             child.on_finish.append(make_callback(index))
 
     def _handle_fork(self, process: Process, request: Fork) -> None:
-        child = self.add_process(request.name or f"{process.name}/fork", request.branch,
-                                 parent=process)
+        child = self.add_process(
+            request.name or f"{process.name}/fork", request.branch, parent=process
+        )
         handle = ProcessHandle(child)
         self._schedule_now(self._resume, process, handle)
 
@@ -455,7 +645,7 @@ class Simulator:
             self._schedule_now(self._resume, process, handle.result)
             return
         self._set_state(process, Process.BLOCKED_JOIN)
-        process.waiting_on = f"join on {handle.process.name!r}"
+        process._waiting = f"join on {handle.process.name!r}"
 
         def callback(child: Process) -> None:
             self._schedule_now(self._resume, process, child.result)
@@ -463,7 +653,7 @@ class Simulator:
         handle.process.on_finish.append(callback)
 
 
-#: exact-type fast dispatch table (see :meth:`Simulator._dispatch`).
+#: exact-type fast dispatch table (see :meth:`Simulator._resume`).
 _HANDLERS: Dict[type, Callable[..., None]] = {
     Delay: Simulator._handle_delay,
     Write: Simulator._handle_write,

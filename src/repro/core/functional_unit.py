@@ -66,12 +66,18 @@ class FunctionalUnit:
         :meth:`compute_time`; ``None`` for FUs that do no arithmetic.
     """
 
-    def __init__(self, name: str, fu_type: Optional[str] = None,
-                 compute_throughput: Optional[float] = None):
+    def __init__(
+        self,
+        name: str,
+        fu_type: Optional[str] = None,
+        compute_throughput: Optional[float] = None,
+    ):
         self.name = name
         self.fu_type = fu_type or type(self).__name__
         self.compute_throughput = compute_throughput
         self.ports: Dict[str, Port] = {}
+        #: interned, reusable ``Read`` requests per port (see read_request()).
+        self._read_requests: Dict[str, Read] = {}
         self.stats = FUStats()
         #: locally pre-stored uOP program (used when no uOP channel is bound).
         self._local_program: List[UOp] = []
@@ -85,7 +91,9 @@ class FunctionalUnit:
     def add_port(self, name: str, direction: str) -> Port:
         """Declare a named input or output port on this FU."""
         if name in self.ports:
-            raise ConfigurationError(f"FU {self.name!r} already has a port named {name!r}")
+            raise ConfigurationError(
+                f"FU {self.name!r} already has a port named {name!r}"
+            )
         port = Port(name, direction, owner=self)
         self.ports[name] = port
         return port
@@ -103,6 +111,21 @@ class FunctionalUnit:
             raise ConfigurationError(
                 f"FU {self.name!r} has no port {name!r}; ports are {sorted(self.ports)}"
             ) from None
+
+    def read_request(self, name: str) -> Read:
+        """A reusable :class:`Read` request for the named port.
+
+        Request objects are immutable, so kernels that read the same port on
+        every iteration can yield one interned instance instead of allocating
+        a fresh dataclass per read -- a measurable share of event cost on
+        uOP-dense simulations.
+        """
+        try:
+            return self._read_requests[name]
+        except KeyError:
+            request = Read(self.port(name))
+            self._read_requests[name] = request
+            return request
 
     def input_ports(self) -> List[Port]:
         return [p for p in self.ports.values() if p.direction == Port.INPUT]
@@ -173,8 +196,9 @@ class FunctionalUnit:
         programmed FUs, when the local program is exhausted.
         """
         if self.uop_channel is not None:
+            fetch = Read(self.uop_channel)  # interned: one request, many yields
             while True:
-                uop = yield Read(self.uop_channel)
+                uop = yield fetch
                 self.stats.uops_consumed += 1
                 if isinstance(uop, ExitUOp) or uop.opcode == "EXIT":
                     break
@@ -222,7 +246,7 @@ class PassthroughFU(FunctionalUnit):
     def kernel(self, uop: UOp) -> Generator[Any, Any, None]:
         count = int(uop.get("count", 1))
         for _ in range(count):
-            message = yield Read(self.port("in"))
+            message = yield self.read_request("in")
             if self._transform is not None and hasattr(message, "map"):
                 message = message.map(self._transform)
             yield Write(self.port("out"), message)

@@ -26,26 +26,30 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delay:
     """Suspend the yielding process for ``seconds`` of simulated time."""
 
     seconds: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Read:
     """Receive the next message from the channel behind ``port``.
 
     The received message is the value of the ``yield`` expression::
 
         message = yield Read(self.port("lhs_in"))
+
+    Requests are immutable, so a kernel that reads the same port in a loop
+    may create the request once and yield the same object every iteration
+    (see :meth:`~repro.core.functional_unit.FunctionalUnit.read_request`).
     """
 
     port: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Write:
     """Send ``message`` on the channel behind ``port``.
 
@@ -57,7 +61,7 @@ class Write:
     message: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Parallel:
     """Run several sub-generators concurrently; resume when all finish.
 
@@ -68,7 +72,7 @@ class Parallel:
     branches: Sequence[Generator[Any, Any, Any]]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fork:
     """Spawn a sub-generator as an independent process and continue."""
 
@@ -76,7 +80,7 @@ class Fork:
     name: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Wait:
     """Block until a previously forked process (its handle) finishes."""
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, List, Optional, TYPE_CHECKING
+from typing import Any, Deque, Optional, Tuple, TYPE_CHECKING
 
 from .exceptions import ConfigurationError, StreamClosedError
 
@@ -63,12 +63,19 @@ class StreamChannel:
         Fixed per-message latency in seconds.
     """
 
-    def __init__(self, name: str, capacity: Optional[int] = 2,
-                 bandwidth: Optional[float] = None, latency: float = 0.0):
+    def __init__(
+        self,
+        name: str,
+        capacity: Optional[int] = 2,
+        bandwidth: Optional[float] = None,
+        latency: float = 0.0,
+    ):
         if capacity is not None and capacity < 1:
             raise ConfigurationError(f"channel {name!r}: capacity must be >= 1 or None")
         if bandwidth is not None and bandwidth <= 0:
-            raise ConfigurationError(f"channel {name!r}: bandwidth must be positive or None")
+            raise ConfigurationError(
+                f"channel {name!r}: bandwidth must be positive or None"
+            )
         if latency < 0:
             raise ConfigurationError(f"channel {name!r}: latency must be non-negative")
         self.name = name
@@ -81,10 +88,12 @@ class StreamChannel:
         self._queue: Deque[Any] = deque()
         #: number of messages currently being transferred (slot reserved).
         self._in_flight = 0
-        #: processes blocked waiting for data.
-        self._blocked_readers: List["Process"] = []
-        #: processes blocked waiting for space, with their pending (message, nbytes).
-        self._blocked_writers: List[tuple["Process", Any, int]] = []
+        #: processes blocked waiting for data, woken FIFO.  Deques: the engine
+        #: wakes from the left, and ``list.pop(0)`` is O(n) per wake-up.
+        self._blocked_readers: Deque["Process"] = deque()
+        #: processes blocked waiting for space, with their pending
+        #: (message, nbytes), woken FIFO like the readers.
+        self._blocked_writers: Deque[Tuple["Process", Any, int]] = deque()
         #: endpoints, filled in by Datapath.connect().
         self.source: Optional["Port"] = None
         self.sink: Optional["Port"] = None
@@ -156,9 +165,13 @@ class Port:
     INPUT = "input"
     OUTPUT = "output"
 
-    def __init__(self, name: str, direction: str, owner: Optional["FunctionalUnit"] = None):
+    def __init__(
+        self, name: str, direction: str, owner: Optional["FunctionalUnit"] = None
+    ):
         if direction not in (self.INPUT, self.OUTPUT):
-            raise ConfigurationError(f"port {name!r}: direction must be 'input' or 'output'")
+            raise ConfigurationError(
+                f"port {name!r}: direction must be 'input' or 'output'"
+            )
         self.name = name
         self.direction = direction
         self.owner = owner
@@ -171,7 +184,8 @@ class Port:
     def bind(self, channel: StreamChannel) -> None:
         if self.channel is not None:
             raise ConfigurationError(
-                f"port {self.qualified_name} is already bound to channel {self.channel.name!r}"
+                f"port {self.qualified_name} is already bound to channel "
+                f"{self.channel.name!r}"
             )
         self.channel = channel
         if self.direction == self.OUTPUT:
@@ -186,7 +200,9 @@ class Port:
 
     def require_channel(self) -> StreamChannel:
         if self.channel is None:
-            raise ConfigurationError(f"port {self.qualified_name} is not connected to a channel")
+            raise ConfigurationError(
+                f"port {self.qualified_name} is not connected to a channel"
+            )
         return self.channel
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

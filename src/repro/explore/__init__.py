@@ -23,7 +23,9 @@ from .explore import (
     FrontierPoint,
     Objective,
     VerifiedPoint,
+    resolve_batch_runner,
     run_exploration,
+    validate_weights,
 )
 from .space import Axis, Constraint, DesignPoint, DesignSpace
 from .spaces import SPACES, get_space, space_names
@@ -57,7 +59,9 @@ __all__ = [
     "VerifiedPoint",
     "get_space",
     "get_strategy",
+    "resolve_batch_runner",
     "run_exploration",
     "space_names",
     "strategy_names",
+    "validate_weights",
 ]

@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..analysis.pareto import kendall_tau, pareto_frontier
+from ..analysis.pareto import kendall_tau, pareto_frontier, weighted_scalarization
 from ..runner.cache import ResultCache
 from ..runner.sweep import run_sweep
 from .space import DesignSpace
@@ -33,7 +33,9 @@ __all__ = [
     "FrontierPoint",
     "Objective",
     "VerifiedPoint",
+    "resolve_batch_runner",
     "run_exploration",
+    "validate_weights",
 ]
 
 #: relative slack on the lower-bound comparison -- pure float-noise headroom,
@@ -81,13 +83,19 @@ class FrontierPoint:
     point_id: str
     assignment: Dict[str, Any]
     objectives: Dict[str, float]
+    #: pool-relative weighted-scalarisation score (lower = better), present
+    #: only when the exploration ran with ``weights``.
+    weighted_score: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "point_id": self.point_id,
             "assignment": self.assignment,
             "objectives": self.objectives,
         }
+        if self.weighted_score is not None:
+            payload["weighted_score"] = self.weighted_score
+        return payload
 
 
 @dataclass
@@ -144,6 +152,13 @@ class ExplorationReport:
     rank_agreement: Optional[float]
     proxy_wall_s: float
     verify_wall_s: float
+    #: which proxy evaluation path produced the candidates ("sweep" fans
+    #: per-point scenarios through the executor + cache; "batched" evaluates
+    #: whole generations through the kind's batch runner).
+    proxy: str = "sweep"
+    #: the payload-key -> weight mapping of a weighted exploration (None for
+    #: pure non-domination ordering).
+    weights: Optional[Dict[str, float]] = None
 
     @property
     def contract_ok(self) -> bool:
@@ -159,6 +174,8 @@ class ExplorationReport:
             "strategy": self.strategy,
             "budget": self.budget,
             "seed": self.seed,
+            "proxy": self.proxy,
+            "weights": self.weights,
             "objectives": objectives,
             "feasible_points": self.feasible_points,
             "evaluations": self.evaluations,
@@ -177,6 +194,47 @@ def _objective_vector(
     payload: Mapping[str, Any], objectives: Sequence[Objective]
 ) -> List[float]:
     return [objective.value(payload) for objective in objectives]
+
+
+def validate_weights(
+    weights: Optional[Mapping[str, float]],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> None:
+    """Reject weight keys that name no objective (``KeyError``).
+
+    Shared by :func:`run_exploration` and the CLI, so the CLI can classify
+    the failure as a user error (exit 2) *before* the exploration runs
+    instead of catching exceptions around the whole run.
+    """
+    if weights is None:
+        return
+    known = {objective.key for objective in objectives}
+    unknown = sorted(set(weights) - known)
+    if unknown:
+        raise KeyError(f"unknown objective weight key(s) {unknown}; "
+                       f"known: {sorted(known)}")
+
+
+def resolve_batch_runner(space: DesignSpace, proxy: str):
+    """Resolve the proxy mode to a batch runner (or ``None`` for sweep mode).
+
+    Raises ``KeyError`` for an unknown proxy name and for a ``batched``
+    request on a kind without a registered analytic batch runner -- user
+    errors the CLI reports with exit status 2.
+    """
+    if proxy not in ("sweep", "batched"):
+        raise KeyError(f"unknown proxy mode {proxy!r}; known: sweep, batched")
+    if proxy != "batched":
+        return None
+    from ..runner.scenarios import REGISTRY
+
+    batch_runner = REGISTRY.batch_runner(space.kind, "analytic")
+    if batch_runner is None:
+        raise KeyError(
+            f"scenario kind {space.kind!r} has no analytic batch runner; "
+            "use the 'sweep' proxy"
+        )
+    return batch_runner
 
 
 def _verify_frontier(
@@ -234,6 +292,8 @@ def run_exploration(
     cache: Optional[ResultCache] = None,
     force: bool = False,
     objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+    proxy: str = "sweep",
+    weights: Optional[Mapping[str, float]] = None,
 ) -> ExplorationReport:
     """Search ``space`` with ``strategy`` and verify the frontier.
 
@@ -241,11 +301,33 @@ def run_exploration(
     ``cache``, ``force``); ``budget`` bounds the strategy's total analytic
     evaluations and ``verify_top`` bounds the engine re-evaluations (0 skips
     verification entirely -- e.g. for pure proxy benchmarks).
+
+    ``proxy`` selects how analytic evaluations run.  ``"sweep"`` (default)
+    materialises every point into an ad-hoc scenario and fans it through
+    :func:`run_sweep` -- worker pool and on-disk cache included.  ``"batched"``
+    hands whole strategy generations to the kind's registered batch runner
+    (:meth:`~repro.runner.scenarios.ScenarioRegistry.batch_runner`), which
+    shares tallies across points and vectorizes the rooflines -- tens of
+    times faster on large generations, with per-point payloads exactly equal
+    to the sweep path (so frontiers are identical); the trade-off is that
+    batched proxy evaluations bypass the scenario cache (engine verification
+    still caches either way).
+
+    ``weights`` (payload key -> non-negative weight, e.g. ``{"latency_s": 2,
+    "offchip_bytes": 1}``) turns the report's ordering from pure
+    non-domination into the weighted scalarisation of
+    :func:`~repro.analysis.pareto.weighted_scalarization`: every frontier
+    point carries its pool-relative score, the frontier is sorted best-score
+    first, and ``verify_top`` certifies the best-scoring points instead of
+    the lowest-latency ones.  (To also *select* halving survivors by weight,
+    construct the strategy with the same weights -- the CLI does both.)
     """
     if budget < 1:
         raise ValueError(f"budget must be >= 1, got {budget}")
     if verify_top < 0:
         raise ValueError(f"verify_top must be >= 0, got {verify_top}")
+    validate_weights(weights, objectives)
+    batch_runner = resolve_batch_runner(space, proxy)
     rng = random.Random(seed)
     feasible_points = len(space.points())
     stats = {"evaluations": 0, "cache_hits": 0}
@@ -253,6 +335,12 @@ def run_exploration(
     def evaluate(
         assignments: Sequence[Mapping[str, Any]], fidelity: float
     ) -> List[Dict[str, Any]]:
+        if batch_runner is not None:
+            payloads = batch_runner(
+                [space.point_params(a, fidelity) for a in assignments]
+            )
+            stats["evaluations"] += len(payloads)
+            return payloads
         points = [space.materialize(a, fidelity) for a in assignments]
         outcomes = run_sweep(
             [point.scenario for point in points],
@@ -277,6 +365,13 @@ def run_exploration(
 
     senses = [objective.sense for objective in objectives]
     vectors = [_objective_vector(c.payload, objectives) for c in pool]
+    # Pool-relative weighted scores (the normalisation cohort is the whole
+    # candidate pool, not just the frontier, so scores reflect the search).
+    scores: Optional[List[float]] = None
+    if weights is not None and pool:
+        weight_vector = [weights.get(objective.key, 0.0)
+                         for objective in objectives]
+        scores = weighted_scalarization(vectors, senses, weight_vector)
     frontier_indices = pareto_frontier(vectors, senses) if pool else []
     frontier = []
     for index in frontier_indices:
@@ -288,10 +383,16 @@ def run_exploration(
                 point_id=pool[index].point_id,
                 assignment=dict(pool[index].assignment),
                 objectives=named_values,
+                weighted_score=scores[index] if scores is not None else None,
             )
         )
-    # Latency-sorted: the verification set and the report read best-first.
-    frontier.sort(key=lambda p: (p.objectives.get("latency", 0.0), p.point_id))
+    # Best-first: by weighted score when the user gave weights, by latency
+    # otherwise -- the verification set and the report read top-down.
+    if scores is not None:
+        frontier.sort(key=lambda p: (p.weighted_score, p.point_id))
+    else:
+        frontier.sort(key=lambda p: (p.objectives.get("latency", 0.0),
+                                     p.point_id))
 
     verified: List[VerifiedPoint] = []
     verify_wall_s = 0.0
@@ -330,4 +431,6 @@ def run_exploration(
         rank_agreement=agreement,
         proxy_wall_s=proxy_wall_s,
         verify_wall_s=verify_wall_s,
+        proxy=proxy,
+        weights=dict(weights) if weights is not None else None,
     )

@@ -184,13 +184,16 @@ class DesignSpace:
         )
         return hashlib.sha256(identity.encode()).hexdigest()[:10]
 
-    def materialize(
+    def point_params(
         self, assignment: Mapping[str, Any], fidelity: float = 1.0
-    ) -> DesignPoint:
-        """Turn one assignment into a cacheable :class:`DesignPoint`.
+    ) -> Dict[str, Any]:
+        """Resolve one assignment into the runner parameter mapping.
 
-        The scenario's parameters are ``base_params`` overlaid with the
-        assignment, passed through the fidelity hook when ``fidelity < 1``.
+        ``base_params`` overlaid with the assignment, passed through the
+        fidelity hook when ``fidelity < 1`` -- exactly the parameters a
+        materialised scenario would carry, without building the scenario.
+        This is the entry point of the batched proxy path: bulk evaluators
+        feed these mappings straight to a registered batch runner.
         Infeasible assignments and unknown axis names raise ``ValueError``.
         """
         known = {axis.name for axis in self.axes}
@@ -210,9 +213,22 @@ class DesignSpace:
             )
         params = dict(self.base_params)
         params.update(assignment)
-        name = f"dse/{self.name}/{self.point_id(assignment)}"
         if fidelity < 1.0:
             params = self.fidelity_hook(params, fidelity)
+        return params
+
+    def materialize(
+        self, assignment: Mapping[str, Any], fidelity: float = 1.0
+    ) -> DesignPoint:
+        """Turn one assignment into a cacheable :class:`DesignPoint`.
+
+        The scenario's parameters are :meth:`point_params`; the scenario name
+        embeds the fidelity-independent :meth:`point_id` (suffixed with the
+        fidelity when reduced) so cache entries can never be confused.
+        """
+        params = self.point_params(assignment, fidelity)
+        name = f"dse/{self.name}/{self.point_id(assignment)}"
+        if fidelity < 1.0:
             name = f"{name}@f{fidelity:g}"
         scenario = Scenario(
             name=name,

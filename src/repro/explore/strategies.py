@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..analysis.pareto import pareto_ranks
+from ..analysis.pareto import pareto_ranks, weighted_scalarization
 from .space import DesignSpace
 
 __all__ = [
@@ -160,6 +160,7 @@ class SuccessiveHalving(SearchStrategy):
         objectives: Sequence[Tuple[str, str]] = DEFAULT_HALVING_OBJECTIVES,
         min_fidelity: float = 0.25,
         min_final: int = 4,
+        weights: Optional[Mapping[str, float]] = None,
     ):
         if eta < 2:
             raise ValueError(f"eta must be >= 2, got {eta}")
@@ -174,6 +175,19 @@ class SuccessiveHalving(SearchStrategy):
         #: would converge to a single winner, but the explorer wants a small
         #: *frontier-comparable* pool at full fidelity, not one point.
         self.min_final = min_final
+        #: optional payload-key -> weight mapping; when set, survivor
+        #: selection uses the weighted scalarisation of
+        #: :func:`repro.analysis.pareto.weighted_scalarization` instead of
+        #: non-domination rank.  Keys must be objective payload keys; unknown
+        #: keys fail loudly (a typo'd weight must not silently become rank
+        #: selection).
+        if weights:
+            known = {key for key, _sense in self.objectives}
+            unknown = sorted(set(weights) - known)
+            if unknown:
+                raise ValueError(f"unknown objective weight key(s) {unknown}; "
+                                 f"known: {sorted(known)}")
+        self.weights = dict(weights) if weights else None
 
     # ------------------------------------------------------------- planning
 
@@ -205,7 +219,13 @@ class SuccessiveHalving(SearchStrategy):
         fidelity = 1.0 / (self.eta ** (rungs - 1 - rung))
         return max(self.min_fidelity, fidelity)
 
-    def _rank(self, payloads: Sequence[Mapping[str, Any]]) -> List[int]:
+    def _rank(self, payloads: Sequence[Mapping[str, Any]]) -> Sequence[float]:
+        """Selection score per payload; lower is better.
+
+        Non-domination rank by default; the weighted scalarisation when
+        :attr:`weights` is set (both orders are consumed identically by the
+        deterministic ``(score, point_id)`` survivor sort).
+        """
         vectors = []
         for payload in payloads:
             vector = []
@@ -218,6 +238,10 @@ class SuccessiveHalving(SearchStrategy):
                 vector.append(payload[key])
             vectors.append(vector)
         senses = [sense for _key, sense in self.objectives]
+        if self.weights is not None:
+            weight_vector = [self.weights.get(key, 0.0)
+                             for key, _sense in self.objectives]
+            return weighted_scalarization(vectors, senses, weight_vector)
         return pareto_ranks(vectors, senses)
 
     # -------------------------------------------------------------- search
@@ -264,11 +288,22 @@ def strategy_names() -> List[str]:
     return sorted(STRATEGIES)
 
 
-def get_strategy(name: str) -> SearchStrategy:
+def get_strategy(name: str,
+                 weights: Optional[Mapping[str, float]] = None) -> SearchStrategy:
+    """Construct a strategy by name.
+
+    ``weights`` (payload key -> weight) configures weighted-scalarisation
+    survivor selection on strategies that rank cohorts -- currently only
+    successive halving; grid and random evaluate every candidate regardless
+    of score, so weights are ignored for them (the explorer still applies
+    them to the frontier ordering).
+    """
     try:
         factory = STRATEGIES[name]
     except KeyError:
         raise KeyError(
             f"unknown search strategy {name!r}; known: {strategy_names()}"
         ) from None
+    if weights and factory is SuccessiveHalving:
+        return SuccessiveHalving(weights=weights)
     return factory()

@@ -1,10 +1,22 @@
-"""On-disk result cache for scenario runs.
+"""On-disk result cache for scenario runs, plus the segment-level memo.
 
 Cache entries are JSON files keyed by a stable hash of the scenario's
 canonical identity (kind + parameters) *and* the code version -- a content
 hash over every ``.py`` file of the :mod:`repro` package.  Editing any source
 file therefore invalidates the whole cache automatically; repeated sweeps on
 unchanged code are near-instant cache hits that return byte-identical results.
+
+Below the scenario cache sits :class:`SegmentMemo`: a process-wide (and
+optionally on-disk) memo of *simulated segment* results keyed by the program
+fingerprint of :meth:`repro.xnn.codegen.ProgramBuilder.fingerprint` (a hash
+of the per-FU uOP streams, the datapath configuration, the codegen options,
+and the code version).  Two scenarios that generate byte-identical programs
+for a segment -- the same encoder group appearing under different scenario
+names, a sweep revisiting a design point, ``explore --verify-top``
+re-certifying a point a previous exploration already simulated -- therefore
+run the event loop once; every later occurrence is a dictionary lookup that
+returns the exact same numbers (the differential suite pins memoized ==
+fresh byte for byte).
 """
 
 from __future__ import annotations
@@ -20,7 +32,9 @@ from typing import Any, Dict, List, Optional
 
 from .scenarios import DEFAULT_BACKEND, Scenario, canonical_json
 
-__all__ = ["PruneStats", "ResultCache", "code_version", "DEFAULT_CACHE_DIR"]
+__all__ = ["PruneStats", "ResultCache", "SegmentMemo", "code_version",
+           "configure_segment_memo", "process_segment_memo",
+           "DEFAULT_CACHE_DIR"]
 
 #: default cache location, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -67,9 +81,17 @@ _TMP_GRACE_S = 3600.0
 class ResultCache:
     """A directory of ``<scenario>-<key>.json`` scenario results."""
 
+    #: subdirectory holding the on-disk segment-memo entries.
+    SEGMENTS_SUBDIR = "segments"
+
     def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def segments_dir(self) -> Path:
+        """Where this cache keeps segment-memo entries (may not exist yet)."""
+        return self.root / self.SEGMENTS_SUBDIR
 
     # ---------------------------------------------------------------- keying
 
@@ -149,6 +171,8 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed.
 
+        Segment-memo entries under :attr:`segments_dir` are cleared along
+        with the scenario results (they share the code-version lifecycle).
         Tolerates entries vanishing between listing and unlinking -- sweeps
         and prunes may run concurrently on the same directory.
         """
@@ -156,6 +180,11 @@ class ResultCache:
         for path in self.entries():
             if self._unlink(path):
                 removed += 1
+        segments = self.segments_dir
+        if segments.is_dir():
+            for path in sorted(segments.glob("*.json")):
+                if self._unlink(path):
+                    removed += 1
         return removed
 
     @staticmethod
@@ -210,6 +239,27 @@ class ResultCache:
                     stats.removed += 1
             else:
                 stats.kept += 1
+        segments = self.segments_dir
+        if segments.is_dir():
+            for path in sorted(segments.glob("*.json")):
+                try:
+                    payload = json.loads(path.read_text())
+                    if not isinstance(payload, dict):
+                        raise ValueError(f"expected a JSON object, got "
+                                         f"{type(payload).__name__}")
+                except FileNotFoundError:
+                    continue
+                except (OSError, ValueError) as error:
+                    stats.warnings.append(f"removing corrupted segment entry "
+                                          f"{path.name}: {error}")
+                    if self._unlink(path, stats.warnings):
+                        stats.removed += 1
+                    continue
+                if payload.get("code_version") != current:
+                    if self._unlink(path, stats.warnings):
+                        stats.removed += 1
+                else:
+                    stats.kept += 1
         for tmp in sorted(self.root.glob("*.tmp")):
             try:
                 age = now - tmp.stat().st_mtime
@@ -221,3 +271,154 @@ class ResultCache:
                 if self._unlink(tmp, stats.warnings):
                     stats.removed += 1
         return stats
+
+
+# --------------------------------------------------------------- segment memo
+
+
+class SegmentMemo:
+    """Memo of simulated segment results, keyed by program fingerprint.
+
+    The key is :meth:`repro.xnn.codegen.ProgramBuilder.fingerprint` -- a
+    SHA-256 over the per-FU uOP streams, the :class:`XNNConfig`, the
+    :class:`CodegenOptions`, and the code version -- so a hit guarantees the
+    event-driven simulation being skipped would have been byte-identical to
+    the one that populated the entry.  The memo is two-layered:
+
+    * an **in-memory** dict, always on: identical segments within one process
+      (one sweep, one exploration, one test run) simulate once;
+    * an optional **on-disk** layer under a :class:`ResultCache`'s
+      ``segments/`` directory, attached with :meth:`set_root`: identical
+      segments across processes and across runs are also served from memo.
+
+    Entries are validated against the recorded code version on load, exactly
+    like scenario cache entries; stale entries are plain misses (and are
+    swept by ``ResultCache.prune``).  Results never depend on tensor *data*,
+    so the memo must only be consulted for timing-only simulations
+    (``carry_data=False``) -- the executor enforces this.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self._memory: Dict[str, Dict[str, Any]] = {}
+        self._root: Optional[Path] = None
+        #: lifetime counters, for benchmarks and tests.
+        self.hits = 0
+        self.misses = 0
+        if root is not None:
+            self.set_root(root)
+
+    @property
+    def root(self) -> Optional[Path]:
+        return self._root
+
+    def set_root(self, root: Optional[os.PathLike]) -> None:
+        """Attach (or detach, with ``None``) the on-disk layer."""
+        if root is None:
+            self._root = None
+            return
+        path = Path(root)
+        if self._root != path:
+            path.mkdir(parents=True, exist_ok=True)
+            self._root = path
+
+    def _path(self, key: str) -> Path:
+        assert self._root is not None
+        return self._root / f"segment-{key[:32]}.json"
+
+    # ------------------------------------------------------------------ load
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the memoized payload for ``key``, or ``None`` on a miss."""
+        payload = self._memory.get(key)
+        if payload is None and self._root is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    entry = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    entry = None
+                if (isinstance(entry, dict)
+                        and entry.get("key") == key
+                        and entry.get("code_version") == code_version()
+                        and isinstance(entry.get("result"), dict)):
+                    payload = entry["result"]
+                    self._memory[key] = payload
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dict(payload)
+
+    # ----------------------------------------------------------------- store
+
+    def store(self, key: str, payload: Dict[str, Any]) -> None:
+        """Memoize ``payload`` (JSON-able scalars) under ``key``.
+
+        The disk layer is an accelerator, not a correctness requirement: a
+        failed write (deleted cache directory, permissions, full disk)
+        degrades to the in-memory entry instead of failing the simulation
+        that produced the result.
+        """
+        self._memory[key] = dict(payload)
+        if self._root is None:
+            return
+        entry = {
+            "key": key,
+            "code_version": code_version(),
+            "result": dict(payload),
+        }
+        encoded = json.dumps(entry, sort_keys=True, indent=1)
+        try:
+            fd, tmp_name = tempfile.mkstemp(dir=self._root, suffix=".tmp")
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(encoded)
+            os.replace(tmp_name, self._path(key))
+        except OSError:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    # ----------------------------------------------------------- maintenance
+
+    def clear(self) -> None:
+        """Drop every in-memory entry and delete any on-disk entries."""
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+        if self._root is not None and self._root.is_dir():
+            for path in sorted(self._root.glob("*.json")):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+#: the process-wide memo every :class:`~repro.xnn.executor.XNNExecutor`
+#: shares by default.  Purely in-memory until a sweep attaches a cache
+#: directory via :func:`configure_segment_memo`.
+_PROCESS_SEGMENT_MEMO = SegmentMemo()
+
+
+def process_segment_memo() -> SegmentMemo:
+    """The process-wide segment memo (default for every executor)."""
+    return _PROCESS_SEGMENT_MEMO
+
+
+def configure_segment_memo(root: Optional[os.PathLike]) -> SegmentMemo:
+    """Attach (``root``) or detach (``None``) the process memo's disk layer.
+
+    Called by the sweep executor in the parent process and in every worker,
+    so cache-enabled sweeps persist segment results next to the scenario
+    cache (``<cache-dir>/segments/``).
+    """
+    _PROCESS_SEGMENT_MEMO.set_root(root)
+    return _PROCESS_SEGMENT_MEMO

@@ -17,6 +17,10 @@ JSON).
 ``explore`` searches a named design space on the analytic proxy backend and
 re-certifies the resulting Pareto frontier on the cycle-level engine
 (:mod:`repro.explore`); ``--list-spaces`` describes the catalogue.
+``--proxy batched`` evaluates whole strategy generations through the kind's
+batch runner (identical payloads, much faster, bypasses the proxy cache);
+``--weights latency=..,traffic=..,utilization=..`` ranks the frontier (and
+halving survivors) by weighted scalarisation instead of non-domination.
 
 All user errors (unknown scenario names, unsupported backends, invalid
 worker counts, empty selections) exit with status 2 and a one-line message
@@ -27,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from typing import List, Optional
@@ -47,6 +52,55 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+#: user-facing objective names accepted by ``--weights``, mapped to the
+#: payload keys the explorer's objectives actually read.
+_WEIGHT_ALIASES = {
+    "latency": "latency_s",
+    "traffic": "offchip_bytes",
+    "offchip_traffic": "offchip_bytes",
+    "utilization": "utilization",
+}
+
+
+def _weights_argument(text: str) -> dict:
+    """argparse type for ``--weights``: ``latency=2,traffic=1,...``."""
+    weights: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, separator, raw = part.partition("=")
+        name = name.strip().lower()
+        if not separator:
+            raise argparse.ArgumentTypeError(
+                f"expected NAME=VALUE, got {part!r}")
+        if name not in _WEIGHT_ALIASES:
+            raise argparse.ArgumentTypeError(
+                f"unknown objective {name!r}; known: "
+                f"{', '.join(sorted(_WEIGHT_ALIASES))}")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid weight {raw!r} for {name!r}") from None
+        if not math.isfinite(value):
+            raise argparse.ArgumentTypeError(
+                f"weights must be finite, got {name}={value:g}")
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"weights must be non-negative, got {name}={value:g}")
+        key = _WEIGHT_ALIASES[name]
+        if key in weights:
+            raise argparse.ArgumentTypeError(
+                f"objective {name!r} given more than once")
+        weights[key] = value
+    if not weights:
+        raise argparse.ArgumentTypeError("no weights given")
+    if not any(weights.values()):
+        raise argparse.ArgumentTypeError("at least one weight must be positive")
+    return weights
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -108,6 +162,18 @@ def _build_parser() -> argparse.ArgumentParser:
     explore_cmd.add_argument("--seed", type=int, default=0,
                              help="RNG seed for random/halving sampling "
                                   "(default: 0)")
+    explore_cmd.add_argument("--proxy", choices=("sweep", "batched"),
+                             default="sweep",
+                             help="analytic proxy path: per-point scenario "
+                                  "sweep (cached) or batched generation "
+                                  "evaluation (fastest; bypasses the proxy "
+                                  "cache) (default: sweep)")
+    explore_cmd.add_argument("--weights", type=_weights_argument, default=None,
+                             metavar="latency=W,traffic=W,utilization=W",
+                             help="weighted scalarisation of the objectives: "
+                                  "rank the frontier (and halving survivors) "
+                                  "by weighted normalised score instead of "
+                                  "non-domination rank")
     explore_cmd.add_argument("--workers", type=_positive_int, default=1,
                              help="worker processes (default: 1, serial)")
     explore_cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -179,7 +245,8 @@ def _run_explore(args: argparse.Namespace) -> int:
     """
     from repro.analysis.reporting import (dse_frontier_table,
                                           dse_verification_table)
-    from repro.explore import get_space, get_strategy, run_exploration, spaces
+    from repro.explore import (get_space, get_strategy, resolve_batch_runner,
+                               run_exploration, spaces, validate_weights)
 
     if args.list_spaces:
         for name in spaces.space_names():
@@ -187,7 +254,13 @@ def _run_explore(args: argparse.Namespace) -> int:
         return 0
     try:
         space = get_space(args.space)
-        strategy = get_strategy(args.strategy)
+        # Weighted exploration also selects halving survivors by weighted
+        # score instead of non-domination rank.
+        strategy = get_strategy(args.strategy, weights=args.weights)
+        # Pre-flight the same checks run_exploration performs, so user
+        # errors exit 2 here while genuine exploration bugs still traceback.
+        validate_weights(args.weights)
+        resolve_batch_runner(space, args.proxy)
     except KeyError as error:
         return _fail(error.args[0])
     if args.verify_top < 0:
@@ -197,7 +270,8 @@ def _run_explore(args: argparse.Namespace) -> int:
     report = run_exploration(space, strategy, budget=args.budget,
                              verify_top=args.verify_top, seed=args.seed,
                              workers=args.workers, cache=cache,
-                             force=args.force)
+                             force=args.force, proxy=args.proxy,
+                             weights=args.weights)
 
     frontier = dse_frontier_table(report).render()
     verification = dse_verification_table(report).render() \

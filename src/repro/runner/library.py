@@ -270,18 +270,25 @@ def run_engine_chain(n_msgs: int = 2000, stages: int = 2,
                 for i in range(stages + 1)]
 
     def producer():
+        # Requests are immutable: hoist the per-iteration constants so the
+        # loop measures engine throughput, not dataclass allocation.
+        delay = Delay(_CHAIN_DELAY_S)
+        first = channels[0]
         for _ in range(n_msgs):
-            yield Delay(_CHAIN_DELAY_S)
-            yield Write(channels[0], _Msg())
+            yield delay
+            yield Write(first, _Msg())
 
     def relay(index: int):
+        read_in = Read(channels[index])
+        out = channels[index + 1]
         for _ in range(n_msgs):
-            message = yield Read(channels[index])
-            yield Write(channels[index + 1], message)
+            message = yield read_in
+            yield Write(out, message)
 
     def consumer():
+        read_last = Read(channels[stages])
         for _ in range(n_msgs):
-            yield Read(channels[stages])
+            yield read_last
 
     sim.add_process("producer", producer())
     for index in range(stages):
@@ -385,6 +392,20 @@ def estimate_dse_encoder(batch: int = 1, seq_len: int = 128,
     result = analytic.run_encoder(batch=batch, seq_len=seq_len,
                                   config=_encoder_config(model))
     return _dse_payload(result, config)
+
+
+@REGISTRY.batch_kind("dse_encoder", backend="analytic")
+def estimate_dse_encoder_batch(param_sets: List[Dict[str, Any]]) -> List[dict]:
+    """Batched analytic evaluation of many encoder design points.
+
+    One call per strategy *generation*: shared tallies are memoized across
+    points (and across calls) and the bandwidth-dependent rooflines are
+    evaluated as NumPy arrays.  Every payload is exactly equal -- float for
+    float -- to :func:`estimate_dse_encoder` on the same parameters, which
+    ``tests/differential/test_batched_analytic.py`` pins.
+    """
+    from repro.xnn.analytic import encoder_batch_evaluator
+    return encoder_batch_evaluator().evaluate_batch(param_sets, _encoder_config)
 
 
 @REGISTRY.kind("gpu_roofline", backend=("engine", "analytic"))

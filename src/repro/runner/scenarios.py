@@ -94,6 +94,8 @@ class ScenarioRegistry:
     def __init__(self) -> None:
         #: kind name -> backend name -> runner function.
         self._kinds: Dict[str, Dict[str, Callable[..., dict]]] = {}
+        #: kind name -> backend name -> batch runner (param list -> results).
+        self._batch_kinds: Dict[str, Dict[str, Callable[..., List[dict]]]] = {}
         self._scenarios: Dict[str, Scenario] = {}
 
     # ----------------------------------------------------------------- kinds
@@ -118,6 +120,46 @@ class ScenarioRegistry:
                 implementations[b] = fn
             return fn
         return decorator
+
+    def batch_kind(self, name: str, backend: Union[str, Sequence[str]] = "analytic"
+                   ) -> Callable[[Callable[..., List[dict]]],
+                                 Callable[..., List[dict]]]:
+        """Decorator registering a *batch* runner for scenario kind ``name``.
+
+        A batch runner takes a sequence of parameter mappings and returns one
+        result dict per mapping, in order -- with the hard contract that each
+        result equals what the scalar runner for the same backend returns for
+        the same parameters (the differential suite pins this for the
+        ``dse_encoder`` kind).  Batch runners exist so bulk evaluators (the
+        design-space explorer above all) can amortise shared work across a
+        whole generation of points instead of paying the full per-point cost.
+        """
+        backends = _normalize_backends(backend)
+
+        def decorator(fn: Callable[..., List[dict]]) -> Callable[..., List[dict]]:
+            if name not in self._kinds:
+                raise KeyError(f"unknown scenario kind {name!r}; register the "
+                               "scalar runner before its batch runner")
+            implementations = self._batch_kinds.setdefault(name, {})
+            for b in backends:
+                if b in implementations:
+                    raise ValueError(f"scenario kind {name!r} already has a "
+                                     f"batch runner for the {b!r} backend")
+                if b not in self._kinds[name]:
+                    raise ValueError(f"scenario kind {name!r} has no scalar "
+                                     f"{b!r} runner to match the batch runner")
+                implementations[b] = fn
+            return fn
+        return decorator
+
+    def batch_runner(self, kind: str, backend: str = "analytic"
+                     ) -> Optional[Callable[..., List[dict]]]:
+        """The batch runner for ``kind`` on ``backend``, or ``None``.
+
+        Unlike :meth:`runner` this is a capability probe, not a hard lookup:
+        callers fall back to the scalar path when no batch runner exists.
+        """
+        return self._batch_kinds.get(kind, {}).get(backend)
 
     def runner(self, kind: str, backend: str = DEFAULT_BACKEND) -> Callable[..., dict]:
         try:

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from .cache import ResultCache
+from .cache import ResultCache, configure_segment_memo
 from .scenarios import BACKENDS, DEFAULT_BACKEND, REGISTRY, Scenario
 
 __all__ = ["SweepOutcome", "run_sweep"]
@@ -58,18 +58,22 @@ def _resolve(scenarios: Iterable[Union[str, Scenario]]) -> List[Scenario]:
     return resolved
 
 
-def _run_one(scenario: Scenario,
-             backend: str = DEFAULT_BACKEND) -> Tuple[str, Dict[str, Any], float]:
+def _run_one(scenario: Scenario, backend: str = DEFAULT_BACKEND,
+             segment_memo_dir: Optional[str] = None
+             ) -> Tuple[str, Dict[str, Any], float]:
     """Worker entry point: execute one scenario on one backend.
 
     The scenario object itself crosses the process boundary (it is a frozen
     dataclass of JSON-able values), so ad-hoc scenarios that are not in the
     registry run with exactly the parameters they carry; only their *kind*
-    must be registered.
+    must be registered.  ``segment_memo_dir`` re-attaches (or, when None,
+    detaches) the on-disk segment-memo layer in workers (under fork the
+    parent's state is already inherited; ``set_root`` is idempotent then).
     """
     # The import populates the kind registry in freshly spawned workers;
     # under the default fork start method it is an instant no-op.
     from . import library  # noqa: F401
+    configure_segment_memo(segment_memo_dir)
     start = time.perf_counter()
     result = REGISTRY.run(scenario, backend=backend)
     return scenario.name, result, time.perf_counter() - start
@@ -124,11 +128,22 @@ def run_sweep(scenarios: Sequence[Union[str, Scenario]], workers: int = 1,
             to_run.append(scenario)
 
     if to_run:
+        # Cache-enabled sweeps persist memoized segments next to the
+        # scenario entries; cache-less sweeps still share the in-memory
+        # process memo between scenarios.  Configured unconditionally so a
+        # cache-less sweep *detaches* any root a previous sweep attached --
+        # otherwise it would keep writing into (or crash on a deleted)
+        # stale cache directory.
+        segment_memo_dir = str(cache.segments_dir) if cache is not None else None
+        configure_segment_memo(segment_memo_dir)
         if workers > 1 and len(to_run) > 1:
             with multiprocessing.Pool(processes=min(workers, len(to_run))) as pool:
-                raw = pool.map(partial(_run_one, backend=backend), to_run)
+                raw = pool.map(partial(_run_one, backend=backend,
+                                       segment_memo_dir=segment_memo_dir), to_run)
         else:
-            raw = [_run_one(scenario, backend=backend) for scenario in to_run]
+            raw = [_run_one(scenario, backend=backend,
+                            segment_memo_dir=segment_memo_dir)
+                   for scenario in to_run]
         for scenario, (_, result, elapsed) in zip(to_run, raw):
             outcomes[_key(scenario)] = SweepOutcome(
                 scenario=scenario.name, kind=scenario.kind, result=result,

@@ -32,7 +32,9 @@ of seconds, which is what makes 1000-point design-space sweeps interactive
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..analysis.roofline import ResourceRoofline
 from ..hardware.aie import AIEArrayModel, MMEGroupPlan
@@ -47,7 +49,8 @@ from .mapping import MappingType, attention_mapping_type
 from .segmentation import SegmentKind, segment_model
 from .tiling import plan_gemm_tiling
 
-__all__ = ["AnalyticSegment", "AnalyticXNN"]
+__all__ = ["AnalyticSegment", "AnalyticXNN", "EncoderBatchEvaluator",
+           "encoder_batch_evaluator"]
 
 _ELEMENT_BYTES = 4  # fp32 everywhere, matching TileMessage's default dtype
 
@@ -274,6 +277,58 @@ class AnalyticXNN:
 
     # --------------------------------------------------------------- encoder
 
+    def encoder_segments(self, batch: int = 6, seq_len: int = 512,
+                         config: BertConfig = BERT_LARGE
+                         ) -> Tuple[str, List[Tuple[str, "_SegmentTally",
+                                                    float, str]]]:
+        """Tally the encoder's three simulation groups without resolving them.
+
+        Returns ``(model name, [(segment name, tally, flops, mapping), ...])``.
+        This is the bandwidth-independent half of :meth:`run_encoder`: the
+        tallies depend on the workload shape, the tiling/mapping options, and
+        the FU counts, but *not* on channel bandwidths -- which is what lets
+        :class:`EncoderBatchEvaluator` share them across design points that
+        differ only in bandwidth or scratchpad depth.
+        """
+        spec = bert_large_encoder(batch=batch, seq_len=seq_len, config=config)
+        layer = {lyr.name: lyr for lyr in spec.layers}
+
+        pipelined_pairs = {
+            tuple(lyr.name for lyr in segment.layers)
+            for segment in segment_model(spec, self.config.spec)
+            if segment.kind is SegmentKind.PIPELINED
+        }
+        attention_pipelined = (self.options.pipeline_attention
+                               and ("attention_mm1",
+                                    "attention_mm2") in pipelined_pairs)
+        mapping = attention_mapping_type(attention_pipelined).value
+        segments: List[Tuple[str, _SegmentTally, float, str]] = []
+
+        # ---- group 1: Key / Query / Value projections --------------------
+        tally = self._fresh_tally()
+        for name in ("query", "key", "value"):
+            self._tally_gemm(tally, layer[name])
+        qkv_flops = sum(layer[n].flops for n in ("query", "key", "value"))
+        segments.append(("qkv", tally, qkv_flops, ""))
+
+        # ---- group 2: attention heads + dense projection ------------------
+        tally = self._fresh_tally()
+        self._tally_attention(tally, seq_len=seq_len, head_dim=config.head_dim,
+                              num_heads=batch * config.heads)
+        self._tally_gemm(tally, layer["dense"], residual=True)
+        attention_flops = (layer["attention_mm1"].flops
+                           + layer["attention_mm2"].flops
+                           + layer["dense"].flops)
+        segments.append(("attention+dense", tally, attention_flops, mapping))
+
+        # ---- group 3: feed-forward network --------------------------------
+        tally = self._fresh_tally()
+        self._tally_gemm(tally, layer["ffn_mm1"])
+        self._tally_gemm(tally, layer["ffn_mm2"], residual=True)
+        ffn_flops = layer["ffn_mm1"].flops + layer["ffn_mm2"].flops
+        segments.append(("ffn", tally, ffn_flops, ""))
+        return spec.name, segments
+
     def run_encoder(self, batch: int = 6, seq_len: int = 512,
                     config: BertConfig = BERT_LARGE) -> EncoderResult:
         """Estimate one transformer encoder layer, segment by segment.
@@ -285,44 +340,12 @@ class AnalyticXNN:
         against the model-segmentation decision (the pipelined mapping is only
         meaningful when the segmenter would pipeline the attention pair).
         """
-        spec = bert_large_encoder(batch=batch, seq_len=seq_len, config=config)
-        layer = {lyr.name: lyr for lyr in spec.layers}
-        result = EncoderResult(name=spec.name, batch=batch)
-
-        pipelined_pairs = {
-            tuple(lyr.name for lyr in segment.layers)
-            for segment in segment_model(spec, self.config.spec)
-            if segment.kind is SegmentKind.PIPELINED
-        }
-        attention_pipelined = (self.options.pipeline_attention
-                               and ("attention_mm1",
-                                    "attention_mm2") in pipelined_pairs)
-        mapping = attention_mapping_type(attention_pipelined).value
-
-        # ---- group 1: Key / Query / Value projections --------------------
-        tally = self._fresh_tally()
-        for name in ("query", "key", "value"):
-            self._tally_gemm(tally, layer[name])
-        qkv_flops = sum(layer[n].flops for n in ("query", "key", "value"))
-        result.segments.append(self._close_segment(tally, "qkv", qkv_flops))
-
-        # ---- group 2: attention heads + dense projection ------------------
-        tally = self._fresh_tally()
-        self._tally_attention(tally, seq_len=seq_len, head_dim=config.head_dim,
-                              num_heads=batch * config.heads)
-        self._tally_gemm(tally, layer["dense"], residual=True)
-        attention_flops = (layer["attention_mm1"].flops
-                           + layer["attention_mm2"].flops
-                           + layer["dense"].flops)
-        result.segments.append(self._close_segment(
-            tally, "attention+dense", attention_flops, mapping=mapping))
-
-        # ---- group 3: feed-forward network --------------------------------
-        tally = self._fresh_tally()
-        self._tally_gemm(tally, layer["ffn_mm1"])
-        self._tally_gemm(tally, layer["ffn_mm2"], residual=True)
-        ffn_flops = layer["ffn_mm1"].flops + layer["ffn_mm2"].flops
-        result.segments.append(self._close_segment(tally, "ffn", ffn_flops))
+        name, segments = self.encoder_segments(batch=batch, seq_len=seq_len,
+                                               config=config)
+        result = EncoderResult(name=name, batch=batch)
+        for segment_name, tally, flops, mapping in segments:
+            result.segments.append(self._close_segment(tally, segment_name,
+                                                       flops, mapping=mapping))
         return result
 
     # ----------------------------------------------------------- plain models
@@ -338,3 +361,273 @@ class AnalyticXNN:
         result.segments.append(
             self._close_segment(tally, model.name, total_flops))
         return result
+
+
+# ------------------------------------------------------------ batch evaluation
+
+
+@dataclass(frozen=True)
+class _FrozenTally:
+    """The numbers of one :class:`_SegmentTally`, detached for safe sharing."""
+
+    ddr_read_bytes: int
+    ddr_read_requests: int
+    ddr_write_bytes: int
+    ddr_write_requests: int
+    lpddr_bytes: int
+    lpddr_requests: int
+    mme_flops_max: float
+    memc_flops_max: float
+
+    @classmethod
+    def freeze(cls, tally: _SegmentTally) -> "_FrozenTally":
+        return cls(
+            ddr_read_bytes=tally.ddr_read_bytes,
+            ddr_read_requests=tally.ddr_read_requests,
+            ddr_write_bytes=tally.ddr_write_bytes,
+            ddr_write_requests=tally.ddr_write_requests,
+            lpddr_bytes=tally.lpddr_bytes,
+            lpddr_requests=tally.lpddr_requests,
+            mme_flops_max=max(tally.mme_flops),
+            memc_flops_max=max(tally.memc_flops),
+        )
+
+
+#: the ``dse_encoder`` runner defaults, mirrored so the batch path resolves
+#: partially specified design points exactly like the scalar runner signature.
+_DSE_DEFAULTS: Dict[str, Any] = {
+    "batch": 1,
+    "seq_len": 128,
+    "model": "bert_large",
+    "num_mme": 6,
+    "mem_b_bytes": 1024 * 1024,
+    "bandwidth_scale": 1.0,
+    "pipeline_attention": True,
+    "tile_m": 768,
+    "tile_k": 128,
+    "super_n": 1024,
+}
+
+
+class EncoderBatchEvaluator:
+    """Vectorized evaluation of whole generations of encoder design points.
+
+    The scalar proxy path costs milliseconds per point: every evaluation
+    materialises an ad-hoc scenario, re-validates the MME plan, re-builds the
+    workload, and re-walks the tiling loops -- even though a search generation
+    contains many points that differ only in bandwidth scale or scratchpad
+    depth, neither of which changes a single tally.  This evaluator splits
+    the work accordingly:
+
+    1. **Memoized tallies** -- :meth:`AnalyticXNN.encoder_segments` runs once
+       per unique (workload shape, tiling/mapping options, MME count) and is
+       shared by every point of the generation (and of later generations:
+       the evaluator is long-lived).  Because the memo stores the *result* of
+       the exact scalar code path, accumulation order -- and therefore every
+       floating-point bit -- matches the scalar evaluation.
+    2. **Vectorized rooflines** -- the per-point, bandwidth-dependent half
+       (channel busy times, resource maxima, latency/utilisation payload
+       arithmetic) is evaluated as NumPy float64 arrays over the whole
+       generation, expression-for-expression identical to the scalar
+       formulas (elementwise IEEE-754 ops are bit-exact either way).
+
+    The contract -- every payload equals the scalar path's payload exactly --
+    is pinned by ``tests/differential/test_batched_analytic.py``.
+    """
+
+    def __init__(self):
+        #: (spec, num_mme, num_mem_c, tile_shape, options) -> AnalyticXNN
+        self._models: Dict[Tuple[Any, ...], AnalyticXNN] = {}
+        #: (model key, batch, seq_len, bert config) -> frozen segment data
+        self._segments: Dict[Tuple[Any, ...],
+                             Tuple[List[_FrozenTally], List[float], float]] = {}
+        #: hits/misses of the segment-tally memo, for benchmarks and tests.
+        self.tally_hits = 0
+        self.tally_misses = 0
+
+    # ------------------------------------------------------------ resolution
+
+    def _model_for(self, spec, num_mme: int, num_mem_c: int,
+                   mme_tile_shape: Tuple[int, int, int],
+                   options: CodegenOptions) -> AnalyticXNN:
+        key = (spec, num_mme, num_mem_c, mme_tile_shape, options)
+        model = self._models.get(key)
+        if model is None:
+            config = XNNConfig(num_mme=num_mme, num_mem_c=num_mem_c,
+                               mme_tile_shape=mme_tile_shape,
+                               carry_data=False, spec=spec)
+            # AnalyticXNN.__init__ validates the MME plan; only *feasible*
+            # models are memoized, so infeasible points raise identically
+            # to the scalar path on every evaluation.
+            model = AnalyticXNN(config=config, options=options)
+            self._models[key] = model
+        return model
+
+    def _segments_for(self, model: AnalyticXNN, batch: int, seq_len: int,
+                      config: BertConfig
+                      ) -> Tuple[List[_FrozenTally], List[float], float]:
+        key = (model.config.spec, model.config.num_mme, model.config.num_mem_c,
+               model.config.mme_tile_shape, model.options, batch, seq_len,
+               config)
+        cached = self._segments.get(key)
+        if cached is not None:
+            self.tally_hits += 1
+            return cached
+        self.tally_misses += 1
+        _, segments = model.encoder_segments(batch=batch, seq_len=seq_len,
+                                             config=config)
+        tallies = [_FrozenTally.freeze(tally) for _, tally, _, _ in segments]
+        flops = [segment_flops for _, _, segment_flops, _ in segments]
+        # result.flops is sum(segment.flops) -- fold in list order so the
+        # scalar EncoderResult sum is reproduced bit for bit.
+        total_flops = 0.0
+        for segment_flops in flops:
+            total_flops += segment_flops
+        cached = (tallies, flops, total_flops)
+        self._segments[key] = cached
+        return cached
+
+    # ------------------------------------------------------------ evaluation
+
+    def evaluate_batch(self, param_sets: Sequence[Mapping[str, Any]],
+                       encoder_config) -> List[Dict[str, Any]]:
+        """Evaluate many ``dse_encoder`` parameter sets in one pass.
+
+        ``encoder_config`` maps a model name to its :class:`BertConfig`
+        (injected by the runner layer so the supported-model catalogue cannot
+        diverge between the scalar and batched paths).  Returns one payload
+        dict per parameter set, in order, each exactly equal to what the
+        scalar ``dse_encoder`` analytic runner returns for the same params.
+        """
+        count = len(param_sets)
+        if not count:
+            return []
+        tallies_per_point: List[List[_FrozenTally]] = []
+        total_flops = np.empty(count)
+        mme_rate = np.empty(count)
+        peak_flops = np.empty(count)
+        num_mme_column = []
+        ddr_models: List[MemoryChannelModel] = []
+        lpddr_models: List[MemoryChannelModel] = []
+        for index, raw in enumerate(param_sets):
+            params = dict(_DSE_DEFAULTS)
+            params.update(raw)
+            # Same validated construction hooks as the scalar _dse_design:
+            # with_overrides rejects unknown knobs, XNNConfig.__post_init__
+            # rejects bad counts/depths, AnalyticXNN validates the MME plan.
+            options = CodegenOptions.with_overrides(
+                pipeline_attention=params["pipeline_attention"],
+                tile_m=params["tile_m"], tile_k=params["tile_k"],
+                super_n=params["super_n"])
+            num_mme = params["num_mme"]
+            probe = XNNConfig(num_mme=num_mme, num_mem_c=num_mme,
+                              mem_b_bytes=params["mem_b_bytes"],
+                              bandwidth_scale=params["bandwidth_scale"],
+                              carry_data=False)
+            model = self._model_for(probe.spec, num_mme, num_mme,
+                                    probe.mme_tile_shape, options)
+            tallies, _, flops = self._segments_for(
+                model, params["batch"], params["seq_len"],
+                encoder_config(params["model"]))
+            tallies_per_point.append(tallies)
+            total_flops[index] = flops
+            mme_rate[index] = model.mme_rate
+            peak_flops[index] = num_mme * model.mme_rate
+            num_mme_column.append(num_mme)
+            ddr_models.append(ddr_channel(probe.spec,
+                                          bandwidth_scale=probe.bandwidth_scale))
+            lpddr_models.append(lpddr_channel(probe.spec,
+                                              bandwidth_scale=probe.bandwidth_scale))
+
+        segments = len(tallies_per_point[0])
+        shape = (count, segments)
+
+        def grid(attr: str) -> np.ndarray:
+            return np.array([[getattr(tally, attr) for tally in tallies]
+                             for tallies in tallies_per_point], dtype=np.float64)
+
+        read_bytes = grid("ddr_read_bytes")
+        read_requests = grid("ddr_read_requests")
+        write_bytes = grid("ddr_write_bytes")
+        write_requests = grid("ddr_write_requests")
+        lpddr_bytes = grid("lpddr_bytes")
+        lpddr_requests = grid("lpddr_requests")
+        mme_max = grid("mme_flops_max")
+        memc_max = grid("memc_flops_max")
+
+        def column(attr: str, models: List[MemoryChannelModel]) -> np.ndarray:
+            return np.array([getattr(model, attr) for model in models],
+                            dtype=np.float64).reshape(count, 1)
+
+        ddr_read_bw = column("effective_read_bw", ddr_models)
+        ddr_write_bw = column("effective_write_bw", ddr_models)
+        ddr_latency = column("request_latency", ddr_models)
+        lpddr_bw = column("effective_read_bw", lpddr_models)
+        lpddr_latency = column("request_latency", lpddr_models)
+
+        def bulk_time(nbytes: np.ndarray, requests: np.ndarray,
+                      bandwidth: np.ndarray, latency: np.ndarray) -> np.ndarray:
+            # MemoryChannelModel._bulk_time, elementwise: latency + nbytes/bw
+            # + (requests-1)*latency, and exactly 0.0 for empty transfers.
+            busy = latency + nbytes / bandwidth + (requests - 1.0) * latency
+            return np.where((nbytes == 0.0) | (requests == 0.0),
+                            np.zeros(shape), busy)
+
+        ddr_busy = (bulk_time(read_bytes, read_requests, ddr_read_bw, ddr_latency)
+                    + bulk_time(write_bytes, write_requests, ddr_write_bw,
+                                ddr_latency))
+        lpddr_busy = bulk_time(lpddr_bytes, lpddr_requests, lpddr_bw,
+                               lpddr_latency)
+        mme_busy = mme_max / mme_rate.reshape(count, 1)
+        memc_busy = memc_max / MEMC_COMPUTE_THROUGHPUT
+
+        # ResourceRoofline.latency_s: the max over resources (order-free).
+        segment_latency = np.maximum(np.maximum(ddr_busy, lpddr_busy),
+                                     np.maximum(mme_busy, memc_busy))
+        # EncoderResult.latency_s: sum over segments in list order; float
+        # addition starting from 0.0 folds identically to a left-to-right
+        # pairwise chain, so cumulative add matches sum() exactly.
+        latency = np.zeros(count)
+        for segment_index in range(segments):
+            latency = latency + segment_latency[:, segment_index]
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            achieved = np.where(latency > 0.0,
+                                total_flops / latency / 1e12, 0.0)
+            utilization = np.where(latency > 0.0,
+                                   total_flops / latency / peak_flops, 0.0)
+
+        payloads: List[Dict[str, Any]] = []
+        for index in range(count):
+            tallies = tallies_per_point[index]
+            ddr_bytes_total = 0
+            lpddr_bytes_total = 0
+            for tally in tallies:
+                ddr_bytes_total += tally.ddr_read_bytes + tally.ddr_write_bytes
+                lpddr_bytes_total += tally.lpddr_bytes
+            latency_s = float(latency[index])
+            payloads.append({
+                "latency_s": latency_s,
+                "latency_ms": float(latency[index] * 1e3),
+                "flops": float(total_flops[index]),
+                "ddr_bytes": ddr_bytes_total,
+                "lpddr_bytes": lpddr_bytes_total,
+                "offchip_bytes": ddr_bytes_total + lpddr_bytes_total,
+                "achieved_tflops": float(achieved[index]),
+                "utilization": float(utilization[index]),
+                "num_mme": num_mme_column[index],
+            })
+        return payloads
+
+
+#: the process-wide batch evaluator (its memo is the whole point: later
+#: generations and later explorations reuse earlier tallies).
+_BATCH_EVALUATOR: Optional[EncoderBatchEvaluator] = None
+
+
+def encoder_batch_evaluator() -> EncoderBatchEvaluator:
+    """The process-wide :class:`EncoderBatchEvaluator` singleton."""
+    global _BATCH_EVALUATOR
+    if _BATCH_EVALUATOR is None:
+        _BATCH_EVALUATOR = EncoderBatchEvaluator()
+    return _BATCH_EVALUATOR

@@ -21,8 +21,10 @@ making every producer's send count match the consumers' receive counts
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import OrderedDict
-from dataclasses import dataclass, fields
+from dataclasses import asdict, dataclass, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import ExitUOp, InstructionPacket, MOp, RSNProgram, UOp
@@ -558,6 +560,37 @@ class ProgramBuilder:
         if fu_name is not None:
             return len(self._uops.get(fu_name, []))
         return sum(len(uops) for uops in self._uops.values())
+
+    def fingerprint(self) -> str:
+        """Stable identity of this program on this datapath configuration.
+
+        SHA-256 over (a) every FU's finalized uOP stream, (b) the
+        :class:`~repro.xnn.datapath.XNNConfig` (a timing-only simulation is a
+        pure function of uOPs + hardware configuration -- tensor *data* never
+        influences latency or traffic), (c) the :class:`CodegenOptions`
+        (redundant with the uOPs they shaped, but cheap insurance against a
+        future option that affects execution without changing the streams),
+        and (d) the code version, so editing any source file invalidates
+        every memoized segment exactly like the scenario cache.
+
+        This is the key of the :class:`~repro.runner.cache.SegmentMemo`
+        layer: equal fingerprints guarantee byte-identical simulations.
+        """
+        if not self._finalized:
+            self.finalize()
+        from ..runner.cache import code_version  # runtime import: no cycle
+        payload = {
+            "code_version": code_version(),
+            "config": asdict(self.xnn.config),
+            "options": asdict(self.options),
+            "uops": {
+                name: [(uop.opcode, dict(uop.fields), uop.nbytes)
+                       for uop in uops]
+                for name, uops in self._uops.items()
+            },
+        }
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode()).hexdigest()
 
     # ------------------------------------------------------------ packetising
 

@@ -110,13 +110,37 @@ class EncoderResult:
         raise KeyError(f"no segment named {name!r}")
 
 
+#: sentinel: "use the process-wide segment memo" (the default).
+_PROCESS_MEMO = object()
+
+
 class XNNExecutor:
-    """Runs workloads on a freshly built RSN-XNN datapath per simulation group."""
+    """Runs workloads on a freshly built RSN-XNN datapath per simulation group.
+
+    Parameters
+    ----------
+    config / options:
+        Hardware configuration and codegen options, as before.
+    segment_memo:
+        A :class:`~repro.runner.cache.SegmentMemo` caching per-segment
+        simulation results by program fingerprint, ``None`` to disable
+        memoization entirely, or the default sentinel to share the
+        process-wide memo.  Memoization only applies to timing-only runs
+        (``carry_data=False``): a functional run must execute the event loop
+        to produce its tensor outputs.  Memoized results are byte-identical
+        to fresh simulation (the fingerprint covers everything a timing run
+        depends on), which ``tests/differential/test_segment_memo_contract.py`` pins.
+    """
 
     def __init__(self, config: Optional[XNNConfig] = None,
-                 options: Optional[CodegenOptions] = None):
+                 options: Optional[CodegenOptions] = None,
+                 segment_memo=_PROCESS_MEMO):
         self.config = config or XNNConfig(carry_data=False)
         self.options = options or CodegenOptions()
+        if segment_memo is _PROCESS_MEMO:
+            from ..runner.cache import process_segment_memo
+            segment_memo = process_segment_memo()
+        self.segment_memo = segment_memo
 
     # ----------------------------------------------------------- primitives
 
@@ -124,9 +148,23 @@ class XNNExecutor:
                   name: str, flops: float) -> SegmentResult:
         builder.load_programs()
         uops = builder.uop_count()
+        memo = self.segment_memo if not xnn.memory.carry_data else None
+        key = None
+        if memo is not None:
+            key = builder.fingerprint()
+            hit = memo.load(key)
+            if hit is not None:
+                return SegmentResult(
+                    name=name,
+                    latency_s=hit["latency_s"],
+                    flops=flops,
+                    ddr_bytes=hit["ddr_bytes"],
+                    lpddr_bytes=hit["lpddr_bytes"],
+                    uops=uops,
+                )
         simulator = xnn.datapath.build_simulator()
         stats = simulator.run()
-        return SegmentResult(
+        result = SegmentResult(
             name=name,
             latency_s=stats.end_time,
             flops=flops,
@@ -134,6 +172,13 @@ class XNNExecutor:
             lpddr_bytes=xnn.lpddr.total_bytes,
             uops=uops,
         )
+        if memo is not None:
+            memo.store(key, {
+                "latency_s": result.latency_s,
+                "ddr_bytes": result.ddr_bytes,
+                "lpddr_bytes": result.lpddr_bytes,
+            })
+        return result
 
     def _fresh_datapath(self) -> XNNDatapath:
         return XNNDatapath(self.config)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Generator, List, Sequence, Tuple
 
-from ...core import ConfigurationError, FunctionalUnit, Parallel, Read, UOp, Write
+from ...core import ConfigurationError, FunctionalUnit, Parallel, UOp, Write
 
 __all__ = ["MeshFU"]
 
@@ -63,8 +63,9 @@ class MeshFU(FunctionalUnit):
             raise ConfigurationError(
                 f"{self.name}: uOP must provide either routes or src+dests, got {uop!r}"
             )
+        read_src = self.read_request(f"from_{src}")
         for _ in range(count):
-            message = yield Read(self._in(src))
+            message = yield read_src
             self.stats.bytes_in += message.nbytes
             self.stats.bytes_out += message.nbytes * len(dests)
             # A broadcast copies the tile onto every destination's physical
@@ -76,8 +77,9 @@ class MeshFU(FunctionalUnit):
 
     def _route_chain(self, src: str, dests: Sequence[str]) -> Generator:
         """Serve one source stream: forward one tile to each listed destination."""
+        read_src = self.read_request(f"from_{src}")
         for dest in dests:
-            message = yield Read(self._in(src))
+            message = yield read_src
             self.stats.bytes_in += message.nbytes
             self.stats.bytes_out += message.nbytes
             yield Write(self._out(dest), message)

@@ -15,7 +15,7 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from ...core import ConfigurationError, FunctionalUnit, Read, TileMessage, UOp, Write
+from ...core import ConfigurationError, FunctionalUnit, TileMessage, UOp, Write
 
 __all__ = ["MMEFU"]
 
@@ -54,9 +54,11 @@ class MMEFU(FunctionalUnit):
         emit = bool(uop.get("emit", True))
         tag = uop.get("tag", "")
 
+        read_lhs = self.read_request("lhs")
+        read_rhs = self.read_request("rhs")
         for _ in range(k_steps):
-            lhs = yield Read(self.port("lhs"))
-            rhs = yield Read(self.port("rhs"))
+            lhs = yield read_lhs
+            rhs = yield read_rhs
             self.stats.bytes_in += lhs.nbytes + rhs.nbytes
             lhs_rows = lhs.shape[0]
             inner = lhs.shape[1]

@@ -21,7 +21,7 @@ from typing import Dict, Generator, Tuple
 
 import numpy as np
 
-from ...core import ConfigurationError, Delay, FunctionalUnit, Read, TileMessage, UOp, Write
+from ...core import ConfigurationError, Delay, FunctionalUnit, TileMessage, UOp, Write
 from ...hardware.memory import MemoryChannelModel
 
 __all__ = ["HostMemory", "DDRFU", "LPDDRFU"]
@@ -129,8 +129,7 @@ class _OffchipFU(FunctionalUnit):
         yield Write(dest_port, tile)
 
     def _store(self, uop: UOp) -> Generator:
-        src_port = self.port(f"from_{uop['src']}")
-        tile = yield Read(src_port)
+        tile = yield self.read_request(f"from_{uop['src']}")
         strided = bool(uop.get("strided", False))
         yield Delay(self.channel.write_time(tile.nbytes, strided=strided))
         self.stats.bytes_out += tile.nbytes

@@ -27,7 +27,7 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from ...core import (ConfigurationError, FunctionalUnit, Parallel, Read,
+from ...core import (ConfigurationError, FunctionalUnit, Parallel,
                      TileMessage, UOp, Write)
 from .offchip import HostMemory
 
@@ -71,7 +71,7 @@ class _PingPongScratchpad(FunctionalUnit):
     # -- kernel branches -------------------------------------------------------
 
     def _load_branch(self, source_port_name: str, slot: str) -> Generator:
-        tile = yield Read(self.port(source_port_name))
+        tile = yield self.read_request(source_port_name)
         self._store_slot(slot, tile)
         self.stats.bytes_in += tile.nbytes
 
@@ -230,7 +230,7 @@ class MemCFU(FunctionalUnit):
         ops = tuple(uop.get("ops", ()))
         flops = sum(NONMM_FLOPS_PER_ELEMENT.get(op, 1.0) for op in ops) * tile.element_count
         if uop.get("residual", False):
-            residual = yield Read(self.port("from_ddr"))
+            residual = yield self.read_request("from_ddr")
             flops += tile.element_count
             if tile.data is not None and residual.data is not None:
                 tile = TileMessage.from_array(tile.data + residual.data,
@@ -274,7 +274,7 @@ class MemCFU(FunctionalUnit):
 
     def kernel(self, uop: UOp) -> Generator:
         if uop.get("recv", False):
-            tile = yield Read(self.port("from_mme"))
+            tile = yield self.read_request("from_mme")
             self.stats.bytes_in += tile.nbytes
             if tile.nbytes > self.capacity_bytes:
                 raise ConfigurationError(

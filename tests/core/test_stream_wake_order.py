@@ -1,0 +1,110 @@
+"""Wake-order regression tests for blocked readers and writers.
+
+The engine wakes blocked processes strictly FIFO -- first blocked, first
+woken.  PR 4 switched ``StreamChannel._blocked_readers`` / ``_blocked_writers``
+from lists (where every wake-up paid an O(n) ``pop(0)``) to ``collections.deque``;
+these tests pin the FIFO contract under multiple simultaneously blocked
+processes so a future "optimisation" to LIFO or priority order fails loudly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core import Delay, Read, Simulator, StreamChannel, Write
+
+
+class _Msg:
+    __slots__ = ("nbytes", "label")
+
+    def __init__(self, label: str, nbytes: int = 64):
+        self.label = label
+        self.nbytes = nbytes
+
+
+def test_blocked_waiter_queues_are_deques():
+    # Structural pin for the O(1) wake-up: the waiter queues must stay
+    # deques (list.pop(0) is O(n) per wake, quadratic over a long stall).
+    channel = StreamChannel("ch", capacity=1)
+    assert isinstance(channel._blocked_readers, deque)
+    assert isinstance(channel._blocked_writers, deque)
+
+
+def test_multiple_blocked_readers_wake_in_block_order():
+    sim = Simulator()
+    channel = StreamChannel("ch", capacity=None, bandwidth=1e9)
+    received = []
+
+    def reader(name):
+        message = yield Read(channel)
+        received.append((name, message.label))
+
+    def producer():
+        yield Delay(1.0)  # let every reader block first, in add order
+        for index in range(3):
+            yield Write(channel, _Msg(f"m{index}"))
+
+    for index in range(3):
+        sim.add_process(f"reader{index}", reader(f"reader{index}"))
+    sim.add_process("producer", producer())
+    sim.run()
+
+    # First blocked reader gets the first message, and so on.
+    assert received == [
+        ("reader0", "m0"),
+        ("reader1", "m1"),
+        ("reader2", "m2"),
+    ]
+
+
+def test_multiple_blocked_writers_wake_in_block_order():
+    sim = Simulator()
+    # Capacity 1 and instantaneous transfers: the first write lands, every
+    # later writer blocks in process order until the consumer drains.
+    channel = StreamChannel("ch", capacity=1)
+    drained = []
+
+    def writer(label):
+        yield Write(channel, _Msg(label, nbytes=0))
+
+    def consumer():
+        yield Delay(1.0)  # let all writers queue up first
+        for _ in range(4):
+            message = yield Read(channel)
+            drained.append(message.label)
+
+    for index in range(4):
+        sim.add_process(f"writer{index}", writer(f"w{index}"))
+    sim.add_process("consumer", consumer())
+    sim.run()
+
+    assert drained == ["w0", "w1", "w2", "w3"]
+
+
+def test_wake_order_is_identical_with_and_without_fast_path():
+    """The deque wake order must not depend on the zero-delay fast path."""
+
+    def run(fast_zero_delay):
+        sim = Simulator(fast_zero_delay=fast_zero_delay)
+        channel = StreamChannel("ch", capacity=2, bandwidth=1e9)
+        order = []
+
+        def writer(label):
+            yield Write(channel, _Msg(label))
+            order.append(f"sent-{label}")
+
+        def consumer():
+            yield Delay(1.0)
+            for _ in range(5):
+                message = yield Read(channel)
+                order.append(f"got-{message.label}")
+
+        for index in range(5):
+            sim.add_process(f"writer{index}", writer(f"w{index}"))
+        sim.add_process("consumer", consumer())
+        stats = sim.run()
+        return order, stats.events, stats.end_time
+
+    fast = run(True)
+    compat = run(False)
+    assert fast == compat

@@ -1,0 +1,91 @@
+"""Differential contract: batched analytic evaluation == scalar per point.
+
+The batched ``dse_encoder`` evaluator shares tallies across points and
+vectorizes the roofline arithmetic; this suite pins the hard contract that
+none of that changes a single bit of any payload -- every float and int must
+equal the scalar analytic runner's output exactly, over the full smoke space
+and a broad slice of the full encoder space, at reduced fidelity, with
+partially specified parameters, and on repeat calls (warm memo).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import get_space
+from repro.runner import REGISTRY
+from repro.xnn.analytic import EncoderBatchEvaluator
+
+
+def _scalar():
+    return REGISTRY.runner("dse_encoder", "analytic")
+
+
+def _batched():
+    fn = REGISTRY.batch_runner("dse_encoder", "analytic")
+    assert fn is not None, "dse_encoder must register an analytic batch runner"
+    return fn
+
+
+def _space_params(space_name, fidelity=1.0, stride=1):
+    space = get_space(space_name)
+    return [space.point_params(assignment, fidelity)
+            for assignment in space.points()[::stride]]
+
+
+@pytest.mark.parametrize("space_name,fidelity,stride", [
+    ("encoder-smoke", 1.0, 1),     # the whole smoke space
+    ("encoder-smoke", 0.5, 1),     # reduced fidelity (halving's early rungs)
+    ("encoder", 1.0, 11),          # broad slice of the full space
+])
+def test_batched_equals_scalar_exactly(space_name, fidelity, stride):
+    params_list = _space_params(space_name, fidelity, stride)
+    scalar_fn = _scalar()
+    expected = [scalar_fn(**params) for params in params_list]
+    actual = _batched()(params_list)
+    assert actual == expected  # exact: every float bit-for-bit
+
+    # Warm memo (same process-wide evaluator) must not drift either.
+    assert _batched()(params_list) == expected
+
+
+def test_batched_applies_scalar_defaults():
+    # encoder-smoke points omit tile_k / super_n / mem_b_bytes / num_mme;
+    # an even sparser mapping must resolve to the scalar signature defaults.
+    sparse = [{"seq_len": 64}, {"seq_len": 128, "pipeline_attention": False}]
+    expected = [_scalar()(**params) for params in sparse]
+    assert _batched()(sparse) == expected
+
+
+def test_batched_empty_generation():
+    assert _batched()([]) == []
+
+
+def test_batched_rejects_infeasible_designs_like_scalar():
+    bad = {"num_mme": 40}  # no MME grouping fits the AIE array
+    with pytest.raises(ValueError):
+        _scalar()(**bad)
+    evaluator = EncoderBatchEvaluator()  # fresh: nothing memoized
+    with pytest.raises(ValueError):
+        from repro.runner.library import _encoder_config
+        evaluator.evaluate_batch([bad], _encoder_config)
+    # Failures are never memoized: a second attempt fails identically.
+    with pytest.raises(ValueError):
+        from repro.runner.library import _encoder_config
+        evaluator.evaluate_batch([bad], _encoder_config)
+
+
+def test_exploration_frontiers_identical_across_proxies():
+    """The whole point of payload equality: sweep-proxy and batched-proxy
+    explorations produce the same frontier for the same seed."""
+    from repro.explore import SuccessiveHalving, run_exploration
+
+    def explore(proxy):
+        return run_exploration(get_space("encoder-smoke"), SuccessiveHalving(),
+                               budget=12, verify_top=0, seed=5, proxy=proxy)
+
+    sweep = explore("sweep")
+    batched = explore("batched")
+    assert batched.proxy == "batched"
+    assert [point.to_dict() for point in sweep.frontier] == \
+        [point.to_dict() for point in batched.frontier]

@@ -1,0 +1,66 @@
+"""Differential contract: memoized segment results == fresh simulation.
+
+Part of the byte-identical-results contract of the PR 4 throughput overhaul:
+serving a segment from the :class:`~repro.runner.cache.SegmentMemo` must be
+observationally indistinguishable from running the event loop -- latency,
+DDR/LPDDR traffic, and uOP counts all exactly equal, per segment, including
+after a JSON round-trip through the on-disk layer.
+"""
+
+from __future__ import annotations
+
+from repro.runner.cache import SegmentMemo
+from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
+
+_TIMING = XNNConfig(carry_data=False)
+
+
+def _segment_tuples(result):
+    return [(s.name, s.latency_s, s.ddr_bytes, s.lpddr_bytes, s.uops)
+            for s in result.segments]
+
+
+def test_memoized_encoder_equals_fresh_per_segment(tmp_path):
+    fresh = XNNExecutor(config=_TIMING, segment_memo=None)
+    expected = fresh.run_encoder(batch=1, seq_len=64)
+
+    # Cold pass populates the memo (both layers), warm pass is served from
+    # the in-memory layer, reload pass from the on-disk layer.
+    memo = SegmentMemo(root=tmp_path)
+    executor = XNNExecutor(config=_TIMING, segment_memo=memo)
+    cold = executor.run_encoder(batch=1, seq_len=64)
+    warm = executor.run_encoder(batch=1, seq_len=64)
+    assert memo.hits == len(expected.segments)
+
+    reloaded_memo = SegmentMemo(root=tmp_path)
+    reloaded = XNNExecutor(config=_TIMING,
+                           segment_memo=reloaded_memo).run_encoder(batch=1,
+                                                                   seq_len=64)
+    assert reloaded_memo.hits == len(expected.segments)
+
+    for result in (cold, warm, reloaded):
+        assert _segment_tuples(result) == _segment_tuples(expected)
+
+
+def test_memoized_ablation_variants_stay_distinct(tmp_path):
+    """Table 9-style option ablation through one shared memo: every variant
+    must keep its own numbers (no cross-variant contamination)."""
+    variants = {
+        "baseline": CodegenOptions.baseline(),
+        "all": CodegenOptions.all_optimizations(),
+    }
+    fresh = {
+        name: _segment_tuples(
+            XNNExecutor(config=_TIMING, options=options,
+                        segment_memo=None).run_encoder(batch=1, seq_len=64))
+        for name, options in variants.items()
+    }
+    assert fresh["baseline"] != fresh["all"]  # the ablation is real
+
+    memo = SegmentMemo(root=tmp_path)
+    for _ in range(2):  # second round is all memo hits
+        for name, options in variants.items():
+            memoized = XNNExecutor(config=_TIMING, options=options,
+                                   segment_memo=memo).run_encoder(batch=1,
+                                                                  seq_len=64)
+            assert _segment_tuples(memoized) == fresh[name]

@@ -120,3 +120,51 @@ class TestKendallTau:
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError, match="length"):
             kendall_tau([1, 2], [1])
+
+
+class TestWeightedScalarization:
+    """Hand-computed weighted-sum rankings (min-max normalised, lower=better)."""
+
+    # Three points, latency (min) and utilization (max):
+    #   A = (1.0, 0.2)   B = (2.0, 0.8)   C = (3.0, 0.5)
+    POINTS = ((1.0, 0.2), (2.0, 0.8), (3.0, 0.5))
+    SENSES = ("min", "max")
+
+    def test_hand_computed_scores(self):
+        from repro.analysis.pareto import weighted_scalarization
+        # latency normalised: A=0, B=0.5, C=1; utilization (max sense,
+        # best=0.8): A=1, B=0, C=0.5.  Weights (2, 1):
+        #   A = 2*0 + 1*1 = 1.0;  B = 2*0.5 + 0 = 1.0;  C = 2*1 + 0.5 = 2.5
+        scores = weighted_scalarization(self.POINTS, self.SENSES, (2.0, 1.0))
+        assert scores == [1.0, 1.0, 2.5]
+
+    def test_single_objective_weight_reproduces_that_ordering(self):
+        from repro.analysis.pareto import weighted_scalarization
+        scores = weighted_scalarization(self.POINTS, self.SENSES, (1.0, 0.0))
+        assert scores == [0.0, 0.5, 1.0]  # pure latency order A < B < C
+        scores = weighted_scalarization(self.POINTS, self.SENSES, (0.0, 3.0))
+        assert scores == [3.0, 0.0, 1.5]  # pure utilization order B < C < A
+
+    def test_constant_objective_contributes_nothing(self):
+        from repro.analysis.pareto import weighted_scalarization
+        points = ((1.0, 7.0), (2.0, 7.0))
+        scores = weighted_scalarization(points, ("min", "min"), (1.0, 5.0))
+        assert scores == [0.0, 1.0]
+
+    def test_empty_cohort(self):
+        from repro.analysis.pareto import weighted_scalarization
+        assert weighted_scalarization((), ("min",), (1.0,)) == []
+
+    def test_validation(self):
+        from repro.analysis.pareto import weighted_scalarization
+        with pytest.raises(ValueError, match="weight"):
+            weighted_scalarization(self.POINTS, self.SENSES, (1.0,))
+        with pytest.raises(ValueError, match="non-negative"):
+            weighted_scalarization(self.POINTS, self.SENSES, (1.0, -2.0))
+        with pytest.raises(ValueError, match="finite"):
+            weighted_scalarization(self.POINTS, self.SENSES,
+                                   (float("nan"), 1.0))
+        with pytest.raises(ValueError, match="positive"):
+            weighted_scalarization(self.POINTS, self.SENSES, (0.0, 0.0))
+        with pytest.raises(ValueError, match="sense"):
+            weighted_scalarization(self.POINTS, ("min", "sideways"), (1.0, 1.0))

@@ -176,3 +176,30 @@ class TestStrategyRegistry:
     def test_unknown_strategy_raises(self):
         with pytest.raises(KeyError, match="halving"):
             get_strategy("simulated-annealing")
+
+
+class TestWeightedHalving:
+    def test_unknown_weight_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective weight"):
+            SuccessiveHalving(weights={"latencyy": 1.0})
+
+    def test_weighted_selection_overrides_rank(self):
+        """With a pure-utilization weight, halving must keep the pipelined
+        points (utilization 0.5) over the lowest-latency ones that a
+        latency-flavoured rank sort would favour."""
+        space = _space()
+        weighted = SuccessiveHalving(min_final=2,
+                                     weights={"utilization": 1.0})
+        candidates = weighted.search(space, 24, _fake_evaluate(),
+                                     random.Random(0))
+        assert candidates
+        assert all(c.assignment["pipeline_attention"] for c in candidates)
+
+    def test_weighted_halving_deterministic_under_seed(self):
+        space = _space()
+        weights = {"latency_s": 2.0, "offchip_bytes": 1.0}
+        first = SuccessiveHalving(weights=weights).search(
+            space, 16, _fake_evaluate(), random.Random(11))
+        second = SuccessiveHalving(weights=weights).search(
+            space, 16, _fake_evaluate(), random.Random(11))
+        assert [c.point_id for c in first] == [c.point_id for c in second]

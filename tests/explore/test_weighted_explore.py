@@ -1,0 +1,68 @@
+"""Weighted-scalarisation exploration: report ordering and field plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import SuccessiveHalving, get_space, run_exploration
+
+
+def _explore(weights=None, **kwargs):
+    kwargs.setdefault("budget", 12)
+    kwargs.setdefault("verify_top", 0)
+    kwargs.setdefault("seed", 5)
+    kwargs.setdefault("proxy", "batched")  # fast; payloads equal sweep's
+    strategy = SuccessiveHalving(weights=weights) if weights \
+        else SuccessiveHalving()
+    return run_exploration(get_space("encoder-smoke"), strategy,
+                           weights=weights, **kwargs)
+
+
+def test_weighted_report_carries_scores_and_weights():
+    weights = {"latency_s": 2.0, "offchip_bytes": 1.0, "utilization": 0.5}
+    report = _explore(weights=weights)
+    assert report.weights == weights
+    assert report.frontier
+    scores = [point.weighted_score for point in report.frontier]
+    assert all(score is not None for score in scores)
+    # Frontier is sorted best-score-first.
+    assert scores == sorted(scores)
+    payload = report.to_dict()
+    assert payload["weights"] == weights
+    assert all("weighted_score" in point for point in payload["frontier"])
+
+
+def test_unweighted_report_has_no_scores():
+    report = _explore()
+    assert report.weights is None
+    assert all(point.weighted_score is None for point in report.frontier)
+    assert all("weighted_score" not in point
+               for point in report.to_dict()["frontier"])
+
+
+def test_pure_latency_weight_reproduces_latency_ordering():
+    weighted = _explore(weights={"latency_s": 1.0})
+    unweighted = _explore()
+    # A single latency weight scores points by normalised latency, so the
+    # frontier order must match the default latency-sorted order.
+    assert [p.point_id for p in weighted.frontier] == \
+        [p.point_id for p in unweighted.frontier]
+
+
+def test_unknown_weight_key_raises():
+    with pytest.raises(KeyError, match="unknown objective weight"):
+        run_exploration(get_space("encoder-smoke"), SuccessiveHalving(),
+                        budget=4, verify_top=0, weights={"nope": 1.0})
+
+
+def test_unknown_proxy_and_missing_batch_runner_raise():
+    with pytest.raises(KeyError, match="proxy"):
+        run_exploration(get_space("encoder-smoke"), SuccessiveHalving(),
+                        budget=4, verify_top=0, proxy="warp")
+    # A space whose kind has no batch runner must fail loudly in batched mode.
+    from repro.explore import Axis, DesignSpace
+    space = DesignSpace(name="chain", kind="engine_chain",
+                        axes=(Axis("n_msgs", (10, 20)),))
+    with pytest.raises(KeyError, match="batch runner"):
+        run_exploration(space, SuccessiveHalving(), budget=2, verify_top=0,
+                        proxy="batched")

@@ -241,3 +241,44 @@ class TestRobustness:
         finally:
             REGISTRY._scenarios.pop("cli-test/engine-only")
             REGISTRY._kinds.pop("cli-test-engine-only")
+
+
+class TestExploreProxyAndWeights:
+    def test_batched_proxy_end_to_end(self, capsys, tmp_path):
+        code, out, err = _run(capsys, "explore", "--space", "encoder-smoke",
+                              "--strategy", "grid", "--budget", "8",
+                              "--verify-top", "1", "--proxy", "batched",
+                              "--cache-dir", str(tmp_path))
+        assert code == 0 and not err
+        assert "Pareto frontier" in out
+        assert "batched proxy" in out
+
+    def test_weights_order_frontier_and_render_score_column(self, capsys,
+                                                            tmp_path):
+        json_path = tmp_path / "weighted.json"
+        code, out, _ = _run(capsys, "explore", "--space", "encoder-smoke",
+                            "--strategy", "halving", "--budget", "8",
+                            "--verify-top", "0", "--proxy", "batched",
+                            "--weights", "latency=2,traffic=1",
+                            "--cache-dir", str(tmp_path / "cache"),
+                            "--json", str(json_path))
+        assert code == 0
+        assert "score" in out
+        assert "weighted scalarisation" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["weights"] == {"latency_s": 2.0, "offchip_bytes": 1.0}
+        scores = [point["weighted_score"] for point in payload["frontier"]]
+        assert scores == sorted(scores)
+
+    @pytest.mark.parametrize("weights", [
+        "latency", "latency=x", "latency=-1", "bogus=1", "",
+        "latency=0,traffic=0", "latency=1,latency=2",
+        "latency=nan", "latency=inf,traffic=1",
+    ])
+    def test_invalid_weights_exit_2(self, capsys, weights):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", "--space", "encoder-smoke",
+                  "--weights", weights])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--weights" in err and "Traceback" not in err

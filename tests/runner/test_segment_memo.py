@@ -1,0 +1,191 @@
+"""Segment-memo keying, invalidation, and wiring tests.
+
+The memo must hit iff a simulation would be byte-identical: same uOP
+streams, same hardware configuration, same codegen options, same code
+version.  Anything else -- a changed tile knob, a scaled bandwidth (which
+does not even change the uOPs!), a bumped code version, a corrupted disk
+entry -- must be a miss that falls back to fresh simulation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import cache as cache_module
+from repro.runner.cache import ResultCache, SegmentMemo
+from repro.runner.sweep import run_sweep
+from repro.xnn import CodegenOptions, XNNConfig, XNNExecutor
+from repro.xnn.codegen import ProgramBuilder
+from repro.xnn.datapath import XNNDatapath
+from repro.workloads.layers import MatMulLayer
+
+
+def _gemm_fingerprint(config: XNNConfig, options: CodegenOptions) -> str:
+    xnn = XNNDatapath(config)
+    memory = xnn.memory
+    memory.add("lhs", (256, 256))
+    memory.add("rhs", (256, 256))
+    memory.allocate("out", (256, 256))
+    builder = ProgramBuilder(xnn, options)
+    builder.add_gemm_layer(MatMulLayer("gemm", m=256, k=256, n=256),
+                           lhs="lhs", rhs="rhs", out="out")
+    return builder.fingerprint()
+
+
+TIMING_CONFIG = XNNConfig(carry_data=False)
+
+
+class TestFingerprint:
+    def test_identical_programs_have_identical_fingerprints(self):
+        first = _gemm_fingerprint(TIMING_CONFIG, CodegenOptions())
+        second = _gemm_fingerprint(TIMING_CONFIG, CodegenOptions())
+        assert first == second
+
+    def test_codegen_options_change_fingerprint(self):
+        base = _gemm_fingerprint(TIMING_CONFIG, CodegenOptions())
+        tiled = _gemm_fingerprint(TIMING_CONFIG, CodegenOptions(tile_m=384))
+        assert base != tiled
+
+    def test_config_change_without_uop_change_fingerprints_differently(self):
+        # bandwidth_scale alters transfer *times* but not a single uOP --
+        # the config must be part of the key or scaled runs would collide.
+        base = _gemm_fingerprint(TIMING_CONFIG, CodegenOptions())
+        scaled = _gemm_fingerprint(XNNConfig(carry_data=False,
+                                             bandwidth_scale=2.0),
+                                   CodegenOptions())
+        assert base != scaled
+
+    def test_code_version_changes_fingerprint(self, monkeypatch):
+        base = _gemm_fingerprint(TIMING_CONFIG, CodegenOptions())
+        monkeypatch.setattr(cache_module, "code_version",
+                            lambda: "deadbeefdeadbeef")
+        bumped = _gemm_fingerprint(TIMING_CONFIG, CodegenOptions())
+        assert base != bumped
+
+
+class TestMemoBehaviour:
+    def test_identical_runs_hit_and_match_fresh_exactly(self):
+        memo = SegmentMemo()
+        executor = XNNExecutor(config=TIMING_CONFIG, segment_memo=memo)
+        first, _ = executor.run_gemm(256, 256, 256)
+        assert memo.hits == 0 and memo.misses == 1
+        second, _ = executor.run_gemm(256, 256, 256)
+        assert memo.hits == 1 and memo.misses == 1
+
+        fresh, _ = XNNExecutor(config=TIMING_CONFIG,
+                               segment_memo=None).run_gemm(256, 256, 256)
+        for memoized in (first, second):
+            assert memoized.latency_s == fresh.latency_s
+            assert memoized.ddr_bytes == fresh.ddr_bytes
+            assert memoized.lpddr_bytes == fresh.lpddr_bytes
+            assert memoized.uops == fresh.uops
+
+    def test_option_change_misses(self):
+        memo = SegmentMemo()
+        XNNExecutor(config=TIMING_CONFIG, segment_memo=memo).run_gemm(256, 256, 256)
+        XNNExecutor(config=TIMING_CONFIG, options=CodegenOptions(tile_m=384),
+                    segment_memo=memo).run_gemm(256, 256, 256)
+        assert memo.hits == 0 and memo.misses == 2
+
+    def test_config_change_misses(self):
+        memo = SegmentMemo()
+        XNNExecutor(config=TIMING_CONFIG, segment_memo=memo).run_gemm(256, 256, 256)
+        XNNExecutor(config=XNNConfig(carry_data=False, bandwidth_scale=2.0),
+                    segment_memo=memo).run_gemm(256, 256, 256)
+        assert memo.hits == 0 and memo.misses == 2
+
+    def test_functional_runs_bypass_the_memo(self):
+        import numpy as np
+        memo = SegmentMemo()
+        executor = XNNExecutor(config=XNNConfig(carry_data=True),
+                               segment_memo=memo)
+        rng = np.random.default_rng(0)
+        lhs = rng.standard_normal((64, 64)).astype(np.float32)
+        rhs = rng.standard_normal((64, 64)).astype(np.float32)
+        _, out = executor.run_gemm(64, 64, 64, lhs_data=lhs, rhs_data=rhs)
+        assert out is not None
+        assert len(memo) == 0 and memo.hits == 0 and memo.misses == 0
+
+
+class TestDiskLayer:
+    def test_disk_round_trip_is_exact_across_memo_instances(self, tmp_path):
+        first = SegmentMemo(root=tmp_path)
+        executor = XNNExecutor(config=TIMING_CONFIG, segment_memo=first)
+        result, _ = executor.run_gemm(256, 256, 256)
+
+        # A fresh memo on the same directory serves the entry without any
+        # simulation, byte-identically (JSON float round-trip is exact).
+        second = SegmentMemo(root=tmp_path)
+        executor = XNNExecutor(config=TIMING_CONFIG, segment_memo=second)
+        reloaded, _ = executor.run_gemm(256, 256, 256)
+        assert second.hits == 1 and second.misses == 0
+        assert reloaded.latency_s == result.latency_s
+        assert reloaded.ddr_bytes == result.ddr_bytes
+        assert reloaded.lpddr_bytes == result.lpddr_bytes
+
+    def test_stale_code_version_on_disk_misses(self, tmp_path):
+        memo = SegmentMemo(root=tmp_path)
+        XNNExecutor(config=TIMING_CONFIG, segment_memo=memo).run_gemm(256, 256, 256)
+        entries = sorted(tmp_path.glob("segment-*.json"))
+        assert entries
+        for path in entries:
+            payload = json.loads(path.read_text())
+            payload["code_version"] = "0000000000000000"
+            path.write_text(json.dumps(payload))
+        stale = SegmentMemo(root=tmp_path)
+        XNNExecutor(config=TIMING_CONFIG, segment_memo=stale).run_gemm(256, 256, 256)
+        assert stale.hits == 0 and stale.misses == 1
+
+    def test_corrupted_disk_entry_is_a_miss(self, tmp_path):
+        memo = SegmentMemo(root=tmp_path)
+        XNNExecutor(config=TIMING_CONFIG, segment_memo=memo).run_gemm(256, 256, 256)
+        for path in tmp_path.glob("segment-*.json"):
+            path.write_text("{not json")
+        corrupted = SegmentMemo(root=tmp_path)
+        XNNExecutor(config=TIMING_CONFIG,
+                    segment_memo=corrupted).run_gemm(256, 256, 256)
+        assert corrupted.hits == 0 and corrupted.misses == 1
+
+
+class TestSweepWiring:
+    @pytest.fixture(autouse=True)
+    def _isolate_process_memo(self):
+        # The sweep attaches the on-disk layer to the process-wide memo;
+        # detach and drop test entries afterwards so other tests see the
+        # same pristine memo they started with.
+        memo = cache_module.process_segment_memo()
+        yield
+        memo.set_root(None)
+
+    def test_cached_sweep_persists_segment_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        outcomes = run_sweep(["smoke/engine-chain"], cache=cache)
+        assert not outcomes[0].cached
+        # engine_chain runs the raw engine (no executor), so only the wiring
+        # is observable here: the memo must now point at the cache directory.
+        assert cache_module.process_segment_memo().root == cache.segments_dir
+
+    def test_prune_keeps_current_and_drops_stale_segments(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        memo = SegmentMemo(root=cache.segments_dir)
+        XNNExecutor(config=TIMING_CONFIG, segment_memo=memo).run_gemm(256, 256, 256)
+        assert list(cache.segments_dir.glob("segment-*.json"))
+
+        stats = cache.prune()
+        assert stats.removed == 0 and stats.kept == 1
+
+        for path in cache.segments_dir.glob("segment-*.json"):
+            payload = json.loads(path.read_text())
+            payload["code_version"] = "0000000000000000"
+            path.write_text(json.dumps(payload))
+        stats = cache.prune()
+        assert stats.removed == 1 and stats.kept == 0
+
+    def test_clear_removes_segment_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        memo = SegmentMemo(root=cache.segments_dir)
+        XNNExecutor(config=TIMING_CONFIG, segment_memo=memo).run_gemm(256, 256, 256)
+        assert cache.clear() == 1
+        assert not list(cache.segments_dir.glob("segment-*.json"))

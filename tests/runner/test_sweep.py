@@ -61,9 +61,9 @@ class TestRunSweep:
         calls = []
         real_run_one = sweep_module._run_one
 
-        def counting_run_one(scenario, backend="engine"):
+        def counting_run_one(scenario, backend="engine", **kwargs):
             calls.append(scenario.name)
-            return real_run_one(scenario, backend=backend)
+            return real_run_one(scenario, backend=backend, **kwargs)
 
         monkeypatch.setattr(sweep_module, "_run_one", counting_run_one)
         outcomes = run_sweep(["smoke/engine-chain", "smoke/engine-chain"],
