@@ -1,10 +1,14 @@
 """Analytical models and report rendering shared by the benchmark harness."""
 
-from .roofline import (ResourceRoofline, RooflinePoint, roofline_latency,
-                       machine_balance)
+from .roofline import (
+    ResourceRoofline,
+    RooflinePoint,
+    roofline_latency,
+    machine_balance,
+)
 from .instruction_stats import InstructionAnalysis, analyze_program
 from .energy import EnergyPoint, gpu_energy_table, vck190_energy_point
-from .pareto import (dominates, kendall_tau, pareto_frontier, pareto_ranks)
+from .pareto import dominates, kendall_tau, pareto_frontier, pareto_ranks
 from .reporting import Table, format_table, format_value
 
 __all__ = [

@@ -14,8 +14,13 @@ from typing import List, Optional
 
 from ..hardware.gpu import GPU_SPECS
 
-__all__ = ["EnergyPoint", "gpu_energy_table", "vck190_energy_point",
-           "VCK190_OPERATING_POWER_W", "VCK190_DYNAMIC_POWER_W"]
+__all__ = [
+    "EnergyPoint",
+    "gpu_energy_table",
+    "vck190_energy_point",
+    "VCK190_OPERATING_POWER_W",
+    "VCK190_DYNAMIC_POWER_W",
+]
 
 
 #: board power measured with BEAM at batch 8 (Table 10).

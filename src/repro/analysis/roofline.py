@@ -14,8 +14,13 @@ from typing import Dict, Mapping
 from ..hardware.vck190 import VCK190, VCK190Spec
 from ..workloads.layers import MatMulLayer
 
-__all__ = ["RooflinePoint", "ResourceRoofline", "roofline_latency",
-           "machine_balance", "layer_roofline"]
+__all__ = [
+    "RooflinePoint",
+    "ResourceRoofline",
+    "roofline_latency",
+    "machine_balance",
+    "layer_roofline",
+]
 
 
 @dataclass(frozen=True)
@@ -91,20 +96,25 @@ def machine_balance(achieved_flops: float, bandwidth: float) -> float:
     return achieved_flops / bandwidth
 
 
-def roofline_latency(flops: float, nbytes: float, achieved_flops: float,
-                     bandwidth: float) -> RooflinePoint:
+def roofline_latency(
+    flops: float, nbytes: float, achieved_flops: float, bandwidth: float
+) -> RooflinePoint:
     """Evaluate the roofline for a kernel of ``flops`` work and ``nbytes`` traffic."""
     if flops < 0 or nbytes < 0:
         raise ValueError("flops and nbytes must be non-negative")
     if achieved_flops <= 0 or bandwidth <= 0:
         raise ValueError("achieved_flops and bandwidth must be positive")
-    return RooflinePoint(flops=flops, bytes=nbytes,
-                         compute_s=flops / achieved_flops,
-                         memory_s=nbytes / bandwidth)
+    return RooflinePoint(
+        flops=flops,
+        bytes=nbytes,
+        compute_s=flops / achieved_flops,
+        memory_s=nbytes / bandwidth,
+    )
 
 
-def layer_roofline(layer: MatMulLayer, achieved_flops: float = 6.7e12,
-                   spec: VCK190Spec = VCK190) -> RooflinePoint:
+def layer_roofline(
+    layer: MatMulLayer, achieved_flops: float = 6.7e12, spec: VCK190Spec = VCK190
+) -> RooflinePoint:
     """Roofline point of one layer on the VCK190, using observed bandwidths."""
     bandwidth = spec.ddr_read_bw + spec.lpddr_read_bw
     return roofline_latency(layer.flops, layer.offchip_bytes, achieved_flops, bandwidth)

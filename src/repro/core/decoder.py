@@ -83,8 +83,12 @@ class InstructionDecoder:
     still terminates.
     """
 
-    def __init__(self, datapath: Datapath, program: RSNProgram,
-                 config: Optional[DecoderConfig] = None):
+    def __init__(
+        self,
+        datapath: Datapath,
+        program: RSNProgram,
+        config: Optional[DecoderConfig] = None,
+    ):
         self.datapath = datapath
         self.program = program
         self.config = config or DecoderConfig()
@@ -144,7 +148,9 @@ class InstructionDecoder:
             ("decoder/top", self._top_level())
         ]
         for fu_type in self._mop_channels:
-            processes.append((f"decoder/second[{fu_type}]", self._second_level(fu_type)))
+            processes.append(
+                (f"decoder/second[{fu_type}]", self._second_level(fu_type))
+            )
         for fu_name in self._pre_uop_channels:
             processes.append((f"decoder/third[{fu_name}]", self._third_level(fu_name)))
         return processes

@@ -86,9 +86,13 @@ class InstructionPacket:
 
     def __post_init__(self) -> None:
         if self.reuse < 1:
-            raise ConfigurationError(f"packet {self.label or self.opcode!r}: reuse must be >= 1")
+            raise ConfigurationError(
+                f"packet {self.label or self.opcode!r}: reuse must be >= 1"
+            )
         if not self.targets:
-            raise ConfigurationError(f"packet {self.label or self.opcode!r}: empty target mask")
+            raise ConfigurationError(
+                f"packet {self.label or self.opcode!r}: empty target mask"
+            )
         self.targets = list(self.targets)
         self.mops = list(self.mops)
 
@@ -113,7 +117,9 @@ class InstructionPacket:
         through it (validating field names and giving exact encoded sizes);
         otherwise generic uOPs with the mOP's fields are produced.
         """
-        expanded: Dict[str, List[UOp]] = OrderedDict((name, []) for name in self.targets)
+        expanded: Dict[str, List[UOp]] = OrderedDict(
+            (name, []) for name in self.targets
+        )
         for _ in range(self.reuse):
             for mop in self.mops:
                 for fu_name in self.targets:
@@ -173,8 +179,11 @@ class RSNProgram:
     decoder of the targeted FU type.
     """
 
-    def __init__(self, name: str = "program",
-                 uop_formats: Optional[Mapping[str, UOpFormat]] = None):
+    def __init__(
+        self,
+        name: str = "program",
+        uop_formats: Optional[Mapping[str, UOpFormat]] = None,
+    ):
         self.name = name
         self.packets: List[InstructionPacket] = []
         #: optional per-FU-type uOP encoding formats (exact Fig. 9 sizes).
@@ -190,11 +199,24 @@ class RSNProgram:
         for packet in packets:
             self.append(packet)
 
-    def emit(self, opcode: str, targets: Sequence[str], mops: Sequence[MOp],
-             reuse: int = 1, last: bool = False, label: str = "") -> InstructionPacket:
+    def emit(
+        self,
+        opcode: str,
+        targets: Sequence[str],
+        mops: Sequence[MOp],
+        reuse: int = 1,
+        last: bool = False,
+        label: str = "",
+    ) -> InstructionPacket:
         """Create and append a packet in one call."""
-        packet = InstructionPacket(opcode=opcode, targets=targets, mops=mops,
-                                   reuse=reuse, last=last, label=label)
+        packet = InstructionPacket(
+            opcode=opcode,
+            targets=targets,
+            mops=mops,
+            reuse=reuse,
+            last=last,
+            label=label,
+        )
         return self.append(packet)
 
     def finalize(self, fu_names_by_type: Mapping[str, Sequence[str]]) -> None:
@@ -206,8 +228,14 @@ class RSNProgram:
         types_with_last = {p.opcode for p in self.packets if p.last}
         for fu_type, names in fu_names_by_type.items():
             if fu_type not in types_with_last:
-                self.emit(fu_type, list(names), mops=[], reuse=1, last=True,
-                          label=f"exit-{fu_type}")
+                self.emit(
+                    fu_type,
+                    list(names),
+                    mops=[],
+                    reuse=1,
+                    last=True,
+                    label=f"exit-{fu_type}",
+                )
 
     # ------------------------------------------------------------- expansion
 
@@ -270,4 +298,7 @@ class RSNProgram:
         return report
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"RSNProgram({self.name!r}, packets={len(self.packets)}, bytes={self.nbytes})"
+        return (
+            f"RSNProgram({self.name!r}, packets={len(self.packets)}, "
+            f"bytes={self.nbytes})"
+        )

@@ -120,16 +120,28 @@ class TileMessage(StreamMessage):
         return self.data is not None
 
     @classmethod
-    def from_array(cls, data: np.ndarray, dtype: str = "fp32", tag: str = "",
-                   coords: Tuple[int, ...] = ()) -> "TileMessage":
+    def from_array(
+        cls,
+        data: np.ndarray,
+        dtype: str = "fp32",
+        tag: str = "",
+        coords: Tuple[int, ...] = (),
+    ) -> "TileMessage":
         """Build a data-carrying tile message from a NumPy array."""
         return cls(data=np.asarray(data), dtype=dtype, tag=tag, coords=coords)
 
     @classmethod
-    def placeholder(cls, shape: Tuple[int, ...], dtype: str = "fp32", tag: str = "",
-                    coords: Tuple[int, ...] = ()) -> "TileMessage":
+    def placeholder(
+        cls,
+        shape: Tuple[int, ...],
+        dtype: str = "fp32",
+        tag: str = "",
+        coords: Tuple[int, ...] = (),
+    ) -> "TileMessage":
         """Build a metadata-only tile message (timing-only mode)."""
-        return cls(shape=tuple(int(s) for s in shape), dtype=dtype, tag=tag, coords=coords)
+        return cls(
+            shape=tuple(int(s) for s in shape), dtype=dtype, tag=tag, coords=coords
+        )
 
     def map(self, fn: Any, tag: str | None = None) -> "TileMessage":
         """Apply ``fn`` to the payload (if any) and return a new message.
@@ -140,7 +152,9 @@ class TileMessage(StreamMessage):
         """
         new_tag = self.tag if tag is None else tag
         if self.data is not None:
-            return TileMessage.from_array(fn(self.data), dtype=self.dtype, tag=new_tag,
-                                          coords=self.coords)
-        return TileMessage.placeholder(self.shape, dtype=self.dtype, tag=new_tag,
-                                       coords=self.coords)
+            return TileMessage.from_array(
+                fn(self.data), dtype=self.dtype, tag=new_tag, coords=self.coords
+            )
+        return TileMessage.placeholder(
+            self.shape, dtype=self.dtype, tag=new_tag, coords=self.coords
+        )

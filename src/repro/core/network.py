@@ -66,7 +66,9 @@ class Datapath:
     def add_fu(self, fu: FunctionalUnit) -> FunctionalUnit:
         """Register a functional unit; names must be unique."""
         if fu.name in self.fus:
-            raise ConfigurationError(f"datapath {self.name!r} already has an FU {fu.name!r}")
+            raise ConfigurationError(
+                f"datapath {self.name!r} already has an FU {fu.name!r}"
+            )
         self.fus[fu.name] = fu
         return fu
 

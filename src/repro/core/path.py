@@ -37,8 +37,9 @@ class Path:
         Optional initial mapping of FU name to uOP sequence.
     """
 
-    def __init__(self, name: str,
-                 assignments: Optional[Mapping[str, Sequence[UOp]]] = None):
+    def __init__(
+        self, name: str, assignments: Optional[Mapping[str, Sequence[UOp]]] = None
+    ):
         self.name = name
         self._assignments: "OrderedDict[str, List[UOp]]" = OrderedDict()
         for fu_name, uops in (assignments or {}).items():
@@ -90,7 +91,9 @@ class Path:
         return merged
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Path({self.name!r}, fus={len(self._assignments)}, uops={self.total_uops})"
+        return (
+            f"Path({self.name!r}, fus={len(self._assignments)}, uops={self.total_uops})"
+        )
 
 
 class PathProgram:
@@ -168,4 +171,7 @@ class PathProgram:
         return sum(path.uop_bytes() for path in self.paths)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"PathProgram({self.name!r}, paths={len(self.paths)}, uops={self.total_uops})"
+        return (
+            f"PathProgram({self.name!r}, paths={len(self.paths)}, "
+            f"uops={self.total_uops})"
+        )

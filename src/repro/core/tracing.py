@@ -131,7 +131,11 @@ class UtilizationReport:
         return total / self.total_time
 
     def total_bytes(self, channel_names: Optional[Iterable[str]] = None) -> int:
-        names = list(channel_names) if channel_names is not None else list(self.channel_bytes)
+        names = (
+            list(channel_names)
+            if channel_names is not None
+            else list(self.channel_bytes)
+        )
         return sum(self.channel_bytes.get(name, 0) for name in names)
 
     def rows(self) -> List[Tuple[str, float, float, float]]:
