@@ -1,8 +1,8 @@
-"""Record the PR 4 performance numbers into a ``BENCH_*.json`` artifact.
+"""Record the headline performance numbers into a ``BENCH_*.json`` artifact.
 
 Usage (from the repository root)::
 
-    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr4.json]
+    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr5.json]
                                                [--check]
 
 Measures the three headline numbers of the simulation-throughput overhaul --
@@ -30,12 +30,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))          # _helpers
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 #: loose acceptance floors for ``--check`` -- deliberately below the locally
-#: measured numbers (engine ~2.3x PR 3, memo ~4.5x, batch ~14x) so only a
-#: real regression trips them on a noisy CI runner.
+#: measured numbers (engine ~2.3x PR 3, memo ~4.5x, batch ~3x cold) so only
+#: a real regression trips them on a noisy CI runner.  The batch floor
+#: dropped from 5 in PR 5: the per-point baseline it is measured against
+#: lost its quadratic duplicate-resolution scan and is now ~5x faster
+#: itself (compare ``per_point_s`` in BENCH_pr4.json vs BENCH_pr5.json).
 FLOORS = {
     "engine_events_per_s": 100_000.0,
     "segment_memo_speedup": 2.5,
-    "analytic_batch_speedup": 5.0,
+    "analytic_batch_speedup": 2.0,
 }
 
 
@@ -101,7 +104,7 @@ def record() -> dict:
     memo = measure_segment_memo()
     batch = measure_analytic_batch()
     return {
-        "bench": "pr4-three-tier-throughput",
+        "bench": "pr5-executor-layer",
         "code_version": code_version(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "host": {
@@ -130,8 +133,8 @@ def check(payload: dict) -> list:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_pr4.json",
-                        help="output path (default: BENCH_pr4.json)")
+    parser.add_argument("--output", default="BENCH_pr5.json",
+                        help="output path (default: BENCH_pr5.json)")
     parser.add_argument("--check", action="store_true",
                         help="fail (exit 1) when a measurement is below its "
                              "loose floor")

@@ -2,9 +2,12 @@
 
 :func:`run_exploration` is the subsystem's engine room.  Phase one hands the
 strategy an evaluation callback that batches candidate points through the
-existing sweep executor (:func:`~repro.runner.sweep.run_sweep`) on the
-**analytic** backend -- worker pool and on-disk result cache included, so a
-repeated exploration is served from cache byte-identically.  Phase two takes
+existing sweep front-end (:func:`~repro.runner.sweep.run_sweep`) on the
+**analytic** backend -- execution executor (serial, local pool, or the
+distributed work queue of :mod:`repro.runner.executors`) and on-disk result
+cache included, so a repeated exploration is served from cache
+byte-identically and a single exploration can fan its evaluations out
+beyond one host.  Phase two takes
 the Pareto frontier of the full-fidelity candidates (latency down, off-chip
 traffic down, utilisation up), re-evaluates the top ``verify_top`` frontier
 points on the cycle-level **engine** backend, and checks the certified
@@ -23,6 +26,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.pareto import kendall_tau, pareto_frontier, weighted_scalarization
 from ..runner.cache import ResultCache
+from ..runner.executors import Executor, default_executor
 from ..runner.sweep import run_sweep
 from .space import DesignSpace
 from .strategies import DEFAULT_HALVING_OBJECTIVES, Candidate, SearchStrategy
@@ -242,7 +246,7 @@ def _verify_frontier(
     targets: Sequence[FrontierPoint],
     proxies: Mapping[str, Candidate],
     objectives: Sequence[Objective],
-    workers: int,
+    executor: Executor,
     cache: Optional[ResultCache],
     force: bool,
 ) -> List[VerifiedPoint]:
@@ -250,7 +254,7 @@ def _verify_frontier(
     points = [space.materialize(point.assignment) for point in targets]
     outcomes = run_sweep(
         [point.scenario for point in points],
-        workers=workers,
+        executor=executor,
         cache=cache,
         force=force,
         backend="engine",
@@ -294,13 +298,21 @@ def run_exploration(
     objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
     proxy: str = "sweep",
     weights: Optional[Mapping[str, float]] = None,
+    executor: Optional[Executor] = None,
 ) -> ExplorationReport:
     """Search ``space`` with ``strategy`` and verify the frontier.
 
-    Parameters mirror the sweep executor where they overlap (``workers``,
+    Parameters mirror the sweep front-end where they overlap (``executor``,
     ``cache``, ``force``); ``budget`` bounds the strategy's total analytic
     evaluations and ``verify_top`` bounds the engine re-evaluations (0 skips
     verification entirely -- e.g. for pure proxy benchmarks).
+
+    ``executor`` is the :class:`~repro.runner.executors.Executor` every
+    evaluation batch -- the strategy's proxy generations and the engine
+    verification pass alike -- fans out through; its lifecycle belongs to
+    the caller.  When omitted, ``workers`` picks the classic local policy
+    (serial for ``<= 1``, else a process pool), so pre-executor call sites
+    behave unchanged.
 
     ``proxy`` selects how analytic evaluations run.  ``"sweep"`` (default)
     materialises every point into an ad-hoc scenario and fans it through
@@ -328,6 +340,8 @@ def run_exploration(
         raise ValueError(f"verify_top must be >= 0, got {verify_top}")
     validate_weights(weights, objectives)
     batch_runner = resolve_batch_runner(space, proxy)
+    if executor is None:
+        executor = default_executor(workers)
     rng = random.Random(seed)
     feasible_points = len(space.points())
     stats = {"evaluations": 0, "cache_hits": 0}
@@ -344,7 +358,7 @@ def run_exploration(
         points = [space.materialize(a, fidelity) for a in assignments]
         outcomes = run_sweep(
             [point.scenario for point in points],
-            workers=workers,
+            executor=executor,
             cache=cache,
             force=force,
             backend="analytic",
@@ -403,7 +417,7 @@ def run_exploration(
             frontier[:verify_top],
             unique,
             objectives,
-            workers,
+            executor,
             cache,
             force,
         )

@@ -2,8 +2,10 @@
 
 A strategy decides *which* points to evaluate and at *what* fidelity; the
 explorer (:mod:`repro.explore.explore`) decides *how* -- batching every
-request through the sweep executor's worker pool and result cache.  The
-contract is the :meth:`SearchStrategy.search` method: given the space, an
+request through the sweep front-end's pluggable execution executor (serial,
+local process pool, or the distributed work queue of
+:mod:`repro.runner.executors`) and result cache.  The contract is the
+:meth:`SearchStrategy.search` method: given the space, an
 evaluation budget, and a batch-evaluation callback, return the candidates
 that were evaluated at **full fidelity** (only those are comparable on the
 Pareto axes; reduced-fidelity rung results are selection scaffolding).

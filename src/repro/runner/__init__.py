@@ -9,35 +9,54 @@ The runner turns the benchmark suite's ad-hoc scripts into data:
   repro.runner`` yields a fully populated registry);
 * :mod:`repro.runner.cache` -- the on-disk :class:`ResultCache`, keyed by
   scenario identity plus a content hash of the package sources;
+* :mod:`repro.runner.executors` -- the pluggable execution policies:
+  :class:`SerialExecutor`, :class:`ProcessPoolExecutor` (local
+  ``multiprocessing`` pool), and :class:`WorkQueueExecutor` (distributed
+  fan-out over a shared spool directory, with the :class:`Spool` protocol);
+* :mod:`repro.runner.worker` -- the detached work-queue worker loop behind
+  ``python -m repro.runner worker``;
 * :mod:`repro.runner.sweep` -- :func:`run_sweep`, which resolves cache hits
-  and fans the rest out over a ``multiprocessing`` pool;
+  and hands the rest to an executor;
 * :mod:`repro.runner.cli` -- ``python -m repro.runner`` (list / run / sweep /
-  cache subcommands).
+  explore / worker / cache subcommands).
 
 Typical library use::
 
-    from repro.runner import REGISTRY, ResultCache, run_sweep
+    from repro.runner import (REGISTRY, ProcessPoolExecutor, ResultCache,
+                              run_sweep)
 
     outcomes = run_sweep([s.name for s in REGISTRY.select(tags=["table9"])],
-                         workers=4, cache=ResultCache())
+                         executor=ProcessPoolExecutor(4), cache=ResultCache())
 """
 
 from .scenarios import (BACKENDS, DEFAULT_BACKEND, REGISTRY, Scenario,
                         ScenarioRegistry, canonical_json)
 from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version
+from .executors import (EXECUTOR_NAMES, Executor, ProcessPoolExecutor,
+                        SerialExecutor, Spool, WorkQueueExecutor,
+                        default_executor)
 from .sweep import SweepOutcome, run_sweep
+from .worker import run_worker
 from . import library  # noqa: F401 -- registers the scenario catalogue
 
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
     "DEFAULT_CACHE_DIR",
+    "EXECUTOR_NAMES",
+    "Executor",
+    "ProcessPoolExecutor",
     "REGISTRY",
     "ResultCache",
     "Scenario",
     "ScenarioRegistry",
+    "SerialExecutor",
+    "Spool",
     "SweepOutcome",
+    "WorkQueueExecutor",
     "canonical_json",
     "code_version",
+    "default_executor",
     "run_sweep",
+    "run_worker",
 ]

@@ -6,13 +6,22 @@ Usage (with ``PYTHONPATH=src``)::
     python -m repro.runner run NAME [NAME ...] [--backend B] [options]
     python -m repro.runner sweep (--tag TAG ... | --all | NAME ...) [options]
     python -m repro.runner explore [--space S] [--strategy NAME] [options]
+    python -m repro.runner worker --spool DIR [--poll S] [--idle-exit S]
     python -m repro.runner cache (--show | --clear | --prune)
 
 Common options: ``--backend {engine,analytic}`` (event-driven simulation vs
-the closed-form fast model), ``--workers N`` (parallel worker processes),
-``--cache-dir D`` (default ``.repro-cache``), ``--no-cache``, ``--force``
-(ignore cache hits but refresh entries), ``--json FILE`` (dump outcomes as
-JSON).
+the closed-form fast model), ``--executor {serial,pool,workqueue}`` (the
+execution policy; default derived from ``--workers``), ``--workers N``
+(parallel worker processes; ``auto`` resolves to the machine's CPU count),
+``--spool DIR`` (the shared work-queue directory, required by ``--executor
+workqueue``), ``--cache-dir D`` (default ``.repro-cache``), ``--no-cache``,
+``--force`` (ignore cache hits but refresh entries), ``--json FILE`` (dump
+outcomes as JSON).
+
+``worker`` attaches a detached work-queue worker to a spool directory: it
+claims jobs published by ``--executor workqueue`` sweeps (from this host or
+any other sharing the filesystem), executes them, and publishes results --
+see ``repro.runner.executors`` for the protocol.
 
 ``explore`` searches a named design space on the analytic proxy backend and
 re-certifies the resulting Pareto frontier on the cycle-level engine
@@ -32,11 +41,14 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 import time
 from typing import List, Optional
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version
+from .executors import (EXECUTOR_NAMES, Executor, ProcessPoolExecutor,
+                        SerialExecutor, WorkQueueExecutor)
 from .scenarios import BACKENDS, DEFAULT_BACKEND, REGISTRY
 from .sweep import SweepOutcome, run_sweep
 
@@ -44,13 +56,36 @@ __all__ = ["main"]
 
 
 def _positive_int(text: str) -> int:
-    """argparse type for ``--workers``: an integer >= 1."""
+    """argparse type for strict counts (``--budget``, ...): an integer >= 1."""
     try:
         value = int(text)
     except ValueError:
         raise argparse.ArgumentTypeError(f"invalid integer {text!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _workers_argument(text: str) -> int:
+    """argparse type for ``--workers``: an integer >= 1, or ``auto``.
+
+    ``auto`` resolves to ``os.cpu_count()`` at parse time (1 when the count
+    cannot be determined), so sweeps scale to the machine without the
+    invocation hard-coding its core count.
+    """
+    if text.strip().lower() == "auto":
+        return os.cpu_count() or 1
+    return _positive_int(text)
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for durations (``--poll``, ...): a float > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid number {text!r}") from None
+    if not value > 0 or not math.isfinite(value):
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text!r}")
     return value
 
 
@@ -115,13 +150,31 @@ def _build_parser() -> argparse.ArgumentParser:
     list_cmd.add_argument("--backend", choices=BACKENDS, default=None,
                           help="only scenarios supporting this backend")
 
+    def add_executor_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
+                         help="execution policy: serial (in-process), pool "
+                              "(local multiprocessing pool), or workqueue "
+                              "(distributed fan-out over a shared --spool "
+                              "directory); default: derived from --workers "
+                              "(pool when > 1, else serial)")
+        cmd.add_argument("--workers", type=_workers_argument, default=1,
+                         metavar="N|auto",
+                         help="worker processes: an integer >= 1, or 'auto' "
+                              "for this machine's CPU count; with --executor "
+                              "workqueue this is the number of *local* "
+                              "workers the sweep contributes (default: 1, "
+                              "serial)")
+        cmd.add_argument("--spool", default=None,
+                         help="work-queue spool directory shared with "
+                              "`python -m repro.runner worker` processes "
+                              "(required by --executor workqueue)")
+
     def add_exec_options(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
                          help="execution backend: cycle-level event-driven "
                               "engine, or the analytic fast model "
                               f"(default: {DEFAULT_BACKEND})")
-        cmd.add_argument("--workers", type=_positive_int, default=1,
-                         help="worker processes (default: 1, serial)")
+        add_executor_options(cmd)
         cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                          help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
         cmd.add_argument("--no-cache", action="store_true",
@@ -174,8 +227,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "rank the frontier (and halving survivors) "
                                   "by weighted normalised score instead of "
                                   "non-domination rank")
-    explore_cmd.add_argument("--workers", type=_positive_int, default=1,
-                             help="worker processes (default: 1, serial)")
+    add_executor_options(explore_cmd)
     explore_cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                              help=f"result cache directory "
                                   f"(default: {DEFAULT_CACHE_DIR})")
@@ -193,6 +245,26 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="describe the design-space catalogue and "
                                   "exit")
 
+    worker_cmd = sub.add_parser(
+        "worker", help="attach a work-queue worker to a spool directory")
+    worker_cmd.add_argument("--spool", required=True,
+                            help="spool directory shared with the submitting "
+                                 "sweep (any host on the same filesystem)")
+    worker_cmd.add_argument("--poll", type=_positive_float, default=0.2,
+                            metavar="SECONDS",
+                            help="sleep between claim attempts while the "
+                                 "spool is empty (default: 0.2)")
+    worker_cmd.add_argument("--idle-exit", type=_positive_float, default=None,
+                            metavar="SECONDS",
+                            help="exit once the spool has been empty this "
+                                 "long (default: run until interrupted)")
+    worker_cmd.add_argument("--max-jobs", type=_positive_int, default=None,
+                            help="exit after this many jobs (default: "
+                                 "unbounded)")
+    worker_cmd.add_argument("--worker-id", default=None,
+                            help="spool-visible worker identity (default: "
+                                 "<hostname>-<pid>)")
+
     cache_cmd = sub.add_parser("cache", help="inspect or clean the result cache")
     cache_cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     group = cache_cmd.add_mutually_exclusive_group()
@@ -209,6 +281,34 @@ def _build_parser() -> argparse.ArgumentParser:
 def _fail(message: str) -> int:
     print(f"error: {message}", file=sys.stderr)
     return 2
+
+
+def _build_executor(args: argparse.Namespace) -> Executor:
+    """Construct the executor the ``--executor/--workers/--spool`` flags
+    describe.
+
+    ``--executor`` defaults to the policy a plain worker count implies --
+    pool when ``--workers`` exceeds 1, serial otherwise -- so pre-executor
+    invocations behave unchanged.  Contradictory combinations raise
+    ``ValueError``, which ``main`` reports as an exit-2 user error.
+    """
+    name = args.executor
+    if name is None:
+        name = "pool" if args.workers > 1 else "serial"
+    if name != "workqueue" and args.spool is not None:
+        raise ValueError("--spool is only meaningful with --executor workqueue")
+    if name == "serial":
+        if args.workers > 1:
+            raise ValueError(f"--executor serial contradicts --workers "
+                             f"{args.workers}; drop one of them")
+        return SerialExecutor()
+    if name == "pool":
+        return ProcessPoolExecutor(args.workers)
+    if args.spool is None:
+        raise ValueError("--executor workqueue requires --spool DIR (the "
+                         "directory shared with `python -m repro.runner "
+                         "worker` processes)")
+    return WorkQueueExecutor(args.spool, local_workers=args.workers)
 
 
 def _print_outcomes(outcomes: List[SweepOutcome], wall_s: float,
@@ -265,13 +365,18 @@ def _run_explore(args: argparse.Namespace) -> int:
         return _fail(error.args[0])
     if args.verify_top < 0:
         return _fail(f"--verify-top must be >= 0, got {args.verify_top}")
+    try:
+        executor = _build_executor(args)
+    except ValueError as error:
+        return _fail(str(error))
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    report = run_exploration(space, strategy, budget=args.budget,
-                             verify_top=args.verify_top, seed=args.seed,
-                             workers=args.workers, cache=cache,
-                             force=args.force, proxy=args.proxy,
-                             weights=args.weights)
+    with executor:
+        report = run_exploration(space, strategy, budget=args.budget,
+                                 verify_top=args.verify_top, seed=args.seed,
+                                 executor=executor, cache=cache,
+                                 force=args.force, proxy=args.proxy,
+                                 weights=args.weights)
 
     frontier = dse_frontier_table(report).render()
     verification = dse_verification_table(report).render() \
@@ -340,6 +445,21 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"code version {code_version()}")
         return 0
 
+    if args.command == "worker":
+        from .worker import default_worker_id, run_worker
+        worker_id = args.worker_id or default_worker_id()
+        print(f"worker {worker_id} polling spool {args.spool}", flush=True)
+        try:
+            processed = run_worker(args.spool, poll_s=args.poll,
+                                   idle_exit_s=args.idle_exit,
+                                   max_jobs=args.max_jobs,
+                                   worker_id=worker_id)
+        except KeyboardInterrupt:
+            print(f"worker {worker_id} interrupted", file=sys.stderr)
+            return 130
+        print(f"worker {worker_id} processed {processed} job(s)")
+        return 0
+
     if args.command == "explore":
         return _run_explore(args)
 
@@ -363,11 +483,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyError as error:
         return _fail(error.args[0])
 
+    try:
+        executor = _build_executor(args)
+    except ValueError as error:
+        return _fail(str(error))
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     start = time.perf_counter()
     try:
-        outcomes = run_sweep(scenarios, workers=args.workers, cache=cache,
-                             force=args.force, backend=args.backend)
+        with executor:
+            outcomes = run_sweep(scenarios, cache=cache, force=args.force,
+                                 backend=args.backend, executor=executor)
     except KeyError as error:
         return _fail(error.args[0])
     wall_s = time.perf_counter() - start

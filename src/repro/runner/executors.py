@@ -1,0 +1,761 @@
+"""Pluggable execution executors: serial, process pool, distributed work queue.
+
+:func:`~repro.runner.sweep.run_sweep` delegates the *execution policy* --
+how the scenarios that missed the cache actually get computed -- to an
+:class:`Executor`.  Three implementations ship:
+
+* :class:`SerialExecutor` -- run every scenario in-process, in order.
+* :class:`ProcessPoolExecutor` -- fan out over a local ``multiprocessing``
+  pool (the pre-executor ``run_sweep(workers=N)`` behaviour, including the
+  per-worker segment-memo re-attachment).
+* :class:`WorkQueueExecutor` -- fan out to *detached* worker processes over
+  a shared **spool directory**.  Workers can run on any host that shares the
+  filesystem (``python -m repro.runner worker --spool DIR``); the executor
+  enqueues JSON job files, workers claim them by atomic rename, results come
+  back as JSON files, and a heartbeat/orphan-requeue protocol recovers jobs
+  whose worker died mid-flight.  See :class:`Spool` for the on-disk protocol.
+
+The contract every executor honours is the repository-wide determinism
+contract: workers receive only JSON-able scenarios, and results are
+byte-identical however they were computed (in-process, in a pool worker, or
+on another host).  ``tests/differential/test_executor_contract.py`` pins
+serial == pool == workqueue differentially.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .cache import code_version
+from .scenarios import DEFAULT_BACKEND, Scenario
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "Executor",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "Spool",
+    "WorkQueueExecutor",
+    "default_executor",
+    "scenario_from_payload",
+    "scenario_to_payload",
+]
+
+#: one (scenario name, result dict, elapsed seconds) triple per scenario --
+#: exactly what :func:`repro.runner.sweep._run_one` returns.
+RunResult = Tuple[str, Dict[str, Any], float]
+
+#: ``run_fn(scenario) -> (name, result, elapsed_s)`` -- the work function
+#: executors apply; :func:`run_sweep` passes a pre-bound ``_run_one``.
+RunFn = Callable[[Scenario], RunResult]
+
+
+def scenario_to_payload(scenario: Scenario) -> Dict[str, Any]:
+    """The JSON-able wire form of a scenario (inverse of
+    :func:`scenario_from_payload`)."""
+    return {
+        "name": scenario.name,
+        "kind": scenario.kind,
+        "params": dict(scenario.params),
+        "tags": list(scenario.tags),
+        "description": scenario.description,
+    }
+
+
+def scenario_from_payload(payload: Dict[str, Any]) -> Scenario:
+    """Rebuild a :class:`Scenario` from its wire form."""
+    return Scenario(
+        name=payload["name"],
+        kind=payload["kind"],
+        params=dict(payload.get("params") or {}),
+        tags=tuple(payload.get("tags") or ()),
+        description=payload.get("description", ""),
+    )
+
+
+class Executor:
+    """Execution policy for the scenarios of one sweep.
+
+    Lifecycle: :func:`run_sweep` calls :meth:`configure` (backend plus the
+    segment-memo directory the sweep attached) before every :meth:`submit`,
+    so one executor instance can serve many sweeps -- an exploration reuses
+    its executor across every proxy generation and the engine verification
+    pass.  Executors holding external resources (the work queue's local
+    worker processes) release them in :meth:`close`; all executors are
+    context managers (``with make_executor(...) as ex: ...``).
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.backend: str = DEFAULT_BACKEND
+        self.segment_memo_dir: Optional[str] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def configure(self, backend: str, segment_memo_dir: Optional[str]) -> None:
+        """Per-sweep wiring: execution backend and on-disk segment-memo root.
+
+        Both travel with every job so out-of-process workers reproduce the
+        submitting process's memo configuration exactly.
+        """
+        self.backend = backend
+        self.segment_memo_dir = segment_memo_dir
+
+    def close(self) -> None:
+        """Release external resources; idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- execution
+
+    def submit(self, scenarios: Sequence[Scenario], run_fn: RunFn) -> List[RunResult]:
+        """Execute ``scenarios``, returning one result triple per input, in
+        input order."""
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Run every scenario in-process, in order -- the zero-overhead policy."""
+
+    name = "serial"
+
+    def submit(self, scenarios: Sequence[Scenario], run_fn: RunFn) -> List[RunResult]:
+        return [run_fn(scenario) for scenario in scenarios]
+
+
+class ProcessPoolExecutor(Executor):
+    """Fan scenarios out over a local ``multiprocessing`` pool.
+
+    A pool is created per :meth:`submit` call and sized to
+    ``min(workers, len(scenarios))``; single-scenario (or single-worker)
+    submissions run serially in-process, so a pool executor never pays fork
+    overhead it cannot amortise.  ``run_fn`` crosses the process boundary
+    pickled, which is why :func:`run_sweep` binds only module-level
+    functions and JSON-able arguments into it; the segment-memo directory
+    bound into ``run_fn`` re-attaches the on-disk memo layer inside every
+    pool worker.
+    """
+
+    name = "pool"
+
+    def __init__(self, workers: int):
+        super().__init__()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def submit(self, scenarios: Sequence[Scenario], run_fn: RunFn) -> List[RunResult]:
+        if self.workers > 1 and len(scenarios) > 1:
+            import multiprocessing
+
+            processes = min(self.workers, len(scenarios))
+            with multiprocessing.Pool(processes=processes) as pool:
+                return pool.map(run_fn, scenarios)
+        return [run_fn(scenario) for scenario in scenarios]
+
+
+def default_executor(workers: Optional[int]) -> Executor:
+    """The executor a plain ``workers=N`` request maps to.
+
+    ``None`` or ``<= 1`` is the serial policy; anything larger is a local
+    process pool -- exactly the pre-executor ``run_sweep`` behaviour.
+    """
+    if workers is not None and workers > 1:
+        return ProcessPoolExecutor(workers)
+    return SerialExecutor()
+
+
+# ----------------------------------------------------------------- work queue
+
+
+def _write_json_atomic(directory: Path, path: Path, payload: Dict[str, Any]) -> None:
+    """Write ``payload`` to ``path`` via a same-directory tempfile + rename,
+    so readers never observe a partial file."""
+    encoded = json.dumps(payload, sort_keys=True, indent=1)
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(encoded)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+
+
+def _sanitize_id(identifier: str) -> str:
+    """Restrict worker/job identifiers to filesystem-safe characters."""
+    return re.sub(r"[^A-Za-z0-9._-]", "_", identifier)
+
+
+@dataclass(frozen=True)
+class _ClaimedJob:
+    """One claimed spool job: its id and the claim file holding its payload."""
+
+    job_id: str
+    path: Path
+
+
+class Spool:
+    """The on-disk work-queue protocol shared by submitters and workers.
+
+    Layout (all under one *spool root*, which must live on a filesystem
+    every participating host shares)::
+
+        <spool>/pending/<job>.json            jobs awaiting a claim
+        <spool>/claimed/<job>@@<worker>.json  jobs being executed
+        <spool>/results/<job>.json            finished jobs (result or error)
+        <spool>/workers/<worker>.json         worker heartbeat files
+
+    The protocol rests on one primitive: **atomic rename**.  A worker claims
+    a job by renaming ``pending/<job>.json`` to its worker-unique name under
+    ``claimed/`` -- exactly one rename of a given source can succeed, so a
+    job is never executed by two workers that both believe they own it; the
+    losing worker gets ``FileNotFoundError`` and moves on to the next file.
+    Results and jobs are written via tempfile + rename in the same
+    directory, so a reader never sees a partial JSON file.
+
+    Liveness: every worker touches ``workers/<worker>.json`` on a heartbeat
+    interval.  The submitter treats a claimed job whose worker heartbeat
+    (or, for a worker that never heartbeat, the claim file itself) is older
+    than the orphan timeout as abandoned, and requeues it by renaming the
+    claim file back to ``pending/`` -- the claim file *is* the job payload,
+    so requeueing loses nothing.  If the worker was merely slow and finishes
+    anyway, the duplicated execution is harmless: results are byte-identical
+    by the determinism contract, and result files are keyed by job id.
+
+    Multiple submitters may share one spool: job ids are prefixed with a
+    per-submission unique batch id, and each submitter only collects (and
+    requeues) its own jobs.
+    """
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+
+    # ---------------------------------------------------------------- layout
+
+    @property
+    def pending_dir(self) -> Path:
+        return self.root / "pending"
+
+    @property
+    def claimed_dir(self) -> Path:
+        return self.root / "claimed"
+
+    @property
+    def results_dir(self) -> Path:
+        return self.root / "results"
+
+    @property
+    def workers_dir(self) -> Path:
+        return self.root / "workers"
+
+    def ensure(self) -> "Spool":
+        """Create the spool layout; safe to call from every participant."""
+        for directory in (
+            self.pending_dir,
+            self.claimed_dir,
+            self.results_dir,
+            self.workers_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # ------------------------------------------------------------------ jobs
+
+    def enqueue(self, job_id: str, payload: Dict[str, Any]) -> Path:
+        """Publish one job file atomically; returns its pending path."""
+        path = self.pending_dir / f"{job_id}.json"
+        _write_json_atomic(self.pending_dir, path, payload)
+        return path
+
+    def claim(self, worker_id: str) -> Optional[_ClaimedJob]:
+        """Claim the oldest pending job for ``worker_id``, or ``None``.
+
+        Claiming is the atomic rename described in the class docstring;
+        contention with other workers is resolved by the filesystem (the
+        losers skip to the next pending file).
+        """
+        worker_id = _sanitize_id(worker_id)
+        try:
+            pending = sorted(self.pending_dir.glob("*.json"))
+        except OSError:
+            return None
+        for path in pending:
+            job_id = path.stem
+            target = self.claimed_dir / f"{job_id}@@{worker_id}.json"
+            try:
+                os.replace(path, target)
+            except FileNotFoundError:
+                continue  # another worker won this claim
+            except OSError:
+                continue
+            return _ClaimedJob(job_id=job_id, path=target)
+        return None
+
+    def requeue_orphans(
+        self,
+        orphan_timeout_s: float,
+        job_ids: Optional[Sequence[str]] = None,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Move abandoned claimed jobs back to ``pending/``.
+
+        A claim is abandoned when its worker's heartbeat file -- or the
+        claim file itself, for a worker that died before its first beat --
+        is older than ``orphan_timeout_s``.  ``job_ids`` restricts the scan
+        to one submitter's jobs (so co-tenant submitters never requeue each
+        other's work).  Returns the requeued job ids.
+        """
+        now = time.time() if now is None else now
+        wanted = set(job_ids) if job_ids is not None else None
+        requeued: List[str] = []
+        for path in sorted(self.claimed_dir.glob("*.json")):
+            stem = path.stem
+            job_id, separator, worker_id = stem.partition("@@")
+            if not separator:
+                continue  # not a claim file of this protocol
+            if wanted is not None and job_id not in wanted:
+                continue
+            heartbeat = self.workers_dir / f"{worker_id}.json"
+            try:
+                last_alive = heartbeat.stat().st_mtime
+            except OSError:
+                try:
+                    last_alive = path.stat().st_mtime
+                except OSError:
+                    continue  # claim vanished (worker finished)
+            if now - last_alive <= orphan_timeout_s:
+                continue
+            try:
+                os.replace(path, self.pending_dir / f"{job_id}.json")
+            except OSError:
+                continue  # worker finished (or another requeuer won)
+            requeued.append(job_id)
+        return requeued
+
+    # --------------------------------------------------------------- results
+
+    def write_result(self, job_id: str, payload: Dict[str, Any]) -> Path:
+        """Publish one result file atomically; returns its path."""
+        path = self.results_dir / f"{job_id}.json"
+        _write_json_atomic(self.results_dir, path, payload)
+        return path
+
+    def result_path(self, job_id: str) -> Path:
+        return self.results_dir / f"{job_id}.json"
+
+    # ------------------------------------------------------------ heartbeats
+
+    def beat(self, worker_id: str, info: Optional[Dict[str, Any]] = None) -> None:
+        """Refresh ``worker_id``'s heartbeat (content on first beat, mtime
+        after); failures are swallowed -- a missed beat only risks a
+        harmless requeue."""
+        worker_id = _sanitize_id(worker_id)
+        path = self.workers_dir / f"{worker_id}.json"
+        try:
+            if path.exists():
+                os.utime(path)
+            else:
+                _write_json_atomic(
+                    self.workers_dir, path, {"worker": worker_id, **(info or {})}
+                )
+        except OSError:
+            pass
+
+    def live_workers(self, within_s: float, now: Optional[float] = None) -> List[str]:
+        """Worker ids whose heartbeat is younger than ``within_s``."""
+        now = time.time() if now is None else now
+        alive = []
+        for path in sorted(self.workers_dir.glob("*.json")):
+            try:
+                if now - path.stat().st_mtime <= within_s:
+                    alive.append(path.stem)
+            except OSError:
+                continue
+        return alive
+
+    def clear_heartbeat(self, worker_id: str) -> None:
+        """Remove ``worker_id``'s heartbeat file (worker shutdown)."""
+        try:
+            (self.workers_dir / f"{_sanitize_id(worker_id)}.json").unlink()
+        except OSError:
+            pass
+
+    def fs_now(self, token: str) -> float:
+        """The *filesystem's* notion of now, for comparing against mtimes.
+
+        Heartbeat staleness must be judged on the clock that stamped the
+        heartbeats -- the fileserver's -- not the submitter's local clock:
+        on a shared (e.g. NFS) spool, cross-host clock skew larger than the
+        orphan timeout would otherwise make every fresh heartbeat look
+        stale (or make dead workers look alive forever).  Touching a
+        caller-private scratch file and reading its mtime samples that
+        clock; local ``time.time()`` is the fallback when the touch fails.
+        The ``.clock`` suffix keeps the file invisible to every ``*.json``
+        glob in the protocol.
+        """
+        path = self.workers_dir / f"{_sanitize_id(token)}.clock"
+        try:
+            path.touch()
+            return path.stat().st_mtime
+        except OSError:
+            return time.time()
+
+
+class WorkQueueExecutor(Executor):
+    """Fan scenarios out to detached worker processes over a shared spool.
+
+    Jobs carry the full JSON-able scenario (plus backend, segment-memo
+    directory, and the submitter's code version), so any worker that shares
+    the filesystem -- same host or not -- computes the byte-identical result
+    the submitting process would have.  Workers are started with ``python -m
+    repro.runner worker --spool DIR``; the executor can additionally spawn
+    ``local_workers`` such processes itself (terminated on :meth:`close`),
+    which is how the CLI gives ``--executor workqueue`` standalone capacity.
+
+    Failure handling:
+
+    * a worker that dies mid-job stops heartbeating; after
+      ``orphan_timeout_s`` the submitter renames the claim back to
+      ``pending/`` (at most ``max_requeues`` times per job);
+    * a job file a worker cannot parse (external corruption) comes back as a
+      ``corrupt-job`` error result; the submitter rewrites the pristine job
+      from memory, again bounded by ``max_requeues``;
+    * a scenario that *raises* in a worker, or a worker running different
+      code than the submitter, is a hard error: the submitter raises
+      ``RuntimeError`` with the worker's report (matching the in-process
+      executors, where the exception propagates directly).
+    """
+
+    name = "workqueue"
+
+    #: how long a spawned local worker lingers after the spool runs dry
+    #: before exiting on its own -- a leak backstop for executors that are
+    #: never :meth:`close`\ d.
+    LOCAL_WORKER_IDLE_EXIT_S = 300.0
+
+    def __init__(
+        self,
+        spool: os.PathLike,
+        local_workers: int = 0,
+        poll_s: float = 0.05,
+        orphan_timeout_s: float = 30.0,
+        max_requeues: int = 3,
+        timeout_s: Optional[float] = None,
+    ):
+        super().__init__()
+        if local_workers < 0:
+            raise ValueError(f"local_workers must be >= 0, got {local_workers}")
+        if poll_s <= 0:
+            raise ValueError(f"poll_s must be > 0, got {poll_s}")
+        if orphan_timeout_s <= 0:
+            raise ValueError(f"orphan_timeout_s must be > 0, got {orphan_timeout_s}")
+        self.spool = Spool(spool)
+        self.local_workers = local_workers
+        self.poll_s = poll_s
+        self.orphan_timeout_s = orphan_timeout_s
+        self.max_requeues = max_requeues
+        self.timeout_s = timeout_s
+        self._procs: List[subprocess.Popen] = []
+        self._logs: List[Any] = []
+
+    # --------------------------------------------------------- local workers
+
+    def _spawn_local_workers(self) -> None:
+        if self.local_workers <= 0:
+            return
+        self._procs = [p for p in self._procs if p.poll() is None]
+        missing = self.local_workers - len(self._procs)
+        if missing <= 0:
+            return
+        import repro
+
+        env = os.environ.copy()
+        package_parent = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = package_parent + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        for _ in range(missing):
+            worker_id = f"local-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+            log = open(self.spool.workers_dir / f"{worker_id}.log", "ab")
+            self._logs.append(log)
+            self._procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.runner",
+                        "worker",
+                        "--spool",
+                        str(self.spool.root),
+                        "--poll",
+                        str(self.poll_s),
+                        "--idle-exit",
+                        str(self.LOCAL_WORKER_IDLE_EXIT_S),
+                        "--worker-id",
+                        worker_id,
+                    ],
+                    stdout=log,
+                    stderr=subprocess.STDOUT,
+                    env=env,
+                )
+            )
+
+    def close(self) -> None:
+        """Terminate spawned local workers and release their log handles."""
+        procs, self._procs = self._procs, []
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        logs, self._logs = self._logs, []
+        for log in logs:
+            try:
+                log.close()
+            except OSError:
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------- execution
+
+    def configure(self, backend: str, segment_memo_dir: Optional[str]) -> None:
+        # The memo directory crosses host/process boundaries inside job
+        # files, so a relative path (".repro-cache/segments") must be pinned
+        # to the submitter's filesystem location before it travels.
+        if segment_memo_dir is not None:
+            segment_memo_dir = str(Path(segment_memo_dir).resolve())
+        super().configure(backend, segment_memo_dir)
+
+    def submit(self, scenarios: Sequence[Scenario], run_fn: RunFn) -> List[RunResult]:
+        # ``run_fn`` is intentionally unused: a work-queue job cannot ship a
+        # callable, so workers rebuild the identical work function from the
+        # job's (scenario, backend, segment_memo_dir) payload -- the
+        # determinism contract makes the two indistinguishable.
+        del run_fn
+        if not scenarios:
+            return []
+        self.spool.ensure()
+        batch = uuid.uuid4().hex[:10]
+        order: List[str] = []
+        payloads: Dict[str, Dict[str, Any]] = {}
+        for index, scenario in enumerate(scenarios):
+            job_id = f"{batch}.{index:05d}"
+            payloads[job_id] = {
+                "job": job_id,
+                "scenario": scenario_to_payload(scenario),
+                "backend": self.backend,
+                "segment_memo_dir": self.segment_memo_dir,
+                "code_version": code_version(),
+            }
+            order.append(job_id)
+        try:
+            for job_id in order:
+                self.spool.enqueue(job_id, payloads[job_id])
+            self._spawn_local_workers()
+            collected = self._collect(batch, order, payloads)
+        except BaseException:
+            self._abandon(order)
+            raise
+        results = []
+        for job_id in order:
+            payload = collected[job_id]
+            results.append(
+                (payload["scenario"], payload["result"], payload["elapsed_s"])
+            )
+        return results
+
+    # ------------------------------------------------------------ collection
+
+    def _collect(
+        self,
+        batch: str,
+        order: Sequence[str],
+        payloads: Dict[str, Dict[str, Any]],
+    ) -> Dict[str, Dict[str, Any]]:
+        outstanding = set(order)
+        collected: Dict[str, Dict[str, Any]] = {}
+        requeues: Dict[str, int] = {}
+        deadline = None if self.timeout_s is None else time.monotonic() + self.timeout_s
+        last_orphan_scan = time.monotonic()
+        while outstanding:
+            progress = False
+            # One directory listing per pass, scoped to our batch: probing
+            # every outstanding result path individually would be O(n) failed
+            # opens per pass against a possibly-remote filesystem.
+            try:
+                present = {
+                    path.stem
+                    for path in self.spool.results_dir.glob(f"{batch}.*.json")
+                }
+            except OSError:
+                present = set()
+            for job_id in sorted(outstanding & present):
+                path = self.spool.result_path(job_id)
+                try:
+                    raw = path.read_text()
+                except OSError:
+                    continue
+                try:
+                    payload = json.loads(raw)
+                    if not isinstance(payload, dict):
+                        raise ValueError("result is not a JSON object")
+                except (ValueError, json.JSONDecodeError):
+                    # Externally corrupted result file: retry the job.
+                    self._requeue(job_id, payloads, requeues, path)
+                    progress = True
+                    continue
+                error = payload.get("error")
+                if error:
+                    if error.get("type") == "corrupt-job":
+                        self._requeue(job_id, payloads, requeues, path)
+                        progress = True
+                        continue
+                    self._abandon(outstanding)
+                    raise RuntimeError(
+                        f"workqueue job {job_id} "
+                        f"({payloads[job_id]['scenario']['name']!r}) failed in "
+                        f"worker {payload.get('worker', '<unknown>')}: "
+                        f"{error.get('message', error)}"
+                    )
+                if payload.get("code_version") != code_version():
+                    self._abandon(outstanding)
+                    raise RuntimeError(
+                        f"workqueue job {job_id} was executed by worker "
+                        f"{payload.get('worker', '<unknown>')} running a "
+                        "different code version; results would not be "
+                        "byte-identical.  Restart the workers from this "
+                        "source tree."
+                    )
+                collected[job_id] = payload
+                outstanding.discard(job_id)
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                progress = True
+            if not outstanding:
+                break
+            now = time.monotonic()
+            if now - last_orphan_scan >= min(self.orphan_timeout_s, 1.0):
+                last_orphan_scan = now
+                for job_id in self.spool.requeue_orphans(
+                    self.orphan_timeout_s,
+                    job_ids=sorted(outstanding),
+                    now=self.spool.fs_now(f"submitter-{batch}"),
+                ):
+                    requeues[job_id] = requeues.get(job_id, 0) + 1
+                    if requeues[job_id] > self.max_requeues:
+                        self._abandon(outstanding)
+                        raise RuntimeError(
+                            f"workqueue job {job_id} was orphaned "
+                            f"{requeues[job_id]} times (> max_requeues="
+                            f"{self.max_requeues}); giving up"
+                        )
+                self._check_for_dead_pool(outstanding)
+            if deadline is not None and now > deadline:
+                self._abandon(outstanding)
+                raise TimeoutError(
+                    f"workqueue sweep timed out after {self.timeout_s:g}s with "
+                    f"{len(outstanding)} job(s) outstanding -- are any workers "
+                    f"attached to {self.spool.root}?"
+                )
+            if not progress:
+                time.sleep(self.poll_s)
+        return collected
+
+    def _requeue(
+        self,
+        job_id: str,
+        payloads: Dict[str, Dict[str, Any]],
+        requeues: Dict[str, int],
+        result_path: Path,
+    ) -> None:
+        """Re-publish the pristine job after a recoverable failure."""
+        requeues[job_id] = requeues.get(job_id, 0) + 1
+        if requeues[job_id] > self.max_requeues:
+            raise RuntimeError(
+                f"workqueue job {job_id} failed {requeues[job_id]} times "
+                f"(> max_requeues={self.max_requeues}); giving up.  Last "
+                f"result file: {result_path}"
+            )
+        try:
+            result_path.unlink()
+        except OSError:
+            pass
+        self.spool.enqueue(job_id, payloads[job_id])
+
+    def _check_for_dead_pool(self, outstanding: Sequence[str]) -> None:
+        """Fail fast when this executor's own workers all died and nobody
+        else is heartbeating -- otherwise the submit would hang forever."""
+        if self.local_workers <= 0 or not self._procs:
+            return  # external-only mode waits patiently by design
+        if any(proc.poll() is None for proc in self._procs):
+            return
+        if self.spool.live_workers(within_s=self.orphan_timeout_s):
+            return
+        codes = [proc.returncode for proc in self._procs]
+        raise RuntimeError(
+            f"all {len(self._procs)} local workqueue worker(s) exited "
+            f"(exit codes {codes}) with {len(outstanding)} job(s) "
+            f"outstanding and no external workers heartbeating; see the "
+            f"worker logs under {self.spool.workers_dir}"
+        )
+
+    def _abandon(self, job_ids: Sequence[str]) -> None:
+        """Best-effort removal of our unfinished spool files on failure, so
+        shared spools do not accumulate jobs no submitter will collect.
+
+        Claims are withdrawn too (a worker mid-job already holds the parsed
+        payload, so removing its claim file does not disturb it); the one
+        leak this cannot prevent is a result file published *after* this
+        cleanup by a worker that was still executing -- bounded garbage a
+        future spool GC can sweep by result-file age.
+        """
+        for job_id in list(job_ids):
+            paths = [
+                self.spool.pending_dir / f"{job_id}.json",
+                self.spool.result_path(job_id),
+            ]
+            try:
+                paths.extend(self.spool.claimed_dir.glob(f"{job_id}@@*.json"))
+            except OSError:
+                pass
+            for path in paths:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+
+#: CLI-selectable executor names (see ``repro.runner.cli``).
+EXECUTOR_NAMES: Tuple[str, ...] = (
+    SerialExecutor.name,
+    ProcessPoolExecutor.name,
+    WorkQueueExecutor.name,
+)

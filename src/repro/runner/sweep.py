@@ -1,12 +1,14 @@
-"""The sweep executor: fan scenarios out across a worker pool, with caching.
+"""The sweep front-end: resolve cache hits, hand the rest to an executor.
 
 :func:`run_sweep` takes scenario names (or :class:`Scenario` objects),
-resolves cache hits first, and executes the remaining scenarios either
-serially or on a ``multiprocessing`` pool.  Workers receive only scenario
-*names* and re-resolve them from the registry, so nothing non-picklable ever
-crosses the process boundary and results are identical however they were
-computed (in-process, in a worker, or read back from the cache -- the
-determinism tests assert exactly this).
+resolves cache hits first, and hands the remaining scenarios to an
+:class:`~repro.runner.executors.Executor` -- serial, local process pool, or
+the distributed work queue (:mod:`repro.runner.executors`).  Executors
+receive only JSON-able scenarios, so nothing non-picklable ever crosses a
+process (or host) boundary and results are identical however they were
+computed (in-process, in a pool worker, on another machine, or read back
+from the cache -- the determinism and executor-contract suites assert
+exactly this).
 
 Every sweep runs on one execution *backend*: the event-driven ``"engine"``
 (cycle-level, slow, exact) or the closed-form ``"analytic"`` fast model
@@ -17,13 +19,14 @@ collide on disk.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
+import warnings
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from .cache import ResultCache, configure_segment_memo
+from .executors import Executor, default_executor
 from .scenarios import BACKENDS, DEFAULT_BACKEND, REGISTRY, Scenario
 
 __all__ = ["SweepOutcome", "run_sweep"]
@@ -79,15 +82,24 @@ def _run_one(scenario: Scenario, backend: str = DEFAULT_BACKEND,
     return scenario.name, result, time.perf_counter() - start
 
 
-def run_sweep(scenarios: Sequence[Union[str, Scenario]], workers: int = 1,
+def run_sweep(scenarios: Sequence[Union[str, Scenario]],
+              workers: Optional[int] = None,
               cache: Optional[ResultCache] = None, force: bool = False,
-              backend: str = DEFAULT_BACKEND) -> List[SweepOutcome]:
+              backend: str = DEFAULT_BACKEND,
+              executor: Optional[Executor] = None) -> List[SweepOutcome]:
     """Execute ``scenarios``, returning one :class:`SweepOutcome` per input.
 
     Parameters
     ----------
+    executor:
+        The :class:`~repro.runner.executors.Executor` that computes the
+        cache misses -- ``SerialExecutor()`` when omitted.  The executor's
+        lifecycle belongs to the caller (one instance can serve many
+        sweeps); ``run_sweep`` only calls ``configure`` + ``submit``.
     workers:
-        Worker-pool size; ``<= 1`` runs serially in-process.
+        Deprecated alias: ``workers=N`` constructs the executor a plain
+        worker count maps to (serial for ``N <= 1``, else a local
+        ``ProcessPoolExecutor``).  Mutually exclusive with ``executor``.
     cache:
         Optional :class:`ResultCache`.  Hits skip execution entirely; misses
         are stored after execution.
@@ -101,6 +113,17 @@ def run_sweep(scenarios: Sequence[Union[str, Scenario]], workers: int = 1,
     """
     if backend not in BACKENDS:
         raise KeyError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")
+    if workers is not None:
+        if executor is not None:
+            raise ValueError("pass either executor= or the deprecated "
+                             "workers= alias, not both")
+        warnings.warn("run_sweep(workers=...) is deprecated; pass "
+                      "executor=ProcessPoolExecutor(workers) (or another "
+                      "repro.runner.executors.Executor) instead",
+                      DeprecationWarning, stacklevel=2)
+        executor = default_executor(workers)
+    elif executor is None:
+        executor = default_executor(None)
     resolved = _resolve(scenarios)
     for scenario in resolved:
         # Fail the whole sweep up front rather than mid-flight in a worker.
@@ -113,10 +136,15 @@ def run_sweep(scenarios: Sequence[Union[str, Scenario]], workers: int = 1,
 
     outcomes: Dict[Tuple[str, str], SweepOutcome] = {}
     to_run: List[Scenario] = []
+    seen: Set[Tuple[str, str]] = set()
     for scenario in resolved:
         key = _key(scenario)
-        if key in outcomes or any(_key(queued) == key for queued in to_run):
+        # Membership in the seen-keys set (not a scan of ``to_run``, which
+        # would make resolution quadratic in the sweep size) decides
+        # duplicates exactly once per input.
+        if key in seen:
             continue
+        seen.add(key)
         payload = None if (cache is None or force) else cache.load(scenario,
                                                                    backend=backend)
         if payload is not None:
@@ -136,14 +164,9 @@ def run_sweep(scenarios: Sequence[Union[str, Scenario]], workers: int = 1,
         # stale cache directory.
         segment_memo_dir = str(cache.segments_dir) if cache is not None else None
         configure_segment_memo(segment_memo_dir)
-        if workers > 1 and len(to_run) > 1:
-            with multiprocessing.Pool(processes=min(workers, len(to_run))) as pool:
-                raw = pool.map(partial(_run_one, backend=backend,
-                                       segment_memo_dir=segment_memo_dir), to_run)
-        else:
-            raw = [_run_one(scenario, backend=backend,
-                            segment_memo_dir=segment_memo_dir)
-                   for scenario in to_run]
+        executor.configure(backend=backend, segment_memo_dir=segment_memo_dir)
+        raw = executor.submit(to_run, partial(_run_one, backend=backend,
+                                              segment_memo_dir=segment_memo_dir))
         for scenario, (_, result, elapsed) in zip(to_run, raw):
             outcomes[_key(scenario)] = SweepOutcome(
                 scenario=scenario.name, kind=scenario.kind, result=result,

@@ -1,0 +1,185 @@
+"""The detached work-queue worker: claim spool jobs, execute, publish.
+
+``python -m repro.runner worker --spool DIR`` runs :func:`run_worker` -- the
+consuming half of the :class:`~repro.runner.executors.Spool` protocol.  A
+worker is stateless and host-agnostic: it needs nothing but this source tree
+and the spool directory, so any machine sharing the filesystem can join an
+in-flight sweep (or leave it -- the submitter's orphan-requeue recovers jobs
+a dying worker held).
+
+Execution is the same code path as every other executor:
+:func:`repro.runner.sweep._run_one` on the scenario rebuilt from the job
+file, with the job's segment-memo directory attached first -- so results
+are byte-identical to an in-process run, and concurrent workers share memo
+and cache entries through the concurrent-writer-tolerant disk layers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import traceback
+from typing import Any, Dict, Optional
+
+from .cache import code_version, configure_segment_memo
+from .executors import Spool, _ClaimedJob, scenario_from_payload
+
+__all__ = ["run_worker"]
+
+#: how often a worker refreshes its heartbeat file.
+HEARTBEAT_INTERVAL_S = 1.0
+
+
+def default_worker_id() -> str:
+    """A host-unique default identity: ``<hostname>-<pid>``."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _execute(job_id: str, claim_path, worker_id: str) -> Optional[Dict[str, Any]]:
+    """Run one claimed job; returns a result payload, or ``None`` for a
+    claim that vanished under us (no result should be published then).
+
+    Three failure shapes map to three result forms the submitter
+    distinguishes: a job file that cannot be parsed (``corrupt-job`` --
+    recoverable, the submitter rewrites the job), a code-version mismatch
+    (``version-mismatch`` -- fatal, the worker must be restarted from the
+    submitter's tree), and a scenario that raises (``exception`` -- fatal,
+    mirrors the in-process behaviour).  ``KeyboardInterrupt``/``SystemExit``
+    are deliberately *not* caught: a killed worker must look like a dead
+    worker (claim left behind, recovered by orphan requeue), not like a
+    failed scenario.
+    """
+    try:
+        raw = claim_path.read_text()
+    except FileNotFoundError:
+        # The submitter orphan-requeued this claim while we were stalled
+        # (clock pause, filesystem hang): the job belongs to someone else
+        # now.  Publishing anything would clobber the new owner's result.
+        return None
+    except OSError as error:
+        return {
+            "job": job_id,
+            "worker": worker_id,
+            "error": {
+                "type": "corrupt-job",
+                "message": f"cannot read job file: {error}",
+            },
+        }
+    try:
+        payload = json.loads(raw)
+        scenario = scenario_from_payload(payload["scenario"])
+        backend = payload["backend"]
+        segment_memo_dir = payload.get("segment_memo_dir")
+        job_version = payload.get("code_version")
+    except (ValueError, KeyError, TypeError) as error:
+        return {
+            "job": job_id,
+            "worker": worker_id,
+            "error": {
+                "type": "corrupt-job",
+                "message": f"cannot parse job file: {error}",
+            },
+        }
+    if job_version != code_version():
+        return {
+            "job": job_id,
+            "worker": worker_id,
+            "error": {
+                "type": "version-mismatch",
+                "message": f"job was submitted from code version "
+                f"{job_version}, this worker runs {code_version()}",
+            },
+        }
+    try:
+        from .sweep import _run_one
+
+        name, result, elapsed_s = _run_one(
+            scenario, backend=backend, segment_memo_dir=segment_memo_dir
+        )
+    except Exception:
+        return {
+            "job": job_id,
+            "worker": worker_id,
+            "error": {"type": "exception", "message": traceback.format_exc()},
+        }
+    return {
+        "job": job_id,
+        "worker": worker_id,
+        "scenario": name,
+        "result": result,
+        "elapsed_s": elapsed_s,
+        "code_version": code_version(),
+    }
+
+
+def run_worker(
+    spool_dir: os.PathLike,
+    poll_s: float = 0.2,
+    idle_exit_s: Optional[float] = None,
+    max_jobs: Optional[int] = None,
+    worker_id: Optional[str] = None,
+) -> int:
+    """Consume jobs from ``spool_dir`` until told to stop; returns the
+    number of jobs processed.
+
+    Parameters
+    ----------
+    poll_s:
+        Sleep between claim attempts while the spool is empty.
+    idle_exit_s:
+        Exit once the spool has been empty this long (``None`` runs
+        forever, the mode for dedicated worker hosts).
+    max_jobs:
+        Exit after this many jobs (``None`` is unbounded).
+    worker_id:
+        Spool-visible identity; defaults to ``<hostname>-<pid>``.
+    """
+    if poll_s <= 0:
+        raise ValueError(f"poll_s must be > 0, got {poll_s}")
+    # Populate the kind registry before the first claim, not per job.
+    from . import library  # noqa: F401
+
+    spool = Spool(spool_dir).ensure()
+    worker_id = worker_id or default_worker_id()
+    stop = threading.Event()
+
+    def heartbeat() -> None:
+        while not stop.is_set():
+            spool.beat(worker_id, info={"pid": os.getpid(), "host": socket.gethostname()})
+            stop.wait(HEARTBEAT_INTERVAL_S)
+
+    beat_thread = threading.Thread(
+        target=heartbeat, name=f"spool-heartbeat-{worker_id}", daemon=True
+    )
+    beat_thread.start()
+    processed = 0
+    idle_since = time.monotonic()
+    try:
+        while max_jobs is None or processed < max_jobs:
+            claimed: Optional[_ClaimedJob] = spool.claim(worker_id)
+            if claimed is None:
+                if (
+                    idle_exit_s is not None
+                    and time.monotonic() - idle_since >= idle_exit_s
+                ):
+                    break
+                time.sleep(poll_s)
+                continue
+            result = _execute(claimed.job_id, claimed.path, worker_id)
+            idle_since = time.monotonic()
+            if result is None:
+                continue  # lost the claim to an orphan requeue
+            spool.write_result(claimed.job_id, result)
+            try:
+                claimed.path.unlink()
+            except OSError:
+                pass
+            processed += 1
+    finally:
+        stop.set()
+        beat_thread.join(timeout=HEARTBEAT_INTERVAL_S + 1.0)
+        spool.clear_heartbeat(worker_id)
+    return processed

@@ -1,0 +1,182 @@
+"""Differential pin: serial == pool == workqueue, byte for byte.
+
+The executor layer's entire safety argument is that execution *policy* is
+invisible in the results: scenarios are JSON-able data, runners are
+deterministic, so a sweep computed in-process, on a local pool, or by
+detached work-queue workers on another host must produce byte-identical
+``SweepOutcome`` lists.  This suite pins that differentially over a mixed
+engine/analytic scenario set, cached and uncached, and exercises the spool
+protocol's recovery paths (orphaned claims, corrupted job files) end to end
+against a live submitter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.runner import (REGISTRY, ProcessPoolExecutor, ResultCache,
+                          WorkQueueExecutor, canonical_json, run_sweep,
+                          run_worker)
+
+#: cheap engine-backend scenarios (synthetic chains + closed-form kinds).
+ENGINE_SET = [
+    "smoke/engine-chain",
+    "table6b/charm-1024",
+    "fig18/charm-b1",
+    "table6a/aie-32x16x32",
+]
+
+#: the acceptance sweep (fig18 + table11), run on the analytic backend where
+#: it costs milliseconds; the CI ``executor-smoke`` job runs the same sweep
+#: on the engine backend with external worker processes.
+ANALYTIC_SET = sorted(
+    s.name for s in REGISTRY.select(tags=["fig18", "table11"])
+)
+
+
+def _strip(outcomes):
+    """The byte-comparable projection of a ``SweepOutcome`` list (elapsed
+    wall time is the one legitimately machine-dependent field)."""
+    return [
+        canonical_json({
+            "scenario": o.scenario,
+            "kind": o.kind,
+            "backend": o.backend,
+            "cached": o.cached,
+            "result": o.result,
+        })
+        for o in outcomes
+    ]
+
+
+class TestExecutorEquivalence:
+    def test_serial_pool_workqueue_identical_uncached(self, tmp_path):
+        assert len(ANALYTIC_SET) == 16, "fig18+table11 catalogue changed"
+        serial_engine = run_sweep(ENGINE_SET, backend="engine")
+        serial_analytic = run_sweep(ANALYTIC_SET, backend="analytic")
+        with ProcessPoolExecutor(2) as pool:
+            pool_engine = run_sweep(ENGINE_SET, backend="engine",
+                                    executor=pool)
+            pool_analytic = run_sweep(ANALYTIC_SET, backend="analytic",
+                                      executor=pool)
+        # One executor instance serves both sweeps (and both backends) --
+        # exactly how an exploration reuses its executor.
+        with WorkQueueExecutor(tmp_path / "spool", local_workers=2,
+                               poll_s=0.02, timeout_s=600.0) as wq:
+            wq_engine = run_sweep(ENGINE_SET, backend="engine", executor=wq)
+            wq_analytic = run_sweep(ANALYTIC_SET, backend="analytic",
+                                    executor=wq)
+        assert _strip(serial_engine) == _strip(pool_engine)
+        assert _strip(serial_engine) == _strip(wq_engine)
+        assert _strip(serial_analytic) == _strip(pool_analytic)
+        assert _strip(serial_analytic) == _strip(wq_analytic)
+
+    def test_workqueue_populated_cache_serves_serial_identically(self,
+                                                                 tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        names = ENGINE_SET[:2]
+        with WorkQueueExecutor(tmp_path / "spool", local_workers=1,
+                               poll_s=0.02, timeout_s=600.0) as wq:
+            cold = run_sweep(names, backend="engine", cache=cache,
+                             executor=wq)
+        assert all(not o.cached for o in cold)
+        warm = run_sweep(names, backend="engine", cache=cache)
+        assert all(o.cached for o in warm)
+        assert [canonical_json(a.result) for a in cold] == \
+            [canonical_json(b.result) for b in warm]
+
+    def test_serial_populated_cache_serves_workqueue_identically(self,
+                                                                 tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        names = ENGINE_SET[:2]
+        cold = run_sweep(names, backend="engine", cache=cache)
+        # Every scenario hits the cache, so the workqueue executor must not
+        # spawn a single job (a hit never reaches the executor at all).
+        with WorkQueueExecutor(tmp_path / "spool", local_workers=0,
+                               poll_s=0.02, timeout_s=5.0) as wq:
+            warm = run_sweep(names, backend="engine", cache=cache,
+                             executor=wq)
+        assert all(o.cached for o in warm)
+        assert [canonical_json(a.result) for a in cold] == \
+            [canonical_json(b.result) for b in warm]
+        assert not list(wq.spool.pending_dir.glob("*.json"))
+
+
+class TestSpoolRecovery:
+    """Failure injection against a live submitter, with the worker driven
+    in-process so every interleaving is deterministic."""
+
+    def _submit_async(self, executor, names, backend="engine"):
+        scenarios = [REGISTRY.get(name) for name in names]
+        executor.configure(backend, None)
+        box = {}
+
+        def target():
+            try:
+                box["results"] = executor.submit(scenarios, run_fn=None)
+            except BaseException as error:  # noqa: BLE001 - reported by test
+                box["error"] = error
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        return thread, box
+
+    def _wait_for(self, predicate, timeout_s=30.0, message="condition"):
+        deadline = time.monotonic() + timeout_s
+        while not predicate():
+            if time.monotonic() > deadline:
+                raise AssertionError(f"timed out waiting for {message}")
+            time.sleep(0.01)
+
+    def test_orphaned_claim_is_requeued_and_completes(self, tmp_path):
+        name = "table6b/charm-1024"
+        serial = run_sweep([name])
+        executor = WorkQueueExecutor(tmp_path / "spool", local_workers=0,
+                                     poll_s=0.01, orphan_timeout_s=0.5,
+                                     timeout_s=120.0)
+        thread, box = self._submit_async(executor, [name])
+        spool = executor.spool
+        self._wait_for(lambda: list(spool.pending_dir.glob("*.json")),
+                       message="job publication")
+        # A worker claims the job and dies without ever heartbeating:
+        # backdating the claim file is the death certificate.
+        claimed = spool.claim("zombie-worker")
+        assert claimed is not None
+        os.utime(claimed.path, (1.0, 1.0))
+        # The submitter must requeue it, after which a healthy worker picks
+        # it up and the sweep completes with byte-identical results.
+        processed = run_worker(spool.root, poll_s=0.01, max_jobs=1,
+                               idle_exit_s=60.0, worker_id="healthy-worker")
+        assert processed == 1
+        thread.join(timeout=60.0)
+        assert not thread.is_alive() and "error" not in box
+        assert [canonical_json(r[1]) for r in box["results"]] == \
+            [canonical_json(o.result) for o in serial]
+
+    def test_corrupted_job_file_is_rewritten_and_completes(self, tmp_path):
+        names = ["table6b/charm-1024", "fig18/charm-b1"]
+        serial = run_sweep(names)
+        executor = WorkQueueExecutor(tmp_path / "spool", local_workers=0,
+                                     poll_s=0.01, timeout_s=120.0)
+        thread, box = self._submit_async(executor, names)
+        spool = executor.spool
+        self._wait_for(
+            lambda: len(list(spool.pending_dir.glob("*.json"))) == len(names),
+            message="job publication")
+        # External corruption of one published job file (a failing disk, a
+        # partial copy onto the shared filesystem, ...).
+        victim = sorted(spool.pending_dir.glob("*.json"))[0]
+        victim.write_text("\x00 this is not JSON")
+        # The worker reports it as a corrupt-job error; the submitter
+        # rewrites the pristine job from memory; the worker (still polling)
+        # then executes it -- three claims for two scenarios.
+        processed = run_worker(spool.root, poll_s=0.01, max_jobs=3,
+                               idle_exit_s=60.0, worker_id="healthy-worker")
+        assert processed == 3
+        thread.join(timeout=60.0)
+        assert not thread.is_alive() and "error" not in box
+        assert [canonical_json(r[1]) for r in box["results"]] == \
+            [canonical_json(o.result) for o in serial]

@@ -99,6 +99,37 @@ class TestExploration:
             run_exploration(space, strategy, budget=1, verify_top=-1)
 
 
+class TestExecutorThreading:
+    """The exploration's evaluate closures fan out through whichever
+    executor the caller provides -- and the executor must be invisible in
+    the report (the acceptance pin for the distributed work queue)."""
+
+    def test_workqueue_exploration_matches_serial(self, tmp_path):
+        from repro.runner import SerialExecutor, WorkQueueExecutor
+        space, seed = get_space("encoder-smoke"), 7
+        serial = run_exploration(space, get_strategy("halving"), budget=16,
+                                 verify_top=2, seed=seed,
+                                 executor=SerialExecutor(), cache=None)
+        with WorkQueueExecutor(tmp_path / "spool", local_workers=1,
+                               poll_s=0.02, timeout_s=600.0) as executor:
+            distributed = run_exploration(space, get_strategy("halving"),
+                                          budget=16, verify_top=2, seed=seed,
+                                          executor=executor, cache=None)
+        assert _strip_volatile(serial.to_dict()) == \
+            _strip_volatile(distributed.to_dict())
+
+    def test_pool_executor_matches_serial(self):
+        from repro.runner import ProcessPoolExecutor
+        space = get_space("encoder-smoke")
+        serial = run_exploration(space, get_strategy("grid"), budget=8,
+                                 verify_top=1, cache=None)
+        pooled = run_exploration(space, get_strategy("grid"), budget=8,
+                                 verify_top=1, cache=None,
+                                 executor=ProcessPoolExecutor(2))
+        assert _strip_volatile(serial.to_dict()) == \
+            _strip_volatile(pooled.to_dict())
+
+
 class TestReportRendering:
     def test_tables_render_frontier_and_verification(self, cache):
         report = run_exploration(get_space("encoder-smoke"),

@@ -243,6 +243,118 @@ class TestRobustness:
             REGISTRY._kinds.pop("cli-test-engine-only")
 
 
+class TestWorkersAuto:
+    def test_auto_resolves_to_cpu_count(self):
+        import os
+
+        from repro.runner.cli import _build_parser
+        args = _build_parser().parse_args(["sweep", "--all",
+                                           "--workers", "auto"])
+        assert args.workers == (os.cpu_count() or 1)
+
+    def test_auto_is_case_insensitive(self):
+        from repro.runner.cli import _build_parser
+        args = _build_parser().parse_args(["run", "x", "--workers", "AUTO"])
+        assert args.workers >= 1
+
+    def test_plain_integers_still_parse(self):
+        from repro.runner.cli import _build_parser
+        args = _build_parser().parse_args(["sweep", "--all", "--workers", "3"])
+        assert args.workers == 3
+
+    def test_sweep_help_documents_auto(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "'auto'" in out and "CPU count" in out
+
+
+class TestExecutorSelection:
+    def test_executor_serial_explicit(self, capsys, tmp_path):
+        code, out, _ = _run(capsys, "run", "table6b/charm-1024",
+                            "--executor", "serial",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "1 executed" in out
+
+    def test_workqueue_requires_spool(self, capsys):
+        code, _, err = _run(capsys, "run", "smoke/engine-chain",
+                            "--executor", "workqueue", "--no-cache")
+        assert code == 2
+        assert "--spool" in err and "Traceback" not in err
+
+    def test_spool_requires_workqueue(self, capsys, tmp_path):
+        code, _, err = _run(capsys, "run", "smoke/engine-chain",
+                            "--spool", str(tmp_path / "spool"), "--no-cache")
+        assert code == 2
+        assert "only meaningful with --executor workqueue" in err
+
+    def test_serial_contradicts_multiple_workers(self, capsys):
+        code, _, err = _run(capsys, "run", "smoke/engine-chain",
+                            "--executor", "serial", "--workers", "4",
+                            "--no-cache")
+        assert code == 2
+        assert "contradicts" in err
+
+    def test_unknown_executor_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "smoke/engine-chain", "--executor", "slurm"])
+        assert excinfo.value.code == 2
+        assert "--executor" in capsys.readouterr().err
+
+    def test_workqueue_sweep_end_to_end(self, capsys, tmp_path):
+        code, out, err = _run(capsys, "sweep", "fig18/charm-b1",
+                              "fig18/charm-b2", "--executor", "workqueue",
+                              "--spool", str(tmp_path / "spool"),
+                              "--backend", "analytic", "--no-cache")
+        assert code == 0, err
+        assert "2 executed" in out
+
+
+class TestWorkerCommand:
+    def test_worker_requires_spool(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker"])
+        assert excinfo.value.code == 2
+        assert "--spool" in capsys.readouterr().err
+
+    def test_worker_idle_exit_on_empty_spool(self, capsys, tmp_path):
+        code, out, err = _run(capsys, "worker",
+                              "--spool", str(tmp_path / "spool"),
+                              "--poll", "0.01", "--idle-exit", "0.05",
+                              "--worker-id", "cli-test-worker")
+        assert code == 0 and not err
+        assert "cli-test-worker" in out
+        assert "processed 0 job(s)" in out
+
+    def test_worker_drains_published_jobs(self, capsys, tmp_path):
+        from repro.runner import REGISTRY, canonical_json
+        from repro.runner.cache import code_version
+        from repro.runner.executors import Spool, scenario_to_payload
+        spool = Spool(tmp_path / "spool").ensure()
+        scenario = REGISTRY.get("table6b/charm-1024")
+        spool.enqueue("cli.00000", {
+            "job": "cli.00000", "scenario": scenario_to_payload(scenario),
+            "backend": "engine", "segment_memo_dir": None,
+            "code_version": code_version(),
+        })
+        code, out, _ = _run(capsys, "worker",
+                            "--spool", str(tmp_path / "spool"),
+                            "--poll", "0.01", "--max-jobs", "1")
+        assert code == 0
+        assert "processed 1 job(s)" in out
+        result = json.loads(spool.result_path("cli.00000").read_text())
+        assert canonical_json(result["result"]) == \
+            canonical_json(REGISTRY.run(scenario))
+
+    def test_worker_rejects_non_positive_poll(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker", "--spool", "s", "--poll", "0"])
+        assert excinfo.value.code == 2
+        assert "--poll" in capsys.readouterr().err
+
+
 class TestExploreProxyAndWeights:
     def test_batched_proxy_end_to_end(self, capsys, tmp_path):
         code, out, err = _run(capsys, "explore", "--space", "encoder-smoke",

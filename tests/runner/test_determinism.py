@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runner import REGISTRY, ResultCache, canonical_json, run_sweep
+from repro.runner import (REGISTRY, ProcessPoolExecutor, ResultCache,
+                          canonical_json, run_sweep)
 from repro.workloads import tensors
 
 
@@ -35,8 +36,8 @@ class TestScenarioDeterminism:
     def test_cache_round_trip_is_byte_identical(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         names = ["table6b/gemm-1024", "smoke/engine-chain"]
-        fresh = run_sweep(names, workers=1, cache=cache)
-        cached = run_sweep(names, workers=1, cache=cache)
+        fresh = run_sweep(names, cache=cache)
+        cached = run_sweep(names, cache=cache)
         assert all(o.cached for o in cached)
         for fresh_outcome, cached_outcome in zip(fresh, cached):
             assert canonical_json(fresh_outcome.result) == \
@@ -44,8 +45,8 @@ class TestScenarioDeterminism:
 
     def test_worker_results_match_in_process(self):
         names = ["smoke/engine-chain", "table6b/charm-1024"]
-        in_process = run_sweep(names, workers=1)
-        via_pool = run_sweep(names, workers=2)
+        in_process = run_sweep(names)
+        via_pool = run_sweep(names, executor=ProcessPoolExecutor(2))
         for a, b in zip(in_process, via_pool):
             assert canonical_json(a.result) == canonical_json(b.result)
 

@@ -1,0 +1,322 @@
+"""Unit tests for the executor layer and the spool protocol.
+
+The cross-executor byte-identity contract lives in
+``tests/differential/test_executor_contract.py``; this file covers the
+mechanics: scenario wire round-trips, executor construction/validation,
+spool claim semantics (atomic-rename exclusivity), heartbeats, orphan
+requeue, and the in-process worker loop.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.runner import REGISTRY, canonical_json
+from repro.runner.cache import code_version
+from repro.runner.executors import (ProcessPoolExecutor, SerialExecutor, Spool,
+                                    WorkQueueExecutor, default_executor,
+                                    scenario_from_payload, scenario_to_payload)
+from repro.runner.scenarios import Scenario
+from repro.runner.worker import run_worker
+
+
+def _job_payload(job_id, scenario, backend="engine", segment_memo_dir=None):
+    return {
+        "job": job_id,
+        "scenario": scenario_to_payload(scenario),
+        "backend": backend,
+        "segment_memo_dir": segment_memo_dir,
+        "code_version": code_version(),
+    }
+
+
+CHEAP = Scenario(name="unit/chain", kind="engine_chain",
+                 params={"n_msgs": 5, "stages": 1})
+
+
+class TestScenarioWireFormat:
+    def test_round_trip_is_identity(self):
+        scenario = Scenario(name="a/b", kind="engine_chain",
+                            params={"n_msgs": 3, "stages": 2},
+                            tags=("x", "y"), description="d")
+        rebuilt = scenario_from_payload(scenario_to_payload(scenario))
+        assert rebuilt == scenario
+        assert rebuilt.canonical() == scenario.canonical()
+
+    def test_wire_form_is_json_able(self):
+        payload = scenario_to_payload(REGISTRY.get("smoke/engine-chain"))
+        assert scenario_from_payload(json.loads(canonical_json(payload))) \
+            == REGISTRY.get("smoke/engine-chain")
+
+
+class TestExecutorConstruction:
+    def test_default_executor_maps_worker_counts(self):
+        assert isinstance(default_executor(None), SerialExecutor)
+        assert isinstance(default_executor(1), SerialExecutor)
+        pool = default_executor(4)
+        assert isinstance(pool, ProcessPoolExecutor)
+        assert pool.workers == 4
+
+    def test_pool_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolExecutor(0)
+
+    def test_workqueue_rejects_bad_parameters(self, tmp_path):
+        with pytest.raises(ValueError):
+            WorkQueueExecutor(tmp_path, local_workers=-1)
+        with pytest.raises(ValueError):
+            WorkQueueExecutor(tmp_path, poll_s=0.0)
+        with pytest.raises(ValueError):
+            WorkQueueExecutor(tmp_path, orphan_timeout_s=0.0)
+
+    def test_executors_are_context_managers(self, tmp_path):
+        with SerialExecutor() as ex:
+            assert ex.submit([], lambda s: None) == []
+        with WorkQueueExecutor(tmp_path / "spool") as ex:
+            assert ex.submit([], lambda s: None) == []
+
+    def test_configure_absolutizes_memo_dir_for_workqueue(self, tmp_path,
+                                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        executor = WorkQueueExecutor(tmp_path / "spool")
+        executor.configure("engine", "rel-cache/segments")
+        assert os.path.isabs(executor.segment_memo_dir)
+        executor.configure("engine", None)
+        assert executor.segment_memo_dir is None
+
+
+class TestSpoolClaims:
+    def test_claim_moves_job_and_preserves_payload(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        payload = _job_payload("j.00000", CHEAP)
+        spool.enqueue("j.00000", payload)
+        claimed = spool.claim("w1")
+        assert claimed is not None and claimed.job_id == "j.00000"
+        assert not list(spool.pending_dir.glob("*.json"))
+        assert json.loads(claimed.path.read_text()) == payload
+
+    def test_claim_is_exclusive(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.enqueue("j.00000", _job_payload("j.00000", CHEAP))
+        first = spool.claim("w1")
+        second = spool.claim("w2")
+        assert first is not None
+        assert second is None
+
+    def test_claims_come_in_job_order(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        for index in range(3):
+            job_id = f"j.{index:05d}"
+            spool.enqueue(job_id, _job_payload(job_id, CHEAP))
+        claimed = [spool.claim("w1").job_id for _ in range(3)]
+        assert claimed == ["j.00000", "j.00001", "j.00002"]
+        assert spool.claim("w1") is None
+
+    def test_worker_ids_are_sanitized_in_filenames(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.enqueue("j.00000", _job_payload("j.00000", CHEAP))
+        claimed = spool.claim("host/with:odd chars")
+        assert claimed is not None
+        assert "/" not in claimed.path.name[len("j.00000"):]
+        spool.beat("host/with:odd chars")
+        assert spool.live_workers(within_s=60.0)
+
+
+class TestSpoolOrphanRequeue:
+    def test_stale_claim_is_requeued_with_identical_payload(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        payload = _job_payload("j.00000", CHEAP)
+        spool.enqueue("j.00000", payload)
+        claimed = spool.claim("dead-worker")
+        # The dead worker never heartbeat; its claim file's age is the
+        # liveness signal.  Backdate it far beyond any timeout.
+        os.utime(claimed.path, (1.0, 1.0))
+        requeued = spool.requeue_orphans(orphan_timeout_s=30.0)
+        assert requeued == ["j.00000"]
+        restored = spool.pending_dir / "j.00000.json"
+        assert json.loads(restored.read_text()) == payload
+
+    def test_fresh_heartbeat_protects_the_claim(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.enqueue("j.00000", _job_payload("j.00000", CHEAP))
+        claimed = spool.claim("alive-worker")
+        os.utime(claimed.path, (1.0, 1.0))  # old claim ...
+        spool.beat("alive-worker")  # ... but a live heartbeat
+        assert spool.requeue_orphans(orphan_timeout_s=30.0) == []
+        assert claimed.path.exists()
+
+    def test_job_id_filter_shields_co_tenant_submitters(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        for job_id in ("mine.00000", "theirs.00000"):
+            spool.enqueue(job_id, _job_payload(job_id, CHEAP))
+        for _ in range(2):
+            os.utime(spool.claim("dead-worker").path, (1.0, 1.0))
+        requeued = spool.requeue_orphans(orphan_timeout_s=30.0,
+                                         job_ids=["mine.00000"])
+        assert requeued == ["mine.00000"]
+        assert (spool.pending_dir / "mine.00000.json").exists()
+        assert not (spool.pending_dir / "theirs.00000.json").exists()
+
+
+class TestWorkerLoop:
+    """The worker loop run in-process (the subprocess path is covered by the
+    differential suite and the CLI tests)."""
+
+    def test_processes_a_job_and_publishes_the_result(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.enqueue("j.00000", _job_payload("j.00000", CHEAP))
+        processed = run_worker(spool.root, poll_s=0.01, max_jobs=1,
+                               worker_id="unit-worker")
+        assert processed == 1
+        result = json.loads(spool.result_path("j.00000").read_text())
+        assert result["scenario"] == "unit/chain"
+        assert result["code_version"] == code_version()
+        assert result["result"] == REGISTRY.run(CHEAP)
+        # The claim is gone and the heartbeat file was cleaned up on exit.
+        assert not list(spool.claimed_dir.glob("*.json"))
+        assert not list(spool.workers_dir.glob("*.json"))
+
+    def test_idle_exit_returns_zero_jobs(self, tmp_path):
+        processed = run_worker(tmp_path / "spool", poll_s=0.01,
+                               idle_exit_s=0.05, worker_id="idle-worker")
+        assert processed == 0
+
+    def test_corrupt_job_file_yields_recoverable_error_result(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        (spool.pending_dir / "j.00000.json").write_text("{definitely not json")
+        processed = run_worker(spool.root, poll_s=0.01, max_jobs=1,
+                               worker_id="unit-worker")
+        assert processed == 1
+        result = json.loads(spool.result_path("j.00000").read_text())
+        assert result["error"]["type"] == "corrupt-job"
+
+    def test_version_mismatch_yields_fatal_error_result(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        payload = _job_payload("j.00000", CHEAP)
+        payload["code_version"] = "somebody-elses-tree"
+        spool.enqueue("j.00000", payload)
+        run_worker(spool.root, poll_s=0.01, max_jobs=1, worker_id="unit-worker")
+        result = json.loads(spool.result_path("j.00000").read_text())
+        assert result["error"]["type"] == "version-mismatch"
+
+    def test_vanished_claim_publishes_nothing(self, tmp_path):
+        # A stalled worker whose claim was orphan-requeued away must not
+        # publish anything (it would clobber the new owner's result) and
+        # must not count the job as processed.
+        from repro.runner.worker import _execute
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.enqueue("j.00000", _job_payload("j.00000", CHEAP))
+        claimed = spool.claim("stalled-worker")
+        claimed.path.unlink()  # the orphan requeue, as seen by the worker
+        assert _execute(claimed.job_id, claimed.path, "stalled-worker") is None
+        assert not list(spool.results_dir.glob("*.json"))
+
+    def test_fs_now_tracks_the_spool_filesystem_clock(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        before = time.time()
+        now = spool.fs_now("unit-submitter")
+        assert abs(now - before) < 60.0  # same clock on a local tmpdir
+        # The scratch file must stay invisible to the protocol's globs.
+        assert not list(spool.workers_dir.glob("*.json"))
+
+    def test_raising_scenario_yields_exception_result(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        bad = Scenario(name="unit/bad", kind="no-such-kind", params={})
+        spool.enqueue("j.00000", _job_payload("j.00000", bad))
+        run_worker(spool.root, poll_s=0.01, max_jobs=1, worker_id="unit-worker")
+        result = json.loads(spool.result_path("j.00000").read_text())
+        assert result["error"]["type"] == "exception"
+        assert "no-such-kind" in result["error"]["message"]
+
+
+class TestWorkQueueExecutorRecovery:
+    """Submitter-side failure handling, with the worker driven in-process so
+    every interleaving is deterministic."""
+
+    def _submit_async(self, executor, scenarios):
+        box = {}
+
+        def target():
+            try:
+                box["results"] = executor.submit(scenarios, run_fn=None)
+            except BaseException as error:  # noqa: BLE001 - reported by test
+                box["error"] = error
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        return thread, box
+
+    def _wait_for(self, predicate, timeout_s=30.0, message="condition"):
+        deadline = time.monotonic() + timeout_s
+        while not predicate():
+            if time.monotonic() > deadline:
+                raise AssertionError(f"timed out waiting for {message}")
+            time.sleep(0.01)
+
+    def test_worker_exception_propagates_as_runtime_error(self, tmp_path):
+        executor = WorkQueueExecutor(tmp_path / "spool", poll_s=0.01,
+                                     timeout_s=60.0)
+        executor.configure("engine", None)
+        bad = Scenario(name="unit/bad", kind="no-such-kind", params={})
+        thread, box = self._submit_async(executor, [bad])
+        self._wait_for(lambda: list(executor.spool.pending_dir.glob("*.json")),
+                       message="job publication")
+        run_worker(executor.spool.root, poll_s=0.01, max_jobs=1,
+                   worker_id="unit-worker")
+        thread.join(timeout=30.0)
+        assert isinstance(box.get("error"), RuntimeError)
+        assert "no-such-kind" in str(box["error"])
+        # Failure cleanup: no pending or result files left for the batch.
+        assert not list(executor.spool.pending_dir.glob("*.json"))
+        assert not list(executor.spool.results_dir.glob("*.json"))
+
+    def test_version_mismatched_worker_is_fatal(self, tmp_path):
+        executor = WorkQueueExecutor(tmp_path / "spool", poll_s=0.01,
+                                     timeout_s=60.0)
+        executor.configure("engine", None)
+        thread, box = self._submit_async(executor, [CHEAP])
+        self._wait_for(lambda: list(executor.spool.pending_dir.glob("*.json")),
+                       message="job publication")
+        # Play a worker from another source tree: claim the job ourselves
+        # and publish a result recorded under a different code version.
+        claimed = executor.spool.claim("stale-worker")
+        executor.spool.write_result(claimed.job_id, {
+            "job": claimed.job_id, "worker": "stale-worker",
+            "scenario": CHEAP.name, "result": {"events": 1},
+            "elapsed_s": 0.0, "code_version": "stale-tree",
+        })
+        thread.join(timeout=30.0)
+        assert isinstance(box.get("error"), RuntimeError)
+        assert "different code version" in str(box["error"])
+
+    def test_timeout_raises_instead_of_hanging(self, tmp_path):
+        executor = WorkQueueExecutor(tmp_path / "spool", poll_s=0.01,
+                                     timeout_s=0.2)
+        executor.configure("engine", None)
+        with pytest.raises(TimeoutError, match="workqueue sweep timed out"):
+            executor.submit([CHEAP], run_fn=None)
+        # Abandoned jobs are withdrawn so no worker picks them up later.
+        assert not list(executor.spool.pending_dir.glob("*.json"))
+
+    def test_dead_local_worker_pool_fails_fast(self, tmp_path, monkeypatch):
+        executor = WorkQueueExecutor(tmp_path / "spool", local_workers=1,
+                                     poll_s=0.01, orphan_timeout_s=0.1,
+                                     timeout_s=60.0)
+        executor.configure("engine", None)
+
+        class DeadProc:
+            returncode = 1
+
+            def poll(self):
+                return 1
+
+        monkeypatch.setattr(
+            executor, "_spawn_local_workers",
+            lambda: executor._procs.append(DeadProc()))
+        with pytest.raises(RuntimeError, match="local workqueue worker"):
+            executor.submit([CHEAP], run_fn=None)

@@ -8,8 +8,10 @@ import time
 
 import pytest
 
-from repro.runner import REGISTRY, ResultCache, run_sweep
+from repro.runner import (REGISTRY, ProcessPoolExecutor, ResultCache,
+                          SerialExecutor, run_sweep)
 from repro.runner.cli import main as cli_main
+from repro.runner.scenarios import Scenario
 
 #: cheap scenarios (analytic models + synthetic engine runs) used so the
 #: sweep machinery tests stay fast even on one core.
@@ -31,29 +33,29 @@ def _dumps(outcomes):
 
 class TestRunSweep:
     def test_serial_sweep_preserves_order(self):
-        outcomes = run_sweep(CHEAP, workers=1)
+        outcomes = run_sweep(CHEAP)
         assert [o.scenario for o in outcomes] == CHEAP
         assert all(not o.cached for o in outcomes)
         assert all(isinstance(o.result, dict) and o.result for o in outcomes)
 
     def test_parallel_results_match_serial(self):
-        serial = run_sweep(CHEAP, workers=1)
-        parallel = run_sweep(CHEAP, workers=2)
+        serial = run_sweep(CHEAP, executor=SerialExecutor())
+        parallel = run_sweep(CHEAP, executor=ProcessPoolExecutor(2))
         assert _dumps(serial) == _dumps(parallel)
         assert [o.scenario for o in parallel] == CHEAP
 
     def test_cache_hits_skip_execution_and_match(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
-        first = run_sweep(CHEAP, workers=1, cache=cache)
+        first = run_sweep(CHEAP, cache=cache)
         assert all(not o.cached for o in first)
-        second = run_sweep(CHEAP, workers=1, cache=cache)
+        second = run_sweep(CHEAP, cache=cache)
         assert all(o.cached for o in second)
         assert _dumps(first) == _dumps(second)
 
     def test_force_reruns_despite_cache(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
-        run_sweep(CHEAP[:2], workers=1, cache=cache)
-        forced = run_sweep(CHEAP[:2], workers=1, cache=cache, force=True)
+        run_sweep(CHEAP[:2], cache=cache)
+        forced = run_sweep(CHEAP[:2], cache=cache, force=True)
         assert all(not o.cached for o in forced)
 
     def test_duplicate_names_execute_only_once(self, monkeypatch):
@@ -66,8 +68,7 @@ class TestRunSweep:
             return real_run_one(scenario, backend=backend, **kwargs)
 
         monkeypatch.setattr(sweep_module, "_run_one", counting_run_one)
-        outcomes = run_sweep(["smoke/engine-chain", "smoke/engine-chain"],
-                             workers=1)
+        outcomes = run_sweep(["smoke/engine-chain", "smoke/engine-chain"])
         assert len(outcomes) == 2
         assert calls == ["smoke/engine-chain"]
         assert json.dumps(outcomes[0].result) == json.dumps(outcomes[1].result)
@@ -76,11 +77,10 @@ class TestRunSweep:
         # An unregistered Scenario of a registered kind must execute with
         # exactly the parameters it carries (not a same-named registry entry)
         # and must be cached under its own identity.
-        from repro.runner.scenarios import Scenario
         ad_hoc = Scenario(name="smoke/engine-chain", kind="engine_chain",
                           params={"n_msgs": 10, "stages": 1})
         cache = ResultCache(tmp_path / "cache")
-        outcome = run_sweep([ad_hoc], workers=1, cache=cache)[0]
+        outcome = run_sweep([ad_hoc], cache=cache)[0]
         # 10 messages through 1 relay is far fewer events than the registered
         # scenario's 2000 messages through 2 relays.
         assert outcome.result["events"] < 100
@@ -89,6 +89,40 @@ class TestRunSweep:
         # The cache entry belongs to the ad-hoc identity, not the registered one.
         assert cache.load(ad_hoc)["result"] == outcome.result
         assert cache.load(REGISTRY.get("smoke/engine-chain")) is None
+
+    def test_workers_alias_warns_and_matches_executor(self):
+        names = CHEAP[:2]
+        via_executor = run_sweep(names, executor=ProcessPoolExecutor(2))
+        with pytest.warns(DeprecationWarning, match="workers=.*deprecated"):
+            via_alias = run_sweep(names, workers=2)
+        assert _dumps(via_executor) == _dumps(via_alias)
+
+    def test_workers_and_executor_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_sweep(CHEAP[:1], workers=2, executor=SerialExecutor())
+
+    def test_large_duplicate_sweep_resolves_fast(self, monkeypatch):
+        # Regression for the O(n^2) duplicate scan: resolving the work list
+        # must not rescan every queued scenario per input.  2000 distinct
+        # ad-hoc scenarios, each submitted twice, with execution stubbed out
+        # so only the resolution machinery is on the clock -- the quadratic
+        # scan took tens of seconds here, the seen-keys set takes well under
+        # a second.
+        import repro.runner.sweep as sweep_module
+        monkeypatch.setattr(
+            sweep_module, "_run_one",
+            lambda scenario, backend="engine", segment_memo_dir=None:
+                (scenario.name, {"ok": True}, 0.0))
+        distinct = [Scenario(name=f"bulk/{i}", kind="engine_chain",
+                             params={"n_msgs": i + 1, "stages": 1})
+                    for i in range(2000)]
+        scenarios = distinct * 2
+        start = time.perf_counter()
+        outcomes = run_sweep(scenarios)
+        elapsed = time.perf_counter() - start
+        assert len(outcomes) == 4000
+        assert outcomes[0].result == {"ok": True}
+        assert elapsed < 10.0, f"duplicate resolution took {elapsed:.1f}s"
 
     @pytest.mark.skipif((os.cpu_count() or 1) < 4,
                         reason="parallel speedup needs >= 4 cores")
@@ -101,10 +135,10 @@ class TestRunSweep:
                  if "charm" not in s.name]
         assert len(names) >= 8
         start = time.perf_counter()
-        serial = run_sweep(names, workers=1)
+        serial = run_sweep(names)
         serial_wall = time.perf_counter() - start
         start = time.perf_counter()
-        parallel = run_sweep(names, workers=4)
+        parallel = run_sweep(names, executor=ProcessPoolExecutor(4))
         parallel_wall = time.perf_counter() - start
         assert _dumps(serial) == _dumps(parallel)
         assert serial_wall / parallel_wall > 1.5
