@@ -29,12 +29,24 @@ Typical library use::
                          executor=ProcessPoolExecutor(4), cache=ResultCache())
 """
 
-from .scenarios import (BACKENDS, DEFAULT_BACKEND, REGISTRY, Scenario,
-                        ScenarioRegistry, canonical_json)
+from .scenarios import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    REGISTRY,
+    Scenario,
+    ScenarioRegistry,
+    canonical_json,
+)
 from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version
-from .executors import (EXECUTOR_NAMES, Executor, ProcessPoolExecutor,
-                        SerialExecutor, Spool, WorkQueueExecutor,
-                        default_executor)
+from .executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    Spool,
+    WorkQueueExecutor,
+    default_executor,
+)
 from .sweep import SweepOutcome, run_sweep
 from .worker import run_worker
 from . import library  # noqa: F401 -- registers the scenario catalogue

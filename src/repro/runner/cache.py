@@ -32,9 +32,15 @@ from typing import Any, Dict, List, Optional
 
 from .scenarios import DEFAULT_BACKEND, Scenario, canonical_json
 
-__all__ = ["PruneStats", "ResultCache", "SegmentMemo", "code_version",
-           "configure_segment_memo", "process_segment_memo",
-           "DEFAULT_CACHE_DIR"]
+__all__ = [
+    "PruneStats",
+    "ResultCache",
+    "SegmentMemo",
+    "code_version",
+    "configure_segment_memo",
+    "process_segment_memo",
+    "DEFAULT_CACHE_DIR",
+]
 
 #: default cache location, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -111,8 +117,13 @@ class ResultCache:
 
     # ----------------------------------------------------------------- store
 
-    def store(self, scenario: Scenario, result: Dict[str, Any],
-              elapsed_s: float, backend: str = DEFAULT_BACKEND) -> Path:
+    def store(
+        self,
+        scenario: Scenario,
+        result: Dict[str, Any],
+        elapsed_s: float,
+        backend: str = DEFAULT_BACKEND,
+    ) -> Path:
         """Persist one scenario result atomically; returns the entry path."""
         path = self.path(scenario, backend)
         payload = {
@@ -138,8 +149,9 @@ class ResultCache:
 
     # ------------------------------------------------------------------ load
 
-    def load(self, scenario: Scenario,
-             backend: str = DEFAULT_BACKEND) -> Optional[Dict[str, Any]]:
+    def load(
+        self, scenario: Scenario, backend: str = DEFAULT_BACKEND
+    ) -> Optional[Dict[str, Any]]:
         """Return the cached payload for ``scenario``, or ``None`` on a miss.
 
         A hit requires the file to exist *and* its recorded identity to match
@@ -155,11 +167,13 @@ class ResultCache:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             return None
-        if (payload.get("kind") != scenario.kind
-                or payload.get("backend") != backend
-                or payload.get("code_version") != code_version()
-                or canonical_json(payload.get("params")) != canonical_json(
-                    dict(scenario.params))):
+        if (
+            payload.get("kind") != scenario.kind
+            or payload.get("backend") != backend
+            or payload.get("code_version") != code_version()
+            or canonical_json(payload.get("params"))
+            != canonical_json(dict(scenario.params))
+        ):
             return None
         return payload
 
@@ -224,13 +238,15 @@ class ResultCache:
             try:
                 payload = json.loads(path.read_text())
                 if not isinstance(payload, dict):
-                    raise ValueError(f"expected a JSON object, got "
-                                     f"{type(payload).__name__}")
+                    raise ValueError(
+                        f"expected a JSON object, got " f"{type(payload).__name__}"
+                    )
             except FileNotFoundError:
                 continue  # concurrent prune/clear got there first
             except (OSError, ValueError) as error:
-                stats.warnings.append(f"removing corrupted entry "
-                                      f"{path.name}: {error}")
+                stats.warnings.append(
+                    f"removing corrupted entry " f"{path.name}: {error}"
+                )
                 if self._unlink(path, stats.warnings):
                     stats.removed += 1
                 continue
@@ -245,13 +261,15 @@ class ResultCache:
                 try:
                     payload = json.loads(path.read_text())
                     if not isinstance(payload, dict):
-                        raise ValueError(f"expected a JSON object, got "
-                                         f"{type(payload).__name__}")
+                        raise ValueError(
+                            f"expected a JSON object, got " f"{type(payload).__name__}"
+                        )
                 except FileNotFoundError:
                     continue
                 except (OSError, ValueError) as error:
-                    stats.warnings.append(f"removing corrupted segment entry "
-                                          f"{path.name}: {error}")
+                    stats.warnings.append(
+                        f"removing corrupted segment entry " f"{path.name}: {error}"
+                    )
                     if self._unlink(path, stats.warnings):
                         stats.removed += 1
                     continue
@@ -266,8 +284,9 @@ class ResultCache:
             except OSError:
                 continue
             if age > _TMP_GRACE_S:
-                stats.warnings.append(f"removing abandoned spill file "
-                                      f"{tmp.name} ({age:.0f}s old)")
+                stats.warnings.append(
+                    f"removing abandoned spill file " f"{tmp.name} ({age:.0f}s old)"
+                )
                 if self._unlink(tmp, stats.warnings):
                     stats.removed += 1
         return stats
@@ -337,10 +356,12 @@ class SegmentMemo:
                     entry = json.loads(path.read_text())
                 except (OSError, json.JSONDecodeError):
                     entry = None
-                if (isinstance(entry, dict)
-                        and entry.get("key") == key
-                        and entry.get("code_version") == code_version()
-                        and isinstance(entry.get("result"), dict)):
+                if (
+                    isinstance(entry, dict)
+                    and entry.get("key") == key
+                    and entry.get("code_version") == code_version()
+                    and isinstance(entry.get("result"), dict)
+                ):
                     payload = entry["result"]
                     self._memory[key] = payload
         if payload is None:

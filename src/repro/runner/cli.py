@@ -47,8 +47,13 @@ import time
 from typing import List, Optional
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version
-from .executors import (EXECUTOR_NAMES, Executor, ProcessPoolExecutor,
-                        SerialExecutor, WorkQueueExecutor)
+from .executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    WorkQueueExecutor,
+)
 from .scenarios import BACKENDS, DEFAULT_BACKEND, REGISTRY
 from .sweep import SweepOutcome, run_sweep
 
@@ -109,27 +114,29 @@ def _weights_argument(text: str) -> dict:
         name, separator, raw = part.partition("=")
         name = name.strip().lower()
         if not separator:
-            raise argparse.ArgumentTypeError(
-                f"expected NAME=VALUE, got {part!r}")
+            raise argparse.ArgumentTypeError(f"expected NAME=VALUE, got {part!r}")
         if name not in _WEIGHT_ALIASES:
             raise argparse.ArgumentTypeError(
                 f"unknown objective {name!r}; known: "
-                f"{', '.join(sorted(_WEIGHT_ALIASES))}")
+                f"{', '.join(sorted(_WEIGHT_ALIASES))}"
+            )
         try:
             value = float(raw)
         except ValueError:
             raise argparse.ArgumentTypeError(
-                f"invalid weight {raw!r} for {name!r}") from None
+                f"invalid weight {raw!r} for {name!r}"
+            ) from None
         if not math.isfinite(value):
             raise argparse.ArgumentTypeError(
-                f"weights must be finite, got {name}={value:g}")
+                f"weights must be finite, got {name}={value:g}"
+            )
         if value < 0:
             raise argparse.ArgumentTypeError(
-                f"weights must be non-negative, got {name}={value:g}")
+                f"weights must be non-negative, got {name}={value:g}"
+            )
         key = _WEIGHT_ALIASES[name]
         if key in weights:
-            raise argparse.ArgumentTypeError(
-                f"objective {name!r} given more than once")
+            raise argparse.ArgumentTypeError(f"objective {name!r} given more than once")
         weights[key] = value
     if not weights:
         raise argparse.ArgumentTypeError("no weights given")
@@ -141,48 +148,85 @@ def _weights_argument(text: str) -> dict:
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runner",
-        description="Declarative scenario sweeps over the RSN simulator.")
+        description="Declarative scenario sweeps over the RSN simulator.",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     list_cmd = sub.add_parser("list", help="list registered scenarios")
-    list_cmd.add_argument("--tag", action="append", default=None,
-                          help="only scenarios carrying this tag (repeatable)")
-    list_cmd.add_argument("--backend", choices=BACKENDS, default=None,
-                          help="only scenarios supporting this backend")
+    list_cmd.add_argument(
+        "--tag",
+        action="append",
+        default=None,
+        help="only scenarios carrying this tag (repeatable)",
+    )
+    list_cmd.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="only scenarios supporting this backend",
+    )
 
     def add_executor_options(cmd: argparse.ArgumentParser) -> None:
-        cmd.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
-                         help="execution policy: serial (in-process), pool "
-                              "(local multiprocessing pool), or workqueue "
-                              "(distributed fan-out over a shared --spool "
-                              "directory); default: derived from --workers "
-                              "(pool when > 1, else serial)")
-        cmd.add_argument("--workers", type=_workers_argument, default=1,
-                         metavar="N|auto",
-                         help="worker processes: an integer >= 1, or 'auto' "
-                              "for this machine's CPU count; with --executor "
-                              "workqueue this is the number of *local* "
-                              "workers the sweep contributes (default: 1, "
-                              "serial)")
-        cmd.add_argument("--spool", default=None,
-                         help="work-queue spool directory shared with "
-                              "`python -m repro.runner worker` processes "
-                              "(required by --executor workqueue)")
+        cmd.add_argument(
+            "--executor",
+            choices=EXECUTOR_NAMES,
+            default=None,
+            help="execution policy: serial (in-process), pool "
+            "(local multiprocessing pool), or workqueue "
+            "(distributed fan-out over a shared --spool "
+            "directory); default: derived from --workers "
+            "(pool when > 1, else serial)",
+        )
+        cmd.add_argument(
+            "--workers",
+            type=_workers_argument,
+            default=1,
+            metavar="N|auto",
+            help="worker processes: an integer >= 1, or 'auto' "
+            "for this machine's CPU count; with --executor "
+            "workqueue this is the number of *local* "
+            "workers the sweep contributes (default: 1, "
+            "serial)",
+        )
+        cmd.add_argument(
+            "--spool",
+            default=None,
+            help="work-queue spool directory shared with "
+            "`python -m repro.runner worker` processes "
+            "(required by --executor workqueue)",
+        )
 
     def add_exec_options(cmd: argparse.ArgumentParser) -> None:
-        cmd.add_argument("--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
-                         help="execution backend: cycle-level event-driven "
-                              "engine, or the analytic fast model "
-                              f"(default: {DEFAULT_BACKEND})")
+        cmd.add_argument(
+            "--backend",
+            choices=BACKENDS,
+            default=DEFAULT_BACKEND,
+            help="execution backend: cycle-level event-driven "
+            "engine, or the analytic fast model "
+            f"(default: {DEFAULT_BACKEND})",
+        )
         add_executor_options(cmd)
-        cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
-                         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
-        cmd.add_argument("--no-cache", action="store_true",
-                         help="disable the result cache entirely")
-        cmd.add_argument("--force", action="store_true",
-                         help="re-run even on cache hits (refreshes entries)")
-        cmd.add_argument("--json", dest="json_path", default=None,
-                         help="write outcomes to this JSON file")
+        cmd.add_argument(
+            "--cache-dir",
+            default=DEFAULT_CACHE_DIR,
+            help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+        )
+        cmd.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the result cache entirely",
+        )
+        cmd.add_argument(
+            "--force",
+            action="store_true",
+            help="re-run even on cache hits (refreshes entries)",
+        )
+        cmd.add_argument(
+            "--json",
+            dest="json_path",
+            default=None,
+            help="write outcomes to this JSON file",
+        )
 
     run_cmd = sub.add_parser("run", help="run scenarios by name")
     run_cmd.add_argument("names", nargs="+", help="scenario names")
@@ -190,90 +234,151 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sweep_cmd = sub.add_parser("sweep", help="run a tagged or full sweep")
     sweep_cmd.add_argument("names", nargs="*", help="extra scenario names")
-    sweep_cmd.add_argument("--tag", action="append", default=None,
-                           help="include every scenario with this tag (repeatable)")
-    sweep_cmd.add_argument("--all", action="store_true",
-                           help="run the entire catalogue")
+    sweep_cmd.add_argument(
+        "--tag",
+        action="append",
+        default=None,
+        help="include every scenario with this tag (repeatable)",
+    )
+    sweep_cmd.add_argument(
+        "--all", action="store_true", help="run the entire catalogue"
+    )
     add_exec_options(sweep_cmd)
 
     explore_cmd = sub.add_parser(
-        "explore", help="design-space exploration: analytic-proxy search, "
-                        "engine-verified Pareto frontier")
-    explore_cmd.add_argument("--space", default="encoder",
-                             help="design space to search (default: encoder; "
-                                  "see --list-spaces)")
-    explore_cmd.add_argument("--strategy", default="halving",
-                             help="search strategy: grid, random, or halving "
-                                  "(default: halving)")
-    explore_cmd.add_argument("--budget", type=_positive_int, default=200,
-                             help="total analytic proxy evaluations "
-                                  "(default: 200)")
-    explore_cmd.add_argument("--verify-top", type=int, default=8,
-                             help="frontier points to re-certify on the "
-                                  "engine backend; 0 skips verification "
-                                  "(default: 8)")
-    explore_cmd.add_argument("--seed", type=int, default=0,
-                             help="RNG seed for random/halving sampling "
-                                  "(default: 0)")
-    explore_cmd.add_argument("--proxy", choices=("sweep", "batched"),
-                             default="sweep",
-                             help="analytic proxy path: per-point scenario "
-                                  "sweep (cached) or batched generation "
-                                  "evaluation (fastest; bypasses the proxy "
-                                  "cache) (default: sweep)")
-    explore_cmd.add_argument("--weights", type=_weights_argument, default=None,
-                             metavar="latency=W,traffic=W,utilization=W",
-                             help="weighted scalarisation of the objectives: "
-                                  "rank the frontier (and halving survivors) "
-                                  "by weighted normalised score instead of "
-                                  "non-domination rank")
+        "explore",
+        help="design-space exploration: analytic-proxy search, "
+        "engine-verified Pareto frontier",
+    )
+    explore_cmd.add_argument(
+        "--space",
+        default="encoder",
+        help="design space to search (default: encoder; " "see --list-spaces)",
+    )
+    explore_cmd.add_argument(
+        "--strategy",
+        default="halving",
+        help="search strategy: grid, random, or halving " "(default: halving)",
+    )
+    explore_cmd.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=200,
+        help="total analytic proxy evaluations " "(default: 200)",
+    )
+    explore_cmd.add_argument(
+        "--verify-top",
+        type=int,
+        default=8,
+        help="frontier points to re-certify on the "
+        "engine backend; 0 skips verification "
+        "(default: 8)",
+    )
+    explore_cmd.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="RNG seed for random/halving sampling " "(default: 0)",
+    )
+    explore_cmd.add_argument(
+        "--proxy",
+        choices=("sweep", "batched"),
+        default="sweep",
+        help="analytic proxy path: per-point scenario "
+        "sweep (cached) or batched generation "
+        "evaluation (fastest; bypasses the proxy "
+        "cache) (default: sweep)",
+    )
+    explore_cmd.add_argument(
+        "--weights",
+        type=_weights_argument,
+        default=None,
+        metavar="latency=W,traffic=W,utilization=W",
+        help="weighted scalarisation of the objectives: "
+        "rank the frontier (and halving survivors) "
+        "by weighted normalised score instead of "
+        "non-domination rank",
+    )
     add_executor_options(explore_cmd)
-    explore_cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
-                             help=f"result cache directory "
-                                  f"(default: {DEFAULT_CACHE_DIR})")
-    explore_cmd.add_argument("--no-cache", action="store_true",
-                             help="disable the result cache entirely")
-    explore_cmd.add_argument("--force", action="store_true",
-                             help="re-run even on cache hits")
-    explore_cmd.add_argument("--json", dest="json_path", default=None,
-                             help="write the full exploration report to this "
-                                  "JSON file")
-    explore_cmd.add_argument("--report", dest="report_path", default=None,
-                             help="write the rendered frontier/verification "
-                                  "tables to this text file")
-    explore_cmd.add_argument("--list-spaces", action="store_true",
-                             help="describe the design-space catalogue and "
-                                  "exit")
+    explore_cmd.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory " f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    explore_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely",
+    )
+    explore_cmd.add_argument(
+        "--force", action="store_true", help="re-run even on cache hits"
+    )
+    explore_cmd.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write the full exploration report to this " "JSON file",
+    )
+    explore_cmd.add_argument(
+        "--report",
+        dest="report_path",
+        default=None,
+        help="write the rendered frontier/verification " "tables to this text file",
+    )
+    explore_cmd.add_argument(
+        "--list-spaces",
+        action="store_true",
+        help="describe the design-space catalogue and " "exit",
+    )
 
     worker_cmd = sub.add_parser(
-        "worker", help="attach a work-queue worker to a spool directory")
-    worker_cmd.add_argument("--spool", required=True,
-                            help="spool directory shared with the submitting "
-                                 "sweep (any host on the same filesystem)")
-    worker_cmd.add_argument("--poll", type=_positive_float, default=0.2,
-                            metavar="SECONDS",
-                            help="sleep between claim attempts while the "
-                                 "spool is empty (default: 0.2)")
-    worker_cmd.add_argument("--idle-exit", type=_positive_float, default=None,
-                            metavar="SECONDS",
-                            help="exit once the spool has been empty this "
-                                 "long (default: run until interrupted)")
-    worker_cmd.add_argument("--max-jobs", type=_positive_int, default=None,
-                            help="exit after this many jobs (default: "
-                                 "unbounded)")
-    worker_cmd.add_argument("--worker-id", default=None,
-                            help="spool-visible worker identity (default: "
-                                 "<hostname>-<pid>)")
+        "worker", help="attach a work-queue worker to a spool directory"
+    )
+    worker_cmd.add_argument(
+        "--spool",
+        required=True,
+        help="spool directory shared with the submitting "
+        "sweep (any host on the same filesystem)",
+    )
+    worker_cmd.add_argument(
+        "--poll",
+        type=_positive_float,
+        default=0.2,
+        metavar="SECONDS",
+        help="sleep between claim attempts while the " "spool is empty (default: 0.2)",
+    )
+    worker_cmd.add_argument(
+        "--idle-exit",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="exit once the spool has been empty this "
+        "long (default: run until interrupted)",
+    )
+    worker_cmd.add_argument(
+        "--max-jobs",
+        type=_positive_int,
+        default=None,
+        help="exit after this many jobs (default: " "unbounded)",
+    )
+    worker_cmd.add_argument(
+        "--worker-id",
+        default=None,
+        help="spool-visible worker identity (default: " "<hostname>-<pid>)",
+    )
 
     cache_cmd = sub.add_parser("cache", help="inspect or clean the result cache")
     cache_cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     group = cache_cmd.add_mutually_exclusive_group()
     group.add_argument("--show", action="store_true", help="list entries (default)")
     group.add_argument("--clear", action="store_true", help="delete all entries")
-    group.add_argument("--prune", action="store_true",
-                       help="drop stale-code-version, corrupted, and "
-                            "abandoned entries (never fails: problem "
-                            "entries are skipped with a warning)")
+    group.add_argument(
+        "--prune",
+        action="store_true",
+        help="drop stale-code-version, corrupted, and "
+        "abandoned entries (never fails: problem "
+        "entries are skipped with a warning)",
+    )
 
     return parser
 
@@ -299,37 +404,52 @@ def _build_executor(args: argparse.Namespace) -> Executor:
         raise ValueError("--spool is only meaningful with --executor workqueue")
     if name == "serial":
         if args.workers > 1:
-            raise ValueError(f"--executor serial contradicts --workers "
-                             f"{args.workers}; drop one of them")
+            raise ValueError(
+                f"--executor serial contradicts --workers "
+                f"{args.workers}; drop one of them"
+            )
         return SerialExecutor()
     if name == "pool":
         return ProcessPoolExecutor(args.workers)
     if args.spool is None:
-        raise ValueError("--executor workqueue requires --spool DIR (the "
-                         "directory shared with `python -m repro.runner "
-                         "worker` processes)")
+        raise ValueError(
+            "--executor workqueue requires --spool DIR (the "
+            "directory shared with `python -m repro.runner "
+            "worker` processes)"
+        )
     return WorkQueueExecutor(args.spool, local_workers=args.workers)
 
 
-def _print_outcomes(outcomes: List[SweepOutcome], wall_s: float,
-                    backend: str) -> None:
+def _print_outcomes(outcomes: List[SweepOutcome], wall_s: float, backend: str) -> None:
     name_width = max([len(o.scenario) for o in outcomes] + [8])
     print(f"{'scenario':<{name_width}}  {'source':<6}  {'elapsed':>9}  headline")
     for outcome in outcomes:
         source = "cache" if outcome.cached else "run"
-        print(f"{outcome.scenario:<{name_width}}  {source:<6}  "
-              f"{outcome.elapsed_s:>8.3f}s  {outcome.metric()}")
+        print(
+            f"{outcome.scenario:<{name_width}}  {source:<6}  "
+            f"{outcome.elapsed_s:>8.3f}s  {outcome.metric()}"
+        )
     fresh = sum(1 for o in outcomes if not o.cached)
     hits = len(outcomes) - fresh
-    print(f"-- {len(outcomes)} scenario(s) on the {backend} backend: "
-          f"{fresh} executed, {hits} cache hit(s), "
-          f"wall {wall_s:.2f}s, code version {code_version()}")
+    print(
+        f"-- {len(outcomes)} scenario(s) on the {backend} backend: "
+        f"{fresh} executed, {hits} cache hit(s), "
+        f"wall {wall_s:.2f}s, code version {code_version()}"
+    )
 
 
 def _dump_json(outcomes: List[SweepOutcome], path: str) -> None:
-    payload = [{"scenario": o.scenario, "kind": o.kind, "backend": o.backend,
-                "cached": o.cached, "elapsed_s": o.elapsed_s,
-                "result": o.result} for o in outcomes]
+    payload = [
+        {
+            "scenario": o.scenario,
+            "kind": o.kind,
+            "backend": o.backend,
+            "cached": o.cached,
+            "elapsed_s": o.elapsed_s,
+            "result": o.result,
+        }
+        for o in outcomes
+    ]
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
     print(f"wrote {len(payload)} outcome(s) to {path}")
@@ -343,10 +463,15 @@ def _run_explore(args: argparse.Namespace) -> int:
     lower-bound contract -- the one outcome that means the proxy itself is
     broken, which CI must treat as a failure.
     """
-    from repro.analysis.reporting import (dse_frontier_table,
-                                          dse_verification_table)
-    from repro.explore import (get_space, get_strategy, resolve_batch_runner,
-                               run_exploration, spaces, validate_weights)
+    from repro.analysis.reporting import dse_frontier_table, dse_verification_table
+    from repro.explore import (
+        get_space,
+        get_strategy,
+        resolve_batch_runner,
+        run_exploration,
+        spaces,
+        validate_weights,
+    )
 
     if args.list_spaces:
         for name in spaces.space_names():
@@ -372,23 +497,31 @@ def _run_explore(args: argparse.Namespace) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     with executor:
-        report = run_exploration(space, strategy, budget=args.budget,
-                                 verify_top=args.verify_top, seed=args.seed,
-                                 executor=executor, cache=cache,
-                                 force=args.force, proxy=args.proxy,
-                                 weights=args.weights)
+        report = run_exploration(
+            space,
+            strategy,
+            budget=args.budget,
+            verify_top=args.verify_top,
+            seed=args.seed,
+            executor=executor,
+            cache=cache,
+            force=args.force,
+            proxy=args.proxy,
+            weights=args.weights,
+        )
 
     frontier = dse_frontier_table(report).render()
-    verification = dse_verification_table(report).render() \
-        if report.verified else ""
+    verification = dse_verification_table(report).render() if report.verified else ""
     print(frontier)
     if verification:
         print()
         print(verification)
-    print(f"-- {len(report.frontier)} frontier point(s) from "
-          f"{report.evaluations} proxy evaluation(s), "
-          f"{len(report.verified)} engine-verified, "
-          f"wall {report.proxy_wall_s + report.verify_wall_s:.2f}s")
+    print(
+        f"-- {len(report.frontier)} frontier point(s) from "
+        f"{report.evaluations} proxy evaluation(s), "
+        f"{len(report.verified)} engine-verified, "
+        f"wall {report.proxy_wall_s + report.verify_wall_s:.2f}s"
+    )
     if args.report_path:
         with open(args.report_path, "w") as handle:
             handle.write(frontier + "\n")
@@ -401,29 +534,40 @@ def _run_explore(args: argparse.Namespace) -> int:
         print(f"wrote exploration report to {args.json_path}")
     if not report.contract_ok:
         bad = [p.point_id for p in report.verified if not p.contract_ok]
-        print(f"error: verified point(s) {bad} violate the analytic "
-              "lower-bound contract", file=sys.stderr)
+        print(
+            f"error: verified point(s) {bad} violate the analytic "
+            "lower-bound contract",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     from . import library  # noqa: F401 -- populates the registry
+
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":
         try:
-            scenarios = REGISTRY.select(tags=args.tag, backend=args.backend) \
-                if (args.tag or args.backend) else REGISTRY.select()
+            scenarios = (
+                REGISTRY.select(tags=args.tag, backend=args.backend)
+                if (args.tag or args.backend)
+                else REGISTRY.select()
+            )
         except KeyError as error:
             return _fail(error.args[0])
         name_width = max([len(s.name) for s in scenarios] + [8])
         for scenario in scenarios:
             tags = ",".join(scenario.tags)
             backends = "/".join(REGISTRY.backends(scenario.kind))
-            print(f"{scenario.name:<{name_width}}  [{tags}]  ({backends})  "
-                  f"{scenario.description}")
-        print(f"-- {len(scenarios)} scenario(s); tags: {', '.join(REGISTRY.all_tags())}")
+            print(
+                f"{scenario.name:<{name_width}}  [{tags}]  ({backends})  "
+                f"{scenario.description}"
+            )
+        print(
+            f"-- {len(scenarios)} scenario(s); tags: {', '.join(REGISTRY.all_tags())}"
+        )
         return 0
 
     if args.command == "cache":
@@ -435,25 +579,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             stats = cache.prune()
             for warning in stats.warnings:
                 print(f"warning: {warning}", file=sys.stderr)
-            print(f"pruned {stats.removed} entrie(s) from {cache.root}, "
-                  f"kept {stats.kept} current entrie(s)")
+            print(
+                f"pruned {stats.removed} entrie(s) from {cache.root}, "
+                f"kept {stats.kept} current entrie(s)"
+            )
             return 0
         entries = cache.entries()
         for path in entries:
             print(path)
-        print(f"-- {len(entries)} entrie(s) in {cache.root}, "
-              f"code version {code_version()}")
+        print(
+            f"-- {len(entries)} entrie(s) in {cache.root}, "
+            f"code version {code_version()}"
+        )
         return 0
 
     if args.command == "worker":
         from .worker import default_worker_id, run_worker
+
         worker_id = args.worker_id or default_worker_id()
         print(f"worker {worker_id} polling spool {args.spool}", flush=True)
         try:
-            processed = run_worker(args.spool, poll_s=args.poll,
-                                   idle_exit_s=args.idle_exit,
-                                   max_jobs=args.max_jobs,
-                                   worker_id=worker_id)
+            processed = run_worker(
+                args.spool,
+                poll_s=args.poll,
+                idle_exit_s=args.idle_exit,
+                max_jobs=args.max_jobs,
+                worker_id=worker_id,
+            )
         except KeyboardInterrupt:
             print(f"worker {worker_id} interrupted", file=sys.stderr)
             return 130
@@ -473,13 +625,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.all:
                 scenarios = [s.name for s in REGISTRY.select()]
             elif args.tag or args.names:
-                scenarios = [s.name for s in REGISTRY.select(names=args.names,
-                                                             tags=args.tag)]
+                scenarios = [
+                    s.name for s in REGISTRY.select(names=args.names, tags=args.tag)
+                ]
             else:
                 return _fail("sweep: pass scenario names, --tag TAG, or --all")
             if not scenarios:
-                return _fail(f"sweep: no scenarios matched tags {args.tag}; "
-                             "run `python -m repro.runner list` for the catalogue")
+                return _fail(
+                    f"sweep: no scenarios matched tags {args.tag}; "
+                    "run `python -m repro.runner list` for the catalogue"
+                )
     except KeyError as error:
         return _fail(error.args[0])
 
@@ -491,8 +646,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     start = time.perf_counter()
     try:
         with executor:
-            outcomes = run_sweep(scenarios, cache=cache, force=args.force,
-                                 backend=args.backend, executor=executor)
+            outcomes = run_sweep(
+                scenarios,
+                cache=cache,
+                force=args.force,
+                backend=args.backend,
+                executor=executor,
+            )
     except KeyError as error:
         return _fail(error.args[0])
     wall_s = time.perf_counter() - start

@@ -32,13 +32,16 @@ __all__ = ["REGISTRY"]
 
 # --------------------------------------------------------------------- helpers
 
+
 def _codegen_options(options: Optional[Dict[str, Any]]):
     from repro.xnn import CodegenOptions
+
     return CodegenOptions(**(options or {}))
 
 
 def _xnn_config(bandwidth_scale: float = 1.0, **overrides):
     from repro.xnn import XNNConfig
+
     return XNNConfig(carry_data=False, bandwidth_scale=bandwidth_scale, **overrides)
 
 
@@ -47,6 +50,7 @@ def _encoder_config(model: str):
     ``xnn_encoder`` kind so their supported models cannot diverge."""
     from repro.workloads.bert import BERT_LARGE
     from repro.workloads.vit import VIT_BASE
+
     configs = {"bert_large": BERT_LARGE, "vit_base": VIT_BASE}
     if model not in configs:
         raise KeyError(f"unknown encoder model {model!r}; known: {sorted(configs)}")
@@ -56,9 +60,12 @@ def _encoder_config(model: str):
 def _feedforward_builder(model: str):
     """Feed-forward model builder by name, shared by both backends."""
     from repro.workloads import mlp_model, ncf_model
+
     builders = {"ncf": ncf_model, "mlp": mlp_model}
     if model not in builders:
-        raise KeyError(f"unknown feedforward model {model!r}; known: {sorted(builders)}")
+        raise KeyError(
+            f"unknown feedforward model {model!r}; known: {sorted(builders)}"
+        )
     return builders[model]
 
 
@@ -107,84 +114,120 @@ def _analytic_encoder_dict(result) -> Dict[str, Any]:
 
 # ---------------------------------------------------------------- kind runners
 
+
 @REGISTRY.kind("aie_gemm", backend=("engine", "analytic"))
 def run_aie_gemm(shape: List[int]) -> dict:
     """Single-kernel AIE-array GEMM throughput for one tile shape (Table 6a)."""
     from repro.hardware.aie import AIEArrayModel
+
     aie = AIEArrayModel()
     flops = aie.array_gemm_flops(tuple(shape))
     return {"shape": list(shape), "gflops": flops / 1e9}
 
 
 @REGISTRY.kind("xnn_gemm")
-def run_xnn_gemm(m: int, k: int, n: int,
-                 options: Optional[Dict[str, Any]] = None,
-                 bandwidth_scale: float = 1.0) -> dict:
+def run_xnn_gemm(
+    m: int,
+    k: int,
+    n: int,
+    options: Optional[Dict[str, Any]] = None,
+    bandwidth_scale: float = 1.0,
+) -> dict:
     """End-to-end square/rectangular GEMM on the simulated datapath (Table 6b)."""
     from repro.xnn import XNNExecutor
-    executor = XNNExecutor(config=_xnn_config(bandwidth_scale),
-                           options=_codegen_options(options))
+
+    executor = XNNExecutor(
+        config=_xnn_config(bandwidth_scale), options=_codegen_options(options)
+    )
     result, _ = executor.run_gemm(m, k, n)
     payload = _segment_dict(result)
-    payload["gflops"] = result.flops / result.latency_s / 1e9 if result.latency_s else 0.0
+    payload["gflops"] = (
+        result.flops / result.latency_s / 1e9 if result.latency_s else 0.0
+    )
     return payload
 
 
 @REGISTRY.kind("xnn_gemm", backend="analytic")
-def estimate_xnn_gemm(m: int, k: int, n: int,
-                      options: Optional[Dict[str, Any]] = None,
-                      bandwidth_scale: float = 1.0) -> dict:
+def estimate_xnn_gemm(
+    m: int,
+    k: int,
+    n: int,
+    options: Optional[Dict[str, Any]] = None,
+    bandwidth_scale: float = 1.0,
+) -> dict:
     """Analytic lower-bound estimate of the end-to-end GEMM (Table 6b)."""
     from repro.xnn.analytic import AnalyticXNN
-    model = AnalyticXNN(config=_xnn_config(bandwidth_scale),
-                        options=_codegen_options(options))
+
+    model = AnalyticXNN(
+        config=_xnn_config(bandwidth_scale), options=_codegen_options(options)
+    )
     result = model.run_gemm(m, k, n)
     payload = _analytic_segment_dict(result)
-    payload["gflops"] = result.flops / result.latency_s / 1e9 if result.latency_s else 0.0
+    payload["gflops"] = (
+        result.flops / result.latency_s / 1e9 if result.latency_s else 0.0
+    )
     return payload
 
 
 @REGISTRY.kind("xnn_encoder")
-def run_xnn_encoder(batch: int, seq_len: int, model: str = "bert_large",
-                    options: Optional[Dict[str, Any]] = None,
-                    bandwidth_scale: float = 1.0) -> dict:
+def run_xnn_encoder(
+    batch: int,
+    seq_len: int,
+    model: str = "bert_large",
+    options: Optional[Dict[str, Any]] = None,
+    bandwidth_scale: float = 1.0,
+) -> dict:
     """One transformer encoder layer on the simulated datapath."""
     from repro.xnn import XNNExecutor
-    executor = XNNExecutor(config=_xnn_config(bandwidth_scale),
-                           options=_codegen_options(options))
-    result = executor.run_encoder(batch=batch, seq_len=seq_len,
-                                  config=_encoder_config(model))
+
+    executor = XNNExecutor(
+        config=_xnn_config(bandwidth_scale), options=_codegen_options(options)
+    )
+    result = executor.run_encoder(
+        batch=batch, seq_len=seq_len, config=_encoder_config(model)
+    )
     return _encoder_dict(result)
 
 
 @REGISTRY.kind("xnn_encoder", backend="analytic")
-def estimate_xnn_encoder(batch: int, seq_len: int, model: str = "bert_large",
-                         options: Optional[Dict[str, Any]] = None,
-                         bandwidth_scale: float = 1.0) -> dict:
+def estimate_xnn_encoder(
+    batch: int,
+    seq_len: int,
+    model: str = "bert_large",
+    options: Optional[Dict[str, Any]] = None,
+    bandwidth_scale: float = 1.0,
+) -> dict:
     """Analytic lower-bound estimate of one encoder layer, per segment."""
     from repro.xnn.analytic import AnalyticXNN
-    analytic = AnalyticXNN(config=_xnn_config(bandwidth_scale),
-                           options=_codegen_options(options))
-    result = analytic.run_encoder(batch=batch, seq_len=seq_len,
-                                  config=_encoder_config(model))
+
+    analytic = AnalyticXNN(
+        config=_xnn_config(bandwidth_scale), options=_codegen_options(options)
+    )
+    result = analytic.run_encoder(
+        batch=batch, seq_len=seq_len, config=_encoder_config(model)
+    )
     return _analytic_encoder_dict(result)
 
 
 @REGISTRY.kind("xnn_feedforward")
-def run_xnn_feedforward(model: str, batch: int,
-                        options: Optional[Dict[str, Any]] = None) -> dict:
+def run_xnn_feedforward(
+    model: str, batch: int, options: Optional[Dict[str, Any]] = None
+) -> dict:
     """A pure-GEMM model (NCF / MLP) chained through DDR (Table 7)."""
     from repro.xnn import XNNExecutor
+
     executor = XNNExecutor(config=_xnn_config(), options=_codegen_options(options))
     result = executor.run_feedforward_model(_feedforward_builder(model)(batch=batch))
     return _encoder_dict(result)
 
 
 @REGISTRY.kind("xnn_feedforward", backend="analytic")
-def estimate_xnn_feedforward(model: str, batch: int,
-                             options: Optional[Dict[str, Any]] = None) -> dict:
+def estimate_xnn_feedforward(
+    model: str, batch: int, options: Optional[Dict[str, Any]] = None
+) -> dict:
     """Analytic lower-bound estimate of a pure-GEMM model (Table 7)."""
     from repro.xnn.analytic import AnalyticXNN
+
     analytic = AnalyticXNN(config=_xnn_config(), options=_codegen_options(options))
     result = analytic.run_feedforward_model(_feedforward_builder(model)(batch=batch))
     return _analytic_encoder_dict(result)
@@ -194,6 +237,7 @@ def estimate_xnn_feedforward(model: str, batch: int,
 def run_charm_gemm(size: int) -> dict:
     """CHARM baseline end-to-end square-MM throughput (Table 6b column)."""
     from repro.baselines import CharmModel
+
     return {"size": size, "gflops": CharmModel().gemm_throughput_gflops(size)}
 
 
@@ -202,6 +246,7 @@ def run_charm_encoder(batch: int, seq_len: int) -> dict:
     """CHARM BERT-Large encoder point with six-batch scheduling (Fig. 18)."""
     from repro.baselines import CharmModel
     from repro.workloads import bert_large_encoder
+
     charm = CharmModel()
     scheduled = max(batch, charm.schedule_batch)
     encoder = bert_large_encoder(batch=scheduled, seq_len=seq_len)
@@ -209,8 +254,9 @@ def run_charm_encoder(batch: int, seq_len: int) -> dict:
         "batch": batch,
         "scheduled_batch": scheduled,
         "latency_ms": charm.model_latency(encoder) * 1e3,
-        "throughput_tasks_per_s": charm.throughput_tasks_per_s(encoder,
-                                                               useful_tasks=batch),
+        "throughput_tasks_per_s": charm.throughput_tasks_per_s(
+            encoder, useful_tasks=batch
+        ),
     }
 
 
@@ -219,9 +265,11 @@ def run_mapping_types(batch: int, seq_len: int) -> dict:
     """Latency estimates of the four mapping types on BERT attention (Table 3)."""
     from repro.workloads import bert_large_encoder
     from repro.xnn.mapping import compare_mapping_types
+
     encoder = bert_large_encoder(batch=batch, seq_len=seq_len)
-    estimates = compare_mapping_types(encoder.layer("attention_mm1"),
-                                      encoder.layer("attention_mm2"))
+    estimates = compare_mapping_types(
+        encoder.layer("attention_mm1"), encoder.layer("attention_mm2")
+    )
     return {
         mapping.value: {
             "bandwidth_bound_s": estimate.bandwidth_bound_s,
@@ -237,6 +285,7 @@ def run_mapping_types(batch: int, seq_len: int) -> dict:
 def run_fu_properties() -> dict:
     """Per-FU compute/memory/bandwidth inventory of the datapath (Fig. 16)."""
     from repro.xnn import XNNDatapath
+
     xnn = XNNDatapath(_xnn_config())
     return {"rows": xnn.fu_properties()}
 
@@ -249,8 +298,12 @@ _CHAIN_DELAY_S = 1e-9
 
 
 @REGISTRY.kind("engine_chain")
-def run_engine_chain(n_msgs: int = 2000, stages: int = 2,
-                     capacity: int = 4, fast_zero_delay: bool = True) -> dict:
+def run_engine_chain(
+    n_msgs: int = 2000,
+    stages: int = 2,
+    capacity: int = 4,
+    fast_zero_delay: bool = True,
+) -> dict:
     """A synthetic producer->relay->consumer pipeline on the raw engine.
 
     Used by the determinism tests and the CI smoke sweep: cheap, exercises the
@@ -265,9 +318,10 @@ def run_engine_chain(n_msgs: int = 2000, stages: int = 2,
             self.nbytes = _CHAIN_MSG_BYTES
 
     sim = Simulator(fast_zero_delay=fast_zero_delay)
-    channels = [StreamChannel(f"c{i}", capacity=capacity,
-                              bandwidth=_CHAIN_CHANNEL_BW)
-                for i in range(stages + 1)]
+    channels = [
+        StreamChannel(f"c{i}", capacity=capacity, bandwidth=_CHAIN_CHANNEL_BW)
+        for i in range(stages + 1)
+    ]
 
     def producer():
         # Requests are immutable: hoist the per-iteration constants so the
@@ -295,13 +349,20 @@ def run_engine_chain(n_msgs: int = 2000, stages: int = 2,
         sim.add_process(f"relay{index}", relay(index))
     sim.add_process("consumer", consumer())
     stats = sim.run()
-    return {"events": stats.events, "end_time": stats.end_time,
-            "processes": stats.processes}
+    return {
+        "events": stats.events,
+        "end_time": stats.end_time,
+        "processes": stats.processes,
+    }
 
 
 @REGISTRY.kind("engine_chain", backend="analytic")
-def estimate_engine_chain(n_msgs: int = 2000, stages: int = 2,
-                          capacity: int = 4, fast_zero_delay: bool = True) -> dict:
+def estimate_engine_chain(
+    n_msgs: int = 2000,
+    stages: int = 2,
+    capacity: int = 4,
+    fast_zero_delay: bool = True,
+) -> dict:
     """Closed-form lower bound on the synthetic pipeline's end time.
 
     The producer must serially pay ``n_msgs`` delays plus ``n_msgs`` channel
@@ -314,9 +375,15 @@ def estimate_engine_chain(n_msgs: int = 2000, stages: int = 2,
     return {"events": None, "end_time": end_time, "processes": stages + 2}
 
 
-def _dse_design(num_mme: int, mem_b_bytes: int, bandwidth_scale: float,
-                pipeline_attention: bool, tile_m: int, tile_k: int,
-                super_n: int):
+def _dse_design(
+    num_mme: int,
+    mem_b_bytes: int,
+    bandwidth_scale: float,
+    pipeline_attention: bool,
+    tile_m: int,
+    tile_k: int,
+    super_n: int,
+):
     """Materialise one design point's hardware config and codegen options.
 
     Shared by both backends of the ``dse_encoder`` kind so the engine and the
@@ -326,11 +393,16 @@ def _dse_design(num_mme: int, mem_b_bytes: int, bandwidth_scale: float,
     infeasible points identically on either path.
     """
     from repro.xnn import CodegenOptions, XNNConfig
-    config = XNNConfig.for_design(num_mme=num_mme, mem_b_bytes=mem_b_bytes,
-                                  bandwidth_scale=bandwidth_scale)
+
+    config = XNNConfig.for_design(
+        num_mme=num_mme, mem_b_bytes=mem_b_bytes, bandwidth_scale=bandwidth_scale
+    )
     options = CodegenOptions.with_overrides(
         pipeline_attention=pipeline_attention,
-        tile_m=tile_m, tile_k=tile_k, super_n=super_n)
+        tile_m=tile_m,
+        tile_k=tile_k,
+        super_n=super_n,
+    )
     return config, options
 
 
@@ -343,6 +415,7 @@ def _dse_payload(result, config) -> Dict[str, Any]:
     with different MME counts comparable on the same Pareto axis.
     """
     from repro.hardware.aie import AIEArrayModel, MMEGroupPlan
+
     aie = AIEArrayModel(config.spec, MMEGroupPlan(num_groups=config.num_mme))
     peak_flops = config.num_mme * aie.mme_flops(config.mme_tile_shape)
     latency_s = result.latency_s
@@ -361,36 +434,66 @@ def _dse_payload(result, config) -> Dict[str, Any]:
 
 
 @REGISTRY.kind("dse_encoder")
-def run_dse_encoder(batch: int = 1, seq_len: int = 128,
-                    model: str = "bert_large", num_mme: int = 6,
-                    mem_b_bytes: int = 1024 * 1024,
-                    bandwidth_scale: float = 1.0,
-                    pipeline_attention: bool = True, tile_m: int = 768,
-                    tile_k: int = 128, super_n: int = 1024) -> dict:
+def run_dse_encoder(
+    batch: int = 1,
+    seq_len: int = 128,
+    model: str = "bert_large",
+    num_mme: int = 6,
+    mem_b_bytes: int = 1024 * 1024,
+    bandwidth_scale: float = 1.0,
+    pipeline_attention: bool = True,
+    tile_m: int = 768,
+    tile_k: int = 128,
+    super_n: int = 1024,
+) -> dict:
     """Cycle-level evaluation of one encoder design point (DSE verification)."""
     from repro.xnn import XNNExecutor
-    config, options = _dse_design(num_mme, mem_b_bytes, bandwidth_scale,
-                                  pipeline_attention, tile_m, tile_k, super_n)
+
+    config, options = _dse_design(
+        num_mme,
+        mem_b_bytes,
+        bandwidth_scale,
+        pipeline_attention,
+        tile_m,
+        tile_k,
+        super_n,
+    )
     executor = XNNExecutor(config=config, options=options)
-    result = executor.run_encoder(batch=batch, seq_len=seq_len,
-                                  config=_encoder_config(model))
+    result = executor.run_encoder(
+        batch=batch, seq_len=seq_len, config=_encoder_config(model)
+    )
     return _dse_payload(result, config)
 
 
 @REGISTRY.kind("dse_encoder", backend="analytic")
-def estimate_dse_encoder(batch: int = 1, seq_len: int = 128,
-                         model: str = "bert_large", num_mme: int = 6,
-                         mem_b_bytes: int = 1024 * 1024,
-                         bandwidth_scale: float = 1.0,
-                         pipeline_attention: bool = True, tile_m: int = 768,
-                         tile_k: int = 128, super_n: int = 1024) -> dict:
+def estimate_dse_encoder(
+    batch: int = 1,
+    seq_len: int = 128,
+    model: str = "bert_large",
+    num_mme: int = 6,
+    mem_b_bytes: int = 1024 * 1024,
+    bandwidth_scale: float = 1.0,
+    pipeline_attention: bool = True,
+    tile_m: int = 768,
+    tile_k: int = 128,
+    super_n: int = 1024,
+) -> dict:
     """Analytic-proxy evaluation of one encoder design point (DSE search)."""
     from repro.xnn.analytic import AnalyticXNN
-    config, options = _dse_design(num_mme, mem_b_bytes, bandwidth_scale,
-                                  pipeline_attention, tile_m, tile_k, super_n)
+
+    config, options = _dse_design(
+        num_mme,
+        mem_b_bytes,
+        bandwidth_scale,
+        pipeline_attention,
+        tile_m,
+        tile_k,
+        super_n,
+    )
     analytic = AnalyticXNN(config=config, options=options)
-    result = analytic.run_encoder(batch=batch, seq_len=seq_len,
-                                  config=_encoder_config(model))
+    result = analytic.run_encoder(
+        batch=batch, seq_len=seq_len, config=_encoder_config(model)
+    )
     return _dse_payload(result, config)
 
 
@@ -405,6 +508,7 @@ def estimate_dse_encoder_batch(param_sets: List[Dict[str, Any]]) -> List[dict]:
     ``tests/differential/test_batched_analytic.py`` pins.
     """
     from repro.xnn.analytic import encoder_batch_evaluator
+
     return encoder_batch_evaluator().evaluate_batch(param_sets, _encoder_config)
 
 
@@ -418,6 +522,7 @@ def run_gpu_roofline(gpu: str, batch: int, seq_len: int = 384) -> dict:
     """
     from repro.hardware.gpu import GPU_SPECS, GPUModel
     from repro.workloads.bert import bert_large_model
+
     if gpu not in GPU_SPECS:
         raise KeyError(f"unknown GPU {gpu!r}; known: {sorted(GPU_SPECS)}")
     spec = GPU_SPECS[gpu]
@@ -426,7 +531,9 @@ def run_gpu_roofline(gpu: str, batch: int, seq_len: int = 384) -> dict:
     latency_s = model.estimate_latency(
         flops=workload.total_flops,
         dram_bytes=float(workload.total_offchip_bytes),
-        batch=batch, num_kernels=len(workload.layers))
+        batch=batch,
+        num_kernels=len(workload.layers),
+    )
     return {
         "gpu": spec.key,
         "batch": batch,
@@ -435,116 +542,194 @@ def run_gpu_roofline(gpu: str, batch: int, seq_len: int = 384) -> dict:
         "latency_ms": latency_s * 1e3,
         "published_latency_ms": spec.published_latency_ms.get(batch),
         "memory_bound": model.is_memory_bound(
-            workload.total_flops, float(workload.total_offchip_bytes), batch),
+            workload.total_flops, float(workload.total_offchip_bytes), batch
+        ),
         "sequences_per_joule": model.sequences_per_joule(batch, latency_s),
     }
 
 
 # ------------------------------------------------------------------ catalogue
 
+
 def _register_catalogue() -> None:
     # Table 6a: single-kernel AIE GEMM throughput per tile shape.
     for shape in ((32, 16, 32), (32, 32, 16), (32, 32, 32)):
-        REGISTRY.add(f"table6a/aie-{'x'.join(map(str, shape))}", "aie_gemm",
-                     {"shape": list(shape)}, tags=("table6", "table6a", "analytic"),
-                     description="AIE-only GEMM throughput (Table 6a)")
+        REGISTRY.add(
+            f"table6a/aie-{'x'.join(map(str, shape))}",
+            "aie_gemm",
+            {"shape": list(shape)},
+            tags=("table6", "table6a", "analytic"),
+            description="AIE-only GEMM throughput (Table 6a)",
+        )
 
     # Table 6b: end-to-end square MM with DRAM, vs the CHARM model.
     for size in (1024, 3072, 6144):
-        REGISTRY.add(f"table6b/gemm-{size}", "xnn_gemm",
-                     {"m": size, "k": size, "n": size},
-                     tags=("table6", "table6b", "sim"),
-                     description="End-to-end square GEMM throughput (Table 6b)")
-        REGISTRY.add(f"table6b/charm-{size}", "charm_gemm", {"size": size},
-                     tags=("table6", "table6b", "charm", "analytic"),
-                     description="CHARM end-to-end GEMM model point (Table 6b)")
+        REGISTRY.add(
+            f"table6b/gemm-{size}",
+            "xnn_gemm",
+            {"m": size, "k": size, "n": size},
+            tags=("table6", "table6b", "sim"),
+            description="End-to-end square GEMM throughput (Table 6b)",
+        )
+        REGISTRY.add(
+            f"table6b/charm-{size}",
+            "charm_gemm",
+            {"size": size},
+            tags=("table6", "table6b", "charm", "analytic"),
+            description="CHARM end-to-end GEMM model point (Table 6b)",
+        )
 
     # Table 9: the optimisation-knob ablation on the BERT-Large encoder.
     table9_variants = {
-        "no-optimize": {"interleave_load_store": False, "pipeline_attention": False,
-                        "overlap_prolog_epilog": False},
-        "bw-optimized": {"interleave_load_store": True, "pipeline_attention": False,
-                         "overlap_prolog_epilog": False},
-        "pipeline-attention": {"interleave_load_store": False,
-                               "pipeline_attention": True,
-                               "overlap_prolog_epilog": False},
-        "all-optimizations": {"interleave_load_store": True,
-                              "pipeline_attention": True,
-                              "overlap_prolog_epilog": True},
+        "no-optimize": {
+            "interleave_load_store": False,
+            "pipeline_attention": False,
+            "overlap_prolog_epilog": False,
+        },
+        "bw-optimized": {
+            "interleave_load_store": True,
+            "pipeline_attention": False,
+            "overlap_prolog_epilog": False,
+        },
+        "pipeline-attention": {
+            "interleave_load_store": False,
+            "pipeline_attention": True,
+            "overlap_prolog_epilog": False,
+        },
+        "all-optimizations": {
+            "interleave_load_store": True,
+            "pipeline_attention": True,
+            "overlap_prolog_epilog": True,
+        },
     }
     for variant, options in table9_variants.items():
-        REGISTRY.add(f"table9/{variant}", "xnn_encoder",
-                     {"batch": 6, "seq_len": 512, "options": options},
-                     tags=("table9", "sim"),
-                     description="BERT-Large encoder, B=6 L=512 (Table 9 ablation)")
+        REGISTRY.add(
+            f"table9/{variant}",
+            "xnn_encoder",
+            {"batch": 6, "seq_len": 512, "options": options},
+            tags=("table9", "sim"),
+            description="BERT-Large encoder, B=6 L=512 (Table 9 ablation)",
+        )
 
     # Table 11: off-chip bandwidth sensitivity, L=384 B=8.
     for scale in (0.5, 1.0, 2.0, 3.0):
-        REGISTRY.add(f"table11/bw-{scale:g}x", "xnn_encoder",
-                     {"batch": 8, "seq_len": 384, "bandwidth_scale": scale},
-                     tags=("table11", "sim"),
-                     description="BERT-Large encoder with scaled off-chip BW (Table 11)")
+        REGISTRY.add(
+            f"table11/bw-{scale:g}x",
+            "xnn_encoder",
+            {"batch": 8, "seq_len": 384, "bandwidth_scale": scale},
+            tags=("table11", "sim"),
+            description="BERT-Large encoder with scaled off-chip BW (Table 11)",
+        )
 
     # Fig. 18: latency/throughput across batch sizes, RSN vs CHARM.
     for batch in (1, 2, 3, 6, 12, 24):
-        REGISTRY.add(f"fig18/rsn-b{batch}", "xnn_encoder",
-                     {"batch": batch, "seq_len": 512},
-                     tags=("fig18", "sim"),
-                     description="BERT-Large encoder across batch sizes (Fig. 18)")
-        REGISTRY.add(f"fig18/charm-b{batch}", "charm_encoder",
-                     {"batch": batch, "seq_len": 512},
-                     tags=("fig18", "charm", "analytic"),
-                     description="CHARM encoder model across batch sizes (Fig. 18)")
+        REGISTRY.add(
+            f"fig18/rsn-b{batch}",
+            "xnn_encoder",
+            {"batch": batch, "seq_len": 512},
+            tags=("fig18", "sim"),
+            description="BERT-Large encoder across batch sizes (Fig. 18)",
+        )
+        REGISTRY.add(
+            f"fig18/charm-b{batch}",
+            "charm_encoder",
+            {"batch": batch, "seq_len": 512},
+            tags=("fig18", "charm", "analytic"),
+            description="CHARM encoder model across batch sizes (Fig. 18)",
+        )
 
     # Table 7: latency per task at maximum throughput for four models.
-    REGISTRY.add("table7/bert", "xnn_encoder", {"batch": 6, "seq_len": 512},
-                 tags=("table7", "sim"),
-                 description="BERT-Large encoder, B=6 L=512 (Table 7)")
-    REGISTRY.add("table7/vit", "xnn_encoder",
-                 {"batch": 6, "seq_len": 208, "model": "vit_base"},
-                 tags=("table7", "sim"),
-                 description="ViT-Base encoder, B=6 L=208 (Table 7)")
-    REGISTRY.add("table7/ncf", "xnn_feedforward", {"model": "ncf", "batch": 16384},
-                 tags=("table7", "sim"), description="NCF MLP tower (Table 7)")
-    REGISTRY.add("table7/mlp", "xnn_feedforward", {"model": "mlp", "batch": 3072},
-                 tags=("table7", "sim"), description="5-layer MLP (Table 7)")
+    REGISTRY.add(
+        "table7/bert",
+        "xnn_encoder",
+        {"batch": 6, "seq_len": 512},
+        tags=("table7", "sim"),
+        description="BERT-Large encoder, B=6 L=512 (Table 7)",
+    )
+    REGISTRY.add(
+        "table7/vit",
+        "xnn_encoder",
+        {"batch": 6, "seq_len": 208, "model": "vit_base"},
+        tags=("table7", "sim"),
+        description="ViT-Base encoder, B=6 L=208 (Table 7)",
+    )
+    REGISTRY.add(
+        "table7/ncf",
+        "xnn_feedforward",
+        {"model": "ncf", "batch": 16384},
+        tags=("table7", "sim"),
+        description="NCF MLP tower (Table 7)",
+    )
+    REGISTRY.add(
+        "table7/mlp",
+        "xnn_feedforward",
+        {"model": "mlp", "batch": 3072},
+        tags=("table7", "sim"),
+        description="5-layer MLP (Table 7)",
+    )
 
     # Table 8 reuses the BERT peak-throughput run; register the point under
     # its own name so the table can be regenerated in isolation.
-    REGISTRY.add("table8/encoder-peak", "xnn_encoder", {"batch": 6, "seq_len": 512},
-                 tags=("table8", "sim"),
-                 description="BERT-Large encoder peak-throughput point (Table 8)")
+    REGISTRY.add(
+        "table8/encoder-peak",
+        "xnn_encoder",
+        {"batch": 6, "seq_len": 512},
+        tags=("table8", "sim"),
+        description="BERT-Large encoder peak-throughput point (Table 8)",
+    )
 
     # Table 10: GPU comparison runs, L=384 across batch sizes.
     for batch in (1, 2, 4, 8):
-        REGISTRY.add(f"table10/l384-b{batch}", "xnn_encoder",
-                     {"batch": batch, "seq_len": 384},
-                     tags=("table10", "sim"),
-                     description="BERT-Large encoder, L=384 (Table 10 GPU comparison)")
+        REGISTRY.add(
+            f"table10/l384-b{batch}",
+            "xnn_encoder",
+            {"batch": batch, "seq_len": 384},
+            tags=("table10", "sim"),
+            description="BERT-Large encoder, L=384 (Table 10 GPU comparison)",
+        )
 
     # Table 10: GPU roofline estimates next to the published latencies.
     for gpu in ("T4-fp32", "V100-fp32", "A100-fp32", "A100-fp16", "L4-fp32"):
         for batch in (1, 8):
-            REGISTRY.add(f"table10/{gpu.lower()}-b{batch}", "gpu_roofline",
-                         {"gpu": gpu, "batch": batch, "seq_len": 384},
-                         tags=("table10", "gpu", "analytic"),
-                         description="GPU roofline, full BERT-Large L=384 (Table 10)")
+            REGISTRY.add(
+                f"table10/{gpu.lower()}-b{batch}",
+                "gpu_roofline",
+                {"gpu": gpu, "batch": batch, "seq_len": 384},
+                tags=("table10", "gpu", "analytic"),
+                description="GPU roofline, full BERT-Large L=384 (Table 10)",
+            )
 
     # Table 3: mapping-type estimates; Fig. 16: FU property inventory.
-    REGISTRY.add("table3/mapping-types", "mapping_types",
-                 {"batch": 6, "seq_len": 512}, tags=("table3", "analytic"),
-                 description="Mapping-type latency estimates (Table 3)")
-    REGISTRY.add("fig16/fu-properties", "fu_properties", {},
-                 tags=("fig16", "table4", "analytic"),
-                 description="Per-FU compute/memory/BW inventory (Fig. 16 / Table 4)")
+    REGISTRY.add(
+        "table3/mapping-types",
+        "mapping_types",
+        {"batch": 6, "seq_len": 512},
+        tags=("table3", "analytic"),
+        description="Mapping-type latency estimates (Table 3)",
+    )
+    REGISTRY.add(
+        "fig16/fu-properties",
+        "fu_properties",
+        {},
+        tags=("fig16", "table4", "analytic"),
+        description="Per-FU compute/memory/BW inventory (Fig. 16 / Table 4)",
+    )
 
     # Cheap synthetic engine scenarios for smoke tests and determinism checks.
-    REGISTRY.add("smoke/engine-chain", "engine_chain",
-                 {"n_msgs": 2000, "stages": 2}, tags=("smoke",),
-                 description="Synthetic engine pipeline (CI smoke / determinism)")
-    REGISTRY.add("smoke/engine-chain-deep", "engine_chain",
-                 {"n_msgs": 500, "stages": 6}, tags=("smoke",),
-                 description="Deeper synthetic engine pipeline (CI smoke)")
+    REGISTRY.add(
+        "smoke/engine-chain",
+        "engine_chain",
+        {"n_msgs": 2000, "stages": 2},
+        tags=("smoke",),
+        description="Synthetic engine pipeline (CI smoke / determinism)",
+    )
+    REGISTRY.add(
+        "smoke/engine-chain-deep",
+        "engine_chain",
+        {"n_msgs": 500, "stages": 6},
+        tags=("smoke",),
+        description="Deeper synthetic engine pipeline (CI smoke)",
+    )
 
 
 _register_catalogue()

@@ -27,10 +27,27 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-__all__ = ["Scenario", "ScenarioRegistry", "REGISTRY", "canonical_json",
-           "BACKENDS", "DEFAULT_BACKEND"]
+__all__ = [
+    "Scenario",
+    "ScenarioRegistry",
+    "REGISTRY",
+    "canonical_json",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+]
 
 
 #: the execution backends a scenario kind can support.
@@ -49,8 +66,7 @@ def canonical_json(value: Any) -> str:
     keys (two NaN-parameterised scenarios can never compare equal).
     """
     try:
-        return json.dumps(value, sort_keys=True, separators=(",", ":"),
-                          allow_nan=False)
+        return json.dumps(value, sort_keys=True, separators=(",", ":"), allow_nan=False)
     except ValueError as error:
         raise ValueError(
             f"canonical_json: non-finite float in {value!r} ({error}); "
@@ -100,8 +116,9 @@ class ScenarioRegistry:
 
     # ----------------------------------------------------------------- kinds
 
-    def kind(self, name: str, backend: Union[str, Sequence[str]] = DEFAULT_BACKEND
-             ) -> Callable[[Callable[..., dict]], Callable[..., dict]]:
+    def kind(
+        self, name: str, backend: Union[str, Sequence[str]] = DEFAULT_BACKEND
+    ) -> Callable[[Callable[..., dict]], Callable[..., dict]]:
         """Decorator registering a runner function for scenario kind ``name``.
 
         ``backend`` names the execution backend(s) this function implements:
@@ -115,15 +132,18 @@ class ScenarioRegistry:
             implementations = self._kinds.setdefault(name, {})
             for b in backends:
                 if b in implementations:
-                    raise ValueError(f"scenario kind {name!r} already "
-                                     f"registered for the {b!r} backend")
+                    raise ValueError(
+                        f"scenario kind {name!r} already "
+                        f"registered for the {b!r} backend"
+                    )
                 implementations[b] = fn
             return fn
+
         return decorator
 
-    def batch_kind(self, name: str, backend: Union[str, Sequence[str]] = "analytic"
-                   ) -> Callable[[Callable[..., List[dict]]],
-                                 Callable[..., List[dict]]]:
+    def batch_kind(
+        self, name: str, backend: Union[str, Sequence[str]] = "analytic"
+    ) -> Callable[[Callable[..., List[dict]]], Callable[..., List[dict]]]:
         """Decorator registering a *batch* runner for scenario kind ``name``.
 
         A batch runner takes a sequence of parameter mappings and returns one
@@ -138,22 +158,30 @@ class ScenarioRegistry:
 
         def decorator(fn: Callable[..., List[dict]]) -> Callable[..., List[dict]]:
             if name not in self._kinds:
-                raise KeyError(f"unknown scenario kind {name!r}; register the "
-                               "scalar runner before its batch runner")
+                raise KeyError(
+                    f"unknown scenario kind {name!r}; register the "
+                    "scalar runner before its batch runner"
+                )
             implementations = self._batch_kinds.setdefault(name, {})
             for b in backends:
                 if b in implementations:
-                    raise ValueError(f"scenario kind {name!r} already has a "
-                                     f"batch runner for the {b!r} backend")
+                    raise ValueError(
+                        f"scenario kind {name!r} already has a "
+                        f"batch runner for the {b!r} backend"
+                    )
                 if b not in self._kinds[name]:
-                    raise ValueError(f"scenario kind {name!r} has no scalar "
-                                     f"{b!r} runner to match the batch runner")
+                    raise ValueError(
+                        f"scenario kind {name!r} has no scalar "
+                        f"{b!r} runner to match the batch runner"
+                    )
                 implementations[b] = fn
             return fn
+
         return decorator
 
-    def batch_runner(self, kind: str, backend: str = "analytic"
-                     ) -> Optional[Callable[..., List[dict]]]:
+    def batch_runner(
+        self, kind: str, backend: str = "analytic"
+    ) -> Optional[Callable[..., List[dict]]]:
         """The batch runner for ``kind`` on ``backend``, or ``None``.
 
         Unlike :meth:`runner` this is a capability probe, not a hard lookup:
@@ -165,22 +193,25 @@ class ScenarioRegistry:
         try:
             implementations = self._kinds[kind]
         except KeyError:
-            raise KeyError(f"unknown scenario kind {kind!r}; "
-                           f"known: {sorted(self._kinds)}") from None
+            raise KeyError(
+                f"unknown scenario kind {kind!r}; known: {sorted(self._kinds)}"
+            ) from None
         try:
             return implementations[backend]
         except KeyError:
             raise KeyError(
                 f"scenario kind {kind!r} does not support the {backend!r} "
-                f"backend; it supports: {sorted(implementations)}") from None
+                f"backend; it supports: {sorted(implementations)}"
+            ) from None
 
     def backends(self, kind: str) -> Tuple[str, ...]:
         """The backends a kind supports, in canonical ``BACKENDS`` order."""
         try:
             implementations = self._kinds[kind]
         except KeyError:
-            raise KeyError(f"unknown scenario kind {kind!r}; "
-                           f"known: {sorted(self._kinds)}") from None
+            raise KeyError(
+                f"unknown scenario kind {kind!r}; known: {sorted(self._kinds)}"
+            ) from None
         return tuple(b for b in BACKENDS if b in implementations)
 
     def supports(self, kind: str, backend: str) -> bool:
@@ -188,15 +219,26 @@ class ScenarioRegistry:
 
     # ------------------------------------------------------------- scenarios
 
-    def add(self, name: str, kind: str, params: Optional[Mapping[str, Any]] = None,
-            tags: Sequence[str] = (), description: str = "") -> Scenario:
+    def add(
+        self,
+        name: str,
+        kind: str,
+        params: Optional[Mapping[str, Any]] = None,
+        tags: Sequence[str] = (),
+        description: str = "",
+    ) -> Scenario:
         """Register a named scenario; returns the frozen :class:`Scenario`."""
         if name in self._scenarios:
             raise ValueError(f"scenario {name!r} already registered")
         if kind not in self._kinds:
             raise KeyError(f"unknown scenario kind {kind!r} for scenario {name!r}")
-        scenario = Scenario(name=name, kind=kind, params=dict(params or {}),
-                            tags=tuple(tags), description=description)
+        scenario = Scenario(
+            name=name,
+            kind=kind,
+            params=dict(params or {}),
+            tags=tuple(tags),
+            description=description,
+        )
         # Fail fast on non-JSON-able params -- they could not be cached or
         # shipped to worker processes faithfully.
         canonical_json(scenario.params)
@@ -207,15 +249,20 @@ class ScenarioRegistry:
         try:
             return self._scenarios[name]
         except KeyError:
-            raise KeyError(f"unknown scenario {name!r}; run `python -m repro.runner "
-                           "list` for the catalogue") from None
+            raise KeyError(
+                f"unknown scenario {name!r}; run `python -m repro.runner "
+                "list` for the catalogue"
+            ) from None
 
     def names(self) -> List[str]:
         return sorted(self._scenarios)
 
-    def select(self, names: Optional[Iterable[str]] = None,
-               tags: Optional[Iterable[str]] = None,
-               backend: Optional[str] = None) -> List[Scenario]:
+    def select(
+        self,
+        names: Optional[Iterable[str]] = None,
+        tags: Optional[Iterable[str]] = None,
+        backend: Optional[str] = None,
+    ) -> List[Scenario]:
         """Scenarios by explicit name and/or by tag (union), in stable order.
 
         ``backend`` optionally filters to scenarios whose kind supports that
@@ -241,7 +288,8 @@ class ScenarioRegistry:
                 if not self.supports(scenario.kind, backend):
                     raise KeyError(
                         f"scenario {scenario.name!r} (kind {scenario.kind!r}) does "
-                        f"not support the {backend!r} backend")
+                        f"not support the {backend!r} backend"
+                    )
             selected = [s for s in selected if self.supports(s.kind, backend)]
         return selected
 
@@ -255,13 +303,18 @@ class ScenarioRegistry:
 
     def run(self, scenario_or_name, backend: str = DEFAULT_BACKEND) -> dict:
         """Execute one scenario in-process on ``backend``; returns its result."""
-        scenario = (scenario_or_name if isinstance(scenario_or_name, Scenario)
-                    else self.get(scenario_or_name))
+        scenario = (
+            scenario_or_name
+            if isinstance(scenario_or_name, Scenario)
+            else self.get(scenario_or_name)
+        )
         result = self.runner(scenario.kind, backend)(**scenario.params)
         if not isinstance(result, dict):
-            raise TypeError(f"scenario {scenario.name!r}: runner for kind "
-                            f"{scenario.kind!r} ({backend} backend) returned "
-                            f"{type(result).__name__}, expected a JSON-able dict")
+            raise TypeError(
+                f"scenario {scenario.name!r}: runner for kind "
+                f"{scenario.kind!r} ({backend} backend) returned "
+                f"{type(result).__name__}, expected a JSON-able dict"
+            )
         return result
 
 

@@ -46,9 +46,13 @@ class SweepOutcome:
     def metric(self) -> str:
         """A compact human-readable headline number for CLI tables."""
         result = self.result
-        for key, fmt in (("latency_ms", "{:.3f} ms"), ("latency_s", "{:.3e} s"),
-                         ("gflops", "{:.0f} GFLOPS"), ("events", "{} events"),
-                         ("end_time", "{:.3e} s")):
+        for key, fmt in (
+            ("latency_ms", "{:.3f} ms"),
+            ("latency_s", "{:.3e} s"),
+            ("gflops", "{:.0f} GFLOPS"),
+            ("events", "{} events"),
+            ("end_time", "{:.3e} s"),
+        ):
             if key in result and result[key] is not None:
                 return fmt.format(result[key])
         return f"{len(result)} field(s)"
@@ -61,9 +65,11 @@ def _resolve(scenarios: Iterable[Union[str, Scenario]]) -> List[Scenario]:
     return resolved
 
 
-def _run_one(scenario: Scenario, backend: str = DEFAULT_BACKEND,
-             segment_memo_dir: Optional[str] = None
-             ) -> Tuple[str, Dict[str, Any], float]:
+def _run_one(
+    scenario: Scenario,
+    backend: str = DEFAULT_BACKEND,
+    segment_memo_dir: Optional[str] = None,
+) -> Tuple[str, Dict[str, Any], float]:
     """Worker entry point: execute one scenario on one backend.
 
     The scenario object itself crosses the process boundary (it is a frozen
@@ -82,11 +88,14 @@ def _run_one(scenario: Scenario, backend: str = DEFAULT_BACKEND,
     return scenario.name, result, time.perf_counter() - start
 
 
-def run_sweep(scenarios: Sequence[Union[str, Scenario]],
-              workers: Optional[int] = None,
-              cache: Optional[ResultCache] = None, force: bool = False,
-              backend: str = DEFAULT_BACKEND,
-              executor: Optional[Executor] = None) -> List[SweepOutcome]:
+def run_sweep(
+    scenarios: Sequence[Union[str, Scenario]],
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+    backend: str = DEFAULT_BACKEND,
+    executor: Optional[Executor] = None,
+) -> List[SweepOutcome]:
     """Execute ``scenarios``, returning one :class:`SweepOutcome` per input.
 
     Parameters
@@ -115,12 +124,16 @@ def run_sweep(scenarios: Sequence[Union[str, Scenario]],
         raise KeyError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")
     if workers is not None:
         if executor is not None:
-            raise ValueError("pass either executor= or the deprecated "
-                             "workers= alias, not both")
-        warnings.warn("run_sweep(workers=...) is deprecated; pass "
-                      "executor=ProcessPoolExecutor(workers) (or another "
-                      "repro.runner.executors.Executor) instead",
-                      DeprecationWarning, stacklevel=2)
+            raise ValueError(
+                "pass either executor= or the deprecated " "workers= alias, not both"
+            )
+        warnings.warn(
+            "run_sweep(workers=...) is deprecated; pass "
+            "executor=ProcessPoolExecutor(workers) (or another "
+            "repro.runner.executors.Executor) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         executor = default_executor(workers)
     elif executor is None:
         executor = default_executor(None)
@@ -128,6 +141,7 @@ def run_sweep(scenarios: Sequence[Union[str, Scenario]],
     for scenario in resolved:
         # Fail the whole sweep up front rather than mid-flight in a worker.
         REGISTRY.runner(scenario.kind, backend)
+
     # Outcomes are keyed by (name, canonical identity) so duplicate inputs
     # execute once, while two ad-hoc scenarios that share a name but differ
     # in parameters stay distinct.
@@ -145,13 +159,18 @@ def run_sweep(scenarios: Sequence[Union[str, Scenario]],
         if key in seen:
             continue
         seen.add(key)
-        payload = None if (cache is None or force) else cache.load(scenario,
-                                                                   backend=backend)
+        payload = (
+            None if (cache is None or force) else cache.load(scenario, backend=backend)
+        )
         if payload is not None:
             outcomes[key] = SweepOutcome(
-                scenario=scenario.name, kind=scenario.kind,
-                result=payload["result"], elapsed_s=payload.get("elapsed_s", 0.0),
-                cached=True, backend=backend)
+                scenario=scenario.name,
+                kind=scenario.kind,
+                result=payload["result"],
+                elapsed_s=payload.get("elapsed_s", 0.0),
+                cached=True,
+                backend=backend,
+            )
         else:
             to_run.append(scenario)
 
@@ -165,12 +184,19 @@ def run_sweep(scenarios: Sequence[Union[str, Scenario]],
         segment_memo_dir = str(cache.segments_dir) if cache is not None else None
         configure_segment_memo(segment_memo_dir)
         executor.configure(backend=backend, segment_memo_dir=segment_memo_dir)
-        raw = executor.submit(to_run, partial(_run_one, backend=backend,
-                                              segment_memo_dir=segment_memo_dir))
+        raw = executor.submit(
+            to_run,
+            partial(_run_one, backend=backend, segment_memo_dir=segment_memo_dir),
+        )
         for scenario, (_, result, elapsed) in zip(to_run, raw):
             outcomes[_key(scenario)] = SweepOutcome(
-                scenario=scenario.name, kind=scenario.kind, result=result,
-                elapsed_s=elapsed, cached=False, backend=backend)
+                scenario=scenario.name,
+                kind=scenario.kind,
+                result=result,
+                elapsed_s=elapsed,
+                cached=False,
+                backend=backend,
+            )
             if cache is not None:
                 cache.store(scenario, result, elapsed, backend=backend)
 

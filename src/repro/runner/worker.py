@@ -148,7 +148,9 @@ def run_worker(
 
     def heartbeat() -> None:
         while not stop.is_set():
-            spool.beat(worker_id, info={"pid": os.getpid(), "host": socket.gethostname()})
+            spool.beat(
+                worker_id, info={"pid": os.getpid(), "host": socket.gethostname()}
+            )
             stop.wait(HEARTBEAT_INTERVAL_S)
 
     beat_thread = threading.Thread(
