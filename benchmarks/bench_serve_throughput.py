@@ -1,0 +1,72 @@
+"""Serving-layer throughput: one million requests through dynamic batching.
+
+The north star is a serving fleet under heavy live traffic, so the
+simulator itself must be cheap enough to sweep: this benchmark pushes
+>=1M open-loop requests through the dynamic batching policy -- cost table,
+event loop, honest-tail metrics, report assembly, everything the ``serve``
+CLI does for one load point -- and holds the interactive acceptance floor
+of 60 seconds wall (in practice it is single-digit seconds).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _helpers import run_once
+from repro.analysis.reporting import Table
+from repro.serve.simulate import run_serve_sim
+
+REQUESTS = 1_000_000
+
+#: the ISSUE acceptance bar: a million-request serving simulation must
+#: stay interactive.
+WALL_FLOOR_S = 60.0
+
+
+def _measure():
+    start = time.perf_counter()
+    result = run_serve_sim(
+        workload="encoder-mix",
+        arrival="exponential",
+        policy="dynamic",
+        rate=1000.0,
+        requests=REQUESTS,
+        batch_max=8,
+        window_s=0.02,
+        queue_depth=4096,
+        timeout_s=1.0,
+        seed=0,
+    )
+    wall_s = time.perf_counter() - start
+    return result, wall_s
+
+
+def test_million_request_serving_throughput(benchmark):
+    result, wall_s = run_once(benchmark, _measure)
+    latency = result["latency"]
+
+    table = Table(
+        f"Serving simulator: {REQUESTS:,} requests, dynamic batching",
+        ["metric", "value"],
+    )
+    table.add_row("wall (s)", wall_s)
+    table.add_row("simulated req/s of wall", REQUESTS / wall_s)
+    table.add_row("goodput (req/s simulated)", result["goodput_rps"])
+    table.add_row("p50 (ms)", latency["p50_s"] * 1e3)
+    table.add_row("p99 (ms)", latency["p99_s"] * 1e3)
+    table.add_row("p999 (ms)", latency["p999_s"] * 1e3)
+    table.add_row("mean batch size", result["batches"]["mean_size"])
+    table.add_note(f"acceptance floor: {WALL_FLOOR_S:g}s wall")
+    table.print()
+
+    assert result["requests"] == REQUESTS
+    assert (
+        result["completed"] + result["dropped"] + result["timed_out"]
+        == REQUESTS
+    )
+    # A million completions resolve every reported tail exactly.
+    assert latency["p50_exact"] and latency["p99_exact"] and latency["p999_exact"]
+    assert wall_s < WALL_FLOOR_S, (
+        f"million-request simulation took {wall_s:.1f}s; the serving layer "
+        "is no longer interactive"
+    )

@@ -17,6 +17,9 @@ __all__ = [
     "dse_verification_table",
     "format_table",
     "format_value",
+    "serve_certification_table",
+    "serve_curve_table",
+    "serve_summary_table",
 ]
 
 
@@ -179,6 +182,112 @@ def dse_verification_table(report) -> Table:
         )
     table.add_note(
         f"verification wall {report.verify_wall_s:.2f}s on the engine backend"
+    )
+    return table
+
+
+def _ms(value: Optional[float]) -> Optional[float]:
+    return None if value is None else value * 1e3
+
+
+def serve_summary_table(result) -> Table:
+    """One serving run (a ``serve_sim`` result dict) as a summary table."""
+    load = result["offered_load_rps"]
+    source = (
+        f"closed loop, {result['clients']} client(s)"
+        if result["arrival"] == "closed"
+        else f"{result['arrival']} arrivals @ {format_value(load)} req/s"
+    )
+    table = Table(
+        f"Serving summary -- workload {result['workload']!r}, "
+        f"policy {result['policy']!r} ({source})",
+        ["metric", "value"],
+    )
+    latency = result["latency"]
+    queue = result["queue"]
+    batches = result["batches"]
+    table.add_row("requests issued", result["requests"])
+    table.add_row("completed", result["completed"])
+    table.add_row("dropped (queue full)", result["dropped"])
+    table.add_row("timed out", result["timed_out"])
+    table.add_row("goodput (req/s)", result["goodput_rps"])
+    table.add_row("server utilization", result["utilization"])
+    table.add_row("latency mean (ms)", _ms(latency["mean_s"]))
+    table.add_row("latency p50 (ms)", _ms(latency["p50_s"]))
+    table.add_row("latency p99 (ms)", _ms(latency["p99_s"]))
+    table.add_row("latency p999 (ms)", _ms(latency["p999_s"]))
+    table.add_row("latency max (ms)", _ms(latency["max_s"]))
+    table.add_row("queue depth max/mean", f"{queue['max_depth']}/"
+                  f"{format_value(queue['mean_depth'])}")
+    table.add_row("batches (count/mean/max)", f"{batches['count']}/"
+                  f"{format_value(batches['mean_size'])}/{batches['max_size']}")
+    if not latency["p999_exact"] and latency["p999_s"] is not None:
+        table.add_note(
+            "p999 widened to the sample max (fewer than 1000 completions); "
+            "it is an upper bound, not an estimate"
+        )
+    table.add_note(f"seed {result['seed']} (replay with --seed {result['seed']})")
+    return table
+
+
+def serve_curve_table(rows, title: str = "Throughput-latency curve") -> Table:
+    """Offered load vs goodput and tail latency, one row per load point.
+
+    ``rows`` come from
+    :func:`repro.serve.driver.throughput_latency_curve`.
+    """
+    table = Table(
+        title,
+        ["load (req/s)", "goodput (req/s)", "p50 (ms)", "p99 (ms)",
+         "p999 (ms)", "dropped", "timed out", "util"],
+    )
+    widened = False
+    for row in rows:
+        table.add_row(
+            row["offered_load_rps"],
+            row["goodput_rps"],
+            _ms(row["p50_s"]),
+            _ms(row["p99_s"]),
+            _ms(row["p999_s"]),
+            row["dropped"],
+            row["timed_out"],
+            row["utilization"],
+        )
+        widened = widened or not row["p999_exact"]
+    if widened:
+        table.add_note(
+            "one or more p999 values widened to the sample max "
+            "(fewer than 1000 completions at that load)"
+        )
+    return table
+
+
+def serve_certification_table(records) -> Table:
+    """Engine re-certification of the sampled batch mix.
+
+    ``records`` come from
+    :func:`repro.serve.driver.recertify_batch_mix`: the analytic cost the
+    simulator charged vs the cycle-level engine latency for the identical
+    ``dse_encoder`` scenario, plus the two contract checks.
+    """
+    table = Table(
+        "Engine re-certification -- sampled batch mix",
+        ["class", "batch", "dispatches", "proxy (ms)", "engine (ms)",
+         "bound ok", "traffic ok"],
+    )
+    for record in records:
+        table.add_row(
+            record["class"],
+            record["batch"],
+            record["count"],
+            record["proxy_latency_s"] * 1e3,
+            record["engine_latency_s"] * 1e3,
+            record["bound_ok"],
+            record["traffic_ok"],
+        )
+    table.add_note(
+        "contract: analytic latency is a lower bound on engine latency "
+        "with byte-identical DDR/LPDDR traffic (same as DSE verify-top)"
     )
     return table
 

@@ -291,7 +291,7 @@ def run_exploration(
     strategy: SearchStrategy,
     budget: int = 200,
     verify_top: int = 8,
-    seed: int = 0,
+    seed: Optional[int] = 0,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     force: bool = False,
@@ -342,6 +342,12 @@ def run_exploration(
     batch_runner = resolve_batch_runner(space, proxy)
     if executor is None:
         executor = default_executor(workers)
+    if seed is None:
+        # Draw an explicit seed and record it in the report: a run seeded
+        # from OS entropy must still be replayable by passing the reported
+        # seed back in.  (random.Random(None) would seed identically but
+        # leave no trace of the effective seed.)
+        seed = random.SystemRandom().randrange(2**32)
     rng = random.Random(seed)
     feasible_points = len(space.points())
     stats = {"evaluations": 0, "cache_hits": 0}

@@ -6,6 +6,8 @@ Usage (with ``PYTHONPATH=src``)::
     python -m repro.runner run NAME [NAME ...] [--backend B] [options]
     python -m repro.runner sweep (--tag TAG ... | --all | NAME ...) [options]
     python -m repro.runner explore [--space S] [--strategy NAME] [options]
+    python -m repro.runner serve [--workload W] [--arrival A] [--policy P]
+                                 [--load R[,R...]] [options]
     python -m repro.runner worker --spool DIR [--poll S] [--idle-exit S]
     python -m repro.runner cache (--show | --clear | --prune)
 
@@ -30,6 +32,14 @@ re-certifies the resulting Pareto frontier on the cycle-level engine
 batch runner (identical payloads, much faster, bypasses the proxy cache);
 ``--weights latency=..,traffic=..,utilization=..`` ranks the frontier (and
 halving survivors) by weighted scalarisation instead of non-domination.
+
+``serve`` simulates live traffic -- open-loop (exponential / bursty /
+diurnal arrivals at ``--load`` req/s) or closed-loop (``--clients`` clients
+with ``--think`` think time) -- through a batching policy into the analytic
+accelerator model (:mod:`repro.serve`); several ``--load`` values sweep a
+throughput-latency curve, and ``--recertify M`` engine-verifies the M most
+frequent dispatch shapes against the lower-bound + byte-identical-traffic
+contract.  ``--list-workloads`` describes the workload catalogue.
 
 All user errors (unknown scenario names, unsupported backends, invalid
 worker counts, empty selections) exit with status 2 and a one-line message
@@ -83,6 +93,20 @@ def _workers_argument(text: str) -> int:
     return _positive_int(text)
 
 
+def _seed_argument(text: str) -> Optional[int]:
+    """argparse type for ``--seed``: an integer, or ``random`` for a fresh
+    entropy-drawn seed (the effective value is always echoed in the output
+    and the JSON report, so any run can be replayed by passing it back)."""
+    if text.strip().lower() == "random":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid seed {text!r} (expected an integer or 'random')"
+        ) from None
+
+
 def _positive_float(text: str) -> float:
     """argparse type for durations (``--poll``, ...): a float > 0."""
     try:
@@ -92,6 +116,17 @@ def _positive_float(text: str) -> float:
     if not value > 0 or not math.isfinite(value):
         raise argparse.ArgumentTypeError(f"must be > 0, got {text!r}")
     return value
+
+
+def _loads_argument(text: str) -> List[float]:
+    """argparse type for ``--load``: comma-separated offered loads > 0."""
+    loads = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise argparse.ArgumentTypeError(f"empty offered load in {text!r}")
+        loads.append(_positive_float(part))
+    return loads
 
 
 #: user-facing objective names accepted by ``--weights``, mapped to the
@@ -276,9 +311,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     explore_cmd.add_argument(
         "--seed",
-        type=int,
+        type=_seed_argument,
         default=0,
-        help="RNG seed for random/halving sampling " "(default: 0)",
+        metavar="N|random",
+        help="RNG seed for random/halving sampling; "
+        "'random' draws a fresh seed and echoes it "
+        "for replay (default: 0)",
     )
     explore_cmd.add_argument(
         "--proxy",
@@ -329,6 +367,145 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-spaces",
         action="store_true",
         help="describe the design-space catalogue and " "exit",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="serving-layer simulation: live traffic through a batching "
+        "policy into the analytic accelerator model",
+    )
+    serve_cmd.add_argument(
+        "--workload",
+        default="encoder-mix",
+        help="request-mix workload (default: encoder-mix; "
+        "see --list-workloads)",
+    )
+    serve_cmd.add_argument(
+        "--arrival",
+        choices=("exponential", "bursty", "diurnal", "closed"),
+        default="exponential",
+        help="arrival process: open-loop exponential/"
+        "bursty/diurnal at --load req/s, or a closed "
+        "loop of --clients think-time clients "
+        "(default: exponential)",
+    )
+    serve_cmd.add_argument(
+        "--policy",
+        choices=("static", "dynamic", "continuous"),
+        default="dynamic",
+        help="batching policy (default: dynamic)",
+    )
+    serve_cmd.add_argument(
+        "--load",
+        type=_loads_argument,
+        default=[100.0],
+        metavar="R[,R...]",
+        help="offered load(s) in req/s; several values "
+        "sweep a throughput-latency curve "
+        "(default: 100)",
+    )
+    serve_cmd.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=10000,
+        help="requests to simulate per load point " "(default: 10000)",
+    )
+    serve_cmd.add_argument(
+        "--batch-max",
+        type=_positive_int,
+        default=8,
+        help="largest batch a dispatch may take " "(default: 8)",
+    )
+    serve_cmd.add_argument(
+        "--window",
+        type=_positive_float,
+        default=0.02,
+        metavar="SECONDS",
+        help="dynamic-policy batching window " "(default: 0.02)",
+    )
+    serve_cmd.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=1024,
+        help="admission-queue bound; arrivals beyond it "
+        "are dropped (default: 1024)",
+    )
+    serve_cmd.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="drop requests that queue longer than this " "(default: no timeout)",
+    )
+    serve_cmd.add_argument(
+        "--users",
+        type=_positive_int,
+        default=1000,
+        help="distinct users behind open-loop traffic "
+        "(per-user request mixes; default: 1000)",
+    )
+    serve_cmd.add_argument(
+        "--clients",
+        type=_positive_int,
+        default=64,
+        help="closed-loop clients (default: 64)",
+    )
+    serve_cmd.add_argument(
+        "--think",
+        type=_positive_float,
+        default=0.1,
+        metavar="SECONDS",
+        help="closed-loop mean think time (default: 0.1)",
+    )
+    serve_cmd.add_argument(
+        "--seed",
+        type=_seed_argument,
+        default=0,
+        metavar="N|random",
+        help="traffic seed; 'random' draws a fresh seed "
+        "and echoes it for replay (default: 0)",
+    )
+    serve_cmd.add_argument(
+        "--recertify",
+        type=int,
+        default=2,
+        metavar="M",
+        help="engine-verify the M most frequent (class, "
+        "batch) dispatches against the lower-bound + "
+        "byte-identical-traffic contract; 0 skips "
+        "(default: 2)",
+    )
+    add_executor_options(serve_cmd)
+    serve_cmd.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    serve_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely",
+    )
+    serve_cmd.add_argument(
+        "--force", action="store_true", help="re-run even on cache hits"
+    )
+    serve_cmd.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write the serving report (all load points, "
+        "curve, certification) to this JSON file",
+    )
+    serve_cmd.add_argument(
+        "--report",
+        dest="report_path",
+        default=None,
+        help="write the rendered tables to this text file",
+    )
+    serve_cmd.add_argument(
+        "--list-workloads",
+        action="store_true",
+        help="describe the workload catalogue and exit",
     )
 
     worker_cmd = sub.add_parser(
@@ -520,6 +697,7 @@ def _run_explore(args: argparse.Namespace) -> int:
         f"-- {len(report.frontier)} frontier point(s) from "
         f"{report.evaluations} proxy evaluation(s), "
         f"{len(report.verified)} engine-verified, "
+        f"seed {report.seed}, "
         f"wall {report.proxy_wall_s + report.verify_wall_s:.2f}s"
     )
     if args.report_path:
@@ -527,6 +705,8 @@ def _run_explore(args: argparse.Namespace) -> int:
             handle.write(frontier + "\n")
             if verification:
                 handle.write("\n" + verification + "\n")
+            handle.write(f"\nseed: {report.seed} (replay with --seed "
+                         f"{report.seed})\n")
         print(f"wrote frontier report to {args.report_path}")
     if args.json_path:
         with open(args.json_path, "w") as handle:
@@ -537,6 +717,122 @@ def _run_explore(args: argparse.Namespace) -> int:
         print(
             f"error: verified point(s) {bad} violate the analytic "
             "lower-bound contract",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: simulate, report, re-certify.
+
+    Exit codes: 0 on success, 2 on user errors, and 1 when the engine
+    re-certification of the sampled batch mix violates the lower-bound or
+    byte-identical-traffic contract (the serving latencies would then rest
+    on a broken cost model -- CI must treat it as a failure).
+    """
+    import random as random_module
+
+    from repro.analysis.reporting import (
+        serve_certification_table,
+        serve_curve_table,
+        serve_summary_table,
+    )
+    from repro.serve import get_workload, workload_names
+    from repro.serve.driver import recertify_batch_mix, run_load_sweep
+    from repro.serve.driver import throughput_latency_curve
+
+    if args.list_workloads:
+        from repro.serve import WORKLOADS
+
+        for name in workload_names():
+            workload = WORKLOADS[name]
+            classes = ", ".join(
+                f"{cls.name} (w={cls.weight:g})" for cls in workload.classes
+            )
+            print(f"{name}: {workload.description}")
+            print(f"  classes: {classes}")
+        return 0
+    try:
+        get_workload(args.workload)
+    except KeyError as error:
+        return _fail(error.args[0])
+    if args.recertify < 0:
+        return _fail(f"--recertify must be >= 0, got {args.recertify}")
+    try:
+        executor = _build_executor(args)
+    except ValueError as error:
+        return _fail(str(error))
+
+    seed = args.seed
+    if seed is None:
+        seed = random_module.SystemRandom().randrange(2**32)
+    params = {
+        "workload": args.workload,
+        "arrival": args.arrival,
+        "policy": args.policy,
+        "requests": args.requests,
+        "batch_max": args.batch_max,
+        "window_s": args.window,
+        "queue_depth": args.queue_depth,
+        "timeout_s": args.timeout,
+        "users": args.users,
+        "clients": args.clients,
+        "think_s": args.think,
+        "seed": seed,
+    }
+    loads = args.load if args.arrival != "closed" else args.load[:1]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    start = time.perf_counter()
+    with executor:
+        outcomes = run_load_sweep(
+            params, loads, executor=executor, cache=cache, force=args.force
+        )
+        records = []
+        if args.recertify:
+            records = recertify_batch_mix(
+                [o.result for o in outcomes],
+                top=args.recertify,
+                executor=executor,
+                cache=cache,
+                force=args.force,
+            )
+    wall_s = time.perf_counter() - start
+
+    curve = throughput_latency_curve(outcomes)
+    sections = [serve_summary_table(outcomes[-1].result).render()]
+    if len(outcomes) > 1:
+        sections.append(serve_curve_table(curve).render())
+    if records:
+        sections.append(serve_certification_table(records).render())
+    rendered = "\n\n".join(sections)
+    print(rendered)
+    simulated = sum(o.result["requests"] for o in outcomes)
+    print(
+        f"-- {simulated} request(s) across {len(outcomes)} load point(s), "
+        f"{len(records)} dispatch shape(s) engine-certified, "
+        f"seed {seed}, wall {wall_s:.2f}s"
+    )
+    if args.report_path:
+        with open(args.report_path, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote serving report to {args.report_path}")
+    if args.json_path:
+        payload = {
+            "seed": seed,
+            "results": [o.result for o in outcomes],
+            "curve": curve,
+            "certification": records,
+        }
+        with open(args.json_path, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote serving report to {args.json_path}")
+    bad = [r for r in records if not (r["bound_ok"] and r["traffic_ok"])]
+    if bad:
+        shapes = [f"{r['class']}@b{r['batch']}" for r in bad]
+        print(
+            f"error: dispatch shape(s) {shapes} violate the analytic "
+            "lower-bound/traffic contract",
             file=sys.stderr,
         )
         return 1
@@ -614,6 +910,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "explore":
         return _run_explore(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     try:
         if args.command == "run":

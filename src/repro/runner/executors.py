@@ -289,7 +289,12 @@ class Spool:
 
         Claiming is the atomic rename described in the class docstring;
         contention with other workers is resolved by the filesystem (the
-        losers skip to the next pending file).
+        losers skip to the next pending file).  The claim file is touched
+        after the rename: ``os.replace`` preserves the *submission-time*
+        mtime, and until the worker's first heartbeat that mtime is what
+        orphan detection falls back on -- a job that sat in ``pending/``
+        longer than the orphan timeout would otherwise look abandoned the
+        instant it was claimed, and two workers would execute it.
         """
         worker_id = _sanitize_id(worker_id)
         try:
@@ -305,6 +310,10 @@ class Spool:
                 continue  # another worker won this claim
             except OSError:
                 continue
+            try:
+                os.utime(target)
+            except OSError:
+                pass  # worst case the stale mtime risks one spurious requeue
             return _ClaimedJob(job_id=job_id, path=target)
         return None
 
@@ -321,8 +330,14 @@ class Spool:
         is older than ``orphan_timeout_s``.  ``job_ids`` restricts the scan
         to one submitter's jobs (so co-tenant submitters never requeue each
         other's work).  Returns the requeued job ids.
+
+        Staleness is judged against the *fileserver's* clock (see
+        :meth:`fs_now`): when ``now`` is omitted it is sampled from the
+        spool's filesystem, never from the caller's local ``time.time()``,
+        so callers on clock-skewed hosts inherit the documented contract
+        instead of the NFS skew bug it exists to prevent.
         """
-        now = time.time() if now is None else now
+        now = self.fs_now("requeue-orphans") if now is None else now
         wanted = set(job_ids) if job_ids is not None else None
         requeued: List[str] = []
         for path in sorted(self.claimed_dir.glob("*.json")):

@@ -733,3 +733,8 @@ def _register_catalogue() -> None:
 
 
 _register_catalogue()
+
+# The serving-layer kind (``serve_sim``) and its named scenarios live with
+# the simulator; importing them here means every registry consumer -- the
+# CLI, sweeps, and detached work-queue workers -- sees them.
+from ..serve import simulate as _serve_simulate  # noqa: E402,F401

@@ -1,0 +1,66 @@
+"""Serving-layer simulation: live traffic in front of the accelerator model.
+
+The ROADMAP north star is a system that serves heavy traffic, not one that
+reproduces tables; this package puts a request generator, an admission
+queue, and a batching policy in front of the certified analytic cost model
+so serving questions -- tail latency vs offered load, batching-policy
+trade-offs, queue sizing -- become cheap, deterministic simulations.
+
+* :mod:`repro.serve.traffic` -- workload catalogue, open-loop arrival
+  processes (exponential / bursty / diurnal), per-user request mixes;
+* :mod:`repro.serve.policies` -- static size-K, dynamic time-window, and
+  continuous batching;
+* :mod:`repro.serve.cost` -- the per-(class, batch size) analytic cost
+  table (one vectorized evaluator pass, memoized);
+* :mod:`repro.serve.metrics` -- honest tail percentiles and queue metrics;
+* :mod:`repro.serve.simulate` -- the event loop, registered as the
+  ``serve_sim`` scenario kind so runs sweep/cache/fan out like any other
+  scenario;
+* :mod:`repro.serve.driver` -- load sweeps, throughput-latency curves, and
+  the sampled engine re-certification contract.
+
+CLI: ``python -m repro.runner serve --workload encoder-mix --arrival
+exponential --policy dynamic --load 100,200,400``.
+"""
+
+from .cost import CostTable, build_cost_table
+from .driver import (
+    CONTRACT_RTOL,
+    recertify_batch_mix,
+    run_load_sweep,
+    throughput_latency_curve,
+)
+from .metrics import downsample_timeline, latency_summary, percentile
+from .policies import POLICY_NAMES, make_policy
+from .simulate import run_serve_sim
+from .traffic import (
+    ARRIVAL_NAMES,
+    WORKLOADS,
+    RequestClass,
+    Workload,
+    generate_trace,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "ARRIVAL_NAMES",
+    "CONTRACT_RTOL",
+    "CostTable",
+    "POLICY_NAMES",
+    "RequestClass",
+    "WORKLOADS",
+    "Workload",
+    "build_cost_table",
+    "downsample_timeline",
+    "generate_trace",
+    "get_workload",
+    "latency_summary",
+    "make_policy",
+    "percentile",
+    "recertify_batch_mix",
+    "run_load_sweep",
+    "run_serve_sim",
+    "throughput_latency_curve",
+    "workload_names",
+]

@@ -1,0 +1,82 @@
+"""The serving cost function: analytic batch costs per (class, batch size).
+
+A dispatch of ``b`` requests of one class is priced as a single
+``dse_encoder`` evaluation of that class's design point at ``batch=b`` --
+the same certified analytic lower bound the DSE proxy uses, so every
+latency the serving simulator reports inherits the lower-bound +
+byte-identical-traffic contract (and can be re-certified on the engine
+backend, see :mod:`repro.serve.driver`).
+
+The whole table -- ``C`` classes x ``batch_max`` sizes -- is evaluated in
+one :meth:`~repro.xnn.analytic.EncoderBatchEvaluator.batch_size_costs` pass
+per class (shared memoized tallies, vectorized rooflines), then memoized
+per process, so a million-request simulation pays for its cost model once,
+in milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .traffic import Workload
+
+__all__ = ["CostTable", "build_cost_table", "engine_params"]
+
+
+class CostTable:
+    """Per-class, per-batch-size analytic service costs for one workload.
+
+    ``latency_s[class_index][size]`` is the service time of a size-``size``
+    batch (index 0 is unused padding so sizes index directly);
+    ``payload(class_index, size)`` returns the full analytic payload --
+    byte-exactly what the scalar ``dse_encoder`` analytic runner returns.
+    """
+
+    def __init__(
+        self, workload: Workload, batch_max: int, payloads: List[Dict[int, dict]]
+    ):
+        self.workload = workload
+        self.batch_max = batch_max
+        self._payloads = payloads
+        self.latency_s: List[List[float]] = [
+            [0.0] + [by_size[size]["latency_s"] for size in range(1, batch_max + 1)]
+            for by_size in payloads
+        ]
+
+    def payload(self, class_index: int, size: int) -> dict:
+        return self._payloads[class_index][size]
+
+
+#: (workload name, batch_max) -> CostTable; the evaluator already memoizes
+#: tallies, this additionally skips the roofline pass on repeat runs.
+_TABLES: Dict[Tuple[str, int], CostTable] = {}
+
+
+def build_cost_table(workload: Workload, batch_max: int) -> CostTable:
+    """The (memoized) cost table for ``workload`` at sizes ``1..batch_max``."""
+    if batch_max < 1:
+        raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+    key = (workload.name, batch_max)
+    cached = _TABLES.get(key)
+    if cached is not None and cached.workload == workload:
+        return cached
+    # Lazy: repro.runner.library imports this package (to register the
+    # serve_sim kind), so the reverse import must happen at call time.
+    from ..runner.library import _encoder_config
+    from ..xnn.analytic import encoder_batch_evaluator
+
+    evaluator = encoder_batch_evaluator()
+    sizes = range(1, batch_max + 1)
+    payloads = [
+        evaluator.batch_size_costs(cls.params, sizes, _encoder_config)
+        for cls in workload.classes
+    ]
+    table = CostTable(workload, batch_max, payloads)
+    _TABLES[key] = table
+    return table
+
+
+def engine_params(workload: Workload, class_index: int, size: int) -> Dict[str, Any]:
+    """The ``dse_encoder`` parameter set pricing one dispatch -- the exact
+    scenario the engine backend re-certifies."""
+    return {**dict(workload.classes[class_index].params), "batch": size}

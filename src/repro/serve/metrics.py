@@ -1,0 +1,89 @@
+"""Latency/queue metrics for serving runs, with honest tail percentiles.
+
+Percentiles are nearest-rank (index ``ceil(q*n) - 1`` of the sorted
+sample): every reported value is an actually observed latency, never an
+interpolation.  A tail percentile is only *meaningful* when the sample can
+resolve it -- p999 of 200 requests would just be the max wearing a costume.
+The rule here: ``pX`` is exact iff ``n * (1 - q) >= 1`` (at least one
+sample sits at or beyond the quantile).  Below that the estimate *widens to
+the sample maximum* and is flagged ``<name>_exact: false``; with
+``strict=True`` it raises instead.  Nothing silently extrapolates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["latency_summary", "percentile", "downsample_timeline"]
+
+
+def percentile(
+    sorted_values: Sequence[float], q: float, strict: bool = False
+) -> Tuple[Optional[float], bool]:
+    """Nearest-rank percentile of an ascending sample: ``(value, exact)``.
+
+    ``exact`` is False when the sample is too small to resolve ``q`` (fewer
+    than ``1/(1-q)`` values); the value then widens to the sample maximum.
+    ``strict=True`` raises ``ValueError`` in both degenerate cases (empty
+    sample, unresolvable tail) instead of widening.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"q must be in (0, 1), got {q}")
+    count = len(sorted_values)
+    if count == 0:
+        if strict:
+            raise ValueError(f"p{q * 100:g} of an empty sample")
+        return None, False
+    # The epsilon absorbs binary-representation error in q (0.9 * 10 is
+    # 9.000000000000002 in floats, which would push p90 of exactly ten
+    # samples off its true rank and spuriously widen it).
+    if count * (1.0 - q) < 1.0 - 1e-9:
+        if strict:
+            raise ValueError(
+                f"p{q * 100:g} needs >= {math.ceil(1.0 / (1.0 - q))} "
+                f"samples to resolve, got {count}; refusing to extrapolate"
+            )
+        return sorted_values[-1], False
+    return sorted_values[max(0, math.ceil(q * count - 1e-9) - 1)], True
+
+
+def latency_summary(latencies: Sequence[float], strict: bool = False) -> Dict[str, Any]:
+    """The serving report's latency block: mean/p50/p99/p999/max + flags."""
+    ordered = sorted(latencies)
+    count = len(ordered)
+    p50, p50_exact = percentile(ordered, 0.50, strict) if count else (None, False)
+    p99, p99_exact = percentile(ordered, 0.99, strict) if count else (None, False)
+    p999, p999_exact = percentile(ordered, 0.999, strict) if count else (None, False)
+    return {
+        "count": count,
+        "mean_s": (sum(ordered) / count) if count else None,
+        "p50_s": p50,
+        "p50_exact": p50_exact,
+        "p99_s": p99,
+        "p99_exact": p99_exact,
+        "p999_s": p999,
+        "p999_exact": p999_exact,
+        "max_s": ordered[-1] if count else None,
+    }
+
+
+def downsample_timeline(
+    timeline: Sequence[Tuple[float, int]], limit: int = 512
+) -> List[List[float]]:
+    """Every k-th ``(time, depth)`` point so the JSON stays bounded.
+
+    The stride is chosen deterministically from the length alone, so two
+    identical runs downsample identically; the final point is always kept
+    (it carries the drained-queue end state).
+    """
+    if limit < 2:
+        raise ValueError(f"limit must be >= 2, got {limit}")
+    points = [[float(t), int(depth)] for t, depth in timeline]
+    if len(points) <= limit:
+        return points
+    stride = math.ceil(len(points) / (limit - 1))
+    sampled = points[::stride]
+    if sampled[-1] != points[-1]:
+        sampled.append(points[-1])
+    return sampled

@@ -1,0 +1,96 @@
+"""Batching policies: when the server dispatches, and how much.
+
+The simulator keeps one FIFO admission queue (internally per-class deques;
+the *head class* is the class of the oldest queued request) and asks the
+policy one question per dispatch decision: *given the head class's queue,
+at what time is a batch ready?*  The batch itself is always the up-to-
+``batch_max`` oldest requests of the head class -- batches are homogeneous
+because the accelerator cost function is one ``dse_encoder`` evaluation at
+``batch=len(batch)``.
+
+``cond_time(queue, starved)`` returns the earliest time the policy's
+dispatch condition holds for the current queue contents:
+
+* **static** (size-K): when the K-th head-class request has arrived --
+  ``inf`` until then, so the simulator keeps admitting arrivals.  When the
+  source is *starved* (open loop: trace exhausted; closed loop: every
+  client is waiting on an in-flight request) the partial batch is flushed
+  immediately, otherwise a tail of fewer than K requests would wait
+  forever.
+* **dynamic** (size-K or time-window): the K-th arrival, or the oldest
+  request's arrival plus ``window_s``, whichever is earlier.
+* **continuous**: the oldest request's arrival -- whenever the server goes
+  idle it immediately takes whatever is queued (up to ``batch_max``).
+
+The simulator then dispatches at ``max(server_free, cond_time)``, admitting
+every arrival up to that instant first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "POLICY_NAMES",
+    "ContinuousBatcher",
+    "DynamicBatcher",
+    "StaticBatcher",
+    "make_policy",
+]
+
+POLICY_NAMES: Tuple[str, ...] = ("static", "dynamic", "continuous")
+
+
+@dataclass(frozen=True)
+class StaticBatcher:
+    """Dispatch only full size-K batches (flush partials when starved)."""
+
+    batch_max: int
+    name: str = "static"
+
+    def cond_time(self, queue: Sequence, starved: bool) -> float:
+        if len(queue) >= self.batch_max:
+            return queue[self.batch_max - 1][0]
+        return queue[0][0] if starved else math.inf
+
+
+@dataclass(frozen=True)
+class DynamicBatcher:
+    """Dispatch at size K or when the oldest request has waited window_s."""
+
+    batch_max: int
+    window_s: float
+    name: str = "dynamic"
+
+    def cond_time(self, queue: Sequence, starved: bool) -> float:
+        if len(queue) >= self.batch_max:
+            return queue[self.batch_max - 1][0]
+        return queue[0][0] + self.window_s
+
+
+@dataclass(frozen=True)
+class ContinuousBatcher:
+    """Dispatch whatever is queued the moment the server is free."""
+
+    batch_max: int
+    name: str = "continuous"
+
+    def cond_time(self, queue: Sequence, starved: bool) -> float:
+        return queue[0][0]
+
+
+def make_policy(name: str, batch_max: int, window_s: Optional[float] = None):
+    """Construct the named policy; ``window_s`` is required by ``dynamic``."""
+    if batch_max < 1:
+        raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+    if name == "static":
+        return StaticBatcher(batch_max)
+    if name == "dynamic":
+        if window_s is None or not window_s > 0:
+            raise ValueError(f"policy 'dynamic' needs a window_s > 0, got {window_s}")
+        return DynamicBatcher(batch_max, window_s)
+    if name == "continuous":
+        return ContinuousBatcher(batch_max)
+    raise ValueError(f"unknown policy {name!r}; known: {list(POLICY_NAMES)}")

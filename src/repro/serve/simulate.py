@@ -1,0 +1,384 @@
+"""The serving simulator: one server, one admission queue, one policy.
+
+Registered as the ``serve_sim`` scenario kind (analytic backend), so a
+serving run is ordinary sweep data: it fans out over every executor
+(serial / pool / workqueue) with byte-identical results, caches under the
+standard result cache, and a throughput-latency curve is just a sweep over
+``rate``.
+
+Model
+-----
+A single batched server (the accelerator) behind a bounded FIFO admission
+queue.  Requests arrive from an open-loop trace
+(:func:`repro.serve.traffic.generate_trace`) or a closed loop of ``clients``
+think-time clients.  The batching policy (:mod:`repro.serve.policies`)
+decides dispatch instants; a dispatch takes the up-to-``batch_max`` oldest
+requests of the *head class* (the class of the oldest queued request) and
+occupies the server for the analytic batch cost
+(:mod:`repro.serve.cost`).  Admission control: a request arriving to a
+full queue (``queue_depth`` waiting) is dropped; with ``timeout_s`` set,
+requests that have waited longer than that at a dispatch instant are timed
+out instead of served.  Dropped and timed-out requests count against
+goodput but never against latency percentiles.
+
+Everything -- arrivals, per-user class draws, think times -- comes from one
+seeded ``random.Random`` in a fixed draw order, and the event loop is pure
+deterministic arithmetic, so a run is exactly replayable from its
+parameters (the differential suite pins serial == pool == workqueue).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..runner.scenarios import REGISTRY
+from .cost import build_cost_table
+from .metrics import downsample_timeline, latency_summary
+from .policies import make_policy
+from .traffic import class_mixes, generate_trace, get_workload
+
+__all__ = ["run_serve_sim"]
+
+
+class _OpenSource:
+    """Arrivals from a precomputed open-loop trace."""
+
+    def __init__(self, times: List[float], classes: List[int]):
+        self._times = times
+        self._classes = classes
+        self._next = 0
+
+    def peek(self) -> Optional[float]:
+        if self._next >= len(self._times):
+            return None
+        return self._times[self._next]
+
+    def pop(self) -> Tuple[float, int, Optional[int]]:
+        index = self._next
+        self._next += 1
+        return self._times[index], self._classes[index], None
+
+    def on_done(self, now: float, client: Optional[int]) -> None:
+        pass
+
+
+class _ClosedSource:
+    """N clients issuing one request at a time, thinking in between.
+
+    A client becomes ready after an exponential think time; its next
+    request's class comes from its per-user mix.  ``on_done`` (response,
+    drop, or timeout alike) schedules the next think.  ``budget`` bounds
+    the total requests issued.
+    """
+
+    def __init__(
+        self,
+        clients: int,
+        think_s: float,
+        budget: int,
+        mixes: List[List[float]],
+        rng: random.Random,
+    ):
+        self._think_rate = 1.0 / think_s
+        self._budget = budget
+        self._issued = 0
+        self._mixes = mixes
+        self._rng = rng
+        self._ready = [(rng.expovariate(self._think_rate), c) for c in range(clients)]
+        heapq.heapify(self._ready)
+
+    def peek(self) -> Optional[float]:
+        if self._issued >= self._budget or not self._ready:
+            return None
+        return self._ready[0][0]
+
+    def pop(self) -> Tuple[float, int, Optional[int]]:
+        now, client = heapq.heappop(self._ready)
+        self._issued += 1
+        mix = self._mixes[client % len(self._mixes)]
+        draw = self._rng.random()
+        class_index = next(i for i, edge in enumerate(mix) if draw <= edge)
+        return now, class_index, client
+
+    def on_done(self, now: float, client: Optional[int]) -> None:
+        if client is None or self._issued >= self._budget:
+            return
+        heapq.heappush(
+            self._ready, (now + self._rng.expovariate(self._think_rate), client)
+        )
+
+
+def _simulate(
+    source,
+    class_count: int,
+    policy,
+    service_s: List[List[float]],
+    queue_depth: int,
+    timeout_s: Optional[float],
+) -> Dict[str, Any]:
+    """Drive the queue/server event loop to completion; returns raw stats."""
+    queues: List[deque] = [deque() for _ in range(class_count)]
+    queued = 0
+    seq = 0
+    server_free = 0.0
+    busy_s = 0.0
+    latencies: List[float] = []
+    dropped = 0
+    timed_out = 0
+    batch_count = 0
+    batch_size_sum = 0
+    batch_size_max = 0
+    mix_counts: Dict[Tuple[int, int], int] = {}
+    depth_integral = 0.0
+    last_t = 0.0
+    max_depth = 0
+    timeline: List[Tuple[float, int]] = []
+    horizon = 0.0
+
+    def account(now: float) -> None:
+        nonlocal depth_integral, last_t
+        if now > last_t:
+            depth_integral += queued * (now - last_t)
+            last_t = now
+
+    def admit() -> None:
+        nonlocal queued, seq, dropped, max_depth, horizon
+        now, class_index, client = source.pop()
+        account(now)
+        horizon = max(horizon, now)
+        if queued >= queue_depth:
+            dropped += 1
+            source.on_done(now, client)
+        else:
+            queues[class_index].append((now, seq, client))
+            queued += 1
+            max_depth = max(max_depth, queued)
+        seq += 1
+
+    while True:
+        if queued == 0:
+            if source.peek() is None:
+                break
+            admit()
+            continue
+        # The head class: owner of the oldest queued request (seq breaks
+        # simultaneous-arrival ties first-admitted-first).
+        _, _, head_class = min(
+            (q[0][0], q[0][1], index) for index, q in enumerate(queues) if q
+        )
+        head_queue = queues[head_class]
+        # Admit every arrival up to the policy's dispatch instant; each
+        # admission can only move the instant *earlier* (more head-class
+        # requests), never later, so this converges.
+        while True:
+            starved = source.peek() is None
+            dispatch_t = max(server_free, policy.cond_time(head_queue, starved))
+            next_arrival = source.peek()
+            if next_arrival is not None and next_arrival <= dispatch_t:
+                admit()
+                continue
+            break
+        if timeout_s is not None:
+            account(dispatch_t)
+            expired = False
+            for q in queues:
+                while q and dispatch_t - q[0][0] > timeout_s:
+                    _, _, client = q.popleft()
+                    queued -= 1
+                    timed_out += 1
+                    source.on_done(dispatch_t, client)
+                    expired = True
+            if expired:
+                continue  # head class/dispatch time may have changed
+        account(dispatch_t)
+        size = min(policy.batch_max, len(head_queue))
+        batch = [head_queue.popleft() for _ in range(size)]
+        queued -= size
+        service = service_s[head_class][size]
+        done_t = dispatch_t + service
+        server_free = done_t
+        busy_s += service
+        horizon = max(horizon, done_t)
+        batch_count += 1
+        batch_size_sum += size
+        batch_size_max = max(batch_size_max, size)
+        key = (head_class, size)
+        mix_counts[key] = mix_counts.get(key, 0) + 1
+        for arrived_t, _, client in batch:
+            latencies.append(done_t - arrived_t)
+            source.on_done(done_t, client)
+        timeline.append((dispatch_t, queued))
+
+    return {
+        "latencies": latencies,
+        "dropped": dropped,
+        "timed_out": timed_out,
+        "batch_count": batch_count,
+        "batch_size_sum": batch_size_sum,
+        "batch_size_max": batch_size_max,
+        "mix_counts": mix_counts,
+        "depth_integral": depth_integral,
+        "max_depth": max_depth,
+        "busy_s": busy_s,
+        "horizon_s": horizon,
+        "timeline": timeline,
+        "issued": seq,
+    }
+
+
+@REGISTRY.kind("serve_sim", backend=("engine", "analytic"))
+def run_serve_sim(
+    workload: str = "encoder-mix",
+    arrival: str = "exponential",
+    policy: str = "dynamic",
+    rate: float = 100.0,
+    requests: int = 10000,
+    batch_max: int = 8,
+    window_s: float = 0.02,
+    queue_depth: int = 1024,
+    timeout_s: Optional[float] = None,
+    users: int = 1000,
+    clients: int = 64,
+    think_s: float = 0.1,
+    burstiness: float = 0.6,
+    period_s: float = 60.0,
+    seed: int = 0,
+) -> dict:
+    """Simulate ``requests`` requests through one server configuration.
+
+    ``arrival`` is one of the open-loop processes (``exponential``,
+    ``bursty``, ``diurnal`` at offered load ``rate`` req/s) or ``closed``
+    (``clients`` clients with mean think time ``think_s``; ``rate`` is
+    ignored).  Returns the JSON-able serving report: request accounting,
+    latency percentiles (honest tails, see :mod:`repro.serve.metrics`),
+    queue-depth stats and timeline, batch statistics, and the dispatch
+    *batch mix* -- every distinct (class, batch size) with its count and
+    analytic cost payload, which is what the engine re-certification pass
+    consumes.
+
+    The kind is registered backend-independent: the serving cost function
+    is always the certified analytic model (cycle-level simulation of a
+    million requests would defeat the point), and the engine's role is the
+    explicit sampled re-certification in :mod:`repro.serve.driver`.
+    """
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if queue_depth < 1:
+        raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+    if timeout_s is not None and not timeout_s > 0:
+        raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+    load = get_workload(workload)
+    batcher = make_policy(policy, batch_max, window_s)
+    table = build_cost_table(load, batch_max)
+
+    if arrival == "closed":
+        if clients < 1:
+            raise ValueError(f"clients must be >= 1, got {clients}")
+        if not think_s > 0:
+            raise ValueError(f"think_s must be > 0, got {think_s}")
+        rng = random.Random(seed)
+        source = _ClosedSource(clients, think_s, requests, class_mixes(load), rng)
+    else:
+        times, classes = generate_trace(
+            load,
+            arrival,
+            rate,
+            requests,
+            users,
+            seed,
+            burstiness=burstiness,
+            period_s=period_s,
+        )
+        source = _OpenSource(times, classes)
+
+    stats = _simulate(
+        source, len(load.classes), batcher, table.latency_s, queue_depth, timeout_s
+    )
+
+    horizon = stats["horizon_s"]
+    completed = len(stats["latencies"])
+    batch_mix = [
+        {
+            "class": load.classes[class_index].name,
+            "batch": size,
+            "count": count,
+            "latency_s": table.payload(class_index, size)["latency_s"],
+            "ddr_bytes": table.payload(class_index, size)["ddr_bytes"],
+            "lpddr_bytes": table.payload(class_index, size)["lpddr_bytes"],
+        }
+        for (class_index, size), count in sorted(
+            stats["mix_counts"].items(),
+            key=lambda item: (-item[1], item[0]),
+        )
+    ]
+    return {
+        "workload": workload,
+        "arrival": arrival,
+        "policy": policy,
+        "seed": seed,
+        "offered_load_rps": None if arrival == "closed" else rate,
+        "clients": clients if arrival == "closed" else None,
+        "requests": stats["issued"],
+        "completed": completed,
+        "dropped": stats["dropped"],
+        "timed_out": stats["timed_out"],
+        "horizon_s": horizon,
+        "goodput_rps": (completed / horizon) if horizon > 0 else 0.0,
+        "utilization": (stats["busy_s"] / horizon) if horizon > 0 else 0.0,
+        "latency": latency_summary(stats["latencies"]),
+        "queue": {
+            "depth_limit": queue_depth,
+            "max_depth": stats["max_depth"],
+            "mean_depth": (stats["depth_integral"] / horizon) if horizon > 0 else 0.0,
+            "timeline": downsample_timeline(stats["timeline"]),
+        },
+        "batches": {
+            "count": stats["batch_count"],
+            "mean_size": (
+                stats["batch_size_sum"] / stats["batch_count"]
+                if stats["batch_count"]
+                else 0.0
+            ),
+            "max_size": stats["batch_size_max"],
+        },
+        "batch_mix": batch_mix,
+    }
+
+
+# Named catalogue entries (registered here, after the kind, so importing
+# either the serve package or the runner library yields both).
+REGISTRY.add(
+    "serve/smoke-closed",
+    "serve_sim",
+    {
+        "workload": "encoder-mix",
+        "arrival": "closed",
+        "policy": "continuous",
+        "requests": 500,
+        "clients": 16,
+        "think_s": 0.05,
+        "batch_max": 4,
+        "seed": 7,
+    },
+    tags=("serve", "smoke"),
+    description="Short closed-loop serving run (CI smoke / determinism)",
+)
+REGISTRY.add(
+    "serve/encoder-mix-dynamic",
+    "serve_sim",
+    {
+        "workload": "encoder-mix",
+        "arrival": "exponential",
+        "policy": "dynamic",
+        "rate": 200.0,
+        "requests": 20000,
+        "batch_max": 8,
+        "window_s": 0.02,
+        "seed": 0,
+    },
+    tags=("serve",),
+    description="Open-loop encoder mix under dynamic batching",
+)

@@ -619,6 +619,26 @@ class EncoderBatchEvaluator:
             })
         return payloads
 
+    def batch_size_costs(self, base_params: Mapping[str, Any],
+                         batch_sizes: Sequence[int],
+                         encoder_config) -> Dict[int, Dict[str, Any]]:
+        """Cost one design point across a range of serving batch sizes.
+
+        The serving simulator's per-dispatch cost function: every batch a
+        batching policy forms is priced as one ``dse_encoder`` evaluation of
+        ``base_params`` with ``batch`` overridden.  All sizes are evaluated
+        in a single :meth:`evaluate_batch` pass (shared tallies, one
+        vectorized roofline), so a whole cost table for a serving run is a
+        handful of milliseconds warm.  Returns ``{batch_size: payload}`` with
+        payloads exactly equal to the scalar ``dse_encoder`` runner's.
+        """
+        sizes = sorted(set(int(size) for size in batch_sizes))
+        if any(size < 1 for size in sizes):
+            raise ValueError(f"batch sizes must be >= 1, got {sizes}")
+        param_sets = [{**dict(base_params), "batch": size} for size in sizes]
+        payloads = self.evaluate_batch(param_sets, encoder_config)
+        return dict(zip(sizes, payloads))
+
 
 #: the process-wide batch evaluator (its memo is the whole point: later
 #: generations and later explorations reuse earlier tallies).

@@ -41,6 +41,10 @@ KIND_TOLERANCE = {
     "mapping_types": None,
     "fu_properties": None,
     "gpu_roofline": None,
+    # The serving simulator always prices dispatches with the analytic cost
+    # model (its engine involvement is the explicit re-certification pass),
+    # so the kind is backend-independent by construction.
+    "serve_sim": None,
     "xnn_gemm": 0.15,
     "xnn_encoder": 0.30,
     "xnn_feedforward": 0.15,

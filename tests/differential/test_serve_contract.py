@@ -1,0 +1,77 @@
+"""Differential pin: serving sweeps are executor-independent, byte for byte.
+
+The serving simulator is registered as an ordinary scenario kind, so it
+inherits the repo-wide determinism contract: a load sweep must produce
+byte-identical results whether it runs in-process, fans out over a process
+pool, or round-trips through the detached work-queue spool.  This is what
+makes a million-request serving sweep safely distributable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import (ProcessPoolExecutor, WorkQueueExecutor,
+                          canonical_json)
+from repro.serve.driver import run_load_sweep, throughput_latency_curve
+
+#: a deliberately awkward configuration: bursty arrivals, a tight queue,
+#: timeouts firing, two load points -- every accounting path exercised.
+PARAMS = {
+    "workload": "encoder-mix",
+    "arrival": "bursty",
+    "policy": "dynamic",
+    "requests": 4000,
+    "batch_max": 8,
+    "window_s": 0.02,
+    "queue_depth": 256,
+    "timeout_s": 0.1,
+    "seed": 5,
+}
+LOADS = [200.0, 2000.0]
+
+
+def _strip(outcomes):
+    return [
+        canonical_json({
+            "scenario": o.scenario,
+            "kind": o.kind,
+            "backend": o.backend,
+            "cached": o.cached,
+            "result": o.result,
+        })
+        for o in outcomes
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_outcomes():
+    return run_load_sweep(PARAMS, LOADS)
+
+
+class TestExecutorIndependence:
+    def test_pool_matches_serial(self, serial_outcomes):
+        with ProcessPoolExecutor(2) as pool:
+            pooled = run_load_sweep(PARAMS, LOADS, executor=pool)
+        assert _strip(pooled) == _strip(serial_outcomes)
+
+    def test_workqueue_matches_serial(self, serial_outcomes, tmp_path):
+        with WorkQueueExecutor(tmp_path / "spool", local_workers=2,
+                               poll_s=0.02, timeout_s=600.0) as wq:
+            queued = run_load_sweep(PARAMS, LOADS, executor=wq)
+        assert _strip(queued) == _strip(serial_outcomes)
+
+    def test_sweep_exercises_every_accounting_path(self, serial_outcomes):
+        # The pin above is only meaningful if the configuration actually
+        # drives the interesting code paths: the overloaded point must
+        # drop and time out while the light one stays clean.
+        light, heavy = (o.result for o in serial_outcomes)
+        assert light["completed"] == light["requests"]
+        assert heavy["dropped"] > 0 and heavy["timed_out"] > 0
+
+    def test_curve_projects_the_sweep(self, serial_outcomes):
+        curve = throughput_latency_curve(serial_outcomes)
+        assert [row["offered_load_rps"] for row in curve] == LOADS
+        for row, outcome in zip(curve, serial_outcomes):
+            assert row["goodput_rps"] == outcome.result["goodput_rps"]
+            assert row["p999_exact"] in (True, False)

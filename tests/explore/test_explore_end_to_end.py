@@ -151,3 +151,27 @@ class TestReportRendering:
         assert payload["space"] == "encoder-smoke"
         assert payload["contract_ok"] is True
         assert payload["frontier"]
+
+
+class TestSeedRecording:
+    """Regression: ``seed=None`` used to hand ``random.Random(None)`` its
+    OS-entropy seeding and record nothing, so an unseeded exploration could
+    never be replayed.  Now the seed is drawn explicitly and reported."""
+
+    def test_unseeded_run_records_a_replayable_seed(self):
+        space, strategy = get_space("encoder-smoke"), get_strategy("random")
+        report = run_exploration(space, strategy, budget=8, verify_top=0,
+                                 seed=None, cache=None)
+        assert isinstance(report.seed, int)
+        assert report.to_dict()["seed"] == report.seed
+        replay = run_exploration(space, strategy, budget=8, verify_top=0,
+                                 seed=report.seed, cache=None)
+        assert _strip_volatile(report.to_dict()) == \
+            _strip_volatile(replay.to_dict())
+
+    def test_two_unseeded_runs_draw_distinct_seeds(self):
+        space, strategy = get_space("encoder-smoke"), get_strategy("random")
+        seeds = {run_exploration(space, strategy, budget=4, verify_top=0,
+                                 seed=None, cache=None).seed
+                 for _ in range(4)}
+        assert len(seeds) > 1, "entropy-drawn seeds should not collide 4/4"

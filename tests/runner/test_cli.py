@@ -394,3 +394,138 @@ class TestExploreProxyAndWeights:
         assert excinfo.value.code == 2
         err = capsys.readouterr().err
         assert "--weights" in err and "Traceback" not in err
+
+
+class TestSeedRecording:
+    """`--seed random` draws a real seed and echoes it for replay."""
+
+    def test_explore_random_seed_is_echoed_and_replayable(self, capsys,
+                                                          tmp_path):
+        json_path = tmp_path / "random.json"
+        code, out, _ = _run(capsys, "explore", "--space", "encoder-smoke",
+                            "--strategy", "halving", "--budget", "8",
+                            "--verify-top", "0", "--seed", "random",
+                            "--cache-dir", str(tmp_path / "cache"),
+                            "--json", str(json_path))
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        seed = payload["seed"]
+        assert isinstance(seed, int)       # never None: the draw is recorded
+        assert f"seed {seed}" in out
+        # Replaying with the echoed seed reproduces the sampling decisions.
+        replay_path = tmp_path / "replay.json"
+        code, _, _ = _run(capsys, "explore", "--space", "encoder-smoke",
+                          "--strategy", "halving", "--budget", "8",
+                          "--verify-top", "0", "--seed", str(seed),
+                          "--cache-dir", str(tmp_path / "cache"),
+                          "--json", str(replay_path))
+        assert code == 0
+        replay = json.loads(replay_path.read_text())
+        assert replay["frontier"] == payload["frontier"]
+
+    def test_explore_report_file_names_the_replay_flag(self, capsys,
+                                                       tmp_path):
+        report_path = tmp_path / "frontier.txt"
+        code, _, _ = _run(capsys, "explore", "--space", "encoder-smoke",
+                          "--strategy", "grid", "--budget", "8",
+                          "--verify-top", "0", "--seed", "42",
+                          "--cache-dir", str(tmp_path / "cache"),
+                          "--report", str(report_path))
+        assert code == 0
+        assert "seed: 42 (replay with --seed 42)" in report_path.read_text()
+
+    def test_invalid_seed_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", "--space", "encoder-smoke", "--seed", "entropy"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--seed" in err and "Traceback" not in err
+
+
+class TestServeCommand:
+    def test_serve_open_loop_end_to_end(self, capsys, tmp_path):
+        code, out, err = _run(capsys, "serve", "--arrival", "exponential",
+                              "--requests", "2000", "--load", "200",
+                              "--recertify", "1",
+                              "--cache-dir", str(tmp_path))
+        assert code == 0 and not err
+        assert "latency p99" in out
+        assert "Engine re-certification" in out
+        assert "1 dispatch shape(s) engine-certified" in out
+
+    def test_serve_load_sweep_renders_curve(self, capsys, tmp_path):
+        code, out, _ = _run(capsys, "serve", "--requests", "1000",
+                            "--load", "100,400", "--recertify", "0",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "Throughput-latency curve" in out
+        assert "2 load point(s)" in out
+
+    def test_serve_closed_loop(self, capsys, tmp_path):
+        code, out, _ = _run(capsys, "serve", "--arrival", "closed",
+                            "--requests", "500", "--clients", "8",
+                            "--think", "0.05", "--recertify", "0",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "1 load point(s)" in out
+
+    def test_serve_writes_json_and_report(self, capsys, tmp_path):
+        json_path = tmp_path / "serve.json"
+        report_path = tmp_path / "serve.txt"
+        code, _, _ = _run(capsys, "serve", "--requests", "1000",
+                          "--load", "150", "--seed", "9", "--recertify", "2",
+                          "--cache-dir", str(tmp_path / "cache"),
+                          "--json", str(json_path),
+                          "--report", str(report_path))
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["seed"] == 9
+        assert payload["results"][0]["completed"] > 0
+        assert all(r["bound_ok"] and r["traffic_ok"]
+                   for r in payload["certification"])
+        assert "latency p50" in report_path.read_text()
+
+    def test_serve_random_seed_replays_byte_identically(self, capsys,
+                                                        tmp_path):
+        first_path = tmp_path / "first.json"
+        code, out, _ = _run(capsys, "serve", "--requests", "800",
+                            "--load", "250", "--seed", "random",
+                            "--recertify", "0", "--no-cache",
+                            "--json", str(first_path))
+        assert code == 0
+        seed = json.loads(first_path.read_text())["seed"]
+        assert isinstance(seed, int) and f"seed {seed}" in out
+        replay_path = tmp_path / "replay.json"
+        code, _, _ = _run(capsys, "serve", "--requests", "800",
+                          "--load", "250", "--seed", str(seed),
+                          "--recertify", "0", "--no-cache",
+                          "--json", str(replay_path))
+        assert code == 0
+        assert json.loads(replay_path.read_text())["results"] == \
+            json.loads(first_path.read_text())["results"]
+
+    def test_serve_list_workloads(self, capsys):
+        code, out, err = _run(capsys, "serve", "--list-workloads")
+        assert code == 0 and not err
+        assert "encoder-mix" in out
+        assert "short-64" in out
+
+    def test_serve_unknown_workload_exits_2(self, capsys):
+        code, _, err = _run(capsys, "serve", "--workload", "warp-traffic",
+                            "--no-cache")
+        assert code == 2
+        assert "unknown workload" in err and "Traceback" not in err
+
+    def test_serve_negative_recertify_exits_2(self, capsys):
+        code, _, err = _run(capsys, "serve", "--recertify", "-1",
+                            "--no-cache")
+        assert code == 2
+        assert "--recertify" in err and "Traceback" not in err
+
+    @pytest.mark.parametrize("loads", ["", "0", "-5", "100,,200", "100,x"])
+    def test_serve_invalid_load_list_exits_2(self, capsys, loads):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--load", loads, "--no-cache"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--load" in err and "Traceback" not in err

@@ -150,6 +150,38 @@ class TestSpoolOrphanRequeue:
         assert spool.requeue_orphans(orphan_timeout_s=30.0) == []
         assert claimed.path.exists()
 
+    def test_stale_pending_job_is_not_instantly_orphaned(self, tmp_path):
+        # Regression: os.replace preserves the pending file's mtime, so a
+        # job that waited in pending/ longer than the orphan timeout used
+        # to look abandoned the moment it was claimed (before the worker's
+        # first heartbeat) -- and two workers would then execute it.  The
+        # claim must be touched at claim time.
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.enqueue("j.00000", _job_payload("j.00000", CHEAP))
+        pending = spool.pending_dir / "j.00000.json"
+        os.utime(pending, (1.0, 1.0))  # waited in pending since forever
+        claimed = spool.claim("slow-to-beat-worker")
+        assert claimed.path.stat().st_mtime > 1.0
+        assert spool.requeue_orphans(orphan_timeout_s=30.0) == []
+        assert claimed.path.exists()
+
+    def test_requeue_defaults_to_the_fileserver_clock(self, tmp_path,
+                                                      monkeypatch):
+        # Regression: with `now` omitted, requeue_orphans used the
+        # submitter's local time.time() -- exactly the NFS clock-skew bug
+        # the fs_now docstring warns about.  Simulate a submitter whose
+        # local clock runs far ahead of the fileserver: filesystem mtimes
+        # (heartbeats, claims) are untouched by the monkeypatch, so a
+        # correct default must still see them as fresh.
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.enqueue("j.00000", _job_payload("j.00000", CHEAP))
+        claimed = spool.claim("alive-worker")
+        spool.beat("alive-worker")
+        skewed = time.time() + 1e8
+        monkeypatch.setattr("time.time", lambda: skewed)
+        assert spool.requeue_orphans(orphan_timeout_s=30.0) == []
+        assert claimed.path.exists()
+
     def test_job_id_filter_shields_co_tenant_submitters(self, tmp_path):
         spool = Spool(tmp_path / "spool").ensure()
         for job_id in ("mine.00000", "theirs.00000"):

@@ -1,0 +1,77 @@
+"""The serving cost table must be byte-exact to the scalar analytic runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import REGISTRY, run_sweep
+from repro.runner.scenarios import Scenario
+from repro.serve.cost import build_cost_table, engine_params
+from repro.serve.traffic import get_workload
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_cost_table(get_workload("encoder-mix"), 4)
+
+
+class TestCostTable:
+    def test_payloads_match_scalar_dse_encoder(self, table):
+        """Each (class, size) cell is exactly what a standalone analytic
+        ``dse_encoder`` run of that design point at that batch returns."""
+        workload = get_workload("encoder-mix")
+        runner = REGISTRY.runner("dse_encoder", "analytic")
+        for class_index in range(len(workload.classes)):
+            for size in (1, 3, 4):
+                scalar = runner(**engine_params(workload, class_index, size))
+                cell = table.payload(class_index, size)
+                assert json.dumps(cell, sort_keys=True) == json.dumps(
+                    scalar, sort_keys=True
+                )
+
+    def test_latency_grid_indexes_by_size(self, table):
+        workload = get_workload("encoder-mix")
+        for class_index in range(len(workload.classes)):
+            row = table.latency_s[class_index]
+            assert len(row) == 5  # padding + sizes 1..4
+            assert row[0] == 0.0
+            for size in range(1, 5):
+                assert row[size] == table.payload(class_index, size)["latency_s"]
+                assert row[size] > 0
+
+    def test_batch_cost_grows_sublinearly(self, table):
+        """Batching must amortise: a size-4 batch is costlier than size-1
+        but cheaper than four size-1 dispatches, else batching policies
+        would be pointless."""
+        for row in table.latency_s:
+            assert row[1] < row[4] < 4 * row[1]
+
+    def test_memoized_per_workload_and_batch_max(self, table):
+        assert build_cost_table(get_workload("encoder-mix"), 4) is table
+        assert build_cost_table(get_workload("encoder-mix"), 5) is not table
+
+    def test_batch_max_domain(self):
+        with pytest.raises(ValueError, match="batch_max"):
+            build_cost_table(get_workload("uniform-128"), 0)
+
+
+class TestEngineParams:
+    def test_recertification_scenario_upholds_the_contract(self):
+        """The exact engine scenario the re-certification pass would run
+        must bound the cost-table cell from above, with byte-identical
+        off-chip traffic -- the serve-side restatement of the DSE
+        verify-top contract."""
+        workload = get_workload("encoder-mix")
+        table = build_cost_table(workload, 4)
+        params = engine_params(workload, 0, 4)
+        assert params["batch"] == 4
+        [outcome] = run_sweep(
+            [Scenario(name="serve-cert-test/b4", kind="dse_encoder", params=params)],
+            backend="engine",
+        )
+        cell = table.payload(0, 4)
+        assert cell["latency_s"] <= outcome.result["latency_s"] * (1 + 1e-9)
+        assert cell["ddr_bytes"] == outcome.result["ddr_bytes"]
+        assert cell["lpddr_bytes"] == outcome.result["lpddr_bytes"]

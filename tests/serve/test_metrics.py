@@ -1,0 +1,90 @@
+"""Honest tail percentiles: hand-computed nearest-rank checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.metrics import downsample_timeline, latency_summary, percentile
+
+
+class TestPercentile:
+    def test_hand_computed_nearest_rank(self):
+        # n=10: p50 -> ceil(5)-1 = index 4; p90 -> ceil(9)-1 = index 8.
+        values = [float(v) for v in range(1, 11)]
+        assert percentile(values, 0.50) == (5.0, True)
+        assert percentile(values, 0.90) == (9.0, True)
+
+    def test_p99_exact_at_100_samples(self):
+        values = [float(v) for v in range(100)]
+        # ceil(0.99 * 100) - 1 = 98: the second-largest sample, observed.
+        assert percentile(values, 0.99) == (98.0, True)
+
+    def test_p999_under_1000_samples_widens_to_max(self):
+        values = [float(v) for v in range(999)]
+        value, exact = percentile(values, 0.999)
+        assert value == 998.0 and exact is False
+
+    def test_p999_at_1000_samples_is_exact(self):
+        # Nearest rank: ceil(0.999 * 1000) = 999, the 999th smallest.
+        values = [float(v) for v in range(1000)]
+        assert percentile(values, 0.999) == (998.0, True)
+
+    def test_strict_refuses_to_extrapolate(self):
+        with pytest.raises(ValueError, match="refusing to extrapolate"):
+            percentile([1.0, 2.0], 0.999, strict=True)
+
+    def test_empty_sample(self):
+        assert percentile([], 0.5) == (None, False)
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 0.5, strict=True)
+
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.1, 1.5])
+    def test_quantile_domain(self, q):
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], q)
+
+
+class TestLatencySummary:
+    def test_small_sample_flags_widened_tails(self):
+        summary = latency_summary([0.1, 0.2, 0.3])
+        assert summary["count"] == 3
+        assert summary["mean_s"] == pytest.approx(0.2)
+        assert summary["p50_s"] == 0.2 and summary["p50_exact"] is True
+        # 3 samples cannot resolve p99 or p999: both widen to the max.
+        assert summary["p99_s"] == 0.3 and summary["p99_exact"] is False
+        assert summary["p999_s"] == 0.3 and summary["p999_exact"] is False
+        assert summary["max_s"] == 0.3
+
+    def test_strict_raises_instead_of_widening(self):
+        with pytest.raises(ValueError):
+            latency_summary([0.1, 0.2, 0.3], strict=True)
+
+    def test_empty_sample_reports_nones(self):
+        summary = latency_summary([])
+        assert summary["count"] == 0
+        assert summary["mean_s"] is None
+        assert summary["p999_s"] is None and summary["p999_exact"] is False
+
+    def test_input_order_does_not_matter(self):
+        assert latency_summary([3.0, 1.0, 2.0]) == latency_summary([1.0, 2.0, 3.0])
+
+
+class TestDownsampleTimeline:
+    def test_short_timeline_passes_through(self):
+        timeline = [(0.1, 1), (0.2, 3)]
+        assert downsample_timeline(timeline) == [[0.1, 1], [0.2, 3]]
+
+    def test_long_timeline_is_bounded_and_keeps_endpoint(self):
+        timeline = [(float(i), i) for i in range(10_000)]
+        sampled = downsample_timeline(timeline, limit=512)
+        assert len(sampled) <= 512
+        assert sampled[0] == [0.0, 0]
+        assert sampled[-1] == [9999.0, 9999]
+
+    def test_deterministic(self):
+        timeline = [(float(i), i % 7) for i in range(5000)]
+        assert downsample_timeline(timeline) == downsample_timeline(timeline)
+
+    def test_limit_domain(self):
+        with pytest.raises(ValueError, match="limit"):
+            downsample_timeline([(0.0, 0)], limit=1)

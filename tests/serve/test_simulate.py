@@ -1,0 +1,222 @@
+"""The serving event loop: conservation, policy behaviour, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.simulate import run_serve_sim
+
+
+def conserved(result: dict) -> bool:
+    return (
+        result["completed"] + result["dropped"] + result["timed_out"]
+        == result["requests"]
+    )
+
+
+class TestConservation:
+    """Every issued request is exactly one of completed/dropped/timed out."""
+
+    @pytest.mark.parametrize("arrival", ["exponential", "bursty", "diurnal", "closed"])
+    @pytest.mark.parametrize("policy", ["static", "dynamic", "continuous"])
+    def test_all_arrivals_and_policies(self, arrival, policy):
+        result = run_serve_sim(
+            workload="encoder-mix",
+            arrival=arrival,
+            policy=policy,
+            rate=400.0,
+            requests=1500,
+            batch_max=8,
+            queue_depth=64,
+            timeout_s=0.5,
+            clients=32,
+            think_s=0.02,
+            seed=11,
+        )
+        assert conserved(result)
+        assert result["latency"]["count"] == result["completed"]
+
+    def test_unlimited_queue_completes_everything(self):
+        result = run_serve_sim(
+            workload="uniform-128",
+            arrival="exponential",
+            rate=150.0,
+            requests=2000,
+            queue_depth=10**9,
+            seed=3,
+        )
+        assert result["completed"] == result["requests"] == 2000
+        assert result["dropped"] == 0 and result["timed_out"] == 0
+
+
+class TestQueueBounds:
+    def test_depth_never_exceeds_the_limit(self):
+        result = run_serve_sim(
+            workload="encoder-mix",
+            arrival="bursty",
+            rate=2000.0,  # far beyond capacity: the queue must saturate
+            requests=3000,
+            queue_depth=32,
+            seed=4,
+        )
+        assert 0 < result["queue"]["max_depth"] <= 32
+        assert result["dropped"] > 0
+        assert all(depth <= 32 for _, depth in result["queue"]["timeline"])
+
+    def test_timeouts_purge_stale_requests(self):
+        overloaded = run_serve_sim(
+            workload="encoder-mix",
+            arrival="exponential",
+            policy="static",
+            rate=1500.0,
+            requests=2000,
+            queue_depth=512,
+            timeout_s=0.05,
+            seed=5,
+        )
+        assert overloaded["timed_out"] > 0
+        assert conserved(overloaded)
+        # No served latency may exceed timeout + the largest service time:
+        # requests past the deadline are purged at dispatch instants.
+        slowest = max(
+            entry["latency_s"] for entry in overloaded["batch_mix"]
+        )
+        assert overloaded["latency"]["max_s"] <= 0.05 + slowest + 1e-12
+
+
+class TestPolicies:
+    def test_static_waits_for_full_batches(self):
+        result = run_serve_sim(
+            workload="uniform-128",
+            arrival="exponential",
+            policy="static",
+            rate=300.0,
+            requests=4000,
+            batch_max=8,
+            queue_depth=10**9,
+            seed=6,
+        )
+        # Single class + no starvation pressure: all but the trailing flush
+        # dispatch exactly batch_max, so the mean sits just under 8.
+        assert result["batches"]["max_size"] == 8
+        assert result["batches"]["mean_size"] > 7.5
+
+    def test_continuous_dispatches_eagerly_at_low_load(self):
+        result = run_serve_sim(
+            workload="uniform-128",
+            arrival="exponential",
+            policy="continuous",
+            rate=20.0,  # sparse: the server is nearly always free
+            requests=1000,
+            batch_max=8,
+            seed=7,
+        )
+        assert result["batches"]["mean_size"] < 2.0
+
+    def test_dynamic_window_trades_latency_for_batching(self):
+        common = dict(
+            workload="uniform-128",
+            arrival="exponential",
+            policy="dynamic",
+            rate=200.0,
+            requests=4000,
+            batch_max=8,
+            seed=8,
+        )
+        short = run_serve_sim(window_s=0.001, **common)
+        long = run_serve_sim(window_s=0.05, **common)
+        assert long["batches"]["mean_size"] > short["batches"]["mean_size"]
+        assert long["latency"]["p50_s"] > short["latency"]["p50_s"]
+
+
+class TestClosedLoop:
+    def test_issues_exactly_the_budget(self):
+        result = run_serve_sim(
+            arrival="closed",
+            requests=800,
+            clients=16,
+            think_s=0.05,
+            seed=9,
+        )
+        assert result["requests"] == 800
+        assert conserved(result)
+        assert result["offered_load_rps"] is None
+        assert result["clients"] == 16
+
+    def test_in_flight_is_bounded_by_clients(self):
+        result = run_serve_sim(
+            arrival="closed",
+            requests=1000,
+            clients=8,
+            think_s=0.001,
+            queue_depth=10**9,
+            seed=10,
+        )
+        # Each client has at most one request outstanding.
+        assert result["queue"]["max_depth"] <= 8
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        kwargs = dict(
+            workload="chat-tiers",
+            arrival="bursty",
+            rate=500.0,
+            requests=3000,
+            queue_depth=128,
+            timeout_s=0.2,
+            seed=12,
+        )
+        first = run_serve_sim(**kwargs)
+        second = run_serve_sim(**kwargs)
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_different_seed_differs(self):
+        kwargs = dict(arrival="exponential", rate=300.0, requests=2000)
+        assert run_serve_sim(seed=1, **kwargs) != run_serve_sim(seed=2, **kwargs)
+
+
+class TestReportShape:
+    def test_batch_mix_accounts_for_every_completion(self):
+        result = run_serve_sim(
+            arrival="exponential", rate=250.0, requests=2000, seed=13
+        )
+        served = sum(
+            entry["count"] * entry["batch"] for entry in result["batch_mix"]
+        )
+        assert served == result["completed"]
+        assert result["batches"]["count"] == sum(
+            entry["count"] for entry in result["batch_mix"]
+        )
+        for entry in result["batch_mix"]:
+            assert entry["latency_s"] > 0
+            assert entry["ddr_bytes"] >= 0 and entry["lpddr_bytes"] >= 0
+
+    def test_goodput_and_utilization_are_consistent(self):
+        result = run_serve_sim(
+            arrival="exponential", rate=200.0, requests=2000, seed=14
+        )
+        assert result["goodput_rps"] == pytest.approx(
+            result["completed"] / result["horizon_s"]
+        )
+        assert 0.0 < result["utilization"] <= 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"requests": 0},
+            {"queue_depth": 0},
+            {"timeout_s": 0.0},
+            {"arrival": "closed", "clients": 0},
+            {"arrival": "closed", "think_s": 0.0},
+            {"policy": "nope"},
+            {"workload": "nope"},
+        ],
+    )
+    def test_bad_parameters_raise(self, kwargs):
+        params = dict(arrival="exponential", rate=100.0, requests=10, seed=0)
+        params.update(kwargs)
+        with pytest.raises((ValueError, KeyError)):
+            run_serve_sim(**params)

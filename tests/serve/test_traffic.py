@@ -1,0 +1,150 @@
+"""Traffic generation: M/M/1-style sanity, seeded replay, mix behaviour."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.serve.traffic import (
+    RequestClass,
+    Workload,
+    class_mixes,
+    generate_trace,
+    get_workload,
+    workload_names,
+)
+
+
+class TestCatalogue:
+    def test_names_and_lookup(self):
+        assert "encoder-mix" in workload_names()
+        workload = get_workload("encoder-mix")
+        assert len(workload.classes) == 3
+
+    def test_unknown_workload_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="encoder-mix"):
+            get_workload("nope")
+
+    def test_class_may_not_fix_batch(self):
+        with pytest.raises(ValueError, match="batch"):
+            RequestClass("bad", {"batch": 4})
+
+    def test_workload_rejects_duplicate_class_names(self):
+        cls = RequestClass("a", {"seq_len": 64})
+        with pytest.raises(ValueError, match="repeats"):
+            Workload("w", "d", (cls, cls))
+
+
+class TestExponentialArrivals:
+    """Hand-computed Poisson-process sanity: for rate R over n arrivals the
+    mean inter-arrival must approach 1/R and the variance (1/R)^2 -- the
+    exponential distribution's signature (CV = 1)."""
+
+    def test_mean_and_cv_match_poisson(self):
+        rate, count = 250.0, 50_000
+        times, _ = generate_trace(
+            get_workload("uniform-128"), "exponential", rate, count, 10, seed=1
+        )
+        gaps = [b - a for a, b in zip([0.0] + times[:-1], times)]
+        mean = sum(gaps) / count
+        var = sum((g - mean) ** 2 for g in gaps) / count
+        assert mean == pytest.approx(1.0 / rate, rel=0.02)
+        assert math.sqrt(var) / mean == pytest.approx(1.0, rel=0.03)
+
+    def test_times_strictly_increase(self):
+        times, _ = generate_trace(
+            get_workload("encoder-mix"), "exponential", 100.0, 2000, 10, seed=2
+        )
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+class TestBurstyArrivals:
+    def test_seeded_replay_is_byte_identical(self):
+        workload = get_workload("encoder-mix")
+        first = generate_trace(workload, "bursty", 300.0, 5000, 50, seed=9)
+        second = generate_trace(workload, "bursty", 300.0, 5000, 50, seed=9)
+        assert first == second
+
+    def test_different_seed_differs(self):
+        workload = get_workload("encoder-mix")
+        assert generate_trace(workload, "bursty", 300.0, 500, 50, seed=9) != \
+            generate_trace(workload, "bursty", 300.0, 500, 50, seed=10)
+
+    def test_mean_rate_is_preserved_but_gaps_clump(self):
+        # A switched Poisson process keeps the time-average rate but its
+        # inter-arrival CV must exceed the exponential baseline of 1.
+        rate, count = 250.0, 50_000
+        times, _ = generate_trace(
+            get_workload("uniform-128"), "bursty", rate, count, 10, seed=3,
+            burstiness=0.8)
+        mean = times[-1] / count
+        assert mean == pytest.approx(1.0 / rate, rel=0.1)
+        gaps = [b - a for a, b in zip([0.0] + times[:-1], times)]
+        gap_mean = sum(gaps) / count
+        var = sum((g - gap_mean) ** 2 for g in gaps) / count
+        assert math.sqrt(var) / gap_mean > 1.05
+
+    def test_burstiness_must_stay_below_one(self):
+        with pytest.raises(ValueError, match="burstiness"):
+            generate_trace(get_workload("uniform-128"), "bursty", 100.0, 10,
+                           1, seed=0, burstiness=1.0)
+
+
+class TestDiurnalArrivals:
+    def test_peak_half_outdraws_trough_half(self):
+        # rate(t) = R*(1 + 0.8*sin(2*pi*t/period)): the first half-period is
+        # the peak, the second the trough.
+        period = 10.0
+        times, _ = generate_trace(
+            get_workload("uniform-128"), "diurnal", 200.0, 4000, 10, seed=4,
+            period_s=period)
+        peak = sum(1 for t in times if (t % period) < period / 2)
+        trough = len(times) - peak
+        assert peak > 1.5 * trough
+
+
+class TestUserMixes:
+    def test_mixes_are_valid_distributions(self):
+        for name in workload_names():
+            for cumulative in class_mixes(get_workload(name)):
+                assert cumulative[-1] == 1.0
+                assert all(b >= a for a, b in zip(cumulative, cumulative[1:]))
+
+    def test_user_boost_skews_per_residue_mix(self):
+        workload = get_workload("encoder-mix")
+        mixes = class_mixes(workload)
+        base = [cls.weight for cls in workload.classes]
+        total = sum(base)
+        for residue, cumulative in enumerate(mixes):
+            probabilities = [
+                b - a for a, b in zip([0.0] + cumulative[:-1], cumulative)
+            ]
+            for index, p in enumerate(probabilities):
+                expected = base[index] * (2.0 if index == residue else 1.0)
+                assert p == pytest.approx(
+                    expected / (total + base[residue]), rel=1e-12)
+
+    def test_population_draws_cover_every_class(self):
+        _, classes = generate_trace(
+            get_workload("encoder-mix"), "exponential", 100.0, 3000, 100,
+            seed=5)
+        assert set(classes) == {0, 1, 2}
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": 0.0}, {"rate": -1.0}, {"count": 0}, {"users": 0},
+    ])
+    def test_bad_parameters_raise(self, kwargs):
+        params = {"rate": 100.0, "count": 10, "users": 1, "seed": 0}
+        params.update(kwargs)
+        with pytest.raises(ValueError):
+            generate_trace(get_workload("uniform-128"), "exponential",
+                           params["rate"], params["count"], params["users"],
+                           params["seed"])
+
+    def test_unknown_arrival_raises(self):
+        with pytest.raises(ValueError, match="arrival"):
+            generate_trace(get_workload("uniform-128"), "weibull", 100.0, 10,
+                           1, seed=0)
