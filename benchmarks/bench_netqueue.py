@@ -1,0 +1,82 @@
+"""Network spool round-trip throughput over a loopback ``spoold``.
+
+The tcp transport exists so sweeps can fan out across hosts with no shared
+filesystem, which only pays off if the per-job protocol overhead (enqueue,
+claim, result publish, result collection -- four round-trips plus payload
+bytes) stays far below the cost of even the cheapest analytic scenario.
+This benchmark drives a full job lifecycle for ``JOBS`` jobs through a real
+``SpoolServer`` on the loopback interface via ``NetSpool`` and holds a
+generous floor on lifecycles/second: the intent is to catch an
+accidentally-quadratic server op or a lost-Nagle regression, not to race
+the kernel's TCP stack.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from _helpers import run_once
+from repro.analysis.reporting import Table
+from repro.runner.netqueue import NetSpool, SpoolServer
+
+JOBS = 500
+
+#: floor on complete enqueue->claim->result->collect lifecycles per second
+#: over loopback.  Measured throughput is two orders of magnitude above
+#: this; the floor only trips on a complexity-class regression.
+LIFECYCLES_PER_S_FLOOR = 100.0
+
+
+def _measure(tmp_root):
+    server = SpoolServer(tmp_root / "bench-spool")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    submitter = NetSpool(server.url)
+    worker = NetSpool(server.url)
+    try:
+        submitter.ensure()
+        jobs = [
+            (f"bench.{index:08d}", {"scenario": "bench", "index": index})
+            for index in range(JOBS)
+        ]
+        start = time.perf_counter()
+        submitter.enqueue_many(jobs)
+        done = 0
+        while done < JOBS:
+            claimed = worker.claim("bench-worker")
+            if claimed is None:
+                break
+            worker.finish(claimed, {"ok": True, "job": claimed.job_id})
+            done += 1
+        results = submitter.take_results("bench.")
+        wall_s = time.perf_counter() - start
+        return done, len(results), wall_s
+    finally:
+        submitter.close()
+        worker.close()
+        server.shutdown()
+        server.close()
+        thread.join(timeout=10.0)
+
+
+def test_netqueue_lifecycle_throughput(benchmark, tmp_path):
+    done, collected, wall_s = run_once(benchmark, lambda: _measure(tmp_path))
+    rate = JOBS / wall_s
+
+    table = Table(
+        f"Network spool: {JOBS} job lifecycles over loopback tcp",
+        ["metric", "value"],
+    )
+    table.add_row("wall (s)", wall_s)
+    table.add_row("lifecycles/s", rate)
+    table.add_row("round-trips", JOBS * 3 + 1)
+    table.add_note(f"acceptance floor: {LIFECYCLES_PER_S_FLOOR:g} lifecycles/s")
+    table.print()
+
+    assert done == JOBS, f"worker drained only {done}/{JOBS} jobs"
+    assert collected == JOBS, f"collected only {collected}/{JOBS} results"
+    assert rate > LIFECYCLES_PER_S_FLOOR, (
+        f"{rate:.0f} lifecycles/s over loopback is below the "
+        f"{LIFECYCLES_PER_S_FLOOR:g}/s floor; the protocol has regressed"
+    )

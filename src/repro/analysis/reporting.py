@@ -20,6 +20,7 @@ __all__ = [
     "serve_certification_table",
     "serve_curve_table",
     "serve_summary_table",
+    "spool_status_table",
 ]
 
 
@@ -289,6 +290,58 @@ def serve_certification_table(records) -> Table:
         "contract: analytic latency is a lower bound on engine latency "
         "with byte-identical DDR/LPDDR traffic (same as DSE verify-top)"
     )
+    return table
+
+
+def spool_status_table(status, target: str = "") -> Table:
+    """A live work-queue snapshot (``spool --status``) as a table.
+
+    ``status`` is the dict :meth:`repro.runner.executors.Spool.status`
+    returns (the ``spoold`` server serves the same shape plus its requeue
+    counters).  One row per worker -- the union of heartbeating workers and
+    workers currently holding claims, so a worker that died mid-job still
+    shows up with its stuck claims; throughput is derived from the
+    ``processed``/``started`` counters heartbeats publish.
+    """
+    now = status.get("now", 0.0)
+    claims_by_worker: dict = {}
+    for claim in status.get("claimed", ()):
+        claims_by_worker.setdefault(claim["worker"], []).append(claim)
+    workers = {worker["worker"]: worker for worker in status.get("workers", ())}
+    title = "Spool status" + (f" -- {target}" if target else "")
+    table = Table(
+        title,
+        ["worker", "beat age (s)", "processed", "jobs/s", "claimed",
+         "oldest claim (s)"],
+    )
+    for name in sorted(set(workers) | set(claims_by_worker)):
+        info = workers.get(name)
+        claims = claims_by_worker.get(name, [])
+        processed = info.get("processed") if info else None
+        started = info.get("started") if info else None
+        rate = None
+        if processed is not None and started is not None and now > started:
+            rate = processed / (now - started)
+        table.add_row(
+            name,
+            info["age_s"] if info else None,
+            processed,
+            rate,
+            len(claims),
+            max(claim["age_s"] for claim in claims) if claims else None,
+        )
+    table.add_note(
+        f"queue: {status.get('pending', 0)} pending job(s), "
+        f"{len(status.get('claimed', ()))} claimed, "
+        f"{status.get('results', 0)} uncollected result(s)"
+    )
+    requeues = status.get("requeues") or {}
+    if requeues:
+        total = sum(requeues.values())
+        table.add_note(
+            f"{total} orphan requeue(s) across {len(requeues)} job(s) "
+            "since the server started"
+        )
     return table
 
 

@@ -12,13 +12,17 @@ The runner turns the benchmark suite's ad-hoc scripts into data:
 * :mod:`repro.runner.executors` -- the pluggable execution policies:
   :class:`SerialExecutor`, :class:`ProcessPoolExecutor` (local
   ``multiprocessing`` pool), and :class:`WorkQueueExecutor` (distributed
-  fan-out over a shared spool directory, with the :class:`Spool` protocol);
+  fan-out over a spool transport: a shared :class:`Spool` directory, or a
+  ``tcp://`` job server -- :func:`open_spool` picks the transport);
+* :mod:`repro.runner.netqueue` -- the network transport: the ``spoold``
+  TCP job server (:class:`SpoolServer`) and its client (:class:`NetSpool`),
+  so submitters and workers need no shared filesystem;
 * :mod:`repro.runner.worker` -- the detached work-queue worker loop behind
   ``python -m repro.runner worker``;
 * :mod:`repro.runner.sweep` -- :func:`run_sweep`, which resolves cache hits
   and hands the rest to an executor;
 * :mod:`repro.runner.cli` -- ``python -m repro.runner`` (list / run / sweep /
-  explore / worker / cache subcommands).
+  explore / worker / spoold / spool / cache subcommands).
 
 Typical library use::
 
@@ -46,6 +50,8 @@ from .executors import (
     Spool,
     WorkQueueExecutor,
     default_executor,
+    format_job_id,
+    open_spool,
 )
 from .sweep import SweepOutcome, run_sweep
 from .worker import run_worker
@@ -69,6 +75,8 @@ __all__ = [
     "canonical_json",
     "code_version",
     "default_executor",
+    "format_job_id",
+    "open_spool",
     "run_sweep",
     "run_worker",
 ]

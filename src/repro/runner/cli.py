@@ -8,22 +8,33 @@ Usage (with ``PYTHONPATH=src``)::
     python -m repro.runner explore [--space S] [--strategy NAME] [options]
     python -m repro.runner serve [--workload W] [--arrival A] [--policy P]
                                  [--load R[,R...]] [options]
-    python -m repro.runner worker --spool DIR [--poll S] [--idle-exit S]
+    python -m repro.runner worker --spool TARGET [--poll S] [--idle-exit S]
+    python -m repro.runner spoold --spool DIR [--host H] [--port P]
+    python -m repro.runner spool TARGET (--status | --gc [--max-age S])
     python -m repro.runner cache (--show | --clear | --prune)
 
 Common options: ``--backend {engine,analytic}`` (event-driven simulation vs
 the closed-form fast model), ``--executor {serial,pool,workqueue}`` (the
 execution policy; default derived from ``--workers``), ``--workers N``
 (parallel worker processes; ``auto`` resolves to the machine's CPU count),
-``--spool DIR`` (the shared work-queue directory, required by ``--executor
-workqueue``), ``--cache-dir D`` (default ``.repro-cache``), ``--no-cache``,
-``--force`` (ignore cache hits but refresh entries), ``--json FILE`` (dump
-outcomes as JSON).
+``--spool TARGET`` (the work-queue spool -- a shared directory or a
+``tcp://host:port`` job-server URL -- required by ``--executor workqueue``),
+``--cache-dir D`` (default ``.repro-cache``), ``--no-cache``, ``--force``
+(ignore cache hits but refresh entries), ``--json FILE`` (dump outcomes as
+JSON).
 
-``worker`` attaches a detached work-queue worker to a spool directory: it
-claims jobs published by ``--executor workqueue`` sweeps (from this host or
-any other sharing the filesystem), executes them, and publishes results --
-see ``repro.runner.executors`` for the protocol.
+``worker`` attaches a detached work-queue worker to a spool: it claims jobs
+published by ``--executor workqueue`` sweeps (from this host or any other
+sharing the filesystem -- or any host that can reach the ``spoold`` server,
+for a ``tcp://`` spool), executes them, and publishes results -- see
+``repro.runner.executors`` for the protocol.
+
+``spoold`` serves a local spool directory over TCP
+(:mod:`repro.runner.netqueue`): submitters and workers pass the printed
+``tcp://host:port`` URL as their ``--spool`` and need no shared filesystem.
+``spool`` inspects any spool target: ``--status`` renders queue depth,
+claim ages, and per-worker throughput; ``--gc`` sweeps orphaned
+result/claim/heartbeat/scratch files older than ``--max-age``.
 
 ``explore`` searches a named design space on the analytic proxy backend and
 re-certifies the resulting Pareto frontier on the cycle-level engine
@@ -226,9 +237,11 @@ def _build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--spool",
             default=None,
-            help="work-queue spool directory shared with "
-            "`python -m repro.runner worker` processes "
-            "(required by --executor workqueue)",
+            help="work-queue spool shared with `python -m "
+            "repro.runner worker` processes: a shared "
+            "directory, or tcp://host:port of a "
+            "`spoold` job server (required by "
+            "--executor workqueue)",
         )
 
     def add_exec_options(cmd: argparse.ArgumentParser) -> None:
@@ -509,13 +522,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     worker_cmd = sub.add_parser(
-        "worker", help="attach a work-queue worker to a spool directory"
+        "worker", help="attach a work-queue worker to a spool"
     )
     worker_cmd.add_argument(
         "--spool",
         required=True,
         help="spool directory shared with the submitting "
-        "sweep (any host on the same filesystem)",
+        "sweep (any host on the same filesystem), or "
+        "tcp://host:port of a `spoold` job server "
+        "(no shared filesystem needed)",
     )
     worker_cmd.add_argument(
         "--poll",
@@ -542,6 +557,64 @@ def _build_parser() -> argparse.ArgumentParser:
         "--worker-id",
         default=None,
         help="spool-visible worker identity (default: " "<hostname>-<pid>)",
+    )
+
+    spoold_cmd = sub.add_parser(
+        "spoold",
+        help="serve a spool directory over TCP (the network "
+        "work-queue transport; no shared filesystem needed)",
+    )
+    spoold_cmd.add_argument(
+        "--spool",
+        required=True,
+        help="local directory holding the served queue state "
+        "(created if missing; restarting a server on the "
+        "same directory resumes the queue)",
+    )
+    spoold_cmd.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="address to bind (default: 127.0.0.1; use "
+        "0.0.0.0 to accept remote workers)",
+    )
+    spoold_cmd.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default: 0, an OS-assigned free "
+        "port, echoed on startup)",
+    )
+
+    spool_cmd = sub.add_parser(
+        "spool", help="inspect (--status) or garbage-collect (--gc) a spool"
+    )
+    spool_cmd.add_argument(
+        "target",
+        help="spool directory, or tcp://host:port of a " "`spoold` job server",
+    )
+    spool_group = spool_cmd.add_mutually_exclusive_group()
+    spool_group.add_argument(
+        "--status",
+        action="store_true",
+        help="render queue depth, claim ages, and per-worker "
+        "throughput (default)",
+    )
+    spool_group.add_argument(
+        "--gc",
+        action="store_true",
+        help="sweep orphaned result/claim/heartbeat/scratch "
+        "files older than --max-age (pending jobs are "
+        "never touched)",
+    )
+    spool_cmd.add_argument(
+        "--max-age",
+        type=_positive_float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="GC staleness threshold; files younger than "
+        "this -- or belonging to a worker that "
+        "heartbeat within it -- are kept "
+        "(default: 3600)",
     )
 
     cache_cmd = sub.add_parser("cache", help="inspect or clean the result cache")
@@ -839,6 +912,68 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_spoold(args: argparse.Namespace) -> int:
+    """The ``spoold`` subcommand: serve a spool directory over TCP until
+    interrupted.  Bind failures (port taken, bad host) are user errors."""
+    from .netqueue import SpoolServer
+
+    try:
+        server = SpoolServer(args.spool, host=args.host, port=args.port)
+    except (OSError, OverflowError, ValueError) as error:
+        return _fail(f"spoold: cannot bind {args.host}:{args.port}: {error}")
+    print(f"spoold serving {server.spool.root} on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("spoold interrupted", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
+def _run_spool(args: argparse.Namespace) -> int:
+    """The ``spool`` subcommand: live status (default) or GC, over either
+    transport -- the target is a directory or a ``tcp://`` server URL."""
+    from repro.analysis.reporting import spool_status_table
+
+    from .executors import open_spool
+    from .netqueue import NetSpoolError
+
+    target = str(args.target)
+    if not target.startswith("tcp://"):
+        from pathlib import Path
+
+        if not Path(target).is_dir():
+            return _fail(f"spool: no spool directory at {target}")
+    try:
+        spool = open_spool(target)
+    except ValueError as error:
+        return _fail(f"spool: {error}")
+    try:
+        if args.gc:
+            report = spool.gc(args.max_age)
+            removed = report["removed"]
+            total = sum(removed.values())
+            detail = ", ".join(
+                f"{count} {category}"
+                for category, count in sorted(removed.items())
+                if count
+            )
+            print(
+                f"removed {total} file(s) older than "
+                f"{report['max_age_s']:g}s"
+                + (f" ({detail})" if detail else "")
+                + f", kept {report['kept']} current file(s)"
+            )
+        else:
+            print(spool_status_table(spool.status(), target=spool.describe()).render())
+        return 0
+    except NetSpoolError as error:
+        return _fail(f"spool: {error}")
+    finally:
+        spool.close()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from . import library  # noqa: F401 -- populates the registry
 
@@ -907,6 +1042,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 130
         print(f"worker {worker_id} processed {processed} job(s)")
         return 0
+
+    if args.command == "spoold":
+        return _run_spoold(args)
+
+    if args.command == "spool":
+        return _run_spool(args)
 
     if args.command == "explore":
         return _run_explore(args)

@@ -9,11 +9,16 @@ how the scenarios that missed the cache actually get computed -- to an
   pool (the pre-executor ``run_sweep(workers=N)`` behaviour, including the
   per-worker segment-memo re-attachment).
 * :class:`WorkQueueExecutor` -- fan out to *detached* worker processes over
-  a shared **spool directory**.  Workers can run on any host that shares the
+  a **spool transport**.  The filesystem transport is a shared spool
+  directory (:class:`Spool`): workers can run on any host that shares the
   filesystem (``python -m repro.runner worker --spool DIR``); the executor
   enqueues JSON job files, workers claim them by atomic rename, results come
   back as JSON files, and a heartbeat/orphan-requeue protocol recovers jobs
-  whose worker died mid-flight.  See :class:`Spool` for the on-disk protocol.
+  whose worker died mid-flight.  The network transport
+  (:mod:`repro.runner.netqueue`) speaks the same contract to a ``python -m
+  repro.runner spoold`` job server over TCP (``--spool tcp://host:port``),
+  so submitters and workers need no shared filesystem at all.
+  :func:`open_spool` maps a path or URL to the right transport.
 
 The contract every executor honours is the repository-wide determinism
 contract: workers receive only JSON-able scenarios, and results are
@@ -47,6 +52,8 @@ __all__ = [
     "Spool",
     "WorkQueueExecutor",
     "default_executor",
+    "format_job_id",
+    "open_spool",
     "scenario_from_payload",
     "scenario_to_payload",
 ]
@@ -203,12 +210,49 @@ def _sanitize_id(identifier: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]", "_", identifier)
 
 
+#: zero-padding width of the per-batch job index.  Job ids must sort
+#: lexicographically in submission order (``Spool.claim`` hands out the
+#: smallest id first), so the width bounds the batch size: 8 digits keeps
+#: ordering intact out to 10^8 jobs per submission -- two orders of
+#: magnitude past the largest design-space sweeps on the roadmap.  (The old
+#: 5-digit width silently broke claim ordering at 100k jobs.)
+_JOB_INDEX_WIDTH = 8
+
+
+def format_job_id(batch: str, index: int) -> str:
+    """The id of job ``index`` of submission ``batch``; lexicographic order
+    over one batch's ids equals submission order for up to ``10 **
+    _JOB_INDEX_WIDTH`` jobs."""
+    return f"{batch}.{index:0{_JOB_INDEX_WIDTH}d}"
+
+
+def open_spool(target: os.PathLike) -> "Spool":
+    """Map a spool *target* -- a directory path, or a ``tcp://host:port``
+    job-server URL -- to the transport that speaks it.
+
+    Everything that accepts a spool (the work-queue executor, the worker
+    loop, the ``spool`` maintenance CLI) routes through here, so the network
+    transport is selectable anywhere a spool directory is today.
+    """
+    text = os.fspath(target) if not isinstance(target, str) else target
+    if isinstance(text, str) and text.startswith("tcp://"):
+        from .netqueue import NetSpool
+
+        return NetSpool(text)
+    return Spool(target)
+
+
 @dataclass(frozen=True)
 class _ClaimedJob:
     """One claimed spool job: its id and the claim file holding its payload."""
 
     job_id: str
     path: Path
+
+    def read(self) -> str:
+        """The raw job text; raises ``FileNotFoundError`` when the claim
+        vanished under us (orphan-requeued away by the submitter)."""
+        return self.path.read_text()
 
 
 class Spool:
@@ -242,10 +286,23 @@ class Spool:
     Multiple submitters may share one spool: job ids are prefixed with a
     per-submission unique batch id, and each submitter only collects (and
     requeues) its own jobs.
+
+    This class is also the reference implementation of the **spool
+    transport** contract -- the method surface
+    (``ensure``/``enqueue``/``claim``/``finish``/``take_results``/
+    ``requeue_orphans``/``beat``/``live_workers``/``abandon``/``status``/
+    ``gc``) the work-queue executor and the worker loop program against.
+    :class:`repro.runner.netqueue.NetSpool` implements the same surface over
+    a TCP job server, so neither side needs a shared filesystem;
+    :func:`open_spool` selects the transport from the spool target.
     """
 
     def __init__(self, root: os.PathLike):
         self.root = Path(root)
+        # Claim-order cache: one sorted directory listing amortised over many
+        # claims (see ``claim``), instead of re-globbing the whole pending
+        # directory per claim (O(n^2) over a large backlog).
+        self._pending_cache: List[Path] = []
 
     # ---------------------------------------------------------------- layout
 
@@ -276,6 +333,18 @@ class Spool:
             directory.mkdir(parents=True, exist_ok=True)
         return self
 
+    def describe(self) -> str:
+        """Human-readable spool target for error messages and logs."""
+        return str(self.root)
+
+    def close(self) -> None:
+        """Release transport resources; a directory spool holds none."""
+
+    def worker_log_dir(self) -> Path:
+        """Where locally spawned worker processes should write their logs."""
+        self.workers_dir.mkdir(parents=True, exist_ok=True)
+        return self.workers_dir
+
     # ------------------------------------------------------------------ jobs
 
     def enqueue(self, job_id: str, payload: Dict[str, Any]) -> Path:
@@ -283,6 +352,16 @@ class Spool:
         path = self.pending_dir / f"{job_id}.json"
         _write_json_atomic(self.pending_dir, path, payload)
         return path
+
+    def enqueue_many(self, jobs: Sequence[Tuple[str, Dict[str, Any]]]) -> int:
+        """Publish many ``(job_id, payload)`` jobs; returns the count.
+
+        On the directory transport this is a plain loop; the network
+        transport overrides it to batch jobs into few round-trips.
+        """
+        for job_id, payload in jobs:
+            self.enqueue(job_id, payload)
+        return len(jobs)
 
     def claim(self, worker_id: str) -> Optional[_ClaimedJob]:
         """Claim the oldest pending job for ``worker_id``, or ``None``.
@@ -295,13 +374,32 @@ class Spool:
         orphan detection falls back on -- a job that sat in ``pending/``
         longer than the orphan timeout would otherwise look abandoned the
         instant it was claimed, and two workers would execute it.
+
+        The sorted directory listing is cached on this instance and consumed
+        across calls, so claiming a backlog of n jobs costs O(n) listings in
+        total rather than O(n) *per claim* (O(n^2) at the 10^5-job scale the
+        roadmap targets).  Stale cache entries -- files another worker
+        claimed first -- lose the rename and are skipped; jobs enqueued
+        after a listing are picked up by the next one, so a snapshot can
+        only ever delay a new job by one cache drain, never starve it.
         """
         worker_id = _sanitize_id(worker_id)
-        try:
-            pending = sorted(self.pending_dir.glob("*.json"))
-        except OSError:
-            return None
-        for path in pending:
+        listed_fresh = False
+        while True:
+            if not self._pending_cache:
+                if listed_fresh:
+                    return None
+                try:
+                    # Reverse-sorted so pop() takes the smallest id first.
+                    self._pending_cache = sorted(
+                        self.pending_dir.glob("*.json"), reverse=True
+                    )
+                except OSError:
+                    return None
+                listed_fresh = True
+                if not self._pending_cache:
+                    return None
+            path = self._pending_cache.pop()
             job_id = path.stem
             target = self.claimed_dir / f"{job_id}@@{worker_id}.json"
             try:
@@ -315,21 +413,23 @@ class Spool:
             except OSError:
                 pass  # worst case the stale mtime risks one spurious requeue
             return _ClaimedJob(job_id=job_id, path=target)
-        return None
 
     def requeue_orphans(
         self,
         orphan_timeout_s: float,
         job_ids: Optional[Sequence[str]] = None,
         now: Optional[float] = None,
+        prefix: Optional[str] = None,
     ) -> List[str]:
         """Move abandoned claimed jobs back to ``pending/``.
 
         A claim is abandoned when its worker's heartbeat file -- or the
         claim file itself, for a worker that died before its first beat --
-        is older than ``orphan_timeout_s``.  ``job_ids`` restricts the scan
-        to one submitter's jobs (so co-tenant submitters never requeue each
-        other's work).  Returns the requeued job ids.
+        is older than ``orphan_timeout_s``.  ``job_ids`` (an explicit id
+        set) or ``prefix`` (a batch id prefix -- O(1) to ship over the
+        network transport, where a 10^5-id list per scan would not be)
+        restricts the scan to one submitter's jobs, so co-tenant submitters
+        never requeue each other's work.  Returns the requeued job ids.
 
         Staleness is judged against the *fileserver's* clock (see
         :meth:`fs_now`): when ``now`` is omitted it is sampled from the
@@ -346,6 +446,8 @@ class Spool:
             if not separator:
                 continue  # not a claim file of this protocol
             if wanted is not None and job_id not in wanted:
+                continue
+            if prefix is not None and not job_id.startswith(prefix):
                 continue
             heartbeat = self.workers_dir / f"{worker_id}.json"
             try:
@@ -375,16 +477,93 @@ class Spool:
     def result_path(self, job_id: str) -> Path:
         return self.results_dir / f"{job_id}.json"
 
+    def finish(self, claimed: _ClaimedJob, payload: Dict[str, Any]) -> bool:
+        """Publish the result of a claimed job and release the claim.
+
+        Returns whether the result was accepted.  On the directory transport
+        it always is -- a worker that lost its claim to an orphan requeue
+        still publishes a byte-identical result, so the overwrite is a
+        no-op by the determinism contract.  The network transport returns
+        ``False`` for a stale claim (the server has requeued the job away),
+        and the worker then drops the job from its processed count.
+        """
+        self.write_result(claimed.job_id, payload)
+        try:
+            claimed.path.unlink()
+        except OSError:
+            pass
+        return True
+
+    def take_results(self, prefix: str) -> Dict[str, str]:
+        """Consume every published result whose job id starts with
+        ``prefix``, returning ``{job_id: raw_text}``.
+
+        One directory listing per call (probing outstanding result paths
+        individually would be O(n) failed opens per poll against a
+        possibly-remote filesystem); the files are unlinked as they are
+        read, so each result is observed exactly once.  Raw text is
+        returned rather than parsed JSON so the submitter's
+        corrupted-result recovery works identically over every transport.
+        Transient filesystem errors yield an empty dict -- the caller polls
+        again.
+        """
+        try:
+            present = sorted(self.results_dir.glob(f"{prefix}*.json"))
+        except OSError:
+            return {}
+        taken: Dict[str, str] = {}
+        for path in present:
+            try:
+                raw = path.read_text()
+            except OSError:
+                continue  # mid-publish or vanished; next poll sees it
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            taken[path.stem] = raw
+        return taken
+
+    def abandon(self, prefix: str) -> None:
+        """Best-effort removal of one batch's unfinished spool files, so
+        shared spools do not accumulate jobs no submitter will collect.
+
+        Claims are withdrawn too (a worker mid-job already holds the parsed
+        payload, so removing its claim file does not disturb it); the one
+        leak this cannot prevent is a result file published *after* this
+        cleanup by a worker that was still executing -- bounded garbage
+        :meth:`gc` sweeps by result-file age.
+        """
+        for directory, pattern in (
+            (self.pending_dir, f"{prefix}*.json"),
+            (self.results_dir, f"{prefix}*.json"),
+            (self.claimed_dir, f"{prefix}*@@*.json"),
+        ):
+            try:
+                stale = list(directory.glob(pattern))
+            except OSError:
+                continue
+            for path in stale:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
     # ------------------------------------------------------------ heartbeats
 
     def beat(self, worker_id: str, info: Optional[Dict[str, Any]] = None) -> None:
-        """Refresh ``worker_id``'s heartbeat (content on first beat, mtime
-        after); failures are swallowed -- a missed beat only risks a
-        harmless requeue."""
+        """Refresh ``worker_id``'s heartbeat; failures are swallowed -- a
+        missed beat only risks a harmless requeue.
+
+        Without ``info`` the beat is a bare mtime touch (content written on
+        the first beat only).  With ``info`` the file is rewritten
+        atomically, so a worker can publish live counters -- processed
+        jobs, start time -- that ``spool --status`` renders as throughput.
+        """
         worker_id = _sanitize_id(worker_id)
         path = self.workers_dir / f"{worker_id}.json"
         try:
-            if path.exists():
+            if info is None and path.exists():
                 os.utime(path)
             else:
                 _write_json_atomic(
@@ -394,8 +573,17 @@ class Spool:
             pass
 
     def live_workers(self, within_s: float, now: Optional[float] = None) -> List[str]:
-        """Worker ids whose heartbeat is younger than ``within_s``."""
-        now = time.time() if now is None else now
+        """Worker ids whose heartbeat is younger than ``within_s``.
+
+        Like :meth:`requeue_orphans`, staleness is judged on the clock that
+        stamped the heartbeats: ``now`` defaults to :meth:`fs_now`, never to
+        the caller's local ``time.time()``.  (The old local-clock default
+        was the same NFS skew bug family -- a skewed submitter's
+        ``_check_for_dead_pool`` could falsely abort a sweep because live
+        external workers looked dead, or hang forever because dead ones
+        looked alive.)
+        """
+        now = self.fs_now("live-workers") if now is None else now
         alive = []
         for path in sorted(self.workers_dir.glob("*.json")):
             try:
@@ -420,29 +608,163 @@ class Spool:
         on a shared (e.g. NFS) spool, cross-host clock skew larger than the
         orphan timeout would otherwise make every fresh heartbeat look
         stale (or make dead workers look alive forever).  Touching a
-        caller-private scratch file and reading its mtime samples that
-        clock; local ``time.time()`` is the fallback when the touch fails.
-        The ``.clock`` suffix keeps the file invisible to every ``*.json``
-        glob in the protocol.
+        scratch file and reading its mtime samples that clock; local
+        ``time.time()`` is the fallback when the touch fails.  The scratch
+        name is unique per call (two callers sharing a token must never
+        race each other's unlink into the fallback) and removed before
+        returning -- earlier versions leaked one ``.clock`` file per token
+        forever; :meth:`gc` sweeps any stragglers from crashed callers.
+        The ``.clock`` suffix keeps the scratch invisible to every
+        ``*.json`` glob in the protocol.
         """
-        path = self.workers_dir / f"{_sanitize_id(token)}.clock"
+        path = self.workers_dir / (
+            f"{_sanitize_id(token)}-{uuid.uuid4().hex[:8]}.clock"
+        )
         try:
             path.touch()
-            return path.stat().st_mtime
+            stamp = path.stat().st_mtime
         except OSError:
             return time.time()
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return stamp
+
+    # ---------------------------------------------------------- maintenance
+
+    def status(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """A live snapshot of the spool: queue depth, claims, workers.
+
+        Ages are relative to the spool filesystem's clock (:meth:`fs_now`).
+        The returned dict is JSON-able; ``spool --status`` renders it via
+        :func:`repro.analysis.reporting.spool_status_table`, and the
+        ``spoold`` server serves the same shape (plus its requeue counters)
+        over the network transport.
+        """
+        now = self.fs_now("status") if now is None else now
+
+        def _listing(directory: Path, pattern: str) -> List[Path]:
+            try:
+                return sorted(directory.glob(pattern))
+            except OSError:
+                return []
+
+        claimed = []
+        for path in _listing(self.claimed_dir, "*.json"):
+            job_id, separator, worker_id = path.stem.partition("@@")
+            if not separator:
+                continue
+            try:
+                age_s = max(now - path.stat().st_mtime, 0.0)
+            except OSError:
+                continue
+            claimed.append({"job": job_id, "worker": worker_id, "age_s": age_s})
+        workers = []
+        for path in _listing(self.workers_dir, "*.json"):
+            try:
+                age_s = max(now - path.stat().st_mtime, 0.0)
+                info = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # heartbeat mid-rewrite; the next snapshot sees it
+            if not isinstance(info, dict):
+                info = {}
+            workers.append(
+                {
+                    "worker": path.stem,
+                    "age_s": age_s,
+                    "pid": info.get("pid"),
+                    "host": info.get("host"),
+                    "processed": info.get("processed"),
+                    "started": info.get("started"),
+                }
+            )
+        return {
+            "now": now,
+            "pending": len(_listing(self.pending_dir, "*.json")),
+            "results": len(_listing(self.results_dir, "*.json")),
+            "claimed": claimed,
+            "workers": workers,
+            "requeues": {},  # only the network server observes requeues
+        }
+
+    def gc(self, max_age_s: float, now: Optional[float] = None) -> Dict[str, Any]:
+        """Age-based sweep of the garbage the protocol admits to leaking:
+        results no submitter collected (abandoned batches), claims and
+        heartbeats of dead workers whose submitter is gone, ``.clock``
+        scratch files from crashed :meth:`fs_now` callers, and worker
+        ``.log`` files.  ``pending/`` is never touched -- a pending job is
+        a promise to some submitter, however old.
+
+        A file is garbage when it is older than ``max_age_s`` *and* (for
+        claims, heartbeats, and logs) its worker has not heartbeat within
+        ``max_age_s`` -- a live worker's long-running claim is work, not
+        garbage.  Ages are judged on the spool filesystem's clock.
+        Returns ``{"removed": {category: count}, "kept": count}``.
+        """
+        if max_age_s < 0:
+            raise ValueError(f"max_age_s must be >= 0, got {max_age_s}")
+        now = self.fs_now("gc") if now is None else now
+        live = set(self.live_workers(within_s=max_age_s, now=now))
+        removed = {"results": 0, "claims": 0, "heartbeats": 0, "clocks": 0, "logs": 0}
+        kept = 0
+
+        def _stale(path: Path) -> Optional[bool]:
+            try:
+                return now - path.stat().st_mtime > max_age_s
+            except OSError:
+                return None  # vanished mid-scan: neither removed nor kept
+
+        def _sweep(directory: Path, pattern: str, category: str, keep_workers):
+            nonlocal kept
+            try:
+                candidates = sorted(directory.glob(pattern))
+            except OSError:
+                return
+            for path in candidates:
+                if keep_workers is not None and keep_workers(path.stem) in live:
+                    kept += 1
+                    continue
+                stale = _stale(path)
+                if stale is None:
+                    continue
+                if not stale:
+                    kept += 1
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed[category] += 1
+
+        _sweep(self.results_dir, "*.json", "results", None)
+        _sweep(
+            self.claimed_dir,
+            "*.json",
+            "claims",
+            lambda stem: stem.partition("@@")[2],
+        )
+        _sweep(self.workers_dir, "*.json", "heartbeats", lambda stem: stem)
+        _sweep(self.workers_dir, "*.clock", "clocks", None)
+        _sweep(self.workers_dir, "*.log", "logs", lambda stem: stem)
+        return {"removed": removed, "kept": kept, "max_age_s": max_age_s}
 
 
 class WorkQueueExecutor(Executor):
-    """Fan scenarios out to detached worker processes over a shared spool.
+    """Fan scenarios out to detached worker processes over a spool transport.
 
-    Jobs carry the full JSON-able scenario (plus backend, segment-memo
-    directory, and the submitter's code version), so any worker that shares
-    the filesystem -- same host or not -- computes the byte-identical result
-    the submitting process would have.  Workers are started with ``python -m
-    repro.runner worker --spool DIR``; the executor can additionally spawn
-    ``local_workers`` such processes itself (terminated on :meth:`close`),
-    which is how the CLI gives ``--executor workqueue`` standalone capacity.
+    ``spool`` is either a directory on a filesystem all participants share
+    (the :class:`Spool` transport) or a ``tcp://host:port`` URL of a
+    ``python -m repro.runner spoold`` job server (the
+    :class:`~repro.runner.netqueue.NetSpool` transport -- no shared
+    filesystem required).  Jobs carry the full JSON-able scenario (plus
+    backend, segment-memo directory, and the submitter's code version), so
+    any worker reaching the spool -- same host or not -- computes the
+    byte-identical result the submitting process would have.  Workers are
+    started with ``python -m repro.runner worker --spool DIR|URL``; the
+    executor can additionally spawn ``local_workers`` such processes itself
+    (terminated on :meth:`close`), which is how the CLI gives ``--executor
+    workqueue`` standalone capacity.
 
     Failure handling:
 
@@ -481,7 +803,7 @@ class WorkQueueExecutor(Executor):
             raise ValueError(f"poll_s must be > 0, got {poll_s}")
         if orphan_timeout_s <= 0:
             raise ValueError(f"orphan_timeout_s must be > 0, got {orphan_timeout_s}")
-        self.spool = Spool(spool)
+        self.spool = open_spool(spool)
         self.local_workers = local_workers
         self.poll_s = poll_s
         self.orphan_timeout_s = orphan_timeout_s
@@ -506,9 +828,10 @@ class WorkQueueExecutor(Executor):
         env["PYTHONPATH"] = package_parent + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
         )
+        log_dir = self.spool.worker_log_dir()
         for _ in range(missing):
             worker_id = f"local-{os.getpid()}-{uuid.uuid4().hex[:6]}"
-            log = open(self.spool.workers_dir / f"{worker_id}.log", "ab")
+            log = open(log_dir / f"{worker_id}.log", "ab")
             self._logs.append(log)
             self._procs.append(
                 subprocess.Popen(
@@ -518,7 +841,7 @@ class WorkQueueExecutor(Executor):
                         "repro.runner",
                         "worker",
                         "--spool",
-                        str(self.spool.root),
+                        self.spool.describe(),
                         "--poll",
                         str(self.poll_s),
                         "--idle-exit",
@@ -550,6 +873,7 @@ class WorkQueueExecutor(Executor):
                 log.close()
             except OSError:
                 pass
+        self.spool.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
         try:
@@ -580,7 +904,7 @@ class WorkQueueExecutor(Executor):
         order: List[str] = []
         payloads: Dict[str, Dict[str, Any]] = {}
         for index, scenario in enumerate(scenarios):
-            job_id = f"{batch}.{index:05d}"
+            job_id = format_job_id(batch, index)
             payloads[job_id] = {
                 "job": job_id,
                 "scenario": scenario_to_payload(scenario),
@@ -590,12 +914,11 @@ class WorkQueueExecutor(Executor):
             }
             order.append(job_id)
         try:
-            for job_id in order:
-                self.spool.enqueue(job_id, payloads[job_id])
+            self.spool.enqueue_many([(job_id, payloads[job_id]) for job_id in order])
             self._spawn_local_workers()
             collected = self._collect(batch, order, payloads)
         except BaseException:
-            self._abandon(order)
+            self.spool.abandon(f"{batch}.")
             raise
         results = []
         for job_id in order:
@@ -618,40 +941,32 @@ class WorkQueueExecutor(Executor):
         requeues: Dict[str, int] = {}
         deadline = None if self.timeout_s is None else time.monotonic() + self.timeout_s
         last_orphan_scan = time.monotonic()
+        prefix = f"{batch}."
         while outstanding:
             progress = False
-            # One directory listing per pass, scoped to our batch: probing
-            # every outstanding result path individually would be O(n) failed
-            # opens per pass against a possibly-remote filesystem.
-            try:
-                present = {
-                    path.stem
-                    for path in self.spool.results_dir.glob(f"{batch}.*.json")
-                }
-            except OSError:
-                present = set()
-            for job_id in sorted(outstanding & present):
-                path = self.spool.result_path(job_id)
-                try:
-                    raw = path.read_text()
-                except OSError:
-                    continue
+            # One transport round-trip per pass, scoped to our batch by id
+            # prefix: probing outstanding results individually would be O(n)
+            # operations per pass against a possibly-remote spool.  Raw
+            # texts come back so corrupted-result recovery is
+            # transport-independent.
+            for job_id, raw in sorted(self.spool.take_results(prefix).items()):
+                if job_id not in outstanding:
+                    continue  # duplicate from a requeue race; drop it
+                progress = True
                 try:
                     payload = json.loads(raw)
                     if not isinstance(payload, dict):
                         raise ValueError("result is not a JSON object")
                 except (ValueError, json.JSONDecodeError):
-                    # Externally corrupted result file: retry the job.
-                    self._requeue(job_id, payloads, requeues, path)
-                    progress = True
+                    # Externally corrupted result: retry the job.
+                    self._requeue(job_id, payloads, requeues, "corrupted result")
                     continue
                 error = payload.get("error")
                 if error:
                     if error.get("type") == "corrupt-job":
-                        self._requeue(job_id, payloads, requeues, path)
-                        progress = True
+                        self._requeue(job_id, payloads, requeues, "corrupted job")
                         continue
-                    self._abandon(outstanding)
+                    self.spool.abandon(prefix)
                     raise RuntimeError(
                         f"workqueue job {job_id} "
                         f"({payloads[job_id]['scenario']['name']!r}) failed in "
@@ -659,7 +974,7 @@ class WorkQueueExecutor(Executor):
                         f"{error.get('message', error)}"
                     )
                 if payload.get("code_version") != code_version():
-                    self._abandon(outstanding)
+                    self.spool.abandon(prefix)
                     raise RuntimeError(
                         f"workqueue job {job_id} was executed by worker "
                         f"{payload.get('worker', '<unknown>')} running a "
@@ -669,24 +984,17 @@ class WorkQueueExecutor(Executor):
                     )
                 collected[job_id] = payload
                 outstanding.discard(job_id)
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-                progress = True
             if not outstanding:
                 break
             now = time.monotonic()
             if now - last_orphan_scan >= min(self.orphan_timeout_s, 1.0):
                 last_orphan_scan = now
                 for job_id in self.spool.requeue_orphans(
-                    self.orphan_timeout_s,
-                    job_ids=sorted(outstanding),
-                    now=self.spool.fs_now(f"submitter-{batch}"),
+                    self.orphan_timeout_s, prefix=prefix
                 ):
                     requeues[job_id] = requeues.get(job_id, 0) + 1
                     if requeues[job_id] > self.max_requeues:
-                        self._abandon(outstanding)
+                        self.spool.abandon(prefix)
                         raise RuntimeError(
                             f"workqueue job {job_id} was orphaned "
                             f"{requeues[job_id]} times (> max_requeues="
@@ -694,11 +1002,11 @@ class WorkQueueExecutor(Executor):
                         )
                 self._check_for_dead_pool(outstanding)
             if deadline is not None and now > deadline:
-                self._abandon(outstanding)
+                self.spool.abandon(prefix)
                 raise TimeoutError(
                     f"workqueue sweep timed out after {self.timeout_s:g}s with "
                     f"{len(outstanding)} job(s) outstanding -- are any workers "
-                    f"attached to {self.spool.root}?"
+                    f"attached to {self.spool.describe()}?"
                 )
             if not progress:
                 time.sleep(self.poll_s)
@@ -709,7 +1017,7 @@ class WorkQueueExecutor(Executor):
         job_id: str,
         payloads: Dict[str, Dict[str, Any]],
         requeues: Dict[str, int],
-        result_path: Path,
+        reason: str,
     ) -> None:
         """Re-publish the pristine job after a recoverable failure."""
         requeues[job_id] = requeues.get(job_id, 0) + 1
@@ -717,12 +1025,8 @@ class WorkQueueExecutor(Executor):
             raise RuntimeError(
                 f"workqueue job {job_id} failed {requeues[job_id]} times "
                 f"(> max_requeues={self.max_requeues}); giving up.  Last "
-                f"result file: {result_path}"
+                f"failure: {reason}"
             )
-        try:
-            result_path.unlink()
-        except OSError:
-            pass
         self.spool.enqueue(job_id, payloads[job_id])
 
     def _check_for_dead_pool(self, outstanding: Sequence[str]) -> None:
@@ -739,33 +1043,8 @@ class WorkQueueExecutor(Executor):
             f"all {len(self._procs)} local workqueue worker(s) exited "
             f"(exit codes {codes}) with {len(outstanding)} job(s) "
             f"outstanding and no external workers heartbeating; see the "
-            f"worker logs under {self.spool.workers_dir}"
+            f"worker logs under {self.spool.worker_log_dir()}"
         )
-
-    def _abandon(self, job_ids: Sequence[str]) -> None:
-        """Best-effort removal of our unfinished spool files on failure, so
-        shared spools do not accumulate jobs no submitter will collect.
-
-        Claims are withdrawn too (a worker mid-job already holds the parsed
-        payload, so removing its claim file does not disturb it); the one
-        leak this cannot prevent is a result file published *after* this
-        cleanup by a worker that was still executing -- bounded garbage a
-        future spool GC can sweep by result-file age.
-        """
-        for job_id in list(job_ids):
-            paths = [
-                self.spool.pending_dir / f"{job_id}.json",
-                self.spool.result_path(job_id),
-            ]
-            try:
-                paths.extend(self.spool.claimed_dir.glob(f"{job_id}@@*.json"))
-            except OSError:
-                pass
-            for path in paths:
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
 
 
 #: CLI-selectable executor names (see ``repro.runner.cli``).

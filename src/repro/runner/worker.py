@@ -1,9 +1,11 @@
 """The detached work-queue worker: claim spool jobs, execute, publish.
 
-``python -m repro.runner worker --spool DIR`` runs :func:`run_worker` -- the
-consuming half of the :class:`~repro.runner.executors.Spool` protocol.  A
+``python -m repro.runner worker --spool DIR|tcp://host:port`` runs
+:func:`run_worker` -- the consuming half of the
+:class:`~repro.runner.executors.Spool` protocol, over either transport.  A
 worker is stateless and host-agnostic: it needs nothing but this source tree
-and the spool directory, so any machine sharing the filesystem can join an
+and the spool target, so any machine sharing the filesystem -- or, over the
+network transport, merely able to reach the ``spoold`` server -- can join an
 in-flight sweep (or leave it -- the submitter's orphan-requeue recovers jobs
 a dying worker held).
 
@@ -25,7 +27,7 @@ import traceback
 from typing import Any, Dict, Optional
 
 from .cache import code_version, configure_segment_memo
-from .executors import Spool, _ClaimedJob, scenario_from_payload
+from .executors import open_spool, scenario_from_payload
 
 __all__ = ["run_worker"]
 
@@ -38,26 +40,31 @@ def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
 
 
-def _execute(job_id: str, claim_path, worker_id: str) -> Optional[Dict[str, Any]]:
+def _execute(claimed, worker_id: str) -> Optional[Dict[str, Any]]:
     """Run one claimed job; returns a result payload, or ``None`` for a
     claim that vanished under us (no result should be published then).
 
-    Three failure shapes map to three result forms the submitter
-    distinguishes: a job file that cannot be parsed (``corrupt-job`` --
-    recoverable, the submitter rewrites the job), a code-version mismatch
-    (``version-mismatch`` -- fatal, the worker must be restarted from the
-    submitter's tree), and a scenario that raises (``exception`` -- fatal,
-    mirrors the in-process behaviour).  ``KeyboardInterrupt``/``SystemExit``
-    are deliberately *not* caught: a killed worker must look like a dead
-    worker (claim left behind, recovered by orphan requeue), not like a
-    failed scenario.
+    ``claimed`` is either transport's claim object; its ``read()`` returns
+    the raw job text (local on the network transport -- the payload
+    travelled with the claim).  Three failure shapes map to three result
+    forms the submitter distinguishes: a job file that cannot be parsed
+    (``corrupt-job`` -- recoverable, the submitter rewrites the job), a
+    code-version mismatch (``version-mismatch`` -- fatal, the worker must
+    be restarted from the submitter's tree), and a scenario that raises
+    (``exception`` -- fatal, mirrors the in-process behaviour).
+    ``KeyboardInterrupt``/``SystemExit`` are deliberately *not* caught: a
+    killed worker must look like a dead worker (claim left behind,
+    recovered by orphan requeue), not like a failed scenario.
     """
+    job_id = claimed.job_id
     try:
-        raw = claim_path.read_text()
+        raw = claimed.read()
     except FileNotFoundError:
         # The submitter orphan-requeued this claim while we were stalled
         # (clock pause, filesystem hang): the job belongs to someone else
         # now.  Publishing anything would clobber the new owner's result.
+        # (The network transport catches the equivalent race server-side:
+        # a stale claim's result is dropped at publish time instead.)
         return None
     except OSError as error:
         return {
@@ -122,7 +129,8 @@ def run_worker(
     max_jobs: Optional[int] = None,
     worker_id: Optional[str] = None,
 ) -> int:
-    """Consume jobs from ``spool_dir`` until told to stop; returns the
+    """Consume jobs from the spool at ``spool_dir`` -- a directory or a
+    ``tcp://host:port`` job-server URL -- until told to stop; returns the
     number of jobs processed.
 
     Parameters
@@ -142,14 +150,22 @@ def run_worker(
     # Populate the kind registry before the first claim, not per job.
     from . import library  # noqa: F401
 
-    spool = Spool(spool_dir).ensure()
+    spool = open_spool(spool_dir).ensure()
     worker_id = worker_id or default_worker_id()
     stop = threading.Event()
+    # Shared with the heartbeat thread, which publishes it as live status:
+    # ``spool --status`` derives per-worker throughput from processed/started.
+    stats = {"processed": 0}
+    info_base = {
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+        "started": spool.fs_now(f"{worker_id}-start"),
+    }
 
     def heartbeat() -> None:
         while not stop.is_set():
             spool.beat(
-                worker_id, info={"pid": os.getpid(), "host": socket.gethostname()}
+                worker_id, info={**info_base, "processed": stats["processed"]}
             )
             stop.wait(HEARTBEAT_INTERVAL_S)
 
@@ -157,11 +173,10 @@ def run_worker(
         target=heartbeat, name=f"spool-heartbeat-{worker_id}", daemon=True
     )
     beat_thread.start()
-    processed = 0
     idle_since = time.monotonic()
     try:
-        while max_jobs is None or processed < max_jobs:
-            claimed: Optional[_ClaimedJob] = spool.claim(worker_id)
+        while max_jobs is None or stats["processed"] < max_jobs:
+            claimed = spool.claim(worker_id)
             if claimed is None:
                 if (
                     idle_exit_s is not None
@@ -170,18 +185,18 @@ def run_worker(
                     break
                 time.sleep(poll_s)
                 continue
-            result = _execute(claimed.job_id, claimed.path, worker_id)
+            result = _execute(claimed, worker_id)
             idle_since = time.monotonic()
             if result is None:
                 continue  # lost the claim to an orphan requeue
-            spool.write_result(claimed.job_id, result)
-            try:
-                claimed.path.unlink()
-            except OSError:
-                pass
-            processed += 1
+            if spool.finish(claimed, result):
+                stats["processed"] += 1
+            # A rejected (stale-claim) result means the job was requeued to
+            # another worker while we ran it; nothing to do -- the other
+            # worker's byte-identical result is the one that counts.
     finally:
         stop.set()
         beat_thread.join(timeout=HEARTBEAT_INTERVAL_S + 1.0)
         spool.clear_heartbeat(worker_id)
-    return processed
+        spool.close()
+    return stats["processed"]

@@ -1,13 +1,15 @@
-"""Differential pin: serial == pool == workqueue, byte for byte.
+"""Differential pin: serial == pool == workqueue(fs) == workqueue(tcp).
 
 The executor layer's entire safety argument is that execution *policy* is
 invisible in the results: scenarios are JSON-able data, runners are
 deterministic, so a sweep computed in-process, on a local pool, or by
-detached work-queue workers on another host must produce byte-identical
+detached work-queue workers on another host -- over a shared spool
+directory or a TCP job server -- must produce byte-identical
 ``SweepOutcome`` lists.  This suite pins that differentially over a mixed
 engine/analytic scenario set, cached and uncached, and exercises the spool
-protocol's recovery paths (orphaned claims, corrupted job files) end to end
-against a live submitter.
+protocol's recovery paths (orphaned claims, corrupted job files, killed
+workers, server restarts) end to end against a live submitter on both
+transports.
 """
 
 from __future__ import annotations
@@ -17,9 +19,24 @@ import os
 import threading
 import time
 
+import pytest
+
 from repro.runner import (REGISTRY, ProcessPoolExecutor, ResultCache,
                           WorkQueueExecutor, canonical_json, run_sweep,
                           run_worker)
+from repro.runner.netqueue import NetSpool, SpoolServer
+
+
+@pytest.fixture()
+def spoold(tmp_path):
+    """A live ``spoold`` server over a tmp spool directory."""
+    server = SpoolServer(tmp_path / "served-spool", host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.close()
+    thread.join(timeout=5.0)
 
 #: cheap engine-backend scenarios (synthetic chains + closed-form kinds).
 ENGINE_SET = [
@@ -105,6 +122,26 @@ class TestExecutorEquivalence:
         assert not list(wq.spool.pending_dir.glob("*.json"))
 
 
+class TestNetworkTransportEquivalence:
+    """The tentpole pin: a sweep whose submitter and workers are connected
+    only by a ``tcp://`` URL (no shared directory anywhere in the executor's
+    view) is byte-identical to ``SerialExecutor``."""
+
+    def test_tcp_workqueue_matches_serial_byte_for_byte(self, spoold):
+        serial_engine = run_sweep(ENGINE_SET, backend="engine")
+        serial_analytic = run_sweep(ANALYTIC_SET, backend="analytic")
+        with WorkQueueExecutor(spoold.url, local_workers=2,
+                               poll_s=0.02, timeout_s=600.0) as wq:
+            tcp_engine = run_sweep(ENGINE_SET, backend="engine", executor=wq)
+            tcp_analytic = run_sweep(ANALYTIC_SET, backend="analytic",
+                                     executor=wq)
+        assert _strip(serial_engine) == _strip(tcp_engine)
+        assert _strip(serial_analytic) == _strip(tcp_analytic)
+        # Nothing of the batch survives on the served spool.
+        assert not list(spoold.spool.pending_dir.glob("*.json"))
+        assert not list(spoold.spool.results_dir.glob("*.json"))
+
+
 class TestSpoolRecovery:
     """Failure injection against a live submitter, with the worker driven
     in-process so every interleaving is deterministic."""
@@ -180,3 +217,76 @@ class TestSpoolRecovery:
         assert not thread.is_alive() and "error" not in box
         assert [canonical_json(r[1]) for r in box["results"]] == \
             [canonical_json(o.result) for o in serial]
+
+    def test_tcp_worker_kill_is_recovered_mid_sweep(self, spoold):
+        # The network-transport half of the orphan story: a TCP worker
+        # claims a job and is killed (its connection simply stops talking;
+        # the claim and its payload live server-side).  The submitter's
+        # orphan scan -- judged entirely on the server's clock -- requeues
+        # it, and a healthy TCP worker completes the sweep byte-identically.
+        name = "table6b/charm-1024"
+        serial = run_sweep([name])
+        executor = WorkQueueExecutor(spoold.url, local_workers=0,
+                                     poll_s=0.01, orphan_timeout_s=0.5,
+                                     timeout_s=120.0)
+        thread, box = self._submit_async(executor, [name])
+        self._wait_for(
+            lambda: list(spoold.spool.pending_dir.glob("*.json")),
+            message="job publication over tcp")
+        zombie = NetSpool(spoold.url).ensure()
+        claimed = zombie.claim("zombie-tcp-worker")
+        assert claimed is not None
+        zombie.close()  # the kill: no heartbeat will ever arrive
+        # Death certificate on the *server's* clock: backdate the
+        # server-side claim file.
+        (claim_file,) = spoold.spool.claimed_dir.glob("*.json")
+        os.utime(claim_file, (1.0, 1.0))
+        processed = run_worker(spoold.url, poll_s=0.01, max_jobs=1,
+                               idle_exit_s=60.0,
+                               worker_id="healthy-tcp-worker")
+        assert processed == 1
+        thread.join(timeout=60.0)
+        assert not thread.is_alive() and "error" not in box
+        assert [canonical_json(r[1]) for r in box["results"]] == \
+            [canonical_json(o.result) for o in serial]
+
+    def test_server_restart_with_jobs_in_flight_completes(self, tmp_path):
+        # The queue state is the server's disk, so killing spoold with jobs
+        # enqueued and restarting it on the same directory + port loses
+        # nothing: the blocked submitter and a late worker both reconnect
+        # and the sweep finishes byte-identically.
+        name = "table6b/charm-1024"
+        serial = run_sweep([name])
+        first = SpoolServer(tmp_path / "served-spool", host="127.0.0.1",
+                            port=0)
+        port = first.address[1]
+        server_thread = threading.Thread(target=first.serve_forever,
+                                         daemon=True)
+        server_thread.start()
+        executor = WorkQueueExecutor(first.url, local_workers=0,
+                                     poll_s=0.01, timeout_s=120.0)
+        thread, box = self._submit_async(executor, [name])
+        self._wait_for(
+            lambda: list(first.spool.pending_dir.glob("*.json")),
+            message="job publication before the restart")
+        first.shutdown()
+        first.close()
+        server_thread.join(timeout=5.0)
+        second = SpoolServer(tmp_path / "served-spool", host="127.0.0.1",
+                             port=port)
+        server_thread = threading.Thread(target=second.serve_forever,
+                                         daemon=True)
+        server_thread.start()
+        try:
+            processed = run_worker(second.url, poll_s=0.01, max_jobs=1,
+                                   idle_exit_s=60.0,
+                                   worker_id="post-restart-worker")
+            assert processed == 1
+            thread.join(timeout=60.0)
+            assert not thread.is_alive() and "error" not in box
+            assert [canonical_json(r[1]) for r in box["results"]] == \
+                [canonical_json(o.result) for o in serial]
+        finally:
+            second.shutdown()
+            second.close()
+            server_thread.join(timeout=5.0)

@@ -355,6 +355,128 @@ class TestWorkerCommand:
         assert "--poll" in capsys.readouterr().err
 
 
+class TestSpoolCommands:
+    """``spool --status`` / ``spool --gc`` over both transports, and the
+    ``spoold`` server's user-error handling."""
+
+    def _live_spool(self, tmp_path):
+        from repro.runner.executors import Spool
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.enqueue("cli.00000000", {"job": "cli.00000000"})
+        spool.beat("cli-worker", info={"pid": 1, "host": "h",
+                                       "processed": 4, "started": 1.0})
+        return spool
+
+    def test_spool_status_renders_queue_and_workers(self, capsys, tmp_path):
+        spool = self._live_spool(tmp_path)
+        code, out, err = _run(capsys, "spool", str(spool.root), "--status")
+        assert code == 0 and not err
+        assert "Spool status" in out
+        assert "cli-worker" in out
+        assert "1 pending job(s)" in out
+
+    def test_spool_status_is_the_default_action(self, capsys, tmp_path):
+        spool = self._live_spool(tmp_path)
+        code, out, _ = _run(capsys, "spool", str(spool.root))
+        assert code == 0
+        assert "Spool status" in out
+
+    def test_spool_gc_sweeps_and_reports(self, capsys, tmp_path):
+        import os
+        spool = self._live_spool(tmp_path)
+        spool.write_result("old.00000000", {"job": "old.00000000"})
+        for path in spool.root.rglob("*.json"):
+            os.utime(path, (1.0, 1.0))
+        code, out, err = _run(capsys, "spool", str(spool.root),
+                              "--gc", "--max-age", "60")
+        assert code == 0 and not err
+        assert "removed 2 file(s)" in out  # result + heartbeat; pending kept
+        assert (spool.pending_dir / "cli.00000000.json").exists()
+
+    def test_spool_gc_is_a_no_op_on_a_clean_spool(self, capsys, tmp_path):
+        from repro.runner.executors import Spool
+        Spool(tmp_path / "spool").ensure()
+        code, out, _ = _run(capsys, "spool", str(tmp_path / "spool"), "--gc")
+        assert code == 0
+        assert "removed 0 file(s)" in out
+
+    def test_spool_missing_directory_exits_2(self, capsys, tmp_path):
+        code, _, err = _run(capsys, "spool", str(tmp_path / "nowhere"))
+        assert code == 2
+        assert "no spool directory" in err
+
+    def test_spool_status_and_gc_are_mutually_exclusive(self, capsys,
+                                                        tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["spool", str(tmp_path), "--status", "--gc"])
+        assert excinfo.value.code == 2
+
+    def test_spool_status_over_tcp(self, capsys, tmp_path):
+        import threading
+        from repro.runner.netqueue import SpoolServer
+        server = SpoolServer(tmp_path / "spool", host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            server.spool.enqueue("cli.00000000", {"job": "cli.00000000"})
+            code, out, err = _run(capsys, "spool", server.url, "--status")
+            assert code == 0 and not err
+            assert server.url in out
+            assert "1 pending job(s)" in out
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=5.0)
+
+    def test_spool_unreachable_server_exits_2(self, capsys):
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code, _, err = _run(capsys, "spool", f"tcp://127.0.0.1:{port}",
+                            "--status")
+        assert code == 2
+        assert "unreachable" in err
+
+    def test_spoold_unbindable_port_exits_2(self, capsys, tmp_path):
+        code, _, err = _run(capsys, "spoold",
+                            "--spool", str(tmp_path / "spool"),
+                            "--port", "70000")
+        assert code == 2
+        assert "cannot bind" in err
+
+    def test_worker_attaches_over_tcp(self, capsys, tmp_path):
+        import threading
+        from repro.runner import REGISTRY, canonical_json
+        from repro.runner.cache import code_version
+        from repro.runner.executors import scenario_to_payload
+        from repro.runner.netqueue import SpoolServer
+        server = SpoolServer(tmp_path / "spool", host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            scenario = REGISTRY.get("table6b/charm-1024")
+            server.spool.enqueue("cli.00000000", {
+                "job": "cli.00000000",
+                "scenario": scenario_to_payload(scenario),
+                "backend": "engine", "segment_memo_dir": None,
+                "code_version": code_version(),
+            })
+            code, out, _ = _run(capsys, "worker", "--spool", server.url,
+                                "--poll", "0.01", "--max-jobs", "1")
+            assert code == 0
+            assert "processed 1 job(s)" in out
+            result = json.loads(
+                server.spool.result_path("cli.00000000").read_text())
+            assert canonical_json(result["result"]) == \
+                canonical_json(REGISTRY.run(scenario))
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=5.0)
+
+
 class TestExploreProxyAndWeights:
     def test_batched_proxy_end_to_end(self, capsys, tmp_path):
         code, out, err = _run(capsys, "explore", "--space", "encoder-smoke",

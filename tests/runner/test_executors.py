@@ -20,7 +20,8 @@ from repro.runner import REGISTRY, canonical_json
 from repro.runner.cache import code_version
 from repro.runner.executors import (ProcessPoolExecutor, SerialExecutor, Spool,
                                     WorkQueueExecutor, default_executor,
-                                    scenario_from_payload, scenario_to_payload)
+                                    format_job_id, scenario_from_payload,
+                                    scenario_to_payload)
 from repro.runner.scenarios import Scenario
 from repro.runner.worker import run_worker
 
@@ -126,6 +127,38 @@ class TestSpoolClaims:
         spool.beat("host/with:odd chars")
         assert spool.live_workers(within_s=60.0)
 
+    def test_job_ids_sort_lexicographically_past_100k(self):
+        # Regression: f"{batch}.{index:05d}" overflowed its zero-padding at
+        # 100k jobs, so lexicographic claim order diverged from submission
+        # order exactly at the roadmap's DSE scale ("b.100000" < "b.99999"
+        # as strings).
+        indices = [0, 9, 99998, 99999, 100000, 100001, 10**6, 10**7]
+        ids = [format_job_id("b", index) for index in indices]
+        assert ids == sorted(ids)
+
+    def test_claim_cache_tolerates_contention_and_late_enqueues(self,
+                                                                tmp_path):
+        # Two worker processes (two Spool instances) interleave claims over
+        # one backlog: the listing cache must skip entries another worker
+        # claimed first, never hand out a job twice, and still see jobs
+        # enqueued after its snapshot.
+        mine = Spool(tmp_path / "spool").ensure()
+        other = Spool(tmp_path / "spool")
+        for index in range(4):
+            job_id = format_job_id("b", index)
+            mine.enqueue(job_id, _job_payload(job_id, CHEAP))
+        assert mine.claim("w1").job_id == "b.00000000"
+        # The rival drains two jobs out from under `mine`'s cached listing.
+        assert other.claim("w2").job_id == "b.00000001"
+        assert other.claim("w2").job_id == "b.00000002"
+        assert mine.claim("w1").job_id == "b.00000003"  # stale entries skipped
+        assert mine.claim("w1") is None
+        late = format_job_id("b", 4)
+        mine.enqueue(late, _job_payload(late, CHEAP))
+        assert mine.claim("w1").job_id == late  # fresh listing finds it
+        claimed = {path.stem for path in mine.claimed_dir.glob("*.json")}
+        assert len(claimed) == 5  # every job claimed exactly once
+
 
 class TestSpoolOrphanRequeue:
     def test_stale_claim_is_requeued_with_identical_payload(self, tmp_path):
@@ -195,6 +228,99 @@ class TestSpoolOrphanRequeue:
         assert not (spool.pending_dir / "theirs.00000.json").exists()
 
 
+class TestSpoolLivenessAndMaintenance:
+    def test_live_workers_defaults_to_the_fileserver_clock(self, tmp_path,
+                                                           monkeypatch):
+        # Regression: with `now` omitted, live_workers judged heartbeat
+        # mtimes against the submitter-local time.time() -- the same NFS
+        # clock-skew family as the requeue_orphans bug.  A skewed
+        # submitter's _check_for_dead_pool would then falsely abort a sweep
+        # (live external workers look dead) or hang forever (dead ones look
+        # alive).  Heartbeat mtimes are untouched by the monkeypatch, so a
+        # correct default must still see the worker as live.
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.beat("external-worker")
+        skewed = time.time() + 1e8
+        monkeypatch.setattr("time.time", lambda: skewed)
+        assert spool.live_workers(within_s=30.0) == ["external-worker"]
+
+    def test_beat_with_info_publishes_live_counters(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.beat("w1", info={"pid": 7, "host": "h", "processed": 0,
+                               "started": 1000.0})
+        spool.beat("w1", info={"pid": 7, "host": "h", "processed": 42,
+                               "started": 1000.0})
+        (record,) = spool.status()["workers"]
+        assert record["worker"] == "w1"
+        assert record["processed"] == 42
+        assert record["pid"] == 7
+
+    def test_status_reports_queue_depth_and_claim_ages(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        for index in range(3):
+            job_id = format_job_id("b", index)
+            spool.enqueue(job_id, _job_payload(job_id, CHEAP))
+        claimed = spool.claim("w1")
+        os.utime(claimed.path, (1.0, 1.0))
+        status = spool.status()
+        assert status["pending"] == 2
+        assert status["results"] == 0
+        (claim,) = status["claimed"]
+        assert claim["job"] == "b.00000000" and claim["worker"] == "w1"
+        assert claim["age_s"] > 1e6  # backdated to the epoch's first second
+
+    def test_fs_now_leaves_no_clock_scratch_behind(self, tmp_path):
+        # Regression: every fs_now call leaked one .clock file per token
+        # forever (and two callers sharing a token could race each other's
+        # scratch into the local-clock fallback).
+        spool = Spool(tmp_path / "spool").ensure()
+        for _ in range(3):
+            spool.fs_now("submitter")
+        assert not list(spool.workers_dir.glob("*.clock"))
+
+    def test_drained_spool_gcs_to_empty(self, tmp_path):
+        # Leak inventory after a batch whose submitter vanished and whose
+        # workers died: uncollected results, a dead worker's claim +
+        # heartbeat + log, and a crashed caller's fs_now scratch.  One GC
+        # pass must sweep all of it.
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.enqueue("b.00000000", _job_payload("b.00000000", CHEAP))
+        claimed = spool.claim("dead-worker")
+        spool.beat("dead-worker")
+        spool.write_result("b.00000001", {"job": "b.00000001"})
+        (spool.workers_dir / "crashed-caller.clock").touch()
+        (spool.workers_dir / "dead-worker.log").write_text("log tail\n")
+        for path in spool.root.rglob("*.*"):
+            os.utime(path, (1.0, 1.0))  # everything aged far past max_age
+        report = spool.gc(max_age_s=30.0)
+        assert report["removed"] == {"results": 1, "claims": 1,
+                                     "heartbeats": 1, "clocks": 1, "logs": 1}
+        for directory in (spool.claimed_dir, spool.results_dir,
+                          spool.workers_dir):
+            assert not list(directory.iterdir())
+        assert not claimed.path.exists()
+
+    def test_gc_spares_live_workers_and_pending_jobs(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        # A live worker's long-running claim is work, not garbage.
+        spool.enqueue("b.00000000", _job_payload("b.00000000", CHEAP))
+        claimed = spool.claim("busy-worker")
+        os.utime(claimed.path, (1.0, 1.0))
+        spool.beat("busy-worker")
+        # A pending job is a promise to some submitter, however old.
+        spool.enqueue("b.00000001", _job_payload("b.00000001", CHEAP))
+        os.utime(spool.pending_dir / "b.00000001.json", (1.0, 1.0))
+        report = spool.gc(max_age_s=30.0)
+        assert sum(report["removed"].values()) == 0
+        assert (spool.pending_dir / "b.00000001.json").exists()
+        assert claimed.path.exists()
+        assert spool.live_workers(within_s=30.0) == ["busy-worker"]
+
+    def test_gc_rejects_a_negative_age(self, tmp_path):
+        with pytest.raises(ValueError):
+            Spool(tmp_path / "spool").ensure().gc(max_age_s=-1.0)
+
+
 class TestWorkerLoop:
     """The worker loop run in-process (the subprocess path is covered by the
     differential suite and the CLI tests)."""
@@ -245,7 +371,7 @@ class TestWorkerLoop:
         spool.enqueue("j.00000", _job_payload("j.00000", CHEAP))
         claimed = spool.claim("stalled-worker")
         claimed.path.unlink()  # the orphan requeue, as seen by the worker
-        assert _execute(claimed.job_id, claimed.path, "stalled-worker") is None
+        assert _execute(claimed, "stalled-worker") is None
         assert not list(spool.results_dir.glob("*.json"))
 
     def test_fs_now_tracks_the_spool_filesystem_clock(self, tmp_path):
