@@ -2,12 +2,13 @@
 
 Usage (from the repository root)::
 
-    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr5.json]
+    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr8.json]
                                                [--check]
 
-Measures the three headline numbers of the simulation-throughput overhaul --
+Measures the headline numbers of the simulation-throughput overhaul --
 raw engine events/second, warm-vs-cold segment-memoized sweep time, and
-batched-vs-per-point analytic generation evaluation -- and writes them as one
+batched-vs-per-point analytic generation evaluation on both the single-chip
+and the multi-chip chiplet space -- and writes them as one
 JSON document.  CI runs this with ``--check`` (loose floors, tolerant of
 noisy shared runners) and uploads the file as the perf-trajectory artifact;
 future PRs append their own ``BENCH_prN.json`` next to it so regressions are
@@ -39,6 +40,10 @@ FLOORS = {
     "engine_events_per_s": 100_000.0,
     "segment_memo_speedup": 2.5,
     "analytic_batch_speedup": 2.0,
+    # The chiplet generation shares one tally across 9 link variants of each
+    # base design, so its batched floor sits above the single-chip bench's
+    # (measured ~7.7x cold on the PR 8 development container).
+    "chiplet_batch_speedup": 5.0,
 }
 
 
@@ -97,14 +102,31 @@ def measure_analytic_batch() -> dict:
     }
 
 
+def measure_chiplet_batch() -> dict:
+    """Per-point vs batched chiplet evaluation on the chiplet-encoder space."""
+    from bench_chiplet_batch import _measure
+
+    per_point, batched, warm, per_point_s, batched_s, warm_s = _measure()
+    assert batched == per_point, "batched chiplet payloads drifted"
+    return {
+        "points": len(per_point),
+        "per_point_s": per_point_s,
+        "batched_cold_s": batched_s,
+        "batched_warm_s": warm_s,
+        "speedup_cold": per_point_s / batched_s,
+        "speedup_warm": per_point_s / warm_s,
+    }
+
+
 def record() -> dict:
     from repro.runner.cache import code_version
 
     engine = measure_engine()
     memo = measure_segment_memo()
     batch = measure_analytic_batch()
+    chiplet = measure_chiplet_batch()
     return {
-        "bench": "pr5-executor-layer",
+        "bench": "pr8-chiplet-axis",
         "code_version": code_version(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "host": {
@@ -115,6 +137,7 @@ def record() -> dict:
         "engine_throughput": engine,
         "segment_memo": memo,
         "analytic_batch": batch,
+        "chiplet_batch": chiplet,
     }
 
 
@@ -124,6 +147,7 @@ def check(payload: dict) -> list:
         "engine_events_per_s": payload["engine_throughput"]["events_per_s"],
         "segment_memo_speedup": payload["segment_memo"]["speedup"],
         "analytic_batch_speedup": payload["analytic_batch"]["speedup_cold"],
+        "chiplet_batch_speedup": payload["chiplet_batch"]["speedup_cold"],
     }
     for name, floor in FLOORS.items():
         if measured[name] < floor:
@@ -133,8 +157,8 @@ def check(payload: dict) -> list:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_pr5.json",
-                        help="output path (default: BENCH_pr5.json)")
+    parser.add_argument("--output", default="BENCH_pr8.json",
+                        help="output path (default: BENCH_pr8.json)")
     parser.add_argument("--check", action="store_true",
                         help="fail (exit 1) when a measurement is below its "
                              "loose floor")
@@ -153,6 +177,10 @@ def main(argv=None) -> int:
     print(f"analytic batch: cold {batch['speedup_cold']:.1f}x / warm "
           f"{batch['speedup_warm']:.0f}x faster than per-point over "
           f"{batch['points']} points")
+    chiplet = payload["chiplet_batch"]
+    print(f"chiplet batch: cold {chiplet['speedup_cold']:.1f}x / warm "
+          f"{chiplet['speedup_warm']:.0f}x faster than per-point over "
+          f"{chiplet['points']} points")
     print(f"wrote {args.output}")
 
     if args.check:

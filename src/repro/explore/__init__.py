@@ -18,11 +18,14 @@ CLI: ``python -m repro.runner explore --strategy halving --budget 200``.
 """
 
 from .explore import (
+    COST_OBJECTIVES,
     DEFAULT_OBJECTIVES,
+    PIPELINE_THROUGHPUT_OBJECTIVE,
     ExplorationReport,
     FrontierPoint,
     Objective,
     VerifiedPoint,
+    objectives_for,
     resolve_batch_runner,
     run_exploration,
     validate_weights,
@@ -42,6 +45,7 @@ from .strategies import (
 
 __all__ = [
     "Axis",
+    "COST_OBJECTIVES",
     "Candidate",
     "Constraint",
     "DEFAULT_OBJECTIVES",
@@ -51,6 +55,7 @@ __all__ = [
     "FrontierPoint",
     "GridSearch",
     "Objective",
+    "PIPELINE_THROUGHPUT_OBJECTIVE",
     "RandomSearch",
     "SPACES",
     "STRATEGIES",
@@ -59,6 +64,7 @@ __all__ = [
     "VerifiedPoint",
     "get_space",
     "get_strategy",
+    "objectives_for",
     "resolve_batch_runner",
     "run_exploration",
     "space_names",

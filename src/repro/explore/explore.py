@@ -32,11 +32,14 @@ from .space import DesignSpace
 from .strategies import DEFAULT_HALVING_OBJECTIVES, Candidate, SearchStrategy
 
 __all__ = [
+    "COST_OBJECTIVES",
     "DEFAULT_OBJECTIVES",
     "ExplorationReport",
     "FrontierPoint",
     "Objective",
+    "PIPELINE_THROUGHPUT_OBJECTIVE",
     "VerifiedPoint",
+    "objectives_for",
     "resolve_batch_runner",
     "run_exploration",
     "validate_weights",
@@ -78,6 +81,46 @@ DEFAULT_OBJECTIVES: Tuple[Objective, ...] = tuple(
     Objective(_OBJECTIVE_NAMES[key], key, sense)
     for key, sense in DEFAULT_HALVING_OBJECTIVES
 )
+
+#: implementation-cost axes every DSE payload carries (``dse_encoder`` and
+#: ``dse_chiplet`` alike): total design area and energy per task.  Scorable
+#: through ``--weights`` so a weighted exploration can trade chips and link
+#: bandwidth against silicon and joules.
+COST_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("area", "area_luts", "min"),
+    Objective("energy", "energy_j", "min"),
+)
+
+#: steady-state pipeline throughput (tasks/s).  For a single chip this is
+#: simply ``batch / latency_s``; for a multi-chip pipeline it is set by the
+#: busiest stage (chip or link), which is what makes adding chips worth
+#: anything on the frontier even though per-task latency only grows.
+PIPELINE_THROUGHPUT_OBJECTIVE = Objective(
+    "pipeline_throughput", "pipeline_tasks_per_s", "max"
+)
+
+
+def objectives_for(
+    space: DesignSpace, weights: Optional[Mapping[str, float]] = None
+) -> Tuple[Objective, ...]:
+    """The objective axes one exploration of ``space`` should use.
+
+    Chiplet spaces always carry the throughput and cost axes -- without
+    them every multi-chip point would be Pareto-dominated by its
+    single-chip sibling (same traffic, strictly higher per-task latency).
+    Single-chip spaces keep the classic three axes unless the caller's
+    ``weights`` explicitly name a throughput/cost key, which keeps the
+    historical frontiers (and their cached CI baselines) byte-identical.
+    """
+    extras = (PIPELINE_THROUGHPUT_OBJECTIVE,) + COST_OBJECTIVES
+    if space.kind == "dse_chiplet":
+        return DEFAULT_OBJECTIVES + extras
+    if weights:
+        requested = set(weights)
+        opted_in = tuple(o for o in extras if o.key in requested)
+        if opted_in:
+            return DEFAULT_OBJECTIVES + opted_in
+    return DEFAULT_OBJECTIVES
 
 
 @dataclass

@@ -1,6 +1,6 @@
 """The named design-space catalogue.
 
-Two spaces ship with the repository:
+Four spaces ship with the repository:
 
 * ``encoder`` -- the full RSN-XNN encoder design space the paper's results
   are points in: workload shape (batch, sequence length), GEMM tile sizes,
@@ -12,10 +12,16 @@ Two spaces ship with the repository:
 * ``encoder-smoke`` -- a 16-point slice of the same space for CI smoke runs
   and the test suite: small sequence lengths so even the engine-verification
   phase completes in seconds.
+* ``chiplet-encoder`` -- the multi-chip scale-out axis on top of the encoder
+  space: chip count, inter-chip link bandwidth and per-hop latency join the
+  per-chip axes, so the search trades chip count vs link bandwidth vs
+  per-chip scratchpad -- with area and energy available as weighted
+  objectives (``dse_chiplet`` kind).
+* ``chiplet-smoke`` -- a 12-point chiplet slice for CI smoke runs.
 
-Both evaluate through the ``dse_encoder`` scenario kind, which supports the
-``analytic`` backend (search proxy) and the ``engine`` backend
-(verification) over identical parameters.
+All evaluate through scenario kinds that support the ``analytic`` backend
+(search proxy) and the ``engine`` backend (verification) over identical
+parameters.
 """
 
 from __future__ import annotations
@@ -105,11 +111,86 @@ def _encoder_smoke_space() -> DesignSpace:
     )
 
 
+def _chips_cover_segments(assignment: Mapping[str, Any]) -> bool:
+    """Every chip needs at least one of the encoder's simulation groups."""
+    from ..xnn.partition import ENCODER_SEGMENT_NAMES
+
+    return assignment["num_chips"] <= len(ENCODER_SEGMENT_NAMES)
+
+
+def _chiplet_space() -> DesignSpace:
+    return DesignSpace(
+        name="chiplet-encoder",
+        kind="dse_chiplet",
+        description="Multi-chip scale-out of the RSN-XNN encoder design space",
+        base_params={"model": "bert_large"},
+        axes=(
+            Axis("batch", (1, 4), "workload batch size"),
+            Axis("seq_len", (128, 256), "workload sequence length"),
+            Axis(
+                "pipeline_attention",
+                (False, True),
+                "attention mapping: Fig. 3 type B vs type D",
+            ),
+            Axis("tile_m", (384, 768), "LHS/output row-tile extent"),
+            Axis("tile_k", (64, 128), "accumulation tile extent"),
+            Axis("super_n", (512, 1024), "output super-column extent"),
+            Axis("bandwidth_scale", (1.0, 2.0), "DDR+LPDDR bandwidth scaling"),
+            Axis(
+                "mem_b_bytes",
+                (256 * _KIB, 1024 * _KIB),
+                "per-chip MemB weight-scratchpad depth",
+            ),
+            Axis("num_mme", (3, 6), "per-chip MME FU count (AIE groups)"),
+            Axis("num_chips", (1, 2, 3), "chips in the segment pipeline"),
+            Axis(
+                "link_gbs",
+                (16.0, 64.0, 256.0),
+                "inter-chip link bandwidth (GB/s)",
+            ),
+            Axis("link_hop_us", (0.5, 2.0), "per-hop link latency (us)"),
+        ),
+        constraints=(
+            Constraint(
+                "rhs_tile_fits_memb",
+                _rhs_tile_fits_memb,
+                "tile_k * super_n * 4B <= mem_b_bytes",
+            ),
+            Constraint(
+                "mme_plan_fits",
+                _mme_plan_fits,
+                "MME grouping fits the AIE tile/stream budget",
+            ),
+            Constraint(
+                "chips_cover_segments",
+                _chips_cover_segments,
+                "num_chips <= encoder simulation-group count",
+            ),
+        ),
+    )
+
+
+def _chiplet_smoke_space() -> DesignSpace:
+    return DesignSpace(
+        name="chiplet-smoke",
+        kind="dse_chiplet",
+        description="12-point chiplet slice for CI smoke runs",
+        base_params={"model": "bert_large", "batch": 1},
+        axes=(
+            Axis("seq_len", (64, 128)),
+            Axis("num_chips", (1, 2, 3)),
+            Axis("link_gbs", (16.0, 256.0)),
+        ),
+    )
+
+
 #: name -> zero-argument space factory.  Factories (not instances) so each
 #: caller gets an independent object and import stays cheap.
 SPACES = {
     "encoder": _encoder_space,
     "encoder-smoke": _encoder_smoke_space,
+    "chiplet-encoder": _chiplet_space,
+    "chiplet-smoke": _chiplet_smoke_space,
 }
 
 

@@ -290,15 +290,22 @@ def strategy_names() -> List[str]:
     return sorted(STRATEGIES)
 
 
-def get_strategy(name: str,
-                 weights: Optional[Mapping[str, float]] = None) -> SearchStrategy:
+def get_strategy(
+    name: str,
+    weights: Optional[Mapping[str, float]] = None,
+    objectives: Optional[Sequence[Tuple[str, str]]] = None,
+) -> SearchStrategy:
     """Construct a strategy by name.
 
     ``weights`` (payload key -> weight) configures weighted-scalarisation
     survivor selection on strategies that rank cohorts -- currently only
     successive halving; grid and random evaluate every candidate regardless
     of score, so weights are ignored for them (the explorer still applies
-    them to the frontier ordering).
+    them to the frontier ordering).  ``objectives`` overrides halving's
+    ``(payload key, sense)`` selection axes -- the explorer passes the
+    space's axes here so e.g. a chiplet exploration ranks cohorts on the
+    same throughput/cost axes its frontier uses (and so weights naming
+    those axes validate instead of being rejected).
     """
     try:
         factory = STRATEGIES[name]
@@ -306,6 +313,11 @@ def get_strategy(name: str,
         raise KeyError(
             f"unknown search strategy {name!r}; known: {strategy_names()}"
         ) from None
-    if weights and factory is SuccessiveHalving:
-        return SuccessiveHalving(weights=weights)
+    if factory is SuccessiveHalving and (weights or objectives is not None):
+        kwargs: Dict[str, Any] = {}
+        if objectives is not None:
+            kwargs["objectives"] = tuple(objectives)
+        if weights:
+            kwargs["weights"] = weights
+        return SuccessiveHalving(**kwargs)
     return factory()

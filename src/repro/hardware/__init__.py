@@ -8,7 +8,9 @@ from the public datasheets it cites; each module documents its sources.
 """
 
 from .aie import AIEArrayModel, MMEGroupPlan, StreamBudget
+from .cost import design_area_luts, design_power_w
 from .gpu import GPU_SPECS, GPUModel, GPUSpec
+from .link import InterChipLink
 from .memory import MemoryChannelModel, ddr_channel, lpddr_channel
 from .power import PowerModel, PowerReport
 from .area import AreaModel, AreaReport, DECODER_AREA_COMPARISON
@@ -22,6 +24,7 @@ __all__ = [
     "GPU_SPECS",
     "GPUModel",
     "GPUSpec",
+    "InterChipLink",
     "MMEGroupPlan",
     "MemoryChannelModel",
     "PowerModel",
@@ -30,5 +33,7 @@ __all__ = [
     "VCK190",
     "VCK190Spec",
     "ddr_channel",
+    "design_area_luts",
+    "design_power_w",
     "lpddr_channel",
 ]

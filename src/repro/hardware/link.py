@@ -1,0 +1,92 @@
+"""Inter-chip link model for the multi-chip (chiplet) scale-out axis.
+
+The paper's design is a single VCK190.  The scale-out axis partitions a
+workload's segments across ``num_chips`` devices arranged as a pipeline, with
+each chip handing its boundary activations to the next over a serial link.
+This module models that link with the same roofline vocabulary the rest of
+the repository uses: a transfer occupies the link for ``serialization_s``
+plus ``nbytes / bandwidth`` seconds, and additionally spends ``hop_latency_s``
+in flight before the receiver can start.
+
+Two costs fall out of one transfer, and the analytic model uses both:
+
+* :meth:`InterChipLink.transfer_time` -- the end-to-end time a single task
+  waits on the hop (latency + serialization + wire time).  Summed into the
+  per-task chiplet latency, so the analytic latency stays a lower bound on
+  any real interconnect.
+* :meth:`InterChipLink.occupancy_time` -- the time the link itself is busy
+  (serialization + wire time, *excluding* flight latency, which pipelines
+  across back-to-back transfers).  This is the link's busy time in the
+  steady-state pipeline roofline, where the link is one more contended
+  resource next to the chips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InterChipLink"]
+
+
+@dataclass(frozen=True)
+class InterChipLink:
+    """One inter-chip hop: bandwidth, per-hop latency, serialization cost.
+
+    Parameters
+    ----------
+    bandwidth:
+        Link bandwidth in bytes/s.  The 64 GB/s default is a conservative
+        single-direction figure for a short-reach chiplet interconnect.
+    hop_latency_s:
+        Fixed per-transfer flight latency in seconds (SerDes + protocol).
+    serialization_s:
+        Optional fixed cost to pack/unpack one transfer, charged to the
+        link's occupancy as well as to the task.
+    """
+
+    bandwidth: float = 64e9
+    hop_latency_s: float = 1e-6
+    serialization_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.hop_latency_s < 0:
+            raise ValueError("hop latency must be non-negative")
+        if self.serialization_s < 0:
+            raise ValueError("serialization cost must be non-negative")
+
+    @classmethod
+    def from_design(
+        cls,
+        link_gbs: float = 64.0,
+        link_hop_us: float = 1.0,
+        link_serialization_us: float = 0.0,
+    ) -> "InterChipLink":
+        """Build a link from the ``DesignSpace`` axis units (GB/s and us)."""
+        return cls(
+            bandwidth=link_gbs * 1e9,
+            hop_latency_s=link_hop_us * 1e-6,
+            serialization_s=link_serialization_us * 1e-6,
+        )
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.bandwidth / 1e9
+
+    def transfer_time(self, nbytes: int) -> float:
+        """End-to-end seconds one task waits for ``nbytes`` to cross the hop."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.hop_latency_s + self.serialization_s + nbytes / self.bandwidth
+
+    def occupancy_time(self, nbytes: int) -> float:
+        """Seconds the link itself is busy with ``nbytes`` (flight latency
+        pipelines across transfers, so it does not occupy the link)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.serialization_s + nbytes / self.bandwidth

@@ -147,6 +147,9 @@ _WEIGHT_ALIASES = {
     "traffic": "offchip_bytes",
     "offchip_traffic": "offchip_bytes",
     "utilization": "utilization",
+    "throughput": "pipeline_tasks_per_s",
+    "area": "area_luts",
+    "energy": "energy_j",
 }
 
 
@@ -344,11 +347,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--weights",
         type=_weights_argument,
         default=None,
-        metavar="latency=W,traffic=W,utilization=W",
-        help="weighted scalarisation of the objectives: "
-        "rank the frontier (and halving survivors) "
-        "by weighted normalised score instead of "
-        "non-domination rank",
+        metavar="latency=W,traffic=W,...",
+        help="weighted scalarisation of the objectives "
+        "(latency, traffic, utilization, throughput, "
+        "area, energy): rank the frontier (and "
+        "halving survivors) by weighted normalised "
+        "score instead of non-domination rank",
     )
     add_executor_options(explore_cmd)
     explore_cmd.add_argument(
@@ -717,6 +721,7 @@ def _run_explore(args: argparse.Namespace) -> int:
     from repro.explore import (
         get_space,
         get_strategy,
+        objectives_for,
         resolve_batch_runner,
         run_exploration,
         spaces,
@@ -729,14 +734,23 @@ def _run_explore(args: argparse.Namespace) -> int:
         return 0
     try:
         space = get_space(args.space)
+        # The space picks the objective axes (chiplet spaces add throughput,
+        # area and energy); weights must name one of *those* axes.  Validate
+        # before constructing the strategy so the same typo cannot surface
+        # as halving's ValueError instead of a clean exit 2.
+        objectives = objectives_for(space, args.weights)
+        validate_weights(args.weights, objectives)
         # Weighted exploration also selects halving survivors by weighted
-        # score instead of non-domination rank.
-        strategy = get_strategy(args.strategy, weights=args.weights)
+        # score instead of non-domination rank, on the space's axes.
+        strategy = get_strategy(
+            args.strategy,
+            weights=args.weights,
+            objectives=tuple((o.key, o.sense) for o in objectives),
+        )
         # Pre-flight the same checks run_exploration performs, so user
         # errors exit 2 here while genuine exploration bugs still traceback.
-        validate_weights(args.weights)
         resolve_batch_runner(space, args.proxy)
-    except KeyError as error:
+    except (KeyError, ValueError) as error:
         return _fail(error.args[0])
     if args.verify_top < 0:
         return _fail(f"--verify-top must be >= 0, got {args.verify_top}")
@@ -756,6 +770,7 @@ def _run_explore(args: argparse.Namespace) -> int:
             executor=executor,
             cache=cache,
             force=args.force,
+            objectives=objectives,
             proxy=args.proxy,
             weights=args.weights,
         )

@@ -415,11 +415,13 @@ def _dse_payload(result, config) -> Dict[str, Any]:
     with different MME counts comparable on the same Pareto axis.
     """
     from repro.hardware.aie import AIEArrayModel, MMEGroupPlan
+    from repro.xnn.partition import design_cost
 
     aie = AIEArrayModel(config.spec, MMEGroupPlan(num_groups=config.num_mme))
     peak_flops = config.num_mme * aie.mme_flops(config.mme_tile_shape)
     latency_s = result.latency_s
     utilization = (result.flops / latency_s / peak_flops) if latency_s else 0.0
+    power_w, area_luts = design_cost(config, peak_flops)
     return {
         "latency_s": latency_s,
         "latency_ms": latency_s * 1e3,
@@ -430,6 +432,10 @@ def _dse_payload(result, config) -> Dict[str, Any]:
         "achieved_tflops": result.achieved_tflops,
         "utilization": utilization,
         "num_mme": config.num_mme,
+        "pipeline_tasks_per_s": (result.batch / latency_s) if latency_s else 0.0,
+        "power_w": power_w,
+        "area_luts": area_luts,
+        "energy_j": power_w * latency_s,
     }
 
 
@@ -510,6 +516,148 @@ def estimate_dse_encoder_batch(param_sets: List[Dict[str, Any]]) -> List[dict]:
     from repro.xnn.analytic import encoder_batch_evaluator
 
     return encoder_batch_evaluator().evaluate_batch(param_sets, _encoder_config)
+
+
+def _chiplet_result_payload(
+    result, config, *, batch: int, seq_len: int, model: str,
+    num_chips: int, link_gbs: float, link_hop_us: float,
+    link_serialization_us: float,
+) -> Dict[str, Any]:
+    """Flatten a (single-chip) encoder result into the multi-chip payload.
+
+    Shared by both scalar backends of ``dse_chiplet``: the backend only
+    determines the per-segment latencies and traffic; the partition, link
+    terms, cost models, and payload arithmetic are the same
+    :func:`~repro.xnn.partition.chiplet_payload` call the batched evaluator
+    makes.  Since each analytic segment latency is a certified lower bound
+    on its engine counterpart and the link terms are identical on both
+    backends, the combined chiplet latency inherits the lower-bound
+    contract, and the untouched per-segment traffic keeps byte-identity.
+    """
+    from repro.hardware.aie import AIEArrayModel, MMEGroupPlan
+    from repro.hardware.link import InterChipLink
+    from repro.xnn.partition import chiplet_payload
+
+    aie = AIEArrayModel(config.spec, MMEGroupPlan(num_groups=config.num_mme))
+    per_chip_peak = config.num_mme * aie.mme_flops(config.mme_tile_shape)
+    link = InterChipLink.from_design(link_gbs, link_hop_us, link_serialization_us)
+    return chiplet_payload(
+        segment_latency_s=[segment.latency_s for segment in result.segments],
+        flops=result.flops,
+        ddr_bytes=result.ddr_bytes,
+        lpddr_bytes=result.lpddr_bytes,
+        batch=batch,
+        seq_len=seq_len,
+        encoder=_encoder_config(model),
+        config=config,
+        per_chip_peak_flops=per_chip_peak,
+        num_chips=num_chips,
+        link=link,
+    )
+
+
+@REGISTRY.kind("dse_chiplet")
+def run_dse_chiplet(
+    batch: int = 1,
+    seq_len: int = 128,
+    model: str = "bert_large",
+    num_mme: int = 6,
+    mem_b_bytes: int = 1024 * 1024,
+    bandwidth_scale: float = 1.0,
+    pipeline_attention: bool = True,
+    tile_m: int = 768,
+    tile_k: int = 128,
+    super_n: int = 1024,
+    num_chips: int = 1,
+    link_gbs: float = 64.0,
+    link_hop_us: float = 1.0,
+    link_serialization_us: float = 0.0,
+) -> dict:
+    """Cycle-level evaluation of one multi-chip encoder design point.
+
+    ``num_chips=1`` delegates to the single-chip ``dse_encoder`` runner
+    verbatim, so the payload is byte-identical by construction (the certified
+    contract the chiplet differential suite pins).
+    """
+    if num_chips == 1:
+        return run_dse_encoder(
+            batch=batch, seq_len=seq_len, model=model, num_mme=num_mme,
+            mem_b_bytes=mem_b_bytes, bandwidth_scale=bandwidth_scale,
+            pipeline_attention=pipeline_attention, tile_m=tile_m,
+            tile_k=tile_k, super_n=super_n,
+        )
+    from repro.xnn import XNNExecutor
+
+    config, options = _dse_design(
+        num_mme, mem_b_bytes, bandwidth_scale, pipeline_attention,
+        tile_m, tile_k, super_n,
+    )
+    executor = XNNExecutor(config=config, options=options)
+    result = executor.run_encoder(
+        batch=batch, seq_len=seq_len, config=_encoder_config(model)
+    )
+    return _chiplet_result_payload(
+        result, config, batch=batch, seq_len=seq_len, model=model,
+        num_chips=num_chips, link_gbs=link_gbs, link_hop_us=link_hop_us,
+        link_serialization_us=link_serialization_us,
+    )
+
+
+@REGISTRY.kind("dse_chiplet", backend="analytic")
+def estimate_dse_chiplet(
+    batch: int = 1,
+    seq_len: int = 128,
+    model: str = "bert_large",
+    num_mme: int = 6,
+    mem_b_bytes: int = 1024 * 1024,
+    bandwidth_scale: float = 1.0,
+    pipeline_attention: bool = True,
+    tile_m: int = 768,
+    tile_k: int = 128,
+    super_n: int = 1024,
+    num_chips: int = 1,
+    link_gbs: float = 64.0,
+    link_hop_us: float = 1.0,
+    link_serialization_us: float = 0.0,
+) -> dict:
+    """Analytic-proxy evaluation of one multi-chip encoder design point."""
+    if num_chips == 1:
+        return estimate_dse_encoder(
+            batch=batch, seq_len=seq_len, model=model, num_mme=num_mme,
+            mem_b_bytes=mem_b_bytes, bandwidth_scale=bandwidth_scale,
+            pipeline_attention=pipeline_attention, tile_m=tile_m,
+            tile_k=tile_k, super_n=super_n,
+        )
+    from repro.xnn.analytic import AnalyticXNN
+
+    config, options = _dse_design(
+        num_mme, mem_b_bytes, bandwidth_scale, pipeline_attention,
+        tile_m, tile_k, super_n,
+    )
+    analytic = AnalyticXNN(config=config, options=options)
+    result = analytic.run_encoder(
+        batch=batch, seq_len=seq_len, config=_encoder_config(model)
+    )
+    return _chiplet_result_payload(
+        result, config, batch=batch, seq_len=seq_len, model=model,
+        num_chips=num_chips, link_gbs=link_gbs, link_hop_us=link_hop_us,
+        link_serialization_us=link_serialization_us,
+    )
+
+
+@REGISTRY.batch_kind("dse_chiplet", backend="analytic")
+def estimate_dse_chiplet_batch(param_sets: List[Dict[str, Any]]) -> List[dict]:
+    """Batched analytic evaluation of many multi-chip design points.
+
+    The chiplet axes change no tally, so whole generations share the
+    single-chip vectorized evaluation; every payload equals
+    :func:`estimate_dse_chiplet` on the same parameters exactly.
+    """
+    from repro.xnn.analytic import encoder_batch_evaluator
+
+    return encoder_batch_evaluator().evaluate_chiplet_batch(
+        param_sets, _encoder_config
+    )
 
 
 @REGISTRY.kind("gpu_roofline", backend=("engine", "analytic"))
@@ -713,6 +861,39 @@ def _register_catalogue() -> None:
         {},
         tags=("fig16", "table4", "analytic"),
         description="Per-FU compute/memory/BW inventory (Fig. 16 / Table 4)",
+    )
+
+    # Chiplet scale-out reference points.  The first two are the certified
+    # identity pair: a num_chips=1 dse_chiplet point and the dse_encoder
+    # point with the same parameters must produce byte-identical payloads.
+    chiplet_base = {"batch": 1, "seq_len": 128, "num_mme": 6}
+    REGISTRY.add(
+        "chiplet/1chip-identity",
+        "dse_chiplet",
+        {**chiplet_base, "num_chips": 1},
+        tags=("chiplet", "smoke", "sim"),
+        description="Single-chip chiplet point (byte-identical to dse_encoder)",
+    )
+    REGISTRY.add(
+        "chiplet/encoder-reference",
+        "dse_encoder",
+        dict(chiplet_base),
+        tags=("chiplet", "smoke", "sim"),
+        description="dse_encoder reference for the num_chips=1 identity",
+    )
+    REGISTRY.add(
+        "chiplet/2chip-64gbs",
+        "dse_chiplet",
+        {**chiplet_base, "num_chips": 2, "link_gbs": 64.0},
+        tags=("chiplet", "smoke", "sim"),
+        description="Two-chip encoder pipeline over a 64 GB/s link",
+    )
+    REGISTRY.add(
+        "chiplet/3chip-16gbs",
+        "dse_chiplet",
+        {**chiplet_base, "num_chips": 3, "link_gbs": 16.0},
+        tags=("chiplet", "smoke", "sim"),
+        description="Three-chip encoder pipeline over a slow 16 GB/s link",
     )
 
     # Cheap synthetic engine scenarios for smoke tests and determinism checks.

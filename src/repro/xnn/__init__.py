@@ -16,6 +16,9 @@ The package mirrors the structure of the paper's Section 4:
   Table 11 bandwidth sweep helpers;
 * :mod:`repro.xnn.segmentation` -- the model-segmentation decision process of
   Section 4.2;
+* :mod:`repro.xnn.partition` -- the multi-chip scale-out axis: contiguous
+  partitioning of the encoder's simulation groups over chips, the inter-chip
+  link accounting, and the shared ``dse_chiplet`` payload constructor;
 * :mod:`repro.xnn.executor` -- the end-to-end runner that turns a
   :class:`~repro.workloads.layers.ModelSpec` into simulated latency,
   utilisation, and (optionally) validated numerics.
@@ -31,10 +34,14 @@ from .mapping import (MappingType, MappingEstimate, attention_mapping_type,
 from .bandwidth import (LoadStoreOrdering, analytic_bandwidth_sweep,
                         bandwidth_sweep_latency)
 from .segmentation import Segment, SegmentKind, segment_model
+from .partition import (ChipletMetrics, chiplet_metrics, chiplet_payload,
+                        design_cost, encoder_boundary_bytes,
+                        encoder_segment_flops, partition_segments)
 
 __all__ = [
     "AnalyticSegment",
     "AnalyticXNN",
+    "ChipletMetrics",
     "CodegenOptions",
     "EncoderResult",
     "GemmTiling",
@@ -52,8 +59,13 @@ __all__ = [
     "attention_mapping_type",
     "bandwidth_sweep_latency",
     "build_xnn_datapath",
+    "chiplet_metrics",
+    "chiplet_payload",
     "compare_mapping_types",
-    "estimate_mapping_latency",
+    "design_cost",
+    "encoder_boundary_bytes",
+    "encoder_segment_flops",
+    "partition_segments",
     "plan_gemm_tiling",
     "segment_model",
 ]

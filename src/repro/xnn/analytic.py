@@ -38,6 +38,7 @@ import numpy as np
 
 from ..analysis.roofline import ResourceRoofline
 from ..hardware.aie import AIEArrayModel, MMEGroupPlan
+from ..hardware.link import InterChipLink
 from ..hardware.memory import MemoryChannelModel, ddr_channel, lpddr_channel
 from ..workloads.bert import BERT_LARGE, BertConfig, bert_large_encoder
 from ..workloads.layers import FusedOp, MatMulLayer, ModelSpec
@@ -46,6 +47,7 @@ from .datapath import XNNConfig
 from .executor import EncoderResult, SegmentResult
 from .fus.scratchpad import MEMC_COMPUTE_THROUGHPUT, NONMM_FLOPS_PER_ELEMENT
 from .mapping import MappingType, attention_mapping_type
+from .partition import chiplet_payload, design_cost
 from .segmentation import SegmentKind, segment_model
 from .tiling import plan_gemm_tiling
 
@@ -408,6 +410,41 @@ _DSE_DEFAULTS: Dict[str, Any] = {
     "super_n": 1024,
 }
 
+#: the ``dse_chiplet`` runner defaults: everything ``dse_encoder`` takes,
+#: plus the scale-out axes (chip count and inter-chip link parameters).
+_CHIPLET_DEFAULTS: Dict[str, Any] = dict(_DSE_DEFAULTS)
+_CHIPLET_DEFAULTS.update({
+    "num_chips": 1,
+    "link_gbs": 64.0,
+    "link_hop_us": 1.0,
+    "link_serialization_us": 0.0,
+})
+
+#: the chiplet-only keys, stripped before the shared single-chip evaluation
+#: (none of them changes a tally or a per-segment roofline).
+_CHIPLET_ONLY = ("num_chips", "link_gbs", "link_hop_us", "link_serialization_us")
+
+
+@dataclass
+class _BatchRows:
+    """The shared per-generation state behind one batched evaluation.
+
+    Everything the payload constructors need, per point: the resolved
+    parameters, the (feasible) probe config, the frozen tallies, and the
+    vectorized roofline results.
+    """
+
+    params: List[Dict[str, Any]]
+    probes: List[XNNConfig]
+    tallies_per_point: List[List[_FrozenTally]]
+    total_flops: np.ndarray
+    peak_flops: np.ndarray
+    num_mme_column: List[int]
+    segment_latency: np.ndarray
+    latency: np.ndarray
+    achieved: np.ndarray
+    utilization: np.ndarray
+
 
 class EncoderBatchEvaluator:
     """Vectorized evaluation of whole generations of encoder design points.
@@ -489,19 +526,18 @@ class EncoderBatchEvaluator:
 
     # ------------------------------------------------------------ evaluation
 
-    def evaluate_batch(self, param_sets: Sequence[Mapping[str, Any]],
-                       encoder_config) -> List[Dict[str, Any]]:
-        """Evaluate many ``dse_encoder`` parameter sets in one pass.
+    def _rows(self, param_sets: Sequence[Mapping[str, Any]],
+              encoder_config) -> _BatchRows:
+        """Resolve parameters and run the vectorized rooflines for one batch.
 
-        ``encoder_config`` maps a model name to its :class:`BertConfig`
-        (injected by the runner layer so the supported-model catalogue cannot
-        diverge between the scalar and batched paths).  Returns one payload
-        dict per parameter set, in order, each exactly equal to what the
-        scalar ``dse_encoder`` analytic runner returns for the same params.
+        The shared core of :meth:`evaluate_batch` and
+        :meth:`evaluate_chiplet_batch`: every array it fills is computed with
+        exactly the expressions the scalar path uses (see the class
+        docstring for why that makes the results bit-identical).
         """
         count = len(param_sets)
-        if not count:
-            return []
+        resolved: List[Dict[str, Any]] = []
+        probes: List[XNNConfig] = []
         tallies_per_point: List[List[_FrozenTally]] = []
         total_flops = np.empty(count)
         mme_rate = np.empty(count)
@@ -529,6 +565,8 @@ class EncoderBatchEvaluator:
             tallies, _, flops = self._segments_for(
                 model, params["batch"], params["seq_len"],
                 encoder_config(params["model"]))
+            resolved.append(params)
+            probes.append(probe)
             tallies_per_point.append(tallies)
             total_flops[index] = flops
             mme_rate[index] = model.mme_rate
@@ -597,26 +635,117 @@ class EncoderBatchEvaluator:
             utilization = np.where(latency > 0.0,
                                    total_flops / latency / peak_flops, 0.0)
 
+        return _BatchRows(
+            params=resolved,
+            probes=probes,
+            tallies_per_point=tallies_per_point,
+            total_flops=total_flops,
+            peak_flops=peak_flops,
+            num_mme_column=num_mme_column,
+            segment_latency=segment_latency,
+            latency=latency,
+            achieved=achieved,
+            utilization=utilization,
+        )
+
+    @staticmethod
+    def _traffic(rows: _BatchRows, index: int) -> Tuple[int, int]:
+        """(ddr, lpddr) byte totals of one point, summed like the scalar path."""
+        ddr_bytes_total = 0
+        lpddr_bytes_total = 0
+        for tally in rows.tallies_per_point[index]:
+            ddr_bytes_total += tally.ddr_read_bytes + tally.ddr_write_bytes
+            lpddr_bytes_total += tally.lpddr_bytes
+        return ddr_bytes_total, lpddr_bytes_total
+
+    def _encoder_payload(self, rows: _BatchRows, index: int) -> Dict[str, Any]:
+        """One point's ``dse_encoder`` payload from the shared batch rows."""
+        ddr_bytes_total, lpddr_bytes_total = self._traffic(rows, index)
+        latency_s = float(rows.latency[index])
+        per_chip_peak = float(rows.peak_flops[index])
+        power_w, area_luts = design_cost(rows.probes[index], per_chip_peak)
+        batch = rows.params[index]["batch"]
+        return {
+            "latency_s": latency_s,
+            "latency_ms": float(rows.latency[index] * 1e3),
+            "flops": float(rows.total_flops[index]),
+            "ddr_bytes": ddr_bytes_total,
+            "lpddr_bytes": lpddr_bytes_total,
+            "offchip_bytes": ddr_bytes_total + lpddr_bytes_total,
+            "achieved_tflops": float(rows.achieved[index]),
+            "utilization": float(rows.utilization[index]),
+            "num_mme": rows.num_mme_column[index],
+            "pipeline_tasks_per_s": (batch / latency_s) if latency_s else 0.0,
+            "power_w": power_w,
+            "area_luts": area_luts,
+            "energy_j": power_w * latency_s,
+        }
+
+    def evaluate_batch(self, param_sets: Sequence[Mapping[str, Any]],
+                       encoder_config) -> List[Dict[str, Any]]:
+        """Evaluate many ``dse_encoder`` parameter sets in one pass.
+
+        ``encoder_config`` maps a model name to its :class:`BertConfig`
+        (injected by the runner layer so the supported-model catalogue cannot
+        diverge between the scalar and batched paths).  Returns one payload
+        dict per parameter set, in order, each exactly equal to what the
+        scalar ``dse_encoder`` analytic runner returns for the same params.
+        """
+        if not param_sets:
+            return []
+        rows = self._rows(param_sets, encoder_config)
+        return [self._encoder_payload(rows, index)
+                for index in range(len(rows.params))]
+
+    def evaluate_chiplet_batch(self, param_sets: Sequence[Mapping[str, Any]],
+                               encoder_config) -> List[Dict[str, Any]]:
+        """Evaluate many ``dse_chiplet`` parameter sets in one pass.
+
+        The chiplet-only axes (chip count, link parameters) change no tally
+        and no per-segment roofline, so all points share the single-chip
+        vectorized evaluation; the multi-chip combination on top is the same
+        pure-float :func:`~repro.xnn.partition.chiplet_payload` call the
+        scalar runners make.  ``num_chips=1`` rows take the exact
+        ``dse_encoder`` payload path, preserving the single-chip
+        byte-identity contract through the batched proxy as well.
+        """
+        if not param_sets:
+            return []
+        resolved: List[Dict[str, Any]] = []
+        base_sets: List[Dict[str, Any]] = []
+        for raw in param_sets:
+            params = dict(_CHIPLET_DEFAULTS)
+            params.update(raw)
+            resolved.append(params)
+            base_sets.append({key: value for key, value in params.items()
+                              if key not in _CHIPLET_ONLY})
+        rows = self._rows(base_sets, encoder_config)
         payloads: List[Dict[str, Any]] = []
-        for index in range(count):
-            tallies = tallies_per_point[index]
-            ddr_bytes_total = 0
-            lpddr_bytes_total = 0
-            for tally in tallies:
-                ddr_bytes_total += tally.ddr_read_bytes + tally.ddr_write_bytes
-                lpddr_bytes_total += tally.lpddr_bytes
-            latency_s = float(latency[index])
-            payloads.append({
-                "latency_s": latency_s,
-                "latency_ms": float(latency[index] * 1e3),
-                "flops": float(total_flops[index]),
-                "ddr_bytes": ddr_bytes_total,
-                "lpddr_bytes": lpddr_bytes_total,
-                "offchip_bytes": ddr_bytes_total + lpddr_bytes_total,
-                "achieved_tflops": float(achieved[index]),
-                "utilization": float(utilization[index]),
-                "num_mme": num_mme_column[index],
-            })
+        for index, params in enumerate(resolved):
+            num_chips = params["num_chips"]
+            if num_chips == 1:
+                payloads.append(self._encoder_payload(rows, index))
+                continue
+            link = InterChipLink.from_design(
+                params["link_gbs"], params["link_hop_us"],
+                params["link_serialization_us"])
+            segment_latency = [
+                float(rows.segment_latency[index, position])
+                for position in range(rows.segment_latency.shape[1])]
+            ddr_bytes_total, lpddr_bytes_total = self._traffic(rows, index)
+            payloads.append(chiplet_payload(
+                segment_latency_s=segment_latency,
+                flops=float(rows.total_flops[index]),
+                ddr_bytes=ddr_bytes_total,
+                lpddr_bytes=lpddr_bytes_total,
+                batch=params["batch"],
+                seq_len=params["seq_len"],
+                encoder=encoder_config(params["model"]),
+                config=rows.probes[index],
+                per_chip_peak_flops=float(rows.peak_flops[index]),
+                num_chips=num_chips,
+                link=link,
+            ))
         return payloads
 
     def batch_size_costs(self, base_params: Mapping[str, Any],

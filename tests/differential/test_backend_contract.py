@@ -49,6 +49,11 @@ KIND_TOLERANCE = {
     "xnn_encoder": 0.30,
     "xnn_feedforward": 0.15,
     "engine_chain": 0.01,
+    # The DSE payload kinds (the optimised whole-encoder configuration): the
+    # analytic bound sits ~5% under the engine there, and the chiplet kind
+    # adds only backend-identical link terms on top, so its gap is the same.
+    "dse_encoder": 0.10,
+    "dse_chiplet": 0.10,
 }
 
 #: per-scenario overrides.  The Table 9 ablation deliberately disables the

@@ -508,6 +508,7 @@ class TestExploreProxyAndWeights:
         "latency", "latency=x", "latency=-1", "bogus=1", "",
         "latency=0,traffic=0", "latency=1,latency=2",
         "latency=nan", "latency=inf,traffic=1",
+        "area=1,watts=1", "throughput=1,bogus=2",
     ])
     def test_invalid_weights_exit_2(self, capsys, weights):
         with pytest.raises(SystemExit) as excinfo:
@@ -516,6 +517,43 @@ class TestExploreProxyAndWeights:
         assert excinfo.value.code == 2
         err = capsys.readouterr().err
         assert "--weights" in err and "Traceback" not in err
+
+
+class TestExploreChipletSpace:
+    def test_chiplet_weighted_cost_exploration(self, capsys, tmp_path):
+        json_path = tmp_path / "chiplet.json"
+        code, out, err = _run(capsys, "explore", "--space", "chiplet-smoke",
+                              "--strategy", "halving", "--budget", "12",
+                              "--verify-top", "2", "--proxy", "batched",
+                              "--weights", "latency=1,area=2,energy=1",
+                              "--cache-dir", str(tmp_path / "cache"),
+                              "--json", str(json_path))
+        assert code == 0 and not err
+        payload = json.loads(json_path.read_text())
+        assert payload["space"] == "chiplet-smoke"
+        assert payload["contract_ok"] is True
+        assert payload["weights"] == {"latency_s": 1.0, "area_luts": 2.0,
+                                      "energy_j": 1.0}
+        # The chiplet space reports the extended objective axes.
+        names = {o["name"] for o in payload["objectives"]}
+        assert {"area", "energy", "pipeline_throughput"} <= names
+        assert payload["frontier"]
+
+    def test_cost_weights_accepted_on_encoder_space(self, capsys, tmp_path):
+        # Cost keys are scorable on the single-chip space too (its payloads
+        # carry area/energy); they must not be rejected as unknown.
+        code, _, err = _run(capsys, "explore", "--space", "encoder-smoke",
+                            "--strategy", "halving", "--budget", "8",
+                            "--verify-top", "0", "--proxy", "batched",
+                            "--weights", "throughput=1,energy=1",
+                            "--cache-dir", str(tmp_path))
+        assert code == 0 and not err
+
+    def test_list_spaces_includes_chiplet(self, capsys):
+        code, out, _ = _run(capsys, "explore", "--list-spaces")
+        assert code == 0
+        assert "chiplet-encoder" in out
+        assert "chiplet-smoke" in out
 
 
 class TestSeedRecording:
