@@ -113,9 +113,14 @@ class AIEArrayModel:
         Coefficients of the per-kernel overhead model (see module docstring).
     """
 
-    def __init__(self, spec: VCK190Spec = VCK190, plan: Optional[MMEGroupPlan] = None,
-                 overhead_alpha: float = 1.5, overhead_beta: float = 1.0,
-                 overhead_gamma: float = 1200.0):
+    def __init__(
+        self,
+        spec: VCK190Spec = VCK190,
+        plan: Optional[MMEGroupPlan] = None,
+        overhead_alpha: float = 1.5,
+        overhead_beta: float = 1.0,
+        overhead_gamma: float = 1200.0,
+    ):
         self.spec = spec
         self.plan = plan or MMEGroupPlan()
         self.overhead_alpha = overhead_alpha
@@ -135,16 +140,23 @@ class AIEArrayModel:
         if min(m, k, n) <= 0:
             raise ValueError(f"tile dimensions must be positive, got {tile_shape}")
         useful = m * k * n
-        overhead = (self.overhead_alpha * m * n
-                    + self.overhead_beta * (m * k + k * n)
-                    + self.overhead_gamma)
+        overhead = (
+            self.overhead_alpha * m * n
+            + self.overhead_beta * (m * k + k * n)
+            + self.overhead_gamma
+        )
         return useful / (useful + overhead)
 
-    def array_gemm_flops(self, tile_shape: Tuple[int, int, int] = (32, 32, 32),
-                         plan: Optional[MMEGroupPlan] = None) -> float:
+    def array_gemm_flops(
+        self,
+        tile_shape: Tuple[int, int, int] = (32, 32, 32),
+        plan: Optional[MMEGroupPlan] = None,
+    ) -> float:
         """Achieved FLOP/s of the whole array for a PL-fed GEMM (Table 6a)."""
         plan = plan or self.plan
-        return plan.tiles_used * self.tile_peak_flops * self.kernel_efficiency(tile_shape)
+        return (
+            plan.tiles_used * self.tile_peak_flops * self.kernel_efficiency(tile_shape)
+        )
 
     def mme_flops(self, tile_shape: Tuple[int, int, int] = (32, 32, 32)) -> float:
         """Achieved FLOP/s of one MME FU (one group of tiles)."""

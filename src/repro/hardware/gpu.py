@@ -123,9 +123,14 @@ class GPUModel:
         Fixed per-layer launch/synchronisation overhead.
     """
 
-    def __init__(self, spec: GPUSpec, compute_efficiency: float = 0.75,
-                 memory_efficiency: float = 0.75, saturation_batch: int = 8,
-                 kernel_overhead_s: float = 20e-6):
+    def __init__(
+        self,
+        spec: GPUSpec,
+        compute_efficiency: float = 0.75,
+        memory_efficiency: float = 0.75,
+        saturation_batch: int = 8,
+        kernel_overhead_s: float = 20e-6,
+    ):
         if not 0 < compute_efficiency <= 1 or not 0 < memory_efficiency <= 1:
             raise ValueError("efficiencies must be in (0, 1]")
         self.spec = spec
@@ -140,30 +145,37 @@ class GPUModel:
         scale = min(1.0, 2.0 * batch / (batch + self.saturation_batch))
         return self.compute_efficiency * scale
 
-    def estimate_latency(self, flops: float, dram_bytes: float, batch: int,
-                         num_kernels: int = 0) -> float:
+    def estimate_latency(
+        self, flops: float, dram_bytes: float, batch: int, num_kernels: int = 0
+    ) -> float:
         """Roofline latency in seconds for one inference step.
 
         ``flops`` and ``dram_bytes`` are totals for the whole batch.
         """
         if flops < 0 or dram_bytes < 0:
             raise ValueError("flops and dram_bytes must be non-negative")
-        compute = flops / (self.spec.peak_tflops * 1e12 * self._batch_scaled_compute_eff(batch))
+        compute = flops / (
+            self.spec.peak_tflops * 1e12 * self._batch_scaled_compute_eff(batch)
+        )
         memory = dram_bytes / (self.spec.mem_bw_gbs * 1e9 * self.memory_efficiency)
         return max(compute, memory) + num_kernels * self.kernel_overhead_s
 
-    def estimate_latency_ms(self, flops: float, dram_bytes: float, batch: int,
-                            num_kernels: int = 0) -> float:
+    def estimate_latency_ms(
+        self, flops: float, dram_bytes: float, batch: int, num_kernels: int = 0
+    ) -> float:
         return 1e3 * self.estimate_latency(flops, dram_bytes, batch, num_kernels)
 
     # ------------------------------------------------------------ efficiency
 
-    def sequences_per_joule(self, batch: int, latency_s: float,
-                            dynamic: bool = False) -> float:
+    def sequences_per_joule(
+        self, batch: int, latency_s: float, dynamic: bool = False
+    ) -> float:
         power = self.spec.dynamic_power_w if dynamic else self.spec.operating_power_w
         return batch / (latency_s * power)
 
     def is_memory_bound(self, flops: float, dram_bytes: float, batch: int) -> bool:
-        compute = flops / (self.spec.peak_tflops * 1e12 * self._batch_scaled_compute_eff(batch))
+        compute = flops / (
+            self.spec.peak_tflops * 1e12 * self._batch_scaled_compute_eff(batch)
+        )
         memory = dram_bytes / (self.spec.mem_bw_gbs * 1e9 * self.memory_efficiency)
         return memory > compute

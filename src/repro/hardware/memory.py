@@ -55,7 +55,9 @@ class MemoryChannelModel:
         if self.read_bw <= 0 or self.write_bw <= 0:
             raise ValueError(f"channel {self.name!r}: bandwidths must be positive")
         if not 0 < self.strided_efficiency <= 1:
-            raise ValueError(f"channel {self.name!r}: strided_efficiency must be in (0, 1]")
+            raise ValueError(
+                f"channel {self.name!r}: strided_efficiency must be in (0, 1]"
+            )
         if self.bandwidth_scale <= 0:
             raise ValueError(f"channel {self.name!r}: bandwidth_scale must be positive")
         #: lifetime counters (bytes actually moved through this model).
@@ -98,8 +100,9 @@ class MemoryChannelModel:
         self.bytes_written += nbytes
         return self.request_latency + nbytes / bw
 
-    def _bulk_time(self, bandwidth: float, nbytes: int, requests: int,
-                   strided: bool) -> float:
+    def _bulk_time(
+        self, bandwidth: float, nbytes: int, requests: int, strided: bool
+    ) -> float:
         if requests < 0:
             raise ValueError("requests must be non-negative")
         if nbytes < 0:
@@ -108,11 +111,15 @@ class MemoryChannelModel:
             return 0.0
         if strided:
             bandwidth *= self.strided_efficiency
-        return (self.request_latency + nbytes / bandwidth
-                + (requests - 1) * self.request_latency)
+        return (
+            self.request_latency
+            + nbytes / bandwidth
+            + (requests - 1) * self.request_latency
+        )
 
-    def bulk_read_time(self, nbytes: int, requests: int = 1,
-                       strided: bool = False) -> float:
+    def bulk_read_time(
+        self, nbytes: int, requests: int = 1, strided: bool = False
+    ) -> float:
         """Seconds to read ``nbytes`` split across ``requests`` transfers.
 
         Equals the sum of ``requests`` individual :meth:`read_time` calls with
@@ -153,7 +160,9 @@ class MemoryChannelModel:
         )
 
 
-def ddr_channel(spec: VCK190Spec = VCK190, bandwidth_scale: float = 1.0) -> MemoryChannelModel:
+def ddr_channel(
+    spec: VCK190Spec = VCK190, bandwidth_scale: float = 1.0
+) -> MemoryChannelModel:
     """The VCK190's DDR4 channel (feature-map loads and stores)."""
     return MemoryChannelModel(
         name="DDR",
@@ -163,7 +172,9 @@ def ddr_channel(spec: VCK190Spec = VCK190, bandwidth_scale: float = 1.0) -> Memo
     )
 
 
-def lpddr_channel(spec: VCK190Spec = VCK190, bandwidth_scale: float = 1.0) -> MemoryChannelModel:
+def lpddr_channel(
+    spec: VCK190Spec = VCK190, bandwidth_scale: float = 1.0
+) -> MemoryChannelModel:
     """The VCK190's LPDDR4 channel (read-only weights and biases)."""
     return MemoryChannelModel(
         name="LPDDR",

@@ -19,8 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable
 
-__all__ = ["FUPowerInput", "PowerModel", "PowerReport", "PAPER_POWER_BREAKDOWN",
-           "PAPER_TOTAL_POWER_W"]
+__all__ = [
+    "FUPowerInput",
+    "PowerModel",
+    "PowerReport",
+    "PAPER_POWER_BREAKDOWN",
+    "PAPER_TOTAL_POWER_W",
+]
 
 
 #: Table 4: estimated power consumption per component class, in watts.
@@ -105,14 +110,16 @@ class PowerModel:
     because that is the granularity at which the paper reasons about power.
     """
 
-    def __init__(self,
-                 aie_w_per_tflops: float = 8.9,
-                 pl_w_per_tflops: float = 52.0,
-                 w_per_onchip_mb: float = 0.32,
-                 w_per_gbs: float = 0.0020,
-                 w_per_fu_static: float = 0.03,
-                 decoder_w: float = 0.08,
-                 infrastructure_w: float = 13.0):
+    def __init__(
+        self,
+        aie_w_per_tflops: float = 8.9,
+        pl_w_per_tflops: float = 52.0,
+        w_per_onchip_mb: float = 0.32,
+        w_per_gbs: float = 0.0020,
+        w_per_fu_static: float = 0.03,
+        decoder_w: float = 0.08,
+        infrastructure_w: float = 13.0,
+    ):
         self.aie_w_per_tflops = aie_w_per_tflops
         self.pl_w_per_tflops = pl_w_per_tflops
         self.w_per_onchip_mb = w_per_onchip_mb
@@ -124,13 +131,16 @@ class PowerModel:
     def estimate_fu(self, fu: FUPowerInput) -> float:
         """Estimated power in watts for one FU class."""
         compute_coeff = self.aie_w_per_tflops if fu.on_aie else self.pl_w_per_tflops
-        return (fu.count * self.w_per_fu_static
-                + fu.compute_tflops * compute_coeff
-                + fu.onchip_mb * self.w_per_onchip_mb
-                + fu.bandwidth_gbs * self.w_per_gbs)
+        return (
+            fu.count * self.w_per_fu_static
+            + fu.compute_tflops * compute_coeff
+            + fu.onchip_mb * self.w_per_onchip_mb
+            + fu.bandwidth_gbs * self.w_per_gbs
+        )
 
-    def estimate(self, inventory: Iterable[FUPowerInput],
-                 include_decoder: bool = True) -> PowerReport:
+    def estimate(
+        self, inventory: Iterable[FUPowerInput], include_decoder: bool = True
+    ) -> PowerReport:
         """Estimate the full breakdown for an FU inventory."""
         report = PowerReport(infrastructure_w=self.infrastructure_w)
         for fu in inventory:

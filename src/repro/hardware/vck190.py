@@ -95,8 +95,9 @@ class VCK190Spec:
         """Aggregate AIE->PL stream bandwidth in bytes/s."""
         return self.plio_output_streams * self.plio_stream_bits / 8 * self.pl_clock_hz
 
-    def weight_reuse_for_peak(self, achieved_flops: float = 6.78e12,
-                              bytes_per_element: int = 4) -> float:
+    def weight_reuse_for_peak(
+        self, achieved_flops: float = 6.78e12, bytes_per_element: int = 4
+    ) -> float:
         """Minimum times each loaded weight must be reused to hit ``achieved_flops``.
 
         Derivation used in Section 5.3: sustaining F FLOP/s with 2 FLOPs per
