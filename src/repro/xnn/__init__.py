@@ -29,14 +29,28 @@ from .tiling import GemmTiling, plan_gemm_tiling
 from .codegen import CodegenOptions, ProgramBuilder
 from .executor import SegmentResult, EncoderResult, XNNExecutor
 from .analytic import AnalyticSegment, AnalyticXNN
-from .mapping import (MappingType, MappingEstimate, attention_mapping_type,
-                      estimate_mapping_latency, compare_mapping_types)
-from .bandwidth import (LoadStoreOrdering, analytic_bandwidth_sweep,
-                        bandwidth_sweep_latency)
+from .mapping import (
+    MappingType,
+    MappingEstimate,
+    attention_mapping_type,
+    estimate_mapping_latency,
+    compare_mapping_types,
+)
+from .bandwidth import (
+    LoadStoreOrdering,
+    analytic_bandwidth_sweep,
+    bandwidth_sweep_latency,
+)
 from .segmentation import Segment, SegmentKind, segment_model
-from .partition import (ChipletMetrics, chiplet_metrics, chiplet_payload,
-                        design_cost, encoder_boundary_bytes,
-                        encoder_segment_flops, partition_segments)
+from .partition import (
+    ChipletMetrics,
+    chiplet_metrics,
+    chiplet_payload,
+    design_cost,
+    encoder_boundary_bytes,
+    encoder_segment_flops,
+    partition_segments,
+)
 
 __all__ = [
     "AnalyticSegment",

@@ -51,8 +51,12 @@ from .partition import chiplet_payload, design_cost
 from .segmentation import SegmentKind, segment_model
 from .tiling import plan_gemm_tiling
 
-__all__ = ["AnalyticSegment", "AnalyticXNN", "EncoderBatchEvaluator",
-           "encoder_batch_evaluator"]
+__all__ = [
+    "AnalyticSegment",
+    "AnalyticXNN",
+    "EncoderBatchEvaluator",
+    "encoder_batch_evaluator",
+]
 
 _ELEMENT_BYTES = 4  # fp32 everywhere, matching TileMessage's default dtype
 
@@ -79,9 +83,11 @@ class _SegmentTally:
     def __init__(self, config: XNNConfig):
         self.config = config
         self.ddr: MemoryChannelModel = ddr_channel(
-            config.spec, bandwidth_scale=config.bandwidth_scale)
+            config.spec, bandwidth_scale=config.bandwidth_scale
+        )
         self.lpddr: MemoryChannelModel = lpddr_channel(
-            config.spec, bandwidth_scale=config.bandwidth_scale)
+            config.spec, bandwidth_scale=config.bandwidth_scale
+        )
         self.ddr_read_bytes = 0
         self.ddr_read_requests = 0
         self.ddr_write_bytes = 0
@@ -115,18 +121,19 @@ class _SegmentTally:
         the fixed per-request latency), the busiest MME's accumulated tile
         products, and the busiest MemC's fused-operator arithmetic.
         """
-        ddr_busy = (self.ddr.bulk_read_time(self.ddr_read_bytes,
-                                            self.ddr_read_requests)
-                    + self.ddr.bulk_write_time(self.ddr_write_bytes,
-                                               self.ddr_write_requests))
-        lpddr_busy = self.lpddr.bulk_read_time(self.lpddr_bytes,
-                                               self.lpddr_requests)
-        return ResourceRoofline({
-            "ddr": ddr_busy,
-            "lpddr": lpddr_busy,
-            "mme": max(self.mme_flops) / mme_rate,
-            "memc": max(self.memc_flops) / memc_rate,
-        })
+        ddr_busy = (
+            self.ddr.bulk_read_time(self.ddr_read_bytes, self.ddr_read_requests)
+            + self.ddr.bulk_write_time(self.ddr_write_bytes, self.ddr_write_requests)
+        )
+        lpddr_busy = self.lpddr.bulk_read_time(self.lpddr_bytes, self.lpddr_requests)
+        return ResourceRoofline(
+            {
+                "ddr": ddr_busy,
+                "lpddr": lpddr_busy,
+                "mme": max(self.mme_flops) / mme_rate,
+                "memc": max(self.memc_flops) / memc_rate,
+            }
+        )
 
     @property
     def ddr_bytes(self) -> int:
@@ -137,15 +144,17 @@ class _SegmentTally:
         return self.lpddr_bytes
 
 
-def _memc_flops_per_element(fused_ops: Tuple[FusedOp, ...],
-                            residual: bool) -> float:
+def _memc_flops_per_element(fused_ops: Tuple[FusedOp, ...], residual: bool) -> float:
     """FLOPs/element MemC charges for a GEMM layer's fused operators.
 
     Mirrors the code generator (softmax is excluded from GEMM layers -- it
     only occurs inside attention) and the MemC kernel's residual add.
     """
-    ops = tuple(_FUSED_TO_MEMC[op] for op in fused_ops
-                if op in _FUSED_TO_MEMC and op != FusedOp.SOFTMAX)
+    ops = tuple(
+        _FUSED_TO_MEMC[op]
+        for op in fused_ops
+        if op in _FUSED_TO_MEMC and op != FusedOp.SOFTMAX
+    )
     per_element = sum(NONMM_FLOPS_PER_ELEMENT.get(op, 1.0) for op in ops)
     if residual:
         per_element += 1.0
@@ -159,12 +168,16 @@ class AnalyticXNN:
     same configuration objects, same result dataclasses, no event loop.
     """
 
-    def __init__(self, config: Optional[XNNConfig] = None,
-                 options: Optional[CodegenOptions] = None):
+    def __init__(
+        self,
+        config: Optional[XNNConfig] = None,
+        options: Optional[CodegenOptions] = None,
+    ):
         self.config = config or XNNConfig(carry_data=False)
         self.options = options or CodegenOptions()
-        self.aie = AIEArrayModel(self.config.spec,
-                                 MMEGroupPlan(num_groups=self.config.num_mme))
+        self.aie = AIEArrayModel(
+            self.config.spec, MMEGroupPlan(num_groups=self.config.num_mme)
+        )
         # Mirror XNNDatapath's feasibility check: the fast model must reject
         # exactly the configurations the engine cannot build, or a design-space
         # search on the analytic proxy could "find" un-buildable winners.
@@ -175,17 +188,26 @@ class AnalyticXNN:
 
     # -------------------------------------------------------------- tallying
 
-    def _tally_gemm(self, tally: _SegmentTally, layer: MatMulLayer,
-                    residual: bool = False) -> None:
+    def _tally_gemm(
+        self, tally: _SegmentTally, layer: MatMulLayer, residual: bool = False
+    ) -> None:
         """Replay ``ProgramBuilder.add_gemm_layer``'s transfer inventory."""
         if layer.num != 1:
-            raise ValueError(f"layer {layer.name!r} has num={layer.num}; "
-                             "multi-instance layers are attention-style")
+            raise ValueError(
+                f"layer {layer.name!r} has num={layer.num}; "
+                "multi-instance layers are attention-style"
+            )
         options = self.options
         m, k, n = layer.m, layer.k, layer.n
-        tiling = plan_gemm_tiling(m, k, n, num_mme=self.config.num_mme,
-                                  tile_m=options.tile_m, tile_k=options.tile_k,
-                                  super_n=options.super_n)
+        tiling = plan_gemm_tiling(
+            m,
+            k,
+            n,
+            num_mme=self.config.num_mme,
+            tile_m=options.tile_m,
+            tile_k=options.tile_k,
+            super_n=options.super_n,
+        )
         n_m = len(tiling.m_blocks)
         n_k = len(tiling.k_blocks)
         n_j = len(tiling.n_super_blocks)
@@ -211,15 +233,18 @@ class AnalyticXNN:
                 tally.mme_flops[g] += 2.0 * m * k * column.size
                 tally.memc_flops[g] += memc_per_element * m * column.size
 
-    def _tally_attention(self, tally: _SegmentTally, seq_len: int,
-                         head_dim: int, num_heads: int) -> None:
+    def _tally_attention(
+        self, tally: _SegmentTally, seq_len: int, head_dim: int, num_heads: int
+    ) -> None:
         """Replay ``ProgramBuilder.add_attention``'s transfer inventory."""
         head_tile = seq_len * head_dim * _ELEMENT_BYTES
         score_tile = seq_len * seq_len * _ELEMENT_BYTES
         mm_flops = 2.0 * seq_len * head_dim * seq_len   # MM1 == MM2 FLOPs
-        softmax_flops = (NONMM_FLOPS_PER_ELEMENT["scale"]
-                         + NONMM_FLOPS_PER_ELEMENT["softmax"]) \
-            * seq_len * seq_len
+        softmax_flops = (
+            (NONMM_FLOPS_PER_ELEMENT["scale"] + NONMM_FLOPS_PER_ELEMENT["softmax"])
+            * seq_len
+            * seq_len
+        )
         num_mme = self.config.num_mme
 
         if self.options.pipeline_attention:
@@ -247,8 +272,9 @@ class AnalyticXNN:
 
     # ------------------------------------------------------------- resolving
 
-    def _close_segment(self, tally: _SegmentTally, name: str, flops: float,
-                       mapping: str = "") -> AnalyticSegment:
+    def _close_segment(
+        self, tally: _SegmentTally, name: str, flops: float, mapping: str = ""
+    ) -> AnalyticSegment:
         roofline = tally.roofline(self.mme_rate, MEMC_COMPUTE_THROUGHPUT)
         return AnalyticSegment(
             name=name,
@@ -268,21 +294,22 @@ class AnalyticXNN:
 
     # ------------------------------------------------------------ single GEMM
 
-    def run_gemm(self, m: int, k: int, n: int,
-                 fused_ops: Tuple[FusedOp, ...] = ()) -> AnalyticSegment:
+    def run_gemm(
+        self, m: int, k: int, n: int, fused_ops: Tuple[FusedOp, ...] = ()
+    ) -> AnalyticSegment:
         """Estimate one GEMM layer end to end (the Table 6b path)."""
         layer = MatMulLayer("gemm", m=m, k=k, n=n, fused_ops=fused_ops)
         tally = self._fresh_tally()
         self._tally_gemm(tally, layer)
-        return self._close_segment(tally, "gemm", layer.flops,
-                                   mapping=MappingType.TASK_PARALLEL.value)
+        return self._close_segment(
+            tally, "gemm", layer.flops, mapping=MappingType.TASK_PARALLEL.value
+        )
 
     # --------------------------------------------------------------- encoder
 
-    def encoder_segments(self, batch: int = 6, seq_len: int = 512,
-                         config: BertConfig = BERT_LARGE
-                         ) -> Tuple[str, List[Tuple[str, "_SegmentTally",
-                                                    float, str]]]:
+    def encoder_segments(
+        self, batch: int = 6, seq_len: int = 512, config: BertConfig = BERT_LARGE
+    ) -> Tuple[str, List[Tuple[str, "_SegmentTally", float, str]]]:
         """Tally the encoder's three simulation groups without resolving them.
 
         Returns ``(model name, [(segment name, tally, flops, mapping), ...])``.
@@ -300,9 +327,10 @@ class AnalyticXNN:
             for segment in segment_model(spec, self.config.spec)
             if segment.kind is SegmentKind.PIPELINED
         }
-        attention_pipelined = (self.options.pipeline_attention
-                               and ("attention_mm1",
-                                    "attention_mm2") in pipelined_pairs)
+        attention_pipelined = (
+            self.options.pipeline_attention
+            and ("attention_mm1", "attention_mm2") in pipelined_pairs
+        )
         mapping = attention_mapping_type(attention_pipelined).value
         segments: List[Tuple[str, _SegmentTally, float, str]] = []
 
@@ -315,12 +343,18 @@ class AnalyticXNN:
 
         # ---- group 2: attention heads + dense projection ------------------
         tally = self._fresh_tally()
-        self._tally_attention(tally, seq_len=seq_len, head_dim=config.head_dim,
-                              num_heads=batch * config.heads)
+        self._tally_attention(
+            tally,
+            seq_len=seq_len,
+            head_dim=config.head_dim,
+            num_heads=batch * config.heads,
+        )
         self._tally_gemm(tally, layer["dense"], residual=True)
-        attention_flops = (layer["attention_mm1"].flops
-                           + layer["attention_mm2"].flops
-                           + layer["dense"].flops)
+        attention_flops = (
+            layer["attention_mm1"].flops
+            + layer["attention_mm2"].flops
+            + layer["dense"].flops
+        )
         segments.append(("attention+dense", tally, attention_flops, mapping))
 
         # ---- group 3: feed-forward network --------------------------------
@@ -331,8 +365,9 @@ class AnalyticXNN:
         segments.append(("ffn", tally, ffn_flops, ""))
         return spec.name, segments
 
-    def run_encoder(self, batch: int = 6, seq_len: int = 512,
-                    config: BertConfig = BERT_LARGE) -> EncoderResult:
+    def run_encoder(
+        self, batch: int = 6, seq_len: int = 512, config: BertConfig = BERT_LARGE
+    ) -> EncoderResult:
         """Estimate one transformer encoder layer, segment by segment.
 
         The three simulation groups mirror the engine executor exactly (QKV
@@ -342,12 +377,14 @@ class AnalyticXNN:
         against the model-segmentation decision (the pipelined mapping is only
         meaningful when the segmenter would pipeline the attention pair).
         """
-        name, segments = self.encoder_segments(batch=batch, seq_len=seq_len,
-                                               config=config)
+        name, segments = self.encoder_segments(
+            batch=batch, seq_len=seq_len, config=config
+        )
         result = EncoderResult(name=name, batch=batch)
         for segment_name, tally, flops, mapping in segments:
-            result.segments.append(self._close_segment(tally, segment_name,
-                                                       flops, mapping=mapping))
+            result.segments.append(
+                self._close_segment(tally, segment_name, flops, mapping=mapping)
+            )
         return result
 
     # ----------------------------------------------------------- plain models
@@ -360,8 +397,7 @@ class AnalyticXNN:
             self._tally_gemm(tally, model_layer)
             total_flops += model_layer.flops
         result = EncoderResult(name=model.name, batch=model.batch)
-        result.segments.append(
-            self._close_segment(tally, model.name, total_flops))
+        result.segments.append(self._close_segment(tally, model.name, total_flops))
         return result
 
 
@@ -413,12 +449,14 @@ _DSE_DEFAULTS: Dict[str, Any] = {
 #: the ``dse_chiplet`` runner defaults: everything ``dse_encoder`` takes,
 #: plus the scale-out axes (chip count and inter-chip link parameters).
 _CHIPLET_DEFAULTS: Dict[str, Any] = dict(_DSE_DEFAULTS)
-_CHIPLET_DEFAULTS.update({
-    "num_chips": 1,
-    "link_gbs": 64.0,
-    "link_hop_us": 1.0,
-    "link_serialization_us": 0.0,
-})
+_CHIPLET_DEFAULTS.update(
+    {
+        "num_chips": 1,
+        "link_gbs": 64.0,
+        "link_hop_us": 1.0,
+        "link_serialization_us": 0.0,
+    }
+)
 
 #: the chiplet-only keys, stripped before the shared single-chip evaluation
 #: (none of them changes a tally or a per-segment roofline).
@@ -476,23 +514,33 @@ class EncoderBatchEvaluator:
         #: (spec, num_mme, num_mem_c, tile_shape, options) -> AnalyticXNN
         self._models: Dict[Tuple[Any, ...], AnalyticXNN] = {}
         #: (model key, batch, seq_len, bert config) -> frozen segment data
-        self._segments: Dict[Tuple[Any, ...],
-                             Tuple[List[_FrozenTally], List[float], float]] = {}
+        self._segments: Dict[
+            Tuple[Any, ...], Tuple[List[_FrozenTally], List[float], float]
+        ] = {}
         #: hits/misses of the segment-tally memo, for benchmarks and tests.
         self.tally_hits = 0
         self.tally_misses = 0
 
     # ------------------------------------------------------------ resolution
 
-    def _model_for(self, spec, num_mme: int, num_mem_c: int,
-                   mme_tile_shape: Tuple[int, int, int],
-                   options: CodegenOptions) -> AnalyticXNN:
+    def _model_for(
+        self,
+        spec,
+        num_mme: int,
+        num_mem_c: int,
+        mme_tile_shape: Tuple[int, int, int],
+        options: CodegenOptions,
+    ) -> AnalyticXNN:
         key = (spec, num_mme, num_mem_c, mme_tile_shape, options)
         model = self._models.get(key)
         if model is None:
-            config = XNNConfig(num_mme=num_mme, num_mem_c=num_mem_c,
-                               mme_tile_shape=mme_tile_shape,
-                               carry_data=False, spec=spec)
+            config = XNNConfig(
+                num_mme=num_mme,
+                num_mem_c=num_mem_c,
+                mme_tile_shape=mme_tile_shape,
+                carry_data=False,
+                spec=spec,
+            )
             # AnalyticXNN.__init__ validates the MME plan; only *feasible*
             # models are memoized, so infeasible points raise identically
             # to the scalar path on every evaluation.
@@ -500,19 +548,27 @@ class EncoderBatchEvaluator:
             self._models[key] = model
         return model
 
-    def _segments_for(self, model: AnalyticXNN, batch: int, seq_len: int,
-                      config: BertConfig
-                      ) -> Tuple[List[_FrozenTally], List[float], float]:
-        key = (model.config.spec, model.config.num_mme, model.config.num_mem_c,
-               model.config.mme_tile_shape, model.options, batch, seq_len,
-               config)
+    def _segments_for(
+        self, model: AnalyticXNN, batch: int, seq_len: int, config: BertConfig
+    ) -> Tuple[List[_FrozenTally], List[float], float]:
+        key = (
+            model.config.spec,
+            model.config.num_mme,
+            model.config.num_mem_c,
+            model.config.mme_tile_shape,
+            model.options,
+            batch,
+            seq_len,
+            config,
+        )
         cached = self._segments.get(key)
         if cached is not None:
             self.tally_hits += 1
             return cached
         self.tally_misses += 1
-        _, segments = model.encoder_segments(batch=batch, seq_len=seq_len,
-                                             config=config)
+        _, segments = model.encoder_segments(
+            batch=batch, seq_len=seq_len, config=config
+        )
         tallies = [_FrozenTally.freeze(tally) for _, tally, _, _ in segments]
         flops = [segment_flops for _, _, segment_flops, _ in segments]
         # result.flops is sum(segment.flops) -- fold in list order so the
@@ -526,8 +582,9 @@ class EncoderBatchEvaluator:
 
     # ------------------------------------------------------------ evaluation
 
-    def _rows(self, param_sets: Sequence[Mapping[str, Any]],
-              encoder_config) -> _BatchRows:
+    def _rows(
+        self, param_sets: Sequence[Mapping[str, Any]], encoder_config
+    ) -> _BatchRows:
         """Resolve parameters and run the vectorized rooflines for one batch.
 
         The shared core of :meth:`evaluate_batch` and
@@ -553,18 +610,27 @@ class EncoderBatchEvaluator:
             # rejects bad counts/depths, AnalyticXNN validates the MME plan.
             options = CodegenOptions.with_overrides(
                 pipeline_attention=params["pipeline_attention"],
-                tile_m=params["tile_m"], tile_k=params["tile_k"],
-                super_n=params["super_n"])
+                tile_m=params["tile_m"],
+                tile_k=params["tile_k"],
+                super_n=params["super_n"],
+            )
             num_mme = params["num_mme"]
-            probe = XNNConfig(num_mme=num_mme, num_mem_c=num_mme,
-                              mem_b_bytes=params["mem_b_bytes"],
-                              bandwidth_scale=params["bandwidth_scale"],
-                              carry_data=False)
-            model = self._model_for(probe.spec, num_mme, num_mme,
-                                    probe.mme_tile_shape, options)
+            probe = XNNConfig(
+                num_mme=num_mme,
+                num_mem_c=num_mme,
+                mem_b_bytes=params["mem_b_bytes"],
+                bandwidth_scale=params["bandwidth_scale"],
+                carry_data=False,
+            )
+            model = self._model_for(
+                probe.spec, num_mme, num_mme, probe.mme_tile_shape, options
+            )
             tallies, _, flops = self._segments_for(
-                model, params["batch"], params["seq_len"],
-                encoder_config(params["model"]))
+                model,
+                params["batch"],
+                params["seq_len"],
+                encoder_config(params["model"]),
+            )
             resolved.append(params)
             probes.append(probe)
             tallies_per_point.append(tallies)
@@ -572,17 +638,24 @@ class EncoderBatchEvaluator:
             mme_rate[index] = model.mme_rate
             peak_flops[index] = num_mme * model.mme_rate
             num_mme_column.append(num_mme)
-            ddr_models.append(ddr_channel(probe.spec,
-                                          bandwidth_scale=probe.bandwidth_scale))
-            lpddr_models.append(lpddr_channel(probe.spec,
-                                              bandwidth_scale=probe.bandwidth_scale))
+            ddr_models.append(
+                ddr_channel(probe.spec, bandwidth_scale=probe.bandwidth_scale)
+            )
+            lpddr_models.append(
+                lpddr_channel(probe.spec, bandwidth_scale=probe.bandwidth_scale)
+            )
 
         segments = len(tallies_per_point[0])
         shape = (count, segments)
 
         def grid(attr: str) -> np.ndarray:
-            return np.array([[getattr(tally, attr) for tally in tallies]
-                             for tallies in tallies_per_point], dtype=np.float64)
+            return np.array(
+                [
+                    [getattr(tally, attr) for tally in tallies]
+                    for tallies in tallies_per_point
+                ],
+                dtype=np.float64,
+            )
 
         read_bytes = grid("ddr_read_bytes")
         read_requests = grid("ddr_read_requests")
@@ -594,8 +667,9 @@ class EncoderBatchEvaluator:
         memc_max = grid("memc_flops_max")
 
         def column(attr: str, models: List[MemoryChannelModel]) -> np.ndarray:
-            return np.array([getattr(model, attr) for model in models],
-                            dtype=np.float64).reshape(count, 1)
+            return np.array(
+                [getattr(model, attr) for model in models], dtype=np.float64
+            ).reshape(count, 1)
 
         ddr_read_bw = column("effective_read_bw", ddr_models)
         ddr_write_bw = column("effective_write_bw", ddr_models)
@@ -603,25 +677,29 @@ class EncoderBatchEvaluator:
         lpddr_bw = column("effective_read_bw", lpddr_models)
         lpddr_latency = column("request_latency", lpddr_models)
 
-        def bulk_time(nbytes: np.ndarray, requests: np.ndarray,
-                      bandwidth: np.ndarray, latency: np.ndarray) -> np.ndarray:
+        def bulk_time(
+            nbytes: np.ndarray,
+            requests: np.ndarray,
+            bandwidth: np.ndarray,
+            latency: np.ndarray,
+        ) -> np.ndarray:
             # MemoryChannelModel._bulk_time, elementwise: latency + nbytes/bw
             # + (requests-1)*latency, and exactly 0.0 for empty transfers.
             busy = latency + nbytes / bandwidth + (requests - 1.0) * latency
-            return np.where((nbytes == 0.0) | (requests == 0.0),
-                            np.zeros(shape), busy)
+            return np.where((nbytes == 0.0) | (requests == 0.0), np.zeros(shape), busy)
 
-        ddr_busy = (bulk_time(read_bytes, read_requests, ddr_read_bw, ddr_latency)
-                    + bulk_time(write_bytes, write_requests, ddr_write_bw,
-                                ddr_latency))
-        lpddr_busy = bulk_time(lpddr_bytes, lpddr_requests, lpddr_bw,
-                               lpddr_latency)
+        ddr_busy = (
+            bulk_time(read_bytes, read_requests, ddr_read_bw, ddr_latency)
+            + bulk_time(write_bytes, write_requests, ddr_write_bw, ddr_latency)
+        )
+        lpddr_busy = bulk_time(lpddr_bytes, lpddr_requests, lpddr_bw, lpddr_latency)
         mme_busy = mme_max / mme_rate.reshape(count, 1)
         memc_busy = memc_max / MEMC_COMPUTE_THROUGHPUT
 
         # ResourceRoofline.latency_s: the max over resources (order-free).
-        segment_latency = np.maximum(np.maximum(ddr_busy, lpddr_busy),
-                                     np.maximum(mme_busy, memc_busy))
+        segment_latency = np.maximum(
+            np.maximum(ddr_busy, lpddr_busy), np.maximum(mme_busy, memc_busy)
+        )
         # EncoderResult.latency_s: sum over segments in list order; float
         # addition starting from 0.0 folds identically to a left-to-right
         # pairwise chain, so cumulative add matches sum() exactly.
@@ -630,10 +708,10 @@ class EncoderBatchEvaluator:
             latency = latency + segment_latency[:, segment_index]
 
         with np.errstate(divide="ignore", invalid="ignore"):
-            achieved = np.where(latency > 0.0,
-                                total_flops / latency / 1e12, 0.0)
-            utilization = np.where(latency > 0.0,
-                                   total_flops / latency / peak_flops, 0.0)
+            achieved = np.where(latency > 0.0, total_flops / latency / 1e12, 0.0)
+            utilization = np.where(
+                latency > 0.0, total_flops / latency / peak_flops, 0.0
+            )
 
         return _BatchRows(
             params=resolved,
@@ -681,8 +759,9 @@ class EncoderBatchEvaluator:
             "energy_j": power_w * latency_s,
         }
 
-    def evaluate_batch(self, param_sets: Sequence[Mapping[str, Any]],
-                       encoder_config) -> List[Dict[str, Any]]:
+    def evaluate_batch(
+        self, param_sets: Sequence[Mapping[str, Any]], encoder_config
+    ) -> List[Dict[str, Any]]:
         """Evaluate many ``dse_encoder`` parameter sets in one pass.
 
         ``encoder_config`` maps a model name to its :class:`BertConfig`
@@ -694,11 +773,13 @@ class EncoderBatchEvaluator:
         if not param_sets:
             return []
         rows = self._rows(param_sets, encoder_config)
-        return [self._encoder_payload(rows, index)
-                for index in range(len(rows.params))]
+        return [
+            self._encoder_payload(rows, index) for index in range(len(rows.params))
+        ]
 
-    def evaluate_chiplet_batch(self, param_sets: Sequence[Mapping[str, Any]],
-                               encoder_config) -> List[Dict[str, Any]]:
+    def evaluate_chiplet_batch(
+        self, param_sets: Sequence[Mapping[str, Any]], encoder_config
+    ) -> List[Dict[str, Any]]:
         """Evaluate many ``dse_chiplet`` parameter sets in one pass.
 
         The chiplet-only axes (chip count, link parameters) change no tally
@@ -717,8 +798,13 @@ class EncoderBatchEvaluator:
             params = dict(_CHIPLET_DEFAULTS)
             params.update(raw)
             resolved.append(params)
-            base_sets.append({key: value for key, value in params.items()
-                              if key not in _CHIPLET_ONLY})
+            base_sets.append(
+                {
+                    key: value
+                    for key, value in params.items()
+                    if key not in _CHIPLET_ONLY
+                }
+            )
         rows = self._rows(base_sets, encoder_config)
         payloads: List[Dict[str, Any]] = []
         for index, params in enumerate(resolved):
@@ -727,30 +813,35 @@ class EncoderBatchEvaluator:
                 payloads.append(self._encoder_payload(rows, index))
                 continue
             link = InterChipLink.from_design(
-                params["link_gbs"], params["link_hop_us"],
-                params["link_serialization_us"])
+                params["link_gbs"],
+                params["link_hop_us"],
+                params["link_serialization_us"],
+            )
             segment_latency = [
                 float(rows.segment_latency[index, position])
-                for position in range(rows.segment_latency.shape[1])]
+                for position in range(rows.segment_latency.shape[1])
+            ]
             ddr_bytes_total, lpddr_bytes_total = self._traffic(rows, index)
-            payloads.append(chiplet_payload(
-                segment_latency_s=segment_latency,
-                flops=float(rows.total_flops[index]),
-                ddr_bytes=ddr_bytes_total,
-                lpddr_bytes=lpddr_bytes_total,
-                batch=params["batch"],
-                seq_len=params["seq_len"],
-                encoder=encoder_config(params["model"]),
-                config=rows.probes[index],
-                per_chip_peak_flops=float(rows.peak_flops[index]),
-                num_chips=num_chips,
-                link=link,
-            ))
+            payloads.append(
+                chiplet_payload(
+                    segment_latency_s=segment_latency,
+                    flops=float(rows.total_flops[index]),
+                    ddr_bytes=ddr_bytes_total,
+                    lpddr_bytes=lpddr_bytes_total,
+                    batch=params["batch"],
+                    seq_len=params["seq_len"],
+                    encoder=encoder_config(params["model"]),
+                    config=rows.probes[index],
+                    per_chip_peak_flops=float(rows.peak_flops[index]),
+                    num_chips=num_chips,
+                    link=link,
+                )
+            )
         return payloads
 
-    def batch_size_costs(self, base_params: Mapping[str, Any],
-                         batch_sizes: Sequence[int],
-                         encoder_config) -> Dict[int, Dict[str, Any]]:
+    def batch_size_costs(
+        self, base_params: Mapping[str, Any], batch_sizes: Sequence[int], encoder_config
+    ) -> Dict[int, Dict[str, Any]]:
         """Cost one design point across a range of serving batch sizes.
 
         The serving simulator's per-dispatch cost function: every batch a

@@ -23,9 +23,15 @@ from ..workloads.layers import ModelSpec
 from .codegen import CodegenOptions
 from .datapath import XNNConfig
 
-__all__ = ["LoadStoreOrdering", "ddr_busy_estimate", "bandwidth_sweep_latency",
-           "analytic_bandwidth_sweep", "infinite_bandwidth_bound",
-           "infinite_compute_bound", "BandwidthSweepPoint"]
+__all__ = [
+    "LoadStoreOrdering",
+    "ddr_busy_estimate",
+    "bandwidth_sweep_latency",
+    "analytic_bandwidth_sweep",
+    "infinite_bandwidth_bound",
+    "infinite_compute_bound",
+    "BandwidthSweepPoint",
+]
 
 
 class LoadStoreOrdering(str, Enum):
@@ -42,8 +48,13 @@ class LoadStoreOrdering(str, Enum):
     INSTRUCTION_INTERLEAVED = "interleaved"
 
 
-def ddr_busy_estimate(load_s: float, store_s: float, compute_s: float,
-                      ordering: LoadStoreOrdering, tiles: int = 1) -> float:
+def ddr_busy_estimate(
+    load_s: float,
+    store_s: float,
+    compute_s: float,
+    ordering: LoadStoreOrdering,
+    tiles: int = 1,
+) -> float:
     """Estimated time to process ``tiles`` output tiles on one DDR channel.
 
     ``load_s``/``store_s``/``compute_s`` are the per-tile load, store, and
@@ -113,11 +124,13 @@ def infinite_compute_bound(model: ModelSpec, spec: VCK190Spec = VCK190) -> float
     return max(ddr_time, lpddr_time)
 
 
-def bandwidth_sweep_latency(scales: Sequence[float] = (0.5, 1.0, 2.0, 3.0),
-                            batch: int = 8, seq_len: int = 384,
-                            options: Optional[CodegenOptions] = None,
-                            base_config: Optional[XNNConfig] = None
-                            ) -> List[BandwidthSweepPoint]:
+def bandwidth_sweep_latency(
+    scales: Sequence[float] = (0.5, 1.0, 2.0, 3.0),
+    batch: int = 8,
+    seq_len: int = 384,
+    options: Optional[CodegenOptions] = None,
+    base_config: Optional[XNNConfig] = None,
+) -> List[BandwidthSweepPoint]:
     """Re-run the encoder with scaled off-chip bandwidth (Table 11).
 
     Each scale point builds a fresh timing-only datapath whose DDR and LPDDR
@@ -147,17 +160,23 @@ def bandwidth_sweep_latency(scales: Sequence[float] = (0.5, 1.0, 2.0, 3.0),
         )
         executor = XNNExecutor(config=config, options=options)
         result = executor.run_encoder(batch=batch, seq_len=seq_len)
-        points.append(BandwidthSweepPoint(label=f"{scale:g}X BW",
-                                          bandwidth_scale=scale,
-                                          latency_s=result.latency_s))
+        points.append(
+            BandwidthSweepPoint(
+                label=f"{scale:g}X BW",
+                bandwidth_scale=scale,
+                latency_s=result.latency_s,
+            )
+        )
     return points
 
 
-def analytic_bandwidth_sweep(scales: Sequence[float] = (0.5, 1.0, 2.0, 3.0),
-                             batch: int = 8, seq_len: int = 384,
-                             options: Optional[CodegenOptions] = None,
-                             base_config: Optional[XNNConfig] = None
-                             ) -> List[BandwidthSweepPoint]:
+def analytic_bandwidth_sweep(
+    scales: Sequence[float] = (0.5, 1.0, 2.0, 3.0),
+    batch: int = 8,
+    seq_len: int = 384,
+    options: Optional[CodegenOptions] = None,
+    base_config: Optional[XNNConfig] = None,
+) -> List[BandwidthSweepPoint]:
     """The Table 11 sweep on the analytic fast-model backend.
 
     Same sweep shape as :func:`bandwidth_sweep_latency` but each point is a
@@ -174,8 +193,13 @@ def analytic_bandwidth_sweep(scales: Sequence[float] = (0.5, 1.0, 2.0, 3.0),
     for scale in scales:
         config = replace(base_config, carry_data=False, bandwidth_scale=scale)
         result = AnalyticXNN(config=config, options=options).run_encoder(
-            batch=batch, seq_len=seq_len)
-        points.append(BandwidthSweepPoint(label=f"{scale:g}X BW",
-                                          bandwidth_scale=scale,
-                                          latency_s=result.latency_s))
+            batch=batch, seq_len=seq_len
+        )
+        points.append(
+            BandwidthSweepPoint(
+                label=f"{scale:g}X BW",
+                bandwidth_scale=scale,
+                latency_s=result.latency_s,
+            )
+        )
     return points

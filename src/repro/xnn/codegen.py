@@ -82,14 +82,18 @@ class CodegenOptions:
         for knob in ("tile_m", "tile_k", "super_n"):
             value = getattr(self, knob)
             if not isinstance(value, int) or value < 1:
-                raise ValueError(f"CodegenOptions.{knob} must be a positive "
-                                 f"integer, got {value!r}")
+                raise ValueError(
+                    f"CodegenOptions.{knob} must be a positive integer, got {value!r}"
+                )
 
     @classmethod
     def baseline(cls) -> "CodegenOptions":
         """The layer-serial overlay style of Table 9's "No Optimize" column."""
-        return cls(interleave_load_store=False, pipeline_attention=False,
-                   overlap_prolog_epilog=False)
+        return cls(
+            interleave_load_store=False,
+            pipeline_attention=False,
+            overlap_prolog_epilog=False,
+        )
 
     @classmethod
     def all_optimizations(cls) -> "CodegenOptions":
@@ -106,8 +110,9 @@ class CodegenOptions:
         valid = {f.name for f in fields(cls)}
         unknown = sorted(set(overrides) - valid)
         if unknown:
-            raise ValueError(f"unknown codegen option(s) {unknown}; "
-                             f"valid: {sorted(valid)}")
+            raise ValueError(
+                f"unknown codegen option(s) {unknown}; valid: {sorted(valid)}"
+            )
         return cls(**overrides)
 
 
@@ -154,15 +159,49 @@ class ProgramBuilder:
         self._mem_a_cursor += 1
         return name
 
-    def _ddr_load(self, tensor: str, row0: int, col0: int, rows: int, cols: int,
-                  dest: str, strided: bool = False) -> UOp:
-        return self._uop("DDR", load=True, tensor=tensor, row0=row0, col0=col0,
-                         rows=rows, cols=cols, dest=dest, strided=strided)
+    def _ddr_load(
+        self,
+        tensor: str,
+        row0: int,
+        col0: int,
+        rows: int,
+        cols: int,
+        dest: str,
+        strided: bool = False,
+    ) -> UOp:
+        return self._uop(
+            "DDR",
+            load=True,
+            tensor=tensor,
+            row0=row0,
+            col0=col0,
+            rows=rows,
+            cols=cols,
+            dest=dest,
+            strided=strided,
+        )
 
-    def _ddr_store(self, tensor: str, row0: int, col0: int, rows: int, cols: int,
-                   src: str, strided: bool = False) -> UOp:
-        return self._uop("DDR", store=True, tensor=tensor, row0=row0, col0=col0,
-                         rows=rows, cols=cols, src=src, strided=strided)
+    def _ddr_store(
+        self,
+        tensor: str,
+        row0: int,
+        col0: int,
+        rows: int,
+        cols: int,
+        src: str,
+        strided: bool = False,
+    ) -> UOp:
+        return self._uop(
+            "DDR",
+            store=True,
+            tensor=tensor,
+            row0=row0,
+            col0=col0,
+            rows=rows,
+            cols=cols,
+            src=src,
+            strided=strided,
+        )
 
     # ---------------------------------------------------- DDR order scheduling
 
@@ -225,8 +264,11 @@ class ProgramBuilder:
             if interleave:
                 # Stores whose data a load in this group depends on must retire
                 # before those loads; the rest drain inside the load gaps.
-                conflicting = [s for s in previous_stores
-                               if any(self._transfers_conflict(s, load) for load in loads)]
+                conflicting = [
+                    s
+                    for s in previous_stores
+                    if any(self._transfers_conflict(s, load) for load in loads)
+                ]
                 safe = [s for s in previous_stores if s not in conflicting]
                 sequence.extend(conflicting)
                 sequence.extend(self._interleave(loads, safe))
@@ -244,9 +286,16 @@ class ProgramBuilder:
 
     # ----------------------------------------------------------- GEMM layers
 
-    def add_gemm_layer(self, layer: MatMulLayer, lhs: str, rhs: str, out: str,
-                       bias: Optional[str] = None, residual: Optional[str] = None,
-                       label: Optional[str] = None) -> GemmTiling:
+    def add_gemm_layer(
+        self,
+        layer: MatMulLayer,
+        lhs: str,
+        rhs: str,
+        out: str,
+        bias: Optional[str] = None,
+        residual: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> GemmTiling:
         """Emit instructions for one weight-stationary-off-chip GEMM layer.
 
         ``lhs``/``rhs``/``out`` are host-memory tensor names; the RHS is loaded
@@ -260,12 +309,20 @@ class ProgramBuilder:
             )
         label = label or layer.name
         options = self.options
-        tiling = plan_gemm_tiling(layer.m, layer.k, layer.n,
-                                  num_mme=self.xnn.config.num_mme,
-                                  tile_m=options.tile_m, tile_k=options.tile_k,
-                                  super_n=options.super_n)
-        ops_out = tuple(_FUSED_TO_MEMC[op] for op in layer.fused_ops
-                        if op in _FUSED_TO_MEMC and op != FusedOp.SOFTMAX)
+        tiling = plan_gemm_tiling(
+            layer.m,
+            layer.k,
+            layer.n,
+            num_mme=self.xnn.config.num_mme,
+            tile_m=options.tile_m,
+            tile_k=options.tile_k,
+            super_n=options.super_n,
+        )
+        ops_out = tuple(
+            _FUSED_TO_MEMC[op]
+            for op in layer.fused_ops
+            if op in _FUSED_TO_MEMC and op != FusedOp.SOFTMAX
+        )
         mem_a = self._next_mem_a()
         mem_b_names = self.xnn.mem_b_names
         mme_names = self.xnn.mme_names
@@ -278,21 +335,32 @@ class ProgramBuilder:
 
                 # -- DDR loads (LHS + residual) and stores for this output tile.
                 loads = [
-                    self._ddr_load(lhs, m_block.start, kb.start, m_block.size, kb.size,
-                                   dest=mem_a)
+                    self._ddr_load(
+                        lhs, m_block.start, kb.start, m_block.size, kb.size, dest=mem_a
+                    )
                     for kb in tiling.k_blocks
                 ]
                 if residual is not None:
                     loads.extend(
-                        self._ddr_load(residual, m_block.start, col.start,
-                                       m_block.size, col.size,
-                                       dest=self.xnn.mem_c_names[g])
+                        self._ddr_load(
+                            residual,
+                            m_block.start,
+                            col.start,
+                            m_block.size,
+                            col.size,
+                            dest=self.xnn.mem_c_names[g],
+                        )
                         for g, col in active
                     )
                 stores = [
-                    self._ddr_store(out, m_block.start, col.start,
-                                    m_block.size, col.size,
-                                    src=self.xnn.mem_c_names[g])
+                    self._ddr_store(
+                        out,
+                        m_block.start,
+                        col.start,
+                        m_block.size,
+                        col.size,
+                        src=self.xnn.mem_c_names[g],
+                    )
                     for g, col in active
                 ]
                 self._push_group(loads, stores)
@@ -301,9 +369,19 @@ class ProgramBuilder:
                 for kb in tiling.k_blocks:
                     for g, col in active:
                         dest = mem_b_names[g % len(mem_b_names)]
-                        self._emit("LPDDR", self._uop(
-                            "LPDDR", load=True, tensor=rhs, row0=kb.start,
-                            col0=col.start, rows=kb.size, cols=col.size, dest=dest))
+                        self._emit(
+                            "LPDDR",
+                            self._uop(
+                                "LPDDR",
+                                load=True,
+                                tensor=rhs,
+                                row0=kb.start,
+                                col0=col.start,
+                                rows=kb.size,
+                                cols=col.size,
+                                dest=dest,
+                            ),
+                        )
 
                 # -- MemA ping-pong: prolog load, steady load+send, epilog send.
                 self._emit(mem_a, self._uop("MemA", load=True, send=False))
@@ -317,42 +395,81 @@ class ProgramBuilder:
                     chunk_count = k_steps * len(owned)
                     if not chunk_count:
                         continue
-                    self._emit(mem_b, self._uop("MemB", load=True, send=False,
-                                                source="lpddr"))
+                    self._emit(
+                        mem_b, self._uop("MemB", load=True, send=False, source="lpddr")
+                    )
                     for _ in range(chunk_count - 1):
-                        self._emit(mem_b, self._uop("MemB", load=True, send=True,
-                                                    source="lpddr"))
-                    self._emit(mem_b, self._uop("MemB", load=False, send=True,
-                                                source="lpddr"))
+                        self._emit(
+                            mem_b,
+                            self._uop("MemB", load=True, send=True, source="lpddr"),
+                        )
+                    self._emit(
+                        mem_b, self._uop("MemB", load=False, send=True, source="lpddr")
+                    )
 
                 # -- Mesh routing for the whole output tile.
-                self._emit("MeshA", self._uop(
-                    "MeshA", src=mem_a,
-                    dests=tuple(mme_names[g] for g, _ in active), count=k_steps))
-                self._emit("MeshB", self._uop(
+                self._emit(
+                    "MeshA",
+                    self._uop(
+                        "MeshA",
+                        src=mem_a,
+                        dests=tuple(mme_names[g] for g, _ in active),
+                        count=k_steps,
+                    ),
+                )
+                self._emit(
                     "MeshB",
-                    routes=tuple((mem_b_names[g % len(mem_b_names)], mme_names[g])
-                                 for g, _ in active),
-                    count=k_steps))
+                    self._uop(
+                        "MeshB",
+                        routes=tuple(
+                            (mem_b_names[g % len(mem_b_names)], mme_names[g])
+                            for g, _ in active
+                        ),
+                        count=k_steps,
+                    ),
+                )
 
                 # -- Compute and post-processing.
                 for g, col in active:
-                    self._emit(mme_names[g], self._uop(
-                        "MME", k_steps=k_steps, emit=True,
-                        tag=f"{label}[{m_block.start},{col.start}]"))
-                    self._emit(self.xnn.mem_c_names[g], self._uop(
-                        "MemC", recv=True, ops=ops_out,
-                        residual=residual is not None,
-                        bias_tensor=bias, col0=col.start, send_to="ddr"))
+                    self._emit(
+                        mme_names[g],
+                        self._uop(
+                            "MME",
+                            k_steps=k_steps,
+                            emit=True,
+                            tag=f"{label}[{m_block.start},{col.start}]",
+                        ),
+                    )
+                    self._emit(
+                        self.xnn.mem_c_names[g],
+                        self._uop(
+                            "MemC",
+                            recv=True,
+                            ops=ops_out,
+                            residual=residual is not None,
+                            bias_tensor=bias,
+                            col0=col.start,
+                            send_to="ddr",
+                        ),
+                    )
         self._flush_ddr_groups()
         return tiling
 
     # ------------------------------------------------------------- attention
 
-    def add_attention(self, seq_len: int, head_dim: int, num_heads: int,
-                      heads_per_sample: int, query: str, key: str, value: str,
-                      out: str, scores_scratch: str = "attention_scores",
-                      label: str = "attention") -> None:
+    def add_attention(
+        self,
+        seq_len: int,
+        head_dim: int,
+        num_heads: int,
+        heads_per_sample: int,
+        query: str,
+        key: str,
+        value: str,
+        out: str,
+        scores_scratch: str = "attention_scores",
+        label: str = "attention",
+    ) -> None:
         """Emit instructions for the attention MM1 -> softmax -> MM2 chain.
 
         With ``pipeline_attention`` the score matrix of each head stays on
@@ -363,23 +480,50 @@ class ProgramBuilder:
         the paper measures an 8.5x penalty for.
         """
         if self.options.pipeline_attention:
-            self._add_attention_pipelined(seq_len, head_dim, num_heads,
-                                          heads_per_sample, query, key, value, out,
-                                          label)
+            self._add_attention_pipelined(
+                seq_len,
+                head_dim,
+                num_heads,
+                heads_per_sample,
+                query,
+                key,
+                value,
+                out,
+                label,
+            )
         else:
-            self._add_attention_serial(seq_len, head_dim, num_heads,
-                                       heads_per_sample, query, key, value, out,
-                                       scores_scratch, label)
+            self._add_attention_serial(
+                seq_len,
+                head_dim,
+                num_heads,
+                heads_per_sample,
+                query,
+                key,
+                value,
+                out,
+                scores_scratch,
+                label,
+            )
 
-    def _head_slices(self, head: int, heads_per_sample: int, seq_len: int,
-                     head_dim: int) -> Tuple[int, int]:
+    def _head_slices(
+        self, head: int, heads_per_sample: int, seq_len: int, head_dim: int
+    ) -> Tuple[int, int]:
         sample = head // heads_per_sample
         head_in_sample = head % heads_per_sample
         return sample * seq_len, head_in_sample * head_dim
 
-    def _add_attention_pipelined(self, seq_len, head_dim, num_heads,
-                                 heads_per_sample, query, key, value, out,
-                                 label) -> None:
+    def _add_attention_pipelined(
+        self,
+        seq_len,
+        head_dim,
+        num_heads,
+        heads_per_sample,
+        query,
+        key,
+        value,
+        out,
+        label,
+    ) -> None:
         """Heads are processed in groups of ``num_mme // 2``.
 
         Within one group, head ``i`` runs its score MM on MM1 engine ``i`` and
@@ -399,16 +543,30 @@ class ProgramBuilder:
             heads = list(range(group_start, min(group_start + half, num_heads)))
             placements = []
             for slot, head in enumerate(heads):
-                row0, col0 = self._head_slices(head, heads_per_sample, seq_len, head_dim)
-                placements.append({
-                    "head": head, "row0": row0, "col0": col0,
-                    "mme1": self.xnn.mme_names[mm1_engines[slot % len(mm1_engines)]],
-                    "mme2": self.xnn.mme_names[mm2_engines[slot % len(mm2_engines)]],
-                    "memc1": self.xnn.mem_c_names[mm1_engines[slot % len(mm1_engines)]],
-                    "memc2": self.xnn.mem_c_names[mm2_engines[slot % len(mm2_engines)]],
-                    "mem_a": mem_a_names[slot % len(mem_a_names)],
-                    "mem_b": mem_b_names[slot % len(mem_b_names)],
-                })
+                row0, col0 = self._head_slices(
+                    head, heads_per_sample, seq_len, head_dim
+                )
+                placements.append(
+                    {
+                        "head": head,
+                        "row0": row0,
+                        "col0": col0,
+                        "mme1": self.xnn.mme_names[
+                            mm1_engines[slot % len(mm1_engines)]
+                        ],
+                        "mme2": self.xnn.mme_names[
+                            mm2_engines[slot % len(mm2_engines)]
+                        ],
+                        "memc1": self.xnn.mem_c_names[
+                            mm1_engines[slot % len(mm1_engines)]
+                        ],
+                        "memc2": self.xnn.mem_c_names[
+                            mm2_engines[slot % len(mm2_engines)]
+                        ],
+                        "mem_a": mem_a_names[slot % len(mem_a_names)],
+                        "mem_b": mem_b_names[slot % len(mem_b_names)],
+                    }
+                )
 
             # Off-chip traffic: one transfer group per head *group*, because the
             # group's Mesh routes need every head's operands before any of the
@@ -417,15 +575,28 @@ class ProgramBuilder:
             # drains the previous group's stores inside this group's load gaps.
             group_loads: List[UOp] = []
             group_stores: List[UOp] = []
-            for tensor, dest_key in ((query, "mem_a"), (key, "mem_b"), (value, "mem_b")):
+            for tensor, dest_key in (
+                (query, "mem_a"),
+                (key, "mem_b"),
+                (value, "mem_b"),
+            ):
                 for p in placements:
                     group_loads.append(
-                        self._ddr_load(tensor, p["row0"], p["col0"], seq_len, head_dim,
-                                       dest=p[dest_key]))
+                        self._ddr_load(
+                            tensor,
+                            p["row0"],
+                            p["col0"],
+                            seq_len,
+                            head_dim,
+                            dest=p[dest_key],
+                        )
+                    )
             for p in placements:
                 group_stores.append(
-                    self._ddr_store(out, p["row0"], p["col0"], seq_len, head_dim,
-                                    src=p["memc2"]))
+                    self._ddr_store(
+                        out, p["row0"], p["col0"], seq_len, head_dim, src=p["memc2"]
+                    )
+                )
             self._push_group(group_loads, group_stores)
 
             # Scratchpad traffic, in the same order the DDR delivers the tiles:
@@ -435,46 +606,99 @@ class ProgramBuilder:
                 self._emit(p["mem_a"], self._uop("MemA", load=True, send=False))
                 self._emit(p["mem_a"], self._uop("MemA", load=False, send=True))
             for p in placements:
-                self._emit(p["mem_b"], self._uop("MemB", load=True, send=False,
-                                                 source="ddr"))
-                self._emit(p["mem_b"], self._uop("MemB", load=False, send=True,
-                                                 source="ddr", transpose=True))
+                self._emit(
+                    p["mem_b"], self._uop("MemB", load=True, send=False, source="ddr")
+                )
+                self._emit(
+                    p["mem_b"],
+                    self._uop(
+                        "MemB", load=False, send=True, source="ddr", transpose=True
+                    ),
+                )
             for p in placements:
-                self._emit(p["mem_b"], self._uop("MemB", load=True, send=False,
-                                                 source="ddr"))
-                self._emit(p["mem_b"], self._uop("MemB", load=False, send=True,
-                                                 source="ddr"))
+                self._emit(
+                    p["mem_b"], self._uop("MemB", load=True, send=False, source="ddr")
+                )
+                self._emit(
+                    p["mem_b"], self._uop("MemB", load=False, send=True, source="ddr")
+                )
 
             # Mesh routing: one parallel-route uOP per stage for the whole group.
-            self._emit("MeshA", self._uop(
-                "MeshA", routes=tuple((p["mem_a"], p["mme1"]) for p in placements),
-                count=1))
-            self._emit("MeshB", self._uop(
-                "MeshB", routes=tuple((p["mem_b"], p["mme1"]) for p in placements),
-                count=1))
-            self._emit("MeshA", self._uop(
-                "MeshA", routes=tuple((p["memc1"], p["mme2"]) for p in placements),
-                count=1))
-            self._emit("MeshB", self._uop(
-                "MeshB", routes=tuple((p["mem_b"], p["mme2"]) for p in placements),
-                count=1))
+            self._emit(
+                "MeshA",
+                self._uop(
+                    "MeshA",
+                    routes=tuple((p["mem_a"], p["mme1"]) for p in placements),
+                    count=1,
+                ),
+            )
+            self._emit(
+                "MeshB",
+                self._uop(
+                    "MeshB",
+                    routes=tuple((p["mem_b"], p["mme1"]) for p in placements),
+                    count=1,
+                ),
+            )
+            self._emit(
+                "MeshA",
+                self._uop(
+                    "MeshA",
+                    routes=tuple((p["memc1"], p["mme2"]) for p in placements),
+                    count=1,
+                ),
+            )
+            self._emit(
+                "MeshB",
+                self._uop(
+                    "MeshB",
+                    routes=tuple((p["mem_b"], p["mme2"]) for p in placements),
+                    count=1,
+                ),
+            )
 
             # Compute and post-processing per head.
             for p in placements:
-                self._emit(p["mme1"], self._uop("MME", k_steps=1, emit=True,
-                                                tag=f"{label}-scores[{p['head']}]"))
-                self._emit(p["memc1"], self._uop("MemC", recv=True,
-                                                 ops=("scale", "softmax"),
-                                                 scale_factor=scale,
-                                                 send_to="mesh_a"))
-                self._emit(p["mme2"], self._uop("MME", k_steps=1, emit=True,
-                                                tag=f"{label}-context[{p['head']}]"))
-                self._emit(p["memc2"], self._uop("MemC", recv=True, ops=(),
-                                                 send_to="ddr"))
+                self._emit(
+                    p["mme1"],
+                    self._uop(
+                        "MME", k_steps=1, emit=True, tag=f"{label}-scores[{p['head']}]"
+                    ),
+                )
+                self._emit(
+                    p["memc1"],
+                    self._uop(
+                        "MemC",
+                        recv=True,
+                        ops=("scale", "softmax"),
+                        scale_factor=scale,
+                        send_to="mesh_a",
+                    ),
+                )
+                self._emit(
+                    p["mme2"],
+                    self._uop(
+                        "MME", k_steps=1, emit=True, tag=f"{label}-context[{p['head']}]"
+                    ),
+                )
+                self._emit(
+                    p["memc2"], self._uop("MemC", recv=True, ops=(), send_to="ddr")
+                )
         self._flush_ddr_groups()
 
-    def _add_attention_serial(self, seq_len, head_dim, num_heads, heads_per_sample,
-                              query, key, value, out, scores_scratch, label) -> None:
+    def _add_attention_serial(
+        self,
+        seq_len,
+        head_dim,
+        num_heads,
+        heads_per_sample,
+        query,
+        key,
+        value,
+        out,
+        scores_scratch,
+        label,
+    ) -> None:
         """Layer-serial attention: score matrices round-trip through DDR."""
         if scores_scratch not in self.xnn.memory:
             self.xnn.memory.allocate(scores_scratch, (num_heads * seq_len, seq_len))
@@ -493,20 +717,35 @@ class ProgramBuilder:
                 self._ddr_load(query, row0, col0, seq_len, head_dim, dest=mem_a),
                 self._ddr_load(key, row0, col0, seq_len, head_dim, dest=mem_b),
             ]
-            stores = [self._ddr_store(scores_scratch, head * seq_len, 0, seq_len, seq_len,
-                                      src=memc)]
+            stores = [
+                self._ddr_store(
+                    scores_scratch, head * seq_len, 0, seq_len, seq_len, src=memc
+                )
+            ]
             self._push_group(loads, stores)
             self._emit(mem_a, self._uop("MemA", load=True, send=False))
             self._emit(mem_a, self._uop("MemA", load=False, send=True))
             self._emit(mem_b, self._uop("MemB", load=True, send=False, source="ddr"))
-            self._emit(mem_b, self._uop("MemB", load=False, send=True, source="ddr",
-                                        transpose=True))
+            self._emit(
+                mem_b,
+                self._uop("MemB", load=False, send=True, source="ddr", transpose=True),
+            )
             self._emit("MeshA", self._uop("MeshA", src=mem_a, dests=(mme,), count=1))
             self._emit("MeshB", self._uop("MeshB", routes=((mem_b, mme),), count=1))
-            self._emit(mme, self._uop("MME", k_steps=1, emit=True,
-                                      tag=f"{label}-scores[{head}]"))
-            self._emit(memc, self._uop("MemC", recv=True, ops=("scale", "softmax"),
-                                       scale_factor=scale, send_to="ddr"))
+            self._emit(
+                mme,
+                self._uop("MME", k_steps=1, emit=True, tag=f"{label}-scores[{head}]"),
+            )
+            self._emit(
+                memc,
+                self._uop(
+                    "MemC",
+                    recv=True,
+                    ops=("scale", "softmax"),
+                    scale_factor=scale,
+                    send_to="ddr",
+                ),
+            )
         # Phase 2: reload the scores, multiply by V, store the context.
         for head in range(num_heads):
             row0, col0 = self._head_slices(head, heads_per_sample, seq_len, head_dim)
@@ -515,8 +754,9 @@ class ProgramBuilder:
             mem_a = self.xnn.mem_a_names[head % len(self.xnn.mem_a_names)]
             mem_b = mem_b_names[head % len(mem_b_names)]
             loads = [
-                self._ddr_load(scores_scratch, head * seq_len, 0, seq_len, seq_len,
-                               dest=mem_a),
+                self._ddr_load(
+                    scores_scratch, head * seq_len, 0, seq_len, seq_len, dest=mem_a
+                ),
                 self._ddr_load(value, row0, col0, seq_len, head_dim, dest=mem_b),
             ]
             stores = [self._ddr_store(out, row0, col0, seq_len, head_dim, src=memc)]
@@ -527,8 +767,10 @@ class ProgramBuilder:
             self._emit(mem_b, self._uop("MemB", load=False, send=True, source="ddr"))
             self._emit("MeshA", self._uop("MeshA", src=mem_a, dests=(mme,), count=1))
             self._emit("MeshB", self._uop("MeshB", routes=((mem_b, mme),), count=1))
-            self._emit(mme, self._uop("MME", k_steps=1, emit=True,
-                                      tag=f"{label}-context[{head}]"))
+            self._emit(
+                mme,
+                self._uop("MME", k_steps=1, emit=True, tag=f"{label}-context[{head}]"),
+            )
             self._emit(memc, self._uop("MemC", recv=True, ops=(), send_to="ddr"))
         self._flush_ddr_groups()
 
@@ -584,8 +826,7 @@ class ProgramBuilder:
             "config": asdict(self.xnn.config),
             "options": asdict(self.options),
             "uops": {
-                name: [(uop.opcode, dict(uop.fields), uop.nbytes)
-                       for uop in uops]
+                name: [(uop.opcode, dict(uop.fields), uop.nbytes) for uop in uops]
                 for name, uops in self._uops.items()
             },
         }
@@ -614,15 +855,22 @@ class ProgramBuilder:
             body = [u for u in uops if not isinstance(u, ExitUOp)]
             for packet in _packetize(fu_type, fu_name, body):
                 program.append(packet)
-        program.finalize({fu_type: names for fu_type, names in
-                          self.xnn.fu_names_by_type.items() if fu_type != "MME"})
+        program.finalize(
+            {
+                fu_type: names
+                for fu_type, names in self.xnn.fu_names_by_type.items()
+                if fu_type != "MME"
+            }
+        )
         return program
 
     def mme_uop_bytes(self) -> int:
         """Bytes of locally pre-stored AIE control words (reported separately)."""
         total = 0
         for name in self.xnn.mme_names:
-            total += sum(u.nbytes for u in self._uops[name] if not isinstance(u, ExitUOp))
+            total += sum(
+                u.nbytes for u in self._uops[name] if not isinstance(u, ExitUOp)
+            )
         return total
 
 
@@ -642,11 +890,15 @@ def _strideable(first: UOp, second: UOp) -> Optional[Tuple[int, int]]:
         keys_second.pop(key, None)
     if keys_first != keys_second:
         return None
-    return (int(second.get("row0", 0)) - int(first.get("row0", 0)),
-            int(second.get("col0", 0)) - int(first.get("col0", 0)))
+    return (
+        int(second.get("row0", 0)) - int(first.get("row0", 0)),
+        int(second.get("col0", 0)) - int(first.get("col0", 0)),
+    )
 
 
-def _packetize(fu_type: str, fu_name: str, uops: Sequence[UOp]) -> List[InstructionPacket]:
+def _packetize(
+    fu_type: str, fu_name: str, uops: Sequence[UOp]
+) -> List[InstructionPacket]:
     packets: List[InstructionPacket] = []
     index = 0
     mop_bytes = UOP_NBYTES.get(fu_type, 4)
@@ -657,10 +909,15 @@ def _packetize(fu_type: str, fu_name: str, uops: Sequence[UOp]) -> List[Instruct
         while index + run < len(uops) and _uops_equal(current, uops[index + run]):
             run += 1
         if run > 1:
-            packets.append(InstructionPacket(
-                opcode=fu_type, targets=[fu_name],
-                mops=[MOp(dict(current.fields), nbytes=mop_bytes)], reuse=run,
-                label=f"{fu_name}-repeat"))
+            packets.append(
+                InstructionPacket(
+                    opcode=fu_type,
+                    targets=[fu_name],
+                    mops=[MOp(dict(current.fields), nbytes=mop_bytes)],
+                    reuse=run,
+                    label=f"{fu_name}-repeat",
+                )
+            )
             index += run
             continue
         # 2) constant-stride address walk (off-chip FUs) -> one strided packet.
@@ -677,16 +934,26 @@ def _packetize(fu_type: str, fu_name: str, uops: Sequence[UOp]) -> List[Instruct
                 fields = dict(current.fields)
                 fields["stride_rows"], fields["stride_cols"] = stride
                 fields["stride_count"] = length
-                packets.append(InstructionPacket(
-                    opcode=fu_type, targets=[fu_name],
-                    mops=[MOp(fields, nbytes=mop_bytes)], reuse=length,
-                    label=f"{fu_name}-strided"))
+                packets.append(
+                    InstructionPacket(
+                        opcode=fu_type,
+                        targets=[fu_name],
+                        mops=[MOp(fields, nbytes=mop_bytes)],
+                        reuse=length,
+                        label=f"{fu_name}-strided",
+                    )
+                )
                 index += length
                 continue
         # 3) fallback: a single-uOP packet.
-        packets.append(InstructionPacket(
-            opcode=fu_type, targets=[fu_name],
-            mops=[MOp(dict(current.fields), nbytes=mop_bytes)], reuse=1,
-            label=f"{fu_name}-single"))
+        packets.append(
+            InstructionPacket(
+                opcode=fu_type,
+                targets=[fu_name],
+                mops=[MOp(dict(current.fields), nbytes=mop_bytes)],
+                reuse=1,
+                label=f"{fu_name}-single",
+            )
+        )
         index += 1
     return packets

@@ -84,8 +84,7 @@ class XNNConfig:
         overrides.setdefault("num_mem_c", num_mme)
         overrides.setdefault("carry_data", False)
         config = cls(num_mme=num_mme, **overrides)
-        AIEArrayModel(config.spec,
-                      MMEGroupPlan(num_groups=num_mme)).validate_plan()
+        AIEArrayModel(config.spec, MMEGroupPlan(num_groups=num_mme)).validate_plan()
         return config
 
 
@@ -114,19 +113,27 @@ class XNNDatapath:
         cap = config.channel_capacity
 
         mme_flops = self.aie.mme_flops(config.mme_tile_shape)
-        plio_in_bw = self.aie.mme_input_bw() / 2.0   # LHS and RHS share the budget
+        plio_in_bw = self.aie.mme_input_bw() / 2.0  # LHS and RHS share the budget
         plio_out_bw = self.aie.mme_output_bw()
 
         self.ddr_fu = dp.add_fu(DDRFU("DDR", self.ddr, self.memory))
         self.lpddr_fu = dp.add_fu(LPDDRFU("LPDDR", self.lpddr, self.memory))
         self.mesh_a = dp.add_fu(MeshFU("MeshA", fu_type="MeshA"))
         self.mesh_b = dp.add_fu(MeshFU("MeshB", fu_type="MeshB"))
-        self.mem_a = [dp.add_fu(MemAFU(name, config.mem_a_bytes)) for name in self.mem_a_names]
-        self.mem_b = [dp.add_fu(MemBFU(name, config.mem_b_bytes)) for name in self.mem_b_names]
-        self.mem_c = [dp.add_fu(MemCFU(name, self.memory, config.mem_c_bytes))
-                      for name in self.mem_c_names]
-        self.mme = [dp.add_fu(MMEFU(name, compute_throughput=mme_flops))
-                    for name in self.mme_names]
+        self.mem_a = [
+            dp.add_fu(MemAFU(name, config.mem_a_bytes)) for name in self.mem_a_names
+        ]
+        self.mem_b = [
+            dp.add_fu(MemBFU(name, config.mem_b_bytes)) for name in self.mem_b_names
+        ]
+        self.mem_c = [
+            dp.add_fu(MemCFU(name, self.memory, config.mem_c_bytes))
+            for name in self.mem_c_names
+        ]
+        self.mme = [
+            dp.add_fu(MMEFU(name, compute_throughput=mme_flops))
+            for name in self.mme_names
+        ]
 
         # DDR <-> scratchpads (off-chip timing charged inside the DDR FU).
         for mem_a in self.mem_a:
@@ -136,7 +143,9 @@ class XNNDatapath:
             self.ddr_fu.add_output(f"to_{mem_b.name}")
             dp.connect(self.ddr_fu, f"to_{mem_b.name}", mem_b, "from_ddr", capacity=cap)
             self.lpddr_fu.add_output(f"to_{mem_b.name}")
-            dp.connect(self.lpddr_fu, f"to_{mem_b.name}", mem_b, "from_lpddr", capacity=cap)
+            dp.connect(
+                self.lpddr_fu, f"to_{mem_b.name}", mem_b, "from_lpddr", capacity=cap
+            )
         for mem_c in self.mem_c:
             self.ddr_fu.add_output(f"to_{mem_c.name}")
             dp.connect(self.ddr_fu, f"to_{mem_c.name}", mem_c, "from_ddr", capacity=cap)
@@ -146,31 +155,73 @@ class XNNDatapath:
         # Scratchpads -> meshes (wide PL-internal streams).
         for mem_a in self.mem_a:
             self.mesh_a.add_input(f"from_{mem_a.name}")
-            dp.connect(mem_a, "to_mesh", self.mesh_a, f"from_{mem_a.name}",
-                       capacity=cap, bandwidth=config.pl_stream_bw)
+            dp.connect(
+                mem_a,
+                "to_mesh",
+                self.mesh_a,
+                f"from_{mem_a.name}",
+                capacity=cap,
+                bandwidth=config.pl_stream_bw,
+            )
         for mem_b in self.mem_b:
             self.mesh_b.add_input(f"from_{mem_b.name}")
-            dp.connect(mem_b, "to_mesh", self.mesh_b, f"from_{mem_b.name}",
-                       capacity=cap, bandwidth=config.pl_stream_bw)
+            dp.connect(
+                mem_b,
+                "to_mesh",
+                self.mesh_b,
+                f"from_{mem_b.name}",
+                capacity=cap,
+                bandwidth=config.pl_stream_bw,
+            )
         # MemC -> meshes (dynamic layer chaining).
         for mem_c in self.mem_c:
             self.mesh_a.add_input(f"from_{mem_c.name}")
-            dp.connect(mem_c, "to_mesh_a", self.mesh_a, f"from_{mem_c.name}",
-                       capacity=cap, bandwidth=config.pl_stream_bw)
+            dp.connect(
+                mem_c,
+                "to_mesh_a",
+                self.mesh_a,
+                f"from_{mem_c.name}",
+                capacity=cap,
+                bandwidth=config.pl_stream_bw,
+            )
             self.mesh_b.add_input(f"from_{mem_c.name}")
-            dp.connect(mem_c, "to_mesh_b", self.mesh_b, f"from_{mem_c.name}",
-                       capacity=cap, bandwidth=config.pl_stream_bw)
+            dp.connect(
+                mem_c,
+                "to_mesh_b",
+                self.mesh_b,
+                f"from_{mem_c.name}",
+                capacity=cap,
+                bandwidth=config.pl_stream_bw,
+            )
 
         # Meshes -> MMEs (PLIO streams) and MMEs -> their MemC.
         for index, mme in enumerate(self.mme):
             self.mesh_a.add_output(f"to_{mme.name}")
-            dp.connect(self.mesh_a, f"to_{mme.name}", mme, "lhs",
-                       capacity=cap, bandwidth=plio_in_bw)
+            dp.connect(
+                self.mesh_a,
+                f"to_{mme.name}",
+                mme,
+                "lhs",
+                capacity=cap,
+                bandwidth=plio_in_bw,
+            )
             self.mesh_b.add_output(f"to_{mme.name}")
-            dp.connect(self.mesh_b, f"to_{mme.name}", mme, "rhs",
-                       capacity=cap, bandwidth=plio_in_bw)
-            dp.connect(mme, "out", self.mem_c[index], "from_mme",
-                       capacity=cap, bandwidth=plio_out_bw)
+            dp.connect(
+                self.mesh_b,
+                f"to_{mme.name}",
+                mme,
+                "rhs",
+                capacity=cap,
+                bandwidth=plio_in_bw,
+            )
+            dp.connect(
+                mme,
+                "out",
+                self.mem_c[index],
+                "from_mme",
+                capacity=cap,
+                bandwidth=plio_out_bw,
+            )
 
     # ------------------------------------------------------------- accessors
 
@@ -203,33 +254,78 @@ class XNNDatapath:
         properties = []
         mme_flops = self.aie.mme_flops(self.config.mme_tile_shape)
         for name in self.mme_names:
-            properties.append({"fu": name, "tflops": mme_flops / 1e12,
-                               "memory_mb": self.aie.mme_local_memory_bytes() / 2 ** 20,
-                               "bandwidth_gbs": (self.aie.mme_input_bw()
-                                                 + self.aie.mme_output_bw()) / 1e9})
+            properties.append(
+                {
+                    "fu": name,
+                    "tflops": mme_flops / 1e12,
+                    "memory_mb": self.aie.mme_local_memory_bytes() / 2**20,
+                    "bandwidth_gbs": (
+                        self.aie.mme_input_bw() + self.aie.mme_output_bw()
+                    )
+                    / 1e9,
+                }
+            )
         for name in self.mem_a_names:
-            properties.append({"fu": name, "tflops": 0.0,
-                               "memory_mb": self.config.mem_a_bytes / 2 ** 20,
-                               "bandwidth_gbs": 2 * self.config.pl_stream_bw / 1e9})
+            properties.append(
+                {
+                    "fu": name,
+                    "tflops": 0.0,
+                    "memory_mb": self.config.mem_a_bytes / 2**20,
+                    "bandwidth_gbs": 2 * self.config.pl_stream_bw / 1e9,
+                }
+            )
         for name in self.mem_b_names:
-            properties.append({"fu": name, "tflops": 0.0,
-                               "memory_mb": self.config.mem_b_bytes / 2 ** 20,
-                               "bandwidth_gbs": 2 * self.config.pl_stream_bw / 1e9})
+            properties.append(
+                {
+                    "fu": name,
+                    "tflops": 0.0,
+                    "memory_mb": self.config.mem_b_bytes / 2**20,
+                    "bandwidth_gbs": 2 * self.config.pl_stream_bw / 1e9,
+                }
+            )
         for index, name in enumerate(self.mem_c_names):
-            properties.append({"fu": name,
-                               "tflops": self.mem_c[index].compute_throughput / 1e12,
-                               "memory_mb": self.config.mem_c_bytes / 2 ** 20,
-                               "bandwidth_gbs": (self.aie.mme_output_bw()
-                                                 + self.ddr.effective_write_bw) / 1e9})
+            properties.append(
+                {
+                    "fu": name,
+                    "tflops": self.mem_c[index].compute_throughput / 1e12,
+                    "memory_mb": self.config.mem_c_bytes / 2**20,
+                    "bandwidth_gbs": (
+                        self.aie.mme_output_bw() + self.ddr.effective_write_bw
+                    )
+                    / 1e9,
+                }
+            )
         for mesh in ("MeshA", "MeshB"):
-            properties.append({"fu": mesh, "tflops": 0.0, "memory_mb": 0.0,
-                               "bandwidth_gbs": self.config.num_mme
-                               * self.aie.mme_input_bw() / 2 / 1e9})
-        properties.append({"fu": "DDR", "tflops": 0.0, "memory_mb": 0.0,
-                           "bandwidth_gbs": (self.ddr.effective_read_bw
-                                             + self.ddr.effective_write_bw) / 1e9})
-        properties.append({"fu": "LPDDR", "tflops": 0.0, "memory_mb": 0.0,
-                           "bandwidth_gbs": self.lpddr.effective_read_bw / 1e9})
+            properties.append(
+                {
+                    "fu": mesh,
+                    "tflops": 0.0,
+                    "memory_mb": 0.0,
+                    "bandwidth_gbs": self.config.num_mme
+                    * self.aie.mme_input_bw()
+                    / 2
+                    / 1e9,
+                }
+            )
+        properties.append(
+            {
+                "fu": "DDR",
+                "tflops": 0.0,
+                "memory_mb": 0.0,
+                "bandwidth_gbs": (
+                    self.ddr.effective_read_bw + self.ddr.effective_write_bw
+                )
+                / 1e9,
+            }
+        )
+        properties.append(
+            {
+                "fu": "LPDDR",
+                "tflops": 0.0,
+                "memory_mb": 0.0,
+                "bandwidth_gbs": self.lpddr.effective_read_bw / 1e9,
+            }
+        )
         return properties
 
 

@@ -132,9 +132,12 @@ class XNNExecutor:
         depends on), which ``tests/differential/test_segment_memo_contract.py`` pins.
     """
 
-    def __init__(self, config: Optional[XNNConfig] = None,
-                 options: Optional[CodegenOptions] = None,
-                 segment_memo=_PROCESS_MEMO):
+    def __init__(
+        self,
+        config: Optional[XNNConfig] = None,
+        options: Optional[CodegenOptions] = None,
+        segment_memo=_PROCESS_MEMO,
+    ):
         self.config = config or XNNConfig(carry_data=False)
         self.options = options or CodegenOptions()
         if segment_memo is _PROCESS_MEMO:
@@ -144,8 +147,9 @@ class XNNExecutor:
 
     # ----------------------------------------------------------- primitives
 
-    def _simulate(self, xnn: XNNDatapath, builder: ProgramBuilder,
-                  name: str, flops: float) -> SegmentResult:
+    def _simulate(
+        self, xnn: XNNDatapath, builder: ProgramBuilder, name: str, flops: float
+    ) -> SegmentResult:
         builder.load_programs()
         uops = builder.uop_count()
         memo = self.segment_memo if not xnn.memory.carry_data else None
@@ -185,12 +189,16 @@ class XNNExecutor:
 
     # ------------------------------------------------------------ single GEMM
 
-    def run_gemm(self, m: int, k: int, n: int,
-                 lhs_data: Optional[np.ndarray] = None,
-                 rhs_data: Optional[np.ndarray] = None,
-                 fused_ops: Tuple[FusedOp, ...] = (),
-                 bias_data: Optional[np.ndarray] = None
-                 ) -> Tuple[SegmentResult, Optional[np.ndarray]]:
+    def run_gemm(
+        self,
+        m: int,
+        k: int,
+        n: int,
+        lhs_data: Optional[np.ndarray] = None,
+        rhs_data: Optional[np.ndarray] = None,
+        fused_ops: Tuple[FusedOp, ...] = (),
+        bias_data: Optional[np.ndarray] = None,
+    ) -> Tuple[SegmentResult, Optional[np.ndarray]]:
         """Run one GEMM layer end to end; returns the result and the output."""
         xnn = self._fresh_datapath()
         memory = xnn.memory
@@ -214,8 +222,9 @@ class XNNExecutor:
 
     # --------------------------------------------------------------- encoder
 
-    def _setup_encoder_memory(self, xnn: XNNDatapath, batch: int, seq_len: int,
-                              config: BertConfig, seed: int) -> Dict[str, np.ndarray]:
+    def _setup_encoder_memory(
+        self, xnn: XNNDatapath, batch: int, seq_len: int, config: BertConfig, seed: int
+    ) -> Dict[str, np.ndarray]:
         """Place encoder inputs, weights, and intermediate tensors off-chip."""
         memory = xnn.memory
         tokens = batch * seq_len
@@ -232,27 +241,45 @@ class XNNExecutor:
                 memory.add(key, weights[key].reshape(1, -1))
         else:
             memory.add("input", (tokens, hidden))
-            for key, shape in (("wq", (hidden, hidden)), ("wk", (hidden, hidden)),
-                               ("wv", (hidden, hidden)), ("wo", (hidden, hidden)),
-                               ("w1", (hidden, ffn)), ("w2", (ffn, hidden))):
+            for key, shape in (
+                ("wq", (hidden, hidden)),
+                ("wk", (hidden, hidden)),
+                ("wv", (hidden, hidden)),
+                ("wo", (hidden, hidden)),
+                ("w1", (hidden, ffn)),
+                ("w2", (ffn, hidden)),
+            ):
                 memory.add(key, shape)
-            for key, size in (("bq", hidden), ("bk", hidden), ("bv", hidden),
-                              ("bo", hidden), ("b1", ffn), ("b2", hidden)):
+            for key, size in (
+                ("bq", hidden),
+                ("bk", hidden),
+                ("bv", hidden),
+                ("bo", hidden),
+                ("b1", ffn),
+                ("b2", hidden),
+            ):
                 memory.add(key, (1, size))
-        for name, shape in (("query", (tokens, hidden)), ("key", (tokens, hidden)),
-                            ("value", (tokens, hidden)),
-                            ("attn_context", (tokens, hidden)),
-                            ("attn_out", (tokens, hidden)),
-                            ("attn_norm", (tokens, hidden)),
-                            ("ffn_inter", (tokens, config.ffn_hidden)),
-                            ("ffn_out", (tokens, hidden)),
-                            ("encoder_out", (tokens, hidden))):
+        for name, shape in (
+            ("query", (tokens, hidden)),
+            ("key", (tokens, hidden)),
+            ("value", (tokens, hidden)),
+            ("attn_context", (tokens, hidden)),
+            ("attn_out", (tokens, hidden)),
+            ("attn_norm", (tokens, hidden)),
+            ("ffn_inter", (tokens, config.ffn_hidden)),
+            ("ffn_out", (tokens, hidden)),
+            ("encoder_out", (tokens, hidden)),
+        ):
             memory.allocate(name, shape)
         return weights
 
-    def run_encoder(self, batch: int = 6, seq_len: int = 512,
-                    config: BertConfig = BERT_LARGE,
-                    seed: int = tensors.DEFAULT_SEED) -> EncoderResult:
+    def run_encoder(
+        self,
+        batch: int = 6,
+        seq_len: int = 512,
+        config: BertConfig = BERT_LARGE,
+        seed: int = tensors.DEFAULT_SEED,
+    ) -> EncoderResult:
         """Run one transformer encoder layer (the paper's primary workload)."""
         spec = bert_large_encoder(batch=batch, seq_len=seq_len, config=config)
         layer = {lyr.name: lyr for lyr in spec.layers}
@@ -264,34 +291,58 @@ class XNNExecutor:
         xnn = self._fresh_datapath()
         weights = self._setup_encoder_memory(xnn, batch, seq_len, config, seed)
         builder = ProgramBuilder(xnn, self.options)
-        builder.add_gemm_layer(layer["query"], lhs="input", rhs="wq", out="query", bias="bq")
-        builder.add_gemm_layer(layer["key"], lhs="input", rhs="wk", out="key", bias="bk")
-        builder.add_gemm_layer(layer["value"], lhs="input", rhs="wv", out="value", bias="bv")
+        builder.add_gemm_layer(
+            layer["query"], lhs="input", rhs="wq", out="query", bias="bq"
+        )
+        builder.add_gemm_layer(
+            layer["key"], lhs="input", rhs="wk", out="key", bias="bk"
+        )
+        builder.add_gemm_layer(
+            layer["value"], lhs="input", rhs="wv", out="value", bias="bv"
+        )
         qkv_flops = sum(layer[n].flops for n in ("query", "key", "value"))
         result.segments.append(self._simulate(xnn, builder, "qkv", qkv_flops))
         memory = xnn.memory
 
         # ---- group 2: attention heads + dense projection ------------------
         xnn2 = self._fresh_datapath()
-        self._carry_tensors(memory, xnn2.memory,
-                            ("input", "query", "key", "value", "wo", "bo"))
+        self._carry_tensors(
+            memory, xnn2.memory, ("input", "query", "key", "value", "wo", "bo")
+        )
         for name in ("attn_context", "attn_out", "attn_norm"):
             xnn2.memory.allocate(name, memory.shape(name))
         builder = ProgramBuilder(xnn2, self.options)
         builder.add_attention(
-            seq_len=seq_len, head_dim=config.head_dim,
-            num_heads=batch * config.heads, heads_per_sample=config.heads,
-            query="query", key="key", value="value", out="attn_context")
-        builder.add_gemm_layer(layer["dense"], lhs="attn_context", rhs="wo",
-                               out="attn_out", bias="bo", residual="input")
-        attention_flops = (layer["attention_mm1"].flops + layer["attention_mm2"].flops
-                           + layer["dense"].flops)
-        result.segments.append(self._simulate(xnn2, builder, "attention+dense",
-                                               attention_flops))
+            seq_len=seq_len,
+            head_dim=config.head_dim,
+            num_heads=batch * config.heads,
+            heads_per_sample=config.heads,
+            query="query",
+            key="key",
+            value="value",
+            out="attn_context",
+        )
+        builder.add_gemm_layer(
+            layer["dense"],
+            lhs="attn_context",
+            rhs="wo",
+            out="attn_out",
+            bias="bo",
+            residual="input",
+        )
+        attention_flops = (
+            layer["attention_mm1"].flops
+            + layer["attention_mm2"].flops
+            + layer["dense"].flops
+        )
+        result.segments.append(
+            self._simulate(xnn2, builder, "attention+dense", attention_flops)
+        )
         if xnn2.memory.carry_data:
             attn_out = xnn2.memory.array("attn_out")
             xnn2.memory.array("attn_norm")[:] = reference.layer_norm(
-                attn_out, weights["ln1_gamma"], weights["ln1_beta"])
+                attn_out, weights["ln1_gamma"], weights["ln1_beta"]
+            )
 
         # ---- group 3: feed-forward network --------------------------------
         xnn3 = self._fresh_datapath()
@@ -300,16 +351,24 @@ class XNNExecutor:
         for name in ("ffn_inter", "ffn_out", "encoder_out"):
             xnn3.memory.allocate(name, memory.shape(name))
         builder = ProgramBuilder(xnn3, self.options)
-        builder.add_gemm_layer(layer["ffn_mm1"], lhs="attn_norm", rhs="w1",
-                               out="ffn_inter", bias="b1")
-        builder.add_gemm_layer(layer["ffn_mm2"], lhs="ffn_inter", rhs="w2",
-                               out="ffn_out", bias="b2", residual="attn_norm")
+        builder.add_gemm_layer(
+            layer["ffn_mm1"], lhs="attn_norm", rhs="w1", out="ffn_inter", bias="b1"
+        )
+        builder.add_gemm_layer(
+            layer["ffn_mm2"],
+            lhs="ffn_inter",
+            rhs="w2",
+            out="ffn_out",
+            bias="b2",
+            residual="attn_norm",
+        )
         ffn_flops = layer["ffn_mm1"].flops + layer["ffn_mm2"].flops
         result.segments.append(self._simulate(xnn3, builder, "ffn", ffn_flops))
         if xnn3.memory.carry_data:
             ffn_out = xnn3.memory.array("ffn_out")
             xnn3.memory.array("encoder_out")[:] = reference.layer_norm(
-                ffn_out, weights["ln2_gamma"], weights["ln2_beta"])
+                ffn_out, weights["ln2_gamma"], weights["ln2_beta"]
+            )
             self._final_memory = xnn3.memory
         else:
             self._final_memory = xnn3.memory
@@ -343,14 +402,18 @@ class XNNExecutor:
         outputs = []
         for sample in range(self._last_batch):
             rows = slice(sample * seq_len, (sample + 1) * seq_len)
-            outputs.append(reference.encoder_layer(hidden_input[rows], self._weights,
-                                                   self._last_heads))
+            outputs.append(
+                reference.encoder_layer(
+                    hidden_input[rows], self._weights, self._last_heads
+                )
+            )
         return np.concatenate(outputs, axis=0)
 
     # ----------------------------------------------------------- plain models
 
-    def run_feedforward_model(self, model: ModelSpec,
-                              seed: int = tensors.DEFAULT_SEED) -> EncoderResult:
+    def run_feedforward_model(
+        self, model: ModelSpec, seed: int = tensors.DEFAULT_SEED
+    ) -> EncoderResult:
         """Run a pure-GEMM model (NCF, MLP): layers chained through DDR."""
         xnn = self._fresh_datapath()
         memory = xnn.memory
@@ -372,9 +435,13 @@ class XNNExecutor:
                 memory.add(weight_name, (layer.k, layer.n))
                 memory.add(bias_name, (1, layer.n))
             memory.allocate(out_name, (layer.m, layer.n))
-            builder.add_gemm_layer(layer, lhs=f"act{index}", rhs=weight_name,
-                                   out=out_name,
-                                   bias=bias_name if layer.has_fused(FusedOp.BIAS) else None)
+            builder.add_gemm_layer(
+                layer,
+                lhs=f"act{index}",
+                rhs=weight_name,
+                out=out_name,
+                bias=bias_name if layer.has_fused(FusedOp.BIAS) else None,
+            )
             total_flops += layer.flops
         segment = self._simulate(xnn, builder, model.name, total_flops)
         result = EncoderResult(name=model.name, batch=model.batch)

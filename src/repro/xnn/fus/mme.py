@@ -36,8 +36,7 @@ class MMEFU(FunctionalUnit):
         Label attached to the produced tile (used by traces and stores).
     """
 
-    def __init__(self, name: str, compute_throughput: float,
-                 uop_nbytes: int = 4):
+    def __init__(self, name: str, compute_throughput: float, uop_nbytes: int = 4):
         super().__init__(name, fu_type="MME", compute_throughput=compute_throughput)
         self.uop_nbytes = uop_nbytes
         self.add_input("lhs")
@@ -80,7 +79,9 @@ class MMEFU(FunctionalUnit):
             if self._accumulator is not None:
                 tile = TileMessage.from_array(self._accumulator, tag=tag)
             else:
-                tile = TileMessage.placeholder(self._accumulator_shape or (0, 0), tag=tag)
+                tile = TileMessage.placeholder(
+                    self._accumulator_shape or (0, 0), tag=tag
+                )
             self._accumulator = None
             self._accumulator_shape = None
             yield Write(self.port("out"), tile)

@@ -48,7 +48,9 @@ class HostMemory:
         if isinstance(array_or_shape, np.ndarray):
             self._shapes[name] = tuple(array_or_shape.shape)
             if self.carry_data:
-                self._arrays[name] = np.array(array_or_shape, dtype=np.float32, copy=True)
+                self._arrays[name] = np.array(
+                    array_or_shape, dtype=np.float32, copy=True
+                )
         else:
             shape = tuple(int(s) for s in array_or_shape)
             self._shapes[name] = shape
@@ -78,8 +80,9 @@ class HostMemory:
 
     # ---------------------------------------------------------------- slices
 
-    def read_tile(self, name: str, row0: int, col0: int, rows: int, cols: int,
-                  tag: str = "") -> TileMessage:
+    def read_tile(
+        self, name: str, row0: int, col0: int, rows: int, cols: int, tag: str = ""
+    ) -> TileMessage:
         """Read a 2-D slice as a tile message (placeholder in timing-only mode)."""
         shape = self.shape(name)
         if row0 < 0 or col0 < 0 or row0 + rows > shape[0] or col0 + cols > shape[1]:
@@ -87,11 +90,13 @@ class HostMemory:
                 f"read of {name}[{row0}:{row0+rows}, {col0}:{col0+cols}] outside shape {shape}"
             )
         if self.carry_data:
-            data = self._arrays[name][row0:row0 + rows, col0:col0 + cols]
-            return TileMessage.from_array(data, dtype=self.dtype, tag=tag,
-                                          coords=(row0, col0))
-        return TileMessage.placeholder((rows, cols), dtype=self.dtype, tag=tag,
-                                       coords=(row0, col0))
+            data = self._arrays[name][row0 : row0 + rows, col0 : col0 + cols]
+            return TileMessage.from_array(
+                data, dtype=self.dtype, tag=tag, coords=(row0, col0)
+            )
+        return TileMessage.placeholder(
+            (rows, cols), dtype=self.dtype, tag=tag, coords=(row0, col0)
+        )
 
     def write_tile(self, name: str, row0: int, col0: int, message: TileMessage) -> None:
         """Write a tile message back into a tensor (no-op payload when timing-only)."""
@@ -102,14 +107,15 @@ class HostMemory:
                 f"write of {name}[{row0}:{row0+rows}, {col0}:{col0+cols}] outside shape {shape}"
             )
         if self.carry_data and message.data is not None:
-            self._arrays[name][row0:row0 + rows, col0:col0 + cols] = message.data
+            self._arrays[name][row0 : row0 + rows, col0 : col0 + cols] = message.data
 
 
 class _OffchipFU(FunctionalUnit):
     """Shared behaviour of the DDR and LPDDR FUs."""
 
-    def __init__(self, name: str, fu_type: str, channel: MemoryChannelModel,
-                 memory: HostMemory):
+    def __init__(
+        self, name: str, fu_type: str, channel: MemoryChannelModel, memory: HostMemory
+    ):
         super().__init__(name, fu_type=fu_type)
         self.channel = channel
         self.memory = memory
@@ -179,5 +185,7 @@ class LPDDRFU(_OffchipFU):
 
     def kernel(self, uop: UOp) -> Generator:
         if not uop.get("load", True):
-            raise ConfigurationError(f"{self.name}: LPDDR only supports loads, got {uop!r}")
+            raise ConfigurationError(
+                f"{self.name}: LPDDR only supports loads, got {uop!r}"
+            )
         yield from self._load(uop)

@@ -27,12 +27,23 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from ...core import (ConfigurationError, FunctionalUnit, Parallel,
-                     TileMessage, UOp, Write)
+from ...core import (
+    ConfigurationError,
+    FunctionalUnit,
+    Parallel,
+    TileMessage,
+    UOp,
+    Write,
+)
 from .offchip import HostMemory
 
-__all__ = ["MemAFU", "MemBFU", "MemCFU", "MEMC_COMPUTE_THROUGHPUT",
-           "NONMM_FLOPS_PER_ELEMENT"]
+__all__ = [
+    "MemAFU",
+    "MemBFU",
+    "MemCFU",
+    "MEMC_COMPUTE_THROUGHPUT",
+    "NONMM_FLOPS_PER_ELEMENT",
+]
 
 #: sustained FLOP/s of one MemC's non-MM operator pipeline.  Shared with the
 #: analytic fast-model backend so both backends charge fused operators at the
@@ -75,8 +86,9 @@ class _PingPongScratchpad(FunctionalUnit):
         self._store_slot(slot, tile)
         self.stats.bytes_in += tile.nbytes
 
-    def _send_branch(self, dest_port_name: str, slot: str, repeat: int,
-                     transform=None) -> Generator:
+    def _send_branch(
+        self, dest_port_name: str, slot: str, repeat: int, transform=None
+    ) -> Generator:
         tile = self._read_slot(slot)
         if tile is None:
             raise ConfigurationError(
@@ -89,8 +101,15 @@ class _PingPongScratchpad(FunctionalUnit):
             yield Write(self.port(dest_port_name), tile)
             self.stats.bytes_out += tile.nbytes
 
-    def _run_load_send(self, load: bool, send: bool, source_port: str,
-                       dest_port: str, repeat: int, transform=None) -> Generator:
+    def _run_load_send(
+        self,
+        load: bool,
+        send: bool,
+        source_port: str,
+        dest_port: str,
+        repeat: int,
+        transform=None,
+    ) -> Generator:
         """One ping-pong kernel launch (the Fig. 7b idiom).
 
         The buffers are selected with the *current* flag -- receive into one,
@@ -141,8 +160,9 @@ def _transpose_tile(tile: TileMessage) -> TileMessage:
     if tile.data is not None:
         return tile.map(np.transpose, tag=f"{tile.tag}^T")
     rows, cols = tile.shape
-    return TileMessage.placeholder((cols, rows), dtype=tile.dtype,
-                                   tag=f"{tile.tag}^T", coords=tile.coords)
+    return TileMessage.placeholder(
+        (cols, rows), dtype=tile.dtype, tag=f"{tile.tag}^T", coords=tile.coords
+    )
 
 
 class MemBFU(_PingPongScratchpad):
@@ -210,9 +230,13 @@ class MemCFU(FunctionalUnit):
         buffered for a later uOP.
     """
 
-    def __init__(self, name: str, memory: HostMemory,
-                 capacity_bytes: int = 1024 * 1024,
-                 compute_throughput: float = MEMC_COMPUTE_THROUGHPUT):
+    def __init__(
+        self,
+        name: str,
+        memory: HostMemory,
+        capacity_bytes: int = 1024 * 1024,
+        compute_throughput: float = MEMC_COMPUTE_THROUGHPUT,
+    ):
         super().__init__(name, fu_type="MemC", compute_throughput=compute_throughput)
         self.memory = memory
         self.capacity_bytes = capacity_bytes
@@ -228,14 +252,20 @@ class MemCFU(FunctionalUnit):
 
     def _apply_ops(self, tile: TileMessage, uop: UOp) -> Generator:
         ops = tuple(uop.get("ops", ()))
-        flops = sum(NONMM_FLOPS_PER_ELEMENT.get(op, 1.0) for op in ops) * tile.element_count
+        flops = (
+            sum(NONMM_FLOPS_PER_ELEMENT.get(op, 1.0) for op in ops)
+            * tile.element_count
+        )
         if uop.get("residual", False):
             residual = yield self.read_request("from_ddr")
             flops += tile.element_count
             if tile.data is not None and residual.data is not None:
-                tile = TileMessage.from_array(tile.data + residual.data,
-                                              dtype=tile.dtype, tag=tile.tag,
-                                              coords=tile.coords)
+                tile = TileMessage.from_array(
+                    tile.data + residual.data,
+                    dtype=tile.dtype,
+                    tag=tile.tag,
+                    coords=tile.coords,
+                )
         if flops:
             yield self.charge_compute(flops)
         if tile.data is None:
@@ -248,7 +278,7 @@ class MemCFU(FunctionalUnit):
                 if bias_name is not None and self.memory.carry_data:
                     col0 = int(uop.get("col0", 0))
                     bias_vector = self.memory.array(bias_name).reshape(-1)
-                    data = data + bias_vector[col0:col0 + data.shape[1]]
+                    data = data + bias_vector[col0 : col0 + data.shape[1]]
             elif op == "scale":
                 data = data * float(uop.get("scale_factor", 1.0))
             elif op == "softmax":
@@ -256,8 +286,14 @@ class MemCFU(FunctionalUnit):
                 exp = np.exp(shifted)
                 data = exp / np.sum(exp, axis=-1, keepdims=True)
             elif op == "gelu":
-                data = 0.5 * data * (1.0 + np.tanh(np.sqrt(2.0 / np.pi)
-                                                   * (data + 0.044715 * data ** 3)))
+                data = (
+                    0.5
+                    * data
+                    * (
+                        1.0
+                        + np.tanh(np.sqrt(2.0 / np.pi) * (data + 0.044715 * data**3))
+                    )
+                )
             elif op == "transpose":
                 data = data.T
             elif op in ("layer_add", "scale_shift", "mean_var_norm"):
@@ -267,8 +303,9 @@ class MemCFU(FunctionalUnit):
                 continue
             else:
                 raise ConfigurationError(f"{self.name}: unknown non-MM op {op!r}")
-        self._buffer = TileMessage.from_array(data, dtype=tile.dtype, tag=tile.tag,
-                                              coords=tile.coords)
+        self._buffer = TileMessage.from_array(
+            data, dtype=tile.dtype, tag=tile.tag, coords=tile.coords
+        )
 
     # ----------------------------------------------------------------- kernel
 
@@ -288,8 +325,12 @@ class MemCFU(FunctionalUnit):
                 raise ConfigurationError(
                     f"{self.name}: send requested but no tile is buffered"
                 )
-            port = {"ddr": "to_ddr", "mesh_a": "to_mesh_a", "mesh_b": "to_mesh_b"}.get(send_to)
+            port = {"ddr": "to_ddr", "mesh_a": "to_mesh_a", "mesh_b": "to_mesh_b"}.get(
+                send_to
+            )
             if port is None:
-                raise ConfigurationError(f"{self.name}: unknown send_to target {send_to!r}")
+                raise ConfigurationError(
+                    f"{self.name}: unknown send_to target {send_to!r}"
+                )
             yield Write(self.port(port), self._buffer)
             self.stats.bytes_out += self._buffer.nbytes

@@ -33,8 +33,13 @@ from typing import Dict, Optional
 from ..hardware.vck190 import VCK190, VCK190Spec
 from ..workloads.layers import MatMulLayer
 
-__all__ = ["MappingType", "MappingEstimate", "estimate_mapping_latency",
-           "compare_mapping_types", "attention_mapping_type"]
+__all__ = [
+    "MappingType",
+    "MappingEstimate",
+    "estimate_mapping_latency",
+    "compare_mapping_types",
+    "attention_mapping_type",
+]
 
 
 class MappingType(str, Enum):
@@ -77,7 +82,9 @@ class MappingEstimate:
     @property
     def final_latency_s(self) -> float:
         """max(bandwidth bound, compute bound) plus any pipeline setup."""
-        return max(self.bandwidth_bound_s, self.compute_bound_s) + self.pipeline_setup_s
+        return (
+            max(self.bandwidth_bound_s, self.compute_bound_s) + self.pipeline_setup_s
+        )
 
     @property
     def final_latency_ms(self) -> float:
@@ -97,25 +104,29 @@ def attention_mapping_type(pipeline_attention: bool) -> MappingType:
     return MappingType.PIPELINE if pipeline_attention else MappingType.TASK_BY_TASK
 
 
-def _pair_traffic_bytes(mm1: MatMulLayer, mm2: MatMulLayer,
-                        intermediate_on_chip: bool) -> float:
+def _pair_traffic_bytes(
+    mm1: MatMulLayer, mm2: MatMulLayer, intermediate_on_chip: bool
+) -> float:
     """Off-chip bytes moved for the dependent pair under a mapping style."""
-    traffic = mm1.lhs_bytes + mm1.rhs_bytes          # inputs of the first MM
-    traffic += mm2.rhs_bytes                          # second operand of the second MM
-    traffic += mm2.out_bytes                          # final outputs
+    traffic = mm1.lhs_bytes + mm1.rhs_bytes  # inputs of the first MM
+    traffic += mm2.rhs_bytes  # second operand of the second MM
+    traffic += mm2.out_bytes  # final outputs
     if not intermediate_on_chip:
-        traffic += mm1.out_bytes * 2                  # store then reload the intermediate
+        traffic += mm1.out_bytes * 2  # store then reload the intermediate
     return float(traffic)
 
 
-def estimate_mapping_latency(mm1: MatMulLayer, mm2: MatMulLayer,
-                             mapping: MappingType,
-                             spec: VCK190Spec = VCK190,
-                             single_mm_utilization: float = 0.64,
-                             co_mapped_utilization: float = 0.96,
-                             achieved_peak_fraction: float = 0.85,
-                             pipeline_setup_s: float = 2e-6,
-                             offchip_bw: Optional[float] = None) -> MappingEstimate:
+def estimate_mapping_latency(
+    mm1: MatMulLayer,
+    mm2: MatMulLayer,
+    mapping: MappingType,
+    spec: VCK190Spec = VCK190,
+    single_mm_utilization: float = 0.64,
+    co_mapped_utilization: float = 0.96,
+    achieved_peak_fraction: float = 0.85,
+    pipeline_setup_s: float = 2e-6,
+    offchip_bw: Optional[float] = None,
+) -> MappingEstimate:
     """Roofline latency estimate for two dependent layers under one mapping.
 
     Parameters mirror the quantities Table 3 is built from: the fraction of
@@ -146,9 +157,9 @@ def estimate_mapping_latency(mm1: MatMulLayer, mm2: MatMulLayer,
     )
 
 
-def compare_mapping_types(mm1: MatMulLayer, mm2: MatMulLayer,
-                          spec: VCK190Spec = VCK190,
-                          **kwargs) -> Dict[MappingType, MappingEstimate]:
+def compare_mapping_types(
+    mm1: MatMulLayer, mm2: MatMulLayer, spec: VCK190Spec = VCK190, **kwargs
+) -> Dict[MappingType, MappingEstimate]:
     """Estimate all four mapping types for a dependent layer pair (Table 3)."""
     return {
         mapping: estimate_mapping_latency(mm1, mm2, mapping, spec=spec, **kwargs)

@@ -118,8 +118,7 @@ def partition_segments(
     for cuts in itertools.combinations(range(1, count), num_chips - 1):
         edges = (0,) + cuts + (count,)
         load = max(
-            sum(segment_flops[start:end])
-            for start, end in zip(edges, edges[1:])
+            sum(segment_flops[start:end]) for start, end in zip(edges, edges[1:])
         )
         if load < best_load:
             best_load = load
@@ -206,9 +205,13 @@ def design_cost(
         + config.num_mem_c * config.mem_c_bytes
     ) / float(1 << 20)
     offchip_gbs = (
-        (config.spec.ddr_read_bw + config.spec.ddr_write_bw
-         + config.spec.lpddr_read_bw)
-        * config.bandwidth_scale / 1e9
+        (
+            config.spec.ddr_read_bw
+            + config.spec.ddr_write_bw
+            + config.spec.lpddr_read_bw
+        )
+        * config.bandwidth_scale
+        / 1e9
     )
     power_w = design_power_w(
         num_mme=config.num_mme,
@@ -220,9 +223,7 @@ def design_cost(
         num_chips=num_chips,
         link=link,
     )
-    area_luts = design_area_luts(
-        config.num_mme, config.num_mem_c, num_chips=num_chips
-    )
+    area_luts = design_area_luts(config.num_mme, config.num_mem_c, num_chips=num_chips)
     return power_w, area_luts
 
 
@@ -249,24 +250,23 @@ def chiplet_payload(
     the same way (with the chiplet end-to-end latency substituted), plus the
     multi-chip diagnostics.
     """
-    segment_flops = encoder_segment_flops(batch=batch, seq_len=seq_len,
-                                          config=encoder)
+    segment_flops = encoder_segment_flops(batch=batch, seq_len=seq_len, config=encoder)
     if len(segment_flops) != len(segment_latency_s):
         raise ValueError(
             f"{len(segment_latency_s)} segment latencies for "
             f"{len(segment_flops)} encoder segments"
         )
     cuts = partition_segments(segment_flops, num_chips)
-    boundaries = encoder_boundary_bytes(batch=batch, seq_len=seq_len,
-                                        config=encoder)
+    boundaries = encoder_boundary_bytes(batch=batch, seq_len=seq_len, config=encoder)
     metrics = chiplet_metrics(segment_latency_s, cuts, boundaries, link)
     latency_s = metrics.latency_s
     peak_flops = num_chips * per_chip_peak_flops
     achieved = (flops / latency_s / 1e12) if latency_s else 0.0
     utilization = (flops / latency_s / peak_flops) if latency_s else 0.0
     pipeline_tasks = (batch / metrics.max_stage_s) if metrics.max_stage_s else 0.0
-    power_w, area_luts = design_cost(config, per_chip_peak_flops,
-                                     num_chips=num_chips, link=link)
+    power_w, area_luts = design_cost(
+        config, per_chip_peak_flops, num_chips=num_chips, link=link
+    )
     return {
         "latency_s": latency_s,
         "latency_ms": latency_s * 1e3,

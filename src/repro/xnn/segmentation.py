@@ -71,9 +71,12 @@ def _per_instance_intermediate(layer: MatMulLayer) -> int:
     return layer.m * layer.n * layer.element_bytes
 
 
-def segment_model(model: ModelSpec, spec: VCK190Spec = VCK190,
-                  onchip_budget_bytes: Optional[int] = None,
-                  achieved_flops: float = 6.7e12) -> List[Segment]:
+def segment_model(
+    model: ModelSpec,
+    spec: VCK190Spec = VCK190,
+    onchip_budget_bytes: Optional[int] = None,
+    achieved_flops: float = 6.7e12,
+) -> List[Segment]:
     """Group a model's layers into single and pipelined segments.
 
     A dependent pair (producer, consumer) is pipelined when both are

@@ -18,8 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-__all__ = ["Block", "GemmTiling", "plan_gemm_tiling",
-           "DEFAULT_TILE_M", "DEFAULT_TILE_K", "DEFAULT_SUPER_N"]
+__all__ = [
+    "Block",
+    "GemmTiling",
+    "plan_gemm_tiling",
+    "DEFAULT_TILE_M",
+    "DEFAULT_TILE_K",
+    "DEFAULT_SUPER_N",
+]
 
 
 DEFAULT_TILE_M = 768
@@ -127,9 +133,15 @@ class GemmTiling:
         return self.m / len(self.m_blocks)
 
 
-def plan_gemm_tiling(m: int, k: int, n: int, num_mme: int = 6,
-                     tile_m: int = DEFAULT_TILE_M, tile_k: int = DEFAULT_TILE_K,
-                     super_n: int = DEFAULT_SUPER_N) -> GemmTiling:
+def plan_gemm_tiling(
+    m: int,
+    k: int,
+    n: int,
+    num_mme: int = 6,
+    tile_m: int = DEFAULT_TILE_M,
+    tile_k: int = DEFAULT_TILE_K,
+    super_n: int = DEFAULT_SUPER_N,
+) -> GemmTiling:
     """Plan the output-stationary tiling of an ``m x k x n`` GEMM.
 
     Tile sizes are clipped to the layer dimensions; the per-MME column split
@@ -149,13 +161,22 @@ def plan_gemm_tiling(m: int, k: int, n: int, num_mme: int = 6,
     k_blocks = tuple(_split(k, tile_k))
     n_super_blocks = tuple(_split(n, super_n))
     mme_columns = tuple(
-        tuple(Block(super_block.start + sub.start, sub.size)
-              for sub in _split_even(super_block.size, num_mme))
+        tuple(
+            Block(super_block.start + sub.start, sub.size)
+            for sub in _split_even(super_block.size, num_mme)
+        )
         for super_block in n_super_blocks
     )
     return GemmTiling(
-        m=m, k=k, n=n,
-        tile_m=tile_m, tile_k=tile_k, super_n=super_n, num_mme=num_mme,
-        m_blocks=m_blocks, k_blocks=k_blocks, n_super_blocks=n_super_blocks,
+        m=m,
+        k=k,
+        n=n,
+        tile_m=tile_m,
+        tile_k=tile_k,
+        super_n=super_n,
+        num_mme=num_mme,
+        m_blocks=m_blocks,
+        k_blocks=k_blocks,
+        n_super_blocks=n_super_blocks,
         mme_columns=mme_columns,
     )
