@@ -1,14 +1,14 @@
 """Batched analytic evaluation vs the per-point proxy path.
 
-The per-point path is exactly what ``explore``'s default ``sweep`` proxy
-does for every strategy generation: materialise each design point into an
-ad-hoc scenario and fan the batch through ``run_sweep`` on the analytic
-backend.  The batched path hands the same generation to the registered
-``dse_encoder`` batch runner (shared memoized tallies + vectorized NumPy
-rooflines).  Acceptance floor: >=5x on a broad slice of the full ``encoder``
-space with a *cold* evaluator, with every payload exactly equal to the
-per-point result; in practice the speedup is tens of times (and another
-order of magnitude once the evaluator is warm).
+The per-point path runs one scalar-runner call per materialised scenario --
+what every distributed executor does per job, and what serial sweeps did
+before ``run_sweep`` learned to route batch-capable kinds through their
+batch runner (so the baseline is constructed explicitly here rather than
+through ``run_sweep``, which would now itself take the batched path).  The
+batched path hands the same generation to the registered ``dse_encoder``
+batch runner (shared memoized tallies + vectorized NumPy rooflines), with
+every payload exactly equal to the per-point result; in practice the
+speedup is several times cold and another order of magnitude warm.
 """
 
 from __future__ import annotations
@@ -18,7 +18,7 @@ import time
 from _helpers import run_once
 from repro.analysis.reporting import Table
 from repro.explore import get_space
-from repro.runner import run_sweep
+from repro.runner import REGISTRY
 from repro.runner.library import _encoder_config
 from repro.xnn.analytic import EncoderBatchEvaluator
 
@@ -39,9 +39,8 @@ def _measure():
 
     start = time.perf_counter()
     scenarios = [space.materialize(a).scenario for a in assignments]
-    outcomes = run_sweep(scenarios, cache=None, backend="analytic")
+    per_point = [REGISTRY.run(s, backend="analytic") for s in scenarios]
     per_point_s = time.perf_counter() - start
-    per_point = [dict(o.result) for o in outcomes]
 
     params_list = [space.point_params(a) for a in assignments]
     evaluator = EncoderBatchEvaluator()  # cold: no memoized tallies yet
@@ -63,7 +62,7 @@ def test_batched_generation_speedup(benchmark):
     table = Table(f"Analytic proxy: {points}-point generation of the "
                   "'encoder' space",
                   ["path", "wall (s)", "ms/point"])
-    table.add_row("per-point (scenario sweep)", per_point_s,
+    table.add_row("per-point (scalar runner)", per_point_s,
                   per_point_s / points * 1e3)
     table.add_row("batched (cold evaluator)", batched_s,
                   batched_s / points * 1e3)

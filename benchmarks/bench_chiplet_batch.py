@@ -2,9 +2,10 @@
 
 Same shape as ``bench_analytic_batch.py``, over the multi-chip
 ``chiplet-encoder`` space: the per-point path materialises each design
-point into an ad-hoc ``dse_chiplet`` scenario and fans the batch through
-``run_sweep`` on the analytic backend; the batched path hands the same
-generation to the registered chiplet batch runner.  The chiplet axes
+point into an ad-hoc ``dse_chiplet`` scenario and runs the scalar analytic
+runner once per scenario (the distributed executors' per-job path -- serial
+``run_sweep`` would now route through the batch runner itself); the batched
+path hands the same generation to the registered chiplet batch runner.  The chiplet axes
 (``num_chips``, link bandwidth/latency) change no instruction tally, so
 many points share one memoized simulation -- which is why the acceptance
 floor here is *higher* than the single-chip bench's: >=5x cold, with every
@@ -18,7 +19,7 @@ import time
 from _helpers import run_once
 from repro.analysis.reporting import Table
 from repro.explore import get_space
-from repro.runner import run_sweep
+from repro.runner import REGISTRY
 from repro.runner.library import _encoder_config
 from repro.xnn.analytic import EncoderBatchEvaluator
 
@@ -41,9 +42,8 @@ def _measure():
 
     start = time.perf_counter()
     scenarios = [space.materialize(a).scenario for a in assignments]
-    outcomes = run_sweep(scenarios, cache=None, backend="analytic")
+    per_point = [REGISTRY.run(s, backend="analytic") for s in scenarios]
     per_point_s = time.perf_counter() - start
-    per_point = [dict(o.result) for o in outcomes]
 
     params_list = [space.point_params(a) for a in assignments]
     evaluator = EncoderBatchEvaluator()  # cold: no memoized tallies yet
@@ -65,7 +65,7 @@ def test_batched_chiplet_speedup(benchmark):
     table = Table(f"Chiplet proxy: {points}-point generation of the "
                   "'chiplet-encoder' space",
                   ["path", "wall (s)", "ms/point"])
-    table.add_row("per-point (scenario sweep)", per_point_s,
+    table.add_row("per-point (scalar runner)", per_point_s,
                   per_point_s / points * 1e3)
     table.add_row("batched (cold evaluator)", batched_s,
                   batched_s / points * 1e3)

@@ -1,0 +1,122 @@
+"""Program-level memoization: upstream workload key vs downstream fallback.
+
+The segment memo carries two keys per simulated segment: the *upstream*
+workload fingerprint (hashed from the workload descriptor + configuration +
+codegen options, before any codegen runs) and the *downstream* program
+fingerprint (hashed from the built uOP streams).  Both serve byte-identical
+results; the difference is what a warm hit costs.  A downstream hit -- the
+only warm path PR 8 had -- still constructs the ``ProgramBuilder`` and runs
+full codegen just to learn the fingerprint it is about to hit on.  An
+upstream hit skips the builder entirely.
+
+This benchmark pins that difference: on a warm memo over a repeated-segment
+encoder set, the upstream path (``workload_memo=True``, the default) must be
+at least 2x faster than the downstream-only path (``workload_memo=False``,
+the PR 8 behaviour), with byte-identical outputs.  The codegen-count
+contract (zero ``ProgramBuilder`` constructions on the upstream warm path)
+is pinned separately in ``tests/differential/test_segment_memo_contract.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _helpers import run_once
+from repro.analysis.reporting import Table
+from repro.runner.cache import SegmentMemo
+from repro.xnn import XNNConfig, XNNExecutor
+
+#: (batch, seq_len) triplet with one exact repeat -- the same repeated-segment
+#: set bench_segment_memo uses, so the two benchmarks compose: that one prices
+#: warm-vs-cold, this one prices *which* warm path served the hit.
+WORKLOADS = ((2, 384), (1, 384), (2, 384))
+
+SPEEDUP_FLOOR = 2.0
+
+
+def _run_set(memo: SegmentMemo, workload_memo: bool):
+    outputs = []
+    for batch, seq_len in WORKLOADS:
+        executor = XNNExecutor(config=XNNConfig(carry_data=False),
+                               segment_memo=memo,
+                               workload_memo=workload_memo)
+        result = executor.run_encoder(batch=batch, seq_len=seq_len)
+        outputs.append([(s.name, s.latency_s, s.ddr_bytes, s.lpddr_bytes,
+                         s.uops) for s in result.segments])
+    return outputs
+
+
+def _measure():
+    """Warm-up round, then two timed rounds (best of two), collector paused.
+
+    Each round populates a fresh memo cold (storing both keys for every
+    distinct segment), then times the two warm paths against it: the
+    downstream-only path first, the upstream path second.
+    """
+    import gc
+
+    upstream_s = downstream_s = float("inf")
+    reference = None
+    upstream_hits = downstream_hits = 0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for round_index in range(3):
+            memo = SegmentMemo()
+            cold = _run_set(memo, workload_memo=True)
+
+            hits_before = memo.hits
+            start = time.perf_counter()
+            downstream = _run_set(memo, workload_memo=False)
+            downstream_elapsed = time.perf_counter() - start
+            round_downstream_hits = memo.hits - hits_before
+
+            hits_before = memo.hits
+            start = time.perf_counter()
+            upstream = _run_set(memo, workload_memo=True)
+            upstream_elapsed = time.perf_counter() - start
+            round_upstream_hits = memo.hits - hits_before
+
+            if round_index == 0:
+                # Untimed warm-up round; keep the results as the reference.
+                reference = (cold, downstream, upstream)
+                downstream_hits = round_downstream_hits
+                upstream_hits = round_upstream_hits
+                continue
+            downstream_s = min(downstream_s, downstream_elapsed)
+            upstream_s = min(upstream_s, upstream_elapsed)
+            # Rounds are independent simulations of the same set: results
+            # must agree exactly or the determinism story is broken.
+            assert (cold, downstream, upstream) == reference
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    cold, downstream, upstream = reference
+    return (cold, downstream, upstream, downstream_s, upstream_s,
+            downstream_hits, upstream_hits)
+
+
+def test_program_memo_upstream_vs_downstream_warm(benchmark):
+    (cold, downstream, upstream, downstream_s, upstream_s,
+     downstream_hits, upstream_hits) = run_once(benchmark, _measure)
+
+    table = Table("Program memo: warm hit cost by key, repeated-segment set",
+                  ["warm path", "wall (s)", "memo hits", "codegen runs"])
+    table.add_row("downstream (program fingerprint)", downstream_s,
+                  downstream_hits, downstream_hits)
+    table.add_row("upstream (workload fingerprint)", upstream_s,
+                  upstream_hits, 0)
+    table.add_note(f"upstream/downstream speedup: "
+                   f"{downstream_s / upstream_s:.1f}x "
+                   f"(floor {SPEEDUP_FLOOR:g}x)")
+    table.print()
+
+    # Correctness first: both warm paths must reproduce the cold pass
+    # exactly, and every segment of each warm pass must have been a hit.
+    assert downstream == cold and upstream == cold
+    assert downstream_hits == 9 and upstream_hits == 9
+    assert downstream_s > SPEEDUP_FLOOR * upstream_s, (
+        f"upstream warm path only {downstream_s / upstream_s:.1f}x faster "
+        f"than the downstream-only warm path"
+    )

@@ -2,11 +2,12 @@
 
 Usage (from the repository root)::
 
-    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr8.json]
+    PYTHONPATH=src python benchmarks/record.py [--output BENCH_pr9.json]
                                                [--check]
 
 Measures the headline numbers of the simulation-throughput overhaul --
-raw engine events/second, warm-vs-cold segment-memoized sweep time, and
+raw engine events/second, warm-vs-cold segment-memoized sweep time, the
+upstream-vs-downstream warm-hit cost of the program-level memo, and
 batched-vs-per-point analytic generation evaluation on both the single-chip
 and the multi-chip chiplet space -- and writes them as one
 JSON document.  CI runs this with ``--check`` (loose floors, tolerant of
@@ -39,6 +40,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 FLOORS = {
     "engine_events_per_s": 100_000.0,
     "segment_memo_speedup": 2.5,
+    # Upstream workload-key warm hits vs downstream program-fingerprint warm
+    # hits (which still run codegen); measured ~4x on the PR 9 development
+    # container.
+    "program_memo_speedup": 2.0,
     "analytic_batch_speedup": 2.0,
     # The chiplet generation shares one tally across 9 link variants of each
     # base design, so its batched floor sits above the single-chip bench's
@@ -86,6 +91,22 @@ def measure_segment_memo() -> dict:
     }
 
 
+def measure_program_memo() -> dict:
+    """Upstream vs downstream warm-hit cost on the repeated-segment set."""
+    from bench_program_memo import WORKLOADS, _measure
+
+    (cold, downstream, upstream, downstream_s, upstream_s,
+     _, _) = _measure()
+    assert downstream == cold and upstream == cold, (
+        "warm results drifted from the cold pass")
+    return {
+        "workloads": [list(w) for w in WORKLOADS],
+        "downstream_warm_s": downstream_s,
+        "upstream_warm_s": upstream_s,
+        "speedup": downstream_s / upstream_s,
+    }
+
+
 def measure_analytic_batch() -> dict:
     """Per-point vs batched analytic evaluation on the encoder space."""
     from bench_analytic_batch import _measure
@@ -123,10 +144,11 @@ def record() -> dict:
 
     engine = measure_engine()
     memo = measure_segment_memo()
+    program = measure_program_memo()
     batch = measure_analytic_batch()
     chiplet = measure_chiplet_batch()
     return {
-        "bench": "pr8-chiplet-axis",
+        "bench": "pr9-program-memo",
         "code_version": code_version(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "host": {
@@ -136,6 +158,7 @@ def record() -> dict:
         },
         "engine_throughput": engine,
         "segment_memo": memo,
+        "program_memo": program,
         "analytic_batch": batch,
         "chiplet_batch": chiplet,
     }
@@ -146,6 +169,7 @@ def check(payload: dict) -> list:
     measured = {
         "engine_events_per_s": payload["engine_throughput"]["events_per_s"],
         "segment_memo_speedup": payload["segment_memo"]["speedup"],
+        "program_memo_speedup": payload["program_memo"]["speedup"],
         "analytic_batch_speedup": payload["analytic_batch"]["speedup_cold"],
         "chiplet_batch_speedup": payload["chiplet_batch"]["speedup_cold"],
     }
@@ -157,8 +181,8 @@ def check(payload: dict) -> list:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_pr8.json",
-                        help="output path (default: BENCH_pr8.json)")
+    parser.add_argument("--output", default="BENCH_pr9.json",
+                        help="output path (default: BENCH_pr9.json)")
     parser.add_argument("--check", action="store_true",
                         help="fail (exit 1) when a measurement is below its "
                              "loose floor")
@@ -174,6 +198,10 @@ def main(argv=None) -> int:
           f"({engine['events']} events in {engine['best_wall_s']:.3f}s)")
     print(f"segment memo: warm {memo['speedup']:.1f}x faster than cold "
           f"({memo['cold_s']:.2f}s -> {memo['warm_s']:.2f}s)")
+    program = payload["program_memo"]
+    print(f"program memo: upstream warm {program['speedup']:.1f}x faster "
+          f"than downstream warm ({program['downstream_warm_s']:.3f}s -> "
+          f"{program['upstream_warm_s']:.3f}s)")
     print(f"analytic batch: cold {batch['speedup_cold']:.1f}x / warm "
           f"{batch['speedup_warm']:.0f}x faster than per-point over "
           f"{batch['points']} points")

@@ -296,13 +296,19 @@ class ResultCache:
 
 
 class SegmentMemo:
-    """Memo of simulated segment results, keyed by program fingerprint.
+    """Memo of simulated segment results, keyed two ways per segment.
 
-    The key is :meth:`repro.xnn.codegen.ProgramBuilder.fingerprint` -- a
-    SHA-256 over the per-FU uOP streams, the :class:`XNNConfig`, the
-    :class:`CodegenOptions`, and the code version -- so a hit guarantees the
-    event-driven simulation being skipped would have been byte-identical to
-    the one that populated the entry.  The memo is two-layered:
+    Every simulated segment is stored under **two keys**: the *upstream*
+    workload key (``workload-`` prefixed; a SHA-256 over the segment's
+    builder-op descriptors, the :class:`XNNConfig`, the
+    :class:`CodegenOptions`, and the code version, computed by
+    :meth:`repro.xnn.executor.XNNExecutor._workload_key` before any codegen
+    runs) and the *downstream* program fingerprint
+    (:meth:`repro.xnn.codegen.ProgramBuilder.fingerprint` -- a SHA-256 over
+    the per-FU uOP streams plus the same config/options/code version).  An
+    upstream hit skips codegen entirely; a downstream hit skips only the
+    event-loop simulation.  Either way a hit guarantees the skipped work
+    would have produced a byte-identical result.  The storage is layered:
 
     * an **in-memory** dict, always on: identical segments within one process
       (one sweep, one exploration, one test run) simulate once;
@@ -315,11 +321,20 @@ class SegmentMemo:
     swept by ``ResultCache.prune``).  Results never depend on tensor *data*,
     so the memo must only be consulted for timing-only simulations
     (``carry_data=False``) -- the executor enforces this.
+
+    For cross-host sharing, :meth:`store` additionally records each *newly*
+    stored entry so :meth:`take_new` can hand them to the work-queue layer
+    (workers piggyback them on result files, submitters and TCP peers fold
+    them back in through :meth:`absorb`).  Absorbed entries are validated
+    against the current code version -- a peer running different sources can
+    never poison this memo -- and are *not* re-recorded as new, so entries
+    do not ping-pong between hosts.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None):
         self._memory: Dict[str, Dict[str, Any]] = {}
         self._root: Optional[Path] = None
+        self._new: Dict[str, Dict[str, Any]] = {}
         #: lifetime counters, for benchmarks and tests.
         self.hits = 0
         self.misses = 0
@@ -372,8 +387,13 @@ class SegmentMemo:
 
     # ----------------------------------------------------------------- store
 
-    def store(self, key: str, payload: Dict[str, Any]) -> None:
+    def store(self, key: str, payload: Dict[str, Any], fresh: bool = True) -> None:
         """Memoize ``payload`` (JSON-able scalars) under ``key``.
+
+        ``fresh`` entries (the default: locally simulated results) are also
+        recorded for :meth:`take_new`, so the work-queue layer can ship them
+        to other hosts; entries arriving *from* other hosts are stored with
+        ``fresh=False`` (see :meth:`absorb`) and are not re-shipped.
 
         The disk layer is an accelerator, not a correctness requirement: a
         failed write (deleted cache directory, permissions, full disk)
@@ -381,6 +401,12 @@ class SegmentMemo:
         that produced the result.
         """
         self._memory[key] = dict(payload)
+        if fresh:
+            self._new[key] = {
+                "key": key,
+                "code_version": code_version(),
+                "result": dict(payload),
+            }
         if self._root is None:
             return
         entry = {
@@ -405,11 +431,57 @@ class SegmentMemo:
                 os.unlink(tmp_name)
             raise
 
+    # ----------------------------------------------------- cross-host sharing
+
+    def keys(self) -> List[str]:
+        """Every in-memory key (the ``known`` set for a memo-sync exchange)."""
+        return list(self._memory)
+
+    def take_new(self) -> List[Dict[str, Any]]:
+        """Return-and-clear the entries stored fresh since the last call.
+
+        Each element is a full entry dict (``key`` / ``code_version`` /
+        ``result``), the same shape the disk layer writes, ready to travel
+        over the spool and be fed to a peer's :meth:`absorb`.
+        """
+        entries = list(self._new.values())
+        self._new.clear()
+        return entries
+
+    def absorb(self, entries) -> int:
+        """Fold entries from another host in; returns how many were accepted.
+
+        Every entry is validated the same way a disk read is: it must be a
+        well-formed entry dict whose recorded ``code_version`` matches this
+        process's -- a peer running edited sources (or replaying stale
+        entries) contributes nothing, so a synced memo can never poison a
+        sweep.  Accepted entries are stored with ``fresh=False``: they are
+        persisted locally (memory + disk layer) but never re-shipped.
+        """
+        accepted = 0
+        if not isinstance(entries, (list, tuple)):
+            return 0
+        current = code_version()
+        for entry in entries:
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("key"), str)
+                or entry.get("code_version") != current
+                or not isinstance(entry.get("result"), dict)
+            ):
+                continue
+            key = entry["key"]
+            if key not in self._memory:
+                self.store(key, entry["result"], fresh=False)
+            accepted += 1
+        return accepted
+
     # ----------------------------------------------------------- maintenance
 
     def clear(self) -> None:
         """Drop every in-memory entry and delete any on-disk entries."""
         self._memory.clear()
+        self._new.clear()
         self.hits = 0
         self.misses = 0
         if self._root is not None and self._root.is_dir():

@@ -210,6 +210,12 @@ def _sanitize_id(identifier: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]", "_", identifier)
 
 
+#: valid segment-memo keys on the wire: a hex program fingerprint or a
+#: ``workload-`` prefixed upstream key.  Anything else never becomes a
+#: ``memo/`` filename (defence against a hostile or broken peer).
+_MEMO_KEY_RE = re.compile(r"[A-Za-z0-9-]{1,100}")
+
+
 #: zero-padding width of the per-batch job index.  Job ids must sort
 #: lexicographically in submission order (``Spool.claim`` hands out the
 #: smallest id first), so the width bounds the batch size: 8 digits keeps
@@ -322,6 +328,10 @@ class Spool:
     def workers_dir(self) -> Path:
         return self.root / "workers"
 
+    @property
+    def memo_dir(self) -> Path:
+        return self.root / "memo"
+
     def ensure(self) -> "Spool":
         """Create the spool layout; safe to call from every participant."""
         for directory in (
@@ -329,6 +339,7 @@ class Spool:
             self.claimed_dir,
             self.results_dir,
             self.workers_dir,
+            self.memo_dir,
         ):
             directory.mkdir(parents=True, exist_ok=True)
         return self
@@ -549,6 +560,57 @@ class Spool:
                 except OSError:
                     pass
 
+    # ------------------------------------------------------------- memo sync
+
+    def memo_sync(
+        self, entries: Sequence[Dict[str, Any]], known: Sequence[str] = ()
+    ) -> List[Dict[str, Any]]:
+        """Exchange segment-memo entries through the spool.
+
+        ``entries`` (full ``key``/``code_version``/``result`` entry dicts,
+        the shape :meth:`repro.runner.cache.SegmentMemo.take_new` returns)
+        are published under ``memo/``; every published entry whose key is
+        *not* in ``known`` comes back, so each participant pushes what it
+        just simulated and pulls what its peers have.  The spool stores the
+        entries opaquely -- validation (including the code-version check
+        that keeps a stale peer from poisoning anyone) happens in each
+        participant's :meth:`~repro.runner.cache.SegmentMemo.absorb`.
+        Failures degrade to an empty exchange: the memo is an accelerator,
+        never a correctness dependency.
+        """
+        try:
+            self.memo_dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
+            key = entry.get("key")
+            if not isinstance(key, str) or not _MEMO_KEY_RE.fullmatch(key):
+                continue
+            try:
+                _write_json_atomic(
+                    self.memo_dir, self.memo_dir / f"{key}.json", entry
+                )
+            except OSError:
+                continue
+        known_keys = set(known)
+        fetched: List[Dict[str, Any]] = []
+        try:
+            present = sorted(self.memo_dir.glob("*.json"))
+        except OSError:
+            return []
+        for path in present:
+            if path.stem in known_keys:
+                continue
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # mid-publish or corrupted; absorb would reject it
+            if isinstance(entry, dict):
+                fetched.append(entry)
+        return fetched
+
     # ------------------------------------------------------------ heartbeats
 
     def beat(self, worker_id: str, info: Optional[Dict[str, Any]] = None) -> None:
@@ -692,9 +754,11 @@ class Spool:
         """Age-based sweep of the garbage the protocol admits to leaking:
         results no submitter collected (abandoned batches), claims and
         heartbeats of dead workers whose submitter is gone, ``.clock``
-        scratch files from crashed :meth:`fs_now` callers, and worker
-        ``.log`` files.  ``pending/`` is never touched -- a pending job is
-        a promise to some submitter, however old.
+        scratch files from crashed :meth:`fs_now` callers, worker ``.log``
+        files, and published ``memo/`` entries (a source edit orphans them
+        -- peers on the new code version reject them on absorb, so age is
+        the right reaper).  ``pending/`` is never touched -- a pending job
+        is a promise to some submitter, however old.
 
         A file is garbage when it is older than ``max_age_s`` *and* (for
         claims, heartbeats, and logs) its worker has not heartbeat within
@@ -706,7 +770,14 @@ class Spool:
             raise ValueError(f"max_age_s must be >= 0, got {max_age_s}")
         now = self.fs_now("gc") if now is None else now
         live = set(self.live_workers(within_s=max_age_s, now=now))
-        removed = {"results": 0, "claims": 0, "heartbeats": 0, "clocks": 0, "logs": 0}
+        removed = {
+            "results": 0,
+            "claims": 0,
+            "heartbeats": 0,
+            "clocks": 0,
+            "logs": 0,
+            "memo": 0,
+        }
         kept = 0
 
         def _stale(path: Path) -> Optional[bool]:
@@ -747,6 +818,7 @@ class Spool:
         _sweep(self.workers_dir, "*.json", "heartbeats", lambda stem: stem)
         _sweep(self.workers_dir, "*.clock", "clocks", None)
         _sweep(self.workers_dir, "*.log", "logs", lambda stem: stem)
+        _sweep(self.memo_dir, "*.json", "memo", None)
         return {"removed": removed, "kept": kept, "max_age_s": max_age_s}
 
 
@@ -982,6 +1054,16 @@ class WorkQueueExecutor(Executor):
                         "byte-identical.  Restart the workers from this "
                         "source tree."
                     )
+                synced = payload.get("segment_memo")
+                if synced:
+                    # Fold the worker's piggybacked segment-memo entries into
+                    # this process's memo (absorb validates each against the
+                    # current code version), so later in-process work -- the
+                    # next generation of an exploration, a verify pass --
+                    # starts warm from what remote workers just simulated.
+                    from .cache import process_segment_memo
+
+                    process_segment_memo().absorb(synced)
                 collected[job_id] = payload
                 outstanding.discard(job_id)
             if not outstanding:

@@ -169,6 +169,41 @@ def estimate_xnn_gemm(
     return payload
 
 
+def _gemm_point(
+    m: int,
+    k: int,
+    n: int,
+    options: Optional[Dict[str, Any]] = None,
+    bandwidth_scale: float = 1.0,
+):
+    """One ``xnn_gemm`` parameter set resolved into the exact objects the
+    scalar analytic runner constructs.  Same signature as the scalar runner,
+    so unknown or missing parameters fail identically on either path."""
+    return (_xnn_config(bandwidth_scale), _codegen_options(options), m, k, n)
+
+
+@REGISTRY.batch_kind("xnn_gemm", backend="analytic")
+def estimate_xnn_gemm_batch(param_sets: List[Dict[str, Any]]) -> List[dict]:
+    """Batched analytic evaluation of many ``xnn_gemm`` scenarios.
+
+    Shared-tally memoization plus vectorized rooflines, payload-formatted
+    through the same helpers as :func:`estimate_xnn_gemm` -- every payload
+    equals the scalar runner's for the same parameters exactly
+    (``tests/differential/test_batched_analytic.py`` pins this).
+    """
+    from repro.xnn.analytic import encoder_batch_evaluator
+
+    points = [_gemm_point(**params) for params in param_sets]
+    payloads = []
+    for result in encoder_batch_evaluator().gemm_results(points):
+        payload = _analytic_segment_dict(result)
+        payload["gflops"] = (
+            result.flops / result.latency_s / 1e9 if result.latency_s else 0.0
+        )
+        payloads.append(payload)
+    return payloads
+
+
 @REGISTRY.kind("xnn_encoder")
 def run_xnn_encoder(
     batch: int,
@@ -207,6 +242,43 @@ def estimate_xnn_encoder(
         batch=batch, seq_len=seq_len, config=_encoder_config(model)
     )
     return _analytic_encoder_dict(result)
+
+
+def _encoder_point(
+    batch: int,
+    seq_len: int,
+    model: str = "bert_large",
+    options: Optional[Dict[str, Any]] = None,
+    bandwidth_scale: float = 1.0,
+):
+    """One ``xnn_encoder`` parameter set resolved into the exact objects the
+    scalar analytic runner constructs.  Same signature as the scalar runner,
+    so unknown or missing parameters fail identically on either path."""
+    return (
+        _xnn_config(bandwidth_scale),
+        _codegen_options(options),
+        batch,
+        seq_len,
+        _encoder_config(model),
+    )
+
+
+@REGISTRY.batch_kind("xnn_encoder", backend="analytic")
+def estimate_xnn_encoder_batch(param_sets: List[Dict[str, Any]]) -> List[dict]:
+    """Batched analytic evaluation of many ``xnn_encoder`` scenarios.
+
+    One call per sweep generation: tallies are memoized across points (and
+    calls), the bandwidth-dependent rooflines are vectorized, and each point
+    is payload-formatted through the same helper as
+    :func:`estimate_xnn_encoder` -- so every payload equals the scalar
+    runner's for the same parameters exactly
+    (``tests/differential/test_batched_analytic.py`` pins this).
+    """
+    from repro.xnn.analytic import encoder_batch_evaluator
+
+    points = [_encoder_point(**params) for params in param_sets]
+    results = encoder_batch_evaluator().encoder_results(points)
+    return [_analytic_encoder_dict(result) for result in results]
 
 
 @REGISTRY.kind("xnn_feedforward")

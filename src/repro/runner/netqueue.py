@@ -306,6 +306,15 @@ class SpoolServer:
         # spool filesystem, the same clock that stamps every mtime above.
         return {"ok": True, "now": self.spool.fs_now("netq-now")}
 
+    def _op_memo_sync(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        entries = request.get("entries") or []
+        known = request.get("known") or []
+        if not isinstance(entries, list) or not isinstance(known, list):
+            return {"ok": False, "error": "memo_sync: entries/known must be lists"}
+        with self._lock:
+            fetched = self.spool.memo_sync(entries, known=[str(k) for k in known])
+        return {"ok": True, "entries": fetched}
+
     def _op_status(self, request: Dict[str, Any]) -> Dict[str, Any]:
         with self._lock:
             status = self.spool.status()
@@ -519,6 +528,25 @@ class NetSpool:
             self._call({"op": "abandon", "prefix": prefix})
         except NetSpoolError:
             pass  # best-effort cleanup; spool GC sweeps what this misses
+
+    def memo_sync(
+        self, entries: Sequence[Dict[str, Any]], known: Sequence[str] = ()
+    ) -> List[Dict[str, Any]]:
+        """Exchange segment-memo entries through the server's ``memo/``.
+
+        Degrades to an empty exchange when the server is away *or* predates
+        the op (an older server answers "unknown op", which :meth:`_call`
+        raises as :class:`NetSpoolError` too) -- the memo is an accelerator,
+        so a sweep against a PR-8-era ``spoold`` simply runs unwarmed.
+        """
+        try:
+            response = self._call(
+                {"op": "memo_sync", "entries": list(entries), "known": list(known)}
+            )
+        except NetSpoolError:
+            return []
+        fetched = response.get("entries")
+        return [e for e in fetched if isinstance(e, dict)] if fetched else []
 
     def fs_now(self, token: str) -> float:
         try:

@@ -26,7 +26,7 @@ from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from .cache import ResultCache, configure_segment_memo
-from .executors import Executor, default_executor
+from .executors import Executor, SerialExecutor, default_executor
 from .scenarios import BACKENDS, DEFAULT_BACKEND, REGISTRY, Scenario
 
 __all__ = ["SweepOutcome", "run_sweep"]
@@ -86,6 +86,42 @@ def _run_one(
     start = time.perf_counter()
     result = REGISTRY.run(scenario, backend=backend)
     return scenario.name, result, time.perf_counter() - start
+
+
+def _run_batched(
+    scenarios: List[Scenario], backend: str
+) -> Tuple[List[Scenario], List[Tuple[Scenario, Dict[str, Any], float]]]:
+    """Evaluate the batch-capable kinds of a sweep generation-at-a-time.
+
+    Scenarios whose kind registers a batch runner for ``backend`` are grouped
+    by kind and handed to it in one call each -- the in-process fast path for
+    serial sweeps (a batch runner's contract is result equality with the
+    scalar runner, so outcomes are indistinguishable).  Returns the scenarios
+    that must still go through the executor, plus ``(scenario, result,
+    elapsed_s)`` tuples for the batched ones; the batch call's wall time is
+    attributed evenly across its scenarios.
+    """
+    groups: Dict[str, List[Scenario]] = {}
+    remaining: List[Scenario] = []
+    for scenario in scenarios:
+        if REGISTRY.batch_runner(scenario.kind, backend) is None:
+            remaining.append(scenario)
+        else:
+            groups.setdefault(scenario.kind, []).append(scenario)
+    executed: List[Tuple[Scenario, Dict[str, Any], float]] = []
+    for kind, group in groups.items():
+        runner = REGISTRY.batch_runner(kind, backend)
+        start = time.perf_counter()
+        results = runner([dict(scenario.params) for scenario in group])
+        elapsed_s = (time.perf_counter() - start) / len(group)
+        if len(results) != len(group):
+            raise RuntimeError(
+                f"batch runner for kind {kind!r} ({backend} backend) returned "
+                f"{len(results)} results for {len(group)} scenarios"
+            )
+        for scenario, result in zip(group, results):
+            executed.append((scenario, result, elapsed_s))
+    return remaining, executed
 
 
 def run_sweep(
@@ -183,12 +219,25 @@ def run_sweep(
         # stale cache directory.
         segment_memo_dir = str(cache.segments_dir) if cache is not None else None
         configure_segment_memo(segment_memo_dir)
-        executor.configure(backend=backend, segment_memo_dir=segment_memo_dir)
-        raw = executor.submit(
-            to_run,
-            partial(_run_one, backend=backend, segment_memo_dir=segment_memo_dir),
-        )
-        for scenario, (_, result, elapsed) in zip(to_run, raw):
+        # Serial sweeps route batch-capable kinds through their batch runner
+        # generation-at-a-time (shared tallies, vectorized rooflines) instead
+        # of one scalar call per scenario.  Distributed executors keep the
+        # per-scenario path: their parallelism comes from fan-out, and jobs
+        # must stay individually shippable.
+        executed: List[Tuple[Scenario, Dict[str, Any], float]] = []
+        if isinstance(executor, SerialExecutor):
+            to_run, executed = _run_batched(to_run, backend)
+        if to_run:
+            executor.configure(backend=backend, segment_memo_dir=segment_memo_dir)
+            raw = executor.submit(
+                to_run,
+                partial(_run_one, backend=backend, segment_memo_dir=segment_memo_dir),
+            )
+            executed.extend(
+                (scenario, result, elapsed)
+                for scenario, (_, result, elapsed) in zip(to_run, raw)
+            )
+        for scenario, result, elapsed in executed:
             outcomes[_key(scenario)] = SweepOutcome(
                 scenario=scenario.name,
                 kind=scenario.kind,

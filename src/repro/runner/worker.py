@@ -26,7 +26,7 @@ import time
 import traceback
 from typing import Any, Dict, Optional
 
-from .cache import code_version, configure_segment_memo
+from .cache import code_version, process_segment_memo
 from .executors import open_spool, scenario_from_payload
 
 __all__ = ["run_worker"]
@@ -112,7 +112,7 @@ def _execute(claimed, worker_id: str) -> Optional[Dict[str, Any]]:
             "worker": worker_id,
             "error": {"type": "exception", "message": traceback.format_exc()},
         }
-    return {
+    payload = {
         "job": job_id,
         "worker": worker_id,
         "scenario": name,
@@ -120,6 +120,13 @@ def _execute(claimed, worker_id: str) -> Optional[Dict[str, Any]]:
         "elapsed_s": elapsed_s,
         "code_version": code_version(),
     }
+    # Piggyback any segment-memo entries this job freshly simulated on the
+    # result file: the submitter folds them into its own memo, and the
+    # post-job memo_sync below shares them with sibling workers.
+    new_entries = process_segment_memo().take_new()
+    if new_entries:
+        payload["segment_memo"] = new_entries
+    return payload
 
 
 def run_worker(
@@ -194,6 +201,16 @@ def run_worker(
             # A rejected (stale-claim) result means the job was requeued to
             # another worker while we ran it; nothing to do -- the other
             # worker's byte-identical result is the one that counts.
+            # Exchange segment-memo entries with sibling workers through the
+            # spool: push what this job freshly simulated, pull what peers
+            # published since.  absorb() validates each entry's code version,
+            # so a peer on different sources can never poison this worker.
+            memo = process_segment_memo()
+            fetched = spool.memo_sync(
+                result.get("segment_memo") or [], known=memo.keys()
+            )
+            if fetched:
+                memo.absorb(fetched)
     finally:
         stop.set()
         beat_thread.join(timeout=HEARTBEAT_INTERVAL_S + 1.0)

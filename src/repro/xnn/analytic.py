@@ -431,6 +431,93 @@ class _FrozenTally:
         )
 
 
+@dataclass(frozen=True)
+class _SegmentSet:
+    """One memoized encoder evaluation's bandwidth-independent half.
+
+    Everything :meth:`AnalyticXNN.run_encoder` derives per segment except the
+    roofline resolution: the frozen tallies, the segment names and mapping
+    labels, the per-segment FLOP counts, and their list-order fold into the
+    encoder total.
+    """
+
+    model_name: str
+    names: Tuple[str, ...]
+    mappings: Tuple[str, ...]
+    tallies: Tuple[_FrozenTally, ...]
+    flops: Tuple[float, ...]
+    total_flops: float
+
+
+def _busy_grids(
+    tallies_per_point: Sequence[Sequence[_FrozenTally]],
+    ddr_models: Sequence[MemoryChannelModel],
+    lpddr_models: Sequence[MemoryChannelModel],
+    mme_rate_column: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized per-(point, segment) resource busy times.
+
+    Exactly :meth:`_SegmentTally.roofline`'s expressions evaluated
+    elementwise over a whole generation: the channels' bulk transfer times
+    (including the per-request latency and the empty-transfer zero), the
+    busiest MME's accumulated FLOPs over its rate, and the busiest MemC's
+    arithmetic over the MemC throughput.  Elementwise IEEE-754 float64 ops
+    are bit-exact either way, so each cell equals the scalar busy time.
+    """
+    count = len(tallies_per_point)
+    segments = len(tallies_per_point[0])
+    shape = (count, segments)
+
+    def grid(attr: str) -> np.ndarray:
+        return np.array(
+            [
+                [getattr(tally, attr) for tally in tallies]
+                for tallies in tallies_per_point
+            ],
+            dtype=np.float64,
+        )
+
+    def column(attr: str, models: Sequence[MemoryChannelModel]) -> np.ndarray:
+        return np.array(
+            [getattr(model, attr) for model in models], dtype=np.float64
+        ).reshape(count, 1)
+
+    read_bytes = grid("ddr_read_bytes")
+    read_requests = grid("ddr_read_requests")
+    write_bytes = grid("ddr_write_bytes")
+    write_requests = grid("ddr_write_requests")
+    lpddr_bytes = grid("lpddr_bytes")
+    lpddr_requests = grid("lpddr_requests")
+    mme_max = grid("mme_flops_max")
+    memc_max = grid("memc_flops_max")
+
+    ddr_read_bw = column("effective_read_bw", ddr_models)
+    ddr_write_bw = column("effective_write_bw", ddr_models)
+    ddr_latency = column("request_latency", ddr_models)
+    lpddr_bw = column("effective_read_bw", lpddr_models)
+    lpddr_latency = column("request_latency", lpddr_models)
+
+    def bulk_time(
+        nbytes: np.ndarray,
+        requests: np.ndarray,
+        bandwidth: np.ndarray,
+        latency: np.ndarray,
+    ) -> np.ndarray:
+        # MemoryChannelModel._bulk_time, elementwise: latency + nbytes/bw
+        # + (requests-1)*latency, and exactly 0.0 for empty transfers.
+        busy = latency + nbytes / bandwidth + (requests - 1.0) * latency
+        return np.where((nbytes == 0.0) | (requests == 0.0), np.zeros(shape), busy)
+
+    ddr_busy = (
+        bulk_time(read_bytes, read_requests, ddr_read_bw, ddr_latency)
+        + bulk_time(write_bytes, write_requests, ddr_write_bw, ddr_latency)
+    )
+    lpddr_busy = bulk_time(lpddr_bytes, lpddr_requests, lpddr_bw, lpddr_latency)
+    mme_busy = mme_max / mme_rate_column
+    memc_busy = memc_max / MEMC_COMPUTE_THROUGHPUT
+    return ddr_busy, lpddr_busy, mme_busy, memc_busy
+
+
 #: the ``dse_encoder`` runner defaults, mirrored so the batch path resolves
 #: partially specified design points exactly like the scalar runner signature.
 _DSE_DEFAULTS: Dict[str, Any] = {
@@ -514,9 +601,9 @@ class EncoderBatchEvaluator:
         #: (spec, num_mme, num_mem_c, tile_shape, options) -> AnalyticXNN
         self._models: Dict[Tuple[Any, ...], AnalyticXNN] = {}
         #: (model key, batch, seq_len, bert config) -> frozen segment data
-        self._segments: Dict[
-            Tuple[Any, ...], Tuple[List[_FrozenTally], List[float], float]
-        ] = {}
+        self._segments: Dict[Tuple[Any, ...], _SegmentSet] = {}
+        #: (model key, m, k, n) -> frozen single-GEMM tally + FLOPs
+        self._gemm_tallies: Dict[Tuple[Any, ...], Tuple[_FrozenTally, float]] = {}
         #: hits/misses of the segment-tally memo, for benchmarks and tests.
         self.tally_hits = 0
         self.tally_misses = 0
@@ -550,7 +637,7 @@ class EncoderBatchEvaluator:
 
     def _segments_for(
         self, model: AnalyticXNN, batch: int, seq_len: int, config: BertConfig
-    ) -> Tuple[List[_FrozenTally], List[float], float]:
+    ) -> _SegmentSet:
         key = (
             model.config.spec,
             model.config.num_mme,
@@ -566,18 +653,52 @@ class EncoderBatchEvaluator:
             self.tally_hits += 1
             return cached
         self.tally_misses += 1
-        _, segments = model.encoder_segments(
+        model_name, segments = model.encoder_segments(
             batch=batch, seq_len=seq_len, config=config
         )
-        tallies = [_FrozenTally.freeze(tally) for _, tally, _, _ in segments]
-        flops = [segment_flops for _, _, segment_flops, _ in segments]
+        flops = tuple(segment_flops for _, _, segment_flops, _ in segments)
         # result.flops is sum(segment.flops) -- fold in list order so the
         # scalar EncoderResult sum is reproduced bit for bit.
         total_flops = 0.0
         for segment_flops in flops:
             total_flops += segment_flops
-        cached = (tallies, flops, total_flops)
+        cached = _SegmentSet(
+            model_name=model_name,
+            names=tuple(name for name, _, _, _ in segments),
+            mappings=tuple(mapping for _, _, _, mapping in segments),
+            tallies=tuple(_FrozenTally.freeze(tally) for _, tally, _, _ in segments),
+            flops=flops,
+            total_flops=total_flops,
+        )
         self._segments[key] = cached
+        return cached
+
+    def _gemm_tally_for(
+        self, model: AnalyticXNN, m: int, k: int, n: int
+    ) -> Tuple[_FrozenTally, float]:
+        """The frozen tally and FLOP count of one bare GEMM, memoized."""
+        key = (
+            model.config.spec,
+            model.config.num_mme,
+            model.config.num_mem_c,
+            model.config.mme_tile_shape,
+            model.options,
+            m,
+            k,
+            n,
+        )
+        cached = self._gemm_tallies.get(key)
+        if cached is not None:
+            self.tally_hits += 1
+            return cached
+        self.tally_misses += 1
+        # The exact layer AnalyticXNN.run_gemm builds (the runner layer never
+        # passes fused ops), tallied through the same code path.
+        layer = MatMulLayer("gemm", m=m, k=k, n=n)
+        tally = model._fresh_tally()
+        model._tally_gemm(tally, layer)
+        cached = (_FrozenTally.freeze(tally), layer.flops)
+        self._gemm_tallies[key] = cached
         return cached
 
     # ------------------------------------------------------------ evaluation
@@ -625,7 +746,7 @@ class EncoderBatchEvaluator:
             model = self._model_for(
                 probe.spec, num_mme, num_mme, probe.mme_tile_shape, options
             )
-            tallies, _, flops = self._segments_for(
+            segment_set = self._segments_for(
                 model,
                 params["batch"],
                 params["seq_len"],
@@ -633,8 +754,8 @@ class EncoderBatchEvaluator:
             )
             resolved.append(params)
             probes.append(probe)
-            tallies_per_point.append(tallies)
-            total_flops[index] = flops
+            tallies_per_point.append(list(segment_set.tallies))
+            total_flops[index] = segment_set.total_flops
             mme_rate[index] = model.mme_rate
             peak_flops[index] = num_mme * model.mme_rate
             num_mme_column.append(num_mme)
@@ -646,55 +767,9 @@ class EncoderBatchEvaluator:
             )
 
         segments = len(tallies_per_point[0])
-        shape = (count, segments)
-
-        def grid(attr: str) -> np.ndarray:
-            return np.array(
-                [
-                    [getattr(tally, attr) for tally in tallies]
-                    for tallies in tallies_per_point
-                ],
-                dtype=np.float64,
-            )
-
-        read_bytes = grid("ddr_read_bytes")
-        read_requests = grid("ddr_read_requests")
-        write_bytes = grid("ddr_write_bytes")
-        write_requests = grid("ddr_write_requests")
-        lpddr_bytes = grid("lpddr_bytes")
-        lpddr_requests = grid("lpddr_requests")
-        mme_max = grid("mme_flops_max")
-        memc_max = grid("memc_flops_max")
-
-        def column(attr: str, models: List[MemoryChannelModel]) -> np.ndarray:
-            return np.array(
-                [getattr(model, attr) for model in models], dtype=np.float64
-            ).reshape(count, 1)
-
-        ddr_read_bw = column("effective_read_bw", ddr_models)
-        ddr_write_bw = column("effective_write_bw", ddr_models)
-        ddr_latency = column("request_latency", ddr_models)
-        lpddr_bw = column("effective_read_bw", lpddr_models)
-        lpddr_latency = column("request_latency", lpddr_models)
-
-        def bulk_time(
-            nbytes: np.ndarray,
-            requests: np.ndarray,
-            bandwidth: np.ndarray,
-            latency: np.ndarray,
-        ) -> np.ndarray:
-            # MemoryChannelModel._bulk_time, elementwise: latency + nbytes/bw
-            # + (requests-1)*latency, and exactly 0.0 for empty transfers.
-            busy = latency + nbytes / bandwidth + (requests - 1.0) * latency
-            return np.where((nbytes == 0.0) | (requests == 0.0), np.zeros(shape), busy)
-
-        ddr_busy = (
-            bulk_time(read_bytes, read_requests, ddr_read_bw, ddr_latency)
-            + bulk_time(write_bytes, write_requests, ddr_write_bw, ddr_latency)
+        ddr_busy, lpddr_busy, mme_busy, memc_busy = _busy_grids(
+            tallies_per_point, ddr_models, lpddr_models, mme_rate.reshape(count, 1)
         )
-        lpddr_busy = bulk_time(lpddr_bytes, lpddr_requests, lpddr_bw, lpddr_latency)
-        mme_busy = mme_max / mme_rate.reshape(count, 1)
-        memc_busy = memc_max / MEMC_COMPUTE_THROUGHPUT
 
         # ResourceRoofline.latency_s: the max over resources (order-free).
         segment_latency = np.maximum(
@@ -858,6 +933,164 @@ class EncoderBatchEvaluator:
         param_sets = [{**dict(base_params), "batch": size} for size in sizes]
         payloads = self.evaluate_batch(param_sets, encoder_config)
         return dict(zip(sizes, payloads))
+
+    # --------------------------------------------- catalogue-kind evaluation
+
+    def _roofline_at(
+        self,
+        busy: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        index: int,
+        position: int,
+    ) -> ResourceRoofline:
+        """One (point, segment) cell resolved through the scalar roofline.
+
+        Constructing the same ``{ddr, lpddr, mme, memc}`` mapping the scalar
+        :meth:`_SegmentTally.roofline` builds -- from bit-identical busy
+        times -- reproduces not just the latency but the *bottleneck
+        tie-break* (first maximum in mapping order) and the utilization dict
+        exactly.
+        """
+        ddr_busy, lpddr_busy, mme_busy, memc_busy = busy
+        return ResourceRoofline(
+            {
+                "ddr": float(ddr_busy[index, position]),
+                "lpddr": float(lpddr_busy[index, position]),
+                "mme": float(mme_busy[index, position]),
+                "memc": float(memc_busy[index, position]),
+            }
+        )
+
+    def encoder_results(
+        self,
+        points: Sequence[Tuple[XNNConfig, CodegenOptions, int, int, BertConfig]],
+    ) -> List[EncoderResult]:
+        """Batched ``xnn_encoder`` evaluation, one :class:`EncoderResult` each.
+
+        ``points`` holds ``(config, options, batch, seq_len, bert_config)``
+        tuples -- exactly the objects the scalar analytic runner constructs.
+        The bandwidth-independent tallies are memoized across points and
+        calls; the busy times are vectorized; each segment is then resolved
+        through the scalar :class:`ResourceRoofline`, so every
+        :class:`AnalyticSegment` (names, mappings, diagnostics included)
+        equals :meth:`AnalyticXNN.run_encoder`'s float for float.
+        """
+        if not points:
+            return []
+        count = len(points)
+        segment_sets: List[_SegmentSet] = []
+        ddr_models: List[MemoryChannelModel] = []
+        lpddr_models: List[MemoryChannelModel] = []
+        mme_rate_column = np.empty((count, 1))
+        for index, (config, options, batch, seq_len, bert_config) in enumerate(
+            points
+        ):
+            model = self._model_for(
+                config.spec,
+                config.num_mme,
+                config.num_mem_c,
+                config.mme_tile_shape,
+                options,
+            )
+            segment_sets.append(
+                self._segments_for(model, batch, seq_len, bert_config)
+            )
+            mme_rate_column[index, 0] = model.mme_rate
+            ddr_models.append(
+                ddr_channel(config.spec, bandwidth_scale=config.bandwidth_scale)
+            )
+            lpddr_models.append(
+                lpddr_channel(config.spec, bandwidth_scale=config.bandwidth_scale)
+            )
+        busy = _busy_grids(
+            [list(segment_set.tallies) for segment_set in segment_sets],
+            ddr_models,
+            lpddr_models,
+            mme_rate_column,
+        )
+        results: List[EncoderResult] = []
+        for index, (config, options, batch, seq_len, bert_config) in enumerate(
+            points
+        ):
+            segment_set = segment_sets[index]
+            result = EncoderResult(name=segment_set.model_name, batch=batch)
+            for position, segment_name in enumerate(segment_set.names):
+                roofline = self._roofline_at(busy, index, position)
+                tally = segment_set.tallies[position]
+                result.segments.append(
+                    AnalyticSegment(
+                        name=segment_name,
+                        latency_s=roofline.latency_s,
+                        flops=segment_set.flops[position],
+                        ddr_bytes=tally.ddr_read_bytes + tally.ddr_write_bytes,
+                        lpddr_bytes=tally.lpddr_bytes,
+                        uops=0,
+                        bottleneck=roofline.bottleneck,
+                        bounds_s=dict(roofline.busy_s),
+                        utilization=roofline.utilizations(),
+                        mapping=segment_set.mappings[position],
+                    )
+                )
+            results.append(result)
+        return results
+
+    def gemm_results(
+        self,
+        points: Sequence[Tuple[XNNConfig, CodegenOptions, int, int, int]],
+    ) -> List[AnalyticSegment]:
+        """Batched ``xnn_gemm`` evaluation, one :class:`AnalyticSegment` each.
+
+        ``points`` holds ``(config, options, m, k, n)`` tuples.  Same split
+        as :meth:`encoder_results`: memoized tallies, vectorized busy times,
+        scalar roofline resolution -- every segment equals
+        :meth:`AnalyticXNN.run_gemm`'s exactly.
+        """
+        if not points:
+            return []
+        count = len(points)
+        frozen: List[_FrozenTally] = []
+        flops: List[float] = []
+        ddr_models: List[MemoryChannelModel] = []
+        lpddr_models: List[MemoryChannelModel] = []
+        mme_rate_column = np.empty((count, 1))
+        for index, (config, options, m, k, n) in enumerate(points):
+            model = self._model_for(
+                config.spec,
+                config.num_mme,
+                config.num_mem_c,
+                config.mme_tile_shape,
+                options,
+            )
+            tally, layer_flops = self._gemm_tally_for(model, m, k, n)
+            frozen.append(tally)
+            flops.append(layer_flops)
+            mme_rate_column[index, 0] = model.mme_rate
+            ddr_models.append(
+                ddr_channel(config.spec, bandwidth_scale=config.bandwidth_scale)
+            )
+            lpddr_models.append(
+                lpddr_channel(config.spec, bandwidth_scale=config.bandwidth_scale)
+            )
+        busy = _busy_grids(
+            [[tally] for tally in frozen], ddr_models, lpddr_models, mme_rate_column
+        )
+        segments: List[AnalyticSegment] = []
+        for index, tally in enumerate(frozen):
+            roofline = self._roofline_at(busy, index, 0)
+            segments.append(
+                AnalyticSegment(
+                    name="gemm",
+                    latency_s=roofline.latency_s,
+                    flops=flops[index],
+                    ddr_bytes=tally.ddr_read_bytes + tally.ddr_write_bytes,
+                    lpddr_bytes=tally.lpddr_bytes,
+                    uops=0,
+                    bottleneck=roofline.bottleneck,
+                    bounds_s=dict(roofline.busy_s),
+                    utilization=roofline.utilizations(),
+                    mapping=MappingType.TASK_PARALLEL.value,
+                )
+            )
+        return segments
 
 
 #: the process-wide batch evaluator (its memo is the whole point: later

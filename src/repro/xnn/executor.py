@@ -22,8 +22,10 @@ here; see DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -114,6 +116,90 @@ class EncoderResult:
 _PROCESS_MEMO = object()
 
 
+# ------------------------------------------------------------ segment workloads
+#
+# A segment is described *before* any codegen runs as an ordered list of
+# builder operations.  Each op knows how to (a) serialise itself into a
+# JSON-able descriptor -- the basis of the upstream workload fingerprint --
+# and (b) replay itself onto a :class:`ProgramBuilder` when the simulation
+# actually has to happen.  The descriptor mirrors the builder-call arguments
+# exactly (layer shapes, fused ops, operand names, attention geometry), so
+# equal descriptors under equal ``XNNConfig``/``CodegenOptions``/code version
+# are guaranteed to generate byte-identical uOP streams.
+
+
+@dataclass(frozen=True)
+class _GemmOp:
+    """One ``add_gemm_layer`` call, deferred."""
+
+    layer: MatMulLayer
+    lhs: str
+    rhs: str
+    out: str
+    bias: Optional[str] = None
+    residual: Optional[str] = None
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "op": "gemm",
+            "layer": asdict(self.layer),
+            "lhs": self.lhs,
+            "rhs": self.rhs,
+            "out": self.out,
+            "bias": self.bias,
+            "residual": self.residual,
+        }
+
+    def apply(self, builder: ProgramBuilder) -> None:
+        builder.add_gemm_layer(
+            self.layer,
+            lhs=self.lhs,
+            rhs=self.rhs,
+            out=self.out,
+            bias=self.bias,
+            residual=self.residual,
+        )
+
+
+@dataclass(frozen=True)
+class _AttentionOp:
+    """One ``add_attention`` call, deferred."""
+
+    seq_len: int
+    head_dim: int
+    num_heads: int
+    heads_per_sample: int
+    query: str
+    key: str
+    value: str
+    out: str
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "op": "attention",
+            "seq_len": self.seq_len,
+            "head_dim": self.head_dim,
+            "num_heads": self.num_heads,
+            "heads_per_sample": self.heads_per_sample,
+            "query": self.query,
+            "key": self.key,
+            "value": self.value,
+            "out": self.out,
+        }
+
+    def apply(self, builder: ProgramBuilder) -> None:
+        builder.add_attention(
+            seq_len=self.seq_len,
+            head_dim=self.head_dim,
+            num_heads=self.num_heads,
+            heads_per_sample=self.heads_per_sample,
+            query=self.query,
+            key=self.key,
+            value=self.value,
+            out=self.out,
+        )
+
+
 class XNNExecutor:
     """Runs workloads on a freshly built RSN-XNN datapath per simulation group.
 
@@ -123,13 +209,24 @@ class XNNExecutor:
         Hardware configuration and codegen options, as before.
     segment_memo:
         A :class:`~repro.runner.cache.SegmentMemo` caching per-segment
-        simulation results by program fingerprint, ``None`` to disable
-        memoization entirely, or the default sentinel to share the
-        process-wide memo.  Memoization only applies to timing-only runs
-        (``carry_data=False``): a functional run must execute the event loop
-        to produce its tensor outputs.  Memoized results are byte-identical
-        to fresh simulation (the fingerprint covers everything a timing run
-        depends on), which ``tests/differential/test_segment_memo_contract.py`` pins.
+        simulation results, ``None`` to disable memoization entirely, or
+        the default sentinel to share the process-wide memo.  Memoization
+        only applies to timing-only runs (``carry_data=False``): a
+        functional run must execute the event loop to produce its tensor
+        outputs.  Memoized results are byte-identical to fresh simulation,
+        which ``tests/differential/test_segment_memo_contract.py`` pins.
+    workload_memo:
+        When true (the default), the memo is consulted with an *upstream*
+        workload-level fingerprint -- a hash of the segment's builder-call
+        descriptors, the :class:`XNNConfig`, the :class:`CodegenOptions`,
+        and the code version -- before any :class:`ProgramBuilder` is
+        constructed, so a hit skips codegen entirely.  On an upstream miss
+        the downstream :meth:`ProgramBuilder.fingerprint` key is tried
+        before simulating, and a full miss populates *both* keys, so the
+        two-layer scheme degrades to single-key behaviour.  ``False``
+        restores the downstream-only warm path (programs loaded eagerly,
+        memo keyed by program fingerprint alone) -- kept for benchmarking
+        the upstream layer against it.
     """
 
     def __init__(
@@ -137,6 +234,7 @@ class XNNExecutor:
         config: Optional[XNNConfig] = None,
         options: Optional[CodegenOptions] = None,
         segment_memo=_PROCESS_MEMO,
+        workload_memo: bool = True,
     ):
         self.config = config or XNNConfig(carry_data=False)
         self.options = options or CodegenOptions()
@@ -144,28 +242,83 @@ class XNNExecutor:
             from ..runner.cache import process_segment_memo
             segment_memo = process_segment_memo()
         self.segment_memo = segment_memo
+        self.workload_memo = workload_memo
 
     # ----------------------------------------------------------- primitives
 
+    def _workload_key(self, ops: Sequence) -> str:
+        """Upstream memo key: hash of the workload descriptor, not the uOPs.
+
+        Everything the generated program is a function of appears in the
+        hash -- the ordered builder-op descriptors (layer shapes, fused ops,
+        operand names, attention geometry), the datapath configuration, the
+        codegen options, and the code version -- so equal keys guarantee the
+        downstream :meth:`ProgramBuilder.fingerprint` would have been equal
+        too (pinned against fresh simulation across the catalogue by the
+        differential suite).  The ``workload-`` prefix keeps the two key
+        namespaces distinguishable on disk.
+        """
+        from ..runner.cache import code_version  # runtime import: no cycle
+        payload = {
+            "code_version": code_version(),
+            "config": asdict(self.config),
+            "options": asdict(self.options),
+            "workload": [op.describe() for op in ops],
+        }
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return "workload-" + hashlib.sha256(encoded.encode()).hexdigest()
+
+    @staticmethod
+    def _memoized_result(name: str, flops: float, payload: Dict) -> SegmentResult:
+        return SegmentResult(
+            name=name,
+            latency_s=payload["latency_s"],
+            flops=flops,
+            ddr_bytes=payload["ddr_bytes"],
+            lpddr_bytes=payload["lpddr_bytes"],
+            uops=payload["uops"],
+        )
+
     def _simulate(
-        self, xnn: XNNDatapath, builder: ProgramBuilder, name: str, flops: float
+        self, xnn: XNNDatapath, ops: Sequence, name: str, flops: float
     ) -> SegmentResult:
-        builder.load_programs()
-        uops = builder.uop_count()
+        """Simulate one segment described by ``ops``, memoizing two ways.
+
+        The memo is consulted with the upstream workload key first: a hit
+        returns before a :class:`ProgramBuilder` is even constructed (zero
+        codegen).  On a miss the program is generated and the downstream
+        program-fingerprint key is tried before the event loop runs; a full
+        miss simulates and stores the payload under both keys.
+        """
         memo = self.segment_memo if not xnn.memory.carry_data else None
+        upstream_key = None
+        if memo is not None and self.workload_memo:
+            upstream_key = self._workload_key(ops)
+            hit = memo.load(upstream_key)
+            if hit is not None:
+                return self._memoized_result(name, flops, hit)
+        builder = ProgramBuilder(xnn, self.options)
+        for op in ops:
+            op.apply(builder)
+        loaded = False
+        if not self.workload_memo:
+            # Downstream-only emulation: load programs eagerly, exactly like
+            # the pre-upstream-key warm path the benchmark compares against.
+            builder.load_programs()
+            loaded = True
         key = None
         if memo is not None:
             key = builder.fingerprint()
             hit = memo.load(key)
             if hit is not None:
-                return SegmentResult(
-                    name=name,
-                    latency_s=hit["latency_s"],
-                    flops=flops,
-                    ddr_bytes=hit["ddr_bytes"],
-                    lpddr_bytes=hit["lpddr_bytes"],
-                    uops=uops,
-                )
+                payload = dict(hit)
+                payload.setdefault("uops", builder.uop_count())
+                if upstream_key is not None:
+                    memo.store(upstream_key, payload)
+                return self._memoized_result(name, flops, payload)
+        if not loaded:
+            builder.load_programs()
+        uops = builder.uop_count()
         simulator = xnn.datapath.build_simulator()
         stats = simulator.run()
         result = SegmentResult(
@@ -177,11 +330,15 @@ class XNNExecutor:
             uops=uops,
         )
         if memo is not None:
-            memo.store(key, {
+            payload = {
                 "latency_s": result.latency_s,
                 "ddr_bytes": result.ddr_bytes,
                 "lpddr_bytes": result.lpddr_bytes,
-            })
+                "uops": result.uops,
+            }
+            memo.store(key, payload)
+            if upstream_key is not None:
+                memo.store(upstream_key, payload)
         return result
 
     def _fresh_datapath(self) -> XNNDatapath:
@@ -214,9 +371,8 @@ class XNNExecutor:
             bias_name = "bias"
         memory.allocate("out", (m, n))
         layer = MatMulLayer("gemm", m=m, k=k, n=n, fused_ops=fused_ops)
-        builder = ProgramBuilder(xnn, self.options)
-        builder.add_gemm_layer(layer, lhs="lhs", rhs="rhs", out="out", bias=bias_name)
-        result = self._simulate(xnn, builder, "gemm", layer.flops)
+        ops = [_GemmOp(layer, lhs="lhs", rhs="rhs", out="out", bias=bias_name)]
+        result = self._simulate(xnn, ops, "gemm", layer.flops)
         output = memory.array("out") if memory.carry_data else None
         return result, output
 
@@ -290,18 +446,13 @@ class XNNExecutor:
         # ---- group 1: Key / Query / Value projections --------------------
         xnn = self._fresh_datapath()
         weights = self._setup_encoder_memory(xnn, batch, seq_len, config, seed)
-        builder = ProgramBuilder(xnn, self.options)
-        builder.add_gemm_layer(
-            layer["query"], lhs="input", rhs="wq", out="query", bias="bq"
-        )
-        builder.add_gemm_layer(
-            layer["key"], lhs="input", rhs="wk", out="key", bias="bk"
-        )
-        builder.add_gemm_layer(
-            layer["value"], lhs="input", rhs="wv", out="value", bias="bv"
-        )
+        qkv_ops = [
+            _GemmOp(layer["query"], lhs="input", rhs="wq", out="query", bias="bq"),
+            _GemmOp(layer["key"], lhs="input", rhs="wk", out="key", bias="bk"),
+            _GemmOp(layer["value"], lhs="input", rhs="wv", out="value", bias="bv"),
+        ]
         qkv_flops = sum(layer[n].flops for n in ("query", "key", "value"))
-        result.segments.append(self._simulate(xnn, builder, "qkv", qkv_flops))
+        result.segments.append(self._simulate(xnn, qkv_ops, "qkv", qkv_flops))
         memory = xnn.memory
 
         # ---- group 2: attention heads + dense projection ------------------
@@ -311,32 +462,33 @@ class XNNExecutor:
         )
         for name in ("attn_context", "attn_out", "attn_norm"):
             xnn2.memory.allocate(name, memory.shape(name))
-        builder = ProgramBuilder(xnn2, self.options)
-        builder.add_attention(
-            seq_len=seq_len,
-            head_dim=config.head_dim,
-            num_heads=batch * config.heads,
-            heads_per_sample=config.heads,
-            query="query",
-            key="key",
-            value="value",
-            out="attn_context",
-        )
-        builder.add_gemm_layer(
-            layer["dense"],
-            lhs="attn_context",
-            rhs="wo",
-            out="attn_out",
-            bias="bo",
-            residual="input",
-        )
+        attention_ops = [
+            _AttentionOp(
+                seq_len=seq_len,
+                head_dim=config.head_dim,
+                num_heads=batch * config.heads,
+                heads_per_sample=config.heads,
+                query="query",
+                key="key",
+                value="value",
+                out="attn_context",
+            ),
+            _GemmOp(
+                layer["dense"],
+                lhs="attn_context",
+                rhs="wo",
+                out="attn_out",
+                bias="bo",
+                residual="input",
+            ),
+        ]
         attention_flops = (
             layer["attention_mm1"].flops
             + layer["attention_mm2"].flops
             + layer["dense"].flops
         )
         result.segments.append(
-            self._simulate(xnn2, builder, "attention+dense", attention_flops)
+            self._simulate(xnn2, attention_ops, "attention+dense", attention_flops)
         )
         if xnn2.memory.carry_data:
             attn_out = xnn2.memory.array("attn_out")
@@ -350,20 +502,21 @@ class XNNExecutor:
         self._carry_tensors(memory, xnn3.memory, ("w1", "b1", "w2", "b2"))
         for name in ("ffn_inter", "ffn_out", "encoder_out"):
             xnn3.memory.allocate(name, memory.shape(name))
-        builder = ProgramBuilder(xnn3, self.options)
-        builder.add_gemm_layer(
-            layer["ffn_mm1"], lhs="attn_norm", rhs="w1", out="ffn_inter", bias="b1"
-        )
-        builder.add_gemm_layer(
-            layer["ffn_mm2"],
-            lhs="ffn_inter",
-            rhs="w2",
-            out="ffn_out",
-            bias="b2",
-            residual="attn_norm",
-        )
+        ffn_ops = [
+            _GemmOp(
+                layer["ffn_mm1"], lhs="attn_norm", rhs="w1", out="ffn_inter", bias="b1"
+            ),
+            _GemmOp(
+                layer["ffn_mm2"],
+                lhs="ffn_inter",
+                rhs="w2",
+                out="ffn_out",
+                bias="b2",
+                residual="attn_norm",
+            ),
+        ]
         ffn_flops = layer["ffn_mm1"].flops + layer["ffn_mm2"].flops
-        result.segments.append(self._simulate(xnn3, builder, "ffn", ffn_flops))
+        result.segments.append(self._simulate(xnn3, ffn_ops, "ffn", ffn_flops))
         if xnn3.memory.carry_data:
             ffn_out = xnn3.memory.array("ffn_out")
             xnn3.memory.array("encoder_out")[:] = reference.layer_norm(
@@ -423,7 +576,7 @@ class XNNExecutor:
             memory.add("act0", tensors.activation((first.m, first.k), rng))
         else:
             memory.add("act0", (first.m, first.k))
-        builder = ProgramBuilder(xnn, self.options)
+        ops: List[_GemmOp] = []
         total_flops = 0.0
         for index, layer in enumerate(model.layers):
             weight_name, bias_name = f"w{index}", f"b{index}"
@@ -435,15 +588,17 @@ class XNNExecutor:
                 memory.add(weight_name, (layer.k, layer.n))
                 memory.add(bias_name, (1, layer.n))
             memory.allocate(out_name, (layer.m, layer.n))
-            builder.add_gemm_layer(
-                layer,
-                lhs=f"act{index}",
-                rhs=weight_name,
-                out=out_name,
-                bias=bias_name if layer.has_fused(FusedOp.BIAS) else None,
+            ops.append(
+                _GemmOp(
+                    layer,
+                    lhs=f"act{index}",
+                    rhs=weight_name,
+                    out=out_name,
+                    bias=bias_name if layer.has_fused(FusedOp.BIAS) else None,
+                )
             )
             total_flops += layer.flops
-        segment = self._simulate(xnn, builder, model.name, total_flops)
+        segment = self._simulate(xnn, ops, model.name, total_flops)
         result = EncoderResult(name=model.name, batch=model.batch)
         result.segments.append(segment)
         self._final_memory = memory

@@ -75,6 +75,56 @@ def test_batched_rejects_infeasible_designs_like_scalar():
         evaluator.evaluate_batch([bad], _encoder_config)
 
 
+def _catalogue_params(kind):
+    return [dict(s.params) for s in REGISTRY.select() if s.kind == kind]
+
+
+@pytest.mark.parametrize("kind,extra", [
+    ("xnn_encoder", [{"batch": 2, "seq_len": 256, "model": "vit_base",
+                      "options": {"pipeline_attention": False},
+                      "bandwidth_scale": 0.5}]),
+    ("xnn_gemm", [{"m": 512, "k": 768, "n": 1024, "bandwidth_scale": 2.0,
+                   "options": {"tile_m": 256}}]),
+])
+def test_catalogue_kind_batched_equals_scalar_exactly(kind, extra):
+    """The encoder-shaped catalogue kinds' batch runners == scalar, bit for bit
+    -- over every catalogue point of the kind plus off-catalogue variants."""
+    params_list = _catalogue_params(kind) + extra
+    assert params_list, f"catalogue has no {kind} scenarios"
+    scalar_fn = REGISTRY.runner(kind, "analytic")
+    batched_fn = REGISTRY.batch_runner(kind, "analytic")
+    assert batched_fn is not None, f"{kind} must register an analytic batch runner"
+    expected = [scalar_fn(**params) for params in params_list]
+    assert batched_fn(params_list) == expected
+    # Warm memo (same process-wide evaluator) must not drift either.
+    assert batched_fn(params_list) == expected
+
+
+@pytest.mark.parametrize("kind", ["xnn_encoder", "xnn_gemm"])
+def test_catalogue_kind_batched_rejects_unknown_params_like_scalar(kind):
+    good = _catalogue_params(kind)[0]
+    with pytest.raises(TypeError):
+        REGISTRY.runner(kind, "analytic")(**{**good, "bogus_knob": 1})
+    with pytest.raises(TypeError):
+        REGISTRY.batch_runner(kind, "analytic")([{**good, "bogus_knob": 1}])
+
+
+def test_serial_sweep_routes_batch_kinds_and_matches_scalar():
+    """A serial analytic sweep over batch-capable kinds returns exactly the
+    per-scenario scalar results (the run_sweep batching is invisible)."""
+    from repro.runner.sweep import run_sweep
+
+    names = [s.name for s in REGISTRY.select()
+             if s.kind in ("xnn_encoder", "xnn_gemm")]
+    outcomes = run_sweep(names, backend="analytic")
+    by_name = {o.scenario: o for o in outcomes}
+    for name in names:
+        scenario = REGISTRY.get(name)
+        scalar = REGISTRY.runner(scenario.kind, "analytic")(**scenario.params)
+        assert by_name[name].result == scalar
+        assert not by_name[name].cached
+
+
 def test_exploration_frontiers_identical_across_proxies():
     """The whole point of payload equality: sweep-proxy and batched-proxy
     explorations produce the same frontier for the same seed."""

@@ -281,8 +281,8 @@ class TestSpoolLivenessAndMaintenance:
     def test_drained_spool_gcs_to_empty(self, tmp_path):
         # Leak inventory after a batch whose submitter vanished and whose
         # workers died: uncollected results, a dead worker's claim +
-        # heartbeat + log, and a crashed caller's fs_now scratch.  One GC
-        # pass must sweep all of it.
+        # heartbeat + log, a crashed caller's fs_now scratch, and a stale
+        # published memo entry.  One GC pass must sweep all of it.
         spool = Spool(tmp_path / "spool").ensure()
         spool.enqueue("b.00000000", _job_payload("b.00000000", CHEAP))
         claimed = spool.claim("dead-worker")
@@ -290,13 +290,16 @@ class TestSpoolLivenessAndMaintenance:
         spool.write_result("b.00000001", {"job": "b.00000001"})
         (spool.workers_dir / "crashed-caller.clock").touch()
         (spool.workers_dir / "dead-worker.log").write_text("log tail\n")
+        spool.memo_sync([{"key": "deadbeef", "code_version": "x",
+                          "result": {"latency_s": 1.0}}])
         for path in spool.root.rglob("*.*"):
             os.utime(path, (1.0, 1.0))  # everything aged far past max_age
         report = spool.gc(max_age_s=30.0)
         assert report["removed"] == {"results": 1, "claims": 1,
-                                     "heartbeats": 1, "clocks": 1, "logs": 1}
+                                     "heartbeats": 1, "clocks": 1, "logs": 1,
+                                     "memo": 1}
         for directory in (spool.claimed_dir, spool.results_dir,
-                          spool.workers_dir):
+                          spool.workers_dir, spool.memo_dir):
             assert not list(directory.iterdir())
         assert not claimed.path.exists()
 
@@ -478,3 +481,51 @@ class TestWorkQueueExecutorRecovery:
             lambda: executor._procs.append(DeadProc()))
         with pytest.raises(RuntimeError, match="local workqueue worker"):
             executor.submit([CHEAP], run_fn=None)
+
+
+class TestSpoolMemoSync:
+    def _entry(self, key, latency=1.0):
+        return {"key": key, "code_version": "abc123",
+                "result": {"latency_s": latency}}
+
+    def test_push_then_pull_round_trips_entries(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        pushed = [self._entry("workload-" + "a" * 64),
+                  self._entry("b" * 64)]
+        fetched = spool.memo_sync(pushed)
+        assert sorted(e["key"] for e in fetched) == \
+            sorted(e["key"] for e in pushed)
+        # A second participant pulls them without pushing anything.
+        assert sorted(e["key"] for e in spool.memo_sync([])) == \
+            sorted(e["key"] for e in pushed)
+
+    def test_known_keys_are_not_returned(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        keys = ["a" * 64, "b" * 64]
+        spool.memo_sync([self._entry(key) for key in keys])
+        assert spool.memo_sync([], known=keys) == []
+        fetched = spool.memo_sync([], known=keys[:1])
+        assert [e["key"] for e in fetched] == [keys[1]]
+
+    def test_invalid_entries_and_keys_are_skipped(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        bad = [None, "text", {"no": "key"},
+               self._entry("has/slash"), self._entry("dot.dot"),
+               self._entry(""), self._entry("x" * 101)]
+        assert spool.memo_sync(bad) == []
+        assert not list(spool.memo_dir.glob("*"))
+
+    def test_garbage_memo_files_are_skipped(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.memo_sync([self._entry("a" * 64)])
+        (spool.memo_dir / ("c" * 64 + ".json")).write_text("{not json")
+        fetched = spool.memo_sync([])
+        assert [e["key"] for e in fetched] == ["a" * 64]
+
+    def test_republish_overwrites_idempotently(self, tmp_path):
+        spool = Spool(tmp_path / "spool").ensure()
+        spool.memo_sync([self._entry("a" * 64, latency=1.0)])
+        spool.memo_sync([self._entry("a" * 64, latency=2.0)])
+        (fetched,) = spool.memo_sync([])
+        assert fetched["result"]["latency_s"] == 2.0
+        assert len(list(spool.memo_dir.glob("*.json"))) == 1

@@ -299,3 +299,45 @@ class TestVanishedClaimBothTransports:
         assert client.finish(claimed, result) is False
         assert client.take_results("b.") == {}
         client.close()
+
+
+class TestMemoSyncOverTheNetwork:
+    def _entry(self, key, latency=1.0):
+        return {"key": key, "code_version": code_version(),
+                "result": {"latency_s": latency}}
+
+    def test_push_pull_round_trip(self, server):
+        pusher = NetSpool(server.url).ensure()
+        puller = NetSpool(server.url).ensure()
+        entries = [self._entry("workload-" + "a" * 64),
+                   self._entry("b" * 64)]
+        fetched = pusher.memo_sync(entries)
+        assert sorted(e["key"] for e in fetched) == \
+            sorted(e["key"] for e in entries)
+        # A second participant pulls them; entries it already knows are
+        # filtered server-side via the known list.
+        assert sorted(e["key"] for e in puller.memo_sync([])) == \
+            sorted(e["key"] for e in entries)
+        assert puller.memo_sync(
+            [], known=[e["key"] for e in entries]) == []
+        pusher.close()
+        puller.close()
+
+    def test_entries_land_in_the_server_spool_memo_dir(self, server):
+        client = NetSpool(server.url).ensure()
+        client.memo_sync([self._entry("c" * 64)])
+        published = list(server.spool.memo_dir.glob("*.json"))
+        assert [p.stem for p in published] == ["c" * 64]
+        assert json.loads(published[0].read_text())["key"] == "c" * 64
+        client.close()
+
+    def test_memo_sync_degrades_to_empty_on_connection_loss(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = NetSpool(f"tcp://127.0.0.1:{port}")
+        # Polling semantics: a dead (or old, pre-memo-sync) server means no
+        # sharing this round, never a crashed worker.
+        assert client.memo_sync([self._entry("d" * 64)]) == []
+        client.close()

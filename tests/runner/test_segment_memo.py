@@ -67,12 +67,15 @@ class TestFingerprint:
 
 class TestMemoBehaviour:
     def test_identical_runs_hit_and_match_fresh_exactly(self):
+        # A cold segment misses both layers (upstream workload key, then
+        # downstream program fingerprint) and stores under both; a warm
+        # segment is one upstream hit with zero codegen.
         memo = SegmentMemo()
         executor = XNNExecutor(config=TIMING_CONFIG, segment_memo=memo)
         first, _ = executor.run_gemm(256, 256, 256)
-        assert memo.hits == 0 and memo.misses == 1
+        assert memo.hits == 0 and memo.misses == 2
         second, _ = executor.run_gemm(256, 256, 256)
-        assert memo.hits == 1 and memo.misses == 1
+        assert memo.hits == 1 and memo.misses == 2
 
         fresh, _ = XNNExecutor(config=TIMING_CONFIG,
                                segment_memo=None).run_gemm(256, 256, 256)
@@ -87,14 +90,14 @@ class TestMemoBehaviour:
         XNNExecutor(config=TIMING_CONFIG, segment_memo=memo).run_gemm(256, 256, 256)
         XNNExecutor(config=TIMING_CONFIG, options=CodegenOptions(tile_m=384),
                     segment_memo=memo).run_gemm(256, 256, 256)
-        assert memo.hits == 0 and memo.misses == 2
+        assert memo.hits == 0 and memo.misses == 4
 
     def test_config_change_misses(self):
         memo = SegmentMemo()
         XNNExecutor(config=TIMING_CONFIG, segment_memo=memo).run_gemm(256, 256, 256)
         XNNExecutor(config=XNNConfig(carry_data=False, bandwidth_scale=2.0),
                     segment_memo=memo).run_gemm(256, 256, 256)
-        assert memo.hits == 0 and memo.misses == 2
+        assert memo.hits == 0 and memo.misses == 4
 
     def test_functional_runs_bypass_the_memo(self):
         import numpy as np
@@ -136,7 +139,7 @@ class TestDiskLayer:
             path.write_text(json.dumps(payload))
         stale = SegmentMemo(root=tmp_path)
         XNNExecutor(config=TIMING_CONFIG, segment_memo=stale).run_gemm(256, 256, 256)
-        assert stale.hits == 0 and stale.misses == 1
+        assert stale.hits == 0 and stale.misses == 2
 
     def test_corrupted_disk_entry_is_a_miss(self, tmp_path):
         memo = SegmentMemo(root=tmp_path)
@@ -146,7 +149,7 @@ class TestDiskLayer:
         corrupted = SegmentMemo(root=tmp_path)
         XNNExecutor(config=TIMING_CONFIG,
                     segment_memo=corrupted).run_gemm(256, 256, 256)
-        assert corrupted.hits == 0 and corrupted.misses == 1
+        assert corrupted.hits == 0 and corrupted.misses == 2
 
 
 class TestSweepWiring:
@@ -171,21 +174,90 @@ class TestSweepWiring:
         cache = ResultCache(tmp_path / "cache")
         memo = SegmentMemo(root=cache.segments_dir)
         XNNExecutor(config=TIMING_CONFIG, segment_memo=memo).run_gemm(256, 256, 256)
-        assert list(cache.segments_dir.glob("segment-*.json"))
+        # one simulated segment persists two entries: upstream + downstream.
+        assert len(list(cache.segments_dir.glob("segment-*.json"))) == 2
 
         stats = cache.prune()
-        assert stats.removed == 0 and stats.kept == 1
+        assert stats.removed == 0 and stats.kept == 2
 
         for path in cache.segments_dir.glob("segment-*.json"):
             payload = json.loads(path.read_text())
             payload["code_version"] = "0000000000000000"
             path.write_text(json.dumps(payload))
         stats = cache.prune()
-        assert stats.removed == 1 and stats.kept == 0
+        assert stats.removed == 2 and stats.kept == 0
 
     def test_clear_removes_segment_entries(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         memo = SegmentMemo(root=cache.segments_dir)
         XNNExecutor(config=TIMING_CONFIG, segment_memo=memo).run_gemm(256, 256, 256)
-        assert cache.clear() == 1
+        assert cache.clear() == 2
         assert not list(cache.segments_dir.glob("segment-*.json"))
+
+
+class TestCrossHostSurface:
+    """The ``take_new`` / ``keys`` / ``absorb`` trio behind spool memo sync."""
+
+    def _entry(self, key="workload-" + "a" * 64, latency=1.5):
+        from repro.runner.cache import code_version
+        return {"key": key, "code_version": code_version(),
+                "result": {"latency_s": latency, "ddr_bytes": 1,
+                           "lpddr_bytes": 2, "uops": 3}}
+
+    def test_take_new_returns_fresh_entries_once(self):
+        memo = SegmentMemo()
+        executor = XNNExecutor(config=TIMING_CONFIG, segment_memo=memo)
+        executor.run_gemm(256, 256, 256)
+        entries = memo.take_new()
+        assert len(entries) == 2  # upstream + downstream key
+        from repro.runner.cache import code_version
+        for entry in entries:
+            assert entry["code_version"] == code_version()
+            assert set(entry["result"]) == {"latency_s", "ddr_bytes",
+                                            "lpddr_bytes", "uops"}
+        assert memo.take_new() == []  # drained
+        # A warm run creates nothing new to ship.
+        executor.run_gemm(256, 256, 256)
+        assert memo.take_new() == []
+
+    def test_absorb_accepts_current_version_and_serves_hits(self):
+        memo = SegmentMemo()
+        entry = self._entry()
+        assert memo.absorb([entry]) == 1
+        assert memo.keys() == [entry["key"]]
+        assert memo.load(entry["key"]) == entry["result"]
+        assert memo.hits == 1
+
+    def test_absorbed_entries_do_not_ship_again(self):
+        # No ping-pong: what came from a peer is not in take_new().
+        memo = SegmentMemo()
+        assert memo.absorb([self._entry()]) == 1
+        assert memo.take_new() == []
+
+    def test_absorb_does_not_overwrite_local_entries(self):
+        memo = SegmentMemo()
+        entry = self._entry()
+        memo.store(entry["key"], {"latency_s": 9.0})
+        memo.take_new()
+        # A valid entry for a key we already hold is accepted (validated)
+        # but must not replace the local result.
+        assert memo.absorb([self._entry(latency=1.0)]) == 1
+        assert memo.load(entry["key"]) == {"latency_s": 9.0}
+
+    def test_absorb_rejects_malformed_and_stale_entries(self):
+        memo = SegmentMemo()
+        stale = {**self._entry(), "code_version": "0" * 16}
+        rejects = [None, 42, {}, {"key": 7, "code_version": "x",
+                                  "result": {}},
+                   {"key": "k", "code_version": "x"},
+                   {"key": "k", "code_version": "x", "result": "not-a-dict"},
+                   stale]
+        assert memo.absorb(rejects) == 0
+        assert memo.keys() == []
+
+    def test_clear_drops_pending_fresh_entries(self):
+        memo = SegmentMemo()
+        executor = XNNExecutor(config=TIMING_CONFIG, segment_memo=memo)
+        executor.run_gemm(256, 256, 256)
+        memo.clear()
+        assert memo.take_new() == []
