@@ -44,8 +44,9 @@ class BertConfig:
 BERT_LARGE = BertConfig()
 
 
-def bert_large_encoder(batch: int = 6, seq_len: int = 512,
-                       config: BertConfig = BERT_LARGE) -> ModelSpec:
+def bert_large_encoder(
+    batch: int = 6, seq_len: int = 512, config: BertConfig = BERT_LARGE
+) -> ModelSpec:
     """Layer inventory for one BERT-Large encoder layer.
 
     Returns a :class:`ModelSpec` whose ``tasks_per_inference`` is 1 (the paper
@@ -60,38 +61,78 @@ def bert_large_encoder(batch: int = 6, seq_len: int = 512,
 
     layers: List[MatMulLayer] = []
     for name in ("key", "query", "value"):
-        layers.append(MatMulLayer(
-            name=name, m=tokens, k=hidden, n=hidden,
-            fused_ops=(FusedOp.BIAS,),
-        ))
-    layers.append(MatMulLayer(
-        name="attention_mm1", m=seq_len, k=head_dim, n=seq_len, num=num_heads,
-        fused_ops=(FusedOp.TRANSPOSE, FusedOp.SOFTMAX),
-        rhs_is_weight=False,
-        depends_on=("key", "query"),
-    ))
-    layers.append(MatMulLayer(
-        name="attention_mm2", m=seq_len, k=seq_len, n=head_dim, num=num_heads,
-        rhs_is_weight=False,
-        depends_on=("attention_mm1", "value"),
-    ))
-    layers.append(MatMulLayer(
-        name="dense", m=tokens, k=hidden, n=hidden,
-        fused_ops=(FusedOp.BIAS, FusedOp.LAYER_ADD, FusedOp.SCALE_SHIFT,
-                   FusedOp.MEAN_VAR_NORM),
-        depends_on=("attention_mm2",),
-    ))
-    layers.append(MatMulLayer(
-        name="ffn_mm1", m=tokens, k=hidden, n=config.ffn_hidden,
-        fused_ops=(FusedOp.BIAS, FusedOp.GELU),
-        depends_on=("dense",),
-    ))
-    layers.append(MatMulLayer(
-        name="ffn_mm2", m=tokens, k=config.ffn_hidden, n=hidden,
-        fused_ops=(FusedOp.BIAS, FusedOp.LAYER_ADD, FusedOp.SCALE_SHIFT,
-                   FusedOp.MEAN_VAR_NORM),
-        depends_on=("ffn_mm1",),
-    ))
+        layers.append(
+            MatMulLayer(
+                name=name,
+                m=tokens,
+                k=hidden,
+                n=hidden,
+                fused_ops=(FusedOp.BIAS,),
+            )
+        )
+    layers.append(
+        MatMulLayer(
+            name="attention_mm1",
+            m=seq_len,
+            k=head_dim,
+            n=seq_len,
+            num=num_heads,
+            fused_ops=(FusedOp.TRANSPOSE, FusedOp.SOFTMAX),
+            rhs_is_weight=False,
+            depends_on=("key", "query"),
+        )
+    )
+    layers.append(
+        MatMulLayer(
+            name="attention_mm2",
+            m=seq_len,
+            k=seq_len,
+            n=head_dim,
+            num=num_heads,
+            rhs_is_weight=False,
+            depends_on=("attention_mm1", "value"),
+        )
+    )
+    layers.append(
+        MatMulLayer(
+            name="dense",
+            m=tokens,
+            k=hidden,
+            n=hidden,
+            fused_ops=(
+                FusedOp.BIAS,
+                FusedOp.LAYER_ADD,
+                FusedOp.SCALE_SHIFT,
+                FusedOp.MEAN_VAR_NORM,
+            ),
+            depends_on=("attention_mm2",),
+        )
+    )
+    layers.append(
+        MatMulLayer(
+            name="ffn_mm1",
+            m=tokens,
+            k=hidden,
+            n=config.ffn_hidden,
+            fused_ops=(FusedOp.BIAS, FusedOp.GELU),
+            depends_on=("dense",),
+        )
+    )
+    layers.append(
+        MatMulLayer(
+            name="ffn_mm2",
+            m=tokens,
+            k=config.ffn_hidden,
+            n=hidden,
+            fused_ops=(
+                FusedOp.BIAS,
+                FusedOp.LAYER_ADD,
+                FusedOp.SCALE_SHIFT,
+                FusedOp.MEAN_VAR_NORM,
+            ),
+            depends_on=("ffn_mm1",),
+        )
+    )
     return ModelSpec(
         name=f"bert-large-encoder(B={batch},L={seq_len})",
         layers=tuple(layers),
@@ -101,8 +142,9 @@ def bert_large_encoder(batch: int = 6, seq_len: int = 512,
     )
 
 
-def bert_large_model(batch: int = 8, seq_len: int = 384,
-                     config: BertConfig = BERT_LARGE) -> ModelSpec:
+def bert_large_model(
+    batch: int = 8, seq_len: int = 384, config: BertConfig = BERT_LARGE
+) -> ModelSpec:
     """The full 24-layer BERT-Large encoder stack (used by the GPU comparison).
 
     The embedding layer is ignored, as in the paper ("less than 0.2 ms on the
@@ -113,14 +155,22 @@ def bert_large_model(batch: int = 8, seq_len: int = 384,
     for layer_index in range(config.layers):
         for layer in encoder.layers:
             deps = tuple(f"{d}_{layer_index}" for d in layer.depends_on)
-            layers.append(MatMulLayer(
-                name=f"{layer.name}_{layer_index}",
-                m=layer.m, k=layer.k, n=layer.n, num=layer.num,
-                fused_ops=layer.fused_ops,
-                lhs_offchip=layer.lhs_offchip, rhs_offchip=layer.rhs_offchip,
-                out_offchip=layer.out_offchip, rhs_is_weight=layer.rhs_is_weight,
-                dtype=layer.dtype, depends_on=deps,
-            ))
+            layers.append(
+                MatMulLayer(
+                    name=f"{layer.name}_{layer_index}",
+                    m=layer.m,
+                    k=layer.k,
+                    n=layer.n,
+                    num=layer.num,
+                    fused_ops=layer.fused_ops,
+                    lhs_offchip=layer.lhs_offchip,
+                    rhs_offchip=layer.rhs_offchip,
+                    out_offchip=layer.out_offchip,
+                    rhs_is_weight=layer.rhs_is_weight,
+                    dtype=layer.dtype,
+                    depends_on=deps,
+                )
+            )
     return ModelSpec(
         name=f"bert-large(B={batch},L={seq_len})",
         layers=tuple(layers),

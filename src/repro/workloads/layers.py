@@ -74,7 +74,9 @@ class MatMulLayer:
 
     def __post_init__(self) -> None:
         if min(self.m, self.k, self.n) <= 0 or self.num <= 0:
-            raise ValueError(f"layer {self.name!r}: dimensions and num must be positive")
+            raise ValueError(
+                f"layer {self.name!r}: dimensions and num must be positive"
+            )
         if self.dtype not in DTYPE_BYTES:
             raise ValueError(f"layer {self.name!r}: unknown dtype {self.dtype!r}")
 
@@ -129,8 +131,9 @@ class MatMulLayer:
 
     # ------------------------------------------------------------ modifiers
 
-    def with_batch(self, batch: int, batch_scales_m: bool = True,
-                   batch_scales_num: bool = False) -> "MatMulLayer":
+    def with_batch(
+        self, batch: int, batch_scales_m: bool = True, batch_scales_num: bool = False
+    ) -> "MatMulLayer":
         """Scale the layer for a batch size.
 
         Transformer linear layers grow their M dimension with batch (tokens
@@ -146,13 +149,16 @@ class MatMulLayer:
             layer = replace(layer, num=self.num * batch)
         return layer
 
-    def kept_onchip(self, lhs: bool = False, rhs: bool = False,
-                    out: bool = False) -> "MatMulLayer":
+    def kept_onchip(
+        self, lhs: bool = False, rhs: bool = False, out: bool = False
+    ) -> "MatMulLayer":
         """A copy with selected operands marked as staying on chip."""
-        return replace(self,
-                       lhs_offchip=self.lhs_offchip and not lhs,
-                       rhs_offchip=self.rhs_offchip and not rhs,
-                       out_offchip=self.out_offchip and not out)
+        return replace(
+            self,
+            lhs_offchip=self.lhs_offchip and not lhs,
+            rhs_offchip=self.rhs_offchip and not rhs,
+            out_offchip=self.out_offchip and not out,
+        )
 
     def has_fused(self, op: FusedOp) -> bool:
         return op in self.fused_ops

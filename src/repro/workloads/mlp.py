@@ -25,11 +25,20 @@ def mlp_model(batch: int = 3072, hidden: int = 4096, depth: int = 5) -> ModelSpe
     for index in range(depth):
         name = f"mlp_fc{index}"
         deps = (previous_name,) if previous_name else ()
-        layers.append(MatMulLayer(
-            name=name, m=batch, k=hidden, n=hidden,
-            fused_ops=(FusedOp.BIAS, FusedOp.GELU) if index < depth - 1 else (FusedOp.BIAS,),
-            depends_on=deps,
-        ))
+        layers.append(
+            MatMulLayer(
+                name=name,
+                m=batch,
+                k=hidden,
+                n=hidden,
+                fused_ops=(
+                    (FusedOp.BIAS, FusedOp.GELU)
+                    if index < depth - 1
+                    else (FusedOp.BIAS,)
+                ),
+                depends_on=deps,
+            )
+        )
         previous_name = name
     return ModelSpec(
         name=f"mlp(B={batch},H={hidden},D={depth})",

@@ -20,8 +20,9 @@ __all__ = ["ncf_model", "NCF_TOWER_WIDTHS"]
 NCF_TOWER_WIDTHS: Tuple[int, ...] = (2048, 1024, 512, 256, 128, 64)
 
 
-def ncf_model(batch: int = 32768,
-              widths: Sequence[int] = NCF_TOWER_WIDTHS) -> ModelSpec:
+def ncf_model(
+    batch: int = 32768, widths: Sequence[int] = NCF_TOWER_WIDTHS
+) -> ModelSpec:
     """The NCF MLP tower over a batch of interaction pairs as one task."""
     if batch <= 0:
         raise ValueError("batch must be positive")
@@ -32,11 +33,16 @@ def ncf_model(batch: int = 32768,
     for index, (k, n) in enumerate(zip(widths[:-1], widths[1:])):
         name = f"ncf_fc{index}"
         deps = (previous_name,) if previous_name else ()
-        layers.append(MatMulLayer(
-            name=name, m=batch, k=k, n=n,
-            fused_ops=(FusedOp.BIAS,),
-            depends_on=deps,
-        ))
+        layers.append(
+            MatMulLayer(
+                name=name,
+                m=batch,
+                k=k,
+                n=n,
+                fused_ops=(FusedOp.BIAS,),
+                depends_on=deps,
+            )
+        )
         previous_name = name
     return ModelSpec(
         name=f"ncf(B={batch})",

@@ -27,7 +27,9 @@ __all__ = [
 ]
 
 
-def gemm(lhs: np.ndarray, rhs: np.ndarray, bias: Optional[np.ndarray] = None) -> np.ndarray:
+def gemm(
+    lhs: np.ndarray, rhs: np.ndarray, bias: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Plain ``lhs @ rhs`` with an optional broadcast bias add."""
     out = lhs @ rhs
     if bias is not None:
@@ -48,11 +50,12 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 
 def gelu(x: np.ndarray) -> np.ndarray:
     """GELU with the tanh approximation used by BERT."""
-    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x ** 3)))
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
 
 
-def layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
-               eps: float = 1e-5) -> np.ndarray:
+def layer_norm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
     """LayerNorm over the last dimension (the mean/variance/normalisation plus
     scale-and-shift pipeline that MemC and the MMEs split between them)."""
     mean = np.mean(x, axis=-1, keepdims=True)
@@ -61,8 +64,9 @@ def layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
     return normalised * gamma + beta
 
 
-def attention_head(query: np.ndarray, key: np.ndarray, value: np.ndarray,
-                   scale: Optional[float] = None) -> np.ndarray:
+def attention_head(
+    query: np.ndarray, key: np.ndarray, value: np.ndarray, scale: Optional[float] = None
+) -> np.ndarray:
     """Single attention head: softmax(Q K^T / sqrt(d)) V.
 
     ``query``/``key``/``value`` are ``(seq, head_dim)``.  This is the MM1 ->
@@ -76,8 +80,9 @@ def attention_head(query: np.ndarray, key: np.ndarray, value: np.ndarray,
     return weights @ value
 
 
-def multi_head_attention(hidden: np.ndarray, weights: Dict[str, np.ndarray],
-                         num_heads: int) -> np.ndarray:
+def multi_head_attention(
+    hidden: np.ndarray, weights: Dict[str, np.ndarray], num_heads: int
+) -> np.ndarray:
     """Full multi-head self-attention block for one sequence.
 
     ``hidden`` is ``(seq, hidden)``; ``weights`` holds ``wq/wk/wv/wo`` of shape
@@ -97,20 +102,23 @@ def multi_head_attention(hidden: np.ndarray, weights: Dict[str, np.ndarray],
     return gemm(context, weights["wo"], weights["bo"])
 
 
-def encoder_layer(hidden: np.ndarray, weights: Dict[str, np.ndarray],
-                  num_heads: int) -> np.ndarray:
+def encoder_layer(
+    hidden: np.ndarray, weights: Dict[str, np.ndarray], num_heads: int
+) -> np.ndarray:
     """One transformer encoder layer (attention + FFN, post-LN as in BERT)."""
     attention_out = multi_head_attention(hidden, weights, num_heads)
-    attention_out = layer_norm(attention_out + hidden,
-                               weights["ln1_gamma"], weights["ln1_beta"])
+    attention_out = layer_norm(
+        attention_out + hidden, weights["ln1_gamma"], weights["ln1_beta"]
+    )
     ffn = gemm(attention_out, weights["w1"], weights["b1"])
     ffn = gelu(ffn)
     ffn = gemm(ffn, weights["w2"], weights["b2"])
     return layer_norm(ffn + attention_out, weights["ln2_gamma"], weights["ln2_beta"])
 
 
-def tiled_gemm(lhs: np.ndarray, rhs: np.ndarray,
-               tile_m: int, tile_k: int, tile_n: int) -> np.ndarray:
+def tiled_gemm(
+    lhs: np.ndarray, rhs: np.ndarray, tile_m: int, tile_k: int, tile_n: int
+) -> np.ndarray:
     """Output-stationary tiled GEMM, accumulating along K tile by tile.
 
     Used by tests to confirm that tiling (the way the overlay streams tiles
@@ -124,9 +132,13 @@ def tiled_gemm(lhs: np.ndarray, rhs: np.ndarray,
     out = np.zeros((m, n), dtype=np.result_type(lhs, rhs))
     for i in range(0, m, tile_m):
         for j in range(0, n, tile_n):
-            accumulator = np.zeros((min(tile_m, m - i), min(tile_n, n - j)),
-                                   dtype=out.dtype)
+            accumulator = np.zeros(
+                (min(tile_m, m - i), min(tile_n, n - j)), dtype=out.dtype
+            )
             for p in range(0, k, tile_k):
-                accumulator += lhs[i:i + tile_m, p:p + tile_k] @ rhs[p:p + tile_k, j:j + tile_n]
-            out[i:i + tile_m, j:j + tile_n] = accumulator
+                accumulator += (
+                    lhs[i : i + tile_m, p : p + tile_k]
+                    @ rhs[p : p + tile_k, j : j + tile_n]
+                )
+            out[i : i + tile_m, j : j + tile_n] = accumulator
     return out

@@ -25,14 +25,16 @@ def make_rng(seed: int = DEFAULT_SEED) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def activation(shape: Tuple[int, ...], rng: np.random.Generator,
-               dtype=np.float32) -> np.ndarray:
+def activation(
+    shape: Tuple[int, ...], rng: np.random.Generator, dtype=np.float32
+) -> np.ndarray:
     """A synthetic activation tensor (unit-variance Gaussian)."""
     return rng.standard_normal(shape).astype(dtype)
 
 
-def weight(shape: Tuple[int, ...], rng: np.random.Generator,
-           dtype=np.float32) -> np.ndarray:
+def weight(
+    shape: Tuple[int, ...], rng: np.random.Generator, dtype=np.float32
+) -> np.ndarray:
     """A synthetic weight matrix scaled by 1/sqrt(fan_in)."""
     fan_in = shape[0] if len(shape) > 1 else max(shape[0], 1)
     return (rng.standard_normal(shape) / np.sqrt(fan_in)).astype(dtype)
@@ -43,8 +45,9 @@ def bias(size: int, rng: np.random.Generator, dtype=np.float32) -> np.ndarray:
     return (0.01 * rng.standard_normal(size)).astype(dtype)
 
 
-def encoder_weights(hidden: int, ffn_hidden: int,
-                    rng: np.random.Generator) -> Dict[str, np.ndarray]:
+def encoder_weights(
+    hidden: int, ffn_hidden: int, rng: np.random.Generator
+) -> Dict[str, np.ndarray]:
     """The full weight set of one encoder layer, keyed as reference.py expects."""
     return {
         "wq": weight((hidden, hidden), rng),

@@ -22,8 +22,9 @@ __all__ = ["VIT_BASE", "vit_model"]
 VIT_BASE = BertConfig(hidden=768, heads=12, ffn_hidden=3072, layers=12)
 
 
-def vit_model(batch: int = 6, seq_len: int = 208,
-              config: BertConfig = VIT_BASE) -> ModelSpec:
+def vit_model(
+    batch: int = 6, seq_len: int = 208, config: BertConfig = VIT_BASE
+) -> ModelSpec:
     """One ViT encoder layer as a task (same structure as a BERT encoder)."""
     encoder = bert_large_encoder(batch=batch, seq_len=seq_len, config=config)
     return ModelSpec(
