@@ -27,7 +27,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..analysis.pareto import kendall_tau, pareto_frontier, weighted_scalarization
 from ..runner.cache import ResultCache
 from ..runner.executors import Executor, default_executor
-from ..runner.sweep import run_sweep
+from ..runner.sweep import _validate_chunk_size, evaluate_chunked, run_sweep
 from .space import DesignSpace
 from .strategies import DEFAULT_HALVING_OBJECTIVES, Candidate, SearchStrategy
 
@@ -342,6 +342,7 @@ def run_exploration(
     proxy: str = "sweep",
     weights: Optional[Mapping[str, float]] = None,
     executor: Optional[Executor] = None,
+    chunk_size: Optional[Any] = None,
 ) -> ExplorationReport:
     """Search ``space`` with ``strategy`` and verify the frontier.
 
@@ -360,13 +361,22 @@ def run_exploration(
     ``proxy`` selects how analytic evaluations run.  ``"sweep"`` (default)
     materialises every point into an ad-hoc scenario and fans it through
     :func:`run_sweep` -- worker pool and on-disk cache included.  ``"batched"``
-    hands whole strategy generations to the kind's registered batch runner
-    (:meth:`~repro.runner.scenarios.ScenarioRegistry.batch_runner`), which
-    shares tallies across points and vectorizes the rooflines -- tens of
-    times faster on large generations, with per-point payloads exactly equal
-    to the sweep path (so frontiers are identical); the trade-off is that
-    batched proxy evaluations bypass the scenario cache (engine verification
-    still caches either way).
+    routes whole strategy generations through the kind's registered batch
+    runner (:meth:`~repro.runner.scenarios.ScenarioRegistry.batch_runner`)
+    via :func:`~repro.runner.sweep.evaluate_chunked`, which shares tallies
+    across points and vectorizes the rooflines -- tens of times faster on
+    large generations, with per-point payloads exactly equal to the sweep
+    path (so frontiers are identical).  Batched generations shard into
+    **chunk jobs** across ``executor`` (``chunk_size`` picks the policy:
+    default ``None`` keeps a serial executor on one whole-generation batch
+    call and auto-shards on distributed executors), and are cached
+    per-chunk in ``cache``, so a warm rerun skips whole chunks -- reported
+    through ``proxy_cache_hits`` like sweep-mode scenario hits.
+
+    ``chunk_size`` is one of
+    :data:`~repro.runner.sweep.CHUNK_SIZE_POLICIES` (``None`` / ``"auto"``
+    / ``"off"``) or an explicit ``int`` points-per-chunk; it only affects
+    the batched proxy (sweep mode ships per-scenario jobs regardless).
 
     ``weights`` (payload key -> non-negative weight, e.g. ``{"latency_s": 2,
     "offchip_bytes": 1}``) turns the report's ordering from pure
@@ -382,6 +392,7 @@ def run_exploration(
     if verify_top < 0:
         raise ValueError(f"verify_top must be >= 0, got {verify_top}")
     validate_weights(weights, objectives)
+    _validate_chunk_size(chunk_size)  # fail before any evaluation runs
     batch_runner = resolve_batch_runner(space, proxy)
     if executor is None:
         executor = default_executor(workers)
@@ -392,17 +403,28 @@ def run_exploration(
         # leave no trace of the effective seed.)
         seed = random.SystemRandom().randrange(2**32)
     rng = random.Random(seed)
-    feasible_points = len(space.points())
+    # Streaming count: a 10^6-point space is never materialised just to be
+    # sized (strategies that need the indexed list still build it).
+    feasible_points = space.feasible_count()
+    chunk_align = space.chunk_alignment()
     stats = {"evaluations": 0, "cache_hits": 0}
 
     def evaluate(
         assignments: Sequence[Mapping[str, Any]], fidelity: float
     ) -> List[Dict[str, Any]]:
         if batch_runner is not None:
-            payloads = batch_runner(
-                [space.point_params(a, fidelity) for a in assignments]
+            payloads, chunk_hits = evaluate_chunked(
+                space.kind,
+                [space.point_params(a, fidelity) for a in assignments],
+                backend="analytic",
+                executor=executor,
+                cache=cache,
+                force=force,
+                chunk_size=chunk_size,
+                align=chunk_align,
             )
             stats["evaluations"] += len(payloads)
+            stats["cache_hits"] += chunk_hits
             return payloads
         points = [space.materialize(a, fidelity) for a in assignments]
         outcomes = run_sweep(

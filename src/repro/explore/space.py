@@ -21,7 +21,17 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..runner.scenarios import Scenario, canonical_json
 
@@ -143,6 +153,7 @@ class DesignSpace:
         self.fidelity_hook = fidelity_hook
         self.description = description
         self._points: Optional[List[Dict[str, Any]]] = None
+        self._feasible_count: Optional[int] = None
 
     # ------------------------------------------------------------ enumeration
 
@@ -157,22 +168,79 @@ class DesignSpace:
     def feasible(self, assignment: Mapping[str, Any]) -> bool:
         return all(c.satisfied(assignment) for c in self.constraints)
 
+    def iter_points(self) -> Iterator[Dict[str, Any]]:
+        """Yield every feasible assignment in deterministic axis-major order
+        -- the streaming counterpart of :meth:`points`.
+
+        Nothing is materialised or memoised: infeasible combinations are
+        filtered as the cartesian product is walked, so a 10^6-point space
+        costs one assignment dict of memory at a time.  Strategies that can
+        consume a stream (grid search) use this; strategies whose seeded
+        sampling needs the full indexed list (random, halving) still call
+        :meth:`points`.  When the list is already memoised the stream
+        replays it (same dicts, same order) rather than re-running the
+        constraint predicates.
+        """
+        if self._points is not None:
+            yield from self._points
+            return
+        names = [axis.name for axis in self.axes]
+        for combo in itertools.product(*(axis.values for axis in self.axes)):
+            assignment = dict(zip(names, combo))
+            if self.feasible(assignment):
+                yield assignment
+
+    def feasible_count(self) -> int:
+        """How many feasible assignments the space has (memoised).
+
+        Streams :meth:`iter_points` on first call, so counting a huge space
+        never materialises it -- and a memoised :meth:`points` list short-
+        circuits to its length.
+        """
+        if self._feasible_count is None:
+            if self._points is not None:
+                self._feasible_count = len(self._points)
+            else:
+                self._feasible_count = sum(1 for _ in self.iter_points())
+        return self._feasible_count
+
+    def chunk_alignment(self, cap: int = 4096) -> int:
+        """The largest trailing-axis block size not exceeding ``cap``: the
+        product of the cardinalities of as many *innermost* (fastest-
+        iterating) axes as fit.
+
+        Used as the ``align`` hint of
+        :func:`repro.runner.sweep.auto_chunk_size`: cutting chunks on a
+        multiple of this block means points inside one chunk share every
+        leading-axis value as much as enumeration order allows, so batch
+        evaluators see maximal repeated structure (e.g. the chiplet link
+        axes iterate innermost over a fixed core design).  Constraints may
+        thin individual blocks, so this is a heuristic alignment, never a
+        correctness requirement.
+        """
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        block = 1
+        for axis in reversed(self.axes):
+            grown = block * len(axis.values)
+            if grown > cap:
+                break
+            block = grown
+        return block
+
     def points(self) -> List[Dict[str, Any]]:
         """Every feasible assignment, in deterministic axis-major order.
 
         The enumeration is memoised (axes and constraints are immutable
         after construction, and constraint predicates may be expensive);
         callers get a fresh list each time but share the assignment dicts,
-        which nothing in the explorer mutates.
+        which nothing in the explorer mutates.  Prefer :meth:`iter_points`
+        /:meth:`feasible_count` where a stream or a count suffices -- this
+        list is what makes 10^6-point spaces expensive to hold.
         """
         if self._points is None:
-            names = [axis.name for axis in self.axes]
-            feasible = []
-            for combo in itertools.product(*(axis.values for axis in self.axes)):
-                assignment = dict(zip(names, combo))
-                if self.feasible(assignment):
-                    feasible.append(assignment)
-            self._points = feasible
+            self._points = list(self.iter_points())
+            self._feasible_count = len(self._points)
         return list(self._points)
 
     # --------------------------------------------------------- materialising

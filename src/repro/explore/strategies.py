@@ -88,6 +88,13 @@ class GridSearch(SearchStrategy):
     even stride across the canonical enumeration order, so every axis region
     still contributes candidates (a plain prefix would exhaust the budget
     inside the first corner of the space).
+
+    Selection is fully deterministic, so the feasible set is consumed as a
+    *stream* (:meth:`~repro.explore.space.DesignSpace.iter_points`): the
+    strided indices are computed from the feasible count and picked off the
+    generator, and a 10^6-point space never materialises as a list.  The
+    seeded-sampling strategies (random, halving) still need the indexed
+    list -- ``rng.sample`` over a stream would change their draws.
     """
 
     name = "grid"
@@ -99,10 +106,21 @@ class GridSearch(SearchStrategy):
         evaluate: EvaluateFn,
         rng: random.Random,
     ) -> List[Candidate]:
-        points = space.points()
-        if budget < len(points):
-            stride = len(points) / budget
-            points = [points[int(i * stride)] for i in range(budget)]
+        total = space.feasible_count()
+        if budget < total:
+            # Identical selection to the old list-index path:
+            # ``points[int(i * stride)]`` for i in range(budget), with the
+            # wanted indices strictly increasing (stride > 1), picked off
+            # the stream in one pass.
+            stride = total / budget
+            wanted = {int(i * stride) for i in range(budget)}
+            points = [
+                point
+                for index, point in enumerate(space.iter_points())
+                if index in wanted
+            ]
+        else:
+            points = list(space.iter_points())
         payloads = evaluate(points, 1.0)
         return self._candidates(space, points, payloads)
 

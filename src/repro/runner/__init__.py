@@ -20,7 +20,9 @@ The runner turns the benchmark suite's ad-hoc scripts into data:
 * :mod:`repro.runner.worker` -- the detached work-queue worker loop behind
   ``python -m repro.runner worker``;
 * :mod:`repro.runner.sweep` -- :func:`run_sweep`, which resolves cache hits
-  and hands the rest to an executor;
+  and hands the rest to an executor (batch-capable kinds travel as sharded
+  **chunk jobs** on distributed executors), and :func:`evaluate_chunked`,
+  the chunk-cached bulk-evaluation front door of the exploration layer;
 * :mod:`repro.runner.cli` -- ``python -m repro.runner`` (list / run / sweep /
   explore / worker / spoold / spool / cache subcommands).
 
@@ -53,7 +55,13 @@ from .executors import (
     format_job_id,
     open_spool,
 )
-from .sweep import SweepOutcome, run_sweep
+from .sweep import (
+    SweepOutcome,
+    auto_chunk_size,
+    evaluate_chunked,
+    partition_chunks,
+    run_sweep,
+)
 from .worker import run_worker
 from . import library  # noqa: F401 -- registers the scenario catalogue
 
@@ -72,11 +80,14 @@ __all__ = [
     "Spool",
     "SweepOutcome",
     "WorkQueueExecutor",
+    "auto_chunk_size",
     "canonical_json",
     "code_version",
     "default_executor",
+    "evaluate_chunked",
     "format_job_id",
     "open_spool",
+    "partition_chunks",
     "run_sweep",
     "run_worker",
 ]

@@ -85,7 +85,9 @@ _TMP_GRACE_S = 3600.0
 
 
 class ResultCache:
-    """A directory of ``<scenario>-<key>.json`` scenario results."""
+    """A directory of ``<scenario>-<key>.json`` scenario results, plus
+    ``chunk__<kind>-<key>.json`` whole-chunk entries for sharded batched
+    evaluation (see :func:`repro.runner.sweep.evaluate_chunked`)."""
 
     #: subdirectory holding the on-disk segment-memo entries.
     SEGMENTS_SUBDIR = "segments"
@@ -173,6 +175,114 @@ class ResultCache:
             or payload.get("code_version") != code_version()
             or canonical_json(payload.get("params"))
             != canonical_json(dict(scenario.params))
+        ):
+            return None
+        return payload
+
+    # ---------------------------------------------------------- chunk entries
+
+    def chunk_key(
+        self,
+        kind: str,
+        params_list: List[Dict[str, Any]],
+        backend: str = DEFAULT_BACKEND,
+    ) -> str:
+        """Stable hash of one **chunk job**'s identity.
+
+        Keyed exactly like per-scenario entries -- canonical identity
+        (here: the kind plus every point's parameters, order-sensitive,
+        since results splice back positionally) + backend + code version --
+        so chunk entries share the scenario cache's lifecycle: a source
+        edit invalidates them, :meth:`prune` sweeps them, :meth:`clear`
+        removes them, all through the generic ``code_version`` check.
+        """
+        identity = (
+            canonical_json(
+                {"kind": kind, "params": [dict(params) for params in params_list]}
+            )
+            + "|"
+            + backend
+            + "|"
+            + code_version()
+        )
+        return hashlib.sha256(identity.encode()).hexdigest()[:20]
+
+    def chunk_path(
+        self,
+        kind: str,
+        params_list: List[Dict[str, Any]],
+        backend: str = DEFAULT_BACKEND,
+    ) -> Path:
+        safe_kind = kind.replace("/", "__")
+        key = self.chunk_key(kind, params_list, backend)
+        return self.root / f"chunk__{safe_kind}-{key}.json"
+
+    def store_chunk(
+        self,
+        kind: str,
+        params_list: List[Dict[str, Any]],
+        results: List[Dict[str, Any]],
+        elapsed_s: float,
+        backend: str = DEFAULT_BACKEND,
+    ) -> Path:
+        """Persist one chunk's results atomically; returns the entry path."""
+        if len(results) != len(params_list):
+            raise ValueError(
+                f"chunk for kind {kind!r} has {len(params_list)} points but "
+                f"{len(results)} results"
+            )
+        path = self.chunk_path(kind, params_list, backend)
+        payload = {
+            "chunk": True,
+            "kind": kind,
+            "backend": backend,
+            "params": [dict(params) for params in params_list],
+            "code_version": code_version(),
+            "elapsed_s": elapsed_s,
+            "results": results,
+        }
+        encoded = json.dumps(payload, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(encoded)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def load_chunk(
+        self,
+        kind: str,
+        params_list: List[Dict[str, Any]],
+        backend: str = DEFAULT_BACKEND,
+    ) -> Optional[Dict[str, Any]]:
+        """Return the cached chunk payload, or ``None`` on a miss.
+
+        Validated like :meth:`load`: the recorded identity must match the
+        requested kind, point parameters (order included), backend, and the
+        current code version, and the results list must be point-for-point
+        complete -- a partial or foreign entry is a plain miss.
+        """
+        path = self.chunk_path(kind, params_list, backend)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        results = payload.get("results") if isinstance(payload, dict) else None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("kind") != kind
+            or payload.get("backend") != backend
+            or payload.get("code_version") != code_version()
+            or canonical_json(payload.get("params"))
+            != canonical_json([dict(params) for params in params_list])
+            or not isinstance(results, list)
+            or len(results) != len(params_list)
         ):
             return None
         return payload

@@ -10,7 +10,7 @@ Usage (with ``PYTHONPATH=src``)::
                                  [--load R[,R...]] [options]
     python -m repro.runner worker --spool TARGET [--poll S] [--idle-exit S]
     python -m repro.runner spoold --spool DIR [--host H] [--port P]
-    python -m repro.runner spool TARGET (--status | --gc [--max-age S])
+    python -m repro.runner spool TARGET (--status | --gc [--max-age S]) [--json]
     python -m repro.runner cache (--show | --clear | --prune)
 
 Common options: ``--backend {engine,analytic}`` (event-driven simulation vs
@@ -101,6 +101,18 @@ def _workers_argument(text: str) -> int:
     """
     if text.strip().lower() == "auto":
         return os.cpu_count() or 1
+    return _positive_int(text)
+
+
+def _chunk_size_argument(text: str):
+    """argparse type for ``--chunk-size``: an integer >= 1, ``auto`` (the
+    adaptive points-per-job heuristic), or ``off`` (per-scenario jobs; the
+    pre-chunking behaviour).  Omitting the flag keeps the default policy:
+    whole-generation batching on serial executors, auto-sharding on
+    distributed ones."""
+    lowered = text.strip().lower()
+    if lowered in ("auto", "off"):
+        return lowered
     return _positive_int(text)
 
 
@@ -247,6 +259,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "--executor workqueue)",
         )
 
+    def add_chunk_size_option(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--chunk-size",
+            type=_chunk_size_argument,
+            default=None,
+            metavar="N|auto|off",
+            help="how batch-capable kinds shard into chunk "
+            "jobs: an explicit points-per-chunk, 'auto' "
+            "(adaptive, ~32 jobs per generation, aligned "
+            "to the design space's trailing axes), or "
+            "'off' (one scalar job per scenario); "
+            "default: whole-generation batching on "
+            "serial executors, auto-sharding on "
+            "distributed ones",
+        )
+
     def add_exec_options(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument(
             "--backend",
@@ -257,6 +285,7 @@ def _build_parser() -> argparse.ArgumentParser:
             f"(default: {DEFAULT_BACKEND})",
         )
         add_executor_options(cmd)
+        add_chunk_size_option(cmd)
         cmd.add_argument(
             "--cache-dir",
             default=DEFAULT_CACHE_DIR,
@@ -339,9 +368,10 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("sweep", "batched"),
         default="sweep",
         help="analytic proxy path: per-point scenario "
-        "sweep (cached) or batched generation "
-        "evaluation (fastest; bypasses the proxy "
-        "cache) (default: sweep)",
+        "sweep, or batched generation evaluation "
+        "(fastest; sharded into chunk jobs across "
+        "the executor, cached per chunk) "
+        "(default: sweep)",
     )
     explore_cmd.add_argument(
         "--weights",
@@ -355,6 +385,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "score instead of non-domination rank",
     )
     add_executor_options(explore_cmd)
+    add_chunk_size_option(explore_cmd)
     explore_cmd.add_argument(
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
@@ -620,6 +651,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "heartbeat within it -- are kept "
         "(default: 3600)",
     )
+    spool_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the status snapshot (or GC report) as "
+        "JSON on stdout instead of the rendered table "
+        "-- the exact dict the spool protocol serves, "
+        "for dashboards and scripts",
+    )
 
     cache_cmd = sub.add_parser("cache", help="inspect or clean the result cache")
     cache_cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
@@ -773,6 +812,7 @@ def _run_explore(args: argparse.Namespace) -> int:
             objectives=objectives,
             proxy=args.proxy,
             weights=args.weights,
+            chunk_size=args.chunk_size,
         )
 
     frontier = dse_frontier_table(report).render()
@@ -967,6 +1007,9 @@ def _run_spool(args: argparse.Namespace) -> int:
     try:
         if args.gc:
             report = spool.gc(args.max_age)
+            if args.json:
+                print(json.dumps(report, indent=1, sort_keys=True))
+                return 0
             removed = report["removed"]
             total = sum(removed.values())
             detail = ", ".join(
@@ -981,7 +1024,20 @@ def _run_spool(args: argparse.Namespace) -> int:
                 + f", kept {report['kept']} current file(s)"
             )
         else:
-            print(spool_status_table(spool.status(), target=spool.describe()).render())
+            status = spool.status()
+            if args.json:
+                # The machine-readable twin of the table: the untouched
+                # status dict (plus the target, so piped output stays
+                # self-describing), one JSON object on stdout.
+                print(
+                    json.dumps(
+                        {"target": spool.describe(), **status},
+                        indent=1,
+                        sort_keys=True,
+                    )
+                )
+                return 0
+            print(spool_status_table(status, target=spool.describe()).render())
         return 0
     except NetSpoolError as error:
         return _fail(f"spool: {error}")
@@ -1107,6 +1163,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 force=args.force,
                 backend=args.backend,
                 executor=executor,
+                chunk_size=args.chunk_size,
             )
     except KeyError as error:
         return _fail(error.args[0])

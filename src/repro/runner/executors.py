@@ -25,6 +25,16 @@ contract: workers receive only JSON-able scenarios, and results are
 byte-identical however they were computed (in-process, in a pool worker, or
 on another host).  ``tests/differential/test_executor_contract.py`` pins
 serial == pool == workqueue differentially.
+
+Executors carry two job shapes.  A **scalar job** is one scenario
+(:meth:`Executor.submit`).  A **chunk job**
+(:meth:`Executor.submit_chunks`) is a contiguous slice of a batch-capable
+generation -- a ``(kind, [params, ...])`` pair evaluated in a single
+batch-runner call wherever the job lands -- so fanning out a sharded
+generation costs one job per *chunk* instead of one per point, and the
+>100x batched-evaluation win survives distribution.
+``tests/differential/test_chunk_contract.py`` pins chunked results
+byte-identical to the serial batched path across every executor.
 """
 
 from __future__ import annotations
@@ -65,6 +75,18 @@ RunResult = Tuple[str, Dict[str, Any], float]
 #: ``run_fn(scenario) -> (name, result, elapsed_s)`` -- the work function
 #: executors apply; :func:`run_sweep` passes a pre-bound ``_run_one``.
 RunFn = Callable[[Scenario], RunResult]
+
+#: one **chunk job**: a scenario kind plus the parameter mappings of a
+#: contiguous slice of points, evaluated in a single batch-runner call.
+ChunkJob = Tuple[str, List[Dict[str, Any]]]
+
+#: what executing one chunk yields: the per-point result dicts (in the
+#: chunk's own order) and the batch call's wall seconds.
+ChunkResult = Tuple[List[Dict[str, Any]], float]
+
+#: ``run_chunk_fn(chunk) -> (results, elapsed_s)`` -- the chunk work
+#: function; :func:`repro.runner.sweep` passes a pre-bound ``_run_chunk``.
+RunChunkFn = Callable[[ChunkJob], ChunkResult]
 
 
 def scenario_to_payload(scenario: Scenario) -> Dict[str, Any]:
@@ -135,6 +157,23 @@ class Executor:
         input order."""
         raise NotImplementedError
 
+    def submit_chunks(
+        self, chunks: Sequence[ChunkJob], run_chunk_fn: RunChunkFn
+    ) -> List[ChunkResult]:
+        """Execute **chunk jobs** -- whole contiguous slices of a
+        batch-capable generation, one batch-runner call per chunk --
+        returning one :data:`ChunkResult` per input, in input order.
+
+        The base implementation runs every chunk in-process, in order,
+        which is exactly the serial policy; fan-out executors override it
+        to ship each chunk as a single unit of distributed work.  The
+        determinism contract extends to chunks: each per-point result is
+        byte-identical to what the scalar runner would have produced, so
+        splicing chunk results back in submission order reproduces the
+        serial batched path exactly.
+        """
+        return [run_chunk_fn(chunk) for chunk in chunks]
+
 
 class SerialExecutor(Executor):
     """Run every scenario in-process, in order -- the zero-overhead policy."""
@@ -175,6 +214,21 @@ class ProcessPoolExecutor(Executor):
                 return pool.map(run_fn, scenarios)
         return [run_fn(scenario) for scenario in scenarios]
 
+    def submit_chunks(
+        self, chunks: Sequence[ChunkJob], run_chunk_fn: RunChunkFn
+    ) -> List[ChunkResult]:
+        # Same shape as ``submit``: one pool task per chunk, ``pool.map``
+        # preserving submission order, serial fallback when a pool could
+        # not amortise its fork cost.  ``run_chunk_fn`` crosses the process
+        # boundary pickled, so callers bind only module-level functions.
+        if self.workers > 1 and len(chunks) > 1:
+            import multiprocessing
+
+            processes = min(self.workers, len(chunks))
+            with multiprocessing.Pool(processes=processes) as pool:
+                return pool.map(run_chunk_fn, chunks)
+        return [run_chunk_fn(chunk) for chunk in chunks]
+
 
 def default_executor(workers: Optional[int]) -> Executor:
     """The executor a plain ``workers=N`` request maps to.
@@ -208,6 +262,18 @@ def _write_json_atomic(directory: Path, path: Path, payload: Dict[str, Any]) -> 
 def _sanitize_id(identifier: str) -> str:
     """Restrict worker/job identifiers to filesystem-safe characters."""
     return re.sub(r"[^A-Za-z0-9._-]", "_", identifier)
+
+
+def _job_label(payload: Dict[str, Any]) -> str:
+    """A human label for a job payload in error messages: the scenario name
+    for scalar jobs, ``chunk KIND[N points]`` for chunk jobs."""
+    scenario = payload.get("scenario")
+    if isinstance(scenario, dict):
+        return repr(scenario.get("name"))
+    chunk = payload.get("chunk")
+    if isinstance(chunk, dict):
+        return f"chunk {chunk.get('kind')}[{len(chunk.get('params') or ())} points]"
+    return "<unknown job>"
 
 
 #: valid segment-memo keys on the wire: a hex program fingerprint or a
@@ -971,7 +1037,6 @@ class WorkQueueExecutor(Executor):
         del run_fn
         if not scenarios:
             return []
-        self.spool.ensure()
         batch = uuid.uuid4().hex[:10]
         order: List[str] = []
         payloads: Dict[str, Dict[str, Any]] = {}
@@ -985,13 +1050,7 @@ class WorkQueueExecutor(Executor):
                 "code_version": code_version(),
             }
             order.append(job_id)
-        try:
-            self.spool.enqueue_many([(job_id, payloads[job_id]) for job_id in order])
-            self._spawn_local_workers()
-            collected = self._collect(batch, order, payloads)
-        except BaseException:
-            self.spool.abandon(f"{batch}.")
-            raise
+        collected = self._dispatch(batch, order, payloads)
         results = []
         for job_id in order:
             payload = collected[job_id]
@@ -999,6 +1058,67 @@ class WorkQueueExecutor(Executor):
                 (payload["scenario"], payload["result"], payload["elapsed_s"])
             )
         return results
+
+    def submit_chunks(
+        self, chunks: Sequence[ChunkJob], run_chunk_fn: RunChunkFn
+    ) -> List[ChunkResult]:
+        # Like ``submit``, ``run_chunk_fn`` never crosses the wire: a chunk
+        # job ships its (kind, params, backend, segment_memo_dir) payload
+        # and the worker rebuilds the identical batch-runner call.  Each
+        # chunk is one job file, so the whole failure protocol -- orphan
+        # requeue, corrupt-job retry, code-version fencing -- operates at
+        # chunk granularity: a dead worker forfeits (and a healthy one
+        # re-executes) the entire chunk, never a partial slice of it.
+        del run_chunk_fn
+        if not chunks:
+            return []
+        batch = uuid.uuid4().hex[:10]
+        order: List[str] = []
+        payloads: Dict[str, Dict[str, Any]] = {}
+        for index, (kind, params_list) in enumerate(chunks):
+            job_id = format_job_id(batch, index)
+            payloads[job_id] = {
+                "job": job_id,
+                "chunk": {"kind": kind, "params": list(params_list)},
+                "backend": self.backend,
+                "segment_memo_dir": self.segment_memo_dir,
+                "code_version": code_version(),
+            }
+            order.append(job_id)
+        collected = self._dispatch(batch, order, payloads)
+        results: List[ChunkResult] = []
+        for job_id in order:
+            payload = collected[job_id]
+            chunk_results = payload.get("results")
+            expected = len(payloads[job_id]["chunk"]["params"])
+            if not isinstance(chunk_results, list) or len(chunk_results) != expected:
+                got = len(chunk_results) if isinstance(chunk_results, list) else "no"
+                raise RuntimeError(
+                    f"workqueue chunk job {job_id} returned {got} result(s) "
+                    f"for {expected} point(s); worker "
+                    f"{payload.get('worker', '<unknown>')} violated the "
+                    "batch-runner contract"
+                )
+            results.append((chunk_results, payload["elapsed_s"]))
+        return results
+
+    def _dispatch(
+        self,
+        batch: str,
+        order: Sequence[str],
+        payloads: Dict[str, Dict[str, Any]],
+    ) -> Dict[str, Dict[str, Any]]:
+        """Publish one batch of job payloads (scalar or chunk -- the
+        collection protocol is payload-shape-agnostic) and collect every
+        result, abandoning the batch's spool files on any failure."""
+        self.spool.ensure()
+        try:
+            self.spool.enqueue_many([(job_id, payloads[job_id]) for job_id in order])
+            self._spawn_local_workers()
+            return self._collect(batch, order, payloads)
+        except BaseException:
+            self.spool.abandon(f"{batch}.")
+            raise
 
     # ------------------------------------------------------------ collection
 
@@ -1041,7 +1161,7 @@ class WorkQueueExecutor(Executor):
                     self.spool.abandon(prefix)
                     raise RuntimeError(
                         f"workqueue job {job_id} "
-                        f"({payloads[job_id]['scenario']['name']!r}) failed in "
+                        f"({_job_label(payloads[job_id])}) failed in "
                         f"worker {payload.get('worker', '<unknown>')}: "
                         f"{error.get('message', error)}"
                     )

@@ -19,6 +19,16 @@ rooflines, ...) register one backend-independent function for both.
 Runner functions take only JSON-able keyword parameters and return JSON-able
 dicts, so every scenario can be executed in a worker process and cached on
 disk byte-for-byte (:mod:`repro.runner.sweep`, :mod:`repro.runner.cache`).
+
+Batch-capable kinds additionally register a *batch runner*
+(``@REGISTRY.batch_kind``): one call evaluating a whole list of parameter
+sets, payload-identical to the scalar runner point for point.  Batch
+runners are what sharded **chunk jobs** execute -- a distributed sweep or
+exploration ships a contiguous slice of a generation as a single job, and
+the worker runs the slice through the batch runner in one call
+(:func:`repro.runner.sweep.evaluate_chunked`,
+:mod:`repro.runner.worker`), so per-job overhead amortises over the
+whole chunk while results stay byte-identical to the serial batched path.
 """
 
 from __future__ import annotations

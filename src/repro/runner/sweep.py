@@ -15,10 +15,22 @@ Every sweep runs on one execution *backend*: the event-driven ``"engine"``
 (roofline lower bounds, no event loop, orders of magnitude faster).  The
 backend is part of the cache identity, so engine and analytic results never
 collide on disk.
+
+Batch-capable kinds additionally travel as **chunk jobs**: contiguous
+slices of a generation, each evaluated in a single batch-runner call
+wherever the executor lands it (in-process, pool worker, or a detached
+workqueue worker).  :func:`run_sweep` shards cache-missing batch-capable
+scenarios into chunks on distributed executors (``chunk_size`` selects the
+policy), and :func:`evaluate_chunked` is the list-of-params front door the
+exploration layer uses -- with per-chunk result caching so warm reruns
+skip whole chunks.  Chunk results splice back in submission order, so the
+outcome is byte-identical to the serial batched path by the batch-runner
+equality contract.
 """
 
 from __future__ import annotations
 
+import math
 import time
 import warnings
 from dataclasses import dataclass
@@ -26,10 +38,30 @@ from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from .cache import ResultCache, configure_segment_memo
-from .executors import Executor, SerialExecutor, default_executor
+from .executors import ChunkJob, ChunkResult, Executor, SerialExecutor, default_executor
 from .scenarios import BACKENDS, DEFAULT_BACKEND, REGISTRY, Scenario
 
-__all__ = ["SweepOutcome", "run_sweep"]
+__all__ = [
+    "SweepOutcome",
+    "auto_chunk_size",
+    "evaluate_chunked",
+    "partition_chunks",
+    "resolve_chunk_size",
+    "run_sweep",
+]
+
+#: ``chunk_size`` policy values accepted everywhere the knob appears (the
+#: CLI, :func:`run_sweep`, :func:`evaluate_chunked`):
+#:
+#: * ``None``      -- default policy: serial executors evaluate the whole
+#:   generation in one batch call; distributed executors shard it with
+#:   :func:`auto_chunk_size`.
+#: * ``"auto"``    -- shard with :func:`auto_chunk_size` on any executor.
+#: * ``"off"``     -- never batch: one scalar job per scenario everywhere
+#:   (the pre-chunking behaviour, kept as the benchmark baseline and as an
+#:   escape hatch).
+#: * ``int >= 1``  -- shard into chunks of exactly this many points.
+CHUNK_SIZE_POLICIES = (None, "auto", "off")
 
 
 @dataclass
@@ -124,6 +156,253 @@ def _run_batched(
     return remaining, executed
 
 
+# ------------------------------------------------------------------ chunking
+
+
+def partition_chunks(count: int, size: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges covering ``count`` points in
+    chunks of ``size`` (the final chunk may be shorter).
+
+    ``count == 0`` partitions into no chunks; ``size`` larger than
+    ``count`` yields a single chunk spanning everything.  Ranges are in
+    ascending order -- splicing chunk results back by these ranges
+    reproduces the original point order regardless of the order chunks
+    *complete* in.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    return [(start, min(start + size, count)) for start in range(0, count, size)]
+
+
+def auto_chunk_size(
+    total: int,
+    align: int = 1,
+    target_jobs: int = 32,
+    floor: int = 16,
+    ceiling: int = 4096,
+) -> int:
+    """The adaptive chunk size ``--chunk-size auto`` resolves to.
+
+    Targets ``target_jobs`` jobs over ``total`` points -- enough fan-out to
+    keep a realistic worker fleet busy with several chunks each (so a slow
+    host sheds work to fast ones), few enough that per-job spool overhead
+    stays negligible against a batch call.  ``floor`` keeps tiny
+    generations from fragmenting into pointless jobs and ``ceiling`` bounds
+    job-file size (a chunk ships its params as JSON).  ``align`` rounds the
+    size to a multiple of the design space's trailing-axis block (see
+    :meth:`repro.explore.space.DesignSpace.chunk_alignment`), so chunks cut
+    along axis boundaries and batch evaluators see maximal shared leading
+    structure.
+    """
+    if total < 1:
+        raise ValueError(f"total must be >= 1, got {total}")
+    if align < 1:
+        raise ValueError(f"align must be >= 1, got {align}")
+    size = min(max(floor, math.ceil(total / target_jobs)), ceiling)
+    if align > 1:
+        size = max(align, round(size / align) * align)
+        size = min(size, max(align, ceiling))
+    return max(1, min(size, total))
+
+
+def resolve_chunk_size(
+    chunk_size: Optional[Union[int, str]], total: int, align: int = 1
+) -> int:
+    """Map a ``chunk_size`` policy value to a concrete size for ``total``
+    points (``"off"`` is handled by callers before sharding; here it means
+    one point per chunk)."""
+    _validate_chunk_size(chunk_size)
+    if chunk_size == "off":
+        return 1
+    if chunk_size is None or chunk_size == "auto":
+        return auto_chunk_size(total, align=align)
+    return min(int(chunk_size), max(total, 1))
+
+
+def _validate_chunk_size(chunk_size: Optional[Union[int, str]]) -> None:
+    if chunk_size in CHUNK_SIZE_POLICIES:
+        return
+    if (
+        isinstance(chunk_size, int)
+        and not isinstance(chunk_size, bool)
+        and chunk_size >= 1
+    ):
+        return
+    raise ValueError(
+        f"chunk_size must be None, 'auto', 'off', or an int >= 1; "
+        f"got {chunk_size!r}"
+    )
+
+
+def _run_chunk(
+    chunk: ChunkJob,
+    backend: str = DEFAULT_BACKEND,
+    segment_memo_dir: Optional[str] = None,
+) -> ChunkResult:
+    """Worker entry point: execute one chunk job via its batch runner.
+
+    The chunk-side twin of :func:`_run_one` -- module-level and bound only
+    to JSON-able arguments so it crosses pickle (pool) and JSON (workqueue)
+    boundaries; the workqueue worker rebuilds this exact call from the job
+    payload.  Returns the per-point results (in chunk order) plus the batch
+    call's wall seconds.
+    """
+    from . import library  # noqa: F401  (populates the kind registry)
+
+    kind, params_list = chunk
+    configure_segment_memo(segment_memo_dir)
+    runner = REGISTRY.batch_runner(kind, backend)
+    if runner is None:
+        raise KeyError(
+            f"kind {kind!r} has no batch runner for backend {backend!r}; "
+            "chunk jobs require one"
+        )
+    start = time.perf_counter()
+    results = runner([dict(params) for params in params_list])
+    elapsed_s = time.perf_counter() - start
+    if len(results) != len(params_list):
+        raise RuntimeError(
+            f"batch runner for kind {kind!r} ({backend} backend) returned "
+            f"{len(results)} results for {len(params_list)} points"
+        )
+    return results, elapsed_s
+
+
+def _run_chunked(
+    scenarios: List[Scenario],
+    backend: str,
+    executor: Executor,
+    chunk_size: Optional[Union[int, str]],
+    segment_memo_dir: Optional[str],
+) -> Tuple[List[Scenario], List[Tuple[Scenario, Dict[str, Any], float]]]:
+    """Shard the batch-capable kinds of a sweep into chunk jobs.
+
+    The distributed counterpart of :func:`_run_batched`: scenarios whose
+    kind registers a batch runner are grouped by kind, partitioned into
+    contiguous chunks, and submitted through
+    :meth:`~repro.runner.executors.Executor.submit_chunks`; the rest go
+    back to the caller for the scalar path.  Chunk results splice back in
+    submission order, and each chunk's wall time is attributed evenly
+    across its points.
+    """
+    groups: Dict[str, List[Scenario]] = {}
+    remaining: List[Scenario] = []
+    for scenario in scenarios:
+        if REGISTRY.batch_runner(scenario.kind, backend) is None:
+            remaining.append(scenario)
+        else:
+            groups.setdefault(scenario.kind, []).append(scenario)
+    if not groups:
+        return remaining, []
+    chunks: List[ChunkJob] = []
+    members: List[List[Scenario]] = []
+    for kind, group in groups.items():
+        size = resolve_chunk_size(chunk_size, len(group))
+        for start, stop in partition_chunks(len(group), size):
+            part = group[start:stop]
+            chunks.append((kind, [dict(scenario.params) for scenario in part]))
+            members.append(part)
+    executor.configure(backend=backend, segment_memo_dir=segment_memo_dir)
+    raw = executor.submit_chunks(
+        chunks,
+        partial(_run_chunk, backend=backend, segment_memo_dir=segment_memo_dir),
+    )
+    executed: List[Tuple[Scenario, Dict[str, Any], float]] = []
+    for part, (results, elapsed_s) in zip(members, raw):
+        per_point = elapsed_s / len(part)
+        for scenario, result in zip(part, results):
+            executed.append((scenario, result, per_point))
+    return remaining, executed
+
+
+def evaluate_chunked(
+    kind: str,
+    params_list: Sequence[Dict[str, Any]],
+    backend: str = DEFAULT_BACKEND,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+    chunk_size: Optional[Union[int, str]] = None,
+    align: int = 1,
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Batch-evaluate ``params_list`` under ``kind``'s batch runner, sharded
+    into chunk jobs across ``executor``, with per-chunk result caching.
+
+    The exploration layer's batched-proxy front door: one parameter mapping
+    per point, results returned in input order, byte-identical to a single
+    in-process batch call (which is exactly what a serial executor with the
+    default ``chunk_size=None`` performs).  ``cache`` stores one entry per
+    *chunk*, keyed like per-scenario entries (canonical params + backend +
+    code version -- see :meth:`~repro.runner.cache.ResultCache.chunk_key`),
+    so a warm rerun skips whole chunks without executing anything;
+    ``align`` feeds the auto chunk-size heuristic so cache keys stay stable
+    across runs that share a design space.  Returns ``(results,
+    cached_points)`` where ``cached_points`` counts points served from the
+    chunk cache.
+    """
+    _validate_chunk_size(chunk_size)
+    if REGISTRY.batch_runner(kind, backend) is None:
+        raise KeyError(
+            f"kind {kind!r} has no batch runner for backend {backend!r}"
+        )
+    params_list = list(params_list)
+    total = len(params_list)
+    if total == 0:
+        return [], 0
+    if executor is None:
+        executor = SerialExecutor()
+    if chunk_size == "off" or (
+        chunk_size is None and isinstance(executor, SerialExecutor)
+    ):
+        # One chunk spanning the generation: the classic serial batched
+        # call ("off" additionally forces it through a single job even on
+        # distributed executors -- chunking disabled, not scalarised, since
+        # this path exists only for batch-capable kinds).
+        size = total
+    else:
+        size = resolve_chunk_size(chunk_size, total, align=align)
+    segment_memo_dir = str(cache.segments_dir) if cache is not None else None
+    results: List[Optional[Dict[str, Any]]] = [None] * total
+    pending: List[Tuple[int, int]] = []
+    cached_points = 0
+    for start, stop in partition_chunks(total, size):
+        part = params_list[start:stop]
+        payload = (
+            None
+            if (cache is None or force)
+            else cache.load_chunk(kind, part, backend=backend)
+        )
+        if payload is not None:
+            results[start:stop] = payload["results"]
+            cached_points += stop - start
+        else:
+            pending.append((start, stop))
+    if pending:
+        configure_segment_memo(segment_memo_dir)
+        executor.configure(backend=backend, segment_memo_dir=segment_memo_dir)
+        chunks: List[ChunkJob] = [
+            (kind, [dict(params) for params in params_list[start:stop]])
+            for start, stop in pending
+        ]
+        raw = executor.submit_chunks(
+            chunks,
+            partial(_run_chunk, backend=backend, segment_memo_dir=segment_memo_dir),
+        )
+        for (start, stop), (chunk_results, elapsed_s) in zip(pending, raw):
+            results[start:stop] = chunk_results
+            if cache is not None:
+                cache.store_chunk(
+                    kind,
+                    params_list[start:stop],
+                    chunk_results,
+                    elapsed_s,
+                    backend=backend,
+                )
+    return results, cached_points
+
+
 def run_sweep(
     scenarios: Sequence[Union[str, Scenario]],
     workers: Optional[int] = None,
@@ -131,6 +410,7 @@ def run_sweep(
     force: bool = False,
     backend: str = DEFAULT_BACKEND,
     executor: Optional[Executor] = None,
+    chunk_size: Optional[Union[int, str]] = None,
 ) -> List[SweepOutcome]:
     """Execute ``scenarios``, returning one :class:`SweepOutcome` per input.
 
@@ -155,9 +435,17 @@ def run_sweep(
         Execution backend for every scenario in the sweep (``"engine"`` or
         ``"analytic"``).  Scenarios whose kind does not support the backend
         raise ``KeyError`` before anything executes.
+    chunk_size:
+        How batch-capable kinds shard into chunk jobs -- one of
+        :data:`CHUNK_SIZE_POLICIES` or an explicit ``int``.  The default
+        (``None``) keeps serial sweeps on the whole-generation batched path
+        and auto-shards on every other executor; ``"off"`` forces one
+        scalar job per scenario everywhere.  Kinds without a batch runner
+        always take the scalar path regardless.
     """
     if backend not in BACKENDS:
         raise KeyError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")
+    _validate_chunk_size(chunk_size)
     if workers is not None:
         if executor is not None:
             raise ValueError(
@@ -221,12 +509,19 @@ def run_sweep(
         configure_segment_memo(segment_memo_dir)
         # Serial sweeps route batch-capable kinds through their batch runner
         # generation-at-a-time (shared tallies, vectorized rooflines) instead
-        # of one scalar call per scenario.  Distributed executors keep the
-        # per-scenario path: their parallelism comes from fan-out, and jobs
-        # must stay individually shippable.
+        # of one scalar call per scenario.  Distributed executors shard the
+        # same kinds into chunk jobs -- contiguous slices that run the batch
+        # runner worker-side -- so fan-out no longer forfeits the batching
+        # win; ``chunk_size="off"`` restores per-scenario jobs everywhere.
         executed: List[Tuple[Scenario, Dict[str, Any], float]] = []
-        if isinstance(executor, SerialExecutor):
+        if chunk_size == "off":
+            pass  # every scenario takes the scalar path below
+        elif chunk_size is None and isinstance(executor, SerialExecutor):
             to_run, executed = _run_batched(to_run, backend)
+        else:
+            to_run, executed = _run_chunked(
+                to_run, backend, executor, chunk_size, segment_memo_dir
+            )
         if to_run:
             executor.configure(backend=backend, segment_memo_dir=segment_memo_dir)
             raw = executor.submit(

@@ -11,9 +11,12 @@ a dying worker held).
 
 Execution is the same code path as every other executor:
 :func:`repro.runner.sweep._run_one` on the scenario rebuilt from the job
-file, with the job's segment-memo directory attached first -- so results
-are byte-identical to an in-process run, and concurrent workers share memo
-and cache entries through the concurrent-writer-tolerant disk layers.
+file -- or, for a **chunk job**, :func:`repro.runner.sweep._run_chunk` on
+its (kind, params-list) payload, one batch-runner call for the whole slice
+-- with the job's segment-memo directory attached first.  Either way
+results are byte-identical to an in-process run, and concurrent workers
+share memo and cache entries through the concurrent-writer-tolerant disk
+layers.
 """
 
 from __future__ import annotations
@@ -50,8 +53,8 @@ def _execute(claimed, worker_id: str) -> Optional[Dict[str, Any]]:
     forms the submitter distinguishes: a job file that cannot be parsed
     (``corrupt-job`` -- recoverable, the submitter rewrites the job), a
     code-version mismatch (``version-mismatch`` -- fatal, the worker must
-    be restarted from the submitter's tree), and a scenario that raises
-    (``exception`` -- fatal, mirrors the in-process behaviour).
+    be restarted from the submitter's tree), and a scenario or chunk that
+    raises (``exception`` -- fatal, mirrors the in-process behaviour).
     ``KeyboardInterrupt``/``SystemExit`` are deliberately *not* caught: a
     killed worker must look like a dead worker (claim left behind,
     recovered by orphan requeue), not like a failed scenario.
@@ -77,7 +80,19 @@ def _execute(claimed, worker_id: str) -> Optional[Dict[str, Any]]:
         }
     try:
         payload = json.loads(raw)
-        scenario = scenario_from_payload(payload["scenario"])
+        if not isinstance(payload, dict):
+            raise TypeError("job payload is not a JSON object")
+        chunk = payload.get("chunk")
+        if chunk is not None:
+            # A chunk job: a (kind, params-list) slice of a batch-capable
+            # generation, executed in one batch-runner call below.
+            chunk_kind = chunk["kind"]
+            chunk_params = chunk["params"]
+            if not isinstance(chunk_params, list):
+                raise TypeError("chunk params must be a list")
+            scenario = None
+        else:
+            scenario = scenario_from_payload(payload["scenario"])
         backend = payload["backend"]
         segment_memo_dir = payload.get("segment_memo_dir")
         job_version = payload.get("code_version")
@@ -101,25 +116,42 @@ def _execute(claimed, worker_id: str) -> Optional[Dict[str, Any]]:
             },
         }
     try:
-        from .sweep import _run_one
+        if scenario is None:
+            from .sweep import _run_chunk
 
-        name, result, elapsed_s = _run_one(
-            scenario, backend=backend, segment_memo_dir=segment_memo_dir
-        )
+            results, elapsed_s = _run_chunk(
+                (chunk_kind, chunk_params),
+                backend=backend,
+                segment_memo_dir=segment_memo_dir,
+            )
+            payload = {
+                "job": job_id,
+                "worker": worker_id,
+                "kind": chunk_kind,
+                "results": results,
+                "elapsed_s": elapsed_s,
+                "code_version": code_version(),
+            }
+        else:
+            from .sweep import _run_one
+
+            name, result, elapsed_s = _run_one(
+                scenario, backend=backend, segment_memo_dir=segment_memo_dir
+            )
+            payload = {
+                "job": job_id,
+                "worker": worker_id,
+                "scenario": name,
+                "result": result,
+                "elapsed_s": elapsed_s,
+                "code_version": code_version(),
+            }
     except Exception:
         return {
             "job": job_id,
             "worker": worker_id,
             "error": {"type": "exception", "message": traceback.format_exc()},
         }
-    payload = {
-        "job": job_id,
-        "worker": worker_id,
-        "scenario": name,
-        "result": result,
-        "elapsed_s": elapsed_s,
-        "code_version": code_version(),
-    }
     # Piggyback any segment-memo entries this job freshly simulated on the
     # result file: the submitter folds them into its own memo, and the
     # post-job memo_sync below shares them with sibling workers.

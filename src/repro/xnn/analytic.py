@@ -1094,7 +1094,10 @@ class EncoderBatchEvaluator:
 
 
 #: the process-wide batch evaluator (its memo is the whole point: later
-#: generations and later explorations reuse earlier tallies).
+#: generations and later explorations reuse earlier tallies -- including
+#: successive chunk jobs executed by one long-lived work-queue worker,
+#: which all funnel through this singleton and so share tallies across
+#: chunks exactly as the serial batched path shares them across points).
 _BATCH_EVALUATOR: Optional[EncoderBatchEvaluator] = None
 
 

@@ -400,6 +400,55 @@ class TestSpoolCommands:
         assert code == 0
         assert "removed 0 file(s)" in out
 
+    def test_spool_status_json_is_machine_readable(self, capsys, tmp_path):
+        spool = self._live_spool(tmp_path)
+        code, out, err = _run(capsys, "spool", str(spool.root),
+                              "--status", "--json")
+        assert code == 0 and not err
+        payload = json.loads(out)
+        assert payload["target"] == str(spool.root)
+        assert payload["pending"] == 1
+        assert payload["results"] == 0
+        assert payload["claimed"] == []
+        assert [w["worker"] for w in payload["workers"]] == ["cli-worker"]
+        assert payload["workers"][0]["processed"] == 4
+
+    def test_spool_gc_json_reports_the_sweep(self, capsys, tmp_path):
+        import os
+        spool = self._live_spool(tmp_path)
+        spool.write_result("old.00000000", {"job": "old.00000000"})
+        for path in spool.root.rglob("*.json"):
+            os.utime(path, (1.0, 1.0))
+        code, out, err = _run(capsys, "spool", str(spool.root),
+                              "--gc", "--max-age", "60", "--json")
+        assert code == 0 and not err
+        payload = json.loads(out)
+        assert payload["max_age_s"] == 60.0
+        assert sum(payload["removed"].values()) == 2
+        # Pending jobs are never GC'd, however stale.
+        assert (spool.pending_dir / "cli.00000000.json").exists()
+
+    def test_spool_status_json_over_tcp(self, capsys, tmp_path):
+        import threading
+        from repro.runner.netqueue import SpoolServer
+        server = SpoolServer(tmp_path / "spool", host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            server.spool.enqueue("cli.00000000", {"job": "cli.00000000"})
+            code, out, err = _run(capsys, "spool", server.url,
+                                  "--status", "--json")
+            assert code == 0 and not err
+            payload = json.loads(out)
+            assert payload["target"] == server.url
+            assert payload["pending"] == 1
+            # The network transport additionally serves requeue counters.
+            assert payload["requeues"] == {}
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=5.0)
+
     def test_spool_missing_directory_exits_2(self, capsys, tmp_path):
         code, _, err = _run(capsys, "spool", str(tmp_path / "nowhere"))
         assert code == 2
@@ -689,3 +738,33 @@ class TestServeCommand:
         assert excinfo.value.code == 2
         err = capsys.readouterr().err
         assert "--load" in err and "Traceback" not in err
+
+
+class TestChunkSizeOption:
+    """``--chunk-size`` policy parsing and plumbing on the sweep/explore
+    front-ends (the byte-identity of the paths it selects is pinned by
+    ``tests/differential/test_chunk_contract.py``)."""
+
+    @pytest.mark.parametrize("value", ["2", "auto", "off"])
+    def test_sweep_accepts_every_policy(self, capsys, value):
+        code, out, err = _run(capsys, "sweep", "--tag", "fig18",
+                              "--backend", "analytic", "--no-cache",
+                              "--chunk-size", value)
+        assert code == 0 and not err
+        assert "fig18" in out
+
+    def test_explore_batched_proxy_with_chunk_size(self, capsys, tmp_path):
+        code, out, err = _run(capsys, "explore", "--space", "encoder-smoke",
+                              "--strategy", "grid", "--budget", "16",
+                              "--verify-top", "0", "--proxy", "batched",
+                              "--chunk-size", "4", "--no-cache")
+        assert code == 0 and not err
+        assert "Pareto frontier" in out
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "none", "1.5", ""])
+    def test_invalid_chunk_size_exits_2(self, capsys, bad):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--tag", "fig18", "--chunk-size", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--chunk-size" in err and "Traceback" not in err
