@@ -31,8 +31,7 @@ GRID_BUDGET_S = 30.0
 
 
 def _sim_scenarios():
-    return [s.name for s in REGISTRY.select(tags=list(SWEEP_TAGS))
-            if "sim" in s.tags]
+    return [s.name for s in REGISTRY.select(tags=list(SWEEP_TAGS)) if "sim" in s.tags]
 
 
 def _grid_scenarios(points: int):
@@ -43,11 +42,17 @@ def _grid_scenarios(points: int):
     for batch in batches:
         for index in range(per_batch):
             scale = 0.25 + 3.75 * index / max(1, per_batch - 1)
-            scenarios.append(Scenario(
-                name=f"grid/b{batch}-bw{index}",
-                kind="xnn_encoder",
-                params={"batch": batch, "seq_len": 384,
-                        "bandwidth_scale": round(scale, 6)}))
+            scenarios.append(
+                Scenario(
+                    name=f"grid/b{batch}-bw{index}",
+                    kind="xnn_encoder",
+                    params={
+                        "batch": batch,
+                        "seq_len": 384,
+                        "bandwidth_scale": round(scale, 6),
+                    },
+                )
+            )
     return scenarios
 
 
@@ -68,17 +73,20 @@ def test_backend_speedup(benchmark):
     speedup = engine_wall / analytic_wall
 
     table = backend_comparison_table(
-        engine, analytic,
+        engine,
+        analytic,
         title=f"Backend speed: {len(names)}-point sweep "
-              f"({engine_wall:.2f}s engine vs {analytic_wall:.3f}s analytic, "
-              f"{speedup:.0f}x)")
+        f"({engine_wall:.2f}s engine vs {analytic_wall:.3f}s analytic, "
+        f"{speedup:.0f}x)",
+    )
     table.add_note(f"acceptance floor: {SPEEDUP_FLOOR:g}x")
     table.print()
 
     assert speedup >= SPEEDUP_FLOOR, (
         f"analytic backend is only {speedup:.1f}x faster than the engine "
         f"({analytic_wall:.3f}s vs {engine_wall:.3f}s) -- below the "
-        f"{SPEEDUP_FLOOR:g}x acceptance floor")
+        f"{SPEEDUP_FLOOR:g}x acceptance floor"
+    )
     # The estimates the speed buys must still honour the differential
     # contract: lower bound, byte-identical traffic.
     by_name = {o.scenario: o for o in analytic}
@@ -99,14 +107,16 @@ def test_thousand_point_analytic_sweep(benchmark):
 
     outcomes, wall = run_once(benchmark, _measure)
     per_point_ms = wall / len(outcomes) * 1e3
-    print(f"\n{len(outcomes)}-point analytic design-space sweep: "
-          f"{wall:.2f}s wall ({per_point_ms:.2f} ms/point)")
+    print(
+        f"\n{len(outcomes)}-point analytic design-space sweep: "
+        f"{wall:.2f}s wall ({per_point_ms:.2f} ms/point)"
+    )
 
     assert wall < GRID_BUDGET_S, (
         f"{len(outcomes)}-point analytic sweep took {wall:.1f}s; "
-        "the fast model is supposed to make these interactive")
+        "the fast model is supposed to make these interactive"
+    )
     # Sanity: more bandwidth never hurts within a batch row.
     by_name = {o.scenario: o.result["latency_s"] for o in outcomes}
     row = [by_name[f"grid/b8-bw{i}"] for i in range(60)]
-    assert all(earlier >= later * (1 - 1e-9)
-               for earlier, later in zip(row, row[1:]))
+    assert all(earlier >= later * (1 - 1e-9) for earlier, later in zip(row, row[1:]))

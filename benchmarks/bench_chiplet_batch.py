@@ -58,21 +58,23 @@ def _measure():
 
 
 def test_batched_chiplet_speedup(benchmark):
-    (per_point, batched, warm,
-     per_point_s, batched_s, warm_s) = run_once(benchmark, _measure)
+    (per_point, batched, warm, per_point_s, batched_s, warm_s) = run_once(
+        benchmark, _measure
+    )
     points = len(per_point)
 
-    table = Table(f"Chiplet proxy: {points}-point generation of the "
-                  "'chiplet-encoder' space",
-                  ["path", "wall (s)", "ms/point"])
-    table.add_row("per-point (scalar runner)", per_point_s,
-                  per_point_s / points * 1e3)
-    table.add_row("batched (cold evaluator)", batched_s,
-                  batched_s / points * 1e3)
+    table = Table(
+        f"Chiplet proxy: {points}-point generation of the " "'chiplet-encoder' space",
+        ["path", "wall (s)", "ms/point"],
+    )
+    table.add_row("per-point (scalar runner)", per_point_s, per_point_s / points * 1e3)
+    table.add_row("batched (cold evaluator)", batched_s, batched_s / points * 1e3)
     table.add_row("batched (warm evaluator)", warm_s, warm_s / points * 1e3)
-    table.add_note(f"cold speedup: {per_point_s / batched_s:.1f}x "
-                   f"(floor {SPEEDUP_FLOOR:g}x); warm: "
-                   f"{per_point_s / warm_s:.0f}x")
+    table.add_note(
+        f"cold speedup: {per_point_s / batched_s:.1f}x "
+        f"(floor {SPEEDUP_FLOOR:g}x); warm: "
+        f"{per_point_s / warm_s:.0f}x"
+    )
     table.print()
 
     # The contract before the speed: payloads must be exactly equal, and the

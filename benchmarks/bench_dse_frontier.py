@@ -24,37 +24,49 @@ WALL_BUDGET_S = 20.0
 
 def _explore(strategy_name: str):
     start = time.perf_counter()
-    report = run_exploration(get_space("encoder"),
-                             get_strategy(strategy_name), budget=BUDGET,
-                             verify_top=0, seed=0, cache=None)
+    report = run_exploration(
+        get_space("encoder"),
+        get_strategy(strategy_name),
+        budget=BUDGET,
+        verify_top=0,
+        seed=0,
+        cache=None,
+    )
     return report, time.perf_counter() - start
 
 
 def test_grid_exploration_is_interactive(benchmark):
     report, wall = run_once(benchmark, lambda: _explore("grid"))
     table = dse_frontier_table(report)
-    table.add_note(f"{report.evaluations} evaluations in {wall:.2f}s "
-                   f"({wall / report.evaluations * 1e3:.2f} ms/point)")
+    table.add_note(
+        f"{report.evaluations} evaluations in {wall:.2f}s "
+        f"({wall / report.evaluations * 1e3:.2f} ms/point)"
+    )
     table.print()
 
     assert report.evaluations >= BUDGET, (
         f"grid exploration evaluated only {report.evaluations} of the "
-        f"{BUDGET}-point budget")
+        f"{BUDGET}-point budget"
+    )
     assert report.frontier, "a 200-point exploration must find a frontier"
     assert wall < WALL_BUDGET_S, (
         f"{report.evaluations}-point exploration took {wall:.1f}s; the "
-        "analytic proxy is supposed to make design-space search interactive")
+        "analytic proxy is supposed to make design-space search interactive"
+    )
 
 
 def test_halving_exploration_is_interactive(benchmark):
     report, wall = run_once(benchmark, lambda: _explore("halving"))
-    print(f"\nhalving: {report.evaluations} evaluations "
-          f"({report.proxy_cache_hits} repeat-rung hits), "
-          f"{report.candidates} full-fidelity candidates, "
-          f"{len(report.frontier)} frontier point(s), {wall:.2f}s wall")
+    print(
+        f"\nhalving: {report.evaluations} evaluations "
+        f"({report.proxy_cache_hits} repeat-rung hits), "
+        f"{report.candidates} full-fidelity candidates, "
+        f"{len(report.frontier)} frontier point(s), {wall:.2f}s wall"
+    )
 
     assert report.evaluations <= BUDGET, "halving must respect its budget"
     assert report.candidates < report.evaluations, (
-        "halving should spend most of its budget on reduced-fidelity rungs")
+        "halving should spend most of its budget on reduced-fidelity rungs"
+    )
     assert report.frontier, "halving must still produce a frontier"
     assert wall < WALL_BUDGET_S

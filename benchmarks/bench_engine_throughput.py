@@ -45,8 +45,12 @@ def _measure():
     _, fast_wall2 = _timed_run(True)
     compat_result, compat_wall = _timed_run(False)
     _, compat_wall2 = _timed_run(False)
-    return (fast_result, min(fast_wall, fast_wall2),
-            compat_result, min(compat_wall, compat_wall2))
+    return (
+        fast_result,
+        min(fast_wall, fast_wall2),
+        compat_result,
+        min(compat_wall, compat_wall2),
+    )
 
 
 def test_engine_event_throughput(benchmark):
@@ -54,13 +58,18 @@ def test_engine_event_throughput(benchmark):
     fast_eps = fast_result["events"] / fast_wall
     compat_eps = compat_result["events"] / compat_wall
 
-    table = Table("Engine event throughput (producer -> 2 relays -> consumer)",
-                  ["mode", "events", "wall (s)", "events/s"])
+    table = Table(
+        "Engine event throughput (producer -> 2 relays -> consumer)",
+        ["mode", "events", "wall (s)", "events/s"],
+    )
     table.add_row("fast zero-delay path", fast_result["events"], fast_wall, fast_eps)
-    table.add_row("heap-only (compat)", compat_result["events"], compat_wall,
-                  compat_eps)
-    table.add_note(f"fast/compat ratio: {fast_eps / compat_eps:.2f}x "
-                   "(vs the pre-optimization engine the fast path measured ~1.3x)")
+    table.add_row(
+        "heap-only (compat)", compat_result["events"], compat_wall, compat_eps
+    )
+    table.add_note(
+        f"fast/compat ratio: {fast_eps / compat_eps:.2f}x "
+        "(vs the pre-optimization engine the fast path measured ~1.3x)"
+    )
     table.print()
 
     # Correctness first: both modes produce the exact same simulation.

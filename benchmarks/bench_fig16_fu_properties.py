@@ -19,11 +19,17 @@ def _properties():
 
 def test_fig16_fu_properties(benchmark):
     properties = run_once(benchmark, _properties)
-    table = Table("Fig. 16: FU compute / memory / bandwidth properties",
-                  ["FU", "TFLOPS", "memory (MB)", "bandwidth (GB/s)"])
+    table = Table(
+        "Fig. 16: FU compute / memory / bandwidth properties",
+        ["FU", "TFLOPS", "memory (MB)", "bandwidth (GB/s)"],
+    )
     for row in properties:
-        table.add_row(row["fu"], round(row["tflops"], 3), round(row["memory_mb"], 2),
-                      round(row["bandwidth_gbs"], 1))
+        table.add_row(
+            row["fu"],
+            round(row["tflops"], 3),
+            round(row["memory_mb"], 2),
+            round(row["bandwidth_gbs"], 1),
+        )
     table.print()
 
     by_name = {row["fu"]: row for row in properties}

@@ -27,29 +27,47 @@ def _sweep():
 def test_fig18_latency_throughput_vs_charm(benchmark):
     rsn = run_once(benchmark, _sweep)
 
-    table = Table("Fig. 18: BERT-Large 1st encoder vs CHARM across batch sizes",
-                  ["batch", "RSN latency (ms)", "RSN tasks/s",
-                   "CHARM latency (ms)", "CHARM tasks/s"])
+    table = Table(
+        "Fig. 18: BERT-Large 1st encoder vs CHARM across batch sizes",
+        [
+            "batch",
+            "RSN latency (ms)",
+            "RSN tasks/s",
+            "CHARM latency (ms)",
+            "CHARM tasks/s",
+        ],
+    )
     charm_points = {}
     for batch in BATCHES:
         # CHARM schedules at a six-batch granularity: smaller requests still
         # execute a full six-batch pass (modelled by the charm_encoder kind).
         point = REGISTRY.run(f"fig18/charm-b{batch}")
         charm_points[batch] = (point["latency_ms"], point["throughput_tasks_per_s"])
-        table.add_row(batch, rsn[batch][0], rsn[batch][1], point["latency_ms"],
-                      point["throughput_tasks_per_s"])
-    table.add_note("paper: RSN best latency 5 ms at B=1 (22x better than CHARM's best), "
-                   "6.1x faster at B=6, 3.25x higher peak throughput; CHARM published "
-                   f"best latency {CHARM_PUBLISHED['bert_best_latency_ms']} ms, best "
-                   f"throughput {CHARM_PUBLISHED['bert_best_throughput_tasks_per_s']} tasks/s")
+        table.add_row(
+            batch,
+            rsn[batch][0],
+            rsn[batch][1],
+            point["latency_ms"],
+            point["throughput_tasks_per_s"],
+        )
+    table.add_note(
+        "paper: RSN best latency 5 ms at B=1 (22x better than CHARM's best), "
+        "6.1x faster at B=6, 3.25x higher peak throughput; CHARM published "
+        f"best latency {CHARM_PUBLISHED['bert_best_latency_ms']} ms, best "
+        f"throughput {CHARM_PUBLISHED['bert_best_throughput_tasks_per_s']} tasks/s"
+    )
     table.print()
 
     # Shape checks.
     for batch in BATCHES:
-        assert rsn[batch][0] < charm_points[batch][0], "RSN must beat CHARM at every batch"
+        assert rsn[batch][0] < charm_points[batch][0], (
+            "RSN must beat CHARM at every batch"
+        )
     # RSN latency at B=6 is several times lower than CHARM's.
     assert charm_points[6][0] / rsn[6][0] > 1.5
     # RSN throughput saturates early: B=3 reaches most of the B=24 throughput.
     assert rsn[3][1] > 0.75 * rsn[24][1]
     # Peak RSN throughput clearly beats CHARM's best.
-    assert max(t for _, t in rsn.values()) > 1.5 * max(t for _, t in charm_points.values())
+    assert max(t for _, t in rsn.values()) > 1.5 * max(
+        t for _, t in charm_points.values()
+    )

@@ -13,7 +13,15 @@ import numpy as np
 from _helpers import run_once
 from repro.analysis.reporting import Table
 from repro.baselines import VectorOverlayModel
-from repro.core import (Datapath, ExitUOp, FunctionalUnit, Read, TileMessage, UOp, Write)
+from repro.core import (
+    Datapath,
+    ExitUOp,
+    FunctionalUnit,
+    Read,
+    TileMessage,
+    UOp,
+    Write,
+)
 
 
 class LoadFU(FunctionalUnit):
@@ -32,7 +40,7 @@ class LoadFU(FunctionalUnit):
         port = self.port("to_fu2" if dest == "FU2" else "to_fu3")
         from repro.core import Delay
         yield Delay(count * self.element_time)
-        tile = TileMessage.from_array(self.source[addr:addr + count])
+        tile = TileMessage.from_array(self.source[addr : addr + count])
         yield Write(port, tile)
 
 
@@ -65,7 +73,7 @@ class StoreFU(FunctionalUnit):
         tile = yield Read(self.port("from_fu1" if src == "FU1" else "from_fu2"))
         from repro.core import Delay
         yield Delay(count * self.element_time)
-        self.sink[addr:addr + count] = tile.data[:count]
+        self.sink[addr : addr + count] = tile.data[:count]
 
 
 def _build_rsn(source, sink, element_time=1.0):
@@ -85,19 +93,23 @@ def _run_rsn_app2():
     source = np.arange(300, dtype=np.float32)
     sink = np.zeros(300, dtype=np.float32)
     dp, fu1, fu2, fu3 = _build_rsn(source, sink)
-    fu1.load_program([
-        UOp("FU1", {"dest": "FU2", "count": 100, "addr": 0}),
-        UOp("FU1", {"dest": "FU3", "count": 100, "addr": 100}),
-        UOp("FU1", {"dest": "FU2", "count": 100, "addr": 200}),
-        ExitUOp(),
-    ])
+    fu1.load_program(
+        [
+            UOp("FU1", {"dest": "FU2", "count": 100, "addr": 0}),
+            UOp("FU1", {"dest": "FU3", "count": 100, "addr": 100}),
+            UOp("FU1", {"dest": "FU2", "count": 100, "addr": 200}),
+            ExitUOp(),
+        ]
+    )
     fu2.load_program([UOp("FU2", {}), UOp("FU2", {}), ExitUOp()])
-    fu3.load_program([
-        UOp("FU3", {"src": "FU2", "count": 100, "addr": 0}),
-        UOp("FU3", {"src": "FU1", "count": 100, "addr": 100}),
-        UOp("FU3", {"src": "FU2", "count": 100, "addr": 200}),
-        ExitUOp(),
-    ])
+    fu3.load_program(
+        [
+            UOp("FU3", {"src": "FU2", "count": 100, "addr": 0}),
+            UOp("FU3", {"src": "FU1", "count": 100, "addr": 100}),
+            UOp("FU3", {"src": "FU2", "count": 100, "addr": 200}),
+            ExitUOp(),
+        ]
+    )
     stats = dp.build_simulator().run()
     return stats.end_time, source, sink
 
@@ -114,12 +126,18 @@ def test_fig6_rsn_vs_baseline_overlay(benchmark):
     baseline_app1 = overlay.run(overlay.application1_program())
     baseline_app2 = overlay.run(overlay.application2_program())
 
-    table = Table("Fig. 6: execution time of the toy applications (cycles / time units)",
-                  ["implementation", "application 1", "application 2"])
-    table.add_row("baseline vector overlay (WAR serialised)", baseline_app1, baseline_app2)
+    table = Table(
+        "Fig. 6: execution time of the toy applications (cycles / time units)",
+        ["implementation", "application 1", "application 2"],
+    )
+    table.add_row(
+        "baseline vector overlay (WAR serialised)", baseline_app1, baseline_app2
+    )
     table.add_row("RSN stream datapath", 300.0, rsn_cycles)
-    table.add_note("RSN pipelines the three 100-element phases; the baseline's "
-                   "single load register forces them to serialise.")
+    table.add_note(
+        "RSN pipelines the three 100-element phases; the baseline's "
+        "single load register forces them to serialise."
+    )
     table.print()
 
     # The RSN datapath overlaps the phases of application 2: it finishes well

@@ -29,54 +29,91 @@ def _generate_program():
     spec = bert_large_encoder(batch=6, seq_len=512)
     tokens = 6 * 512
     hidden, ffn = 1024, 4096
-    for name, shape in (("input", (tokens, hidden)), ("wq", (hidden, hidden)),
-                        ("wk", (hidden, hidden)), ("wv", (hidden, hidden)),
-                        ("wo", (hidden, hidden)), ("w1", (hidden, ffn)),
-                        ("w2", (ffn, hidden)), ("query", (tokens, hidden)),
-                        ("key", (tokens, hidden)), ("value", (tokens, hidden)),
-                        ("attn_context", (tokens, hidden)), ("attn_out", (tokens, hidden)),
-                        ("attn_norm", (tokens, hidden)), ("ffn_inter", (tokens, ffn)),
-                        ("ffn_out", (tokens, hidden))):
+    for name, shape in (
+        ("input", (tokens, hidden)),
+        ("wq", (hidden, hidden)),
+        ("wk", (hidden, hidden)),
+        ("wv", (hidden, hidden)),
+        ("wo", (hidden, hidden)),
+        ("w1", (hidden, ffn)),
+        ("w2", (ffn, hidden)),
+        ("query", (tokens, hidden)),
+        ("key", (tokens, hidden)),
+        ("value", (tokens, hidden)),
+        ("attn_context", (tokens, hidden)),
+        ("attn_out", (tokens, hidden)),
+        ("attn_norm", (tokens, hidden)),
+        ("ffn_inter", (tokens, ffn)),
+        ("ffn_out", (tokens, hidden)),
+    ):
         memory.add(name, shape)
     layers = {lyr.name: lyr for lyr in spec.layers}
     builder = ProgramBuilder(xnn, CodegenOptions())
     builder.add_gemm_layer(layers["query"], lhs="input", rhs="wq", out="query")
     builder.add_gemm_layer(layers["key"], lhs="input", rhs="wk", out="key")
     builder.add_gemm_layer(layers["value"], lhs="input", rhs="wv", out="value")
-    builder.add_attention(seq_len=512, head_dim=64, num_heads=96, heads_per_sample=16,
-                          query="query", key="key", value="value", out="attn_context")
-    builder.add_gemm_layer(layers["dense"], lhs="attn_context", rhs="wo", out="attn_out",
-                           residual="input")
-    builder.add_gemm_layer(layers["ffn_mm1"], lhs="attn_norm", rhs="w1", out="ffn_inter")
-    builder.add_gemm_layer(layers["ffn_mm2"], lhs="ffn_inter", rhs="w2", out="ffn_out",
-                           residual="attn_norm")
+    builder.add_attention(
+        seq_len=512,
+        head_dim=64,
+        num_heads=96,
+        heads_per_sample=16,
+        query="query",
+        key="key",
+        value="value",
+        out="attn_context",
+    )
+    builder.add_gemm_layer(
+        layers["dense"], lhs="attn_context", rhs="wo", out="attn_out", residual="input"
+    )
+    builder.add_gemm_layer(
+        layers["ffn_mm1"], lhs="attn_norm", rhs="w1", out="ffn_inter"
+    )
+    builder.add_gemm_layer(
+        layers["ffn_mm2"],
+        lhs="ffn_inter",
+        rhs="w2",
+        out="ffn_out",
+        residual="attn_norm",
+    )
     program = builder.build_rsn_program()
-    analysis = analyze_program(program, latency_s=result.latency_s, flops=result.flops,
-                               aie_uop_bytes=builder.mme_uop_bytes())
+    analysis = analyze_program(
+        program,
+        latency_s=result.latency_s,
+        flops=result.flops,
+        aie_uop_bytes=builder.mme_uop_bytes(),
+    )
     return analysis
 
 
 def test_fig9_instruction_vs_uop_size(benchmark):
     analysis = run_once(benchmark, _generate_program)
 
-    table = Table("Fig. 9: RSN instruction bytes vs translated uOP bytes per FU type",
-                  ["FU type", "RSN bytes", "uOP bytes", "compression", "packets"])
+    table = Table(
+        "Fig. 9: RSN instruction bytes vs translated uOP bytes per FU type",
+        ["FU type", "RSN bytes", "uOP bytes", "compression", "packets"],
+    )
     for fu_type in analysis.size_report.fu_types():
-        table.add_row(fu_type,
-                      analysis.size_report.instruction_bytes.get(fu_type, 0),
-                      analysis.size_report.uop_bytes.get(fu_type, 0),
-                      analysis.size_report.compression_ratio(fu_type),
-                      analysis.size_report.instruction_counts.get(fu_type, 0))
-    table.add_note(f"total packets {analysis.packet_count}, "
-                   f"instruction bytes {analysis.instruction_bytes}, "
-                   f"instruction rate {analysis.instruction_processing_rate or 0:.3g} B/s "
-                   f"({100 * (analysis.bandwidth_fraction or 0):.4f}% of off-chip BW), "
-                   f"{(analysis.flops_per_instruction_byte or 0) / 1e6:.2f} MFLOPs per "
-                   "instruction byte on average")
+        table.add_row(
+            fu_type,
+            analysis.size_report.instruction_bytes.get(fu_type, 0),
+            analysis.size_report.uop_bytes.get(fu_type, 0),
+            analysis.size_report.compression_ratio(fu_type),
+            analysis.size_report.instruction_counts.get(fu_type, 0),
+        )
+    table.add_note(
+        f"total packets {analysis.packet_count}, "
+        f"instruction bytes {analysis.instruction_bytes}, "
+        f"instruction rate {analysis.instruction_processing_rate or 0:.3g} B/s "
+        f"({100 * (analysis.bandwidth_fraction or 0):.4f}% of off-chip BW), "
+        f"{(analysis.flops_per_instruction_byte or 0) / 1e6:.2f} MFLOPs per "
+        "instruction byte on average"
+    )
     table.print()
 
     ratios = analysis.compression_ratios()
-    stream_types = [t for t in ("MemA", "MemB", "MemC", "MeshA", "MeshB") if t in ratios]
+    stream_types = [
+        t for t in ("MemA", "MemB", "MemC", "MeshA", "MeshB") if t in ratios
+    ]
     offchip_types = [t for t in ("DDR", "LPDDR") if t in ratios]
     # Off-chip control dominates the uOP bytes and compresses worse than the
     # on-chip stream FUs.

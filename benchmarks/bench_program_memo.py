@@ -37,12 +37,18 @@ SPEEDUP_FLOOR = 2.0
 def _run_set(memo: SegmentMemo, workload_memo: bool):
     outputs = []
     for batch, seq_len in WORKLOADS:
-        executor = XNNExecutor(config=XNNConfig(carry_data=False),
-                               segment_memo=memo,
-                               workload_memo=workload_memo)
+        executor = XNNExecutor(
+            config=XNNConfig(carry_data=False),
+            segment_memo=memo,
+            workload_memo=workload_memo,
+        )
         result = executor.run_encoder(batch=batch, seq_len=seq_len)
-        outputs.append([(s.name, s.latency_s, s.ddr_bytes, s.lpddr_bytes,
-                         s.uops) for s in result.segments])
+        outputs.append(
+            [
+                (s.name, s.latency_s, s.ddr_bytes, s.lpddr_bytes, s.uops)
+                for s in result.segments
+            ]
+        )
     return outputs
 
 
@@ -93,23 +99,44 @@ def _measure():
         if gc_was_enabled:
             gc.enable()
     cold, downstream, upstream = reference
-    return (cold, downstream, upstream, downstream_s, upstream_s,
-            downstream_hits, upstream_hits)
+    return (
+        cold,
+        downstream,
+        upstream,
+        downstream_s,
+        upstream_s,
+        downstream_hits,
+        upstream_hits,
+    )
 
 
 def test_program_memo_upstream_vs_downstream_warm(benchmark):
-    (cold, downstream, upstream, downstream_s, upstream_s,
-     downstream_hits, upstream_hits) = run_once(benchmark, _measure)
+    (
+        cold,
+        downstream,
+        upstream,
+        downstream_s,
+        upstream_s,
+        downstream_hits,
+        upstream_hits,
+    ) = run_once(benchmark, _measure)
 
-    table = Table("Program memo: warm hit cost by key, repeated-segment set",
-                  ["warm path", "wall (s)", "memo hits", "codegen runs"])
-    table.add_row("downstream (program fingerprint)", downstream_s,
-                  downstream_hits, downstream_hits)
-    table.add_row("upstream (workload fingerprint)", upstream_s,
-                  upstream_hits, 0)
-    table.add_note(f"upstream/downstream speedup: "
-                   f"{downstream_s / upstream_s:.1f}x "
-                   f"(floor {SPEEDUP_FLOOR:g}x)")
+    table = Table(
+        "Program memo: warm hit cost by key, repeated-segment set",
+        ["warm path", "wall (s)", "memo hits", "codegen runs"],
+    )
+    table.add_row(
+        "downstream (program fingerprint)",
+        downstream_s,
+        downstream_hits,
+        downstream_hits,
+    )
+    table.add_row("upstream (workload fingerprint)", upstream_s, upstream_hits, 0)
+    table.add_note(
+        f"upstream/downstream speedup: "
+        f"{downstream_s / upstream_s:.1f}x "
+        f"(floor {SPEEDUP_FLOOR:g}x)"
+    )
     table.print()
 
     # Correctness first: both warm paths must reproduce the cold pass

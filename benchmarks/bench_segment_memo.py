@@ -30,11 +30,14 @@ SPEEDUP_FLOOR = 3.0
 def _run_set(memo: SegmentMemo):
     outputs = []
     for batch, seq_len in WORKLOADS:
-        executor = XNNExecutor(config=XNNConfig(carry_data=False),
-                               segment_memo=memo)
+        executor = XNNExecutor(config=XNNConfig(carry_data=False), segment_memo=memo)
         result = executor.run_encoder(batch=batch, seq_len=seq_len)
-        outputs.append([(s.name, s.latency_s, s.ddr_bytes, s.lpddr_bytes,
-                         s.uops) for s in result.segments])
+        outputs.append(
+            [
+                (s.name, s.latency_s, s.ddr_bytes, s.lpddr_bytes, s.uops)
+                for s in result.segments
+            ]
+        )
     return outputs
 
 
@@ -81,15 +84,19 @@ def _measure():
 
 
 def test_segment_memo_warm_speedup(benchmark):
-    (cold, warm, cold_s, warm_s,
-     cold_hits, cold_misses, warm_hits) = run_once(benchmark, _measure)
+    (cold, warm, cold_s, warm_s, cold_hits, cold_misses, warm_hits) = run_once(
+        benchmark, _measure
+    )
 
-    table = Table("Segment memo: repeated-segment encoder set, warm vs cold",
-                  ["pass", "wall (s)", "memo hits", "memo misses"])
+    table = Table(
+        "Segment memo: repeated-segment encoder set, warm vs cold",
+        ["pass", "wall (s)", "memo hits", "memo misses"],
+    )
     table.add_row("cold (fresh memo)", cold_s, cold_hits, cold_misses)
     table.add_row("warm (re-run)", warm_s, warm_hits, 0)
-    table.add_note(f"warm/cold speedup: {cold_s / warm_s:.1f}x "
-                   f"(floor {SPEEDUP_FLOOR:g}x)")
+    table.add_note(
+        f"warm/cold speedup: {cold_s / warm_s:.1f}x " f"(floor {SPEEDUP_FLOOR:g}x)"
+    )
     table.print()
 
     # Correctness first: warm results must equal the cold pass exactly, and

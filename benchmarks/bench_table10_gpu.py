@@ -32,35 +32,64 @@ def _run_vck190():
 def test_table10_gpu_comparison(benchmark):
     vck = run_once(benchmark, _run_vck190)
 
-    table = Table("Table 10: BERT-Large latency (ms), L=384, FP32 unless noted",
-                  ["device", "peak TFLOPS", "BW (GB/s)", "B=1", "B=2", "B=4", "B=8"])
+    table = Table(
+        "Table 10: BERT-Large latency (ms), L=384, FP32 unless noted",
+        ["device", "peak TFLOPS", "BW (GB/s)", "B=1", "B=2", "B=4", "B=8"],
+    )
     for spec in GPU_SPECS.values():
-        table.add_row(f"{spec.name} ({spec.precision})", spec.peak_tflops, spec.mem_bw_gbs,
-                      *(spec.published_latency_ms.get(b) for b in BATCHES))
-    table.add_row("VCK190 RSN-XNN (simulated)", 8.0, VCK190.observed_offchip_bw / 1e9,
-                  *(vck[b][0] for b in BATCHES))
+        table.add_row(
+            f"{spec.name} ({spec.precision})",
+            spec.peak_tflops,
+            spec.mem_bw_gbs,
+            *(spec.published_latency_ms.get(b) for b in BATCHES),
+        )
+    table.add_row(
+        "VCK190 RSN-XNN (simulated)",
+        8.0,
+        VCK190.observed_offchip_bw / 1e9,
+        *(vck[b][0] for b in BATCHES),
+    )
     table.print()
 
-    energy = Table("Table 10 (cont.): energy efficiency at batch 8",
-                   ["device", "latency (ms)", "operating W", "seq/J (operating)",
-                    "seq/J (dynamic)", "DRAM traffic (GB)"])
+    energy = Table(
+        "Table 10 (cont.): energy efficiency at batch 8",
+        [
+            "device",
+            "latency (ms)",
+            "operating W",
+            "seq/J (operating)",
+            "seq/J (dynamic)",
+            "DRAM traffic (GB)",
+        ],
+    )
     gpu_points = {f"{p.device}-{p.precision}": p for p in gpu_energy_table(batch=8)}
     vck_point = vck190_energy_point(vck[8][0], batch=8, dram_traffic_gb=vck[8][1])
     for key, point in gpu_points.items():
-        energy.add_row(key, point.latency_ms, point.operating_power_w,
-                       point.operating_efficiency_seq_per_j,
-                       point.dynamic_efficiency_seq_per_j, point.dram_traffic_gb)
-    energy.add_row("VCK190-fp32 (simulated)", vck_point.latency_ms,
-                   vck_point.operating_power_w,
-                   vck_point.operating_efficiency_seq_per_j,
-                   vck_point.dynamic_efficiency_seq_per_j, vck_point.dram_traffic_gb)
+        energy.add_row(
+            key,
+            point.latency_ms,
+            point.operating_power_w,
+            point.operating_efficiency_seq_per_j,
+            point.dynamic_efficiency_seq_per_j,
+            point.dram_traffic_gb,
+        )
+    energy.add_row(
+        "VCK190-fp32 (simulated)",
+        vck_point.latency_ms,
+        vck_point.operating_power_w,
+        vck_point.operating_efficiency_seq_per_j,
+        vck_point.dynamic_efficiency_seq_per_j,
+        vck_point.dram_traffic_gb,
+    )
     energy.print()
 
     t4 = gpu_points["T4-fp32"]
     a100 = gpu_points["A100-fp32"]
     # Latency comparable to the T4 at batch 8 despite ~18% of its bandwidth.
     assert vck[8][0] < 1.5 * t4.latency_ms
-    bandwidth_ratio = (VCK190.observed_offchip_bw / 1e9) / GPU_SPECS["T4-fp32"].mem_bw_gbs
+    bandwidth_ratio = (
+        VCK190.observed_offchip_bw / 1e9
+    ) / GPU_SPECS["T4-fp32"].mem_bw_gbs
     assert bandwidth_ratio < 0.25
     # Better FP32 energy efficiency than the A100 (paper: 2.1x operating).
     a100_eff = a100.operating_efficiency_seq_per_j

@@ -20,8 +20,9 @@ SCALES = (0.5, 1.0, 2.0, 3.0)
 
 
 def _sweep():
-    return {scale: REGISTRY.run(f"table11/bw-{scale:g}x")["latency_s"]
-            for scale in SCALES}
+    return {
+        scale: REGISTRY.run(f"table11/bw-{scale:g}x")["latency_s"] for scale in SCALES
+    }
 
 
 def test_table11_bandwidth_sweep(benchmark):
@@ -32,13 +33,19 @@ def test_table11_bandwidth_sweep(benchmark):
     inf_bw = infinite_bandwidth_bound(model, achieved_flops=6.7e12)
     inf_compute = infinite_compute_bound(model)
 
-    table = Table("Table 11: bandwidth sweep, BERT-Large encoder, L=384, B=8",
-                  ["scenario", "latency (ms)", "speedup vs 1x", "paper speedup"])
+    table = Table(
+        "Table 11: bandwidth sweep, BERT-Large encoder, L=384, B=8",
+        ["scenario", "latency (ms)", "speedup vs 1x", "paper speedup"],
+    )
     table.add_row("infinite BW & no setup", inf_bw * 1e3, base / inf_bw, 1.43)
     table.add_row("infinite compute", inf_compute * 1e3, base / inf_compute, 1.27)
     for scale in SCALES:
-        table.add_row(f"{scale:g}X BW", by_scale[scale] * 1e3, base / by_scale[scale],
-                      PAPER_SPEEDUPS[scale])
+        table.add_row(
+            f"{scale:g}X BW",
+            by_scale[scale] * 1e3,
+            base / by_scale[scale],
+            PAPER_SPEEDUPS[scale],
+        )
     table.print()
 
     # Shape checks: latency decreases monotonically with bandwidth, halving

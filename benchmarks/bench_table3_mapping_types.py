@@ -20,16 +20,26 @@ def _estimate():
 
 def test_table3_mapping_types(benchmark):
     estimates = run_once(benchmark, _estimate)
-    table = Table("Table 3: mapping-type latency estimates (BERT attention, B=6, L=512)",
-                  ["mapping", "BW bound (ms)", "compute bound (ms)", "AIE used",
-                   "final (ms)", "paper final (ms)"])
+    table = Table(
+        "Table 3: mapping-type latency estimates (BERT attention, B=6, L=512)",
+        [
+            "mapping",
+            "BW bound (ms)",
+            "compute bound (ms)",
+            "AIE used",
+            "final (ms)",
+            "paper final (ms)",
+        ],
+    )
     for mapping, estimate in estimates.items():
-        table.add_row(mapping,
-                      estimate["bandwidth_bound_s"] * 1e3,
-                      estimate["compute_bound_s"] * 1e3,
-                      f"{estimate['used_aie_fraction']:.0%}",
-                      estimate["final_latency_ms"],
-                      PAPER_FINAL_MS[mapping])
+        table.add_row(
+            mapping,
+            estimate["bandwidth_bound_s"] * 1e3,
+            estimate["compute_bound_s"] * 1e3,
+            f"{estimate['used_aie_fraction']:.0%}",
+            estimate["final_latency_ms"],
+            PAPER_FINAL_MS[mapping],
+        )
     table.print()
 
     final = {m: e["final_latency_ms"] for m, e in estimates.items()}

@@ -22,24 +22,43 @@ def _estimate():
     mema = [p for name, p in properties.items() if name.startswith("MemA")]
     memb = [p for name, p in properties.items() if name.startswith("MemB")]
     inventory = [
-        FUPowerInput("AIE", count=len(mme), on_aie=True,
-                     compute_tflops=sum(p["tflops"] for p in mme),
-                     onchip_mb=sum(p["memory_mb"] for p in mme),
-                     bandwidth_gbs=sum(p["bandwidth_gbs"] for p in mme)),
-        FUPowerInput("MemC", count=len(memc),
-                     compute_tflops=sum(p["tflops"] for p in memc),
-                     onchip_mb=sum(p["memory_mb"] for p in memc),
-                     bandwidth_gbs=sum(p["bandwidth_gbs"] for p in memc)),
-        FUPowerInput("MemA", count=len(mema),
-                     onchip_mb=sum(p["memory_mb"] for p in mema),
-                     bandwidth_gbs=sum(p["bandwidth_gbs"] for p in mema)),
-        FUPowerInput("MemB", count=len(memb),
-                     onchip_mb=sum(p["memory_mb"] for p in memb),
-                     bandwidth_gbs=sum(p["bandwidth_gbs"] for p in memb)),
+        FUPowerInput(
+            "AIE",
+            count=len(mme),
+            on_aie=True,
+            compute_tflops=sum(p["tflops"] for p in mme),
+            onchip_mb=sum(p["memory_mb"] for p in mme),
+            bandwidth_gbs=sum(p["bandwidth_gbs"] for p in mme),
+        ),
+        FUPowerInput(
+            "MemC",
+            count=len(memc),
+            compute_tflops=sum(p["tflops"] for p in memc),
+            onchip_mb=sum(p["memory_mb"] for p in memc),
+            bandwidth_gbs=sum(p["bandwidth_gbs"] for p in memc),
+        ),
+        FUPowerInput(
+            "MemA",
+            count=len(mema),
+            onchip_mb=sum(p["memory_mb"] for p in mema),
+            bandwidth_gbs=sum(p["bandwidth_gbs"] for p in mema),
+        ),
+        FUPowerInput(
+            "MemB",
+            count=len(memb),
+            onchip_mb=sum(p["memory_mb"] for p in memb),
+            bandwidth_gbs=sum(p["bandwidth_gbs"] for p in memb),
+        ),
         FUPowerInput("DDR", count=1, bandwidth_gbs=properties["DDR"]["bandwidth_gbs"]),
-        FUPowerInput("LPDDR", count=1, bandwidth_gbs=properties["LPDDR"]["bandwidth_gbs"]),
-        FUPowerInput("MeshA", count=1, bandwidth_gbs=properties["MeshA"]["bandwidth_gbs"]),
-        FUPowerInput("MeshB", count=1, bandwidth_gbs=properties["MeshB"]["bandwidth_gbs"]),
+        FUPowerInput(
+            "LPDDR", count=1, bandwidth_gbs=properties["LPDDR"]["bandwidth_gbs"]
+        ),
+        FUPowerInput(
+            "MeshA", count=1, bandwidth_gbs=properties["MeshA"]["bandwidth_gbs"]
+        ),
+        FUPowerInput(
+            "MeshB", count=1, bandwidth_gbs=properties["MeshB"]["bandwidth_gbs"]
+        ),
     ]
     return PowerModel().estimate(inventory)
 
@@ -48,14 +67,19 @@ def test_table4_power_breakdown(benchmark):
     report = run_once(benchmark, _estimate)
     paper = PowerModel.paper_breakdown()
 
-    table = Table("Table 4 / Fig. 15: estimated power breakdown (W)",
-                  ["component", "model (W)", "model share", "paper (W)", "paper share"])
+    table = Table(
+        "Table 4 / Fig. 15: estimated power breakdown (W)",
+        ["component", "model (W)", "model share", "paper (W)", "paper share"],
+    )
     for name in PAPER_POWER_BREAKDOWN:
-        table.add_row(name, report.breakdown_w.get(name, 0.0),
-                      f"{report.fraction(name):.1%}",
-                      paper.breakdown_w[name], f"{paper.fraction(name):.1%}")
-    table.add_row("total (with infrastructure)", report.total_w, "",
-                  98.66, "")
+        table.add_row(
+            name,
+            report.breakdown_w.get(name, 0.0),
+            f"{report.fraction(name):.1%}",
+            paper.breakdown_w[name],
+            f"{paper.fraction(name):.1%}",
+        )
+    table.add_row("total (with infrastructure)", report.total_w, "", 98.66, "")
     table.print()
 
     # Shape checks: AIE dominates, MemC is the biggest PL consumer, decoder is

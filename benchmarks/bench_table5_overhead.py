@@ -9,8 +9,11 @@ from __future__ import annotations
 
 from _helpers import run_once
 from repro.analysis.reporting import Table
-from repro.hardware.area import (AreaModel, DECODER_AREA_COMPARISON,
-                                 UTILIZATION_COMPARISON)
+from repro.hardware.area import (
+    AreaModel,
+    DECODER_AREA_COMPARISON,
+    UTILIZATION_COMPARISON,
+)
 from repro.runner import REGISTRY
 from repro.xnn import XNNConfig
 
@@ -28,28 +31,64 @@ def _run():
 def test_table5_overhead_and_utilization(benchmark):
     result, area = run_once(benchmark, _run)
 
-    table_a = Table("Table 5a: instruction-decoder area overhead",
-                    ["design", "device", "LUTs", "FFs", "DSPs", "BRAMs", "LUT %"])
-    table_a.add_row("RSN-XNN (this model)", "VCK190", area.luts, area.ffs, area.dsps,
-                    area.brams, round(area.lut_pct, 2))
+    table_a = Table(
+        "Table 5a: instruction-decoder area overhead",
+        ["design", "device", "LUTs", "FFs", "DSPs", "BRAMs", "LUT %"],
+    )
+    table_a.add_row(
+        "RSN-XNN (this model)",
+        "VCK190",
+        area.luts,
+        area.ffs,
+        area.dsps,
+        area.brams,
+        round(area.lut_pct, 2),
+    )
     published = DECODER_AREA_COMPARISON["RSN-XNN"]
-    table_a.add_row("RSN-XNN (paper)", "VCK190", published["luts"], published["ffs"],
-                    published["dsps"], published["brams"], published["lut_pct"])
+    table_a.add_row(
+        "RSN-XNN (paper)",
+        "VCK190",
+        published["luts"],
+        published["ffs"],
+        published["dsps"],
+        published["brams"],
+        published["lut_pct"],
+    )
     dfx = DECODER_AREA_COMPARISON["DFX"]
-    table_a.add_row("DFX (paper)", dfx["device"], dfx["luts"], dfx["ffs"], dfx["dsps"],
-                    dfx["brams"], dfx["lut_pct"])
+    table_a.add_row(
+        "DFX (paper)",
+        dfx["device"],
+        dfx["luts"],
+        dfx["ffs"],
+        dfx["dsps"],
+        dfx["brams"],
+        dfx["lut_pct"],
+    )
     table_a.print()
 
     achieved_tflops = result["achieved_tflops"]
     util = AreaModel.utilization_pct(achieved_tflops, 8.0)
-    table_b = Table("Table 5b: computation resource utilisation",
-                    ["design", "precision", "peak TFLOPS", "off-chip GB/s",
-                     "achieved TFLOPS", "utilisation %"])
+    table_b = Table(
+        "Table 5b: computation resource utilisation",
+        [
+            "design",
+            "precision",
+            "peak TFLOPS",
+            "off-chip GB/s",
+            "achieved TFLOPS",
+            "utilisation %",
+        ],
+    )
     table_b.add_row("RSN-XNN (simulated)", "FP32", 8.0, 57.6, achieved_tflops, util)
     for name, row in UTILIZATION_COMPARISON.items():
-        table_b.add_row(f"{name} (paper)", f"{row['precision_bits']}-bit",
-                        row["peak_tflops"], row["offchip_gbs"],
-                        row["achieved_tflops"], row["utilization_pct"])
+        table_b.add_row(
+            f"{name} (paper)",
+            f"{row['precision_bits']}-bit",
+            row["peak_tflops"],
+            row["offchip_gbs"],
+            row["achieved_tflops"],
+            row["utilization_pct"],
+        )
     table_b.print()
 
     # Shape: the modelled decoder area is within ~2x of the published counts

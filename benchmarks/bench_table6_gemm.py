@@ -17,23 +17,32 @@ from repro.runner import REGISTRY
 
 
 def _run_end_to_end():
-    return {size: REGISTRY.run(f"table6b/gemm-{size}")["gflops"]
-            for size in (1024, 3072, 6144)}
+    return {
+        size: REGISTRY.run(f"table6b/gemm-{size}")["gflops"]
+        for size in (1024, 3072, 6144)
+    }
 
 
 def test_table6a_aie_gemm_throughput(benchmark):
     shapes = [(32, 16, 32), (32, 32, 16), (32, 32, 32)]
     measured = run_once(
         benchmark,
-        lambda: {s: REGISTRY.run(f"table6a/aie-{'x'.join(map(str, s))}")["gflops"]
-                 for s in shapes})
+        lambda: {
+            s: REGISTRY.run(f"table6a/aie-{'x'.join(map(str, s))}")["gflops"]
+            for s in shapes
+        },
+    )
 
-    table = Table("Table 6a: AIE-only GEMM throughput (PL-fed, no DRAM)",
-                  ["method", "tile (MxKxN)", "AIE tiles", "GFLOPS"])
+    table = Table(
+        "Table 6a: AIE-only GEMM throughput (PL-fed, no DRAM)",
+        ["method", "tile (MxKxN)", "AIE tiles", "GFLOPS"],
+    )
     for name, (shape, tiles, gflops) in PUBLISHED_AIE_GEMM.items():
         table.add_row(f"{name} (paper)", "x".join(map(str, shape)), tiles, gflops)
     for shape in shapes:
-        table.add_row("RSN-XNN (model)", "x".join(map(str, shape)), 384, measured[shape])
+        table.add_row(
+            "RSN-XNN (model)", "x".join(map(str, shape)), 384, measured[shape]
+        )
     table.print()
 
     # Shape: the 32x32x32 kernel is the best RSN point and beats every
@@ -47,9 +56,16 @@ def test_table6b_end_to_end_gemm_throughput(benchmark):
     rsn = run_once(benchmark, _run_end_to_end)
     charm = CharmModel()
 
-    table = Table("Table 6b: end-to-end square MM throughput with DRAM (GFLOPS)",
-                  ["size", "CHARM (model)", "CHARM (paper)", "RSN-XNN (simulated)",
-                   "RSN-XNN gain"])
+    table = Table(
+        "Table 6b: end-to-end square MM throughput with DRAM (GFLOPS)",
+        [
+            "size",
+            "CHARM (model)",
+            "CHARM (paper)",
+            "RSN-XNN (simulated)",
+            "RSN-XNN gain",
+        ],
+    )
     published = CHARM_PUBLISHED["end_to_end_gemm_gflops"]
     for size in (1024, 3072, 6144):
         charm_gflops = charm.gemm_throughput_gflops(size)

@@ -36,14 +36,28 @@ def test_table7_latency_per_task(benchmark):
     }
     published = CHARM_PUBLISHED["latency_per_task_ms"]
 
-    table = Table("Table 7: latency per task at maximum throughput (ms)",
-                  ["model", "CHARM (model)", "CHARM (paper)", "RSN-XNN (simulated)",
-                   "RSN speedup vs CHARM model"])
+    table = Table(
+        "Table 7: latency per task at maximum throughput (ms)",
+        [
+            "model",
+            "CHARM (model)",
+            "CHARM (paper)",
+            "RSN-XNN (simulated)",
+            "RSN speedup vs CHARM model",
+        ],
+    )
     for name in ("BERT", "VIT", "NCF", "MLP"):
-        table.add_row(name, charm_models[name], published[name], rsn[name],
-                      charm_models[name] / rsn[name])
-    table.add_note("paper speedups: 3.2x (BERT), 2.4x (VIT), 2.5x (NCF), 2.8x (MLP); "
-                   "RSN-XNN uses the same datapath for all four models")
+        table.add_row(
+            name,
+            charm_models[name],
+            published[name],
+            rsn[name],
+            charm_models[name] / rsn[name],
+        )
+    table.add_note(
+        "paper speedups: 3.2x (BERT), 2.4x (VIT), 2.5x (NCF), 2.8x (MLP); "
+        "RSN-XNN uses the same datapath for all four models"
+    )
     table.print()
 
     for name in rsn:

@@ -23,21 +23,42 @@ def test_table8_accelerator_comparison(benchmark):
     achieved = run_once(benchmark, _run)
     utilization = 100.0 * achieved / 8.0
 
-    table = Table("Table 8: maximum throughput of FPGA-based transformer accelerators",
-                  ["design", "board", "precision", "peak TOPS", "achieved TOPS",
-                   "utilisation %", "model"])
-    table.add_row("RSN-XNN (simulated)", "VCK190", "FP32", 8.0, achieved,
-                  utilization, "BERT-L")
+    table = Table(
+        "Table 8: maximum throughput of FPGA-based transformer accelerators",
+        [
+            "design",
+            "board",
+            "precision",
+            "peak TOPS",
+            "achieved TOPS",
+            "utilisation %",
+            "model",
+        ],
+    )
+    table.add_row(
+        "RSN-XNN (simulated)", "VCK190", "FP32", 8.0, achieved, utilization, "BERT-L"
+    )
     for name, row in TABLE8_ACCELERATORS.items():
-        table.add_row(f"{name} (paper)", row["board"], row["precision"],
-                      row["peak_tops"], row["achieved_tops"],
-                      row["utilization_pct"], row["model"])
+        table.add_row(
+            f"{name} (paper)",
+            row["board"],
+            row["precision"],
+            row["peak_tops"],
+            row["achieved_tops"],
+            row["utilization_pct"],
+            row["model"],
+        )
     table.print()
 
-    other_utilizations = [row["utilization_pct"] for name, row in
-                          TABLE8_ACCELERATORS.items() if name != "RSN-XNN"]
+    other_utilizations = [
+        row["utilization_pct"]
+        for name, row in TABLE8_ACCELERATORS.items()
+        if name != "RSN-XNN"
+    ]
     assert utilization > 1.3 * max(other_utilizations)
-    pure_fpga_achieved = [row["achieved_tops"] for name, row in
-                          TABLE8_ACCELERATORS.items()
-                          if row["board"] != "VCK190"]
+    pure_fpga_achieved = [
+        row["achieved_tops"]
+        for name, row in TABLE8_ACCELERATORS.items()
+        if row["board"] != "VCK190"
+    ]
     assert achieved > max(pure_fpga_achieved)

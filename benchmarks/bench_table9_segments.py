@@ -48,16 +48,25 @@ def test_table9_segment_latency(benchmark):
     baseline = results["no optimize"]
     final = results["all optimizations"]
 
-    table = Table("Table 9: BERT-Large 1st encoder latency by segment (ms), B=6, L=512",
-                  ["variant", "QKV", "attention+dense", "FFN", "total", "speedup"])
+    table = Table(
+        "Table 9: BERT-Large 1st encoder latency by segment (ms), B=6, L=512",
+        ["variant", "QKV", "attention+dense", "FFN", "total", "speedup"],
+    )
     for name, result in results.items():
         segments = {s["name"]: s["latency_s"] * 1e3 for s in result["segments"]}
-        table.add_row(name, segments.get("qkv"), segments.get("attention+dense"),
-                      segments.get("ffn"), result["latency_ms"],
-                      baseline["latency_s"] / result["latency_s"])
-    table.add_note(f"paper: no-optimize ≈ {PAPER['no_optimize_total_ms']} ms, final "
-                   f"{PAPER['final_total_ms']} ms (2.47x); attention pipelining alone "
-                   f"is worth {PAPER['attention_speedup']}x on the attention MMs")
+        table.add_row(
+            name,
+            segments.get("qkv"),
+            segments.get("attention+dense"),
+            segments.get("ffn"),
+            result["latency_ms"],
+            baseline["latency_s"] / result["latency_s"],
+        )
+    table.add_note(
+        f"paper: no-optimize ≈ {PAPER['no_optimize_total_ms']} ms, final "
+        f"{PAPER['final_total_ms']} ms (2.47x); attention pipelining alone "
+        f"is worth {PAPER['attention_speedup']}x on the attention MMs"
+    )
     table.print()
 
     # Interleaving alone helps the GEMM-heavy segments.
@@ -67,7 +76,8 @@ def test_table9_segment_latency(benchmark):
     # Attention pipelining is the big win on the attention segment.
     attention_speedup = (
         _segment(baseline, "attention+dense")["latency_s"]
-        / _segment(results["pipeline attention"], "attention+dense")["latency_s"])
+        / _segment(results["pipeline attention"], "attention+dense")["latency_s"]
+    )
     assert attention_speedup > 2.5
     # Everything together: a ~2x or better end-to-end speedup, in the same
     # latency regime as the paper's measurement.

@@ -34,7 +34,7 @@ import sys
 import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent))          # _helpers
+sys.path.insert(0, str(Path(__file__).resolve().parent))  # _helpers
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 
@@ -81,10 +81,10 @@ def measure_program_memo() -> dict:
     """Upstream vs downstream warm-hit cost on the repeated-segment set."""
     from bench_program_memo import WORKLOADS, _measure
 
-    (cold, downstream, upstream, downstream_s, upstream_s,
-     _, _) = _measure()
+    (cold, downstream, upstream, downstream_s, upstream_s, _, _) = _measure()
     assert downstream == cold and upstream == cold, (
-        "warm results drifted from the cold pass")
+        "warm results drifted from the cold pass"
+    )
     return {
         "workloads": [list(w) for w in WORKLOADS],
         "downstream_warm_s": downstream_s,
@@ -221,8 +221,10 @@ def record() -> dict:
             payload[section] = measure()
         except Exception as error:  # fault isolation between sections
             payload[section] = {"error": f"{type(error).__name__}: {error}"}
-            print(f"SECTION FAILED: {section}: {payload[section]['error']}",
-                  file=sys.stderr)
+            print(
+                f"SECTION FAILED: {section}: {payload[section]['error']}",
+                file=sys.stderr,
+            )
     return payload
 
 
@@ -252,30 +254,37 @@ def summarize(payload: dict) -> None:
     lines = {
         "engine_throughput": lambda d: (
             f"engine: {d['events_per_s']:,.0f} events/s "
-            f"({d['events']} events in {d['best_wall_s']:.3f}s)"),
+            f"({d['events']} events in {d['best_wall_s']:.3f}s)"
+        ),
         "segment_memo": lambda d: (
             f"segment memo: warm {d['speedup']:.1f}x faster than cold "
-            f"({d['cold_s']:.2f}s -> {d['warm_s']:.2f}s)"),
+            f"({d['cold_s']:.2f}s -> {d['warm_s']:.2f}s)"
+        ),
         "program_memo": lambda d: (
             f"program memo: upstream warm {d['speedup']:.1f}x faster than "
             f"downstream warm ({d['downstream_warm_s']:.3f}s -> "
-            f"{d['upstream_warm_s']:.3f}s)"),
+            f"{d['upstream_warm_s']:.3f}s)"
+        ),
         "analytic_batch": lambda d: (
             f"analytic batch: cold {d['speedup_cold']:.1f}x / warm "
             f"{d['speedup_warm']:.0f}x faster than per-point over "
-            f"{d['points']} points"),
+            f"{d['points']} points"
+        ),
         "chiplet_batch": lambda d: (
             f"chiplet batch: cold {d['speedup_cold']:.1f}x / warm "
             f"{d['speedup_warm']:.0f}x faster than per-point over "
-            f"{d['points']} points"),
+            f"{d['points']} points"
+        ),
         "sharded_batch": lambda d: (
             f"sharded batch: chunk jobs {d['speedup']:.1f}x faster than "
             f"per-scenario jobs over {d['points']} points "
-            f"({d['workers']} workers)"),
+            f"({d['workers']} workers)"
+        ),
         "bigsweep": lambda d: (
             f"bigsweep: {d['points']} points through the chunked workqueue "
             f"in {d['wall_s']:.0f}s ({d['points_per_s']:,.0f} points/s, "
-            f"{d['frontier_points']} frontier points)"),
+            f"{d['frontier_points']} frontier points)"
+        ),
     }
     for section, _measure in SECTIONS:
         data = payload.get(section)
@@ -285,16 +294,21 @@ def summarize(payload: dict) -> None:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_pr10.json",
-                        help="output path (default: BENCH_pr10.json)")
-    parser.add_argument("--check", action="store_true",
-                        help="fail (exit 1) when any measurement is below "
-                             "its loose floor; every violation is reported")
+    parser.add_argument(
+        "--output",
+        default="BENCH_pr10.json",
+        help="output path (default: BENCH_pr10.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when any measurement is below "
+        "its loose floor; every violation is reported",
+    )
     args = parser.parse_args(argv)
 
     payload = record()
-    Path(args.output).write_text(json.dumps(payload, indent=1, sort_keys=True)
-                                 + "\n")
+    Path(args.output).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     summarize(payload)
     print(f"wrote {args.output}")
 
